@@ -1,0 +1,87 @@
+//! B2: constraint-maintenance cost per inserted "course bundle" —
+//! four declarative statements on the unmerged schema (DB2 profile) versus
+//! one trigger-checked statement on the merged schema (SYBASE profile).
+//! Quantifies §5.1's trade-off.
+
+use std::cell::Cell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use relmerge_bench::experiments::university_merge;
+use relmerge_engine::{Database, DbmsProfile};
+use relmerge_relational::{Tuple, Value};
+
+fn bench_inserts(c: &mut Criterion) {
+    let (u, m) = university_merge(10, 1).expect("setup");
+    let mut group = c.benchmark_group("insert_course_bundle");
+
+    {
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::db2()).expect("db");
+        db.load_state(&u.state).expect("load");
+        let next = Cell::new(1_000_000i64);
+        let dept = Value::text("dept0");
+        let faculty = Value::Int(10_000);
+        let student = Value::Int(10_400);
+        group.bench_function("unmerged_db2_4stmts", |b| {
+            b.iter(|| {
+                let nr = Value::Int(next.get());
+                next.set(next.get() + 1);
+                db.insert("COURSE", Tuple::new([nr.clone()])).expect("course");
+                db.insert("OFFER", Tuple::new([nr.clone(), dept.clone()]))
+                    .expect("offer");
+                db.insert("TEACH", Tuple::new([nr.clone(), faculty.clone()]))
+                    .expect("teach");
+                db.insert("ASSIST", Tuple::new([nr, student.clone()]))
+                    .expect("assist");
+            });
+        });
+    }
+
+    {
+        let merged_state = m.apply(&u.state).expect("apply");
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::sybase40()).expect("db");
+        db.load_state(&merged_state).expect("load");
+        let next = Cell::new(1_000_000i64);
+        let dept = Value::text("dept0");
+        let faculty = Value::Int(10_000);
+        let student = Value::Int(10_400);
+        group.bench_function("merged_sybase_1stmt_triggers", |b| {
+            b.iter(|| {
+                let nr = Value::Int(next.get());
+                next.set(next.get() + 1);
+                db.insert(
+                    "COURSE_M",
+                    Tuple::new([nr, dept.clone(), faculty.clone(), student.clone()]),
+                )
+                .expect("merged insert");
+            });
+        });
+    }
+
+    {
+        // The same merged insert on the ideal profile, to isolate the
+        // trigger-vs-native cost split from the statement-count effect.
+        let merged_state = m.apply(&u.state).expect("apply");
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::ideal()).expect("db");
+        db.load_state(&merged_state).expect("load");
+        let next = Cell::new(1_000_000i64);
+        let dept = Value::text("dept0");
+        let faculty = Value::Int(10_000);
+        let student = Value::Int(10_400);
+        group.bench_function("merged_ideal_1stmt", |b| {
+            b.iter(|| {
+                let nr = Value::Int(next.get());
+                next.set(next.get() + 1);
+                db.insert(
+                    "COURSE_M",
+                    Tuple::new([nr, dept.clone(), faculty.clone(), student.clone()]),
+                )
+                .expect("merged insert");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inserts);
+criterion_main!(benches);

@@ -1,0 +1,153 @@
+//! B3: cost of the `Merge`/`Remove` procedures themselves as the merge set
+//! grows, and of the η state mapping as the data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_core::Merge;
+use relmerge_workload::{consistent_state, star_merge_set, star_schema, StarSpec, StateSpec};
+
+fn bench_merge_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge_plan");
+    for &satellites in &[2usize, 8, 32, 128] {
+        let spec = StarSpec {
+            satellites,
+            non_key_attrs: 2,
+            externals: 0,
+        };
+        let schema = star_schema(&spec);
+        let set = star_merge_set(&spec);
+        let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(satellites),
+            &satellites,
+            |b, _| b.iter(|| Merge::plan(&schema, &refs, "MERGED").expect("merge")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_remove_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remove_all");
+    for &satellites in &[2usize, 8, 32] {
+        let spec = StarSpec {
+            satellites,
+            non_key_attrs: 2,
+            externals: 0,
+        };
+        let schema = star_schema(&spec);
+        let set = star_merge_set(&spec);
+        let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(satellites),
+            &satellites,
+            |b, _| {
+                b.iter_batched(
+                    || Merge::plan(&schema, &refs, "MERGED").expect("merge"),
+                    |mut m| m.remove_all_removable().expect("remove"),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_eta_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eta_state_mapping");
+    group.sample_size(20);
+    let spec = StarSpec {
+        satellites: 3,
+        non_key_attrs: 2,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let set = star_merge_set(&spec);
+    let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+    let merged = Merge::plan(&schema, &refs, "MERGED").expect("merge");
+    for &rows in &[100usize, 1_000, 10_000] {
+        let mut rng = StdRng::seed_from_u64(13);
+        let state = consistent_state(
+            &schema,
+            &StateSpec {
+                root_rows: rows,
+                coverage: 0.7,
+            },
+            &mut rng,
+        )
+        .expect("state");
+        group.bench_with_input(BenchmarkId::new("apply", rows), &rows, |b, _| {
+            b.iter(|| merged.apply(&state).expect("apply"));
+        });
+        let merged_state = merged.apply(&state).expect("apply");
+        group.bench_with_input(BenchmarkId::new("invert", rows), &rows, |b, _| {
+            b.iter(|| merged.invert(&merged_state).expect("invert"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_advisor_and_planner(c: &mut Criterion) {
+    use relmerge_core::{Advisor, AdvisorConfig};
+    use relmerge_engine::LogicalQuery;
+
+    let mut group = c.benchmark_group("advisor");
+    for &satellites in &[4usize, 16, 64] {
+        let spec = StarSpec {
+            satellites,
+            non_key_attrs: 1,
+            externals: 2,
+        };
+        let schema = star_schema(&spec);
+        group.bench_with_input(
+            BenchmarkId::new("propose", satellites),
+            &satellites,
+            |b, _| {
+                b.iter(|| {
+                    Advisor::propose(&schema, &AdvisorConfig::declarative_only())
+                        .expect("propose")
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("apply_greedy", satellites),
+            &satellites,
+            |b, _| {
+                b.iter(|| {
+                    Advisor::apply_greedy(&schema, &AdvisorConfig::declarative_only())
+                        .expect("apply")
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("planner");
+    for &satellites in &[4usize, 16, 64] {
+        let spec = StarSpec {
+            satellites,
+            non_key_attrs: 1,
+            externals: 0,
+        };
+        let schema = star_schema(&spec);
+        // A query touching the root and the last satellite.
+        let last = format!("S{}.V0", satellites - 1);
+        let q = LogicalQuery::select(&["ROOT.K", &last]);
+        group.bench_with_input(
+            BenchmarkId::new("plan", satellites),
+            &satellites,
+            |b, _| b.iter(|| relmerge_engine::plan(&schema, &q).expect("plan")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merge_plan,
+    bench_remove_all,
+    bench_eta_mapping,
+    bench_advisor_and_planner
+);
+criterion_main!(benches);

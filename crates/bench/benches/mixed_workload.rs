@@ -1,0 +1,24 @@
+//! B6: a read-mostly operation mix executed end to end against the
+//! unmerged and merged university databases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use relmerge_bench::experiments::mixed_workload;
+
+fn bench_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_workload_2k_ops");
+    group.sample_size(10);
+    for &courses in &[1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(courses),
+            &courses,
+            |b, &courses| {
+                b.iter(|| mixed_workload(courses, 2_000).expect("workload"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

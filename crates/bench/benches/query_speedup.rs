@@ -1,0 +1,113 @@
+//! B1: point-query and scan latency, merged vs. unmerged university schema
+//! (the paper's §1 motivation: merging reduces joins → better access
+//! performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge_bench::experiments::{
+    merged_by_faculty_query, merged_point_query, merged_scan_query, university_databases,
+    university_merge, unmerged_by_faculty_query, unmerged_point_query, unmerged_scan_query,
+};
+use relmerge_engine::execute;
+
+fn bench_point_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query");
+    for &courses in &[100usize, 1_000, 10_000] {
+        let (u, m) = university_merge(courses, 42).expect("setup");
+        let (unmerged, merged) = university_databases(&u, &m).expect("databases");
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<i64> = (0..256)
+            .map(|_| *u.offered_courses.choose(&mut rng).expect("offers"))
+            .collect();
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("unmerged_3joins", courses),
+            &courses,
+            |b, _| {
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    execute(&unmerged, &unmerged_point_query(k)).expect("query")
+                });
+            },
+        );
+        let mut j = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("merged_single_probe", courses),
+            &courses,
+            |b, _| {
+                b.iter(|| {
+                    let k = keys[j % keys.len()];
+                    j += 1;
+                    execute(&merged, &merged_point_query(k)).expect("query")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scan_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_query");
+    group.sample_size(20);
+    for &courses in &[100usize, 1_000, 10_000] {
+        let (u, m) = university_merge(courses, 42).expect("setup");
+        let (unmerged, merged) = university_databases(&u, &m).expect("databases");
+        group.bench_with_input(
+            BenchmarkId::new("unmerged_3joins", courses),
+            &courses,
+            |b, _| b.iter(|| execute(&unmerged, &unmerged_scan_query()).expect("query")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("merged_scan", courses),
+            &courses,
+            |b, _| b.iter(|| execute(&merged, &merged_scan_query()).expect("query")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reverse_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reverse_lookup_by_faculty");
+    for &courses in &[1_000usize, 10_000] {
+        let (u, m) = university_merge(courses, 42).expect("setup");
+        let (unmerged, merged) = university_databases(&u, &m).expect("databases");
+        let mut rng = StdRng::seed_from_u64(11);
+        let ssns: Vec<i64> = (0..256).map(|_| 10_000 + rng.gen_range(0..200)).collect();
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("unmerged_chain_walk", courses),
+            &courses,
+            |b, _| {
+                b.iter(|| {
+                    let ssn = ssns[i % ssns.len()];
+                    i += 1;
+                    execute(&unmerged, &unmerged_by_faculty_query(ssn)).expect("query")
+                });
+            },
+        );
+        let mut j = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("merged_secondary_index", courses),
+            &courses,
+            |b, _| {
+                b.iter(|| {
+                    let ssn = ssns[j % ssns.len()];
+                    j += 1;
+                    execute(&merged, &merged_by_faculty_query(ssn)).expect("query")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_queries,
+    bench_scan_queries,
+    bench_reverse_lookup
+);
+criterion_main!(benches);

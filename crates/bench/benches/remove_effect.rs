@@ -1,0 +1,76 @@
+//! B4: what `Remove` buys at runtime — materialization and scan cost of the
+//! merged relation before and after redundant attributes are dropped
+//! (paper §4.2: removal "reduces the size of the relations").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_core::Merge;
+use relmerge_engine::{execute, Database, DbmsProfile, QueryPlan};
+use relmerge_workload::{generate_university, UniversitySpec};
+
+fn bench_remove_effect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remove_effect");
+    group.sample_size(20);
+    for &courses in &[1_000usize, 10_000] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = generate_university(
+            &UniversitySpec {
+                courses,
+                ..UniversitySpec::default()
+            },
+            &mut rng,
+        )
+        .expect("university");
+        let plan_merge = || {
+            Merge::plan(
+                &u.schema,
+                &["COURSE", "OFFER", "TEACH", "ASSIST"],
+                "COURSE_M",
+            )
+            .expect("merge")
+        };
+
+        // Materialization (η) cost with all 7 columns vs the removed 4.
+        let wide = plan_merge();
+        group.bench_with_input(
+            BenchmarkId::new("materialize_wide7", courses),
+            &courses,
+            |b, _| b.iter(|| wide.apply(&u.state).expect("apply")),
+        );
+        let mut narrow = plan_merge();
+        narrow.remove_all_removable().expect("remove");
+        group.bench_with_input(
+            BenchmarkId::new("materialize_removed4", courses),
+            &courses,
+            |b, _| b.iter(|| narrow.apply(&u.state).expect("apply")),
+        );
+
+        // Scan cost over the stored merged relation, wide vs narrow.
+        let wide_state = wide.apply(&u.state).expect("apply");
+        let mut wide_db =
+            Database::new(wide.schema().clone(), DbmsProfile::ideal()).expect("db");
+        wide_db.load_state(&wide_state).expect("load");
+        group.bench_with_input(
+            BenchmarkId::new("scan_wide7", courses),
+            &courses,
+            |b, _| b.iter(|| execute(&wide_db, &QueryPlan::scan("COURSE_M")).expect("scan")),
+        );
+        let narrow_state = narrow.apply(&u.state).expect("apply");
+        let mut narrow_db =
+            Database::new(narrow.schema().clone(), DbmsProfile::ideal()).expect("db");
+        narrow_db.load_state(&narrow_state).expect("load");
+        group.bench_with_input(
+            BenchmarkId::new("scan_removed4", courses),
+            &courses,
+            |b, _| {
+                b.iter(|| execute(&narrow_db, &QueryPlan::scan("COURSE_M")).expect("scan"))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_remove_effect);
+criterion_main!(benches);

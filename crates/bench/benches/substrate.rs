@@ -1,0 +1,149 @@
+//! B5: micro-benchmarks of the relational substrate the technique is built
+//! on — the outer-equi-join of §2, null-constraint satisfaction of §3, and
+//! the FD machinery behind the BCNF test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use relmerge_relational::nullcon::ne_closure;
+use relmerge_relational::{
+    algebra, Attribute, Domain, Fd, FdSet, NullConstraint, Relation, RelationScheme, Tuple,
+    Value,
+};
+
+fn int_relation(prefix: &str, rows: usize, width: usize, match_stride: i64) -> Relation {
+    let header: Vec<Attribute> = (0..width)
+        .map(|i| Attribute::new(format!("{prefix}.A{i}"), Domain::Int))
+        .collect();
+    Relation::with_rows(
+        header,
+        (0..rows).map(|r| {
+            Tuple::new(
+                (0..width)
+                    .map(|c| Value::Int(r as i64 * match_stride + c as i64))
+                    .collect::<Vec<_>>(),
+            )
+        }),
+    )
+    .expect("static relation")
+}
+
+fn bench_outer_equi_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("outer_equi_join");
+    group.sample_size(20);
+    for &rows in &[1_000usize, 10_000] {
+        // Key columns align on even rows: half match, half pad.
+        let left = int_relation("L", rows, 3, 2);
+        let right = int_relation("R", rows, 3, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| algebra::outer_equi_join(&left, &right, &[("L.A0", "R.A0")]).expect("join"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_total_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("total_projection");
+    let rows = 10_000;
+    let left = int_relation("L", rows, 3, 2);
+    let right = int_relation("R", rows, 3, 4);
+    let joined = algebra::outer_equi_join(&left, &right, &[("L.A0", "R.A0")]).expect("join");
+    group.bench_function("reconstruct_left", |b| {
+        b.iter(|| algebra::total_project(&joined, &["L.A0", "L.A1", "L.A2"]).expect("project"));
+    });
+    group.finish();
+}
+
+fn bench_null_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("null_constraint_check");
+    let rows = 10_000;
+    let header: Vec<Attribute> = (0..4)
+        .map(|i| Attribute::new(format!("M.A{i}"), Domain::Int))
+        .collect();
+    let relation = Relation::with_rows(
+        header,
+        (0..rows).map(|r| {
+            // Alternate total and half-null tuples (all constraint-legal).
+            if r % 2 == 0 {
+                Tuple::new([
+                    Value::Int(r),
+                    Value::Int(r),
+                    Value::Int(r + 1),
+                    Value::Int(r + 2),
+                ])
+            } else {
+                Tuple::new([Value::Int(r), Value::Int(r), Value::Null, Value::Null])
+            }
+        }),
+    )
+    .expect("static relation");
+    let constraints = [
+        ("nna", NullConstraint::nna("M", &["M.A0"])),
+        ("null_sync", NullConstraint::ns("M", &["M.A2", "M.A3"])),
+        (
+            "null_existence",
+            NullConstraint::ne("M", &["M.A2"], &["M.A3"]),
+        ),
+        (
+            "total_equality",
+            NullConstraint::te("M", &["M.A0"], &["M.A1"]),
+        ),
+        (
+            "part_null",
+            NullConstraint::pn("M", &[&["M.A0", "M.A1"], &["M.A2", "M.A3"]]),
+        ),
+    ];
+    for (name, constraint) in &constraints {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                assert!(constraint.satisfied_by(&relation).expect("check"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fd_machinery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fd_machinery");
+    for &width in &[8usize, 32] {
+        let attrs: Vec<Attribute> = (0..width)
+            .map(|i| Attribute::new(format!("R.A{i}"), Domain::Int))
+            .collect();
+        let names: Vec<String> = attrs.iter().map(|a| a.name().to_owned()).collect();
+        let scheme = RelationScheme::new("R", attrs, &[&names[0]]).expect("scheme");
+        let mut fds = FdSet::from_schemes([&scheme]);
+        // A chain A0 -> A1 -> … -> A(n-1), closure must walk it.
+        for i in 0..width - 1 {
+            fds.push(Fd::new("R", &[&names[i]], &[&names[i + 1]]));
+        }
+        group.bench_with_input(BenchmarkId::new("closure", width), &width, |b, _| {
+            b.iter(|| fds.closure("R", &[&names[0]]));
+        });
+        group.bench_with_input(BenchmarkId::new("bcnf", width), &width, |b, _| {
+            b.iter(|| fds.is_bcnf(&scheme));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ne_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ne_inference");
+    for &n in &[8usize, 64] {
+        let constraints: Vec<NullConstraint> = (0..n)
+            .map(|i| NullConstraint::ne("R", &[&format!("A{i}")], &[&format!("A{}", i + 1)]))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| ne_closure(&constraints, "R", &["A0"]));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_outer_equi_join,
+    bench_total_projection,
+    bench_null_constraints,
+    bench_fd_machinery,
+    bench_ne_inference
+);
+criterion_main!(benches);

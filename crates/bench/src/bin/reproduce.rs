@@ -1,0 +1,531 @@
+//! Regenerates every figure and proposition of the paper, plus the
+//! measured B1/B2/B4 tables recorded in `EXPERIMENTS.md`.
+//!
+//! Usage: `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|all]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_bench::experiments;
+use relmerge_bench::table;
+use relmerge_core::{
+    check_both, check_forward, is_key_relation_semantically, prop51_inds_key_based,
+    prop51_keys_non_null, prop52_nna_only, Merge,
+};
+use relmerge_eer::{
+    classify_generalization, classify_many_one_star, figures, repair, translate,
+    translate_teorey, Amenability,
+};
+use relmerge_relational::{DatabaseState, InclusionDep, Tuple, Value};
+use relmerge_workload::{consistent_state, star_schema, StarSpec, StateSpec};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let run = |name: &str| arg == "all" || arg == name;
+    if run("fig1") {
+        fig1();
+    }
+    if run("fig2") {
+        fig2();
+    }
+    if run("fig3") {
+        fig3();
+    }
+    if run("fig4") {
+        fig4();
+    }
+    if run("fig5") || run("fig6") {
+        fig5_and_6();
+    }
+    if run("fig8") {
+        fig8();
+    }
+    if run("fig8matrix") {
+        fig8_matrix();
+    }
+    if run("props") {
+        props();
+    }
+    if run("b1") {
+        b1();
+    }
+    if run("b2") {
+        b2();
+    }
+    if run("b4") {
+        b4();
+    }
+    if run("b6") {
+        b6();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+/// Figure 1: the modular (BCNF) translation vs. the Teorey baseline, and
+/// the semantic inconsistency the baseline admits.
+fn fig1() {
+    heading("Figure 1: ER schema, RS (modular) vs RS' (Teorey)");
+    let eer = figures::fig1_eer();
+    println!("{eer}");
+    let rs = translate(&eer).expect("modular translation");
+    println!("RS (modular, BCNF = {}):\n{rs}", rs.is_bcnf());
+    let t = translate_teorey(&eer).expect("teorey translation");
+    println!("RS' (Teorey):\n{}", t.schema);
+
+    // The paper's complaint: RS' accepts an employee with a non-null DATE
+    // and a null project NR.
+    let mut st = DatabaseState::empty_for(&t.schema).expect("empty state");
+    st.insert(
+        "WORKS",
+        Tuple::new([Value::Int(1), Value::Null, Value::Date(100)]),
+    )
+    .expect("insert");
+    println!(
+        "RS' accepts (SSN=1, NR=null, DATE=d100): {}",
+        st.is_consistent(&t.schema).expect("check")
+    );
+    let repaired = repair(&t).expect("repair");
+    println!(
+        "After adding the paper's null constraint W.DATE E-> W.NR: {}",
+        st.is_consistent(&repaired).expect("check")
+    );
+}
+
+/// Figure 2: Merge(OFFER, TEACH) → ASSIGN, with and without a member
+/// key-relation.
+fn fig2() {
+    heading("Figure 2: Merge {OFFER, TEACH} -> ASSIGN");
+    use relmerge_relational::{
+        Attribute, Domain, NullConstraint, RelationScheme, RelationalSchema,
+    };
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new(
+            "OFFER",
+            vec![
+                Attribute::new("O.CN", Domain::Int),
+                Attribute::new("O.DN", Domain::Int),
+            ],
+            &["O.CN"],
+        )
+        .expect("scheme"),
+    )
+    .expect("add");
+    rs.add_scheme(
+        RelationScheme::new(
+            "TEACH",
+            vec![
+                Attribute::new("T.CN", Domain::Int),
+                Attribute::new("T.FN", Domain::Int),
+            ],
+            &["T.CN"],
+        )
+        .expect("scheme"),
+    )
+    .expect("add");
+    rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.CN", "O.DN"]))
+        .expect("nna");
+    rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.CN", "T.FN"]))
+        .expect("nna");
+    println!("Input:\n{rs}");
+
+    let m = Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"])
+        .expect("merge");
+    println!(
+        "No key-relation in the set -> synthetic key CN.\nResult:\n{}",
+        m.schema()
+    );
+    println!("BCNF preserved: {}", m.schema().is_bcnf());
+
+    let mut with_ind = rs.clone();
+    with_ind
+        .add_ind(InclusionDep::new("TEACH", &["T.CN"], "OFFER", &["O.CN"]))
+        .expect("ind");
+    let m2 = Merge::plan(&with_ind, &["OFFER", "TEACH"], "ASSIGN").expect("merge");
+    println!(
+        "With TEACH[T.CN] <= OFFER[O.CN], OFFER is the key-relation \
+         (Prop 3.1).\nResult:\n{}",
+        m2.schema()
+    );
+}
+
+/// Figure 3: the translation of Figure 7.
+fn fig3() {
+    heading("Figure 3: relational translation of the Figure 7 EER schema");
+    let eer = figures::fig7_eer();
+    println!("{eer}");
+    let rs = translate(&eer).expect("translation");
+    println!("{rs}");
+    println!(
+        "BCNF: {}  key-based INDs only: {}  NNA-only constraints: {}",
+        rs.is_bcnf(),
+        rs.key_based_inds_only(),
+        rs.nna_only()
+    );
+}
+
+/// Figure 4: Merge(COURSE, OFFER, TEACH) on the Figure 3 schema.
+fn fig4() {
+    heading("Figure 4: Merge {COURSE, OFFER, TEACH} -> COURSE'");
+    let rs = translate(&figures::fig7_eer()).expect("fig 3 schema");
+    let m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH"], "COURSE'").expect("merge");
+    println!("{}", m.schema());
+    println!("BCNF preserved: {}", m.schema().is_bcnf());
+    println!(
+        "O.C.NR removable? {:?} (paper: no — ASSIST still references it)",
+        m.removable("OFFER").err().map(|e| e.to_string())
+    );
+}
+
+/// Figures 5 and 6: the four-way merge and the removal cascade.
+fn fig5_and_6() {
+    heading("Figure 5: Merge {COURSE, OFFER, TEACH, ASSIST} -> COURSE''");
+    let rs = translate(&figures::fig7_eer()).expect("fig 3 schema");
+    let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE''")
+        .expect("merge");
+    println!("{}", m.schema());
+    println!(
+        "Removable groups: {:?} (paper: O.C.NR, T.C.NR, A.C.NR)",
+        m.removable_groups()
+    );
+    heading("Figure 6: Remove O.C.NR, T.C.NR, A.C.NR from COURSE''");
+    m.remove_all_removable().expect("remove");
+    println!("{}", m.schema());
+    println!("BCNF preserved: {}", m.schema().is_bcnf());
+
+    // Round-trip sanity on a random university state.
+    let mut rng = StdRng::seed_from_u64(9);
+    let u = relmerge_workload::generate_university(
+        &relmerge_workload::UniversitySpec {
+            courses: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("university");
+    let report = check_forward(&m, &u.state).expect("capacity check");
+    println!(
+        "Information capacity on a 100-course state: consistent={} round-trip={} values-preserved={}",
+        report.forward_consistent, report.forward_round_trip, report.forward_values_preserved
+    );
+}
+
+/// Figure 8: amenability classification.
+fn fig8() {
+    heading("Figure 8: structures amenable to single-relation representation");
+    let cases = [
+        (
+            "8(i) generalization, multi-attribute children",
+            classify_generalization(&figures::fig8_i(), "VEHICLE").expect("group"),
+        ),
+        (
+            "8(ii) many-one star with relationship attributes",
+            classify_many_one_star(&figures::fig8_ii(), "PRODUCT").expect("group"),
+        ),
+        (
+            "8(iii) generalization, single-attribute children",
+            classify_generalization(&figures::fig8_iii(), "ACCOUNT").expect("group"),
+        ),
+        (
+            "8(iv) attribute-less many-one star",
+            classify_many_one_star(&figures::fig8_iv(), "COURSE").expect("group"),
+        ),
+    ];
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|(label, g)| {
+            vec![
+                (*label).to_owned(),
+                format!("{:?}", g.members),
+                match g.amenability {
+                    Amenability::NnaOnly => "NNA only".to_owned(),
+                    Amenability::GeneralNullConstraints => {
+                        "general null constraints".to_owned()
+                    }
+                },
+                g.violations.join("; "),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &["structure", "members", "regime", "failed conditions"],
+            &rows
+        )
+    );
+    println!("Paper: (i),(ii) need general null constraints; (iii),(iv) only NNA.");
+}
+
+/// The §5.1 capability matrix: each Figure 8 structure against each DBMS
+/// dialect — does SDT's merging option fire, and through which mechanism
+/// is the result maintained?
+fn fig8_matrix() {
+    use relmerge_ddl::{run_sdt, Dialect, SdtOption};
+    heading("Figure 8 x dialect: what merges where, and at what mechanism cost");
+    let structures = [
+        ("8(i)", figures::fig8_i()),
+        ("8(ii)", figures::fig8_ii()),
+        ("8(iii)", figures::fig8_iii()),
+        ("8(iv)", figures::fig8_iv()),
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, eer) in &structures {
+        for dialect in Dialect::ALL {
+            let out = run_sdt(eer, SdtOption::Merged, dialect).expect("sdt");
+            rows.push(vec![
+                (*label).to_owned(),
+                dialect.name().to_owned(),
+                format!("{} -> {}", out.scheme_count.0, out.scheme_count.1),
+                out.merges_applied.to_string(),
+                out.script.procedural_count().to_string(),
+                out.script.unsupported().len().to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "structure",
+                "dialect",
+                "schemes",
+                "merges",
+                "triggers/rules",
+                "unsupported",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Reading: structures (iii)/(iv) merge everywhere (NNA-only, Prop 5.2); \
+         (i)/(ii) merge only where a procedural mechanism or CHECKs exist."
+    );
+}
+
+/// Propositions 3.1, 4.1, 4.2, 5.1, 5.2 spot-checked on generated inputs.
+fn props() {
+    heading("Propositions 3.1 / 4.1 / 4.2 / 5.1 / 5.2");
+    let rs = translate(&figures::fig7_eer()).expect("fig 3 schema");
+
+    // Prop 3.1: syntactic key-relation matches the semantic definition.
+    let mut rng = StdRng::seed_from_u64(3);
+    let u = relmerge_workload::generate_university(
+        &relmerge_workload::UniversitySpec {
+            courses: 50,
+            offer_ratio: 1.0,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("university");
+    let sem = is_key_relation_semantically(
+        &u.schema,
+        &u.state,
+        "COURSE",
+        &["OFFER", "TEACH", "ASSIST"],
+    )
+    .expect("semantic check");
+    println!("Prop 3.1: COURSE covers the keys of {{OFFER,TEACH,ASSIST}} (offer_ratio=1): {sem}");
+
+    // Prop 4.1 / 4.2 on a random star schema.
+    let spec = StarSpec {
+        satellites: 3,
+        non_key_attrs: 2,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let mut rng = StdRng::seed_from_u64(17);
+    let state = consistent_state(&schema, &StateSpec::default(), &mut rng).expect("state");
+    let mut merged = Merge::plan(&schema, &["ROOT", "S0", "S1", "S2"], "M").expect("merge");
+    let r1 = check_forward(&merged, &state).expect("check");
+    println!(
+        "Prop 4.1 (Merge preserves capacity + BCNF) on a random star: {} (BCNF={})",
+        r1.holds(),
+        merged.schema().is_bcnf()
+    );
+    let merged_state = merged.apply(&state).expect("apply");
+    merged.remove_all_removable().expect("remove");
+    let r2 =
+        check_both(&merged, &state, &merged.apply(&state).expect("apply")).expect("check");
+    println!(
+        "Prop 4.2 (Remove preserves capacity): {} (merged arity {} -> {})",
+        r2.holds(),
+        merged_state.relation("M").expect("rel").arity(),
+        merged
+            .apply(&state)
+            .expect("apply")
+            .relation("M")
+            .expect("rel")
+            .arity()
+    );
+
+    // Prop 5.1 / 5.2 on the university chain (Figure 4 vs Figure 5 sets).
+    let three = ["COURSE", "OFFER", "TEACH"];
+    let four = ["COURSE", "OFFER", "TEACH", "ASSIST"];
+    println!(
+        "Prop 5.1(i): merge {{COURSE,OFFER,TEACH}} keeps INDs key-based: {} (paper: no)",
+        prop51_inds_key_based(&rs, &three).expect("check")
+    );
+    println!(
+        "Prop 5.1(i): merge {{COURSE,OFFER,TEACH,ASSIST}}: {} (paper: yes)",
+        prop51_inds_key_based(&rs, &four).expect("check")
+    );
+    println!(
+        "Prop 5.1(ii): non-null keys for the 4-way merge: {}",
+        prop51_keys_non_null(&rs, &four).expect("check")
+    );
+    let failures = prop52_nna_only(&rs, &four).expect("check");
+    println!(
+        "Prop 5.2 on the chain: {} failures {:?} (paper: fails — general constraints remain, Figure 6)",
+        failures.len(),
+        failures
+            .iter()
+            .map(|f| format!("({}, cond {})", f.member, f.condition))
+            .collect::<Vec<_>>()
+    );
+    let iv = translate(&figures::fig8_iv()).expect("8(iv)");
+    println!(
+        "Prop 5.2 on Figure 8(iv)'s star: {} failures (paper: passes)",
+        prop52_nna_only(&iv, &["COURSE", "OFFER", "TEACH"])
+            .expect("check")
+            .len()
+    );
+}
+
+/// B1: merged-vs-unmerged query cost.
+fn b1() {
+    heading("B1: query speedup (merged vs unmerged), university workload");
+    let rows = experiments::query_speedup(&[100, 1_000, 10_000], 2_000).expect("b1");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.courses.to_string(),
+                r.unmerged_probes.to_string(),
+                r.merged_probes.to_string(),
+                format!("{:.0}", r.unmerged_ns),
+                format!("{:.0}", r.merged_ns),
+                format!("{:.2}x", r.point_speedup),
+                format!("{:.2}x", r.scan_speedup),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "courses",
+                "probes(unmerged)",
+                "probes(merged)",
+                "point ns(unmerged)",
+                "point ns(merged)",
+                "point speedup",
+                "scan speedup",
+            ],
+            &table_rows,
+        )
+    );
+}
+
+/// B2: constraint-maintenance cost.
+fn b2() {
+    heading("B2: maintenance cost per inserted course bundle");
+    let rows = experiments::maintenance_cost(5_000).expect("b2");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.entities.to_string(),
+                r.statements.to_string(),
+                r.declarative.to_string(),
+                r.procedural.to_string(),
+                format!("{:.0}", r.ns_per_entity),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "scenario",
+                "entities",
+                "statements",
+                "declarative checks",
+                "procedural checks",
+                "ns/entity",
+            ],
+            &table_rows,
+        )
+    );
+}
+
+/// B6: mixed read-mostly workload, merged vs unmerged.
+fn b6() {
+    heading("B6: mixed workload (80% point reads, 10% reverse reads, 10% DML)");
+    let mut table_rows: Vec<Vec<String>> = Vec::new();
+    for courses in [1_000usize, 10_000] {
+        let rows = experiments::mixed_workload(courses, 20_000).expect("b6");
+        for r in &rows {
+            table_rows.push(vec![
+                courses.to_string(),
+                r.scenario.clone(),
+                r.ops.to_string(),
+                r.reads.to_string(),
+                r.writes.to_string(),
+                format!("{:.0}", r.ns_per_op),
+            ]);
+        }
+        let speedup = rows[0].ns_per_op / rows[1].ns_per_op;
+        table_rows.push(vec![
+            courses.to_string(),
+            format!("-> merged speedup {speedup:.2}x"),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["courses", "scenario", "ops", "reads", "writes", "ns/op"],
+            &table_rows,
+        )
+    );
+}
+
+/// B4: the effect of `Remove`.
+fn b4() {
+    heading("B4: effect of Remove on the merged relation");
+    let rows = experiments::remove_effect(&[100, 1_000, 10_000]).expect("b4");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.courses.to_string(),
+                format!("{} -> {}", r.arity.0, r.arity.1),
+                format!("{} -> {}", r.values.0, r.values.1),
+                format!("{} -> {}", r.nulls.0, r.nulls.1),
+                format!("{} -> {}", r.constraints.0, r.constraints.1),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "courses",
+                "arity",
+                "stored values",
+                "stored nulls",
+                "null constraints"
+            ],
+            &table_rows,
+        )
+    );
+}

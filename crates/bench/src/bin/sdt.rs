@@ -1,0 +1,193 @@
+//! `sdt` — a command-line reimplementation of the paper's Schema
+//! Definition and Translation tool \[12\].
+//!
+//! ```text
+//! sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>]
+//!     [--dialect <db2|sybase40|ingres63|sql92>]
+//!     [--merge]            use merging (SDT option ii); default is 1:1
+//!     [--migration]        also print data-migration SQL for each merge
+//!     [--report]           print merge reports instead of raw schemas
+//! ```
+//!
+//! Example: `sdt --demo fig7 --dialect sybase40 --merge --migration`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_core::{Advisor, MergeReport};
+use relmerge_ddl::{
+    advisor_config_for, backward_migration, forward_migration, generate, Dialect,
+};
+use relmerge_eer::{figures, model::EerSchema, translate};
+use relmerge_workload::{random_eer, EerSpec};
+
+struct Args {
+    demo: String,
+    dialect: Dialect,
+    merge: bool,
+    migration: bool,
+    report: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        demo: "fig7".to_owned(),
+        dialect: Dialect::Sql92,
+        merge: false,
+        migration: false,
+        report: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--demo" => {
+                args.demo = it.next().ok_or("--demo needs a value")?;
+            }
+            "--dialect" => {
+                let v = it.next().ok_or("--dialect needs a value")?;
+                args.dialect = match v.as_str() {
+                    "db2" => Dialect::Db2,
+                    "sybase40" => Dialect::Sybase40,
+                    "ingres63" => Dialect::Ingres63,
+                    "sql92" => Dialect::Sql92,
+                    other => return Err(format!("unknown dialect `{other}`")),
+                };
+            }
+            "--merge" => args.merge = true,
+            "--migration" => args.migration = true,
+            "--report" => args.report = true,
+            "--help" | "-h" => {
+                println!(
+                    "sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>] \
+                     [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] [--report]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn demo_schema(name: &str) -> Result<EerSchema, String> {
+    Ok(match name {
+        "fig1" => figures::fig1_eer(),
+        "fig7" => figures::fig7_eer(),
+        "fig8i" => figures::fig8_i(),
+        "fig8ii" => figures::fig8_ii(),
+        "fig8iii" => figures::fig8_iii(),
+        "fig8iv" => figures::fig8_iv(),
+        other => {
+            if let Some(rest) = other.strip_prefix("random") {
+                let seed: u64 = rest
+                    .strip_prefix(':')
+                    .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+                    .transpose()?
+                    .unwrap_or(0);
+                let mut rng = StdRng::seed_from_u64(seed);
+                random_eer(&EerSpec::default(), &mut rng)
+            } else {
+                return Err(format!("unknown demo `{other}`"));
+            }
+        }
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("sdt: {e}");
+            std::process::exit(2);
+        }
+    };
+    let eer = match demo_schema(&args.demo) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("sdt: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("-- SDT: demo `{}`, dialect {}", args.demo, args.dialect);
+    println!("-- EER schema:\n{eer}");
+
+    let base = match translate(&eer) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sdt: translation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let (schema, pipeline) = if args.merge {
+        let config = advisor_config_for(args.dialect);
+        match Advisor::apply_greedy_pipeline(&base, &config) {
+            Ok((s, p)) => (s, Some(p)),
+            Err(e) => {
+                eprintln!("sdt: merging failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        (base.clone(), None)
+    };
+
+    if let Some(pipeline) = &pipeline {
+        println!(
+            "-- option (ii): merging applied; {} -> {} relation-schemes, {} join(s) eliminated",
+            base.schemes().len(),
+            schema.schemes().len(),
+            pipeline.joins_eliminated()
+        );
+        if args.report {
+            for step in pipeline.steps() {
+                println!("{}", MergeReport::new(step));
+            }
+        }
+    } else {
+        println!(
+            "-- option (i): one-to-one, {} relation-schemes",
+            schema.schemes().len()
+        );
+    }
+
+    match generate(&schema, args.dialect) {
+        Ok(script) => {
+            println!("{}", script.render());
+            let unsupported = script.unsupported();
+            if !unsupported.is_empty() {
+                eprintln!(
+                    "sdt: warning: {} constraint(s) not maintainable on {}",
+                    unsupported.len(),
+                    args.dialect
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("sdt: DDL generation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if args.migration {
+        if let Some(pipeline) = &pipeline {
+            for step in pipeline.steps() {
+                match forward_migration(step) {
+                    Ok(sql) => println!("-- forward migration for {}:\n{sql}\n", step.merged_name()),
+                    Err(e) => eprintln!("sdt: forward migration failed: {e}"),
+                }
+                match backward_migration(step) {
+                    Ok(stmts) => {
+                        println!("-- backward migration for {}:", step.merged_name());
+                        for s in stmts {
+                            println!("{s}\n");
+                        }
+                    }
+                    Err(e) => eprintln!("sdt: backward migration failed: {e}"),
+                }
+            }
+        } else {
+            eprintln!("sdt: --migration has no effect without --merge");
+        }
+    }
+}

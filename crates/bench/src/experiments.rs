@@ -1,0 +1,520 @@
+//! The measured experiments: B1 (query speedup), B2 (maintenance cost),
+//! and B4 (the effect of `Remove` on relation size).
+
+use std::time::Instant;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge_core::{Merge, Merged};
+use relmerge_engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge_relational::{Result, Tuple, Value};
+use relmerge_workload::{generate_university, University, UniversitySpec};
+
+/// The university COURSE-chain merge used by B1/B2/B4: merge
+/// {COURSE, OFFER, TEACH, ASSIST} and remove every redundant key.
+pub fn university_merge(courses: usize, seed: u64) -> Result<(University, Merged)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+    let mut m = Merge::plan(
+        &u.schema,
+        &["COURSE", "OFFER", "TEACH", "ASSIST"],
+        "COURSE_M",
+    )?;
+    m.remove_all_removable()?;
+    Ok((u, m))
+}
+
+/// Builds the two engine databases of the comparison: the unmerged Figure 3
+/// schema and the merged/removed one, loaded with equivalent states.
+pub fn university_databases(u: &University, m: &Merged) -> Result<(Database, Database)> {
+    let mut unmerged = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    unmerged.load_state(&u.state)?;
+    let merged_state = m.apply(&u.state)?;
+    let mut merged = Database::new(m.schema().clone(), DbmsProfile::ideal())?;
+    merged.load_state(&merged_state)?;
+    Ok((unmerged, merged))
+}
+
+/// The unmerged "course detail" point query: course → offer → teach →
+/// assist (3 joins, the paper's motivating join chain).
+#[must_use]
+pub fn unmerged_point_query(nr: i64) -> QueryPlan {
+    QueryPlan::lookup("COURSE", &["C.NR"], Tuple::new([Value::Int(nr)]))
+        .join(JoinStep::outer("OFFER", &["C.NR"], &["O.C.NR"]))
+        .join(JoinStep::outer("TEACH", &["O.C.NR"], &["T.C.NR"]))
+        .join(JoinStep::outer("ASSIST", &["O.C.NR"], &["A.C.NR"]))
+}
+
+/// The merged equivalent: one index probe.
+#[must_use]
+pub fn merged_point_query(nr: i64) -> QueryPlan {
+    QueryPlan::lookup("COURSE_M", &["C.NR"], Tuple::new([Value::Int(nr)]))
+}
+
+/// Reverse lookup — "courses taught by faculty member F" — against the
+/// unmerged schema: probe TEACH's secondary index, then walk up the chain.
+#[must_use]
+pub fn unmerged_by_faculty_query(ssn: i64) -> QueryPlan {
+    QueryPlan::lookup("TEACH", &["T.F.SSN"], Tuple::new([Value::Int(ssn)]))
+        .join(JoinStep::inner("OFFER", &["T.C.NR"], &["O.C.NR"]))
+        .join(JoinStep::inner("COURSE", &["O.C.NR"], &["C.NR"]))
+        .select(&["C.NR", "O.D.NAME"])
+}
+
+/// The merged equivalent: one secondary-index probe (the index exists
+/// because the merged scheme's `T.F.SSN` column is a foreign key).
+#[must_use]
+pub fn merged_by_faculty_query(ssn: i64) -> QueryPlan {
+    QueryPlan::lookup("COURSE_M", &["T.F.SSN"], Tuple::new([Value::Int(ssn)]))
+        .select(&["C.NR", "O.D.NAME"])
+}
+
+/// The unmerged analytical query: full course listing with department,
+/// teacher, and assistant.
+#[must_use]
+pub fn unmerged_scan_query() -> QueryPlan {
+    QueryPlan::scan("COURSE")
+        .join(JoinStep::outer("OFFER", &["C.NR"], &["O.C.NR"]))
+        .join(JoinStep::outer("TEACH", &["O.C.NR"], &["T.C.NR"]))
+        .join(JoinStep::outer("ASSIST", &["O.C.NR"], &["A.C.NR"]))
+}
+
+/// The merged equivalent: one scan.
+#[must_use]
+pub fn merged_scan_query() -> QueryPlan {
+    QueryPlan::scan("COURSE_M")
+}
+
+/// One row of the B1 query-speedup table.
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Index probes per unmerged point query.
+    pub unmerged_probes: u64,
+    /// Index probes per merged point query.
+    pub merged_probes: u64,
+    /// Mean unmerged point-query latency (ns).
+    pub unmerged_ns: f64,
+    /// Mean merged point-query latency (ns).
+    pub merged_ns: f64,
+    /// Point-query latency ratio (unmerged / merged).
+    pub point_speedup: f64,
+    /// Unmerged scan-query latency (ns).
+    pub scan_unmerged_ns: f64,
+    /// Merged scan-query latency (ns).
+    pub scan_merged_ns: f64,
+    /// Scan latency ratio.
+    pub scan_speedup: f64,
+}
+
+/// B1: merged-vs-unmerged retrieval cost across instance scales.
+pub fn query_speedup(scales: &[usize], queries_per_scale: usize) -> Result<Vec<SpeedupRow>> {
+    let mut rows = Vec::new();
+    for &courses in scales {
+        let (u, m) = university_merge(courses, 42)?;
+        let (unmerged, merged) = university_databases(&u, &m)?;
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<i64> = (0..queries_per_scale)
+            .map(|_| *u.offered_courses.choose(&mut rng).expect("offers exist"))
+            .collect();
+
+        // Warm-up + correctness cross-check on one key.
+        let probe_key = keys[0];
+        let (r1, s1) = execute(&unmerged, &unmerged_point_query(probe_key))?;
+        let (r2, s2) = execute(&merged, &merged_point_query(probe_key))?;
+        assert_eq!(r1.len(), r2.len(), "result cardinality must agree");
+
+        let start = Instant::now();
+        for &k in &keys {
+            let _ = execute(&unmerged, &unmerged_point_query(k))?;
+        }
+        let unmerged_ns = start.elapsed().as_nanos() as f64 / keys.len() as f64;
+        let start = Instant::now();
+        for &k in &keys {
+            let _ = execute(&merged, &merged_point_query(k))?;
+        }
+        let merged_ns = start.elapsed().as_nanos() as f64 / keys.len() as f64;
+
+        // Scans: warm up once, then average several iterations (a single
+        // cold measurement is dominated by first-touch page faults).
+        let (scan1, _) = execute(&unmerged, &unmerged_scan_query())?;
+        let (scan2, _) = execute(&merged, &merged_scan_query())?;
+        assert_eq!(scan1.len(), scan2.len(), "scan cardinality must agree");
+        const SCAN_ITERS: u32 = 5;
+        let start = Instant::now();
+        for _ in 0..SCAN_ITERS {
+            let _ = execute(&unmerged, &unmerged_scan_query())?;
+        }
+        let scan_unmerged_ns = start.elapsed().as_nanos() as f64 / f64::from(SCAN_ITERS);
+        let start = Instant::now();
+        for _ in 0..SCAN_ITERS {
+            let _ = execute(&merged, &merged_scan_query())?;
+        }
+        let scan_merged_ns = start.elapsed().as_nanos() as f64 / f64::from(SCAN_ITERS);
+
+        rows.push(SpeedupRow {
+            courses,
+            unmerged_probes: s1.index_probes,
+            merged_probes: s2.index_probes,
+            unmerged_ns,
+            merged_ns,
+            point_speedup: unmerged_ns / merged_ns,
+            scan_unmerged_ns,
+            scan_merged_ns,
+            scan_speedup: scan_unmerged_ns / scan_merged_ns,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the B2 maintenance-cost table.
+#[derive(Debug, Clone)]
+pub struct MaintenanceRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Logical entities inserted (one course with offer/teach/assist).
+    pub entities: u64,
+    /// Physical insert statements issued.
+    pub statements: u64,
+    /// Declarative-tier checks.
+    pub declarative: u64,
+    /// Procedural-tier (trigger/rule) checks.
+    pub procedural: u64,
+    /// Mean wall time per logical entity (ns).
+    pub ns_per_entity: f64,
+}
+
+/// B2: constraint-maintenance cost of inserting course bundles into the
+/// unmerged schema (fully declarative on DB2) versus the merged schema
+/// (general null constraints → SYBASE-style triggers).
+pub fn maintenance_cost(entities: usize) -> Result<Vec<MaintenanceRow>> {
+    let (u, m) = university_merge(10, 1)?;
+    let mut rows = Vec::new();
+
+    // Unmerged: DB2 profile — every constraint is declarative.
+    {
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::db2())?;
+        db.load_state(&u.state)?;
+        // Seed references.
+        let dept = Value::text("dept0");
+        let faculty = Value::Int(10_000);
+        let student = Value::Int(10_400);
+        db.reset_stats();
+        let start = Instant::now();
+        for i in 0..entities {
+            let nr = Value::Int(1_000_000 + i as i64);
+            db.insert("COURSE", Tuple::new([nr.clone()]))
+                .expect("course insert");
+            db.insert("OFFER", Tuple::new([nr.clone(), dept.clone()]))
+                .expect("offer insert");
+            db.insert("TEACH", Tuple::new([nr.clone(), faculty.clone()]))
+                .expect("teach insert");
+            db.insert("ASSIST", Tuple::new([nr, student.clone()]))
+                .expect("assist insert");
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        let stats = db.stats();
+        rows.push(MaintenanceRow {
+            scenario: "unmerged (DB2, declarative)".to_owned(),
+            entities: entities as u64,
+            statements: stats.inserts,
+            declarative: stats.declarative_checks,
+            procedural: stats.procedural_checks,
+            ns_per_entity: elapsed / entities as f64,
+        });
+    }
+
+    // Merged: SYBASE profile — NS/NE constraints through triggers, but a
+    // course bundle is a single statement.
+    {
+        let merged_state = m.apply(&u.state)?;
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::sybase40())?;
+        db.load_state(&merged_state)?;
+        let dept = Value::text("dept0");
+        let faculty = Value::Int(10_000);
+        let student = Value::Int(10_400);
+        db.reset_stats();
+        let start = Instant::now();
+        for i in 0..entities {
+            let nr = Value::Int(1_000_000 + i as i64);
+            db.insert(
+                "COURSE_M",
+                Tuple::new([nr, dept.clone(), faculty.clone(), student.clone()]),
+            )
+            .expect("merged insert");
+        }
+        let elapsed = start.elapsed().as_nanos() as f64;
+        let stats = db.stats();
+        rows.push(MaintenanceRow {
+            scenario: "merged (SYBASE 4.0, triggers)".to_owned(),
+            entities: entities as u64,
+            statements: stats.inserts,
+            declarative: stats.declarative_checks,
+            procedural: stats.procedural_checks,
+            ns_per_entity: elapsed / entities as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the B6 mixed-workload table.
+#[derive(Debug, Clone)]
+pub struct MixedRow {
+    /// Scenario label.
+    pub scenario: String,
+    /// Operations executed.
+    pub ops: usize,
+    /// Read operations (point + reverse).
+    pub reads: usize,
+    /// Write operations (adds + drops).
+    pub writes: usize,
+    /// Total wall time (ns).
+    pub total_ns: f64,
+    /// Mean ns per operation.
+    pub ns_per_op: f64,
+}
+
+/// B6: the same read-mostly operation stream executed against the
+/// unmerged and merged databases — the whole-workload view of the §1
+/// trade-off (reads get cheaper, writes bundle up).
+pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
+    use relmerge_workload::{university_ops, MixSpec, UniversityOp};
+
+    let (u, m) = university_merge(courses, 21)?;
+    let mut rng = StdRng::seed_from_u64(77);
+    // Defaults: 20 departments, 200 faculty (persons 500 × 2/5).
+    let ops = university_ops(&MixSpec::default(), n_ops, courses, 20, 200, &mut rng);
+    let reads = ops
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                UniversityOp::CourseDetail { .. } | UniversityOp::ByFaculty { .. }
+            )
+        })
+        .count();
+    let writes = n_ops - reads;
+    let mut rows = Vec::new();
+
+    // Unmerged execution.
+    {
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+        db.load_state(&u.state)?;
+        let start = Instant::now();
+        for op in &ops {
+            match op {
+                UniversityOp::CourseDetail { nr } => {
+                    let _ = execute(&db, &unmerged_point_query(*nr))?;
+                }
+                UniversityOp::ByFaculty { ssn } => {
+                    let _ = execute(&db, &unmerged_by_faculty_query(*ssn))?;
+                }
+                UniversityOp::AddCourse { nr, dept, teacher } => {
+                    db.insert("COURSE", Tuple::new([Value::Int(*nr)]))
+                        .expect("fresh course");
+                    db.insert(
+                        "OFFER",
+                        Tuple::new([Value::Int(*nr), Value::text(format!("dept{dept}"))]),
+                    )
+                    .expect("valid offer");
+                    if let Some(t) = teacher {
+                        db.insert("TEACH", Tuple::new([Value::Int(*nr), Value::Int(*t)]))
+                            .expect("valid teach");
+                    }
+                }
+                UniversityOp::DropCourse { nr } => {
+                    let key = Tuple::new([Value::Int(*nr)]);
+                    let _ = db.delete_by_key("TEACH", &key).expect("restrict-free");
+                    let _ = db.delete_by_key("ASSIST", &key).expect("restrict-free");
+                    let _ = db.delete_by_key("OFFER", &key).expect("restrict-free");
+                    let _ = db.delete_by_key("COURSE", &key).expect("restrict-free");
+                }
+            }
+        }
+        let total_ns = start.elapsed().as_nanos() as f64;
+        rows.push(MixedRow {
+            scenario: "unmerged (4 relations)".to_owned(),
+            ops: n_ops,
+            reads,
+            writes,
+            total_ns,
+            ns_per_op: total_ns / n_ops as f64,
+        });
+    }
+
+    // Merged execution.
+    {
+        let merged_state = m.apply(&u.state)?;
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::ideal())?;
+        db.load_state(&merged_state)?;
+        let start = Instant::now();
+        for op in &ops {
+            match op {
+                UniversityOp::CourseDetail { nr } => {
+                    let _ = execute(&db, &merged_point_query(*nr))?;
+                }
+                UniversityOp::ByFaculty { ssn } => {
+                    let _ = execute(&db, &merged_by_faculty_query(*ssn))?;
+                }
+                UniversityOp::AddCourse { nr, dept, teacher } => {
+                    db.insert(
+                        "COURSE_M",
+                        Tuple::new([
+                            Value::Int(*nr),
+                            Value::text(format!("dept{dept}")),
+                            teacher.map_or(Value::Null, Value::Int),
+                            Value::Null,
+                        ]),
+                    )
+                    .expect("valid merged insert");
+                }
+                UniversityOp::DropCourse { nr } => {
+                    let _ = db
+                        .delete_by_key("COURSE_M", &Tuple::new([Value::Int(*nr)]))
+                        .expect("restrict-free");
+                }
+            }
+        }
+        let total_ns = start.elapsed().as_nanos() as f64;
+        rows.push(MixedRow {
+            scenario: "merged (COURSE_M)".to_owned(),
+            ops: n_ops,
+            reads,
+            writes,
+            total_ns,
+            ns_per_op: total_ns / n_ops as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the B4 removal-effect table.
+#[derive(Debug, Clone)]
+pub struct RemoveRow {
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Merged relation arity before / after `Remove`.
+    pub arity: (usize, usize),
+    /// Stored values before / after.
+    pub values: (usize, usize),
+    /// Stored nulls before / after.
+    pub nulls: (usize, usize),
+    /// Null constraints on the merged scheme before / after.
+    pub constraints: (usize, usize),
+}
+
+/// B4: the effect of `Remove` on relation size and constraint count
+/// (paper §4.2: removing redundant attributes "simplifies the set of null
+/// constraints … as well as reduces the size of the relations").
+pub fn remove_effect(scales: &[usize]) -> Result<Vec<RemoveRow>> {
+    let mut rows = Vec::new();
+    for &courses in scales {
+        let mut rng = StdRng::seed_from_u64(5);
+        let u = generate_university(
+            &UniversitySpec {
+                courses,
+                ..UniversitySpec::default()
+            },
+            &mut rng,
+        )?;
+        let mut m = Merge::plan(
+            &u.schema,
+            &["COURSE", "OFFER", "TEACH", "ASSIST"],
+            "COURSE_M",
+        )?;
+        let before_state = m.apply(&u.state)?;
+        let before = before_state.relation("COURSE_M").expect("merged relation");
+        let before_arity = before.arity();
+        let before_values = before.value_count();
+        let before_nulls = before.null_count();
+        let before_constraints = m.generated_null_constraints().len();
+        m.remove_all_removable()?;
+        let after_state = m.apply(&u.state)?;
+        let after = after_state.relation("COURSE_M").expect("merged relation");
+        rows.push(RemoveRow {
+            courses,
+            arity: (before_arity, after.arity()),
+            values: (before_values, after.value_count()),
+            nulls: (before_nulls, after.null_count()),
+            constraints: (before_constraints, m.generated_null_constraints().len()),
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_speedup_shape() {
+        let rows = query_speedup(&[200], 50).unwrap();
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        // The unmerged query needs 4 probes (1 lookup + 3 joins); merged 1.
+        assert_eq!(r.unmerged_probes, 4);
+        assert_eq!(r.merged_probes, 1);
+        // The merged plan must not be slower for point queries (shape, not
+        // magnitude — debug builds are noisy, so allow generous slack).
+        assert!(r.point_speedup > 0.8, "{r:?}");
+    }
+
+    #[test]
+    fn reverse_lookup_queries_agree() {
+        let (u, m) = university_merge(300, 3).unwrap();
+        let (unmerged, merged) = university_databases(&u, &m).unwrap();
+        // Probe every faculty member; results must agree and the merged
+        // plan must use its secondary index (no scans).
+        for ssn in 10_000..10_040 {
+            let (r1, s1) = execute(&unmerged, &unmerged_by_faculty_query(ssn)).unwrap();
+            let (r2, s2) = execute(&merged, &merged_by_faculty_query(ssn)).unwrap();
+            assert!(r1.set_eq_unordered(&r2), "ssn {ssn}: {r1} vs {r2}");
+            assert_eq!(s2.rows_scanned, 0, "merged reverse lookup must not scan");
+            assert_eq!(s2.index_probes, 1);
+            assert!(s1.index_probes >= 1);
+        }
+    }
+
+    #[test]
+    fn maintenance_shape() {
+        let rows = maintenance_cost(100).unwrap();
+        assert_eq!(rows.len(), 2);
+        let unmerged = &rows[0];
+        let merged = &rows[1];
+        // Unmerged: 4 statements per entity, no procedural checks.
+        assert_eq!(unmerged.statements, 400);
+        assert_eq!(unmerged.procedural, 0);
+        assert!(unmerged.declarative > 0);
+        // Merged: 1 statement per entity, trigger checks present.
+        assert_eq!(merged.statements, 100);
+        assert!(merged.procedural > 0);
+    }
+
+    #[test]
+    fn mixed_workload_runs_and_agrees() {
+        let rows = mixed_workload(200, 2_000).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].ops, 2_000);
+        assert_eq!(rows[0].reads + rows[0].writes, 2_000);
+        assert!(rows[0].reads > rows[0].writes, "read-mostly mix");
+        assert!(rows[1].total_ns > 0.0);
+    }
+
+    #[test]
+    fn remove_effect_shrinks() {
+        let rows = remove_effect(&[200]).unwrap();
+        let r = &rows[0];
+        assert_eq!(r.arity, (7, 4));
+        assert!(r.values.1 < r.values.0);
+        assert!(r.nulls.1 < r.nulls.0);
+        assert!(r.constraints.1 < r.constraints.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Shared experiment harnesses behind the `reproduce` binary and the
+//! Criterion benches.
+//!
+//! Each experiment function returns structured rows; the binary formats
+//! them as the tables recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,319 @@
+//! A merge advisor: the automated counterpart of the SDT tool's "use
+//! merging" option (paper §6), constrained by DBMS capabilities (§5.1).
+//!
+//! The advisor enumerates candidate merge sets (schemes with pairwise
+//! compatible primary keys connected by key-to-key inclusion dependencies,
+//! via `Refkey*`), filters them by the target DBMS's capabilities using the
+//! Proposition 5.1 / 5.2 predicates, and greedily applies non-overlapping
+//! sets largest-first, running `Remove` to completion after each merge.
+
+use std::collections::BTreeSet;
+
+use relmerge_relational::{RelationalSchema, Result};
+
+use crate::conditions::{
+    maximal_merge_sets, prop51_inds_key_based, prop51_keys_non_null, prop52_nna_only,
+};
+use crate::merge::{Merge, Merged};
+
+/// What the target DBMS can maintain — drives which merges the advisor is
+/// willing to propose (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvisorConfig {
+    /// The DBMS supports only key-based inclusion dependencies (no
+    /// triggers/rules for general ones) — require Proposition 5.1(i).
+    pub require_key_based_inds: bool,
+    /// The DBMS cannot maintain nullable keys (all nulls identical) —
+    /// require Proposition 5.1(ii).
+    pub require_non_null_keys: bool,
+    /// The DBMS supports only declarative nulls-not-allowed constraints —
+    /// require Proposition 5.2.
+    pub require_nna_only: bool,
+    /// Upper bound on merge-set size (0 = unlimited).
+    pub max_set_size: usize,
+}
+
+impl AdvisorConfig {
+    /// No restrictions: any merge the procedure allows (a DBMS with full
+    /// trigger/rule support, e.g. SYBASE 4.0 or INGRES 6.3).
+    #[must_use]
+    pub fn permissive() -> Self {
+        AdvisorConfig {
+            require_key_based_inds: false,
+            require_non_null_keys: false,
+            require_nna_only: false,
+            max_set_size: 0,
+        }
+    }
+
+    /// Fully declarative targets (the DB2-without-procedures regime):
+    /// all three proposition predicates required.
+    #[must_use]
+    pub fn declarative_only() -> Self {
+        AdvisorConfig {
+            require_key_based_inds: true,
+            require_non_null_keys: true,
+            require_nna_only: true,
+            max_set_size: 0,
+        }
+    }
+}
+
+/// A candidate merge the advisor evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeProposal {
+    /// The merge set `R̄`, key-relation first.
+    pub members: Vec<String>,
+    /// Joins a query touching all members no longer needs (`|R̄| − 1`).
+    pub joins_eliminated: usize,
+    /// Proposition 5.1(i): output inclusion dependencies all key-based.
+    pub inds_key_based: bool,
+    /// Proposition 5.1(ii): output key attributes all non-null.
+    pub keys_non_null: bool,
+    /// Proposition 5.2: output null constraints all NNA after removal.
+    pub nna_only: bool,
+    /// Whether the proposal passes `config`'s requirements.
+    pub admissible: bool,
+}
+
+/// One applied merge in an advisor run.
+#[derive(Debug)]
+pub struct AppliedMerge {
+    /// The proposal that was applied.
+    pub proposal: MergeProposal,
+    /// The name of the merged relation-scheme.
+    pub merged_name: String,
+    /// The merge (after `Remove` ran to completion).
+    pub merged: Merged,
+}
+
+/// The advisor entry points.
+pub struct Advisor;
+
+impl Advisor {
+    /// Evaluates every maximal merge set in `schema` against `config`,
+    /// without applying anything. Sorted by joins eliminated, descending.
+    pub fn propose(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<Vec<MergeProposal>> {
+        let mut proposals = Vec::new();
+        for set in maximal_merge_sets(schema) {
+            let set = if config.max_set_size > 0 && set.len() > config.max_set_size {
+                set.into_iter().take(config.max_set_size).collect()
+            } else {
+                set
+            };
+            if set.len() < 2 {
+                continue;
+            }
+            let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+            // The simplifying NNA assumption must hold for the set to be
+            // mergeable at all.
+            let mergeable = refs.iter().all(|name| {
+                schema.scheme(name).is_some_and(|s| {
+                    s.attrs()
+                        .iter()
+                        .all(|a| schema.attr_not_null(name, a.name()))
+                })
+            });
+            if !mergeable {
+                continue;
+            }
+            let inds_key_based = prop51_inds_key_based(schema, &refs)?;
+            let keys_non_null = prop51_keys_non_null(schema, &refs)?;
+            let nna_only = prop52_nna_only(schema, &refs)?.is_empty();
+            let admissible = (!config.require_key_based_inds || inds_key_based)
+                && (!config.require_non_null_keys || keys_non_null)
+                && (!config.require_nna_only || nna_only);
+            proposals.push(MergeProposal {
+                joins_eliminated: set.len() - 1,
+                members: set,
+                inds_key_based,
+                keys_non_null,
+                nna_only,
+                admissible,
+            });
+        }
+        proposals.sort_by(|a, b| {
+            b.joins_eliminated
+                .cmp(&a.joins_eliminated)
+                .then_with(|| a.members.cmp(&b.members))
+        });
+        Ok(proposals)
+    }
+
+    /// Like [`Advisor::apply_greedy`], but also assembles the applied
+    /// merges into a [`crate::pipeline::MergePipeline`] whose composed
+    /// state mappings carry data between the original and final schemas.
+    pub fn apply_greedy_pipeline(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<(RelationalSchema, crate::pipeline::MergePipeline)> {
+        let (final_schema, applied) = Self::apply_greedy(schema, config)?;
+        let pipeline = crate::pipeline::MergePipeline::from_steps(
+            applied.into_iter().map(|a| a.merged).collect(),
+        )?;
+        Ok((final_schema, pipeline))
+    }
+
+    /// Greedily applies admissible, pairwise-disjoint proposals
+    /// largest-first, running `Remove` to completion after each merge.
+    /// Returns the final schema and the applied merges in order.
+    pub fn apply_greedy(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<(RelationalSchema, Vec<AppliedMerge>)> {
+        let mut current = schema.clone();
+        let mut consumed: BTreeSet<String> = BTreeSet::new();
+        let mut applied = Vec::new();
+        for proposal in Self::propose(schema, config)? {
+            if !proposal.admissible {
+                continue;
+            }
+            if proposal.members.iter().any(|m| consumed.contains(m)) {
+                continue;
+            }
+            let merged_name = format!("{}_M", proposal.members[0]);
+            let refs: Vec<&str> = proposal.members.iter().map(String::as_str).collect();
+            let mut merged = Merge::plan(&current, &refs, &merged_name)?;
+            merged.remove_all_removable()?;
+            current = merged.schema().clone();
+            consumed.extend(proposal.members.iter().cloned());
+            applied.push(AppliedMerge {
+                proposal,
+                merged_name,
+                merged,
+            });
+        }
+        Ok((current, applied))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmerge_relational::{
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme,
+    };
+
+    fn attr(name: &str) -> Attribute {
+        Attribute::new(name, Domain::Int)
+    }
+
+    fn scheme(name: &str, attrs: &[&str], key: &[&str]) -> RelationScheme {
+        RelationScheme::new(name, attrs.iter().map(|a| attr(a)).collect(), key).unwrap()
+    }
+
+    fn nna_all(rs: &mut RelationalSchema) {
+        let pairs: Vec<(String, Vec<String>)> = rs
+            .schemes()
+            .iter()
+            .map(|s| {
+                (
+                    s.name().to_owned(),
+                    s.attr_names().iter().map(|a| (*a).to_owned()).collect(),
+                )
+            })
+            .collect();
+        for (name, attrs) in pairs {
+            let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            rs.add_null_constraint(NullConstraint::nna(&name, &refs)).unwrap();
+        }
+    }
+
+    /// Two independent stars: P ← {Q}, X ← {Y, Z}.
+    fn two_stars() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(scheme("P", &["P.K"], &["P.K"])).unwrap();
+        rs.add_scheme(scheme("Q", &["Q.K", "Q.V"], &["Q.K"])).unwrap();
+        rs.add_scheme(scheme("X", &["X.K"], &["X.K"])).unwrap();
+        rs.add_scheme(scheme("Y", &["Y.K", "Y.V"], &["Y.K"])).unwrap();
+        rs.add_scheme(scheme("Z", &["Z.K", "Z.V"], &["Z.K"])).unwrap();
+        nna_all(&mut rs);
+        rs.add_ind(InclusionDep::new("Q", &["Q.K"], "P", &["P.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("Y", &["Y.K"], "X", &["X.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("Z", &["Z.K"], "X", &["X.K"])).unwrap();
+        rs
+    }
+
+    #[test]
+    fn proposals_ranked_by_joins_eliminated() {
+        let rs = two_stars();
+        let proposals = Advisor::propose(&rs, &AdvisorConfig::permissive()).unwrap();
+        assert_eq!(proposals.len(), 2);
+        assert_eq!(proposals[0].members, ["X", "Y", "Z"]);
+        assert_eq!(proposals[0].joins_eliminated, 2);
+        assert_eq!(proposals[1].members, ["P", "Q"]);
+        assert!(proposals.iter().all(|p| p.admissible));
+        // Both stars satisfy Prop 5.2 (single non-key attribute, direct
+        // references, no external targets).
+        assert!(proposals.iter().all(|p| p.nna_only));
+    }
+
+    #[test]
+    fn greedy_application_merges_both_stars() {
+        let rs = two_stars();
+        let (final_schema, applied) =
+            Advisor::apply_greedy(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert_eq!(final_schema.schemes().len(), 2);
+        assert!(final_schema.scheme("X_M").is_some());
+        assert!(final_schema.scheme("P_M").is_some());
+        // Fully declarative output.
+        assert!(final_schema.nna_only());
+        assert!(final_schema.key_based_inds_only());
+        assert!(final_schema.is_bcnf());
+        // After removal, X_M is (X.K, Y.V, Z.V).
+        assert_eq!(
+            final_schema.scheme("X_M").unwrap().attr_names(),
+            ["X.K", "Y.V", "Z.V"]
+        );
+    }
+
+    #[test]
+    fn declarative_config_rejects_chain_merges() {
+        // The Figure 3 chain: OFFER is referenced by TEACH/ASSIST, so
+        // prop 5.2 fails for the full merge set; with declarative-only
+        // config the big merge is inadmissible.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
+        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"])).unwrap();
+        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"])).unwrap();
+        nna_all(&mut rs);
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]))
+            .unwrap();
+        let proposals = Advisor::propose(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        let big = proposals
+            .iter()
+            .find(|p| p.members.len() == 3)
+            .expect("course chain proposal");
+        assert!(!big.nna_only);
+        assert!(!big.admissible);
+        // The OFFER ← TEACH sub-star *is* admissible… except TEACH's IND
+        // into OFFER makes OFFER a target (condition 3 is about Ri ≠ Rk;
+        // OFFER is the key-relation here, so it passes).
+        let small = proposals
+            .iter()
+            .find(|p| p.members.len() == 2)
+            .expect("offer star proposal");
+        assert_eq!(small.members, ["OFFER", "TEACH"]);
+        assert!(small.admissible, "{small:?}");
+        let (final_schema, applied) =
+            Advisor::apply_greedy(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        assert_eq!(applied.len(), 1);
+        assert_eq!(applied[0].merged_name, "OFFER_M");
+        assert!(final_schema.nna_only());
+    }
+
+    #[test]
+    fn permissive_config_accepts_everything() {
+        let rs = two_stars();
+        let (final_schema, applied) =
+            Advisor::apply_greedy(&rs, &AdvisorConfig::permissive()).unwrap();
+        assert_eq!(applied.len(), 2);
+        assert!(final_schema.is_bcnf());
+    }
+}

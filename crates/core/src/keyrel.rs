@@ -1,0 +1,299 @@
+//! Key-relations (Definition 3.1) and their syntactic characterization
+//! through the `Refkey*` recursion (Proposition 3.1).
+
+use relmerge_relational::algebra;
+use relmerge_relational::ind::refkey_star;
+use relmerge_relational::{
+    Attribute, DatabaseState, Error, Relation, RelationScheme, RelationalSchema, Result,
+};
+
+/// How the key-relation `Rk(Xk)` of a merge set `R̄` is obtained
+/// (Definition 4.1's case split).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyRelationSpec {
+    /// `R̄` contains a key-relation `R₀` (Proposition 3.1):
+    /// `Rk := R₀`, `Xk := X₀`, `Kk := K₀`.
+    Member(String),
+    /// No member qualifies; a fresh relation-scheme `Rk(Kk)` is synthesized
+    /// with `Xk = Kk` disjoint from all existing attribute names. Its
+    /// relation is derived from the state:
+    /// `rk := ⋃ rename(π_{Ki}(ri), Ki ← Kk)`.
+    Synthetic {
+        /// The fresh key attributes `Kk`.
+        attrs: Vec<Attribute>,
+    },
+}
+
+impl KeyRelationSpec {
+    /// The key attribute names `Kk` of the key-relation, resolving a
+    /// member against the schema.
+    pub fn key_names(&self, schema: &RelationalSchema) -> Result<Vec<String>> {
+        match self {
+            KeyRelationSpec::Member(name) => Ok(schema
+                .scheme_required(name)?
+                .primary_key()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect()),
+            KeyRelationSpec::Synthetic { attrs } => {
+                Ok(attrs.iter().map(|a| a.name().to_owned()).collect())
+            }
+        }
+    }
+}
+
+/// Finds a key-relation among `members` using Proposition 3.1: `R₀ ∈ R̄` is
+/// a key-relation of `R̄` iff `R̄ = {R₀} ∪ Refkey*(R₀, R̄)`.
+///
+/// Returns the first qualifying member in `members` order (the
+/// characterization can admit several when key-to-key inclusion
+/// dependencies form cycles; any qualifies).
+#[must_use]
+pub fn find_key_relation<'a>(
+    schema: &RelationalSchema,
+    members: &[&'a RelationScheme],
+) -> Option<&'a RelationScheme> {
+    members.iter().copied().find(|r0| {
+        let star = refkey_star(r0, members, schema.inds());
+        star.len() + 1 == members.len()
+    })
+}
+
+/// Checks the *semantic* key-relation condition of Definition 3.1 against a
+/// concrete state: `π_{Kk}(rk) = ⋃_{Ri ∈ R̄} rename(π_{Ki}(ri), Ki ← Kk)`.
+///
+/// `key_rel` names the candidate key-relation (a member of `members`).
+/// Used by tests to confirm that Proposition 3.1's syntactic test agrees
+/// with the definition on consistent states.
+pub fn is_key_relation_semantically(
+    schema: &RelationalSchema,
+    state: &DatabaseState,
+    key_rel: &str,
+    members: &[&str],
+) -> Result<bool> {
+    let r0_scheme = schema.scheme_required(key_rel)?;
+    let kk_attrs = r0_scheme.primary_key_attrs();
+    let r0 = state.relation_required(key_rel)?;
+    let kk_names: Vec<&str> = r0_scheme.primary_key();
+    let lhs = algebra::project(r0, &kk_names)?;
+    let rhs = union_of_keys(schema, state, members, &kk_attrs)?;
+    Ok(lhs.set_eq_unordered(&rhs))
+}
+
+/// Builds `⋃_{Ri ∈ members} rename(π_{Ki}(ri), Ki ← Kk)` — the relation a
+/// *synthetic* key-relation is associated with (Definition 4.1), and the
+/// right-hand side of Definition 3.1's condition.
+pub fn union_of_keys(
+    schema: &RelationalSchema,
+    state: &DatabaseState,
+    members: &[&str],
+    kk: &[Attribute],
+) -> Result<Relation> {
+    let mut acc = Relation::new(kk.to_vec())?;
+    for name in members {
+        let scheme = schema.scheme_required(name)?;
+        let ki: Vec<&str> = scheme.primary_key();
+        if ki.len() != kk.len() {
+            return Err(Error::IncompatibleAttributes {
+                detail: format!(
+                    "primary key of `{name}` has arity {} but key-relation key has arity {}",
+                    ki.len(),
+                    kk.len()
+                ),
+            });
+        }
+        let r = state.relation_required(name)?;
+        let keys = algebra::project(r, &ki)?;
+        let renamed = algebra::rename(&keys, &ki, kk)?;
+        acc = algebra::union(&acc, &renamed)?;
+    }
+    Ok(acc)
+}
+
+/// Synthesizes fresh key-relation attributes `Kk` for a merge set with no
+/// member key-relation: names `<base>.K1 … <base>.Kn` (checked fresh
+/// against the whole schema), domains copied from the first member's
+/// primary key.
+pub fn synthesize_key_attrs(
+    schema: &RelationalSchema,
+    members: &[&RelationScheme],
+    base: &str,
+    requested: Option<&[&str]>,
+) -> Result<Vec<Attribute>> {
+    let first = members.first().ok_or_else(|| Error::PreconditionViolated {
+        procedure: "Merge",
+        detail: "empty merge set".to_owned(),
+    })?;
+    let key = first.primary_key_attrs();
+    let names: Vec<String> = match requested {
+        Some(names) => {
+            if names.len() != key.len() {
+                return Err(Error::PreconditionViolated {
+                    procedure: "Merge",
+                    detail: format!(
+                        "requested {} synthetic key names for a {}-attribute key",
+                        names.len(),
+                        key.len()
+                    ),
+                });
+            }
+            names.iter().map(|s| (*s).to_owned()).collect()
+        }
+        None => (1..=key.len()).map(|i| format!("{base}.K{i}")).collect(),
+    };
+    for n in &names {
+        if schema.scheme_of_attr(n).is_some() {
+            return Err(Error::DuplicateAttribute(n.clone()));
+        }
+    }
+    Ok(names
+        .into_iter()
+        .zip(&key)
+        .map(|(n, a)| Attribute::new(n, a.domain()))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmerge_relational::{Domain, InclusionDep, Tuple, Value};
+
+    fn scheme(name: &str, attrs: &[&str], key: &[&str]) -> RelationScheme {
+        RelationScheme::new(
+            name,
+            attrs
+                .iter()
+                .map(|a| Attribute::new(*a, Domain::Int))
+                .collect(),
+            key,
+        )
+        .unwrap()
+    }
+
+    /// COURSE <- OFFER <- {TEACH, ASSIST} key chain of Figures 3-5.
+    fn university() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
+        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("ASSIST", &["A.C.NR", "A.S"], &["A.C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("ASSIST", &["A.C.NR"], "OFFER", &["O.C.NR"]))
+            .unwrap();
+        rs
+    }
+
+    #[test]
+    fn finds_key_relation_through_transitive_chain() {
+        let rs = university();
+        let members: Vec<&RelationScheme> = rs.schemes().iter().collect();
+        let k = find_key_relation(&rs, &members).unwrap();
+        assert_eq!(k.name(), "COURSE");
+        // For {OFFER, TEACH, ASSIST}, OFFER qualifies.
+        let sub: Vec<&RelationScheme> = rs.schemes()[1..].iter().collect();
+        assert_eq!(find_key_relation(&rs, &sub).unwrap().name(), "OFFER");
+        // {TEACH, ASSIST} has no key-relation (no IND between them).
+        let pair: Vec<&RelationScheme> = rs.schemes()[2..].iter().collect();
+        assert!(find_key_relation(&rs, &pair).is_none());
+    }
+
+    #[test]
+    fn semantic_check_agrees_on_consistent_states() {
+        let rs = university();
+        let mut st = DatabaseState::empty_for(&rs).unwrap();
+        for nr in [1, 2, 3] {
+            st.insert("COURSE", Tuple::new([Value::Int(nr)])).unwrap();
+        }
+        st.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(10)]))
+            .unwrap();
+        st.insert("OFFER", Tuple::new([Value::Int(2), Value::Int(20)]))
+            .unwrap();
+        st.insert("TEACH", Tuple::new([Value::Int(1), Value::Int(100)]))
+            .unwrap();
+        // Definition 3.1 requires *equality*: COURSE(3) is offered by
+        // nobody, so COURSE is not a key-relation of {OFFER, TEACH}.
+        assert!(!is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"])
+            .unwrap());
+        // Covering course 3 restores equality.
+        st.insert("OFFER", Tuple::new([Value::Int(3), Value::Int(30)]))
+            .unwrap();
+        assert!(is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"])
+            .unwrap());
+        // A member key-relation: when Rk ∈ R̄ its own keys join the union,
+        // so the condition reduces to "rk covers all member keys".
+        assert!(is_key_relation_semantically(&rs, &st, "OFFER", &["OFFER", "TEACH"])
+            .unwrap());
+        // TEACH lacks courses 2 and 3: not a key-relation of the pair.
+        assert!(!is_key_relation_semantically(&rs, &st, "TEACH", &["OFFER", "TEACH"])
+            .unwrap());
+    }
+
+    #[test]
+    fn union_of_keys_renames_and_dedupes() {
+        let rs = university();
+        let mut st = DatabaseState::empty_for(&rs).unwrap();
+        st.insert("TEACH", Tuple::new([Value::Int(1), Value::Int(100)]))
+            .unwrap();
+        st.insert("ASSIST", Tuple::new([Value::Int(1), Value::Int(200)]))
+            .unwrap();
+        st.insert("ASSIST", Tuple::new([Value::Int(2), Value::Int(200)]))
+            .unwrap();
+        let kk = vec![Attribute::new("K", Domain::Int)];
+        let u = union_of_keys(&rs, &st, &["TEACH", "ASSIST"], &kk).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.attr_names(), ["K"]);
+    }
+
+    #[test]
+    fn key_to_key_cycle_both_qualify() {
+        // A[K] ⊆ B[K] and B[K] ⊆ A[K]: both schemes qualify as
+        // key-relations (Prop 3.1 admits either); the finder returns the
+        // first in member order, deterministically.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(scheme("A", &["A.K"], &["A.K"])).unwrap();
+        rs.add_scheme(scheme("B", &["B.K"], &["B.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+        let schemes: Vec<&RelationScheme> = rs.schemes().iter().collect();
+        assert_eq!(find_key_relation(&rs, &schemes).unwrap().name(), "A");
+        let reversed: Vec<&RelationScheme> = rs.schemes().iter().rev().collect();
+        assert_eq!(find_key_relation(&rs, &reversed).unwrap().name(), "B");
+    }
+
+    #[test]
+    fn key_relation_spec_key_names() {
+        let rs = university();
+        let member = KeyRelationSpec::Member("OFFER".to_owned());
+        assert_eq!(member.key_names(&rs).unwrap(), ["O.C.NR"]);
+        assert!(KeyRelationSpec::Member("NOPE".to_owned())
+            .key_names(&rs)
+            .is_err());
+        let synthetic = KeyRelationSpec::Synthetic {
+            attrs: vec![Attribute::new("KX", Domain::Int)],
+        };
+        assert_eq!(synthetic.key_names(&rs).unwrap(), ["KX"]);
+    }
+
+    #[test]
+    fn synthetic_key_attrs_fresh_and_typed() {
+        let rs = university();
+        let members: Vec<&RelationScheme> =
+            rs.schemes()[2..].iter().collect(); // TEACH, ASSIST
+        let attrs = synthesize_key_attrs(&rs, &members, "MERGED", None).unwrap();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].name(), "MERGED.K1");
+        assert_eq!(attrs[0].domain(), Domain::Int);
+        let named = synthesize_key_attrs(&rs, &members, "MERGED", Some(&["CN"])).unwrap();
+        assert_eq!(named[0].name(), "CN");
+        // Collisions with existing attribute names are rejected.
+        assert!(synthesize_key_attrs(&rs, &members, "MERGED", Some(&["C.NR"])).is_err());
+        // Wrong arity rejected.
+        assert!(synthesize_key_attrs(&rs, &members, "MERGED", Some(&["A", "B"])).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Human-readable merge reports: what a `Merge`/`Remove` pipeline did to a
+//! schema, as a structured diff — the explanatory output an SDT-style tool
+//! shows its user before committing to a transformation.
+
+use std::fmt;
+
+use relmerge_relational::{InclusionDep, NullConstraint};
+
+use crate::keyrel::KeyRelationSpec;
+use crate::merge::Merged;
+
+/// A structured account of one merge (after any removals).
+#[derive(Debug, Clone)]
+pub struct MergeReport {
+    /// The merged relation-scheme's name.
+    pub merged_name: String,
+    /// The replaced relation-schemes `R̄`.
+    pub replaced: Vec<String>,
+    /// How the key-relation was obtained.
+    pub key_relation: String,
+    /// `Km`.
+    pub km: Vec<String>,
+    /// Attributes of `Xm` that `Remove` dropped, by original scheme.
+    pub removed_attrs: Vec<(String, Vec<String>)>,
+    /// Null constraints now on `Rm`, partitioned by declarative support.
+    pub nna_constraints: Vec<NullConstraint>,
+    /// General (trigger/rule-tier) null constraints on `Rm`.
+    pub general_constraints: Vec<NullConstraint>,
+    /// Inclusion dependencies rewritten onto `Rm` (either side).
+    pub rewritten_inds: Vec<InclusionDep>,
+    /// Non-key-based inclusion dependencies in the whole output schema
+    /// (the §5.1 deployment hazard).
+    pub non_key_based_inds: Vec<InclusionDep>,
+    /// Joins eliminated for a query touching all members (`|R̄| − 1`).
+    pub joins_eliminated: usize,
+    /// Whether the output schema is in BCNF.
+    pub bcnf: bool,
+    /// Scheme count before and after.
+    pub scheme_count: (usize, usize),
+}
+
+impl MergeReport {
+    /// Builds the report from a (possibly removed-from) [`Merged`].
+    #[must_use]
+    pub fn new(merged: &Merged) -> Self {
+        let schema = merged.schema();
+        let rm = merged.merged_name();
+        let (nna, general): (Vec<_>, Vec<_>) = schema
+            .null_constraints()
+            .iter()
+            .filter(|c| c.rel() == rm)
+            .cloned()
+            .partition(NullConstraint::is_nna);
+        let rewritten: Vec<InclusionDep> = schema
+            .inds()
+            .iter()
+            .filter(|i| i.lhs_rel == rm || i.rhs_rel == rm)
+            .cloned()
+            .collect();
+        let non_key_based: Vec<InclusionDep> = schema
+            .inds()
+            .iter()
+            .filter(|ind| {
+                schema
+                    .scheme(&ind.rhs_rel)
+                    .is_some_and(|rhs| !ind.is_key_based(rhs))
+            })
+            .cloned()
+            .collect();
+        MergeReport {
+            merged_name: rm.to_owned(),
+            replaced: merged
+                .member_names()
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            key_relation: match merged.key_relation() {
+                KeyRelationSpec::Member(n) => format!("member `{n}` (Proposition 3.1)"),
+                KeyRelationSpec::Synthetic { attrs } => format!(
+                    "synthetic ({})",
+                    attrs
+                        .iter()
+                        .map(|a| a.name().to_owned())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            },
+            km: merged.km().iter().map(|s| (*s).to_owned()).collect(),
+            removed_attrs: merged
+                .groups()
+                .iter()
+                .filter(|g| g.key_removed())
+                .map(|g| (g.scheme.clone(), g.removed.clone()))
+                .collect(),
+            nna_constraints: nna,
+            general_constraints: general,
+            rewritten_inds: rewritten,
+            non_key_based_inds: non_key_based,
+            joins_eliminated: merged.groups().len().saturating_sub(1),
+            bcnf: schema.is_bcnf(),
+            scheme_count: (
+                merged.original_schema().schemes().len(),
+                schema.schemes().len(),
+            ),
+        }
+    }
+
+    /// Whether the output is deployable with purely declarative
+    /// mechanisms (NNA-only constraints and key-based dependencies) — the
+    /// DB2 regime of §5.1.
+    #[must_use]
+    pub fn fully_declarative(&self) -> bool {
+        self.general_constraints.is_empty() && self.non_key_based_inds.is_empty()
+    }
+}
+
+impl fmt::Display for MergeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Merged {{{}}} -> {} ({} -> {} relation-schemes, {} join(s) eliminated)",
+            self.replaced.join(", "),
+            self.merged_name,
+            self.scheme_count.0,
+            self.scheme_count.1,
+            self.joins_eliminated
+        )?;
+        writeln!(f, "  key-relation: {}; Km = ({})", self.key_relation, self.km.join(","))?;
+        if !self.removed_attrs.is_empty() {
+            let parts: Vec<String> = self
+                .removed_attrs
+                .iter()
+                .map(|(s, attrs)| format!("{s}: {}", attrs.join(",")))
+                .collect();
+            writeln!(f, "  removed redundant attributes: {}", parts.join("; "))?;
+        }
+        writeln!(f, "  BCNF: {}", self.bcnf)?;
+        writeln!(
+            f,
+            "  declarative (NOT NULL) constraints: {}",
+            self.nna_constraints.len()
+        )?;
+        if self.general_constraints.is_empty() {
+            writeln!(f, "  general null constraints: none")?;
+        } else {
+            writeln!(f, "  general null constraints (trigger/rule tier):")?;
+            for c in &self.general_constraints {
+                writeln!(f, "    {c}")?;
+            }
+        }
+        if !self.non_key_based_inds.is_empty() {
+            writeln!(f, "  non key-based inclusion dependencies (deployment hazard):")?;
+            for i in &self.non_key_based_inds {
+                writeln!(f, "    {i}")?;
+            }
+        }
+        if self.fully_declarative() {
+            writeln!(f, "  deployable on declarative-only systems (DB2 regime)")?;
+        } else {
+            writeln!(
+                f,
+                "  needs a trigger/rule mechanism (SYBASE 4.0 / INGRES 6.3 regime)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::Merge;
+    use relmerge_relational::{
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema,
+    };
+
+    fn attr(name: &str) -> Attribute {
+        Attribute::new(name, Domain::Int)
+    }
+
+    fn chain() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("COURSE", vec![attr("C.NR")], &["C.NR"]).unwrap())
+            .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("OFFER", vec![attr("O.C.NR"), attr("O.D")], &["O.C.NR"])
+                .unwrap(),
+        )
+        .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("TEACH", vec![attr("T.C.NR"), attr("T.F")], &["T.C.NR"])
+                .unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"])).unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
+        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])).unwrap();
+        rs
+    }
+
+    #[test]
+    fn report_summarizes_pipeline() {
+        let rs = chain();
+        let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH"], "CM").unwrap();
+        m.remove_all_removable().unwrap();
+        let report = MergeReport::new(&m);
+        assert_eq!(report.merged_name, "CM");
+        assert_eq!(report.replaced, ["COURSE", "OFFER", "TEACH"]);
+        assert_eq!(report.scheme_count, (3, 1));
+        assert_eq!(report.joins_eliminated, 2);
+        assert!(report.bcnf);
+        assert!(report.key_relation.contains("COURSE"));
+        assert_eq!(report.removed_attrs.len(), 2);
+        // The chain keeps one general constraint (T.F ⊑ O.D).
+        assert_eq!(report.general_constraints.len(), 1);
+        assert!(!report.fully_declarative());
+        let text = report.to_string();
+        assert!(text.contains("2 join(s) eliminated"));
+        assert!(text.contains("trigger/rule"));
+    }
+
+    #[test]
+    fn declarative_verdict_for_clean_merges() {
+        // A star with single non-key attrs merges to NNA-only.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("R", vec![attr("R.K")], &["R.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("S", vec![attr("S.K"), attr("S.V")], &["S.K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("R", &["R.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("S", &["S.K", "S.V"])).unwrap();
+        rs.add_ind(InclusionDep::new("S", &["S.K"], "R", &["R.K"])).unwrap();
+        let mut m = Merge::plan(&rs, &["R", "S"], "M").unwrap();
+        m.remove_all_removable().unwrap();
+        let report = MergeReport::new(&m);
+        assert!(report.fully_declarative());
+        assert!(report.to_string().contains("declarative-only"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Data-migration SQL: the state mappings η and η′ of Definition 4.1,
+//! rendered as executable SQL so a deployed database can adopt (or back
+//! out of) a merge.
+//!
+//! * [`forward_migration`] — populate the merged relation from the member
+//!   relations: the key-relation `FULL OUTER JOIN` chain of η (composed
+//!   with μ's projection when attributes were removed);
+//! * [`backward_migration`] — repopulate the member relations from the
+//!   merged relation: the total projections of η′, with removed key
+//!   attributes recovered from `Km` (μ′).
+
+use relmerge_core::{KeyRelationSpec, Merged};
+use relmerge_relational::Result;
+
+fn ident(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+/// The `INSERT INTO <merged> SELECT … FROM … FULL OUTER JOIN …` statement
+/// implementing η (∘ μ).
+pub fn forward_migration(merged: &Merged) -> Result<String> {
+    let rm = merged.merged_name();
+    let target_cols: Vec<String> = merged
+        .merged_scheme()
+        .attr_names()
+        .iter()
+        .map(|a| ident(a))
+        .collect();
+    let km = merged.km();
+
+    // FROM clause: the key-relation (or the union deriving a synthetic
+    // one), then one FULL OUTER JOIN per non-key-relation group.
+    let mut select_cols: Vec<String> = Vec::new();
+    let mut from = String::new();
+    match merged.key_relation() {
+        KeyRelationSpec::Member(name) => {
+            from.push_str(&ident(name));
+        }
+        KeyRelationSpec::Synthetic { attrs } => {
+            // Derive the key-relation as the union of member keys
+            // (Definition 4.1's rk).
+            let mut arms: Vec<String> = Vec::new();
+            for g in merged.groups() {
+                let key_cols: Vec<String> = g.key.iter().map(|k| ident(k)).collect();
+                arms.push(format!(
+                    "SELECT DISTINCT {} FROM {}",
+                    key_cols.join(", "),
+                    ident(&g.scheme)
+                ));
+            }
+            let alias_cols: Vec<String> = attrs.iter().map(|a| ident(a.name())).collect();
+            from.push_str(&format!(
+                "(\n  {}\n) AS KEYREL ({})",
+                arms.join("\n  UNION\n  "),
+                alias_cols.join(", ")
+            ));
+        }
+    }
+    let km_qualified: Vec<String> = km.iter().map(|k| ident(k)).collect();
+    for g in merged.groups() {
+        if g.is_key_relation {
+            continue;
+        }
+        let on: Vec<String> = km_qualified
+            .iter()
+            .zip(&g.key)
+            .map(|(k, gk)| format!("{k} = {}", ident(gk)))
+            .collect();
+        from.push_str(&format!(
+            "\n  FULL OUTER JOIN {} ON {}",
+            ident(&g.scheme),
+            on.join(" AND ")
+        ));
+    }
+    // SELECT list: the merged scheme's surviving attributes, in order.
+    for a in merged.merged_scheme().attr_names() {
+        select_cols.push(ident(a));
+    }
+    Ok(format!(
+        "INSERT INTO {} ({})\nSELECT {}\nFROM {};",
+        ident(rm),
+        target_cols.join(", "),
+        select_cols.join(", "),
+        from
+    ))
+}
+
+/// The `INSERT INTO <member> SELECT …` statements implementing η′ (∘ μ′):
+/// one per member relation, selecting the rows whose group part is total
+/// and recovering removed key attributes from `Km`.
+pub fn backward_migration(merged: &Merged) -> Result<Vec<String>> {
+    let rm = ident(merged.merged_name());
+    let km = merged.km();
+    let mut out = Vec::new();
+    for g in merged.groups() {
+        let original = merged
+            .original_schema()
+            .scheme_required(&g.scheme)?;
+        let cols: Vec<String> = original
+            .attr_names()
+            .iter()
+            .map(|a| ident(a))
+            .collect();
+        // Source expression per attribute: itself, or the corresponding
+        // Km attribute if removed.
+        let select: Vec<String> = g
+            .original_attrs
+            .iter()
+            .map(|a| {
+                if g.removed.contains(a) {
+                    let p = g
+                        .key
+                        .iter()
+                        .position(|k| k == a)
+                        .expect("only key attributes are removed");
+                    format!("{} AS {}", ident(km[p]), ident(a))
+                } else {
+                    ident(a)
+                }
+            })
+            .collect();
+        // Membership witness: the surviving attributes are all non-null
+        // (the NS(Xi) all-or-nothing guarantee).
+        let witness: Vec<String> = g
+            .surviving_attrs()
+            .iter()
+            .map(|a| format!("{} IS NOT NULL", ident(a)))
+            .collect();
+        out.push(format!(
+            "INSERT INTO {} ({})\nSELECT {}\nFROM {rm}\nWHERE {};",
+            ident(&g.scheme),
+            cols.join(", "),
+            select.join(", "),
+            witness.join(" AND ")
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmerge_core::Merge;
+    use relmerge_relational::{
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema,
+    };
+
+    fn a(n: &str) -> Attribute {
+        Attribute::new(n, Domain::Int)
+    }
+
+    fn star() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("ROOT", vec![a("ROOT.K")], &["ROOT.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("S0", vec![a("S0.K"), a("S0.V")], &["S0.K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("ROOT", &["ROOT.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("S0", &["S0.K", "S0.V"])).unwrap();
+        rs.add_ind(InclusionDep::new("S0", &["S0.K"], "ROOT", &["ROOT.K"])).unwrap();
+        rs
+    }
+
+    #[test]
+    fn forward_migration_member_key_relation() {
+        let rs = star();
+        let m = Merge::plan(&rs, &["ROOT", "S0"], "M").unwrap();
+        let sql = forward_migration(&m).unwrap();
+        assert!(sql.contains("INSERT INTO M (ROOT_K, S0_K, S0_V)"), "{sql}");
+        assert!(sql.contains("FROM ROOT\n  FULL OUTER JOIN S0 ON ROOT_K = S0_K"));
+    }
+
+    #[test]
+    fn forward_migration_after_remove_projects() {
+        let rs = star();
+        let mut m = Merge::plan(&rs, &["ROOT", "S0"], "M").unwrap();
+        m.remove_all_removable().unwrap();
+        let sql = forward_migration(&m).unwrap();
+        // S0.K is gone from the target list.
+        assert!(sql.contains("INSERT INTO M (ROOT_K, S0_V)"), "{sql}");
+        assert!(!sql.contains("INSERT INTO M (ROOT_K, S0_K"));
+    }
+
+    #[test]
+    fn forward_migration_synthetic_key_unions() {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("A", vec![a("A.K"), a("A.V")], &["A.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("B", vec![a("B.K"), a("B.V")], &["B.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.V"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.V"])).unwrap();
+        let m = Merge::plan_with_synthetic_key(&rs, &["A", "B"], "M", &["CN"]).unwrap();
+        let sql = forward_migration(&m).unwrap();
+        assert!(sql.contains("SELECT DISTINCT A_K FROM A"), "{sql}");
+        assert!(sql.contains("UNION"));
+        assert!(sql.contains("AS KEYREL (CN)"));
+        assert!(sql.contains("FULL OUTER JOIN A ON CN = A_K"));
+        assert!(sql.contains("FULL OUTER JOIN B ON CN = B_K"));
+    }
+
+    #[test]
+    fn backward_migration_recovers_removed_keys() {
+        let rs = star();
+        let mut m = Merge::plan(&rs, &["ROOT", "S0"], "M").unwrap();
+        m.remove_all_removable().unwrap();
+        let stmts = backward_migration(&m).unwrap();
+        assert_eq!(stmts.len(), 2);
+        let root = stmts.iter().find(|s| s.contains("INTO ROOT")).unwrap();
+        assert!(root.contains("WHERE ROOT_K IS NOT NULL"));
+        let s0 = stmts.iter().find(|s| s.contains("INTO S0")).unwrap();
+        // The removed S0.K is recovered from ROOT.K.
+        assert!(s0.contains("ROOT_K AS S0_K"), "{s0}");
+        assert!(s0.contains("WHERE S0_V IS NOT NULL"));
+    }
+}

@@ -1,0 +1,307 @@
+//! §5.2: which EER structures are *amenable* to representation by a single
+//! relation-scheme, and under which constraint regime.
+//!
+//! The paper's two sufficient conditions for needing **only**
+//! nulls-not-allowed constraints:
+//!
+//! 1. an entity set `Ei` and its specializations, provided the
+//!    specializations (a) have no specializations of their own and are
+//!    directly generalized only by `Ei`, (b) are not involved in
+//!    relationship sets or weak entity sets, and (c) have exactly one
+//!    (non-inherited) attribute of their own — Figure 8(iii);
+//! 2. an object-set `Oi` and binary many-to-one relationship sets in which
+//!    `Oi` participates with *many* cardinality, provided the relationship
+//!    sets (a) have no attributes, (b) are not involved in any other
+//!    relationship set, and (c) associate `Oi` with entity sets that are
+//!    not weak and have single-attribute identifiers — Figure 8(iv).
+//!
+//! Structures failing the conditions (Figures 8(i)/(ii)) are still amenable
+//! — a single relation-scheme represents them — but require general null
+//! constraints, maintainable only through trigger/rule mechanisms.
+
+use crate::model::{Card, EerSchema};
+
+/// The constraint regime a single-relation representation needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Amenability {
+    /// Only declarative nulls-not-allowed constraints are needed
+    /// (Proposition 5.2 holds for the translated merge set).
+    NnaOnly,
+    /// A single relation works, but general null constraints
+    /// (null-synchronization / null-existence / part-null) are required.
+    GeneralNullConstraints,
+}
+
+/// A classified candidate group of object-sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedGroup {
+    /// The root object-set (the generalized entity, or the many-side
+    /// object of the relationship star).
+    pub root: String,
+    /// The other object-sets of the group (specializations, or the
+    /// relationship sets).
+    pub members: Vec<String>,
+    /// The regime the single-relation representation needs.
+    pub amenability: Amenability,
+    /// Which of the paper's conditions failed, when the classification is
+    /// [`Amenability::GeneralNullConstraints`].
+    pub violations: Vec<String>,
+}
+
+/// Classifies the generalization group rooted at entity set `root` (the
+/// root plus its direct specializations) against §5.2 condition (1).
+/// Returns `None` when `root` has no specializations.
+#[must_use]
+pub fn classify_generalization(eer: &EerSchema, root: &str) -> Option<ClassifiedGroup> {
+    let children = eer.children_of(root);
+    if children.is_empty() {
+        return None;
+    }
+    let mut violations = Vec::new();
+    for child in &children {
+        // (a) no own specializations, single direct parent.
+        if !eer.children_of(child).is_empty() {
+            violations.push(format!("(1a) `{child}` has specializations of its own"));
+        }
+        if eer.parents_of(child).len() > 1 {
+            violations.push(format!("(1a) `{child}` has multiple direct parents"));
+        }
+        // (b) no relationship or weak-entity involvement.
+        if !eer.relationships_of(child).is_empty() {
+            violations.push(format!("(1b) `{child}` participates in relationship sets"));
+        }
+        if eer.owns_weak_entity(child) {
+            violations.push(format!("(1b) `{child}` owns a weak entity set"));
+        }
+        // (c) exactly one own attribute.
+        let own = eer.entity(child).map_or(0, |e| e.attrs.len());
+        if own != 1 {
+            violations.push(format!("(1c) `{child}` has {own} own attributes (need 1)"));
+        }
+    }
+    Some(ClassifiedGroup {
+        root: root.to_owned(),
+        members: children.iter().map(|c| (*c).to_owned()).collect(),
+        amenability: if violations.is_empty() {
+            Amenability::NnaOnly
+        } else {
+            Amenability::GeneralNullConstraints
+        },
+        violations,
+    })
+}
+
+/// Classifies the many-to-one relationship star rooted at object-set `root`
+/// (the root plus every binary relationship set in which it participates
+/// with *many* cardinality) against §5.2 condition (2). Returns `None`
+/// when no such relationship set exists.
+#[must_use]
+pub fn classify_many_one_star(eer: &EerSchema, root: &str) -> Option<ClassifiedGroup> {
+    let stars: Vec<_> = eer
+        .relationships_of(root)
+        .into_iter()
+        .filter(|r| {
+            r.participants.len() == 2
+                && r.participants
+                    .iter()
+                    .any(|p| p.object == root && p.card == Card::Many)
+                && r.participants
+                    .iter()
+                    .any(|p| p.object != root && p.card == Card::One)
+        })
+        .collect();
+    if stars.is_empty() {
+        return None;
+    }
+    let mut violations = Vec::new();
+    for r in &stars {
+        // (a) no attributes of their own.
+        if !r.attrs.is_empty() {
+            violations.push(format!("(2a) `{}` has attributes", r.name));
+        }
+        // (b) not involved in any other relationship set.
+        if !eer.relationships_of(&r.name).is_empty() {
+            violations.push(format!(
+                "(2b) `{}` participates in another relationship set",
+                r.name
+            ));
+        }
+        // (c) one-side entity sets strong, single-attribute identifiers
+        // (for specializations the identifier is inherited from the root of
+        // the generalization hierarchy).
+        for p in r.participants.iter().filter(|p| p.object != root) {
+            match eer.entity(&p.object) {
+                Some(e) => {
+                    if e.weak_owner.is_some() {
+                        violations.push(format!("(2c) `{}` is weak", p.object));
+                    }
+                    match effective_identifier_arity(eer, &p.object) {
+                        Some(1) => {}
+                        Some(n) => violations.push(format!(
+                            "(2c) `{}` has a {n}-attribute identifier (need 1)",
+                            p.object
+                        )),
+                        None => violations.push(format!(
+                            "(2c) `{}` has no resolvable identifier",
+                            p.object
+                        )),
+                    }
+                }
+                None => violations.push(format!(
+                    "(2c) `{}` is a relationship set, not an entity set",
+                    p.object
+                )),
+            }
+        }
+    }
+    Some(ClassifiedGroup {
+        root: root.to_owned(),
+        members: stars.iter().map(|r| r.name.clone()).collect(),
+        amenability: if violations.is_empty() {
+            Amenability::NnaOnly
+        } else {
+            Amenability::GeneralNullConstraints
+        },
+        violations,
+    })
+}
+
+/// The arity of an entity set's *effective* identifier: its own identifier,
+/// or — for a specialization — the identifier inherited from its (first)
+/// generalization parent, followed transitively.
+fn effective_identifier_arity(eer: &EerSchema, entity: &str) -> Option<usize> {
+    let mut current = entity;
+    for _ in 0..=eer.entities.len() {
+        let e = eer.entity(current)?;
+        if !e.identifier.is_empty() {
+            return Some(e.identifier.len());
+        }
+        current = eer.parents_of(current).first().copied()?;
+    }
+    None
+}
+
+/// Classifies every candidate group in the schema: each generalization
+/// hierarchy and each many-to-one relationship star.
+#[must_use]
+pub fn classify_all(eer: &EerSchema) -> Vec<ClassifiedGroup> {
+    let mut out = Vec::new();
+    for e in &eer.entities {
+        if let Some(g) = classify_generalization(eer, &e.name) {
+            out.push(g);
+        }
+        if let Some(g) = classify_many_one_star(eer, &e.name) {
+            out.push(g);
+        }
+    }
+    for r in &eer.relationships {
+        if let Some(g) = classify_many_one_star(eer, &r.name) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use crate::translate::translate;
+    use relmerge_core::{prop52_nna_only, Merge};
+
+    /// Cross-validation: the classifier's verdict must agree with what the
+    /// actual translate → merge → remove pipeline produces.
+    fn pipeline_nna_only(eer: &EerSchema, root: &str, members: &[String]) -> bool {
+        let rs = translate(eer).unwrap();
+        let mut set: Vec<&str> = vec![root];
+        set.extend(members.iter().map(String::as_str));
+        let mut merged = Merge::plan(&rs, &set, "MERGED_GROUP").unwrap();
+        merged.remove_all_removable().unwrap();
+        merged.generated_null_constraints().iter().all(|c| c.is_nna())
+    }
+
+    #[test]
+    fn fig8_iii_nna_only() {
+        let eer = figures::fig8_iii();
+        let g = classify_generalization(&eer, "ACCOUNT").unwrap();
+        assert_eq!(g.amenability, Amenability::NnaOnly, "{:?}", g.violations);
+        assert!(pipeline_nna_only(&eer, "ACCOUNT", &g.members));
+        // Proposition 5.2's syntactic conditions agree on the translation.
+        let rs = translate(&eer).unwrap();
+        assert!(prop52_nna_only(&rs, &["ACCOUNT", "CHECKING", "SAVINGS"])
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn fig8_iv_nna_only() {
+        let eer = figures::fig8_iv();
+        let g = classify_many_one_star(&eer, "COURSE").unwrap();
+        assert_eq!(g.amenability, Amenability::NnaOnly, "{:?}", g.violations);
+        assert_eq!(g.members, ["OFFER", "TEACH"]);
+        assert!(pipeline_nna_only(&eer, "COURSE", &g.members));
+    }
+
+    #[test]
+    fn fig8_i_needs_general_constraints() {
+        let eer = figures::fig8_i();
+        let g = classify_generalization(&eer, "VEHICLE").unwrap();
+        assert_eq!(g.amenability, Amenability::GeneralNullConstraints);
+        assert!(g.violations.iter().any(|v| v.contains("(1c)")));
+        assert!(!pipeline_nna_only(&eer, "VEHICLE", &g.members));
+    }
+
+    #[test]
+    fn fig8_ii_needs_general_constraints() {
+        let eer = figures::fig8_ii();
+        let g = classify_many_one_star(&eer, "PRODUCT").unwrap();
+        assert_eq!(g.amenability, Amenability::GeneralNullConstraints);
+        assert!(g.violations.iter().any(|v| v.contains("(2a)")));
+        assert!(!pipeline_nna_only(&eer, "PRODUCT", &g.members));
+    }
+
+    #[test]
+    fn fig7_course_star_fails_conditions() {
+        // §5.2's closing example: COURSE with OFFER/TEACH/ASSIST does NOT
+        // satisfy the conditions (TEACH and ASSIST hang off OFFER, which is
+        // itself involved in relationship sets)…
+        let eer = figures::fig7_eer();
+        let g = classify_many_one_star(&eer, "COURSE").unwrap();
+        assert_eq!(g.members, ["OFFER"]);
+        assert_eq!(
+            g.amenability,
+            Amenability::GeneralNullConstraints,
+            "{:?}",
+            g.violations
+        );
+        assert!(g.violations.iter().any(|v| v.contains("(2b)")));
+        // …while OFFER's own star {TEACH, ASSIST} satisfies them.
+        let g2 = classify_many_one_star(&eer, "OFFER").unwrap();
+        assert_eq!(g2.amenability, Amenability::NnaOnly, "{:?}", g2.violations);
+        let mut members = g2.members.clone();
+        members.sort();
+        assert_eq!(members, ["ASSIST", "TEACH"]);
+    }
+
+    #[test]
+    fn classify_all_covers_every_group() {
+        let eer = figures::fig7_eer();
+        let groups = classify_all(&eer);
+        // PERSON generalization, COURSE star, OFFER star.
+        assert_eq!(groups.len(), 3);
+        let person = groups
+            .iter()
+            .find(|g| g.root == "PERSON")
+            .expect("person group");
+        // FACULTY and STUDENT have 0 own attributes and are involved in
+        // relationship sets → general constraints.
+        assert_eq!(person.amenability, Amenability::GeneralNullConstraints);
+    }
+
+    #[test]
+    fn no_group_returns_none() {
+        let eer = figures::fig8_iii();
+        assert!(classify_generalization(&eer, "CHECKING").is_none());
+        assert!(classify_many_one_star(&eer, "ACCOUNT").is_none());
+    }
+}

@@ -1,0 +1,300 @@
+//! The Teorey–Yang–Fry \[14\] translation baseline (paper §1, Figure 1(iii)).
+//!
+//! ER/EER-oriented design methodologies such as \[14\] *"recommend using a
+//! single relation-scheme for representing a binary many-to-one
+//! relationship-set and the entity-set involved in that relationship-set
+//! with a many cardinality"* — but, as the paper shows, the resulting
+//! schema is **inconsistent with the semantics** of the EER schema: it
+//! admits states no EER instance corresponds to (an employee with a non-null
+//! assignment `DATE` but a null project `NR`).
+//!
+//! This module implements that baseline translation faithfully — *without*
+//! the repairing null constraints — plus [`repair`], which adds the
+//! null-existence constraints the paper says are needed (`DATE ⊑ NR`).
+
+use std::collections::{BTreeMap, HashSet};
+
+use relmerge_relational::{
+    Attribute, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Result,
+};
+
+use crate::model::{Card, EerSchema, RelationshipSet};
+use crate::translate;
+
+/// Which relationship sets a Teorey translation folds, and into which
+/// relation. Returned alongside the schema for inspection and repair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldedRelationship {
+    /// The relationship set that was folded.
+    pub relationship: String,
+    /// The many-side entity set it absorbed.
+    pub entity: String,
+    /// The relation-scheme holding both (named after the relationship,
+    /// as in Figure 1(iii)'s `WORKS`).
+    pub scheme: String,
+    /// The nullable copied key of the one-side participant (`NR`).
+    pub one_side_attrs: Vec<String>,
+    /// The nullable relationship attributes (`DATE`).
+    pub rel_attrs: Vec<String>,
+}
+
+/// The outcome of the baseline translation.
+#[derive(Debug)]
+pub struct TeoreyTranslation {
+    /// The (semantically deficient) relational schema.
+    pub schema: RelationalSchema,
+    /// The foldings performed.
+    pub folded: Vec<FoldedRelationship>,
+}
+
+/// Whether `r` is a binary many-to-one relationship set whose many side is
+/// a strong, non-specialized entity set — the shape \[14\] folds.
+fn foldable<'a>(eer: &EerSchema, r: &'a RelationshipSet) -> Option<(&'a str, &'a str)> {
+    if r.participants.len() != 2 {
+        return None;
+    }
+    let (a, b) = (&r.participants[0], &r.participants[1]);
+    let (many, one) = match (a.card, b.card) {
+        (Card::Many, Card::One) => (a, b),
+        (Card::One, Card::Many) => (b, a),
+        _ => return None,
+    };
+    let e = eer.entity(&many.object)?;
+    if e.weak_owner.is_some() || !eer.parents_of(&e.name).is_empty() {
+        return None;
+    }
+    Some((many.object.as_str(), one.object.as_str()))
+}
+
+/// Translates an EER schema following the Teorey methodology: each
+/// foldable binary many-to-one relationship set absorbs its many-side
+/// entity set into a single relation (the entity folds into at most one
+/// relationship — the first declared, as in Figure 1(iii) where `EMPLOYEE`
+/// folds into `WORKS` but not `MANAGES`). Everything else translates as in
+/// the modular approach.
+pub fn translate_teorey(eer: &EerSchema) -> Result<TeoreyTranslation> {
+    eer.validate()?;
+    // Decide the foldings: entity -> relationship (first foldable wins).
+    let mut fold_of_entity: BTreeMap<&str, &RelationshipSet> = BTreeMap::new();
+    for r in &eer.relationships {
+        if let Some((many, _)) = foldable(eer, r) {
+            fold_of_entity.entry(many).or_insert(r);
+        }
+    }
+
+    // Start from the modular translation, then rewrite the folded pairs.
+    let modular = translate::translate(eer)?;
+    let folded_rel_names: HashSet<&str> = fold_of_entity
+        .values()
+        .map(|r| r.name.as_str())
+        .collect();
+    let folded_entity_names: HashSet<&str> = fold_of_entity.keys().copied().collect();
+
+    let mut schema = RelationalSchema::new();
+    let mut folded = Vec::new();
+    for s in modular.schemes() {
+        if folded_entity_names.contains(s.name()) {
+            continue; // absorbed into the relationship relation
+        }
+        if let Some((entity, rel)) = fold_of_entity
+            .iter()
+            .find(|(_, r)| r.name == s.name())
+            .map(|(e, r)| (*e, *r))
+        {
+            // Folded relation: entity attrs (entity key is the relation
+            // key, non-null) + relationship's one-side copy and own attrs
+            // (all nullable).
+            let e_scheme = modular.scheme_required(entity)?;
+            let r_scheme = modular.scheme_required(&rel.name)?;
+            let e_key: Vec<&str> = e_scheme.primary_key();
+            // The relationship scheme's key is the copied many-side key;
+            // its remaining attributes are the one-side copy + own attrs.
+            let r_key: HashSet<&str> = r_scheme.primary_key().into_iter().collect();
+            let extra: Vec<&Attribute> = r_scheme
+                .attrs()
+                .iter()
+                .filter(|a| !r_key.contains(a.name()))
+                .collect();
+            let mut attrs: Vec<Attribute> = e_scheme.attrs().to_vec();
+            attrs.extend(extra.iter().map(|a| (*a).clone()));
+            schema.add_scheme(RelationScheme::new(rel.name.clone(), attrs, &e_key)?)?;
+            // Only the entity part is non-null (the Figure 1(iii) `*`s).
+            let e_nna: Vec<&str> = e_scheme
+                .attrs()
+                .iter()
+                .map(Attribute::name)
+                .filter(|a| modular.attr_not_null(entity, a))
+                .collect();
+            if !e_nna.is_empty() {
+                schema.add_null_constraint(NullConstraint::nna(&rel.name, &e_nna))?;
+            }
+            // The one-side attributes of the relationship scheme keep their
+            // referential dependency (checked on total projections).
+            let own_attr_names: HashSet<String> = rel
+                .attrs
+                .iter()
+                .map(|a| format!("{}.{}", rel.abbrev, a.name))
+                .collect();
+            folded.push(FoldedRelationship {
+                relationship: rel.name.clone(),
+                entity: entity.to_owned(),
+                scheme: rel.name.clone(),
+                one_side_attrs: extra
+                    .iter()
+                    .map(|a| a.name().to_owned())
+                    .filter(|a| !own_attr_names.contains(a))
+                    .collect(),
+                rel_attrs: extra
+                    .iter()
+                    .map(|a| a.name().to_owned())
+                    .filter(|a| own_attr_names.contains(a))
+                    .collect(),
+            });
+        } else if folded_rel_names.contains(s.name()) {
+            // Handled when its entity partner comes around (above).
+            continue;
+        } else {
+            schema.add_scheme(s.clone())?;
+        }
+    }
+    // Dependencies and constraints: keep everything whose schemes survive,
+    // rewriting references to folded entities/relationships.
+    let rewrite = |name: &str| -> String {
+        if let Some(r) = fold_of_entity.get(name) {
+            r.name.clone()
+        } else {
+            name.to_owned()
+        }
+    };
+    for ind in modular.inds() {
+        let lhs_rel = rewrite(&ind.lhs_rel);
+        let rhs_rel = rewrite(&ind.rhs_rel);
+        if lhs_rel == rhs_rel {
+            continue; // the folded many-side reference became internal
+        }
+        let lhs: Vec<&str> = ind.lhs_attrs.iter().map(String::as_str).collect();
+        let rhs: Vec<&str> = ind.rhs_attrs.iter().map(String::as_str).collect();
+        schema.add_ind(InclusionDep::new(lhs_rel, &lhs, rhs_rel, &rhs))?;
+    }
+    for c in modular.null_constraints() {
+        if schema.scheme(c.rel()).is_some() && !folded_rel_names.contains(c.rel()) {
+            schema.add_null_constraint(c.clone())?;
+        }
+    }
+    schema.validate()?;
+    Ok(TeoreyTranslation { schema, folded })
+}
+
+/// The repair the paper prescribes (§1): for every folded relationship,
+/// constrain each relationship attribute to be null whenever the one-side
+/// reference is null — the null-existence constraints `DATE ⊑ NR`, plus a
+/// null-synchronization set across the one-side copy when it is composite.
+pub fn repair(translation: &TeoreyTranslation) -> Result<RelationalSchema> {
+    let mut schema = translation.schema.clone();
+    for f in &translation.folded {
+        let one: Vec<&str> = f.one_side_attrs.iter().map(String::as_str).collect();
+        if one.is_empty() {
+            continue;
+        }
+        for a in &f.rel_attrs {
+            schema.add_null_constraint(NullConstraint::ne(&f.scheme, &[a.as_str()], &one))?;
+        }
+        if one.len() > 1 {
+            schema.add_null_constraint(NullConstraint::ns(&f.scheme, &one))?;
+        }
+    }
+    Ok(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use relmerge_relational::{DatabaseState, Tuple, Value};
+
+    #[test]
+    fn figure_1_iii_shape() {
+        let eer = figures::fig1_eer();
+        let t = translate_teorey(&eer).unwrap();
+        // RS′: PROJECT, WORKS (folding EMPLOYEE), MANAGES.
+        let names: Vec<&str> = t.schema.schemes().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.contains(&"PROJECT"));
+        assert!(names.contains(&"WORKS"));
+        assert!(names.contains(&"MANAGES"));
+        let works = t.schema.scheme("WORKS").unwrap();
+        assert_eq!(works.primary_key(), ["E.SSN"]);
+        assert_eq!(works.attr_names(), ["E.SSN", "W.NR", "W.DATE"]);
+        // NR and DATE are nullable; SSN is not.
+        assert!(t.schema.attr_not_null("WORKS", "E.SSN"));
+        assert!(!t.schema.attr_not_null("WORKS", "W.NR"));
+        assert!(!t.schema.attr_not_null("WORKS", "W.DATE"));
+        assert_eq!(t.folded.len(), 1);
+        assert_eq!(t.folded[0].entity, "EMPLOYEE");
+        assert_eq!(t.folded[0].one_side_attrs, ["W.NR"]);
+        assert_eq!(t.folded[0].rel_attrs, ["W.DATE"]);
+    }
+
+    #[test]
+    fn baseline_admits_semantically_inconsistent_state() {
+        // The paper's complaint: a WORKS tuple with non-null DATE but null
+        // NR is consistent with RS′ but represents no ER instance.
+        let eer = figures::fig1_eer();
+        let t = translate_teorey(&eer).unwrap();
+        let mut st = DatabaseState::empty_for(&t.schema).unwrap();
+        st.insert(
+            "WORKS",
+            Tuple::new([Value::Int(1), Value::Null, Value::Date(100)]),
+        )
+        .unwrap();
+        assert!(st.is_consistent(&t.schema).unwrap());
+
+        // The repaired schema rejects it…
+        let repaired = repair(&t).unwrap();
+        assert!(!st.is_consistent(&repaired).unwrap());
+        // …while still accepting genuinely partial tuples.
+        let mut ok = DatabaseState::empty_for(&repaired).unwrap();
+        ok.insert(
+            "WORKS",
+            Tuple::new([Value::Int(1), Value::Null, Value::Null]),
+        )
+        .unwrap();
+        ok.insert(
+            "PROJECT",
+            Tuple::new([Value::Int(7)]),
+        )
+        .unwrap();
+        ok.insert(
+            "WORKS",
+            Tuple::new([Value::Int(2), Value::Int(7), Value::Date(5)]),
+        )
+        .unwrap();
+        assert!(ok.is_consistent(&repaired).unwrap());
+    }
+
+    #[test]
+    fn referential_integrity_survives_folding() {
+        let eer = figures::fig1_eer();
+        let t = translate_teorey(&eer).unwrap();
+        // WORKS's one-side reference to PROJECT survives.
+        assert!(t
+            .schema
+            .inds()
+            .contains(&InclusionDep::new("WORKS", &["W.NR"], "PROJECT", &["PR.NR"])));
+        // MANAGES now references the folded WORKS relation for the employee
+        // side.
+        assert!(t
+            .schema
+            .inds()
+            .iter()
+            .any(|i| i.lhs_rel == "MANAGES" && i.rhs_rel == "WORKS"));
+        // A dangling project reference is caught.
+        let mut st = DatabaseState::empty_for(&t.schema).unwrap();
+        st.insert(
+            "WORKS",
+            Tuple::new([Value::Int(1), Value::Int(9), Value::Null]),
+        )
+        .unwrap();
+        assert!(!st.is_consistent(&t.schema).unwrap());
+    }
+}

@@ -1,0 +1,402 @@
+//! The paper's example schemas as ready-made constructors: Figure 1's ER
+//! schema, Figure 7's EER schema (whose translation is Figure 3), and the
+//! four Figure 8 structures.
+//!
+//! Attribute names follow the figures, except that Figure 1's unqualified
+//! names (`SSN`, `NR`) are prefixed per object-set (`E.SSN`, `W.NR`, …) —
+//! Figure 1 predates Definition 4.1's globally-unique-names assumption, and
+//! qualified names keep every later construction applicable.
+
+use relmerge_relational::Domain;
+
+use crate::model::{Card, EerAttribute, EerSchema, EntitySet, Participant, RelationshipSet};
+
+/// Figure 1(i): the ER schema with `EMPLOYEE`, `PROJECT`, and the binary
+/// many-to-one relationship sets `WORKS` (with optional attribute `DATE`)
+/// and `MANAGES`.
+#[must_use]
+pub fn fig1_eer() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "EMPLOYEE",
+            vec![EerAttribute::required("SSN", Domain::Int)],
+            &["SSN"],
+        )
+        .with_abbrev("E"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "PROJECT",
+            vec![EerAttribute::required("NR", Domain::Int)],
+            &["NR"],
+        )
+        .with_abbrev("PR"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "WORKS",
+            vec![
+                Participant::new("EMPLOYEE", Card::Many),
+                Participant::new("PROJECT", Card::One),
+            ],
+        )
+        .with_abbrev("W")
+        .with_attrs(vec![EerAttribute::optional("DATE", Domain::Date)]),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "MANAGES",
+            vec![
+                Participant::new("EMPLOYEE", Card::Many),
+                Participant::new("PROJECT", Card::One),
+            ],
+        )
+        .with_abbrev("M"),
+    );
+    eer
+}
+
+/// Figure 7: the university EER schema — `PERSON` generalizing `FACULTY`
+/// and `STUDENT`; `COURSE` and `DEPARTMENT`; relationship sets `OFFER`
+/// (COURSE many — DEPARTMENT one), and the aggregations `TEACH` (OFFER many
+/// — FACULTY one) and `ASSIST` (OFFER many — STUDENT one).
+///
+/// Its translation is exactly the paper's Figure 3 relational schema.
+#[must_use]
+pub fn fig7_eer() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "PERSON",
+            vec![EerAttribute::required("SSN", Domain::Int)],
+            &["SSN"],
+        )
+        .with_abbrev("P"),
+    );
+    eer.add_entity(EntitySet::new("FACULTY", vec![], &[]).with_abbrev("F"));
+    eer.add_entity(EntitySet::new("STUDENT", vec![], &[]).with_abbrev("S"));
+    eer.add_entity(
+        EntitySet::new(
+            "COURSE",
+            vec![EerAttribute::required("NR", Domain::Int)],
+            &["NR"],
+        )
+        .with_abbrev("C"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "DEPARTMENT",
+            vec![EerAttribute::required("NAME", Domain::Text)],
+            &["NAME"],
+        )
+        .with_abbrev("D"),
+    );
+    eer.add_isa("FACULTY", "PERSON");
+    eer.add_isa("STUDENT", "PERSON");
+    eer.add_relationship(
+        RelationshipSet::new(
+            "OFFER",
+            vec![
+                Participant::new("COURSE", Card::Many).renamed(&["O.C.NR"]),
+                Participant::new("DEPARTMENT", Card::One).renamed(&["O.D.NAME"]),
+            ],
+        )
+        .with_abbrev("O"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "TEACH",
+            vec![
+                Participant::new("OFFER", Card::Many).renamed(&["T.C.NR"]),
+                Participant::new("FACULTY", Card::One).renamed(&["T.F.SSN"]),
+            ],
+        )
+        .with_abbrev("T"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "ASSIST",
+            vec![
+                Participant::new("OFFER", Card::Many).renamed(&["A.C.NR"]),
+                Participant::new("STUDENT", Card::One).renamed(&["A.S.SSN"]),
+            ],
+        )
+        .with_abbrev("A"),
+    );
+    eer
+}
+
+/// Figure 8(i): a generalization hierarchy whose specializations carry
+/// *several* attributes each — representable by a single relation only with
+/// general null constraints (the null-synchronization sets keep each
+/// specialization's attributes all-or-nothing).
+#[must_use]
+pub fn fig8_i() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "VEHICLE",
+            vec![EerAttribute::required("VIN", Domain::Int)],
+            &["VIN"],
+        )
+        .with_abbrev("V"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "CAR",
+            vec![
+                EerAttribute::required("SEATS", Domain::Int),
+                EerAttribute::required("DOORS", Domain::Int),
+            ],
+            &[],
+        )
+        .with_abbrev("CA"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "TRUCK",
+            vec![
+                EerAttribute::required("AXLES", Domain::Int),
+                EerAttribute::required("PAYLOAD", Domain::Int),
+            ],
+            &[],
+        )
+        .with_abbrev("TR"),
+    );
+    eer.add_isa("CAR", "VEHICLE");
+    eer.add_isa("TRUCK", "VEHICLE");
+    eer
+}
+
+/// Figure 8(ii): an object-set with binary many-to-one relationship sets
+/// that carry attributes of their own — single-relation representation
+/// needs general null constraints.
+#[must_use]
+pub fn fig8_ii() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "PRODUCT",
+            vec![EerAttribute::required("PID", Domain::Int)],
+            &["PID"],
+        )
+        .with_abbrev("PD"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "WAREHOUSE",
+            vec![EerAttribute::required("WID", Domain::Int)],
+            &["WID"],
+        )
+        .with_abbrev("WH"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "DEPOT",
+            vec![EerAttribute::required("DID", Domain::Int)],
+            &["DID"],
+        )
+        .with_abbrev("DP"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "STORED",
+            vec![
+                Participant::new("PRODUCT", Card::Many),
+                Participant::new("WAREHOUSE", Card::One),
+            ],
+        )
+        .with_abbrev("ST")
+        .with_attrs(vec![EerAttribute::required("QTY", Domain::Int)]),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "SHIPPED",
+            vec![
+                Participant::new("PRODUCT", Card::Many),
+                Participant::new("DEPOT", Card::One),
+            ],
+        )
+        .with_abbrev("SH")
+        .with_attrs(vec![EerAttribute::required("DATE", Domain::Date)]),
+    );
+    eer
+}
+
+/// Figure 8(iii): a generalization hierarchy satisfying §5.2 condition (1):
+/// the specializations have no specializations of their own, a single
+/// direct parent, no relationship or weak-entity involvement, and exactly
+/// one own attribute — single-relation representation with only
+/// nulls-not-allowed constraints.
+#[must_use]
+pub fn fig8_iii() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "ACCOUNT",
+            vec![EerAttribute::required("NR", Domain::Int)],
+            &["NR"],
+        )
+        .with_abbrev("AC"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "CHECKING",
+            vec![EerAttribute::required("OVERDRAFT", Domain::Int)],
+            &[],
+        )
+        .with_abbrev("CH"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "SAVINGS",
+            vec![EerAttribute::required("RATE", Domain::Int)],
+            &[],
+        )
+        .with_abbrev("SV"),
+    );
+    eer.add_isa("CHECKING", "ACCOUNT");
+    eer.add_isa("SAVINGS", "ACCOUNT");
+    eer
+}
+
+/// Figure 8(iv): an object-set with attribute-less binary many-to-one
+/// relationship sets to strong, single-attribute-identifier entity sets —
+/// §5.2 condition (2): single-relation representation with only
+/// nulls-not-allowed constraints (the paper's `OFFER`/`TEACH`/`ASSIST`
+/// example rearranged so every relationship references `COURSE` directly).
+#[must_use]
+pub fn fig8_iv() -> EerSchema {
+    let mut eer = EerSchema::new();
+    eer.add_entity(
+        EntitySet::new(
+            "COURSE",
+            vec![EerAttribute::required("NR", Domain::Int)],
+            &["NR"],
+        )
+        .with_abbrev("C"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "DEPARTMENT",
+            vec![EerAttribute::required("NAME", Domain::Text)],
+            &["NAME"],
+        )
+        .with_abbrev("D"),
+    );
+    eer.add_entity(
+        EntitySet::new(
+            "FACULTY",
+            vec![EerAttribute::required("SSN", Domain::Int)],
+            &["SSN"],
+        )
+        .with_abbrev("F"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "OFFER",
+            vec![
+                Participant::new("COURSE", Card::Many).renamed(&["O.C.NR"]),
+                Participant::new("DEPARTMENT", Card::One).renamed(&["O.D.NAME"]),
+            ],
+        )
+        .with_abbrev("O"),
+    );
+    eer.add_relationship(
+        RelationshipSet::new(
+            "TEACH",
+            vec![
+                Participant::new("COURSE", Card::Many).renamed(&["T.C.NR"]),
+                Participant::new("FACULTY", Card::One).renamed(&["T.F.SSN"]),
+            ],
+        )
+        .with_abbrev("T"),
+    );
+    eer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::translate::translate;
+    use relmerge_relational::InclusionDep;
+
+    #[test]
+    fn fig7_translates_to_fig3() {
+        let rs = translate(&fig7_eer()).unwrap();
+        // The eight relation-schemes of Figure 3.
+        let expect: [(&str, &[&str], &[&str]); 8] = [
+            ("PERSON", &["P.SSN"], &["P.SSN"]),
+            ("FACULTY", &["F.SSN"], &["F.SSN"]),
+            ("STUDENT", &["S.SSN"], &["S.SSN"]),
+            ("COURSE", &["C.NR"], &["C.NR"]),
+            ("DEPARTMENT", &["D.NAME"], &["D.NAME"]),
+            ("OFFER", &["O.C.NR", "O.D.NAME"], &["O.C.NR"]),
+            ("TEACH", &["T.C.NR", "T.F.SSN"], &["T.C.NR"]),
+            ("ASSIST", &["A.C.NR", "A.S.SSN"], &["A.C.NR"]),
+        ];
+        assert_eq!(rs.schemes().len(), 8);
+        for (name, attrs, key) in expect {
+            let s = rs.scheme(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.attr_names(), attrs, "{name} attrs");
+            assert_eq!(s.primary_key(), key, "{name} key");
+        }
+        // The eight inclusion dependencies of Figure 3.
+        let inds = [
+            InclusionDep::new("FACULTY", &["F.SSN"], "PERSON", &["P.SSN"]),
+            InclusionDep::new("STUDENT", &["S.SSN"], "PERSON", &["P.SSN"]),
+            InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]),
+            InclusionDep::new("OFFER", &["O.D.NAME"], "DEPARTMENT", &["D.NAME"]),
+            InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]),
+            InclusionDep::new("TEACH", &["T.F.SSN"], "FACULTY", &["F.SSN"]),
+            InclusionDep::new("ASSIST", &["A.C.NR"], "OFFER", &["O.C.NR"]),
+            InclusionDep::new("ASSIST", &["A.S.SSN"], "STUDENT", &["S.SSN"]),
+        ];
+        assert_eq!(rs.inds().len(), 8);
+        for ind in &inds {
+            assert!(rs.inds().contains(ind), "missing {ind}");
+        }
+        // The eight nulls-not-allowed constraints, and nothing else.
+        assert_eq!(rs.null_constraints().len(), 8);
+        assert!(rs.nna_only());
+        for s in rs.schemes() {
+            for a in s.attr_names() {
+                assert!(rs.attr_not_null(s.name(), a), "{a} must be NNA");
+            }
+        }
+        // All eight schemes are in BCNF, and all INDs are key-based.
+        assert!(rs.is_bcnf());
+        assert!(rs.key_based_inds_only());
+    }
+
+    #[test]
+    fn fig1_modular_translation() {
+        let rs = translate(&fig1_eer()).unwrap();
+        let works = rs.scheme("WORKS").unwrap();
+        assert_eq!(works.attr_names(), ["W.SSN", "W.NR", "W.DATE"]);
+        assert_eq!(works.primary_key(), ["W.SSN"]);
+        // DATE is the only nullable attribute (optional EER attribute).
+        assert!(!rs.attr_not_null("WORKS", "W.DATE"));
+        assert!(rs.attr_not_null("WORKS", "W.NR"));
+        let manages = rs.scheme("MANAGES").unwrap();
+        assert_eq!(manages.attr_names(), ["M.SSN", "M.NR"]);
+        assert_eq!(manages.primary_key(), ["M.SSN"]);
+        assert_eq!(rs.inds().len(), 4);
+    }
+
+    #[test]
+    fn all_figures_validate() {
+        for (name, eer) in [
+            ("fig1", fig1_eer()),
+            ("fig7", fig7_eer()),
+            ("fig8i", fig8_i()),
+            ("fig8ii", fig8_ii()),
+            ("fig8iii", fig8_iii()),
+            ("fig8iv", fig8_iv()),
+        ] {
+            eer.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            translate(&eer).unwrap_or_else(|e| panic!("{name} translation: {e}"));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Extended Entity-Relationship modelling for the ICDE'92 relation-merging
+//! reproduction (paper §1, §5.2).
+//!
+//! * [`model`] — the EER vocabulary: entity sets, relationship sets with
+//!   cardinalities, weak entity sets, ISA generalizations;
+//! * [`mod@translate`] — the Markowitz–Shoshani \[11\] translation into BCNF
+//!   relational schemas of the form `(R, F ∪ I ∪ N)` (Figure 7 → Figure 3);
+//! * [`baseline`] — the Teorey–Yang–Fry \[14\] translation the paper
+//!   criticizes (Figure 1(iii)), plus the repair it prescribes;
+//! * [`amenable`] — the §5.2 classification of structures amenable to
+//!   single-relation representation (Figure 8);
+//! * [`figures`] — the paper's example schemas as constructors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amenable;
+pub mod baseline;
+pub mod figures;
+pub mod model;
+pub mod translate;
+
+pub use amenable::{classify_all, classify_generalization, classify_many_one_star, Amenability,
+    ClassifiedGroup};
+pub use baseline::{repair, translate_teorey, FoldedRelationship, TeoreyTranslation};
+pub use model::{Card, EerAttribute, EerSchema, EntitySet, Generalization, Participant,
+    RelationshipSet};
+pub use translate::translate;

@@ -1,0 +1,568 @@
+//! The Extended Entity-Relationship model (paper §1, §5.2; refs \[2\], \[11\],
+//! \[14\]): entity sets, binary/n-ary relationship sets with cardinalities,
+//! weak entity sets, and ISA generalizations.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use relmerge_relational::{Domain, Error, Result};
+
+/// Cardinality of a participant in a relationship set.
+///
+/// In a binary relationship `E —R— F` where each `E` instance relates to at
+/// most one `F` instance, `E` participates with [`Card::Many`] and `F` with
+/// [`Card::One`] (the paper's *"entity-set involved in that relationship-set
+/// with a many cardinality"*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Card {
+    /// At most one related instance on the *other* side(s).
+    One,
+    /// Arbitrarily many related instances.
+    Many,
+}
+
+/// An EER attribute: a named, typed property of an object-set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EerAttribute {
+    /// The attribute name (unqualified; translation prefixes it).
+    pub name: String,
+    /// The value domain.
+    pub domain: Domain,
+    /// Whether the attribute must have a value (translates to a
+    /// nulls-not-allowed constraint).
+    pub required: bool,
+}
+
+impl EerAttribute {
+    /// A required attribute.
+    pub fn required(name: impl Into<String>, domain: Domain) -> Self {
+        EerAttribute {
+            name: name.into(),
+            domain,
+            required: true,
+        }
+    }
+
+    /// An optional attribute.
+    pub fn optional(name: impl Into<String>, domain: Domain) -> Self {
+        EerAttribute {
+            name: name.into(),
+            domain,
+            required: false,
+        }
+    }
+}
+
+/// An entity set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntitySet {
+    /// The entity-set name.
+    pub name: String,
+    /// Short prefix used for relational attribute names (defaults to the
+    /// first letter of the name) — the figures' `A=ASSIST, C=COURSE, …`
+    /// abbreviation table.
+    pub abbrev: String,
+    /// The entity set's own attributes.
+    pub attrs: Vec<EerAttribute>,
+    /// Names of the identifier attributes (entity-identifier). Empty for
+    /// specialization entity-sets (the identifier is inherited) and allowed
+    /// to be a *partial* identifier for weak entity sets.
+    pub identifier: Vec<String>,
+    /// For a weak entity set: the name of the owner entity set through the
+    /// identifying relationship. The full key is the owner's key plus this
+    /// set's (partial) identifier.
+    pub weak_owner: Option<String>,
+}
+
+impl EntitySet {
+    /// A strong entity set with the given identifier attributes.
+    pub fn new(name: impl Into<String>, attrs: Vec<EerAttribute>, identifier: &[&str]) -> Self {
+        let name = name.into();
+        EntitySet {
+            abbrev: default_abbrev(&name),
+            name,
+            attrs,
+            identifier: identifier.iter().map(|s| (*s).to_owned()).collect(),
+            weak_owner: None,
+        }
+    }
+
+    /// Overrides the abbreviation prefix.
+    #[must_use]
+    pub fn with_abbrev(mut self, abbrev: impl Into<String>) -> Self {
+        self.abbrev = abbrev.into();
+        self
+    }
+
+    /// Marks this entity set weak, owned by `owner`.
+    #[must_use]
+    pub fn weak(mut self, owner: impl Into<String>) -> Self {
+        self.weak_owner = Some(owner.into());
+        self
+    }
+}
+
+/// One participant of a relationship set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Participant {
+    /// The participating object-set: an entity set **or** another
+    /// relationship set (aggregation — the paper's Figure 7 has `TEACH`
+    /// relating `FACULTY` to the relationship set `OFFER`).
+    pub object: String,
+    /// The participant's cardinality.
+    pub card: Card,
+    /// Explicit relational names for the copied identifier attributes,
+    /// overriding the default `<abbrev>.<stripped identifier>` rule (the
+    /// paper's figures use ad-hoc qualifications like `T.F.SSN`).
+    pub rename: Option<Vec<String>>,
+}
+
+impl Participant {
+    /// A participant with default attribute naming.
+    pub fn new(object: impl Into<String>, card: Card) -> Self {
+        Participant {
+            object: object.into(),
+            card,
+            rename: None,
+        }
+    }
+
+    /// Overrides the copied identifier attribute names.
+    #[must_use]
+    pub fn renamed(mut self, names: &[&str]) -> Self {
+        self.rename = Some(names.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+}
+
+/// A relationship set over two or more participants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipSet {
+    /// The relationship-set name.
+    pub name: String,
+    /// Abbreviation prefix for relational attribute names.
+    pub abbrev: String,
+    /// The participants, in declaration order.
+    pub participants: Vec<Participant>,
+    /// The relationship set's own attributes.
+    pub attrs: Vec<EerAttribute>,
+}
+
+impl RelationshipSet {
+    /// A relationship set with default abbreviation.
+    pub fn new(name: impl Into<String>, participants: Vec<Participant>) -> Self {
+        let name = name.into();
+        RelationshipSet {
+            abbrev: default_abbrev(&name),
+            name,
+            participants,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds own attributes.
+    #[must_use]
+    pub fn with_attrs(mut self, attrs: Vec<EerAttribute>) -> Self {
+        self.attrs = attrs;
+        self
+    }
+
+    /// Overrides the abbreviation prefix.
+    #[must_use]
+    pub fn with_abbrev(mut self, abbrev: impl Into<String>) -> Self {
+        self.abbrev = abbrev.into();
+        self
+    }
+
+    /// The participants with [`Card::Many`] — their identifiers form the
+    /// relationship relation's key.
+    #[must_use]
+    pub fn many_participants(&self) -> Vec<&Participant> {
+        self.participants
+            .iter()
+            .filter(|p| p.card == Card::Many)
+            .collect()
+    }
+}
+
+/// An ISA (generalization) link: `child ISA parent`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generalization {
+    /// The specialization entity set.
+    pub child: String,
+    /// The generalized entity set.
+    pub parent: String,
+}
+
+/// A whole EER schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EerSchema {
+    /// Entity sets, in declaration order.
+    pub entities: Vec<EntitySet>,
+    /// Relationship sets, in declaration order.
+    pub relationships: Vec<RelationshipSet>,
+    /// ISA links.
+    pub generalizations: Vec<Generalization>,
+}
+
+impl EerSchema {
+    /// An empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        EerSchema::default()
+    }
+
+    /// Adds an entity set.
+    pub fn add_entity(&mut self, e: EntitySet) -> &mut Self {
+        self.entities.push(e);
+        self
+    }
+
+    /// Adds a relationship set.
+    pub fn add_relationship(&mut self, r: RelationshipSet) -> &mut Self {
+        self.relationships.push(r);
+        self
+    }
+
+    /// Adds an ISA link `child ISA parent`.
+    pub fn add_isa(&mut self, child: impl Into<String>, parent: impl Into<String>) -> &mut Self {
+        self.generalizations.push(Generalization {
+            child: child.into(),
+            parent: parent.into(),
+        });
+        self
+    }
+
+    /// Looks up an entity set.
+    #[must_use]
+    pub fn entity(&self, name: &str) -> Option<&EntitySet> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+
+    /// Looks up a relationship set.
+    #[must_use]
+    pub fn relationship(&self, name: &str) -> Option<&RelationshipSet> {
+        self.relationships.iter().find(|r| r.name == name)
+    }
+
+    /// Whether `name` denotes any object-set (entity or relationship set).
+    #[must_use]
+    pub fn is_object_set(&self, name: &str) -> bool {
+        self.entity(name).is_some() || self.relationship(name).is_some()
+    }
+
+    /// The parents of `child` (direct generalizations).
+    #[must_use]
+    pub fn parents_of(&self, child: &str) -> Vec<&str> {
+        self.generalizations
+            .iter()
+            .filter(|g| g.child == child)
+            .map(|g| g.parent.as_str())
+            .collect()
+    }
+
+    /// The direct specializations of `parent`.
+    #[must_use]
+    pub fn children_of(&self, parent: &str) -> Vec<&str> {
+        self.generalizations
+            .iter()
+            .filter(|g| g.parent == parent)
+            .map(|g| g.child.as_str())
+            .collect()
+    }
+
+    /// The relationship sets `object` participates in.
+    #[must_use]
+    pub fn relationships_of(&self, object: &str) -> Vec<&RelationshipSet> {
+        self.relationships
+            .iter()
+            .filter(|r| r.participants.iter().any(|p| p.object == object))
+            .collect()
+    }
+
+    /// Whether any weak entity set is owned by `object`.
+    #[must_use]
+    pub fn owns_weak_entity(&self, object: &str) -> bool {
+        self.entities
+            .iter()
+            .any(|e| e.weak_owner.as_deref() == Some(object))
+    }
+
+    /// Structural validation: unique names, resolvable references, acyclic
+    /// ISA, identifiers present where required, identifier attributes
+    /// declared.
+    pub fn validate(&self) -> Result<()> {
+        let mut names = HashSet::new();
+        for n in self
+            .entities
+            .iter()
+            .map(|e| e.name.as_str())
+            .chain(self.relationships.iter().map(|r| r.name.as_str()))
+        {
+            if !names.insert(n) {
+                return Err(Error::DuplicateScheme(n.to_owned()));
+            }
+        }
+        for e in &self.entities {
+            let mut attr_names = HashSet::new();
+            for a in &e.attrs {
+                if !attr_names.insert(a.name.as_str()) {
+                    return Err(Error::DuplicateAttribute(format!("{}.{}", e.name, a.name)));
+                }
+            }
+            for id in &e.identifier {
+                if !attr_names.contains(id.as_str()) {
+                    return Err(Error::MalformedKey {
+                        scheme: e.name.clone(),
+                        detail: format!("identifier attribute `{id}` not declared"),
+                    });
+                }
+            }
+            let is_specialization = !self.parents_of(&e.name).is_empty();
+            if e.identifier.is_empty() && !is_specialization {
+                return Err(Error::MissingPrimaryKey(e.name.clone()));
+            }
+            if let Some(owner) = &e.weak_owner {
+                if self.entity(owner).is_none() {
+                    return Err(Error::UnknownScheme(owner.clone()));
+                }
+                if e.identifier.is_empty() {
+                    return Err(Error::MalformedKey {
+                        scheme: e.name.clone(),
+                        detail: "weak entity set needs a partial identifier".to_owned(),
+                    });
+                }
+            }
+        }
+        for r in &self.relationships {
+            if r.participants.len() < 2 {
+                return Err(Error::MalformedConstraint {
+                    detail: format!(
+                        "relationship set `{}` needs at least two participants",
+                        r.name
+                    ),
+                });
+            }
+            for p in &r.participants {
+                if !self.is_object_set(&p.object) {
+                    return Err(Error::UnknownScheme(p.object.clone()));
+                }
+                if p.object == r.name {
+                    return Err(Error::MalformedConstraint {
+                        detail: format!("relationship set `{}` cannot involve itself", r.name),
+                    });
+                }
+            }
+        }
+        for g in &self.generalizations {
+            if self.entity(&g.child).is_none() || self.entity(&g.parent).is_none() {
+                return Err(Error::MalformedConstraint {
+                    detail: format!("ISA {} -> {} mentions unknown entity sets", g.child, g.parent),
+                });
+            }
+        }
+        // ISA acyclicity via depth-limited walk.
+        for e in &self.entities {
+            let mut current = vec![e.name.as_str()];
+            for _ in 0..=self.entities.len() {
+                current = current
+                    .iter()
+                    .flat_map(|c| self.parents_of(c))
+                    .collect();
+                if current.is_empty() {
+                    break;
+                }
+                if current.contains(&e.name.as_str()) {
+                    return Err(Error::MalformedConstraint {
+                        detail: format!("ISA cycle through `{}`", e.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EerSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Entity sets:")?;
+        for e in &self.entities {
+            let ids = e.identifier.join(",");
+            let weak = e
+                .weak_owner
+                .as_deref()
+                .map(|o| format!(" weak(owner={o})"))
+                .unwrap_or_default();
+            writeln!(f, "  {} [id: {ids}]{weak}", e.name)?;
+        }
+        writeln!(f, "Relationship sets:")?;
+        for r in &self.relationships {
+            let parts: Vec<String> = r
+                .participants
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{}({})",
+                        p.object,
+                        match p.card {
+                            Card::One => "1",
+                            Card::Many => "M",
+                        }
+                    )
+                })
+                .collect();
+            writeln!(f, "  {}: {}", r.name, parts.join(" -- "))?;
+        }
+        if !self.generalizations.is_empty() {
+            writeln!(f, "Generalizations:")?;
+            for g in &self.generalizations {
+                writeln!(f, "  {} ISA {}", g.child, g.parent)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn default_abbrev(name: &str) -> String {
+    name.chars().take(1).collect::<String>().to_uppercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_course() -> EerSchema {
+        let mut eer = EerSchema::new();
+        eer.add_entity(EntitySet::new(
+            "PERSON",
+            vec![EerAttribute::required("SSN", Domain::Int)],
+            &["SSN"],
+        ));
+        eer.add_entity(EntitySet::new(
+            "COURSE",
+            vec![EerAttribute::required("NR", Domain::Int)],
+            &["NR"],
+        ));
+        eer
+    }
+
+    #[test]
+    fn valid_schema_passes() {
+        let mut eer = person_course();
+        eer.add_entity(
+            EntitySet::new("FACULTY", vec![], &[]).with_abbrev("F"),
+        );
+        eer.add_isa("FACULTY", "PERSON");
+        eer.add_relationship(RelationshipSet::new(
+            "TEACHES",
+            vec![
+                Participant::new("COURSE", Card::Many),
+                Participant::new("FACULTY", Card::One),
+            ],
+        ));
+        eer.validate().unwrap();
+        assert_eq!(eer.children_of("PERSON"), ["FACULTY"]);
+        assert_eq!(eer.parents_of("FACULTY"), ["PERSON"]);
+        assert_eq!(eer.relationships_of("COURSE").len(), 1);
+        assert!(!eer.owns_weak_entity("PERSON"));
+    }
+
+    #[test]
+    fn missing_identifier_rejected() {
+        let mut eer = EerSchema::new();
+        eer.add_entity(EntitySet::new(
+            "E",
+            vec![EerAttribute::required("A", Domain::Int)],
+            &[],
+        ));
+        assert!(matches!(
+            eer.validate(),
+            Err(Error::MissingPrimaryKey(_))
+        ));
+    }
+
+    #[test]
+    fn undeclared_identifier_attr_rejected() {
+        let mut eer = EerSchema::new();
+        eer.add_entity(EntitySet::new("E", vec![], &["GHOST"]));
+        assert!(matches!(eer.validate(), Err(Error::MalformedKey { .. })));
+    }
+
+    #[test]
+    fn unknown_participant_rejected() {
+        let mut eer = person_course();
+        eer.add_relationship(RelationshipSet::new(
+            "R",
+            vec![
+                Participant::new("PERSON", Card::Many),
+                Participant::new("NOPE", Card::One),
+            ],
+        ));
+        assert!(matches!(eer.validate(), Err(Error::UnknownScheme(_))));
+    }
+
+    #[test]
+    fn isa_cycle_rejected() {
+        let mut eer = person_course();
+        eer.add_isa("PERSON", "COURSE");
+        eer.add_isa("COURSE", "PERSON");
+        assert!(eer.validate().is_err());
+    }
+
+    #[test]
+    fn weak_entity_needs_partial_identifier_and_owner() {
+        let mut eer = person_course();
+        eer.add_entity(
+            EntitySet::new(
+                "DEPENDENT",
+                vec![EerAttribute::required("NAME", Domain::Text)],
+                &["NAME"],
+            )
+            .weak("PERSON"),
+        );
+        eer.validate().unwrap();
+        assert!(eer.owns_weak_entity("PERSON"));
+
+        let mut bad_owner = person_course();
+        bad_owner.add_entity(
+            EntitySet::new(
+                "DEPENDENT",
+                vec![EerAttribute::required("NAME", Domain::Text)],
+                &["NAME"],
+            )
+            .weak("GHOST"),
+        );
+        assert!(bad_owner.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_object_set_names_rejected() {
+        let mut eer = person_course();
+        eer.add_relationship(RelationshipSet::new(
+            "PERSON",
+            vec![
+                Participant::new("COURSE", Card::Many),
+                Participant::new("COURSE", Card::One),
+            ],
+        ));
+        assert!(matches!(eer.validate(), Err(Error::DuplicateScheme(_))));
+    }
+
+    #[test]
+    fn many_participants_filter() {
+        let r = RelationshipSet::new(
+            "R",
+            vec![
+                Participant::new("A", Card::Many),
+                Participant::new("B", Card::One),
+                Participant::new("C", Card::Many),
+            ],
+        );
+        let many: Vec<&str> = r
+            .many_participants()
+            .iter()
+            .map(|p| p.object.as_str())
+            .collect();
+        assert_eq!(many, ["A", "C"]);
+    }
+}

@@ -1,0 +1,828 @@
+//! A constraint-enforcing in-memory database.
+//!
+//! [`Database`] hosts one relational schema under a [`DbmsProfile`] and
+//! enforces every dependency and constraint on DML, through the tier the
+//! profile provides:
+//!
+//! * **declarative** checks — primary keys, nulls-not-allowed, key-based
+//!   inclusion dependencies (foreign keys);
+//! * **procedural** checks — the trigger/rule tier: general null
+//!   constraints, non key-based inclusion dependencies.
+//!
+//! [`MaintenanceStats`] counts the checks by tier, letting the benches
+//! quantify §5.1's point that merged schemas shift maintenance work into
+//! the (more expensive) procedural tier on some systems.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use relmerge_relational::{
+    Attribute, DatabaseState, Error, NullConstraint, Relation, RelationalSchema, Result, Tuple,
+};
+
+use crate::capability::{DbmsProfile, Mechanism};
+
+/// Why a DML statement was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmlError {
+    /// A dependency or constraint would be violated.
+    ConstraintViolation(String),
+    /// Structural problem (unknown relation, arity mismatch, …).
+    Schema(Error),
+}
+
+impl fmt::Display for DmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmlError::ConstraintViolation(s) => write!(f, "constraint violation: {s}"),
+            DmlError::Schema(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DmlError {}
+
+impl From<Error> for DmlError {
+    fn from(e: Error) -> Self {
+        DmlError::Schema(e)
+    }
+}
+
+/// Counters for constraint-maintenance work, split by mechanism tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Successful inserts.
+    pub inserts: u64,
+    /// Successful deletes.
+    pub deletes: u64,
+    /// Statements rejected by a constraint.
+    pub rejected: u64,
+    /// Declarative-tier checks performed (PK, NNA, FK).
+    pub declarative_checks: u64,
+    /// Procedural-tier (trigger/rule) checks performed.
+    pub procedural_checks: u64,
+    /// Hash-index probes performed by checks.
+    pub index_probes: u64,
+}
+
+impl MaintenanceStats {
+    /// Total checks across both tiers.
+    #[must_use]
+    pub fn total_checks(&self) -> u64 {
+        self.declarative_checks + self.procedural_checks
+    }
+}
+
+/// A secondary lookup index: attribute positions plus a map from each
+/// total subtuple to the live row slots carrying it.
+type LookupIndex = (Vec<usize>, HashMap<Tuple, Vec<usize>>);
+
+/// One stored relation with its indexes.
+#[derive(Clone)]
+struct Table {
+    header: Vec<Attribute>,
+    rows: Vec<Option<Tuple>>, // tombstoned on delete
+    live: usize,
+    /// Unique indexes, one per candidate key: positions + map to row slot.
+    unique: Vec<(Vec<usize>, HashMap<Tuple, usize>)>,
+    /// Secondary lookup indexes keyed by attribute-name list (for foreign
+    /// keys, IND targets, and join probes). Values are the live row slots
+    /// of each **total** subtuple.
+    lookups: BTreeMap<Vec<String>, LookupIndex>,
+}
+
+impl Table {
+    fn new(header: Vec<Attribute>) -> Self {
+        Table {
+            header,
+            rows: Vec::new(),
+            live: 0,
+            unique: Vec::new(),
+            lookups: BTreeMap::new(),
+        }
+    }
+
+    fn positions(&self, names: &[String]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|n| {
+                self.header
+                    .iter()
+                    .position(|a| a.name() == n.as_str())
+                    .ok_or_else(|| Error::UnknownAttribute {
+                        attribute: n.clone(),
+                        context: "table".to_owned(),
+                    })
+            })
+            .collect()
+    }
+
+    fn add_unique(&mut self, names: &[String]) -> Result<()> {
+        let pos = self.positions(names)?;
+        if !self.unique.iter().any(|(p, _)| *p == pos) {
+            self.unique.push((pos, HashMap::new()));
+        }
+        Ok(())
+    }
+
+    fn add_lookup(&mut self, names: &[String]) -> Result<()> {
+        if !self.lookups.contains_key(names) {
+            let pos = self.positions(names)?;
+            self.lookups
+                .insert(names.to_vec(), (pos, HashMap::new()));
+        }
+        Ok(())
+    }
+
+    fn index_insert(&mut self, t: &Tuple, slot: usize) {
+        for (pos, map) in &mut self.unique {
+            map.insert(t.project(pos), slot);
+        }
+        for (pos, map) in self.lookups.values_mut() {
+            if t.is_total_at(pos) {
+                map.entry(t.project(pos)).or_default().push(slot);
+            }
+        }
+    }
+
+    fn index_remove(&mut self, t: &Tuple, slot: usize) {
+        for (pos, map) in &mut self.unique {
+            map.remove(&t.project(pos));
+        }
+        for (pos, map) in self.lookups.values_mut() {
+            if t.is_total_at(pos) {
+                let key = t.project(pos);
+                if let Some(slots) = map.get_mut(&key) {
+                    slots.retain(|&s| s != slot);
+                    if slots.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    fn to_relation(&self) -> Result<Relation> {
+        Relation::with_rows(
+            self.header.clone(),
+            self.rows.iter().flatten().cloned(),
+        )
+    }
+}
+
+/// A compiled null-constraint check: single-tuple evaluation plus its tier.
+#[derive(Clone)]
+struct CompiledNull {
+    constraint: NullConstraint,
+    mechanism: Mechanism,
+}
+
+/// A compiled inclusion-dependency check.
+#[derive(Clone)]
+struct CompiledInd {
+    lhs_rel: String,
+    lhs_attrs: Vec<String>,
+    rhs_rel: String,
+    rhs_attrs: Vec<String>,
+    mechanism: Mechanism,
+}
+
+/// A constraint-enforcing in-memory database hosting one schema under one
+/// DBMS capability profile.
+#[derive(Clone)]
+pub struct Database {
+    schema: RelationalSchema,
+    profile: DbmsProfile,
+    tables: BTreeMap<String, Table>,
+    nulls: BTreeMap<String, Vec<CompiledNull>>,
+    outgoing: BTreeMap<String, Vec<CompiledInd>>,
+    incoming: BTreeMap<String, Vec<CompiledInd>>,
+    stats: MaintenanceStats,
+}
+
+impl Database {
+    /// Creates an empty database for `schema` under `profile`. Fails when
+    /// the profile cannot maintain some constraint class the schema needs
+    /// (paper §5.1).
+    pub fn new(schema: RelationalSchema, profile: DbmsProfile) -> Result<Self> {
+        schema.validate()?;
+        let problems = profile.hosting_report(&schema);
+        if !problems.is_empty() {
+            return Err(Error::PreconditionViolated {
+                procedure: "Database::new",
+                detail: problems.join("; "),
+            });
+        }
+        let mut tables = BTreeMap::new();
+        for s in schema.schemes() {
+            let mut table = Table::new(s.attrs().to_vec());
+            for key in s.candidate_keys() {
+                let names: Vec<String> = key.iter().map(|k| (*k).to_owned()).collect();
+                table.add_unique(&names)?;
+            }
+            tables.insert(s.name().to_owned(), table);
+        }
+        // Lookup indexes for both sides of every inclusion dependency.
+        for ind in schema.inds() {
+            tables
+                .get_mut(&ind.rhs_rel)
+                .expect("validated")
+                .add_lookup(&ind.rhs_attrs)?;
+            tables
+                .get_mut(&ind.lhs_rel)
+                .expect("validated")
+                .add_lookup(&ind.lhs_attrs)?;
+        }
+        let mut nulls: BTreeMap<String, Vec<CompiledNull>> = BTreeMap::new();
+        for c in schema.null_constraints() {
+            nulls.entry(c.rel().to_owned()).or_default().push(CompiledNull {
+                mechanism: profile.null_constraint_mechanism(c),
+                constraint: c.clone(),
+            });
+        }
+        let mut outgoing: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
+        let mut incoming: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
+        for ind in schema.inds() {
+            let key_based = schema
+                .scheme(&ind.rhs_rel)
+                .is_some_and(|rhs| ind.is_key_based(rhs));
+            let compiled = CompiledInd {
+                lhs_rel: ind.lhs_rel.clone(),
+                lhs_attrs: ind.lhs_attrs.clone(),
+                rhs_rel: ind.rhs_rel.clone(),
+                rhs_attrs: ind.rhs_attrs.clone(),
+                mechanism: if key_based {
+                    profile.referential_integrity
+                } else {
+                    profile.non_key_inds
+                },
+            };
+            outgoing
+                .entry(ind.lhs_rel.clone())
+                .or_default()
+                .push(CompiledInd { ..clone_ind(&compiled) });
+            incoming.entry(ind.rhs_rel.clone()).or_default().push(compiled);
+        }
+        Ok(Database {
+            schema,
+            profile,
+            tables,
+            nulls,
+            outgoing,
+            incoming,
+            stats: MaintenanceStats::default(),
+        })
+    }
+
+    /// The hosted schema.
+    #[must_use]
+    pub fn schema(&self) -> &RelationalSchema {
+        &self.schema
+    }
+
+    /// The DBMS profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &DbmsProfile {
+        &self.profile
+    }
+
+    /// The maintenance counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MaintenanceStats {
+        self.stats
+    }
+
+    /// Resets the maintenance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = MaintenanceStats::default();
+    }
+
+    /// Live row count of `rel`.
+    #[must_use]
+    pub fn len(&self, rel: &str) -> usize {
+        self.tables.get(rel).map_or(0, |t| t.live)
+    }
+
+    /// Whether relation `rel` is empty (or absent).
+    #[must_use]
+    pub fn is_empty(&self, rel: &str) -> bool {
+        self.len(rel) == 0
+    }
+
+    fn bump(&mut self, mechanism: Mechanism) {
+        match mechanism {
+            Mechanism::Declarative => self.stats.declarative_checks += 1,
+            Mechanism::Procedural => self.stats.procedural_checks += 1,
+            Mechanism::Unsupported => {}
+        }
+    }
+
+    /// Inserts a tuple, enforcing every constraint. On success returns
+    /// whether the tuple was new (duplicate inserts of an identical tuple
+    /// are idempotent successes, matching set semantics).
+    pub fn insert(&mut self, rel: &str, t: Tuple) -> std::result::Result<bool, DmlError> {
+        let table = self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        // Arity/domain validation.
+        if t.arity() != table.header.len() {
+            return Err(DmlError::Schema(Error::TupleMismatch {
+                detail: format!(
+                    "arity {} vs header {} in `{rel}`",
+                    t.arity(),
+                    table.header.len()
+                ),
+            }));
+        }
+        for (v, a) in t.values().iter().zip(&table.header) {
+            if !v.fits(a.domain()) {
+                return Err(DmlError::Schema(Error::TupleMismatch {
+                    detail: format!("value {v} does not fit `{}`", a.name()),
+                }));
+            }
+        }
+        // Null constraints: single-tuple checks.
+        let null_checks: Vec<(NullConstraint, Mechanism)> = self
+            .nulls
+            .get(rel)
+            .map(|checks| {
+                checks
+                    .iter()
+                    .map(|c| (c.constraint.clone(), c.mechanism))
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !null_checks.is_empty() {
+            let singleton = singleton_relation(&self.tables[rel].header, &t);
+            for (c, m) in null_checks {
+                self.bump(m);
+                if !c.satisfied_by(&singleton)? {
+                    self.stats.rejected += 1;
+                    return Err(DmlError::ConstraintViolation(c.to_string()));
+                }
+            }
+        }
+        // Key uniqueness (declarative).
+        {
+            let table = &self.tables[rel];
+            for (pos, map) in &table.unique {
+                self.stats.declarative_checks += 1;
+                self.stats.index_probes += 1;
+                if let Some(&slot) = map.get(&t.project(pos)) {
+                    if table.rows[slot].as_ref() == Some(&t) {
+                        return Ok(false); // identical tuple: idempotent
+                    }
+                    self.stats.rejected += 1;
+                    return Err(DmlError::ConstraintViolation(format!(
+                        "duplicate key for `{rel}`"
+                    )));
+                }
+            }
+        }
+        // Outgoing inclusion dependencies (FK-style: a total LHS subtuple
+        // must exist in the target).
+        let outgoing_specs: Vec<(Vec<String>, String, Vec<String>, Mechanism)> = self
+            .outgoing
+            .get(rel)
+            .map(|v| {
+                v.iter()
+                    .map(|c| {
+                        (
+                            c.lhs_attrs.clone(),
+                            c.rhs_rel.clone(),
+                            c.rhs_attrs.clone(),
+                            c.mechanism,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (lhs_attrs, rhs_rel, rhs_attrs, mech) in outgoing_specs {
+            self.bump(mech);
+            let lhs_pos = self.tables[rel].positions(&lhs_attrs)?;
+            if !t.is_total_at(&lhs_pos) {
+                continue; // partial subtuples are exempt (total-projection semantics)
+            }
+            let key = t.project(&lhs_pos);
+            self.stats.index_probes += 1;
+            // Self-referencing dependency satisfied by the tuple itself.
+            if rhs_rel == rel {
+                let rhs_pos = self.tables[rel].positions(&rhs_attrs)?;
+                if t.project(&rhs_pos) == key {
+                    continue;
+                }
+            }
+            let target = &self.tables[&rhs_rel];
+            let (_, map) = target
+                .lookups
+                .get(&rhs_attrs)
+                .expect("lookup indexes built for every IND");
+            if !map.contains_key(&key) {
+                self.stats.rejected += 1;
+                return Err(DmlError::ConstraintViolation(format!(
+                    "`{rel}`[{}] = {key} has no match in `{rhs_rel}`[{}]",
+                    lhs_attrs.join(","),
+                    rhs_attrs.join(",")
+                )));
+            }
+        }
+        // Commit.
+        let table = self.tables.get_mut(rel).expect("checked");
+        let slot = table.rows.len();
+        table.index_insert(&t, slot);
+        table.rows.push(Some(t));
+        table.live += 1;
+        self.stats.inserts += 1;
+        Ok(true)
+    }
+
+    /// Deletes the tuple with the given primary-key value, enforcing
+    /// RESTRICT semantics on incoming inclusion dependencies.
+    pub fn delete_by_key(&mut self, rel: &str, key: &Tuple) -> std::result::Result<bool, DmlError> {
+        let scheme = self.schema.scheme_required(rel)?.clone();
+        let pk: Vec<String> = scheme.primary_key().iter().map(|k| (*k).to_owned()).collect();
+        let (slot, victim) = {
+            let table = self
+                .tables
+                .get(rel)
+                .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+            let pk_pos = table.positions(&pk)?;
+            self.stats.index_probes += 1;
+            let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pk_pos) else {
+                return Err(DmlError::Schema(Error::MissingPrimaryKey(rel.to_owned())));
+            };
+            match map.get(key) {
+                Some(&slot) => (
+                    slot,
+                    table.rows[slot].clone().expect("unique index points at live rows"),
+                ),
+                None => return Ok(false),
+            }
+        };
+        // RESTRICT: no referencing tuple may be orphaned. The deletion only
+        // orphans a reference if no *other* live tuple of `rel` carries the
+        // same referenced subtuple.
+        let incoming_specs: Vec<(String, Vec<String>, Vec<String>, Mechanism)> = self
+            .incoming
+            .get(rel)
+            .map(|v| {
+                v.iter()
+                    .map(|c| {
+                        (
+                            c.lhs_rel.clone(),
+                            c.lhs_attrs.clone(),
+                            c.rhs_attrs.clone(),
+                            c.mechanism,
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (lhs_rel, lhs_attrs, rhs_attrs, mech) in incoming_specs {
+            self.bump(mech);
+            let rhs_pos = self.tables[rel].positions(&rhs_attrs)?;
+            if !victim.is_total_at(&rhs_pos) {
+                continue;
+            }
+            let referenced = victim.project(&rhs_pos);
+            self.stats.index_probes += 2;
+            let remaining = self.tables[rel]
+                .lookups
+                .get(&rhs_attrs)
+                .and_then(|(_, map)| map.get(&referenced))
+                .map_or(0, Vec::len) as u32;
+            if remaining > 1 {
+                continue; // another tuple still provides the value
+            }
+            let referencing = self.tables[&lhs_rel]
+                .lookups
+                .get(&lhs_attrs)
+                .and_then(|(_, map)| map.get(&referenced))
+                .map_or(0, Vec::len) as u32;
+            // A self-reference by the victim itself does not block.
+            let self_ref = if lhs_rel == rel {
+                let lhs_pos = self.tables[rel].positions(&lhs_attrs)?;
+                u32::from(victim.is_total_at(&lhs_pos) && victim.project(&lhs_pos) == referenced)
+            } else {
+                0
+            };
+            if referencing > self_ref {
+                self.stats.rejected += 1;
+                return Err(DmlError::ConstraintViolation(format!(
+                    "RESTRICT: `{lhs_rel}`[{}] still references {referenced}",
+                    lhs_attrs.join(",")
+                )));
+            }
+        }
+        let table = self.tables.get_mut(rel).expect("checked");
+        table.index_remove(&victim, slot);
+        table.rows[slot] = None;
+        table.live -= 1;
+        self.stats.deletes += 1;
+        Ok(true)
+    }
+
+    /// Bulk-loads a database state without per-tuple rejection (the state
+    /// is assumed consistent, e.g. produced by `Merged::apply`); constraint
+    /// counters are not affected. Fails if any tuple is malformed.
+    pub fn load_state(&mut self, state: &DatabaseState) -> Result<()> {
+        for (name, relation) in state.iter() {
+            let table = self
+                .tables
+                .get_mut(name)
+                .ok_or_else(|| Error::UnknownScheme(name.to_owned()))?;
+            for t in relation.iter() {
+                let slot = table.rows.len();
+                table.index_insert(t, slot);
+                table.rows.push(Some(t.clone()));
+                table.live += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the current contents as a [`DatabaseState`].
+    pub fn snapshot(&self) -> Result<DatabaseState> {
+        let mut state = DatabaseState::new();
+        for (name, table) in &self.tables {
+            state.set_relation(name.clone(), table.to_relation()?);
+        }
+        Ok(state)
+    }
+
+    /// Probes the lookup index of `rel` over `attrs` for `key`, returning
+    /// the matching tuples (scanning only on index miss). Exposed for the
+    /// query executor.
+    pub(crate) fn probe(
+        &self,
+        rel: &str,
+        attrs: &[String],
+        key: &Tuple,
+        stats: &mut crate::query::QueryStats,
+    ) -> Result<Vec<Tuple>> {
+        let table = self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        let pos = table.positions(attrs)?;
+        // Unique index?
+        if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
+            stats.index_probes += 1;
+            return Ok(map
+                .get(key)
+                .and_then(|&slot| table.rows[slot].clone())
+                .into_iter()
+                .collect());
+        }
+        // Secondary lookup index?
+        let names: Vec<String> = attrs.to_vec();
+        if let Some((_, map)) = table.lookups.get(&names) {
+            stats.index_probes += 1;
+            return Ok(map
+                .get(key)
+                .map(|slots| {
+                    slots
+                        .iter()
+                        .filter_map(|&s| table.rows[s].clone())
+                        .collect()
+                })
+                .unwrap_or_default());
+        }
+        // Fall back to a scan.
+        stats.rows_scanned += table.rows.len() as u64;
+        Ok(table
+            .rows
+            .iter()
+            .flatten()
+            .filter(|t| t.is_total_at(&pos) && t.project(&pos) == *key)
+            .cloned()
+            .collect())
+    }
+
+    pub(crate) fn scan(&self, rel: &str) -> Result<(&[Attribute], Vec<&Tuple>)> {
+        let table = self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        Ok((&table.header, table.rows.iter().flatten().collect()))
+    }
+
+    /// Probes a unique index over `attrs` for `key` (no stats, no scan
+    /// fallback). Used by the transaction layer.
+    pub(crate) fn unique_lookup(&self, rel: &str, attrs: &[String], key: &Tuple) -> Option<Tuple> {
+        let table = self.tables.get(rel)?;
+        let pos = table.positions(attrs).ok()?;
+        let (_, map) = table.unique.iter().find(|(p, _)| *p == pos)?;
+        map.get(key).and_then(|&slot| table.rows[slot].clone())
+    }
+
+    /// Re-inserts a tuple with **no** constraint checking — rollback only.
+    pub(crate) fn raw_insert(&mut self, rel: &str, t: Tuple) -> Result<()> {
+        let table = self
+            .tables
+            .get_mut(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        let slot = table.rows.len();
+        table.index_insert(&t, slot);
+        table.rows.push(Some(t));
+        table.live += 1;
+        Ok(())
+    }
+
+    /// Removes an exact tuple with **no** constraint checking — rollback
+    /// only.
+    pub(crate) fn raw_remove(&mut self, rel: &str, t: &Tuple) -> Result<()> {
+        let table = self
+            .tables
+            .get_mut(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        let slot = table
+            .rows
+            .iter()
+            .position(|r| r.as_ref() == Some(t))
+            .ok_or_else(|| Error::StateMismatch {
+                detail: format!("rollback: tuple {t} not found in `{rel}`"),
+            })?;
+        table.index_remove(t, slot);
+        table.rows[slot] = None;
+        table.live -= 1;
+        Ok(())
+    }
+
+    pub(crate) fn header(&self, rel: &str) -> Result<&[Attribute]> {
+        Ok(&self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?
+            .header)
+    }
+}
+
+fn clone_ind(c: &CompiledInd) -> CompiledInd {
+    CompiledInd {
+        lhs_rel: c.lhs_rel.clone(),
+        lhs_attrs: c.lhs_attrs.clone(),
+        rhs_rel: c.rhs_rel.clone(),
+        rhs_attrs: c.rhs_attrs.clone(),
+        mechanism: c.mechanism,
+    }
+}
+
+fn singleton_relation(header: &[Attribute], t: &Tuple) -> Relation {
+    let mut r = Relation::new(header.to_vec()).expect("header already validated");
+    r.insert(t.clone()).expect("tuple already validated");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmerge_relational::{Domain, InclusionDep, RelationScheme, Value};
+
+    fn a(n: &str) -> Attribute {
+        Attribute::new(n, Domain::Int)
+    }
+
+    fn emp_mgr_schema() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new("EMP", vec![a("E.SSN"), a("E.G")], &["E.SSN"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("MGR", vec![a("M.SSN"), a("M.NR")], &["M.SSN"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("EMP", &["E.SSN", "E.G"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("MGR", &["M.SSN", "M.NR"])).unwrap();
+        rs.add_ind(InclusionDep::new("MGR", &["M.SSN"], "EMP", &["E.SSN"])).unwrap();
+        rs
+    }
+
+    fn tup(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn insert_enforces_everything() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        // FK violation.
+        let err = db.insert("MGR", tup(&[9, 1])).unwrap_err();
+        assert!(matches!(err, DmlError::ConstraintViolation(_)));
+        // FK satisfied.
+        db.insert("MGR", tup(&[1, 7])).unwrap();
+        // Duplicate key.
+        let err = db.insert("EMP", tup(&[1, 99])).unwrap_err();
+        assert!(matches!(err, DmlError::ConstraintViolation(_)));
+        // Identical tuple is idempotent.
+        assert!(!db.insert("EMP", tup(&[1, 10])).unwrap());
+        // NNA violation.
+        let err = db
+            .insert("EMP", Tuple::new([Value::Int(2), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, DmlError::ConstraintViolation(_)));
+        assert_eq!(db.len("EMP"), 1);
+        assert_eq!(db.len("MGR"), 1);
+        let stats = db.stats();
+        assert_eq!(stats.inserts, 2);
+        assert_eq!(stats.rejected, 3);
+        assert!(stats.declarative_checks > 0);
+        assert_eq!(stats.procedural_checks, 0);
+    }
+
+    #[test]
+    fn delete_restrict() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        db.insert("MGR", tup(&[1, 7])).unwrap();
+        // EMP(1) is referenced: RESTRICT.
+        let err = db.delete_by_key("EMP", &tup(&[1])).unwrap_err();
+        assert!(matches!(err, DmlError::ConstraintViolation(_)));
+        // Delete the referencing row first.
+        assert!(db.delete_by_key("MGR", &tup(&[1])).unwrap());
+        assert!(db.delete_by_key("EMP", &tup(&[1])).unwrap());
+        assert_eq!(db.len("EMP"), 0);
+        // Deleting a missing key is a no-op.
+        assert!(!db.delete_by_key("EMP", &tup(&[1])).unwrap());
+    }
+
+    #[test]
+    fn procedural_tier_counted() {
+        // A merged-style schema with a null-sync constraint: SYBASE
+        // maintains it via triggers → procedural counter.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new("M", vec![a("K"), a("X"), a("Y")], &["K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("M", &["K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::ns("M", &["X", "Y"])).unwrap();
+        let mut db = Database::new(rs.clone(), DbmsProfile::sybase40()).unwrap();
+        db.insert("M", Tuple::new([Value::Int(1), Value::Null, Value::Null]))
+            .unwrap();
+        let err = db
+            .insert("M", Tuple::new([Value::Int(2), Value::Int(5), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, DmlError::ConstraintViolation(_)));
+        assert!(db.stats().procedural_checks > 0);
+        // DB2 cannot host this schema at all.
+        assert!(Database::new(rs, DbmsProfile::db2()).is_err());
+    }
+
+    #[test]
+    fn partial_foreign_keys_exempt() {
+        // Nullable FK: a null subtuple is exempt (total-projection
+        // semantics), a total dangling one is rejected.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("P", vec![a("P.K")], &["P.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(
+            RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("C", &["C.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"])).unwrap();
+        let mut db = Database::new(rs, DbmsProfile::db2()).unwrap();
+        db.insert("C", Tuple::new([Value::Int(1), Value::Null])).unwrap();
+        assert!(db.insert("C", tup(&[2, 77])).is_err());
+        db.insert("P", tup(&[77])).unwrap();
+        db.insert("C", tup(&[2, 77])).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trip_and_load() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::ideal()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        db.insert("EMP", tup(&[2, 20])).unwrap();
+        db.insert("MGR", tup(&[2, 5])).unwrap();
+        db.delete_by_key("EMP", &tup(&[1])).unwrap();
+        let snap = db.snapshot().unwrap();
+        assert_eq!(snap.relation("EMP").unwrap().len(), 1);
+        assert!(snap.is_consistent(db.schema()).unwrap());
+        // Load into a fresh database and compare.
+        let mut db2 = Database::new(emp_mgr_schema(), DbmsProfile::ideal()).unwrap();
+        db2.load_state(&snap).unwrap();
+        assert_eq!(db2.snapshot().unwrap(), snap);
+        // Constraints still enforced on top of the loaded data.
+        assert!(db2.insert("MGR", tup(&[2, 6])).is_err()); // dup key
+    }
+
+    #[test]
+    fn self_referencing_ind_allows_own_tuple() {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new("E", vec![a("E.K"), a("E.BOSS")], &["E.K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("E", &["E.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("E", &["E.BOSS"], "E", &["E.K"])).unwrap();
+        let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+        // Self-managed root employee.
+        db.insert("E", tup(&[1, 1])).unwrap();
+        db.insert("E", tup(&[2, 1])).unwrap();
+        assert!(db.insert("E", tup(&[3, 9])).is_err());
+    }
+}

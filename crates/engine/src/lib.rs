@@ -1,0 +1,26 @@
+//! A constraint-enforcing in-memory storage engine with DBMS capability
+//! profiles and a costed query executor.
+//!
+//! This crate stands in for the proprietary systems the paper targets
+//! (DB2, SYBASE 4.0, INGRES 6.3): each is modelled as a [`DbmsProfile`]
+//! describing which constraint classes it maintains and through which
+//! mechanism ([`capability`]); [`Database`] enforces a schema's
+//! dependencies and null constraints on DML through the corresponding tier,
+//! counting the work ([`database`]); and [`query`] executes point lookups
+//! and joins with cost counters, quantifying the paper's §1 claim that
+//! merging reduces joins and improves access performance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod database;
+pub mod planner;
+pub mod query;
+pub mod txn;
+
+pub use capability::{DbmsProfile, Mechanism};
+pub use database::{Database, DmlError, MaintenanceStats};
+pub use planner::{plan, LogicalQuery};
+pub use query::{execute, Access, JoinStep, Predicate, QueryPlan, QueryStats};
+pub use txn::Transaction;

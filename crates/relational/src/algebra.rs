@@ -1,0 +1,403 @@
+//! The relational algebra of the paper's Section 2.
+//!
+//! All operators are pure functions over [`Relation`]s. The outer-equi-join
+//! implements the three-part union `r1 ∪ r2 ∪ r3` literally, with **both**
+//! join columns retained in the result — the redundancy this creates is what
+//! the paper's `Remove` procedure (Definition 4.3) later eliminates.
+
+use std::collections::HashMap;
+
+use crate::attribute::Attribute;
+use crate::error::{Error, Result};
+use crate::relation::Relation;
+use crate::value::Tuple;
+
+/// Projection `π_W(r)`: the set of subtuples of `r` over the attributes `W`
+/// (named in `names`, in the requested output order). Duplicates are
+/// eliminated (set semantics).
+pub fn project(r: &Relation, names: &[&str]) -> Result<Relation> {
+    let pos = r.positions(names)?;
+    let header: Vec<Attribute> = pos.iter().map(|&i| r.header()[i].clone()).collect();
+    let mut out = Relation::new(header)?;
+    for t in r.iter() {
+        out.insert(t.project(&pos))?;
+    }
+    Ok(out)
+}
+
+/// Total projection `π↓_W(r)`: the subset of **total** tuples of `π_W(r)`
+/// (paper §2). This is the reconstruction operator of the `Merge` state
+/// mapping η′.
+pub fn total_project(r: &Relation, names: &[&str]) -> Result<Relation> {
+    let pos = r.positions(names)?;
+    let header: Vec<Attribute> = pos.iter().map(|&i| r.header()[i].clone()).collect();
+    let mut out = Relation::new(header)?;
+    for t in r.iter() {
+        if t.is_total_at(&pos) {
+            out.insert(t.project(&pos))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Renaming `rename(r; W → Y)`: replaces the attributes named in `from` by
+/// the compatible attributes `to` (positionally), leaving all values
+/// untouched.
+pub fn rename(r: &Relation, from: &[&str], to: &[Attribute]) -> Result<Relation> {
+    if from.len() != to.len() {
+        return Err(Error::IncompatibleAttributes {
+            detail: format!("rename arity mismatch: {} vs {}", from.len(), to.len()),
+        });
+    }
+    let pos = r.positions(from)?;
+    let mut header = r.header().to_vec();
+    for (&i, new_attr) in pos.iter().zip(to) {
+        if !header[i].compatible(new_attr) {
+            return Err(Error::IncompatibleAttributes {
+                detail: format!(
+                    "cannot rename `{}` ({}) to `{}` ({})",
+                    header[i].name(),
+                    header[i].domain(),
+                    new_attr.name(),
+                    new_attr.domain()
+                ),
+            });
+        }
+        header[i] = new_attr.clone();
+    }
+    Relation::with_rows(header, r.iter().cloned())
+}
+
+/// Union of two relations over identical headers.
+pub fn union(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    if r1.header() != r2.header() {
+        return Err(Error::IncompatibleAttributes {
+            detail: "union requires identical headers".to_owned(),
+        });
+    }
+    let mut out = r1.clone();
+    for t in r2.iter() {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Set difference `r1 − r2` over identical headers.
+pub fn difference(r1: &Relation, r2: &Relation) -> Result<Relation> {
+    if r1.header() != r2.header() {
+        return Err(Error::IncompatibleAttributes {
+            detail: "difference requires identical headers".to_owned(),
+        });
+    }
+    let mut out = Relation::new(r1.header().to_vec())?;
+    for t in r1.iter() {
+        if !r2.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Selection keeping tuples where the subtuple over `names` equals `key`.
+pub fn select_eq(r: &Relation, names: &[&str], key: &Tuple) -> Result<Relation> {
+    let pos = r.positions(names)?;
+    let mut out = Relation::new(r.header().to_vec())?;
+    for t in r.iter() {
+        if &t.project(&pos) == key {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+fn joined_header(r1: &Relation, r2: &Relation) -> Result<Vec<Attribute>> {
+    let mut header = r1.header().to_vec();
+    for a in r2.header() {
+        if header.iter().any(|h| h.name() == a.name()) {
+            return Err(Error::DuplicateAttribute(a.name().to_owned()));
+        }
+        header.push(a.clone());
+    }
+    Ok(header)
+}
+
+fn check_join_condition(
+    r1: &Relation,
+    r2: &Relation,
+    on: &[(&str, &str)],
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let left: Vec<&str> = on.iter().map(|(l, _)| *l).collect();
+    let right: Vec<&str> = on.iter().map(|(_, r)| *r).collect();
+    let lpos = r1.positions(&left)?;
+    let rpos = r2.positions(&right)?;
+    for (&l, &r) in lpos.iter().zip(&rpos) {
+        let (la, ra) = (&r1.header()[l], &r2.header()[r]);
+        if !la.compatible(ra) {
+            return Err(Error::IncompatibleAttributes {
+                detail: format!(
+                    "join condition `{}` = `{}` over incompatible domains {} / {}",
+                    la.name(),
+                    ra.name(),
+                    la.domain(),
+                    ra.domain()
+                ),
+            });
+        }
+    }
+    Ok((lpos, rpos))
+}
+
+/// Equi-join `r1 ⋈_{Y=Z} r2` (paper §2): tuples `t` with `t[X₁] ∈ r1`,
+/// `t[X₂] ∈ r2` and `t[Y] = t[Z]`. Both `Y` and `Z` columns are retained;
+/// the attribute names of the two relations must be disjoint.
+///
+/// Implemented as a hash join on the `Y`/`Z` subtuples; null join keys are
+/// treated as values (`null = null`), consistent with the paper's
+/// all-nulls-identical model.
+pub fn equi_join(r1: &Relation, r2: &Relation, on: &[(&str, &str)]) -> Result<Relation> {
+    let (lpos, rpos) = check_join_condition(r1, r2, on)?;
+    let header = joined_header(r1, r2)?;
+    let mut table: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+    for t in r2.iter() {
+        table.entry(t.project(&rpos)).or_default().push(t);
+    }
+    let mut out = Relation::new(header)?;
+    for t in r1.iter() {
+        if let Some(matches) = table.get(&t.project(&lpos)) {
+            for m in matches {
+                out.insert(t.concat(m))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Outer-equi-join `r1 ⟗_{Y=Z} r2` (paper §2): the union of
+///
+/// 1. `r1 ⋈_{Y=Z} r2`,
+/// 2. `null_{k₁} ++ t` for each `t ∈ r2` with no `Y`-partner in `r1`, and
+/// 3. `t ++ null_{k₂}` for each `t ∈ r1` with no `Z`-partner in `r2`
+///
+/// (a *full* outer join in modern terms). This is the engine of the `Merge`
+/// state mapping η (Definition 4.1).
+pub fn outer_equi_join(r1: &Relation, r2: &Relation, on: &[(&str, &str)]) -> Result<Relation> {
+    let (lpos, rpos) = check_join_condition(r1, r2, on)?;
+    let header = joined_header(r1, r2)?;
+    let mut table: HashMap<Tuple, (Vec<&Tuple>, bool)> = HashMap::new();
+    for t in r2.iter() {
+        table.entry(t.project(&rpos)).or_default().0.push(t);
+    }
+    let mut out = Relation::new(header)?;
+    let left_nulls = Tuple::nulls(r1.arity());
+    let right_nulls = Tuple::nulls(r2.arity());
+    for t in r1.iter() {
+        match table.get_mut(&t.project(&lpos)) {
+            Some((matches, hit)) => {
+                *hit = true;
+                for m in matches.iter() {
+                    out.insert(t.concat(m))?;
+                }
+            }
+            None => {
+                // r3: left tuple with no partner.
+                out.insert(t.concat(&right_nulls))?;
+            }
+        }
+    }
+    for (matches, hit) in table.values() {
+        if !hit {
+            // r2: right tuples with no partner.
+            for m in matches {
+                out.insert(left_nulls.concat(m))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::Value;
+
+    fn attr(name: &str, d: Domain) -> Attribute {
+        Attribute::new(name, d)
+    }
+
+    fn rel(names: &[(&str, Domain)], rows: &[&[Value]]) -> Relation {
+        let header = names.iter().map(|(n, d)| attr(n, *d)).collect();
+        Relation::with_rows(
+            header,
+            rows.iter().map(|r| Tuple::new(r.to_vec())),
+        )
+        .unwrap()
+    }
+
+    fn teach() -> Relation {
+        // TEACH(T.CN, T.FN)
+        rel(
+            &[("T.CN", Domain::Int), ("T.FN", Domain::Text)],
+            &[
+                &[Value::Int(1), Value::text("curie")],
+                &[Value::Int(2), Value::text("noether")],
+            ],
+        )
+    }
+
+    fn offer() -> Relation {
+        // OFFER(O.CN, O.DN)
+        rel(
+            &[("O.CN", Domain::Int), ("O.DN", Domain::Text)],
+            &[
+                &[Value::Int(1), Value::text("physics")],
+                &[Value::Int(3), Value::text("math")],
+            ],
+        )
+    }
+
+    #[test]
+    fn project_dedupes() {
+        let r = rel(
+            &[("A", Domain::Int), ("B", Domain::Int)],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(1), Value::Int(20)],
+            ],
+        );
+        let p = project(&r, &["A"]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.attr_names(), ["A"]);
+    }
+
+    #[test]
+    fn total_project_filters_partial_tuples() {
+        let r = rel(
+            &[("A", Domain::Int), ("B", Domain::Int)],
+            &[
+                &[Value::Int(1), Value::Int(10)],
+                &[Value::Int(2), Value::Null],
+                &[Value::Null, Value::Int(30)],
+            ],
+        );
+        let p = total_project(&r, &["A", "B"]).unwrap();
+        assert_eq!(p.len(), 1);
+        let q = total_project(&r, &["B"]).unwrap();
+        assert_eq!(q.len(), 2); // 10 and 30
+        assert!(q.contains(&Tuple::new([Value::Int(30)])));
+    }
+
+    #[test]
+    fn rename_changes_header_only() {
+        let r = teach();
+        let renamed = rename(&r, &["T.CN"], &[attr("CN", Domain::Int)]).unwrap();
+        assert_eq!(renamed.attr_names(), ["CN", "T.FN"]);
+        assert_eq!(renamed.len(), 2);
+        assert!(renamed.contains(&Tuple::new([Value::Int(1), Value::text("curie")])));
+    }
+
+    #[test]
+    fn rename_rejects_incompatible_target() {
+        let r = teach();
+        assert!(rename(&r, &["T.CN"], &[attr("CN", Domain::Text)]).is_err());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = rel(&[("A", Domain::Int)], &[&[Value::Int(1)], &[Value::Int(2)]]);
+        let b = rel(&[("A", Domain::Int)], &[&[Value::Int(2)], &[Value::Int(3)]]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+        let d = difference(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(&Tuple::new([Value::Int(1)])));
+    }
+
+    #[test]
+    fn union_requires_identical_headers() {
+        let a = rel(&[("A", Domain::Int)], &[]);
+        let b = rel(&[("B", Domain::Int)], &[]);
+        assert!(union(&a, &b).is_err());
+    }
+
+    #[test]
+    fn equi_join_keeps_both_columns() {
+        let j = equi_join(&teach(), &offer(), &[("T.CN", "O.CN")]).unwrap();
+        assert_eq!(j.attr_names(), ["T.CN", "T.FN", "O.CN", "O.DN"]);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Tuple::new([
+            Value::Int(1),
+            Value::text("curie"),
+            Value::Int(1),
+            Value::text("physics"),
+        ])));
+    }
+
+    #[test]
+    fn equi_join_rejects_name_clash() {
+        let a = rel(&[("A", Domain::Int)], &[]);
+        let b = rel(&[("A", Domain::Int)], &[]);
+        assert!(equi_join(&a, &b, &[("A", "A")]).is_err());
+    }
+
+    #[test]
+    fn outer_equi_join_has_all_three_parts() {
+        let j = outer_equi_join(&teach(), &offer(), &[("T.CN", "O.CN")]).unwrap();
+        assert_eq!(j.len(), 3);
+        // r1: the matched tuple.
+        assert!(j.contains(&Tuple::new([
+            Value::Int(1),
+            Value::text("curie"),
+            Value::Int(1),
+            Value::text("physics"),
+        ])));
+        // r3: TEACH tuple 2 unmatched, right padded with nulls.
+        assert!(j.contains(&Tuple::new([
+            Value::Int(2),
+            Value::text("noether"),
+            Value::Null,
+            Value::Null,
+        ])));
+        // r2: OFFER tuple 3 unmatched, left padded with nulls.
+        assert!(j.contains(&Tuple::new([
+            Value::Null,
+            Value::Null,
+            Value::Int(3),
+            Value::text("math"),
+        ])));
+    }
+
+    #[test]
+    fn outer_join_reconstructs_by_total_projection() {
+        // The round-trip the Merge mapping relies on: total projections of the
+        // outer join give back the operands (here key values are unique).
+        let j = outer_equi_join(&teach(), &offer(), &[("T.CN", "O.CN")]).unwrap();
+        let t = total_project(&j, &["T.CN", "T.FN"]).unwrap();
+        assert!(t.set_eq(&teach()));
+        let o = total_project(&j, &["O.CN", "O.DN"]).unwrap();
+        assert!(o.set_eq(&offer()));
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let r = teach();
+        let s = select_eq(&r, &["T.CN"], &Tuple::new([Value::Int(2)])).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Tuple::new([Value::Int(2), Value::text("noether")])));
+    }
+
+    #[test]
+    fn outer_join_with_empty_sides() {
+        let empty_t = rel(&[("T.CN", Domain::Int), ("T.FN", Domain::Text)], &[]);
+        let j = outer_equi_join(&empty_t, &offer(), &[("T.CN", "O.CN")]).unwrap();
+        assert_eq!(j.len(), 2);
+        for t in j.iter() {
+            assert!(t.is_all_null_at(&[0, 1]));
+        }
+        let j2 = outer_equi_join(&teach(), &rel(&[("O.CN", Domain::Int), ("O.DN", Domain::Text)], &[]), &[("T.CN", "O.CN")]).unwrap();
+        assert_eq!(j2.len(), 2);
+        for t in j2.iter() {
+            assert!(t.is_all_null_at(&[2, 3]));
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Attributes and attribute-set correspondences.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::Domain;
+use crate::error::{Error, Result};
+
+/// A named, typed attribute.
+///
+/// The paper assumes *"the attributes are assigned globally unique names in
+/// the schema"* (Definition 4.1); we follow the figures and use dotted names
+/// such as `O.C.NR` ("attribute `C.NR` as it appears in relation-scheme
+/// `OFFER`"). The name is reference-counted so that attributes can be shared
+/// between schemes, relations, and constraints without repeated allocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attribute {
+    name: Arc<str>,
+    domain: Domain,
+}
+
+impl Attribute {
+    /// Creates an attribute with the given globally-unique name and domain.
+    pub fn new(name: impl Into<Arc<str>>, domain: Domain) -> Self {
+        Attribute {
+            name: name.into(),
+            domain,
+        }
+    }
+
+    /// The attribute's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A clone of the reference-counted name (cheap).
+    #[must_use]
+    pub fn name_arc(&self) -> Arc<str> {
+        Arc::clone(&self.name)
+    }
+
+    /// The attribute's domain.
+    #[must_use]
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Whether this attribute is compatible with `other` (paper §2:
+    /// associated with the same domain).
+    #[must_use]
+    pub fn compatible(&self, other: &Attribute) -> bool {
+        self.domain.compatible(other.domain)
+    }
+
+    /// Returns a copy of this attribute renamed to `name` (same domain) —
+    /// the building block of the algebra's `rename` operator.
+    pub fn renamed(&self, name: impl Into<Arc<str>>) -> Attribute {
+        Attribute {
+            name: name.into(),
+            domain: self.domain,
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// An explicit one-to-one correspondence between two compatible attribute
+/// sets (paper §2: *"attribute sets X and Y are said to be compatible iff
+/// there exists a one-to-one correspondence of compatible attributes between
+/// X and Y"*).
+///
+/// Order matters: `left[i]` corresponds to `right[i]`. All paper constructs
+/// that relate two attribute sets — inclusion dependencies, total-equality
+/// constraints, renamings, join conditions — carry such a correspondence.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrCorrespondence {
+    pairs: Vec<(Arc<str>, Arc<str>)>,
+}
+
+impl AttrCorrespondence {
+    /// Builds a correspondence from parallel name lists, verifying arity and
+    /// pairwise domain compatibility against the providing attribute slices.
+    pub fn new(left: &[Attribute], right: &[Attribute]) -> Result<Self> {
+        if left.len() != right.len() {
+            return Err(Error::IncompatibleAttributes {
+                detail: format!(
+                    "arity mismatch: {} vs {}",
+                    names(left).join(","),
+                    names(right).join(",")
+                ),
+            });
+        }
+        for (l, r) in left.iter().zip(right) {
+            if !l.compatible(r) {
+                return Err(Error::IncompatibleAttributes {
+                    detail: format!(
+                        "`{}` ({}) vs `{}` ({})",
+                        l.name(),
+                        l.domain(),
+                        r.name(),
+                        r.domain()
+                    ),
+                });
+            }
+        }
+        Ok(AttrCorrespondence {
+            pairs: left
+                .iter()
+                .zip(right)
+                .map(|(l, r)| (l.name_arc(), r.name_arc()))
+                .collect(),
+        })
+    }
+
+    /// The ordered pairs `(left, right)` of corresponding attribute names.
+    #[must_use]
+    pub fn pairs(&self) -> &[(Arc<str>, Arc<str>)] {
+        &self.pairs
+    }
+
+    /// Left-hand attribute names, in order.
+    pub fn left(&self) -> impl Iterator<Item = &str> {
+        self.pairs.iter().map(|(l, _)| &**l)
+    }
+
+    /// Right-hand attribute names, in order.
+    pub fn right(&self) -> impl Iterator<Item = &str> {
+        self.pairs.iter().map(|(_, r)| &**r)
+    }
+
+    /// Number of attribute pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the correspondence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Names of a slice of attributes, in order. Small helper used pervasively
+/// in diagnostics and display code.
+#[must_use]
+pub fn names(attrs: &[Attribute]) -> Vec<String> {
+    attrs.iter().map(|a| a.name().to_owned()).collect()
+}
+
+/// Looks up the position of `name` within `attrs`.
+pub fn position(attrs: &[Attribute], name: &str) -> Option<usize> {
+    attrs.iter().position(|a| a.name() == name)
+}
+
+/// Resolves each of `wanted` to its position in `attrs`, failing with
+/// [`Error::UnknownAttribute`] on the first miss.
+pub fn positions(attrs: &[Attribute], wanted: &[&str], context: &str) -> Result<Vec<usize>> {
+    wanted
+        .iter()
+        .map(|w| {
+            position(attrs, w).ok_or_else(|| Error::UnknownAttribute {
+                attribute: (*w).to_owned(),
+                context: context.to_owned(),
+            })
+        })
+        .collect()
+}
+
+/// Whether two attribute slices are compatible as *sets* in the paper's
+/// sense: equal arity with pairwise compatible domains under the given
+/// (positional) correspondence.
+#[must_use]
+pub fn compatible_sets(left: &[Attribute], right: &[Attribute]) -> bool {
+    left.len() == right.len() && left.iter().zip(right).all(|(l, r)| l.compatible(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(name: &str, d: Domain) -> Attribute {
+        Attribute::new(name, d)
+    }
+
+    #[test]
+    fn attribute_accessors() {
+        let ssn = a("E.SSN", Domain::Int);
+        assert_eq!(ssn.name(), "E.SSN");
+        assert_eq!(ssn.domain(), Domain::Int);
+        assert_eq!(ssn.to_string(), "E.SSN");
+    }
+
+    #[test]
+    fn renamed_keeps_domain() {
+        let ssn = a("E.SSN", Domain::Int);
+        let m = ssn.renamed("M.SSN");
+        assert_eq!(m.name(), "M.SSN");
+        assert_eq!(m.domain(), Domain::Int);
+    }
+
+    #[test]
+    fn compatibility_ignores_names() {
+        assert!(a("X", Domain::Text).compatible(&a("Y", Domain::Text)));
+        assert!(!a("X", Domain::Text).compatible(&a("X", Domain::Int)));
+    }
+
+    #[test]
+    fn correspondence_rejects_arity_mismatch() {
+        let l = [a("A", Domain::Int)];
+        let r = [a("B", Domain::Int), a("C", Domain::Int)];
+        assert!(AttrCorrespondence::new(&l, &r).is_err());
+    }
+
+    #[test]
+    fn correspondence_rejects_domain_mismatch() {
+        let l = [a("A", Domain::Int)];
+        let r = [a("B", Domain::Text)];
+        assert!(AttrCorrespondence::new(&l, &r).is_err());
+    }
+
+    #[test]
+    fn correspondence_pairs_in_order() {
+        let l = [a("A", Domain::Int), a("B", Domain::Text)];
+        let r = [a("C", Domain::Int), a("D", Domain::Text)];
+        let c = AttrCorrespondence::new(&l, &r).unwrap();
+        assert_eq!(c.len(), 2);
+        let pairs: Vec<(&str, &str)> = c
+            .pairs()
+            .iter()
+            .map(|(x, y)| (&**x, &**y))
+            .collect();
+        assert_eq!(pairs, vec![("A", "C"), ("B", "D")]);
+        assert_eq!(c.left().collect::<Vec<_>>(), ["A", "B"]);
+        assert_eq!(c.right().collect::<Vec<_>>(), ["C", "D"]);
+    }
+
+    #[test]
+    fn positions_resolve_and_fail() {
+        let attrs = [a("A", Domain::Int), a("B", Domain::Text)];
+        assert_eq!(positions(&attrs, &["B", "A"], "t").unwrap(), vec![1, 0]);
+        let err = positions(&attrs, &["Z"], "t").unwrap_err();
+        assert!(matches!(err, Error::UnknownAttribute { .. }));
+    }
+
+    #[test]
+    fn compatible_sets_checks_pairwise() {
+        let l = [a("A", Domain::Int), a("B", Domain::Text)];
+        let ok = [a("C", Domain::Int), a("D", Domain::Text)];
+        let bad = [a("C", Domain::Text), a("D", Domain::Int)];
+        assert!(compatible_sets(&l, &ok));
+        assert!(!compatible_sets(&l, &bad));
+        assert!(!compatible_sets(&l, &ok[..1]));
+    }
+}

@@ -1,0 +1,82 @@
+//! Attribute domains.
+
+use std::fmt;
+
+/// The domain (type) an attribute draws its non-null values from.
+///
+/// Section 2 of the paper: *"Every attribute is associated with a domain"*,
+/// and two attributes are **compatible** iff they are associated with the
+/// same domain. Domains are deliberately coarse — the merging theory only
+/// ever inspects equality of domains, never their internal structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// 64-bit signed integers (course numbers, SSNs, …).
+    Int,
+    /// Unicode text (names, department names, …).
+    Text,
+    /// Booleans.
+    Bool,
+    /// Dates, represented as days since an arbitrary epoch.
+    Date,
+}
+
+impl Domain {
+    /// Whether two attributes over these domains are compatible
+    /// (paper §2: identical domains).
+    #[must_use]
+    pub fn compatible(self, other: Domain) -> bool {
+        self == other
+    }
+
+    /// A short SQL-ish spelling used by the DDL generator and in display
+    /// output.
+    #[must_use]
+    pub fn sql_name(self) -> &'static str {
+        match self {
+            Domain::Int => "INTEGER",
+            Domain::Text => "VARCHAR(64)",
+            Domain::Bool => "SMALLINT",
+            Domain::Date => "DATE",
+        }
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Domain::Int => "int",
+            Domain::Text => "text",
+            Domain::Bool => "bool",
+            Domain::Date => "date",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_is_domain_equality() {
+        assert!(Domain::Int.compatible(Domain::Int));
+        assert!(!Domain::Int.compatible(Domain::Text));
+        assert!(Domain::Date.compatible(Domain::Date));
+        assert!(!Domain::Bool.compatible(Domain::Date));
+    }
+
+    #[test]
+    fn sql_names_are_distinct() {
+        let names = [
+            Domain::Int.sql_name(),
+            Domain::Text.sql_name(),
+            Domain::Bool.sql_name(),
+            Domain::Date.sql_name(),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Paper-style figure rendering.
+//!
+//! The figures of the paper present schemas as numbered lists of
+//! relation-schemes (keys underlined — rendered here as `_NAME_`),
+//! inclusion dependencies, and null constraints, with nullable attributes
+//! starred (`DATE*`, Figure 1(iii)) and an abbreviation footer. This module
+//! renders a [`RelationalSchema`] in that style, so `reproduce` output can
+//! be compared side by side with the paper.
+
+use std::fmt::Write as _;
+
+use crate::schema::RelationalSchema;
+
+/// Renders `schema` in the paper's figure layout.
+#[must_use]
+pub fn render_figure(schema: &RelationalSchema, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "Relation-Schemes (underlined keys; * = nulls allowed)");
+    for (i, s) in schema.schemes().iter().enumerate() {
+        let pk: Vec<&str> = s.primary_key();
+        let parts: Vec<String> = s
+            .attrs()
+            .iter()
+            .map(|a| {
+                let name = a.name();
+                let nullable = !schema.attr_not_null(s.name(), name);
+                let starred = if nullable && !pk.contains(&name) {
+                    format!("{name}*")
+                } else {
+                    name.to_owned()
+                };
+                if pk.contains(&name) {
+                    format!("_{starred}_")
+                } else {
+                    starred
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "({}) {} ({})", i + 1, s.name(), parts.join(", "));
+    }
+    if !schema.inds().is_empty() {
+        let _ = writeln!(out, "Inclusion Dependencies");
+        for (i, ind) in schema.inds().iter().enumerate() {
+            let _ = writeln!(out, "({}) {}", i + 1, ind);
+        }
+    }
+    if !schema.null_constraints().is_empty() {
+        let _ = writeln!(out, "Null Constraints");
+        for (i, c) in schema.null_constraints().iter().enumerate() {
+            let _ = writeln!(out, "({}) {}", i + 1, c);
+        }
+    }
+    // Abbreviation footer: the distinct first components of dotted
+    // attribute names, mapped to the scheme that declares them.
+    let mut abbrevs: Vec<(String, String)> = Vec::new();
+    for s in schema.schemes() {
+        for a in s.attrs() {
+            if let Some((prefix, _)) = a.name().split_once('.') {
+                let entry = (prefix.to_owned(), s.name().to_owned());
+                if !abbrevs.contains(&entry)
+                    && !abbrevs.iter().any(|(p, _)| p == prefix)
+                    && s.name().starts_with(prefix.chars().next().unwrap_or('_'))
+                {
+                    abbrevs.push(entry);
+                }
+            }
+        }
+    }
+    if !abbrevs.is_empty() {
+        abbrevs.sort();
+        let pairs: Vec<String> = abbrevs
+            .into_iter()
+            .map(|(p, s)| format!("{p}={s}"))
+            .collect();
+        let _ = writeln!(out, "Abbreviations: {}", pairs.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::domain::Domain;
+    use crate::ind::InclusionDep;
+    use crate::nullcon::NullConstraint;
+    use crate::scheme::RelationScheme;
+
+    fn schema() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new(
+                "WORKS",
+                vec![
+                    Attribute::new("W.SSN", Domain::Int),
+                    Attribute::new("W.NR", Domain::Int),
+                    Attribute::new("W.DATE", Domain::Date),
+                ],
+                &["W.SSN"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.add_scheme(
+            RelationScheme::new(
+                "PROJECT",
+                vec![Attribute::new("P.NR", Domain::Int)],
+                &["P.NR"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("WORKS", &["W.SSN"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("PROJECT", &["P.NR"])).unwrap();
+        rs.add_ind(InclusionDep::new("WORKS", &["W.NR"], "PROJECT", &["P.NR"]))
+            .unwrap();
+        rs
+    }
+
+    #[test]
+    fn figure_rendering_shape() {
+        let text = render_figure(&schema(), "Fig. X. Test Schema.");
+        assert!(text.starts_with("Fig. X. Test Schema.\n"));
+        // Keys underlined, nullable non-key attrs starred.
+        assert!(text.contains("(1) WORKS (_W.SSN_, W.NR*, W.DATE*)"), "{text}");
+        assert!(text.contains("(2) PROJECT (_P.NR_)"));
+        // Numbered dependency and constraint sections.
+        assert!(text.contains("Inclusion Dependencies\n(1) WORKS [W.NR] <= PROJECT [P.NR]"));
+        assert!(text.contains("Null Constraints\n(1) WORKS: 0 E-> W.SSN"));
+        // Abbreviation footer.
+        assert!(text.contains("Abbreviations:"));
+        assert!(text.contains("P=PROJECT"));
+        assert!(text.contains("W=WORKS"));
+    }
+
+    #[test]
+    fn empty_sections_omitted() {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new("R", vec![Attribute::new("K", Domain::Int)], &["K"]).unwrap(),
+        )
+        .unwrap();
+        let text = render_figure(&rs, "t");
+        assert!(!text.contains("Inclusion Dependencies"));
+        assert!(!text.contains("Null Constraints"));
+        assert!(!text.contains("Abbreviations"));
+    }
+}

@@ -1,0 +1,321 @@
+//! Relations: headers plus sets of tuples.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::attribute::{self, Attribute};
+use crate::error::{Error, Result};
+use crate::value::Tuple;
+
+/// A relation: an ordered attribute header and a *set* of tuples.
+///
+/// Set semantics follow the paper (§2 treats relations as sets); insertion
+/// order is preserved for deterministic display and iteration, while a hash
+/// index provides O(1) duplicate elimination and membership tests.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    header: Vec<Attribute>,
+    rows: Vec<Tuple>,
+    index: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `header`.
+    ///
+    /// Attribute names within one header must be distinct.
+    pub fn new(header: Vec<Attribute>) -> Result<Self> {
+        let mut seen = HashSet::with_capacity(header.len());
+        for a in &header {
+            if !seen.insert(a.name()) {
+                return Err(Error::DuplicateAttribute(a.name().to_owned()));
+            }
+        }
+        Ok(Relation {
+            header,
+            rows: Vec::new(),
+            index: HashSet::new(),
+        })
+    }
+
+    /// Creates a relation and inserts every tuple of `rows`.
+    pub fn with_rows(header: Vec<Attribute>, rows: impl IntoIterator<Item = Tuple>) -> Result<Self> {
+        let mut r = Relation::new(header)?;
+        for t in rows {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The header attributes, in order.
+    #[must_use]
+    pub fn header(&self) -> &[Attribute] {
+        &self.header
+    }
+
+    /// Attribute names of the header, in order.
+    #[must_use]
+    pub fn attr_names(&self) -> Vec<&str> {
+        self.header.iter().map(Attribute::name).collect()
+    }
+
+    /// Arity (number of attributes).
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.header.len()
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// The tuples as a slice, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Whether `t` is a member of the relation.
+    #[must_use]
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.index.contains(t)
+    }
+
+    /// Position of attribute `name` in the header.
+    #[must_use]
+    pub fn position(&self, name: &str) -> Option<usize> {
+        attribute::position(&self.header, name)
+    }
+
+    /// Positions of each of `names` in the header, failing on unknown names.
+    pub fn positions(&self, names: &[&str]) -> Result<Vec<usize>> {
+        attribute::positions(&self.header, names, "relation")
+    }
+
+    /// Inserts a tuple; returns `Ok(true)` if it was new, `Ok(false)` if the
+    /// relation already contained it (set semantics), or an error when the
+    /// tuple's arity or value domains do not match the header.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.header.len() {
+            return Err(Error::TupleMismatch {
+                detail: format!(
+                    "arity {} does not match header arity {}",
+                    t.arity(),
+                    self.header.len()
+                ),
+            });
+        }
+        for (v, a) in t.values().iter().zip(&self.header) {
+            if !v.fits(a.domain()) {
+                return Err(Error::TupleMismatch {
+                    detail: format!(
+                        "value {v} does not fit domain {} of attribute `{}`",
+                        a.domain(),
+                        a.name()
+                    ),
+                });
+            }
+        }
+        if self.index.contains(&t) {
+            return Ok(false);
+        }
+        self.index.insert(t.clone());
+        self.rows.push(t);
+        Ok(true)
+    }
+
+    /// Removes a tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.index.remove(t) {
+            let pos = self
+                .rows
+                .iter()
+                .position(|r| r == t)
+                .expect("index and rows are kept in sync");
+            self.rows.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Two relations are *equal as sets* if their headers match (same names
+    /// and domains, same order) and they contain the same tuples.
+    #[must_use]
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.header == other.header
+            && self.rows.len() == other.rows.len()
+            && self.rows.iter().all(|t| other.index.contains(t))
+    }
+
+    /// Set equality up to column order: reorders `other`'s columns to match
+    /// `self`'s header by name before comparing. Returns `false` when the
+    /// headers are not a permutation of one another.
+    #[must_use]
+    pub fn set_eq_unordered(&self, other: &Relation) -> bool {
+        if self.arity() != other.arity() || self.len() != other.len() {
+            return false;
+        }
+        let Ok(perm) = other.positions(&self.attr_names()) else {
+            return false;
+        };
+        if self
+            .header
+            .iter()
+            .zip(&perm)
+            .any(|(a, &i)| a.domain() != other.header[i].domain())
+        {
+            return false;
+        }
+        let reordered: HashSet<Tuple> = other.rows.iter().map(|t| t.project(&perm)).collect();
+        self.rows.iter().all(|t| reordered.contains(t))
+    }
+
+    /// Total size in values (arity × cardinality): the paper's §4.2 argument
+    /// that `Remove` "reduces the size of the relations" is measured in
+    /// these units.
+    #[must_use]
+    pub fn value_count(&self) -> usize {
+        self.arity() * self.len()
+    }
+
+    /// Number of stored values that are null; `Remove` shrinks this.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|t| t.values().iter().filter(|v| v.is_null()).count())
+            .sum()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({})",
+            self.header
+                .iter()
+                .map(|a| a.name().to_owned())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        writeln!(f, " [{} tuples]", self.rows.len())?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::Value;
+
+    fn header() -> Vec<Attribute> {
+        vec![
+            Attribute::new("A", Domain::Int),
+            Attribute::new("B", Domain::Text),
+        ]
+    }
+
+    #[test]
+    fn rejects_duplicate_header_names() {
+        let h = vec![
+            Attribute::new("A", Domain::Int),
+            Attribute::new("A", Domain::Text),
+        ];
+        assert!(matches!(Relation::new(h), Err(Error::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn set_semantics_dedupe() {
+        let mut r = Relation::new(header()).unwrap();
+        let t = Tuple::new([Value::Int(1), Value::text("x")]);
+        assert!(r.insert(t.clone()).unwrap());
+        assert!(!r.insert(t.clone()).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&t));
+    }
+
+    #[test]
+    fn insert_validates_arity_and_domain() {
+        let mut r = Relation::new(header()).unwrap();
+        assert!(r.insert(Tuple::new([Value::Int(1)])).is_err());
+        assert!(r
+            .insert(Tuple::new([Value::text("no"), Value::text("x")]))
+            .is_err());
+        // Nulls fit anywhere.
+        assert!(r.insert(Tuple::new([Value::Null, Value::Null])).is_ok());
+    }
+
+    #[test]
+    fn remove_keeps_index_in_sync() {
+        let mut r = Relation::new(header()).unwrap();
+        let t1 = Tuple::new([Value::Int(1), Value::text("x")]);
+        let t2 = Tuple::new([Value::Int(2), Value::text("y")]);
+        r.insert(t1.clone()).unwrap();
+        r.insert(t2.clone()).unwrap();
+        assert!(r.remove(&t1));
+        assert!(!r.remove(&t1));
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&t1));
+        assert!(r.contains(&t2));
+    }
+
+    #[test]
+    fn set_equality_ignores_insertion_order() {
+        let t1 = Tuple::new([Value::Int(1), Value::text("x")]);
+        let t2 = Tuple::new([Value::Int(2), Value::text("y")]);
+        let r1 = Relation::with_rows(header(), [t1.clone(), t2.clone()]).unwrap();
+        let r2 = Relation::with_rows(header(), [t2, t1]).unwrap();
+        assert!(r1.set_eq(&r2));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn set_eq_unordered_permutes_columns() {
+        let r1 = Relation::with_rows(header(), [Tuple::new([Value::Int(1), Value::text("x")])])
+            .unwrap();
+        let flipped = vec![
+            Attribute::new("B", Domain::Text),
+            Attribute::new("A", Domain::Int),
+        ];
+        let r2 =
+            Relation::with_rows(flipped, [Tuple::new([Value::text("x"), Value::Int(1)])]).unwrap();
+        assert!(r1.set_eq_unordered(&r2));
+        assert!(!r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn size_metrics() {
+        let mut r = Relation::new(header()).unwrap();
+        r.insert(Tuple::new([Value::Int(1), Value::Null])).unwrap();
+        r.insert(Tuple::new([Value::Int(2), Value::text("y")]))
+            .unwrap();
+        assert_eq!(r.value_count(), 4);
+        assert_eq!(r.null_count(), 1);
+    }
+}

@@ -1,0 +1,385 @@
+//! Whole relational schemas `RS = (R, F ∪ I ∪ N)`.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::fd::{Fd, FdSet};
+use crate::ind::InclusionDep;
+use crate::nullcon::NullConstraint;
+use crate::scheme::RelationScheme;
+
+/// A relational schema in the paper's sense: a set `R` of relation-schemes
+/// together with key dependencies `F` (implicit in the schemes' declared
+/// keys, plus any explicit extras), key-based inclusion dependencies `I`,
+/// and null constraints `N`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RelationalSchema {
+    schemes: Vec<RelationScheme>,
+    inds: Vec<InclusionDep>,
+    null_constraints: Vec<NullConstraint>,
+    extra_fds: Vec<Fd>,
+}
+
+impl RelationalSchema {
+    /// An empty schema.
+    #[must_use]
+    pub fn new() -> Self {
+        RelationalSchema::default()
+    }
+
+    /// Adds a relation-scheme. Scheme names must be unique; attribute names
+    /// are unique *within* a scheme by construction. Global attribute
+    /// uniqueness across schemes is Definition 4.1's assumption and is
+    /// checked by `Merge::plan` for the schemes being merged, not here —
+    /// ordinary relational schemas (the paper's Figure 1) may reuse
+    /// attribute names across schemes.
+    pub fn add_scheme(&mut self, scheme: RelationScheme) -> Result<()> {
+        if self.schemes.iter().any(|s| s.name() == scheme.name()) {
+            return Err(Error::DuplicateScheme(scheme.name().to_owned()));
+        }
+        self.schemes.push(scheme);
+        Ok(())
+    }
+
+    /// Adds an inclusion dependency, validating it against the schemes.
+    pub fn add_ind(&mut self, ind: InclusionDep) -> Result<()> {
+        let lhs = self.scheme_required(&ind.lhs_rel)?;
+        let rhs = self.scheme_required(&ind.rhs_rel)?;
+        ind.validate(lhs, rhs)?;
+        if !self.inds.contains(&ind) {
+            self.inds.push(ind);
+        }
+        Ok(())
+    }
+
+    /// Adds a null constraint, validating it against its scheme.
+    pub fn add_null_constraint(&mut self, c: NullConstraint) -> Result<()> {
+        let scheme = self.scheme_required(c.rel())?;
+        c.validate(scheme)?;
+        if !self.null_constraints.contains(&c) {
+            self.null_constraints.push(c);
+        }
+        Ok(())
+    }
+
+    /// Adds an explicit (non-key) functional dependency. The paper's
+    /// schemas never need this — `F` consists of key dependencies — but the
+    /// substrate supports it for baseline comparisons.
+    pub fn add_fd(&mut self, fd: Fd) -> Result<()> {
+        let scheme = self.scheme_required(&fd.rel)?;
+        fd.validate(scheme)?;
+        if !self.extra_fds.contains(&fd) {
+            self.extra_fds.push(fd);
+        }
+        Ok(())
+    }
+
+    /// The relation-schemes, in declaration order.
+    #[must_use]
+    pub fn schemes(&self) -> &[RelationScheme] {
+        &self.schemes
+    }
+
+    /// The inclusion dependencies `I`.
+    #[must_use]
+    pub fn inds(&self) -> &[InclusionDep] {
+        &self.inds
+    }
+
+    /// The null constraints `N`.
+    #[must_use]
+    pub fn null_constraints(&self) -> &[NullConstraint] {
+        &self.null_constraints
+    }
+
+    /// The explicit non-key functional dependencies (usually empty).
+    #[must_use]
+    pub fn extra_fds(&self) -> &[Fd] {
+        &self.extra_fds
+    }
+
+    /// Looks up a scheme by name.
+    #[must_use]
+    pub fn scheme(&self, name: &str) -> Option<&RelationScheme> {
+        self.schemes.iter().find(|s| s.name() == name)
+    }
+
+    /// Looks up a scheme by name, failing with [`Error::UnknownScheme`].
+    pub fn scheme_required(&self, name: &str) -> Result<&RelationScheme> {
+        self.scheme(name)
+            .ok_or_else(|| Error::UnknownScheme(name.to_owned()))
+    }
+
+    /// Which scheme declares attribute `attr`, if any.
+    #[must_use]
+    pub fn scheme_of_attr(&self, attr: &str) -> Option<&RelationScheme> {
+        self.schemes.iter().find(|s| s.has_attr(attr))
+    }
+
+    /// The key-dependency set `F`: `Ri : Ki → Xi` for every candidate key,
+    /// plus any explicit extras.
+    #[must_use]
+    pub fn fd_set(&self) -> FdSet {
+        let mut set = FdSet::from_schemes(&self.schemes);
+        for fd in &self.extra_fds {
+            set.push(fd.clone());
+        }
+        set
+    }
+
+    /// `F` augmented with the functional dependencies induced by
+    /// total-equality constraints (`Y =⊥ Z` contributes `Y → Z` and
+    /// `Z → Y` pairwise). This is the dependency set Proposition 4.1(ii)
+    /// reasons over when arguing that merged schemes stay in BCNF.
+    #[must_use]
+    pub fn fd_set_with_equalities(&self) -> FdSet {
+        let mut set = self.fd_set();
+        for c in &self.null_constraints {
+            if let NullConstraint::TotalEquality { rel, lhs, rhs } = c {
+                set.push(Fd {
+                    rel: rel.clone(),
+                    lhs: lhs.clone(),
+                    rhs: rhs.clone(),
+                });
+                set.push(Fd {
+                    rel: rel.clone(),
+                    lhs: rhs.clone(),
+                    rhs: lhs.clone(),
+                });
+            }
+        }
+        set
+    }
+
+    /// Whether every relation-scheme is in BCNF under
+    /// [`Self::fd_set_with_equalities`].
+    #[must_use]
+    pub fn is_bcnf(&self) -> bool {
+        let fds = self.fd_set_with_equalities();
+        self.schemes.iter().all(|s| fds.is_bcnf(s))
+    }
+
+    /// Whether every inclusion dependency is key-based (a referential
+    /// integrity constraint) — the §5.1 requirement for DBMSs like DB2.
+    #[must_use]
+    pub fn key_based_inds_only(&self) -> bool {
+        self.inds.iter().all(|ind| {
+            self.scheme(&ind.rhs_rel)
+                .is_some_and(|rhs| ind.is_key_based(rhs))
+        })
+    }
+
+    /// Whether every null constraint is a nulls-not-allowed constraint —
+    /// the §5.1 requirement for purely declarative maintenance.
+    #[must_use]
+    pub fn nna_only(&self) -> bool {
+        self.null_constraints.iter().all(NullConstraint::is_nna)
+    }
+
+    /// Whether attribute `attr` of scheme `rel` is forced non-null by the
+    /// declared nulls-not-allowed constraints (used by display code to mark
+    /// nullable attributes like the figures' `*`).
+    #[must_use]
+    pub fn attr_not_null(&self, rel: &str, attr: &str) -> bool {
+        self.null_constraints.iter().any(|c| match c {
+            NullConstraint::NullExistence { rel: r, lhs, rhs } => {
+                r == rel && lhs.is_empty() && rhs.iter().any(|a| a == attr)
+            }
+            _ => false,
+        })
+    }
+
+    /// Full structural validation: unique scheme/attribute names and
+    /// well-formed dependencies. Individual `add_*` calls validate
+    /// incrementally; this re-checks the whole schema (useful after manual
+    /// construction in tests and generators).
+    pub fn validate(&self) -> Result<()> {
+        let mut scheme_names = HashSet::new();
+        for s in &self.schemes {
+            if !scheme_names.insert(s.name()) {
+                return Err(Error::DuplicateScheme(s.name().to_owned()));
+            }
+        }
+        for ind in &self.inds {
+            let lhs = self.scheme_required(&ind.lhs_rel)?;
+            let rhs = self.scheme_required(&ind.rhs_rel)?;
+            ind.validate(lhs, rhs)?;
+        }
+        for c in &self.null_constraints {
+            c.validate(self.scheme_required(c.rel())?)?;
+        }
+        for fd in &self.extra_fds {
+            fd.validate(self.scheme_required(&fd.rel)?)?;
+        }
+        Ok(())
+    }
+
+    /// Replaces the schema's constraint sets wholesale (used by the
+    /// `Merge`/`Remove` procedures, which compute new `F′ ∪ I′ ∪ N′` sets).
+    #[must_use]
+    pub fn with_parts(
+        schemes: Vec<RelationScheme>,
+        inds: Vec<InclusionDep>,
+        null_constraints: Vec<NullConstraint>,
+    ) -> Self {
+        RelationalSchema {
+            schemes,
+            inds,
+            null_constraints,
+            extra_fds: Vec::new(),
+        }
+    }
+
+    /// Total number of joins a query touching all of `schemes` must perform
+    /// in this schema (|schemes ∩ R| − 1 when positive) — the quantity
+    /// merging exists to reduce (§1).
+    #[must_use]
+    pub fn joins_needed(&self, touched: &[&str]) -> usize {
+        let present = touched
+            .iter()
+            .filter(|n| self.scheme(n).is_some())
+            .count();
+        present.saturating_sub(1)
+    }
+}
+
+impl fmt::Display for RelationalSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Relation-Schemes:")?;
+        for s in &self.schemes {
+            writeln!(f, "  {s}")?;
+        }
+        if !self.inds.is_empty() {
+            writeln!(f, "Inclusion Dependencies:")?;
+            for ind in &self.inds {
+                writeln!(f, "  {ind}")?;
+            }
+        }
+        if !self.null_constraints.is_empty() {
+            writeln!(f, "Null Constraints:")?;
+            for c in &self.null_constraints {
+                writeln!(f, "  {c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use crate::domain::Domain;
+
+    fn scheme(name: &str, attrs: &[&str], key: &[&str]) -> RelationScheme {
+        RelationScheme::new(
+            name,
+            attrs
+                .iter()
+                .map(|a| Attribute::new(*a, Domain::Int))
+                .collect(),
+            key,
+        )
+        .unwrap()
+    }
+
+    fn two_schemes() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(scheme("A", &["A.K", "A.V"], &["A.K"])).unwrap();
+        rs.add_scheme(scheme("B", &["B.K"], &["B.K"])).unwrap();
+        rs
+    }
+
+    #[test]
+    fn scheme_names_unique_attr_names_reusable() {
+        let mut rs = two_schemes();
+        assert!(matches!(
+            rs.add_scheme(scheme("A", &["X"], &["X"])),
+            Err(Error::DuplicateScheme(_))
+        ));
+        // Attribute names may repeat across schemes (the paper's Figure 1);
+        // Merge::plan enforces Definition 4.1's uniqueness assumption on the
+        // schemes actually being merged.
+        rs.add_scheme(scheme("C", &["A.K"], &["A.K"])).unwrap();
+        rs.validate().unwrap();
+    }
+
+    #[test]
+    fn ind_and_constraint_validation() {
+        let mut rs = two_schemes();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"]))
+            .unwrap();
+        assert!(rs
+            .add_ind(InclusionDep::new("A", &["NOPE"], "B", &["B.K"]))
+            .is_err());
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
+        assert!(rs
+            .add_null_constraint(NullConstraint::nna("A", &["NOPE"]))
+            .is_err());
+        assert!(rs
+            .add_null_constraint(NullConstraint::nna("NOPE", &["A.K"]))
+            .is_err());
+        rs.validate().unwrap();
+    }
+
+    #[test]
+    fn key_based_classification() {
+        let mut rs = two_schemes();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"]))
+            .unwrap();
+        assert!(rs.key_based_inds_only());
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.V"]))
+            .unwrap();
+        assert!(!rs.key_based_inds_only());
+    }
+
+    #[test]
+    fn nna_only_classification() {
+        let mut rs = two_schemes();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
+        assert!(rs.nna_only());
+        rs.add_null_constraint(NullConstraint::ne("A", &["A.V"], &["A.K"]))
+            .unwrap();
+        assert!(!rs.nna_only());
+    }
+
+    #[test]
+    fn attr_not_null_lookup() {
+        let mut rs = two_schemes();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
+        assert!(rs.attr_not_null("A", "A.K"));
+        assert!(!rs.attr_not_null("A", "A.V"));
+        assert!(!rs.attr_not_null("B", "B.K"));
+    }
+
+    #[test]
+    fn fd_sets_and_bcnf() {
+        let mut rs = two_schemes();
+        assert!(rs.is_bcnf());
+        // Total equality A.K =# A.V induces FDs both ways; A.V becomes a
+        // candidate key and the scheme stays BCNF.
+        rs.add_null_constraint(NullConstraint::te("A", &["A.K"], &["A.V"]))
+            .unwrap();
+        assert!(rs.is_bcnf());
+        let fds = rs.fd_set_with_equalities();
+        let scheme_a = rs.scheme("A").unwrap();
+        assert!(fds.is_superkey(scheme_a, &["A.V"]));
+        // A genuine non-key FD breaks BCNF. Use a 3-attribute scheme.
+        let mut rs2 = RelationalSchema::new();
+        rs2.add_scheme(scheme("R", &["K", "B", "C"], &["K"])).unwrap();
+        rs2.add_fd(Fd::new("R", &["B"], &["C"])).unwrap();
+        assert!(!rs2.is_bcnf());
+    }
+
+    #[test]
+    fn joins_needed_counts() {
+        let rs = two_schemes();
+        assert_eq!(rs.joins_needed(&["A", "B"]), 1);
+        assert_eq!(rs.joins_needed(&["A"]), 0);
+        assert_eq!(rs.joins_needed(&["A", "MISSING"]), 0);
+    }
+}

@@ -1,0 +1,443 @@
+//! Dependency theory beyond attribute closure: minimal covers, FD-set
+//! equivalence and projection, and inference for inclusion dependencies.
+//!
+//! The paper's proofs lean on these classical results: Proposition 4.1(ii)
+//! cites Chan–Atzeni \[3\] for *"the closure of F can be computed
+//! independently of I"* (which holds for the key-based, acyclic
+//! dependency sets `Merge` produces), and step 4(c) of Definition 4.1
+//! drops inclusion dependencies *because they are implied* by the
+//! total-equality and null-existence constraints — [`ind_implies`] provides
+//! the pure-IND part of that reasoning (Casanova–Fagin–Papadimitriou
+//! axioms: reflexivity, projection-and-permutation, transitivity).
+
+use std::collections::BTreeSet;
+
+use crate::fd::{Fd, FdSet};
+use crate::ind::InclusionDep;
+
+/// Whether two FD sets over the same relation-scheme imply each other.
+#[must_use]
+pub fn fd_sets_equivalent(a: &FdSet, b: &FdSet) -> bool {
+    a.fds().iter().all(|fd| b.implies(fd)) && b.fds().iter().all(|fd| a.implies(fd))
+}
+
+/// A minimal (canonical) cover of the dependencies of `rel` within `set`:
+/// singleton right-hand sides, no extraneous left-hand-side attributes, no
+/// redundant dependencies. Classical three-phase algorithm.
+#[must_use]
+pub fn minimal_cover(set: &FdSet, rel: &str) -> FdSet {
+    // Phase 1: split right-hand sides.
+    let mut fds: Vec<Fd> = Vec::new();
+    for fd in set.for_rel(rel) {
+        for z in &fd.rhs {
+            if !fd.lhs.contains(z) {
+                let candidate = Fd {
+                    rel: fd.rel.clone(),
+                    lhs: fd.lhs.clone(),
+                    rhs: vec![z.clone()],
+                };
+                if !fds.contains(&candidate) {
+                    fds.push(candidate);
+                }
+            }
+        }
+    }
+    // Phase 2: remove extraneous LHS attributes.
+    let as_set = |fds: &[Fd]| -> FdSet {
+        let mut s = FdSet::new();
+        for fd in fds {
+            s.push(fd.clone());
+        }
+        s
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for i in 0..fds.len() {
+            if fds[i].lhs.len() <= 1 {
+                continue;
+            }
+            for drop in 0..fds[i].lhs.len() {
+                let mut reduced = fds[i].clone();
+                reduced.lhs.remove(drop);
+                // X−A → Z must already follow from the current set.
+                if as_set(&fds).implies(&reduced) {
+                    fds[i] = reduced;
+                    changed = true;
+                    continue 'outer;
+                }
+            }
+        }
+    }
+    // Phase 3: remove redundant dependencies.
+    let mut i = 0;
+    while i < fds.len() {
+        let candidate = fds.remove(i);
+        if as_set(&fds).implies(&candidate) {
+            // Redundant: leave it out, don't advance.
+        } else {
+            fds.insert(i, candidate);
+            i += 1;
+        }
+    }
+    as_set(&fds)
+}
+
+/// Projection of the dependencies of `rel` onto the attribute subset
+/// `attrs`: all implied FDs `X → A` with `X ∪ {A} ⊆ attrs`, returned as a
+/// minimal cover. Exponential in `|attrs|` (standard); rejected above 16
+/// attributes rather than silently truncating the subset walk.
+pub fn project_fds(set: &FdSet, rel: &str, attrs: &[&str]) -> crate::error::Result<FdSet> {
+    let mut out = FdSet::new();
+    let n = attrs.len();
+    if n > 16 {
+        return Err(crate::error::Error::PreconditionViolated {
+            procedure: "project_fds",
+            detail: format!("{n} attributes (maximum 16 for the subset walk)"),
+        });
+    }
+    // Enumerate subsets of `attrs` as LHS candidates.
+    for mask in 0..(1u32 << n) {
+        let lhs: Vec<&str> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| attrs[i]).collect();
+        if lhs.is_empty() {
+            continue;
+        }
+        let closure = set.closure(rel, &lhs);
+        for a in attrs {
+            if !lhs.contains(a) && closure.contains(*a) {
+                out.push(Fd::new(rel, &lhs, &[a]));
+            }
+        }
+    }
+    Ok(minimal_cover(&out, rel))
+}
+
+/// Inference for inclusion dependencies (Casanova–Fagin–Papadimitriou):
+/// whether `target` follows from `given` by reflexivity,
+/// projection-and-permutation, and transitivity.
+///
+/// Implemented as a fixed-point saturation over the (finitely many)
+/// attribute lists that appear in `given` and `target` — complete for the
+/// pure-IND axioms.
+#[must_use]
+pub fn ind_implies(given: &[InclusionDep], target: &InclusionDep) -> bool {
+    // Reflexivity.
+    if target.lhs_rel == target.rhs_rel && target.lhs_attrs == target.rhs_attrs {
+        return true;
+    }
+    // Saturate: start with `given` closed under projection/permutation
+    // matching the *target's* shapes, then chain transitively.
+    // We search for a derivation of target by BFS over "reachable"
+    // (rel, attr-list) pairs from the target's LHS.
+    let start = (target.lhs_rel.clone(), target.lhs_attrs.clone());
+    let goal = (target.rhs_rel.clone(), target.rhs_attrs.clone());
+    let mut reached: BTreeSet<(String, Vec<String>)> = BTreeSet::new();
+    let mut frontier = vec![start];
+    while let Some((rel, attrs)) = frontier.pop() {
+        if !reached.insert((rel.clone(), attrs.clone())) {
+            continue;
+        }
+        if rel == goal.0 && attrs == goal.1 {
+            return true;
+        }
+        for ind in given {
+            if ind.lhs_rel != rel {
+                continue;
+            }
+            // Projection-and-permutation: if `attrs` is a sublist of
+            // ind.lhs_attrs (as a positional selection), the corresponding
+            // selection of ind.rhs_attrs is reachable.
+            let positions: Option<Vec<usize>> = attrs
+                .iter()
+                .map(|a| ind.lhs_attrs.iter().position(|x| x == a))
+                .collect();
+            if let Some(pos) = positions {
+                // Require distinct positions (a permutation-projection).
+                let mut seen = BTreeSet::new();
+                if pos.iter().all(|p| seen.insert(*p)) {
+                    let image: Vec<String> =
+                        pos.iter().map(|&p| ind.rhs_attrs[p].clone()).collect();
+                    frontier.push((ind.rhs_rel.clone(), image));
+                }
+            }
+        }
+    }
+    false
+}
+
+/// An **Armstrong relation** for the dependencies of `rel` over `attrs`:
+/// a relation that satisfies an FD `Y → Z` (over `attrs`) **iff** the set
+/// implies it. The classical construction: one base row of zeros plus one
+/// row per closed attribute set `C`, agreeing with the base exactly on `C`
+/// — agree-sets are then exactly the closed sets, so a dependency holds
+/// iff its right-hand side is inside the closure of its left-hand side.
+///
+/// Exponential in `|attrs|`; rejected above 12 attributes (design-width
+/// schemas only — this is a schema-exploration tool, not a data generator).
+pub fn armstrong_relation(
+    set: &FdSet,
+    rel: &str,
+    attrs: &[&str],
+) -> crate::error::Result<crate::relation::Relation> {
+    use crate::attribute::Attribute;
+    use crate::domain::Domain;
+    use crate::relation::Relation;
+    use crate::value::{Tuple, Value};
+
+    let n = attrs.len();
+    if n > 12 {
+        return Err(crate::error::Error::PreconditionViolated {
+            procedure: "armstrong_relation",
+            detail: format!("{n} attributes (maximum 12 for the lattice walk)"),
+        });
+    }
+    // All closed sets, as bitmasks.
+    let mut closed: BTreeSet<u32> = BTreeSet::new();
+    for mask in 0..(1u32 << n) {
+        let lhs: Vec<&str> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| attrs[i])
+            .collect();
+        let closure = set.closure(rel, &lhs);
+        let cmask = (0..n)
+            .filter(|i| closure.contains(attrs[*i]))
+            .fold(0u32, |m, i| m | (1 << i));
+        closed.insert(cmask);
+    }
+    let header: Vec<Attribute> = attrs
+        .iter()
+        .map(|a| Attribute::new(*a, Domain::Int))
+        .collect();
+    let mut relation = Relation::new(header)?;
+    // Base row: all zeros.
+    relation.insert(Tuple::new(vec![Value::Int(0); n]))?;
+    // One row per closed set: zero inside C, globally-unique values outside.
+    let mut fresh: i64 = 1;
+    for cmask in closed {
+        if cmask == (1u32 << n) - 1 {
+            continue; // agrees everywhere with the base row: the base row
+        }
+        let values: Vec<Value> = (0..n)
+            .map(|i| {
+                if cmask & (1 << i) != 0 {
+                    Value::Int(0)
+                } else {
+                    let v = Value::Int(fresh);
+                    fresh += 1;
+                    v
+                }
+            })
+            .collect();
+        relation.insert(Tuple::new(values))?;
+    }
+    Ok(relation)
+}
+
+/// The null-constraint interaction statement of §3: *"Null-existence,
+/// total-equality, and part-null constraints do not interact with each
+/// other"* — each family is closed under its own axioms only. This check
+/// partitions a constraint list by family, for inference engines that must
+/// not mix them.
+#[must_use]
+pub fn partition_null_constraints(
+    constraints: &[crate::nullcon::NullConstraint],
+) -> (
+    Vec<&crate::nullcon::NullConstraint>,
+    Vec<&crate::nullcon::NullConstraint>,
+    Vec<&crate::nullcon::NullConstraint>,
+) {
+    use crate::nullcon::NullConstraint as N;
+    let mut existence = Vec::new();
+    let mut equality = Vec::new();
+    let mut part_null = Vec::new();
+    for c in constraints {
+        match c {
+            N::NullExistence { .. } | N::NullSync { .. } => existence.push(c),
+            N::TotalEquality { .. } => equality.push(c),
+            N::PartNull { .. } => part_null.push(c),
+        }
+    }
+    (existence, equality, part_null)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nullcon::NullConstraint;
+
+    fn fd(lhs: &[&str], rhs: &[&str]) -> Fd {
+        Fd::new("R", lhs, rhs)
+    }
+
+    fn set(fds: &[Fd]) -> FdSet {
+        let mut s = FdSet::new();
+        for f in fds {
+            s.push(f.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn equivalence_detects_same_closure() {
+        let a = set(&[fd(&["A"], &["B"]), fd(&["B"], &["C"])]);
+        let b = set(&[fd(&["A"], &["B", "C"]), fd(&["B"], &["C"])]);
+        assert!(fd_sets_equivalent(&a, &b));
+        let c = set(&[fd(&["A"], &["B"])]);
+        assert!(!fd_sets_equivalent(&a, &c));
+    }
+
+    #[test]
+    fn minimal_cover_splits_and_prunes() {
+        // A -> BC, B -> C, A -> C (redundant), AB -> C (extraneous B).
+        let s = set(&[
+            fd(&["A"], &["B", "C"]),
+            fd(&["B"], &["C"]),
+            fd(&["A"], &["C"]),
+            fd(&["A", "B"], &["C"]),
+        ]);
+        let cover = minimal_cover(&s, "R");
+        assert!(fd_sets_equivalent(&s, &cover));
+        // Canonical form: singleton RHS, and A->C / AB->C eliminated.
+        assert_eq!(cover.fds().len(), 2);
+        for f in cover.fds() {
+            assert_eq!(f.rhs.len(), 1);
+        }
+        assert!(cover.fds().contains(&fd(&["A"], &["B"])));
+        assert!(cover.fds().contains(&fd(&["B"], &["C"])));
+    }
+
+    #[test]
+    fn minimal_cover_reduces_lhs() {
+        // AB -> C where already A -> B makes B extraneous? No: need A->C
+        // derivable from {AB->C, A->B}: closure(A) = {A,B,C} — yes.
+        let s = set(&[fd(&["A", "B"], &["C"]), fd(&["A"], &["B"])]);
+        let cover = minimal_cover(&s, "R");
+        assert!(fd_sets_equivalent(&s, &cover));
+        assert!(cover.fds().contains(&fd(&["A"], &["C"])));
+    }
+
+    #[test]
+    fn projection_finds_transitive_fd() {
+        // R(A,B,C): A -> B, B -> C. Projecting onto {A, C} must yield A -> C.
+        let s = set(&[fd(&["A"], &["B"]), fd(&["B"], &["C"])]);
+        let proj = project_fds(&s, "R", &["A", "C"]).unwrap();
+        assert!(proj.implies(&fd(&["A"], &["C"])));
+        assert!(!proj.implies(&fd(&["C"], &["A"])));
+        // Nothing mentions B.
+        for f in proj.fds() {
+            assert!(!f.lhs.contains(&"B".to_owned()));
+            assert!(!f.rhs.contains(&"B".to_owned()));
+        }
+    }
+
+    #[test]
+    fn ind_reflexivity() {
+        let t = InclusionDep::new("R", &["A", "B"], "R", &["A", "B"]);
+        assert!(ind_implies(&[], &t));
+    }
+
+    #[test]
+    fn ind_transitivity() {
+        let given = [
+            InclusionDep::new("A", &["A.X"], "B", &["B.X"]),
+            InclusionDep::new("B", &["B.X"], "C", &["C.X"]),
+        ];
+        let t = InclusionDep::new("A", &["A.X"], "C", &["C.X"]);
+        assert!(ind_implies(&given, &t));
+        let reversed = InclusionDep::new("C", &["C.X"], "A", &["A.X"]);
+        assert!(!ind_implies(&given, &reversed));
+    }
+
+    #[test]
+    fn ind_projection_permutation() {
+        let given = [InclusionDep::new(
+            "A",
+            &["A.X", "A.Y"],
+            "B",
+            &["B.X", "B.Y"],
+        )];
+        // Projection.
+        assert!(ind_implies(&given, &InclusionDep::new("A", &["A.X"], "B", &["B.X"])));
+        // Permutation.
+        assert!(ind_implies(
+            &given,
+            &InclusionDep::new("A", &["A.Y", "A.X"], "B", &["B.Y", "B.X"])
+        ));
+        // Mixing columns is NOT implied.
+        assert!(!ind_implies(
+            &given,
+            &InclusionDep::new("A", &["A.X"], "B", &["B.Y"])
+        ));
+        // Repetition is not a permutation-projection.
+        assert!(!ind_implies(
+            &given,
+            &InclusionDep::new("A", &["A.X", "A.X"], "B", &["B.X", "B.X"])
+        ));
+    }
+
+    #[test]
+    fn merge_step_4c_justification() {
+        // The inclusion dependencies Definition 4.1 step 4(c) removes are
+        // implied: after merging, Rm[Ki] ⊆ Rm[Km] follows from the
+        // total-equality constraint — here we verify the *chain* case at
+        // the IND level: OFFER ⊆ COURSE and TEACH ⊆ OFFER imply
+        // TEACH ⊆ COURSE, so collapsing the chain loses nothing.
+        let given = [
+            InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]),
+            InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]),
+        ];
+        assert!(ind_implies(
+            &given,
+            &InclusionDep::new("TEACH", &["T.C.NR"], "COURSE", &["C.NR"])
+        ));
+    }
+
+    #[test]
+    fn armstrong_relation_exactness() {
+        // A -> B, C -> D over {A,B,C,D}: the Armstrong relation satisfies
+        // exactly the implied dependencies.
+        let s = set(&[fd(&["A"], &["B"]), fd(&["C"], &["D"])]);
+        let attrs = ["A", "B", "C", "D"];
+        let r = armstrong_relation(&s, "R", &attrs).unwrap();
+        // Exhaustive check over every nonempty LHS/RHS pair.
+        for lmask in 0u32..16 {
+            for rmask in 1u32..16 {
+                let lhs: Vec<&str> = (0..4)
+                    .filter(|i| lmask & (1 << i) != 0)
+                    .map(|i| attrs[i])
+                    .collect();
+                let rhs: Vec<&str> = (0..4)
+                    .filter(|i| rmask & (1 << i) != 0)
+                    .map(|i| attrs[i])
+                    .collect();
+                let candidate = Fd::new("R", &lhs, &rhs);
+                assert_eq!(
+                    candidate.satisfied_by(&r).unwrap(),
+                    s.implies(&candidate),
+                    "disagreement on {candidate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn armstrong_relation_rejects_wide_schemas() {
+        let attrs: Vec<String> = (0..13).map(|i| format!("A{i}")).collect();
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        assert!(armstrong_relation(&FdSet::new(), "R", &refs).is_err());
+    }
+
+    #[test]
+    fn null_constraint_partition() {
+        let cs = vec![
+            NullConstraint::nna("R", &["A"]),
+            NullConstraint::ns("R", &["A", "B"]),
+            NullConstraint::te("R", &["A"], &["B"]),
+            NullConstraint::pn("R", &[&["A"], &["B"]]),
+        ];
+        let (e, q, p) = partition_null_constraints(&cs);
+        assert_eq!(e.len(), 2);
+        assert_eq!(q.len(), 1);
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,269 @@
+//! Values and tuples, with first-class null.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::domain::Domain;
+
+/// A single attribute value, possibly null.
+///
+/// The paper (and the 1989-era DBMSs it targets — §5.1 notes SYBASE and
+/// INGRES "consider all null values as identical") uses a single
+/// undifferentiated null, so [`Value::Null`] compares equal to itself and
+/// hashes consistently; relations remain genuine sets of tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The (unique) null value, written `null` in the paper.
+    Null,
+    /// An integer.
+    Int(i64),
+    /// A text string.
+    Text(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+    /// A date as days since an arbitrary epoch.
+    Date(i64),
+}
+
+impl Value {
+    /// Builds a text value.
+    pub fn text(s: impl Into<Arc<str>>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Whether this value is null.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The domain this value belongs to, or `None` for null (null belongs
+    /// to every domain).
+    #[must_use]
+    pub fn domain(&self) -> Option<Domain> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(Domain::Int),
+            Value::Text(_) => Some(Domain::Text),
+            Value::Bool(_) => Some(Domain::Bool),
+            Value::Date(_) => Some(Domain::Date),
+        }
+    }
+
+    /// Whether this value may be stored in an attribute of domain `d`
+    /// (null fits every domain).
+    #[must_use]
+    pub fn fits(&self, d: Domain) -> bool {
+        self.domain().is_none_or(|vd| vd == d)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Date(d) => write!(f, "d{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A tuple: a fixed-arity sequence of values, positionally aligned with a
+/// relation header.
+///
+/// Paper §2: `t[W]` denotes the subtuple of `t` over the attributes `W`;
+/// a tuple is **total** iff it has only non-null values; `null_k` is the
+/// tuple of `k` nulls.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The all-null tuple `null_k` of the paper.
+    #[must_use]
+    pub fn nulls(k: usize) -> Self {
+        Tuple(vec![Value::Null; k].into_boxed_slice())
+    }
+
+    /// Arity of the tuple.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values, in order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at position `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Whether the tuple is total (paper §2: only non-null values).
+    #[must_use]
+    pub fn is_total(&self) -> bool {
+        self.0.iter().all(|v| !v.is_null())
+    }
+
+    /// Whether the subtuple at `positions` is total.
+    #[must_use]
+    pub fn is_total_at(&self, positions: &[usize]) -> bool {
+        positions.iter().all(|&i| !self.0[i].is_null())
+    }
+
+    /// Whether the subtuple at `positions` consists entirely of nulls.
+    #[must_use]
+    pub fn is_all_null_at(&self, positions: &[usize]) -> bool {
+        positions.iter().all(|&i| self.0[i].is_null())
+    }
+
+    /// The subtuple `t[W]` for the attribute positions `W`.
+    #[must_use]
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Whether the subtuples at `left` and `right` are equal
+    /// (`t[Y] = t[Z]`), treating null as equal to null.
+    #[must_use]
+    pub fn eq_at(&self, left: &[usize], right: &[usize]) -> bool {
+        left.len() == right.len()
+            && left
+                .iter()
+                .zip(right)
+                .all(|(&l, &r)| self.0[l] == self.0[r])
+    }
+
+    /// Concatenates two tuples (used by joins).
+    #[must_use]
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        Tuple(self.0.iter().chain(other.0.iter()).cloned().collect())
+    }
+
+    /// A copy with position `i` replaced by `v`.
+    #[must_use]
+    pub fn with(&self, i: usize, v: Value) -> Tuple {
+        let mut vals = self.0.to_vec();
+        vals[i] = v;
+        Tuple(vals.into_boxed_slice())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Self {
+        Tuple(values.into())
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple(values.into_boxed_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_identical_to_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(3).is_null());
+    }
+
+    #[test]
+    fn null_fits_every_domain() {
+        for d in [Domain::Int, Domain::Text, Domain::Bool, Domain::Date] {
+            assert!(Value::Null.fits(d));
+        }
+        assert!(Value::Int(1).fits(Domain::Int));
+        assert!(!Value::Int(1).fits(Domain::Text));
+    }
+
+    #[test]
+    fn totality() {
+        let t = Tuple::new([Value::Int(1), Value::text("x")]);
+        assert!(t.is_total());
+        let p = Tuple::new([Value::Int(1), Value::Null]);
+        assert!(!p.is_total());
+        assert!(p.is_total_at(&[0]));
+        assert!(!p.is_total_at(&[0, 1]));
+        assert!(p.is_all_null_at(&[1]));
+        assert!(!p.is_all_null_at(&[0, 1]));
+        assert!(Tuple::nulls(3).is_all_null_at(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn projection_and_concat() {
+        let t = Tuple::new([Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(t.project(&[2, 0]), Tuple::new([Value::Int(3), Value::Int(1)]));
+        let u = Tuple::new([Value::text("a")]);
+        assert_eq!(
+            t.concat(&u),
+            Tuple::new([Value::Int(1), Value::Int(2), Value::Int(3), Value::text("a")])
+        );
+    }
+
+    #[test]
+    fn subtuple_equality_includes_nulls() {
+        let t = Tuple::new([Value::Null, Value::Null, Value::Int(5), Value::Int(5)]);
+        assert!(t.eq_at(&[0], &[1]));
+        assert!(t.eq_at(&[2], &[3]));
+        assert!(!t.eq_at(&[0], &[2]));
+        assert!(!t.eq_at(&[0, 2], &[1]));
+    }
+
+    #[test]
+    fn with_replaces_one_position() {
+        let t = Tuple::new([Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.with(1, Value::Null), Tuple::new([Value::Int(1), Value::Null]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = Tuple::new([Value::Int(1), Value::Null, Value::text("x")]);
+        assert_eq!(t.to_string(), "(1, null, 'x')");
+    }
+}

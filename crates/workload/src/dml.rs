@@ -1,0 +1,166 @@
+//! Mixed DML/query operation streams for the university workload — the
+//! B6 experiment's input: the same logical operation sequence executed
+//! against the unmerged (Figure 3) and merged (`COURSE_M`) databases.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One logical operation on the university domain, schema-independent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UniversityOp {
+    /// Read one course with its offer/teacher/assistant.
+    CourseDetail {
+        /// The course number probed.
+        nr: i64,
+    },
+    /// Reverse lookup: all courses taught by a faculty member.
+    ByFaculty {
+        /// The faculty SSN probed.
+        ssn: i64,
+    },
+    /// Register a new course, offered by a department, optionally taught.
+    AddCourse {
+        /// The new course number.
+        nr: i64,
+        /// The offering department (index into the generated departments).
+        dept: usize,
+        /// Teacher SSN, if taught.
+        teacher: Option<i64>,
+    },
+    /// Withdraw a course entirely.
+    DropCourse {
+        /// The course number dropped.
+        nr: i64,
+    },
+}
+
+/// Ratios of the operation mix (need not sum to 1; they are weighted).
+#[derive(Debug, Clone, Copy)]
+pub struct MixSpec {
+    /// Weight of [`UniversityOp::CourseDetail`].
+    pub point_reads: f64,
+    /// Weight of [`UniversityOp::ByFaculty`].
+    pub reverse_reads: f64,
+    /// Weight of [`UniversityOp::AddCourse`].
+    pub inserts: f64,
+    /// Weight of [`UniversityOp::DropCourse`].
+    pub deletes: f64,
+}
+
+impl Default for MixSpec {
+    /// A read-mostly mix (80/10/7/3).
+    fn default() -> Self {
+        MixSpec {
+            point_reads: 0.80,
+            reverse_reads: 0.10,
+            inserts: 0.07,
+            deletes: 0.03,
+        }
+    }
+}
+
+/// Generates `n` operations over a university instance with `courses`
+/// base courses, `departments` departments, and `faculty` teachers
+/// (SSNs starting at 10 000). New course numbers start above the base
+/// range so inserts never collide with generated data.
+pub fn university_ops(
+    spec: &MixSpec,
+    n: usize,
+    courses: usize,
+    departments: usize,
+    faculty: usize,
+    rng: &mut StdRng,
+) -> Vec<UniversityOp> {
+    let total = spec.point_reads + spec.reverse_reads + spec.inserts + spec.deletes;
+    let mut next_new = 1_000_000i64;
+    let mut added: Vec<i64> = Vec::new();
+    (0..n)
+        .map(|_| {
+            let roll = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+            if roll < spec.point_reads {
+                UniversityOp::CourseDetail {
+                    nr: rng.gen_range(0..courses.max(1) as i64),
+                }
+            } else if roll < spec.point_reads + spec.reverse_reads {
+                UniversityOp::ByFaculty {
+                    ssn: 10_000 + rng.gen_range(0..faculty.max(1) as i64),
+                }
+            } else if roll < spec.point_reads + spec.reverse_reads + spec.inserts {
+                let nr = next_new;
+                next_new += 1;
+                added.push(nr);
+                UniversityOp::AddCourse {
+                    nr,
+                    dept: rng.gen_range(0..departments.max(1)),
+                    teacher: if rng.gen_bool(0.5) {
+                        Some(10_000 + rng.gen_range(0..faculty.max(1) as i64))
+                    } else {
+                        None
+                    },
+                }
+            } else {
+                // Prefer dropping something we added (known droppable).
+                match added.pop() {
+                    Some(nr) => UniversityOp::DropCourse { nr },
+                    None => UniversityOp::CourseDetail {
+                        nr: rng.gen_range(0..courses.max(1) as i64),
+                    },
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_ratios_roughly_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ops = university_ops(&MixSpec::default(), 10_000, 100, 10, 40, &mut rng);
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, UniversityOp::CourseDetail { .. }))
+            .count();
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, UniversityOp::AddCourse { .. }))
+            .count();
+        assert!((7_600..8_400).contains(&reads), "{reads}");
+        assert!((500..900).contains(&inserts), "{inserts}");
+    }
+
+    #[test]
+    fn drops_only_follow_adds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = MixSpec {
+            point_reads: 0.0,
+            reverse_reads: 0.0,
+            inserts: 0.5,
+            deletes: 0.5,
+        };
+        let ops = university_ops(&spec, 1_000, 10, 2, 5, &mut rng);
+        let mut live: std::collections::HashSet<i64> = std::collections::HashSet::new();
+        for op in &ops {
+            match op {
+                UniversityOp::AddCourse { nr, .. } => {
+                    assert!(live.insert(*nr), "fresh course numbers only");
+                }
+                UniversityOp::DropCourse { nr } => {
+                    assert!(live.remove(nr), "drop only what was added");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = MixSpec::default();
+        let a = university_ops(&spec, 100, 50, 5, 10, &mut StdRng::seed_from_u64(9));
+        let b = university_ops(&spec, 100, 50, 5, 10, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

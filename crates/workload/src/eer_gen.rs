@@ -1,0 +1,185 @@
+//! Random EER schemas for property-testing the translation pipeline.
+//!
+//! The generator produces structurally valid schemas with a mix of strong
+//! entities, ISA specializations, weak entities, and binary relationship
+//! sets of every cardinality pattern — the whole input space of §5.2.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge_eer::model::{
+    Card, EerAttribute, EerSchema, EntitySet, Participant, RelationshipSet,
+};
+use relmerge_relational::Domain;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EerSpec {
+    /// Strong entity sets.
+    pub entities: usize,
+    /// ISA specializations (each under a random strong entity).
+    pub specializations: usize,
+    /// Weak entity sets (each owned by a random strong entity).
+    pub weak_entities: usize,
+    /// Binary relationship sets.
+    pub relationships: usize,
+    /// Maximum non-identifier attributes per object-set.
+    pub max_attrs: usize,
+    /// Probability that a generated attribute is optional.
+    pub optional_prob: f64,
+}
+
+impl Default for EerSpec {
+    fn default() -> Self {
+        EerSpec {
+            entities: 4,
+            specializations: 2,
+            weak_entities: 1,
+            relationships: 4,
+            max_attrs: 2,
+            optional_prob: 0.3,
+        }
+    }
+}
+
+fn attrs(rng: &mut StdRng, spec: &EerSpec, prefix: &str, n: usize) -> Vec<EerAttribute> {
+    (0..n)
+        .map(|i| {
+            let name = format!("{prefix}{i}");
+            let domain = match rng.gen_range(0..3) {
+                0 => Domain::Int,
+                1 => Domain::Text,
+                _ => Domain::Date,
+            };
+            if rng.gen_bool(spec.optional_prob) {
+                EerAttribute::optional(name, domain)
+            } else {
+                EerAttribute::required(name, domain)
+            }
+        })
+        .collect()
+}
+
+/// Generates a valid random EER schema.
+pub fn random_eer(spec: &EerSpec, rng: &mut StdRng) -> EerSchema {
+    let mut eer = EerSchema::new();
+    let mut strong: Vec<String> = Vec::new();
+    for i in 0..spec.entities.max(1) {
+        let name = format!("ENT{i}");
+        let mut a = vec![EerAttribute::required("ID", Domain::Int)];
+        let n = rng.gen_range(0..=spec.max_attrs);
+        a.extend(attrs(rng, spec, "V", n));
+        eer.add_entity(
+            EntitySet::new(&name, a, &["ID"]).with_abbrev(format!("E{i}")),
+        );
+        strong.push(name);
+    }
+    for i in 0..spec.specializations {
+        let parent = strong.choose(rng).expect("entities exist").clone();
+        let name = format!("SPEC{i}");
+        // 1..=max(1,max_attrs) own attributes (≥1 keeps the scheme useful).
+        let n = rng.gen_range(1..=spec.max_attrs.max(1));
+        eer.add_entity(
+            EntitySet::new(&name, attrs(rng, spec, "S", n), &[])
+                .with_abbrev(format!("SP{i}")),
+        );
+        eer.add_isa(&name, parent);
+    }
+    for i in 0..spec.weak_entities {
+        let owner = strong.choose(rng).expect("entities exist").clone();
+        let name = format!("WEAK{i}");
+        let mut a = vec![EerAttribute::required("DISC", Domain::Int)];
+        let n = rng.gen_range(0..=spec.max_attrs);
+        a.extend(attrs(rng, spec, "W", n));
+        eer.add_entity(
+            EntitySet::new(&name, a, &["DISC"])
+                .weak(owner)
+                .with_abbrev(format!("WK{i}")),
+        );
+    }
+    for i in 0..spec.relationships {
+        let a = strong.choose(rng).expect("entities exist").clone();
+        let b = strong.choose(rng).expect("entities exist").clone();
+        let (ca, cb) = match rng.gen_range(0..4) {
+            0 => (Card::Many, Card::One),
+            1 => (Card::One, Card::Many),
+            2 => (Card::Many, Card::Many),
+            _ => (Card::One, Card::One),
+        };
+        let name = format!("REL{i}");
+        let n = rng.gen_range(0..=spec.max_attrs);
+        eer.add_relationship(
+            RelationshipSet::new(
+                &name,
+                vec![Participant::new(a, ca), Participant::new(b, cb)],
+            )
+            .with_abbrev(format!("R{i}"))
+            .with_attrs(attrs(rng, spec, "RA", n)),
+        );
+    }
+    eer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use relmerge_eer::translate;
+
+    #[test]
+    fn generated_schemas_validate_and_translate() {
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let eer = random_eer(&EerSpec::default(), &mut rng);
+            eer.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let rs = translate::translate(&eer)
+                .unwrap_or_else(|e| panic!("seed {seed} translation: {e}"));
+            // The translation invariants of [11]: BCNF, key-based INDs,
+            // NNA-only null constraints.
+            assert!(rs.is_bcnf(), "seed {seed}");
+            assert!(rs.key_based_inds_only(), "seed {seed}");
+            assert!(rs.nna_only(), "seed {seed}");
+            // One relation-scheme per object-set.
+            assert_eq!(
+                rs.schemes().len(),
+                eer.entities.len() + eer.relationships.len(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = EerSpec::default();
+        let a = random_eer(&spec, &mut StdRng::seed_from_u64(5));
+        let b = random_eer(&spec, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn extreme_specs_still_valid() {
+        for spec in [
+            EerSpec {
+                entities: 1,
+                specializations: 0,
+                weak_entities: 0,
+                relationships: 0,
+                max_attrs: 0,
+                optional_prob: 0.0,
+            },
+            EerSpec {
+                entities: 10,
+                specializations: 8,
+                weak_entities: 5,
+                relationships: 15,
+                max_attrs: 4,
+                optional_prob: 1.0,
+            },
+        ] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let eer = random_eer(&spec, &mut rng);
+            eer.validate().unwrap();
+            translate::translate(&eer).unwrap();
+        }
+    }
+}

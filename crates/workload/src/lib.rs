@@ -1,0 +1,26 @@
+//! Synthetic workload generators for the ICDE'92 relation-merging
+//! reproduction: parameterized schemas shaped like the paper's merge
+//! candidates ([`schema_gen`]), random consistent database states for
+//! property testing ([`state_gen`]), and a scalable instance of the
+//! paper's university domain for the benches ([`university`]).
+//!
+//! The paper needs no external data — it is a pure schema-design technique
+//! — so every dataset here is synthetic by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dml;
+pub mod eer_gen;
+pub mod merged_state_gen;
+pub mod schema_gen;
+pub mod state_gen;
+pub mod university;
+
+pub use dml::{university_ops, MixSpec, UniversityOp};
+pub use eer_gen::{random_eer, EerSpec};
+pub use merged_state_gen::{merged_state, MergedStateSpec};
+pub use schema_gen::{chain_merge_set, chain_schema, forest_schema, star_merge_set, star_schema,
+    ChainSpec, ForestSpec, StarSpec};
+pub use state_gen::{consistent_state, dependency_order, StateSpec};
+pub use university::{generate as generate_university, University, UniversitySpec};

@@ -1,0 +1,204 @@
+//! Random consistent states of a *merged* schema, built directly — not
+//! through η — so the backward direction of Definition 2.1 (η′ then η must
+//! reproduce the state) is exercised on states the forward mapping did not
+//! construct.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge_core::Merged;
+use relmerge_relational::{DatabaseState, Result, Tuple, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MergedStateSpec {
+    /// Tuples in the merged relation.
+    pub rows: usize,
+    /// Probability that a (non-key-relation) group is present in a tuple,
+    /// before null-existence dependencies are enforced.
+    pub presence: f64,
+}
+
+impl Default for MergedStateSpec {
+    fn default() -> Self {
+        MergedStateSpec {
+            rows: 48,
+            presence: 0.6,
+        }
+    }
+}
+
+/// Generates a consistent state of `merged.schema()` directly.
+///
+/// Every tuple gets a fresh key; each group is independently present or
+/// absent; the null-existence constraints `Merge` generated (group `j`
+/// present ⇒ group `i` present, from intra-set inclusion dependencies) are
+/// honored by forcing the required groups present; total-equality copies
+/// key values into present groups' key columns. Non-merged relations stay
+/// empty except where the merged relation's external foreign keys need
+/// targets — those are disallowed here (use schemas without external
+/// references, e.g. the star/chain generators).
+pub fn merged_state(
+    merged: &Merged,
+    spec: &MergedStateSpec,
+    rng: &mut StdRng,
+) -> Result<DatabaseState> {
+    let schema = merged.schema();
+    let mut state = DatabaseState::empty_for(schema)?;
+    let scheme = merged.merged_scheme();
+    let attr_names: Vec<&str> = scheme.attr_names();
+    let km: Vec<&str> = merged.km();
+
+    // Group presence dependencies from the generated null-existence
+    // constraints: lhs-group present ⇒ rhs-group present. Recover them by
+    // matching NE constraints' attribute sets against group attribute sets.
+    let groups: Vec<_> = merged.groups().to_vec();
+    let group_of = |attr: &str| -> Option<usize> {
+        groups
+            .iter()
+            .position(|g| g.original_attrs.iter().any(|a| a == attr))
+    };
+    let mut requires: Vec<(usize, usize)> = Vec::new(); // (i present ⇒ j present)
+    for c in schema.null_constraints() {
+        if c.rel() != merged.merged_name() {
+            continue;
+        }
+        if let relmerge_relational::NullConstraint::NullExistence { lhs, rhs, .. } = c {
+            if lhs.is_empty() {
+                continue;
+            }
+            if let (Some(gl), Some(gr)) = (
+                lhs.first().and_then(|a| group_of(a)),
+                rhs.first().and_then(|a| group_of(a)),
+            ) {
+                if gl != gr {
+                    requires.push((gl, gr));
+                }
+            }
+        }
+    }
+
+    let mut next_key: i64 = 1;
+    for _ in 0..spec.rows {
+        // Decide presence per group (key-relation group always present).
+        let mut present: Vec<bool> = groups
+            .iter()
+            .map(|g| g.is_key_relation || rng.gen_bool(spec.presence))
+            .collect();
+        // Enforce presence dependencies to a fixed point.
+        loop {
+            let mut changed = false;
+            for &(i, j) in &requires {
+                if present[i] && !present[j] {
+                    present[j] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Synthetic key-relation: some group must be present (part-null).
+        if !present.iter().any(|&p| p) {
+            present[0] = true;
+        }
+        // Build the tuple.
+        let key_vals: Vec<Value> = km
+            .iter()
+            .map(|_| {
+                let v = Value::Int(next_key);
+                next_key += 1;
+                v
+            })
+            .collect();
+        let mut values: Vec<Value> = vec![Value::Null; attr_names.len()];
+        for (k, v) in km.iter().zip(&key_vals) {
+            if let Some(pos) = attr_names.iter().position(|a| a == k) {
+                values[pos] = v.clone();
+            }
+        }
+        for (gi, g) in groups.iter().enumerate() {
+            if !present[gi] {
+                continue;
+            }
+            for a in g.surviving_attrs() {
+                let pos = attr_names
+                    .iter()
+                    .position(|x| *x == a)
+                    .expect("surviving attrs are in the merged header");
+                if values[pos].is_null() {
+                    // Key columns copy Km (total equality); payloads random.
+                    if let Some(kp) = g.key.iter().position(|k| k == a) {
+                        values[pos] = key_vals[kp].clone();
+                    } else {
+                        values[pos] = Value::Int(rng.gen_range(0..1_000_000));
+                    }
+                }
+            }
+        }
+        state.insert(merged.merged_name(), Tuple::new(values))?;
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema_gen::{chain_schema, star_merge_set, star_schema, ChainSpec, StarSpec};
+    use rand::SeedableRng;
+    use relmerge_core::Merge;
+
+    #[test]
+    fn star_merged_states_consistent() {
+        let spec = StarSpec {
+            satellites: 3,
+            non_key_attrs: 2,
+            externals: 0,
+        };
+        let schema = star_schema(&spec);
+        let set = star_merge_set(&spec);
+        let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        for remove in [false, true] {
+            let mut m = Merge::plan(&schema, &refs, "M").unwrap();
+            if remove {
+                m.remove_all_removable().unwrap();
+            }
+            let mut rng = StdRng::seed_from_u64(3);
+            let st = merged_state(&m, &MergedStateSpec::default(), &mut rng).unwrap();
+            assert!(
+                st.is_consistent(m.schema()).unwrap(),
+                "remove={remove}: {:?}",
+                st.violations(m.schema()).unwrap()
+            );
+            assert_eq!(st.relation("M").unwrap().len(), 48);
+        }
+    }
+
+    #[test]
+    fn chain_merged_states_respect_ne_dependencies() {
+        let spec = ChainSpec {
+            depth: 3,
+            non_key_attrs: 1,
+        };
+        let schema = chain_schema(&spec);
+        let m = Merge::plan(&schema, &["C0", "C1", "C2"], "M").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let st = merged_state(
+            &m,
+            &MergedStateSpec {
+                rows: 100,
+                presence: 0.5,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            st.is_consistent(m.schema()).unwrap(),
+            "{:?}",
+            st.violations(m.schema()).unwrap()
+        );
+        // Some tuples must have absent groups for the test to mean much.
+        let rm = st.relation("M").unwrap();
+        assert!(rm.iter().any(|t| t.values().iter().any(Value::is_null)));
+    }
+}

@@ -1,0 +1,302 @@
+//! Parameterized synthetic relational schemas shaped like the structures
+//! the paper merges: stars (Figure 8(iv)), chains (Figure 3's
+//! COURSE←OFFER←{TEACH,ASSIST}), and mixtures with external reference
+//! targets.
+
+use relmerge_relational::{
+    Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema,
+};
+
+/// Parameters for a star-shaped schema: one root scheme whose key every
+/// satellite's key references directly.
+#[derive(Debug, Clone, Copy)]
+pub struct StarSpec {
+    /// Number of satellite schemes referencing the root.
+    pub satellites: usize,
+    /// Non-key attributes per satellite.
+    pub non_key_attrs: usize,
+    /// External entity schemes; satellite non-key attribute `j` of
+    /// satellite `i` references external `(i + j) % externals` when
+    /// `externals > 0`.
+    pub externals: usize,
+}
+
+impl Default for StarSpec {
+    fn default() -> Self {
+        StarSpec {
+            satellites: 3,
+            non_key_attrs: 1,
+            externals: 0,
+        }
+    }
+}
+
+/// Builds a star schema per `spec`. Scheme names: root `ROOT`, satellites
+/// `S0…`, externals `E0…`; every attribute is nulls-not-allowed, so the
+/// whole star is mergeable (Definition 4.1's assumption holds).
+#[must_use]
+pub fn star_schema(spec: &StarSpec) -> RelationalSchema {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new("ROOT", vec![Attribute::new("ROOT.K", Domain::Int)], &["ROOT.K"])
+            .expect("static scheme"),
+    )
+    .expect("fresh name");
+    rs.add_null_constraint(NullConstraint::nna("ROOT", &["ROOT.K"]))
+        .expect("valid constraint");
+    for e in 0..spec.externals {
+        let name = format!("E{e}");
+        let attr = format!("{name}.K");
+        rs.add_scheme(
+            RelationScheme::new(&name, vec![Attribute::new(attr.clone(), Domain::Int)], &[&attr])
+                .expect("static scheme"),
+        )
+        .expect("fresh name");
+        rs.add_null_constraint(NullConstraint::nna(&name, &[&attr]))
+            .expect("valid constraint");
+    }
+    for s in 0..spec.satellites {
+        let name = format!("S{s}");
+        let key = format!("{name}.K");
+        let mut attrs = vec![Attribute::new(key.clone(), Domain::Int)];
+        let mut nna = vec![key.clone()];
+        for j in 0..spec.non_key_attrs {
+            let a = format!("{name}.V{j}");
+            attrs.push(Attribute::new(a.clone(), Domain::Int));
+            nna.push(a);
+        }
+        rs.add_scheme(RelationScheme::new(&name, attrs, &[&key]).expect("static scheme"))
+            .expect("fresh name");
+        let nna_refs: Vec<&str> = nna.iter().map(String::as_str).collect();
+        rs.add_null_constraint(NullConstraint::nna(&name, &nna_refs))
+            .expect("valid constraint");
+        rs.add_ind(InclusionDep::new(&name, &[&key], "ROOT", &["ROOT.K"]))
+            .expect("valid ind");
+        if spec.externals > 0 {
+            for j in 0..spec.non_key_attrs {
+                let target = format!("E{}", (s + j) % spec.externals);
+                let target_attr = format!("{target}.K");
+                let fk = format!("{name}.V{j}");
+                rs.add_ind(InclusionDep::new(&name, &[&fk], &target, &[&target_attr]))
+                    .expect("valid ind");
+            }
+        }
+    }
+    rs
+}
+
+/// Parameters for a chain-shaped schema: `C0 ← C1 ← … ← C(depth−1)`, each
+/// scheme's key referencing its predecessor's key.
+#[derive(Debug, Clone, Copy)]
+pub struct ChainSpec {
+    /// Number of schemes in the chain (≥ 2).
+    pub depth: usize,
+    /// Non-key attributes per non-root scheme.
+    pub non_key_attrs: usize,
+}
+
+impl Default for ChainSpec {
+    fn default() -> Self {
+        ChainSpec {
+            depth: 3,
+            non_key_attrs: 1,
+        }
+    }
+}
+
+/// Builds a chain schema per `spec` (the Figure 4/5 shape generalized).
+#[must_use]
+pub fn chain_schema(spec: &ChainSpec) -> RelationalSchema {
+    assert!(spec.depth >= 2, "a chain needs at least two schemes");
+    let mut rs = RelationalSchema::new();
+    for d in 0..spec.depth {
+        let name = format!("C{d}");
+        let key = format!("{name}.K");
+        let mut attrs = vec![Attribute::new(key.clone(), Domain::Int)];
+        let mut nna = vec![key.clone()];
+        if d > 0 {
+            for j in 0..spec.non_key_attrs {
+                let a = format!("{name}.V{j}");
+                attrs.push(Attribute::new(a.clone(), Domain::Int));
+                nna.push(a);
+            }
+        }
+        rs.add_scheme(RelationScheme::new(&name, attrs, &[&key]).expect("static scheme"))
+            .expect("fresh name");
+        let nna_refs: Vec<&str> = nna.iter().map(String::as_str).collect();
+        rs.add_null_constraint(NullConstraint::nna(&name, &nna_refs))
+            .expect("valid constraint");
+        if d > 0 {
+            let prev = format!("C{}", d - 1);
+            let prev_key = format!("{prev}.K");
+            rs.add_ind(InclusionDep::new(&name, &[&key], &prev, &[&prev_key]))
+                .expect("valid ind");
+        }
+    }
+    rs
+}
+
+/// Parameters for a random *forest* schema: a DAG of key-to-key references
+/// (each scheme's key optionally references one earlier scheme's key) plus
+/// non-key foreign keys — the general shape the advisor confronts.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestSpec {
+    /// Number of relation-schemes.
+    pub schemes: usize,
+    /// Probability a scheme's key references an earlier scheme's key
+    /// (making it mergeable into that scheme's cluster).
+    pub key_ref_prob: f64,
+    /// Maximum non-key attributes per scheme.
+    pub max_non_key: usize,
+    /// Probability a non-key attribute is a foreign key to an earlier
+    /// scheme.
+    pub fk_prob: f64,
+}
+
+impl Default for ForestSpec {
+    fn default() -> Self {
+        ForestSpec {
+            schemes: 6,
+            key_ref_prob: 0.6,
+            max_non_key: 2,
+            fk_prob: 0.3,
+        }
+    }
+}
+
+/// Builds a random forest schema per `spec`, using `rng`. Scheme `Fi` has
+/// key `Fi.K`; all attributes are nulls-not-allowed.
+pub fn forest_schema(
+    spec: &ForestSpec,
+    rng: &mut impl rand::Rng,
+) -> RelationalSchema {
+    let mut rs = RelationalSchema::new();
+    for i in 0..spec.schemes.max(1) {
+        let name = format!("F{i}");
+        let key = format!("{name}.K");
+        let mut attrs = vec![Attribute::new(key.clone(), Domain::Int)];
+        let mut nna = vec![key.clone()];
+        let mut inds: Vec<InclusionDep> = Vec::new();
+        if i > 0 && rng.gen_bool(spec.key_ref_prob) {
+            let parent = rng.gen_range(0..i);
+            inds.push(InclusionDep::new(
+                &name,
+                &[&key],
+                format!("F{parent}"),
+                &[&format!("F{parent}.K")],
+            ));
+        }
+        let n_non_key = rng.gen_range(0..=spec.max_non_key);
+        for j in 0..n_non_key {
+            let a = format!("{name}.V{j}");
+            attrs.push(Attribute::new(a.clone(), Domain::Int));
+            nna.push(a.clone());
+            if i > 0 && rng.gen_bool(spec.fk_prob) {
+                let target = rng.gen_range(0..i);
+                inds.push(InclusionDep::new(
+                    &name,
+                    &[&a],
+                    format!("F{target}"),
+                    &[&format!("F{target}.K")],
+                ));
+            }
+        }
+        rs.add_scheme(RelationScheme::new(&name, attrs, &[&key]).expect("static scheme"))
+            .expect("fresh name");
+        let nna_refs: Vec<&str> = nna.iter().map(String::as_str).collect();
+        rs.add_null_constraint(NullConstraint::nna(&name, &nna_refs))
+            .expect("valid constraint");
+        for ind in inds {
+            rs.add_ind(ind).expect("valid ind");
+        }
+    }
+    rs
+}
+
+/// The merge-set names of a star schema (root first) — ready for
+/// `Merge::plan`.
+#[must_use]
+pub fn star_merge_set(spec: &StarSpec) -> Vec<String> {
+    let mut v = vec!["ROOT".to_owned()];
+    v.extend((0..spec.satellites).map(|s| format!("S{s}")));
+    v
+}
+
+/// The merge-set names of a chain schema (root first).
+#[must_use]
+pub fn chain_merge_set(spec: &ChainSpec) -> Vec<String> {
+    (0..spec.depth).map(|d| format!("C{d}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relmerge_core::{prop52_nna_only, Merge};
+
+    #[test]
+    fn star_is_mergeable_and_nna_clean() {
+        let spec = StarSpec {
+            satellites: 4,
+            non_key_attrs: 1,
+            externals: 0,
+        };
+        let rs = star_schema(&spec);
+        rs.validate().unwrap();
+        let set = star_merge_set(&spec);
+        let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        // Single non-key attribute, direct references: Prop 5.2 holds.
+        assert!(prop52_nna_only(&rs, &refs).unwrap().is_empty());
+        let mut m = Merge::plan(&rs, &refs, "MERGED").unwrap();
+        m.remove_all_removable().unwrap();
+        assert!(m.schema().is_bcnf());
+        assert!(m.generated_null_constraints().iter().all(|c| c.is_nna()));
+    }
+
+    #[test]
+    fn star_with_externals_keeps_foreign_keys() {
+        let spec = StarSpec {
+            satellites: 2,
+            non_key_attrs: 2,
+            externals: 2,
+        };
+        let rs = star_schema(&spec);
+        rs.validate().unwrap();
+        // 2 satellites × (1 root + 2 externals) = 6 INDs.
+        assert_eq!(rs.inds().len(), 6);
+        let m = Merge::plan(&rs, &["ROOT", "S0", "S1"], "MERGED").unwrap();
+        // External references survive on the merged scheme.
+        assert!(m
+            .schema()
+            .inds()
+            .iter()
+            .any(|i| i.lhs_rel == "MERGED" && i.rhs_rel.starts_with('E')));
+    }
+
+    #[test]
+    fn chain_shape() {
+        let spec = ChainSpec {
+            depth: 4,
+            non_key_attrs: 2,
+        };
+        let rs = chain_schema(&spec);
+        rs.validate().unwrap();
+        assert_eq!(rs.schemes().len(), 4);
+        assert_eq!(rs.inds().len(), 3);
+        let set = chain_merge_set(&spec);
+        let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+        let mut m = Merge::plan(&rs, &refs, "MERGED").unwrap();
+        assert_eq!(m.km(), ["C0.K"]);
+        m.remove_all_removable().unwrap();
+        // Chains need general null constraints (the Figure 4/6 situation).
+        assert!(!m.generated_null_constraints().iter().all(|c| c.is_nna()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn chain_depth_validated() {
+        let _ = chain_schema(&ChainSpec {
+            depth: 1,
+            non_key_attrs: 0,
+        });
+    }
+}

@@ -1,0 +1,59 @@
+//! §5.2's catalogue (Figure 8): which EER structures can live in a single
+//! relation, and what it costs in constraints. For each of the four
+//! structures: classify, translate, merge, remove, and show the surviving
+//! constraint set next to the classifier's verdict.
+//!
+//! Run with `cargo run --example fig8_catalog`.
+
+use relmerge::core::{Merge, MergeReport};
+use relmerge::eer::{
+    classify_generalization, classify_many_one_star, figures, translate, Amenability,
+    ClassifiedGroup, EerSchema,
+};
+
+fn demo(
+    label: &str,
+    eer: &EerSchema,
+    group: ClassifiedGroup,
+) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Figure {label}: root {} ==", group.root);
+    println!(
+        "classifier: {}",
+        match group.amenability {
+            Amenability::NnaOnly => "single relation with only NNA constraints".to_owned(),
+            Amenability::GeneralNullConstraints => format!(
+                "single relation needs general null constraints ({})",
+                group.violations.join("; ")
+            ),
+        }
+    );
+    let schema = translate(eer)?;
+    let mut set: Vec<&str> = vec![group.root.as_str()];
+    set.extend(group.members.iter().map(String::as_str));
+    let mut merged = Merge::plan(&schema, &set, "SINGLE")?;
+    merged.remove_all_removable()?;
+    println!("{}", MergeReport::new(&merged));
+    let survivors: Vec<String> = merged
+        .generated_null_constraints()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    println!("surviving null constraints: {}\n", survivors.join("; "));
+    // The classifier's NNA-only verdict must match reality.
+    let nna_only = merged.generated_null_constraints().iter().all(|c| c.is_nna());
+    assert_eq!(nna_only, group.amenability == Amenability::NnaOnly);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let i = figures::fig8_i();
+    demo("8(i)", &i, classify_generalization(&i, "VEHICLE").expect("group"))?;
+    let ii = figures::fig8_ii();
+    demo("8(ii)", &ii, classify_many_one_star(&ii, "PRODUCT").expect("group"))?;
+    let iii = figures::fig8_iii();
+    demo("8(iii)", &iii, classify_generalization(&iii, "ACCOUNT").expect("group"))?;
+    let iv = figures::fig8_iv();
+    demo("8(iv)", &iv, classify_many_one_star(&iv, "COURSE").expect("group"))?;
+    println!("Paper §5.2: (i),(ii) need general null constraints; (iii),(iv) only NNA. ✓");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Why merge at all? (Paper §1: fewer relations → fewer joins → better
+//! access performance.) Loads the same university data into an unmerged
+//! and a merged engine database and compares the work a "course detail"
+//! query does in each.
+//!
+//! Run with `cargo run --release --example query_speedup`.
+
+use std::time::Instant;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge::core::Merge;
+use relmerge::engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge::relational::{Tuple, Value};
+use relmerge::workload::{generate_university, UniversitySpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses: 5_000,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+    let mut merged = Merge::plan(
+        &u.schema,
+        &["COURSE", "OFFER", "TEACH", "ASSIST"],
+        "COURSE_M",
+    )?;
+    merged.remove_all_removable()?;
+
+    let mut unmerged_db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    unmerged_db.load_state(&u.state)?;
+    let merged_state = merged.apply(&u.state)?;
+    let mut merged_db = Database::new(merged.schema().clone(), DbmsProfile::ideal())?;
+    merged_db.load_state(&merged_state)?;
+
+    let keys: Vec<i64> = (0..10_000)
+        .map(|_| *u.offered_courses.choose(&mut rng).expect("offers"))
+        .collect();
+
+    // Unmerged: lookup + three outer joins (the Figure 3 schema).
+    let unmerged_plan = |nr: i64| {
+        QueryPlan::lookup("COURSE", &["C.NR"], Tuple::new([Value::Int(nr)]))
+            .join(JoinStep::outer("OFFER", &["C.NR"], &["O.C.NR"]))
+            .join(JoinStep::outer("TEACH", &["O.C.NR"], &["T.C.NR"]))
+            .join(JoinStep::outer("ASSIST", &["O.C.NR"], &["A.C.NR"]))
+    };
+    // Merged: one probe.
+    let merged_plan =
+        |nr: i64| QueryPlan::lookup("COURSE_M", &["C.NR"], Tuple::new([Value::Int(nr)]));
+
+    // Correctness first: both plans agree on every sampled key.
+    let mut probes = (0u64, 0u64);
+    for &nr in keys.iter().take(100) {
+        let (r1, s1) = execute(&unmerged_db, &unmerged_plan(nr))?;
+        let (r2, s2) = execute(&merged_db, &merged_plan(nr))?;
+        assert_eq!(r1.len(), r2.len());
+        probes = (probes.0 + s1.index_probes, probes.1 + s2.index_probes);
+    }
+    println!(
+        "per-query index probes: unmerged {} vs merged {}",
+        probes.0 / 100,
+        probes.1 / 100
+    );
+
+    let start = Instant::now();
+    for &nr in &keys {
+        let _ = execute(&unmerged_db, &unmerged_plan(nr))?;
+    }
+    let unmerged_time = start.elapsed();
+    let start = Instant::now();
+    for &nr in &keys {
+        let _ = execute(&merged_db, &merged_plan(nr))?;
+    }
+    let merged_time = start.elapsed();
+    println!(
+        "{} point queries: unmerged {:?}, merged {:?} ({:.2}x)",
+        keys.len(),
+        unmerged_time,
+        merged_time,
+        unmerged_time.as_secs_f64() / merged_time.as_secs_f64()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! The design pitfall that motivates the paper (§1, Figure 1): the
+//! Teorey–Yang–Fry methodology merges a many-to-one relationship set into
+//! its many-side entity relation *without* the null constraints needed to
+//! keep the schema faithful to the ER semantics — so the database can reach
+//! states that correspond to no ER instance.
+//!
+//! Run with `cargo run --example teorey_pitfall`.
+
+use relmerge::eer::{figures, repair, translate, translate_teorey};
+use relmerge::relational::{DatabaseState, Tuple, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eer = figures::fig1_eer();
+    println!("ER schema (paper Figure 1(i)):\n{eer}");
+
+    // The modular translation: one relation per object-set, BCNF, faithful.
+    let rs = translate(&eer)?;
+    println!("RS — modular translation (Figure 1(ii)):\n{rs}");
+
+    // The Teorey translation: EMPLOYEE folded into WORKS.
+    let teorey = translate_teorey(&eer)?;
+    println!("RS' — Teorey translation (Figure 1(iii)):\n{}", teorey.schema);
+    for f in &teorey.folded {
+        println!(
+            "folded relationship {} absorbed entity {} (nullable: {:?} {:?})",
+            f.relationship, f.entity, f.one_side_attrs, f.rel_attrs
+        );
+    }
+
+    // The pitfall: an employee with an assignment DATE but no PROJECT.
+    // The ER schema cannot express this (DATE is an attribute *of the
+    // WORKS relationship*), yet RS' accepts it.
+    let mut bad = DatabaseState::empty_for(&teorey.schema)?;
+    bad.insert(
+        "WORKS",
+        Tuple::new([Value::Int(1), Value::Null, Value::Date(100)]),
+    )?;
+    println!(
+        "\nRS' accepts employee 1 with DATE=d100 but no project: {}",
+        bad.is_consistent(&teorey.schema)?
+    );
+    assert!(bad.is_consistent(&teorey.schema)?);
+
+    // The paper's fix: the null-existence constraint DATE ⊑ NR.
+    let repaired = repair(&teorey)?;
+    println!(
+        "Repaired schema adds: {}",
+        repaired
+            .null_constraints()
+            .iter()
+            .filter(|c| !teorey.schema.null_constraints().contains(c))
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!(
+        "Repaired schema accepts the bad state: {}",
+        bad.is_consistent(&repaired)?
+    );
+    assert!(!bad.is_consistent(&repaired)?);
+
+    // Legitimate states still pass.
+    let mut good = DatabaseState::empty_for(&repaired)?;
+    good.insert("PROJECT", Tuple::new([Value::Int(7)]))?;
+    good.insert(
+        "WORKS",
+        Tuple::new([Value::Int(1), Value::Int(7), Value::Date(100)]),
+    )?;
+    good.insert(
+        "WORKS",
+        Tuple::new([Value::Int(2), Value::Null, Value::Null]),
+    )?;
+    assert!(good.is_consistent(&repaired)?);
+    println!("A faithful state (assigned + unassigned employees) still passes.");
+    Ok(())
+}

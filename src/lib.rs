@@ -1,0 +1,45 @@
+//! # relmerge
+//!
+//! A production-quality Rust implementation of **Victor M. Markowitz,
+//! "A Relation Merging Technique for Relational Databases", ICDE 1992**
+//! (LBL-27842): BCNF-preserving merging of relation-schemes in relational
+//! schemas consisting of relation-schemes, key dependencies, referential
+//! integrity constraints, and null constraints.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names.
+//!
+//! ```
+//! use relmerge::relational::{Attribute, Domain, RelationScheme, RelationalSchema};
+//! use relmerge::relational::{InclusionDep, NullConstraint};
+//! use relmerge::core::Merge;
+//!
+//! // Figure 2 of the paper: merge OFFER and TEACH into one relation-scheme.
+//! let mut rs = RelationalSchema::new();
+//! rs.add_scheme(RelationScheme::new(
+//!     "OFFER",
+//!     vec![Attribute::new("O.CN", Domain::Int), Attribute::new("O.DN", Domain::Text)],
+//!     &["O.CN"],
+//! ).unwrap()).unwrap();
+//! rs.add_scheme(RelationScheme::new(
+//!     "TEACH",
+//!     vec![Attribute::new("T.CN", Domain::Int), Attribute::new("T.FN", Domain::Text)],
+//!     &["T.CN"],
+//! ).unwrap()).unwrap();
+//! rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.CN", "O.DN"])).unwrap();
+//! rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.CN", "T.FN"])).unwrap();
+//! // TEACH[T.CN] ⊆ OFFER[O.CN] makes OFFER the key-relation.
+//! rs.add_ind(InclusionDep::new("TEACH", &["T.CN"], "OFFER", &["O.CN"])).unwrap();
+//!
+//! let merge = Merge::plan(&rs, &["OFFER", "TEACH"], "ASSIGN").unwrap();
+//! let merged = merge.schema();
+//! assert!(merged.scheme("ASSIGN").is_some());
+//! assert!(merged.is_bcnf());
+//! ```
+
+pub use relmerge_core as core;
+pub use relmerge_ddl as ddl;
+pub use relmerge_eer as eer;
+pub use relmerge_engine as engine;
+pub use relmerge_relational as relational;
+pub use relmerge_workload as workload;

@@ -1,0 +1,61 @@
+//! Whole-system property test: the advisor applied to random forest
+//! schemas (arbitrary key-reference DAGs with non-key foreign keys)
+//! produces pipelines whose composed mappings preserve information
+//! capacity, whatever got merged.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge::core::{Advisor, AdvisorConfig};
+use relmerge::workload::{consistent_state, forest_schema, ForestSpec, StateSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn advisor_pipeline_preserves_capacity_on_forests(
+        schemes in 2usize..9,
+        key_ref_prob in 0.0f64..=1.0,
+        max_non_key in 0usize..4,
+        fk_prob in 0.0f64..=1.0,
+        rows in 1usize..40,
+        coverage in 0.0f64..=1.0,
+        permissive in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = ForestSpec { schemes, key_ref_prob, max_non_key, fk_prob };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = forest_schema(&spec, &mut rng);
+        schema.validate().expect("generator output is valid");
+
+        let config = if permissive {
+            AdvisorConfig::permissive()
+        } else {
+            AdvisorConfig::declarative_only()
+        };
+        let (final_schema, pipeline) =
+            Advisor::apply_greedy_pipeline(&schema, &config).expect("advisor");
+        prop_assert!(final_schema.schemes().len() <= schema.schemes().len());
+        prop_assert!(final_schema.is_bcnf());
+        if !permissive {
+            prop_assert!(final_schema.nna_only(), "declarative config must stay NNA-only");
+            prop_assert!(final_schema.key_based_inds_only());
+        }
+
+        // Carry a random consistent state through the whole pipeline and
+        // back.
+        let state = consistent_state(
+            &schema,
+            &StateSpec { root_rows: rows, coverage },
+            &mut rng,
+        ).expect("state");
+        prop_assert!(state.is_consistent(&schema).expect("check"));
+        let merged = pipeline.apply(&state).expect("apply");
+        if !pipeline.is_empty() {
+            prop_assert!(merged.is_consistent(&final_schema).expect("check"));
+        }
+        let back = pipeline.invert(&merged).expect("invert");
+        prop_assert_eq!(back, state);
+    }
+}

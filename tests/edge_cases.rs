@@ -1,0 +1,228 @@
+//! Edge-case sweep across the public API: degenerate schemas, synthetic
+//! key-relations under removal, empty states, and the merge of an entire
+//! schema.
+
+use relmerge::core::{check_forward, Merge, NotRemovable};
+use relmerge::relational::{
+    Attribute, DatabaseState, Domain, InclusionDep, NullConstraint, RelationScheme,
+    RelationalSchema, Tuple, Value,
+};
+
+fn attr(name: &str) -> Attribute {
+    Attribute::new(name, Domain::Int)
+}
+
+fn nna_all(rs: &mut RelationalSchema) {
+    let pairs: Vec<(String, Vec<String>)> = rs
+        .schemes()
+        .iter()
+        .map(|s| {
+            (
+                s.name().to_owned(),
+                s.attr_names().iter().map(|a| (*a).to_owned()).collect(),
+            )
+        })
+        .collect();
+    for (name, attrs) in pairs {
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        rs.add_null_constraint(NullConstraint::nna(&name, &refs)).unwrap();
+    }
+}
+
+/// Removal on a *synthetic*-key merge: the part-null constraint is
+/// projected, total-equality dropped, and the round trip still holds.
+#[test]
+fn remove_under_synthetic_key_relation() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new("OFFER", vec![attr("O.CN"), attr("O.DN")], &["O.CN"]).unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new("TEACH", vec![attr("T.CN"), attr("T.FN")], &["T.CN"]).unwrap(),
+    )
+    .unwrap();
+    nna_all(&mut rs);
+    let mut m =
+        Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"]).unwrap();
+    // Both member keys are removable (no external references).
+    let removed = m.remove_all_removable().unwrap();
+    assert_eq!(removed.len(), 2);
+    assert_eq!(m.merged_scheme().attr_names(), ["CN", "O.DN", "T.FN"]);
+    // The part-null constraint survives, projected onto the survivors.
+    let cons = m.generated_null_constraints();
+    assert!(cons.contains(&&NullConstraint::pn("ASSIGN", &[&["O.DN"], &["T.FN"]])));
+    // No total-equality constraints remain.
+    assert!(!cons
+        .iter()
+        .any(|c| matches!(c, NullConstraint::TotalEquality { .. })));
+
+    // Round trip with overlapping and disjoint keys.
+    let mut st = DatabaseState::empty_for(&rs).unwrap();
+    st.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(10)])).unwrap();
+    st.insert("OFFER", Tuple::new([Value::Int(2), Value::Int(20)])).unwrap();
+    st.insert("TEACH", Tuple::new([Value::Int(2), Value::Int(200)])).unwrap();
+    st.insert("TEACH", Tuple::new([Value::Int(3), Value::Int(300)])).unwrap();
+    let report = check_forward(&m, &st).unwrap();
+    assert!(report.holds(), "{report:?}");
+}
+
+/// Merging the *entire* schema leaves a single relation-scheme and no
+/// inclusion dependencies.
+#[test]
+fn merge_everything() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(
+        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new("C", vec![attr("C.K"), attr("C.V")], &["C.K"]).unwrap(),
+    )
+    .unwrap();
+    nna_all(&mut rs);
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("C", &["C.K"], "A", &["A.K"])).unwrap();
+    let mut m = Merge::plan(&rs, &["A", "B", "C"], "ALL").unwrap();
+    m.remove_all_removable().unwrap();
+    assert_eq!(m.schema().schemes().len(), 1);
+    assert!(m.schema().inds().is_empty());
+    assert!(m.schema().is_bcnf());
+}
+
+/// Empty states round-trip through every mapping.
+#[test]
+fn empty_states_round_trip() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(
+        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
+    )
+    .unwrap();
+    nna_all(&mut rs);
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    let mut m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
+    m.remove_all_removable().unwrap();
+    let empty = DatabaseState::empty_for(&rs).unwrap();
+    let image = m.apply(&empty).unwrap();
+    assert_eq!(image.relation("M").unwrap().len(), 0);
+    assert!(image.is_consistent(m.schema()).unwrap());
+    assert_eq!(m.invert(&image).unwrap(), empty);
+}
+
+/// A merged scheme cannot be merged again while it carries non-NNA null
+/// constraints (Definition 4.1's simplifying assumption gates re-merging).
+#[test]
+fn remerging_gated_by_nna_assumption() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(
+        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(RelationScheme::new("X", vec![attr("X.K")], &["X.K"]).unwrap())
+        .unwrap();
+    nna_all(&mut rs);
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("A", &["A.K"], "X", &["X.K"])).unwrap();
+    let m = Merge::plan(&rs, &["A", "B"], "AB").unwrap();
+    // AB's B-part is nullable (and null-synchronized): merging AB with X
+    // must be rejected — the first violated gate is the missing
+    // nulls-not-allowed coverage on B.K.
+    let err = Merge::plan(m.schema(), &["AB", "X"], "ABX").unwrap_err();
+    assert!(
+        err.to_string().contains("nulls-not-allowed"),
+        "{err}"
+    );
+    // Even after full removal, the B-part stays nullable, so the gate
+    // still holds: merged schemes are only re-mergeable when every
+    // attribute is non-null.
+    let mut m2 = Merge::plan(&rs, &["A", "B"], "AB").unwrap();
+    m2.remove_all_removable().unwrap();
+    assert!(Merge::plan(m2.schema(), &["AB", "X"], "ABX").is_err());
+
+    // With *total participation* (reverse key-to-key dependency) and the
+    // strengthening option, the merged scheme is fully NNA — and then
+    // re-merging is legal.
+    let mut rs2 = rs.clone();
+    rs2.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"])).unwrap();
+    let options = relmerge::core::MergeOptions {
+        strengthen_total_participation: true,
+        ..Default::default()
+    };
+    let mut m3 = Merge::plan_with_options(&rs2, &["A", "B"], "AB", &options).unwrap();
+    m3.remove_all_removable().unwrap();
+    assert!(m3
+        .generated_null_constraints()
+        .iter()
+        .all(|c| c.is_nna()));
+    let second = Merge::plan(m3.schema(), &["AB", "X"], "ABX");
+    assert!(second.is_ok(), "{second:?}");
+}
+
+/// Unicode scheme and attribute names flow through the whole pipeline.
+#[test]
+fn unicode_names() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new("KÜRS", vec![Attribute::new("K.NR", Domain::Int)], &["K.NR"])
+            .unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new(
+            "ANGEBOT",
+            vec![
+                Attribute::new("Å.NR", Domain::Int),
+                Attribute::new("Å.FACH", Domain::Text),
+            ],
+            &["Å.NR"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    nna_all(&mut rs);
+    rs.add_ind(InclusionDep::new("ANGEBOT", &["Å.NR"], "KÜRS", &["K.NR"])).unwrap();
+    let mut m = Merge::plan(&rs, &["KÜRS", "ANGEBOT"], "KÜRS_M").unwrap();
+    m.remove_all_removable().unwrap();
+    let mut st = DatabaseState::empty_for(&rs).unwrap();
+    st.insert("KÜRS", Tuple::new([Value::Int(1)])).unwrap();
+    st.insert("ANGEBOT", Tuple::new([Value::Int(1), Value::text("maß")])).unwrap();
+    let report = check_forward(&m, &st).unwrap();
+    assert!(report.holds());
+}
+
+/// Removability diagnostics name the precise failing condition.
+#[test]
+fn removability_diagnostics() {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(RelationScheme::new("B", vec![attr("B.K")], &["B.K"]).unwrap())
+        .unwrap();
+    nna_all(&mut rs);
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
+    assert_eq!(m.removable("A"), Err(NotRemovable::IsKeyRelation));
+    assert_eq!(m.removable("B"), Err(NotRemovable::NothingLeft));
+    assert_eq!(
+        m.removable("GHOST"),
+        Err(NotRemovable::NoSuchGroup("GHOST".to_owned()))
+    );
+    // Every variant has a human-readable rendering.
+    for err in [
+        NotRemovable::IsKeyRelation,
+        NotRemovable::NothingLeft,
+        NotRemovable::AlreadyRemoved,
+        NotRemovable::NoSuchGroup("X".into()),
+        NotRemovable::ExternalReference("i".into()),
+        NotRemovable::ForeignKeyNotShared("d".into()),
+        NotRemovable::OverlapsForeignKey("i".into()),
+    ] {
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! The engine's incremental DML enforcement agrees with the declarative
+//! whole-state consistency checker: a statement is accepted iff applying it
+//! would leave the state consistent.
+
+use proptest::prelude::*;
+
+use relmerge::engine::{Database, DbmsProfile, DmlError};
+use relmerge::relational::{
+    Attribute, DatabaseState, Domain, InclusionDep, NullConstraint, RelationScheme,
+    RelationalSchema, Tuple, Value,
+};
+
+/// A merged-shape schema with every constraint class the engine enforces:
+/// key, NNA, NS, NE, TE, PN would require a synthetic key-relation — use
+/// the post-merge COURSE_M shape plus one reference target.
+fn merged_shape_schema() -> RelationalSchema {
+    let a = |n: &str| Attribute::new(n, Domain::Int);
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("DEPT", vec![a("D.K")], &["D.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(
+        RelationScheme::new(
+            "M",
+            vec![a("K"), a("O.K"), a("O.D"), a("T.K"), a("T.F")],
+            &["K"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("DEPT", &["D.K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::nna("M", &["K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::ns("M", &["O.K", "O.D"])).unwrap();
+    rs.add_null_constraint(NullConstraint::ns("M", &["T.K", "T.F"])).unwrap();
+    rs.add_null_constraint(NullConstraint::ne("M", &["T.K", "T.F"], &["O.K", "O.D"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["O.K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["T.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("M", &["O.D"], "DEPT", &["D.K"])).unwrap();
+    rs
+}
+
+/// One random statement.
+#[derive(Debug, Clone)]
+enum Stmt {
+    InsertDept(i64),
+    InsertM([Option<i64>; 5]),
+    DeleteDept(i64),
+    DeleteM(i64),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let small = 0i64..6;
+    prop_oneof![
+        small.clone().prop_map(Stmt::InsertDept),
+        proptest::array::uniform5(proptest::option::of(0i64..6)).prop_map(Stmt::InsertM),
+        small.clone().prop_map(Stmt::DeleteDept),
+        small.prop_map(Stmt::DeleteM),
+    ]
+}
+
+fn to_tuple(vals: &[Option<i64>]) -> Tuple {
+    Tuple::new(
+        vals.iter()
+            .map(|v| v.map_or(Value::Null, Value::Int))
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness + completeness of incremental enforcement: after every
+    /// statement the snapshot is consistent, and every rejected insert
+    /// would in fact have made the snapshot inconsistent (checked by
+    /// replaying it into a copy of the state).
+    #[test]
+    fn engine_agrees_with_declarative_checker(stmts in proptest::collection::vec(stmt_strategy(), 1..60)) {
+        let schema = merged_shape_schema();
+        let mut db = Database::new(schema.clone(), DbmsProfile::ideal()).expect("db");
+        for stmt in stmts {
+            let before = db.snapshot().expect("snapshot");
+            let outcome: Result<(), DmlError> = match &stmt {
+                Stmt::InsertDept(k) => db.insert("DEPT", Tuple::new([Value::Int(*k)])).map(|_| ()),
+                Stmt::InsertM(vals) => db.insert("M", to_tuple(vals)).map(|_| ()),
+                Stmt::DeleteDept(k) => db
+                    .delete_by_key("DEPT", &Tuple::new([Value::Int(*k)]))
+                    .map(|_| ()),
+                Stmt::DeleteM(k) => db
+                    .delete_by_key("M", &Tuple::new([Value::Int(*k)]))
+                    .map(|_| ()),
+            };
+            let after = db.snapshot().expect("snapshot");
+            // Invariant: the live state is always consistent.
+            prop_assert!(
+                after.is_consistent(&schema).expect("check"),
+                "inconsistent after {stmt:?}"
+            );
+            if outcome.is_err() {
+                // The state must be unchanged…
+                prop_assert_eq!(&before, &after, "rejected {:?} mutated state", &stmt);
+                // …and force-applying the statement must violate something
+                // (completeness of the rejection).
+                let forced = force_apply(&before, &stmt);
+                if let Some(forced) = forced {
+                    prop_assert!(
+                        !forced.is_consistent(&schema).expect("check"),
+                        "{stmt:?} was rejected but would be consistent"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Applies a statement to a state copy without any checking. Returns
+/// `None` for deletes of absent keys (nothing to force).
+fn force_apply(state: &DatabaseState, stmt: &Stmt) -> Option<DatabaseState> {
+    let mut s = state.clone();
+    match stmt {
+        Stmt::InsertDept(k) => {
+            s.relation_mut("DEPT")
+                .expect("dept")
+                .insert(Tuple::new([Value::Int(*k)]))
+                .ok()?;
+        }
+        Stmt::InsertM(vals) => {
+            s.relation_mut("M").expect("m").insert(to_tuple(vals)).ok()?;
+        }
+        Stmt::DeleteDept(k) => {
+            let rel = s.relation_mut("DEPT").expect("dept");
+            let victim = rel
+                .iter()
+                .find(|t| t.get(0) == &Value::Int(*k))
+                .cloned()?;
+            rel.remove(&victim);
+        }
+        Stmt::DeleteM(k) => {
+            let rel = s.relation_mut("M").expect("m");
+            let victim = rel
+                .iter()
+                .find(|t| t.get(0) == &Value::Int(*k))
+                .cloned()?;
+            rel.remove(&victim);
+        }
+    }
+    Some(s)
+}

@@ -1,0 +1,332 @@
+//! E1–E7: exact reproduction of every figure in the paper.
+
+use relmerge::core::{Merge, NotRemovable};
+use relmerge::eer::{
+    classify_generalization, classify_many_one_star, figures, repair, translate,
+    translate_teorey, Amenability,
+};
+use relmerge::relational::{DatabaseState, InclusionDep, NullConstraint, Tuple, Value};
+
+/// E1 / Figure 1: the Teorey translation admits a state inconsistent with
+/// the ER semantics; the modular translation plus the paper's repairing
+/// null constraint rejects it.
+#[test]
+fn e1_figure1_teorey_vs_modular() {
+    let eer = figures::fig1_eer();
+    let rs = translate(&eer).unwrap();
+    // Figure 1(ii): four relation-schemes, all BCNF.
+    assert_eq!(rs.schemes().len(), 4);
+    assert!(rs.is_bcnf());
+    let teorey = translate_teorey(&eer).unwrap();
+    // Figure 1(iii): EMPLOYEE folded into WORKS; three relation-schemes.
+    assert_eq!(teorey.schema.schemes().len(), 3);
+    assert!(teorey.schema.scheme("EMPLOYEE").is_none());
+    let works = teorey.schema.scheme("WORKS").unwrap();
+    assert_eq!(works.attr_names(), ["E.SSN", "W.NR", "W.DATE"]);
+    // The pitfall state.
+    let mut st = DatabaseState::empty_for(&teorey.schema).unwrap();
+    st.insert(
+        "WORKS",
+        Tuple::new([Value::Int(1), Value::Null, Value::Date(5)]),
+    )
+    .unwrap();
+    assert!(st.is_consistent(&teorey.schema).unwrap());
+    let repaired = repair(&teorey).unwrap();
+    assert!(!st.is_consistent(&repaired).unwrap());
+    // The repair is exactly the paper's DATE ⊑ NR.
+    let added: Vec<&NullConstraint> = repaired
+        .null_constraints()
+        .iter()
+        .filter(|c| !teorey.schema.null_constraints().contains(c))
+        .collect();
+    assert_eq!(added, [&NullConstraint::ne("WORKS", &["W.DATE"], &["W.NR"])]);
+}
+
+/// E2 / Figure 2: merging OFFER and TEACH with a synthetic key-relation;
+/// §3's constraint examples hold on the merged relation.
+#[test]
+fn e2_figure2_assign() {
+    use relmerge::relational::{Attribute, Domain, RelationScheme, RelationalSchema};
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new(
+            "OFFER",
+            vec![
+                Attribute::new("O.CN", Domain::Int),
+                Attribute::new("O.DN", Domain::Int),
+            ],
+            &["O.CN"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new(
+            "TEACH",
+            vec![
+                Attribute::new("T.CN", Domain::Int),
+                Attribute::new("T.FN", Domain::Int),
+            ],
+            &["T.CN"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.CN", "O.DN"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.CN", "T.FN"]))
+        .unwrap();
+    let m = Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"]).unwrap();
+    // Figure 2's merged scheme: ASSIGN (CN, O.CN, O.DN, T.CN, T.FN).
+    assert_eq!(
+        m.merged_scheme().attr_names(),
+        ["CN", "O.CN", "O.DN", "T.CN", "T.FN"]
+    );
+    // §3's example constraints are all generated: NS(T.CN,T.FN),
+    // PN({O..},{T..}), T.CN =⊥ O.CN via CN (both TE constraints).
+    let cons = m.generated_null_constraints();
+    assert!(cons.contains(&&NullConstraint::ns("ASSIGN", &["T.CN", "T.FN"])));
+    assert!(cons.contains(&&NullConstraint::pn(
+        "ASSIGN",
+        &[&["O.CN", "O.DN"], &["T.CN", "T.FN"]]
+    )));
+    assert!(cons.contains(&&NullConstraint::te("ASSIGN", &["CN"], &["O.CN"])));
+    assert!(cons.contains(&&NullConstraint::te("ASSIGN", &["CN"], &["T.CN"])));
+
+    // With TEACH[T.CN] ⊆ OFFER[O.CN], OFFER becomes the key-relation and
+    // the merged relation is the outer-equi-join of r_O and r_T (paper §3).
+    let mut rs2 = rs.clone();
+    rs2.add_ind(InclusionDep::new("TEACH", &["T.CN"], "OFFER", &["O.CN"]))
+        .unwrap();
+    let m2 = Merge::plan(&rs2, &["OFFER", "TEACH"], "ASSIGN").unwrap();
+    assert_eq!(
+        m2.key_relation(),
+        &relmerge::core::KeyRelationSpec::Member("OFFER".to_owned())
+    );
+}
+
+/// E3 / Figures 3+7: the EER translation is exactly the Figure 3 schema.
+#[test]
+fn e3_figure3_translation() {
+    let rs = translate(&figures::fig7_eer()).unwrap();
+    assert_eq!(rs.schemes().len(), 8);
+    assert_eq!(rs.inds().len(), 8);
+    assert_eq!(rs.null_constraints().len(), 8);
+    assert!(rs.is_bcnf() && rs.key_based_inds_only() && rs.nna_only());
+    // Spot-check the two aggregation relationship schemes.
+    let teach = rs.scheme("TEACH").unwrap();
+    assert_eq!(teach.attr_names(), ["T.C.NR", "T.F.SSN"]);
+    assert_eq!(teach.primary_key(), ["T.C.NR"]);
+    assert!(rs
+        .inds()
+        .contains(&InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])));
+}
+
+/// E4 / Figure 4: Merge{COURSE, OFFER, TEACH} — exact output constraints
+/// (the paper's (9)–(14)) and the non-removability of O.C.NR.
+#[test]
+fn e4_figure4_course_prime() {
+    let rs = translate(&figures::fig7_eer()).unwrap();
+    let m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH"], "COURSE_P").unwrap();
+    let s = m.merged_scheme();
+    assert_eq!(
+        s.attr_names(),
+        ["C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN"]
+    );
+    assert_eq!(s.primary_key(), ["C.NR"]);
+    // Inclusion dependencies (9)–(11).
+    let inds = m.schema().inds();
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_P",
+        &["O.D.NAME"],
+        "DEPARTMENT",
+        &["D.NAME"]
+    )));
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_P",
+        &["T.F.SSN"],
+        "FACULTY",
+        &["F.SSN"]
+    )));
+    assert!(inds.contains(&InclusionDep::new(
+        "ASSIST",
+        &["A.C.NR"],
+        "COURSE_P",
+        &["O.C.NR"]
+    )));
+    // No internal inclusion dependencies survive.
+    assert!(!inds.iter().any(|i| i.lhs_rel == "COURSE_P" && i.rhs_rel == "COURSE_P"));
+    // Null constraints (9)–(14), exactly.
+    let expected = [
+        NullConstraint::nna("COURSE_P", &["C.NR"]),
+        NullConstraint::ns("COURSE_P", &["O.C.NR", "O.D.NAME"]),
+        NullConstraint::ns("COURSE_P", &["T.C.NR", "T.F.SSN"]),
+        NullConstraint::ne(
+            "COURSE_P",
+            &["T.C.NR", "T.F.SSN"],
+            &["O.C.NR", "O.D.NAME"],
+        ),
+        NullConstraint::te("COURSE_P", &["C.NR"], &["O.C.NR"]),
+        NullConstraint::te("COURSE_P", &["C.NR"], &["T.C.NR"]),
+    ];
+    let generated = m.generated_null_constraints();
+    assert_eq!(generated.len(), expected.len());
+    for e in &expected {
+        assert!(generated.contains(&e), "missing {e}");
+    }
+    // BCNF preserved (Proposition 4.1 ii).
+    assert!(m.schema().is_bcnf());
+    // O.C.NR is NOT removable here (Definition 4.2 condition 2).
+    assert!(matches!(
+        m.removable("OFFER"),
+        Err(NotRemovable::ExternalReference(_))
+    ));
+}
+
+/// E5 / Figure 5: the four-way merge — constraints (9)–(17) exactly, and
+/// all three former keys removable.
+#[test]
+fn e5_figure5_course_double_prime() {
+    let rs = translate(&figures::fig7_eer()).unwrap();
+    let m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
+    assert_eq!(
+        m.merged_scheme().attr_names(),
+        [
+            "C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN", "A.C.NR", "A.S.SSN"
+        ]
+    );
+    // Inclusion dependencies (9)–(11).
+    let inds = m.schema().inds();
+    assert_eq!(
+        inds.iter()
+            .filter(|i| i.lhs_rel == "COURSE_PP")
+            .count(),
+        3
+    );
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_PP",
+        &["A.S.SSN"],
+        "STUDENT",
+        &["S.SSN"]
+    )));
+    // Null constraints (9)–(17), exactly nine.
+    let expected = [
+        NullConstraint::nna("COURSE_PP", &["C.NR"]),
+        NullConstraint::ns("COURSE_PP", &["O.C.NR", "O.D.NAME"]),
+        NullConstraint::ns("COURSE_PP", &["T.C.NR", "T.F.SSN"]),
+        NullConstraint::ns("COURSE_PP", &["A.C.NR", "A.S.SSN"]),
+        NullConstraint::ne(
+            "COURSE_PP",
+            &["T.C.NR", "T.F.SSN"],
+            &["O.C.NR", "O.D.NAME"],
+        ),
+        NullConstraint::ne(
+            "COURSE_PP",
+            &["A.C.NR", "A.S.SSN"],
+            &["O.C.NR", "O.D.NAME"],
+        ),
+        NullConstraint::te("COURSE_PP", &["C.NR"], &["O.C.NR"]),
+        NullConstraint::te("COURSE_PP", &["C.NR"], &["T.C.NR"]),
+        NullConstraint::te("COURSE_PP", &["C.NR"], &["A.C.NR"]),
+    ];
+    let generated = m.generated_null_constraints();
+    assert_eq!(generated.len(), expected.len());
+    for e in &expected {
+        assert!(generated.contains(&e), "missing {e}");
+    }
+    // O.C.NR, T.C.NR, A.C.NR are all removable — unlike in Figure 4.
+    let mut removable = m.removable_groups();
+    removable.sort_unstable();
+    assert_eq!(removable, ["ASSIST", "OFFER", "TEACH"]);
+}
+
+/// E6 / Figure 6: the removal cascade ends with the paper's final scheme
+/// and exactly its three null constraints.
+#[test]
+fn e6_figure6_removal() {
+    let rs = translate(&figures::fig7_eer()).unwrap();
+    let mut m =
+        Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
+    let removed = m.remove_all_removable().unwrap();
+    assert_eq!(removed.len(), 3);
+    assert_eq!(
+        m.merged_scheme().attr_names(),
+        ["C.NR", "O.D.NAME", "T.F.SSN", "A.S.SSN"]
+    );
+    let generated = m.generated_null_constraints();
+    let expected = [
+        NullConstraint::nna("COURSE_PP", &["C.NR"]),
+        NullConstraint::ne("COURSE_PP", &["T.F.SSN"], &["O.D.NAME"]),
+        NullConstraint::ne("COURSE_PP", &["A.S.SSN"], &["O.D.NAME"]),
+    ];
+    assert_eq!(generated.len(), expected.len());
+    for e in &expected {
+        assert!(generated.contains(&e), "missing {e}");
+    }
+    // "Inclusion Dependencies involving COURSE'' are unchanged" (Fig 6).
+    let inds = m.schema().inds();
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_PP",
+        &["O.D.NAME"],
+        "DEPARTMENT",
+        &["D.NAME"]
+    )));
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_PP",
+        &["T.F.SSN"],
+        "FACULTY",
+        &["F.SSN"]
+    )));
+    assert!(inds.contains(&InclusionDep::new(
+        "COURSE_PP",
+        &["A.S.SSN"],
+        "STUDENT",
+        &["S.SSN"]
+    )));
+    assert!(m.schema().is_bcnf());
+}
+
+/// E7b / Figure 8 × dialect capability matrix (§5.1): DB2 merges only the
+/// NNA-only structures; trigger/rule systems merge all four.
+#[test]
+fn e7b_figure8_dialect_matrix() {
+    use relmerge::ddl::{run_sdt, Dialect, SdtOption};
+    let cases = [
+        (figures::fig8_i(), false),
+        (figures::fig8_ii(), false),
+        (figures::fig8_iii(), true),
+        (figures::fig8_iv(), true),
+    ];
+    for (eer, db2_merges) in &cases {
+        let db2 = run_sdt(eer, SdtOption::Merged, Dialect::Db2).unwrap();
+        assert_eq!(db2.merges_applied > 0, *db2_merges);
+        assert!(db2.script.unsupported().is_empty());
+        for dialect in [Dialect::Sybase40, Dialect::Ingres63, Dialect::Sql92] {
+            let out = run_sdt(eer, SdtOption::Merged, dialect).unwrap();
+            assert!(out.merges_applied > 0, "{dialect} should merge");
+            assert!(out.script.unsupported().is_empty());
+        }
+    }
+}
+
+/// E7 / Figure 8: the amenability classification of the four structures.
+#[test]
+fn e7_figure8_amenability() {
+    let i = classify_generalization(&figures::fig8_i(), "VEHICLE").unwrap();
+    assert_eq!(i.amenability, Amenability::GeneralNullConstraints);
+    let ii = classify_many_one_star(&figures::fig8_ii(), "PRODUCT").unwrap();
+    assert_eq!(ii.amenability, Amenability::GeneralNullConstraints);
+    let iii = classify_generalization(&figures::fig8_iii(), "ACCOUNT").unwrap();
+    assert_eq!(iii.amenability, Amenability::NnaOnly);
+    let iv = classify_many_one_star(&figures::fig8_iv(), "COURSE").unwrap();
+    assert_eq!(iv.amenability, Amenability::NnaOnly);
+
+    // §5.2's closing observation on Figure 7: COURSE's star fails the
+    // conditions (OFFER is involved in TEACH/ASSIST), while OFFER's star
+    // {TEACH, ASSIST} satisfies them.
+    let eer = figures::fig7_eer();
+    let course = classify_many_one_star(&eer, "COURSE").unwrap();
+    assert_eq!(course.amenability, Amenability::GeneralNullConstraints);
+    let offer = classify_many_one_star(&eer, "OFFER").unwrap();
+    assert_eq!(offer.amenability, Amenability::NnaOnly);
+}

@@ -1,0 +1,206 @@
+//! Fidelity checks: the library's optimized implementations agree with the
+//! paper's literal algebraic definitions.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge::core::Merge;
+use relmerge::relational::algebra::{
+    equi_join, outer_equi_join, project, rename, total_project, union,
+};
+use relmerge::relational::{Attribute, Domain, Relation, Tuple, Value};
+use relmerge::workload::{
+    consistent_state, star_merge_set, star_schema, StarSpec, StateSpec,
+};
+
+/// η implemented by `Merged::apply` equals the literal fold of
+/// outer-equi-joins written out with the algebra operators.
+#[test]
+fn eta_matches_literal_algebra() {
+    let spec = StarSpec {
+        satellites: 2,
+        non_key_attrs: 2,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let set = star_merge_set(&spec);
+    let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+    let merged = Merge::plan(&schema, &refs, "MERGED").unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let state = consistent_state(&schema, &StateSpec::default(), &mut rng).unwrap();
+
+    // Literal Definition 4.1 state mapping: rm := r_k; then fold
+    // rm := rm ⟗_{Km=Ki} r_i.
+    let rk = state.relation("ROOT").unwrap();
+    let mut rm = rk.clone();
+    for sat in ["S0", "S1"] {
+        let ri = state.relation(sat).unwrap();
+        let ki = format!("{sat}.K");
+        rm = outer_equi_join(&rm, ri, &[("ROOT.K", &ki)]).unwrap();
+    }
+    let via_apply = merged.apply(&state).unwrap();
+    assert!(via_apply
+        .relation("MERGED")
+        .unwrap()
+        .set_eq_unordered(&rm));
+}
+
+/// η′ implemented by `Merged::invert` equals the literal total projections
+/// `r_i := π↓_{Xi}(r_m)` (Definition 4.1) when nothing has been removed.
+#[test]
+fn eta_prime_matches_total_projections() {
+    let spec = StarSpec {
+        satellites: 3,
+        non_key_attrs: 1,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let set = star_merge_set(&spec);
+    let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+    let merged = Merge::plan(&schema, &refs, "MERGED").unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let state = consistent_state(&schema, &StateSpec::default(), &mut rng).unwrap();
+    let merged_state = merged.apply(&state).unwrap();
+    let rm = merged_state.relation("MERGED").unwrap();
+    let back = merged.invert(&merged_state).unwrap();
+    for name in &refs {
+        let scheme = schema.scheme_required(name).unwrap();
+        let xi: Vec<&str> = scheme.attr_names();
+        let literal = total_project(rm, &xi).unwrap();
+        assert!(back.relation(name).unwrap().set_eq(&literal), "{name}");
+    }
+}
+
+/// μ′ after a removal equals the paper's algebraic reconstruction:
+/// `r′m := r″m ⟗_{Km=Yi} rename(π_{Km}(π↓_{Km ∪ (Xi−Yi)}(r″m)), Km ← Yi)`
+/// (Definition 4.3).
+#[test]
+fn mu_prime_matches_algebraic_formula() {
+    let spec = StarSpec {
+        satellites: 2,
+        non_key_attrs: 2,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let set = star_merge_set(&spec);
+    let refs: Vec<&str> = set.iter().map(String::as_str).collect();
+    let wide = Merge::plan(&schema, &refs, "MERGED").unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let state = consistent_state(&schema, &StateSpec::default(), &mut rng).unwrap();
+    let wide_rel = wide.apply(&state).unwrap();
+    let wide_rm = wide_rel.relation("MERGED").unwrap();
+
+    // Remove S0's key.
+    let mut narrow = wide.clone();
+    narrow.remove("S0").unwrap();
+    let narrow_rel = narrow.apply(&state).unwrap();
+    let narrow_rm = narrow_rel.relation("MERGED").unwrap();
+
+    // The paper's μ′ formula, spelled out with the algebra operators.
+    let km = ["ROOT.K"];
+    let survivors = ["ROOT.K", "S0.V0", "S0.V1"]; // Km ∪ (Xi − Yi)
+    let present = total_project(narrow_rm, &survivors).unwrap();
+    let key_values = project(&present, &km).unwrap();
+    let yi_attr = Attribute::new("S0.K", Domain::Int);
+    let renamed = rename(&key_values, &km, &[yi_attr]).unwrap();
+    let rebuilt = outer_equi_join(narrow_rm, &renamed, &[("ROOT.K", "S0.K")]).unwrap();
+    assert!(wide_rm.set_eq_unordered(&rebuilt));
+}
+
+fn small_relation(prefix: &str) -> impl Strategy<Value = Relation> {
+    let prefix = prefix.to_owned();
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::option::of(0i64..6), 2),
+        0..12,
+    )
+    .prop_map(move |rows| {
+        let header = vec![
+            Attribute::new(format!("{prefix}.A"), Domain::Int),
+            Attribute::new(format!("{prefix}.B"), Domain::Int),
+        ];
+        Relation::with_rows(
+            header,
+            rows.into_iter().map(|r| {
+                Tuple::new(
+                    r.into_iter()
+                        .map(|v| v.map_or(Value::Null, Value::Int))
+                        .collect::<Vec<_>>(),
+                )
+            }),
+        )
+        .expect("valid rows")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The outer-equi-join is the union of its three defining parts
+    /// (paper §2): the equi-join, the left-padded unmatched right tuples,
+    /// and the right-padded unmatched left tuples — and both operands are
+    /// recoverable from it by projection.
+    #[test]
+    fn outer_join_three_parts(l in small_relation("L"), r in small_relation("R")) {
+        let on = [("L.A", "R.A")];
+        let oj = outer_equi_join(&l, &r, &on).expect("outer join");
+        let inner = equi_join(&l, &r, &on).expect("inner join");
+        // Part r1 ⊆ outer join.
+        for t in inner.iter() {
+            prop_assert!(oj.contains(t));
+        }
+        // Every left tuple appears (matched or padded).
+        let left_cols = ["L.A", "L.B"];
+        let left_back = project(&oj, &left_cols).expect("project");
+        for t in l.iter() {
+            prop_assert!(left_back.contains(t));
+        }
+        // Every right tuple appears.
+        let right_cols = ["R.A", "R.B"];
+        let right_back = project(&oj, &right_cols).expect("project");
+        for t in r.iter() {
+            prop_assert!(right_back.contains(t));
+        }
+        // No invented rows: every outer tuple is either inner, or one side
+        // all-null with the other a real operand tuple.
+        for t in oj.iter() {
+            let lt = t.project(&[0, 1]);
+            let rt = t.project(&[2, 3]);
+            let legit = inner.contains(t)
+                || (lt.values().iter().all(Value::is_null) && r.contains(&rt))
+                || (rt.values().iter().all(Value::is_null) && l.contains(&lt));
+            prop_assert!(legit, "invented tuple {t}");
+        }
+    }
+
+    /// Total projection distributes over union (both are set operations on
+    /// total subtuples) — a §2 algebra identity the reconstruction
+    /// arguments rely on.
+    #[test]
+    fn total_projection_distributes_over_union(
+        a in small_relation("X"),
+        b in small_relation("X"),
+    ) {
+        let u = union(&a, &b).expect("union");
+        let cols = ["X.A"];
+        let lhs = total_project(&u, &cols).expect("project");
+        let rhs = union(
+            &total_project(&a, &cols).expect("project"),
+            &total_project(&b, &cols).expect("project"),
+        ).expect("union");
+        prop_assert!(lhs.set_eq(&rhs));
+    }
+
+    /// Rename is invertible and value-preserving.
+    #[test]
+    fn rename_round_trip(a in small_relation("X")) {
+        let fresh = [Attribute::new("Y.A", Domain::Int), Attribute::new("Y.B", Domain::Int)];
+        let orig = [
+            Attribute::new("X.A", Domain::Int),
+            Attribute::new("X.B", Domain::Int),
+        ];
+        let there = rename(&a, &["X.A", "X.B"], &fresh).expect("rename");
+        let back = rename(&there, &["Y.A", "Y.B"], &orig).expect("rename");
+        prop_assert!(a.set_eq(&back));
+    }
+}
