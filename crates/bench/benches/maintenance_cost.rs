@@ -26,7 +26,8 @@ fn bench_inserts(c: &mut Criterion) {
             b.iter(|| {
                 let nr = Value::Int(next.get());
                 next.set(next.get() + 1);
-                db.insert("COURSE", Tuple::new([nr.clone()])).expect("course");
+                db.insert("COURSE", Tuple::new([nr.clone()]))
+                    .expect("course");
                 db.insert("OFFER", Tuple::new([nr.clone(), dept.clone()]))
                     .expect("offer");
                 db.insert("TEACH", Tuple::new([nr.clone(), faculty.clone()]))

@@ -105,8 +105,7 @@ fn bench_advisor_and_planner(c: &mut Criterion) {
             &satellites,
             |b, _| {
                 b.iter(|| {
-                    Advisor::propose(&schema, &AdvisorConfig::declarative_only())
-                        .expect("propose")
+                    Advisor::propose(&schema, &AdvisorConfig::declarative_only()).expect("propose")
                 });
             },
         );
@@ -134,11 +133,9 @@ fn bench_advisor_and_planner(c: &mut Criterion) {
         // A query touching the root and the last satellite.
         let last = format!("S{}.V0", satellites - 1);
         let q = LogicalQuery::select(&["ROOT.K", &last]);
-        group.bench_with_input(
-            BenchmarkId::new("plan", satellites),
-            &satellites,
-            |b, _| b.iter(|| relmerge_engine::plan(&schema, &q).expect("plan")),
-        );
+        group.bench_with_input(BenchmarkId::new("plan", satellites), &satellites, |b, _| {
+            b.iter(|| relmerge_engine::plan(&schema, &q).expect("plan"))
+        });
     }
     group.finish();
 }

@@ -49,14 +49,11 @@ fn bench_remove_effect(c: &mut Criterion) {
 
         // Scan cost over the stored merged relation, wide vs narrow.
         let wide_state = wide.apply(&u.state).expect("apply");
-        let mut wide_db =
-            Database::new(wide.schema().clone(), DbmsProfile::ideal()).expect("db");
+        let mut wide_db = Database::new(wide.schema().clone(), DbmsProfile::ideal()).expect("db");
         wide_db.load_state(&wide_state).expect("load");
-        group.bench_with_input(
-            BenchmarkId::new("scan_wide7", courses),
-            &courses,
-            |b, _| b.iter(|| execute(&wide_db, &QueryPlan::scan("COURSE_M")).expect("scan")),
-        );
+        group.bench_with_input(BenchmarkId::new("scan_wide7", courses), &courses, |b, _| {
+            b.iter(|| execute(&wide_db, &QueryPlan::scan("COURSE_M")).expect("scan"))
+        });
         let narrow_state = narrow.apply(&u.state).expect("apply");
         let mut narrow_db =
             Database::new(narrow.schema().clone(), DbmsProfile::ideal()).expect("db");
@@ -64,9 +61,7 @@ fn bench_remove_effect(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("scan_removed4", courses),
             &courses,
-            |b, _| {
-                b.iter(|| execute(&narrow_db, &QueryPlan::scan("COURSE_M")).expect("scan"))
-            },
+            |b, _| b.iter(|| execute(&narrow_db, &QueryPlan::scan("COURSE_M")).expect("scan")),
         );
     }
     group.finish();

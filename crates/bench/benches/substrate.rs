@@ -6,8 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use relmerge_relational::nullcon::ne_closure;
 use relmerge_relational::{
-    algebra, Attribute, Domain, Fd, FdSet, NullConstraint, Relation, RelationScheme, Tuple,
-    Value,
+    algebra, Attribute, Domain, Fd, FdSet, NullConstraint, Relation, RelationScheme, Tuple, Value,
 };
 
 fn int_relation(prefix: &str, rows: usize, width: usize, match_stride: i64) -> Relation {

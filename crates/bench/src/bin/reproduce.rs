@@ -13,50 +13,89 @@ use relmerge_core::{
     prop51_keys_non_null, prop52_nna_only, Merge,
 };
 use relmerge_eer::{
-    classify_generalization, classify_many_one_star, figures, repair, translate,
-    translate_teorey, Amenability,
+    classify_generalization, classify_many_one_star, figures, repair, translate, translate_teorey,
+    Amenability,
 };
+use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, InclusionDep, Tuple, Value};
 use relmerge_workload::{consistent_state, star_schema, StarSpec, StateSpec};
 
 fn main() {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
     let run = |name: &str| arg == "all" || arg == name;
+    let mut timings: Vec<(&'static str, u64)> = Vec::new();
+    let mut go = |label: &'static str, f: fn()| {
+        let t = obs::timer("reproduce.experiment").field("name", label);
+        f();
+        timings.push((label, t.stop()));
+    };
     if run("fig1") {
-        fig1();
+        go("fig1", fig1);
     }
     if run("fig2") {
-        fig2();
+        go("fig2", fig2);
     }
     if run("fig3") {
-        fig3();
+        go("fig3", fig3);
     }
     if run("fig4") {
-        fig4();
+        go("fig4", fig4);
     }
     if run("fig5") || run("fig6") {
-        fig5_and_6();
+        go("fig5+fig6", fig5_and_6);
     }
     if run("fig8") {
-        fig8();
+        go("fig8", fig8);
     }
     if run("fig8matrix") {
-        fig8_matrix();
+        go("fig8matrix", fig8_matrix);
     }
     if run("props") {
-        props();
+        go("props", props);
     }
     if run("b1") {
-        b1();
+        go("b1", b1);
     }
     if run("b2") {
-        b2();
+        go("b2", b2);
     }
     if run("b4") {
-        b4();
+        go("b4", b4);
     }
     if run("b6") {
-        b6();
+        go("b6", b6);
+    }
+    summary(&timings);
+}
+
+/// The closing report: wall time per experiment and the totals of every
+/// counter the instrumented pipeline bumped along the way.
+fn summary(timings: &[(&'static str, u64)]) {
+    if timings.is_empty() {
+        eprintln!("reproduce: nothing ran (unknown experiment name?)");
+        return;
+    }
+    heading("Summary: per-experiment wall time");
+    let total: u64 = timings.iter().map(|(_, ns)| ns).sum();
+    let mut rows: Vec<Vec<String>> = timings
+        .iter()
+        .map(|(name, ns)| vec![(*name).to_owned(), format!("{:.1} ms", *ns as f64 / 1e6)])
+        .collect();
+    rows.push(vec![
+        "total".to_owned(),
+        format!("{:.1} ms", total as f64 / 1e6),
+    ]);
+    println!("{}", table::render(&["experiment", "wall time"], &rows));
+
+    let snap = obs::snapshot_all();
+    if !snap.counters.is_empty() {
+        heading("Summary: counters");
+        let rows: Vec<Vec<String>> = snap
+            .counters
+            .iter()
+            .map(|(name, v)| vec![name.clone(), v.to_string()])
+            .collect();
+        println!("{}", table::render(&["counter", "total"], &rows));
     }
 }
 
@@ -132,8 +171,8 @@ fn fig2() {
         .expect("nna");
     println!("Input:\n{rs}");
 
-    let m = Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"])
-        .expect("merge");
+    let m =
+        Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"]).expect("merge");
     println!(
         "No key-relation in the set -> synthetic key CN.\nResult:\n{}",
         m.schema()
@@ -184,8 +223,8 @@ fn fig4() {
 fn fig5_and_6() {
     heading("Figure 5: Merge {COURSE, OFFER, TEACH, ASSIST} -> COURSE''");
     let rs = translate(&figures::fig7_eer()).expect("fig 3 schema");
-    let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE''")
-        .expect("merge");
+    let mut m =
+        Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE''").expect("merge");
     println!("{}", m.schema());
     println!(
         "Removable groups: {:?} (paper: O.C.NR, T.C.NR, A.C.NR)",
@@ -242,9 +281,7 @@ fn fig8() {
                 format!("{:?}", g.members),
                 match g.amenability {
                     Amenability::NnaOnly => "NNA only".to_owned(),
-                    Amenability::GeneralNullConstraints => {
-                        "general null constraints".to_owned()
-                    }
+                    Amenability::GeneralNullConstraints => "general null constraints".to_owned(),
                 },
                 g.violations.join("; "),
             ]
@@ -322,13 +359,9 @@ fn props() {
         &mut rng,
     )
     .expect("university");
-    let sem = is_key_relation_semantically(
-        &u.schema,
-        &u.state,
-        "COURSE",
-        &["OFFER", "TEACH", "ASSIST"],
-    )
-    .expect("semantic check");
+    let sem =
+        is_key_relation_semantically(&u.schema, &u.state, "COURSE", &["OFFER", "TEACH", "ASSIST"])
+            .expect("semantic check");
     println!("Prop 3.1: COURSE covers the keys of {{OFFER,TEACH,ASSIST}} (offer_ratio=1): {sem}");
 
     // Prop 4.1 / 4.2 on a random star schema.
@@ -349,8 +382,7 @@ fn props() {
     );
     let merged_state = merged.apply(&state).expect("apply");
     merged.remove_all_removable().expect("remove");
-    let r2 =
-        check_both(&merged, &state, &merged.apply(&state).expect("apply")).expect("check");
+    let r2 = check_both(&merged, &state, &merged.apply(&state).expect("apply")).expect("check");
     println!(
         "Prop 4.2 (Remove preserves capacity): {} (merged arity {} -> {})",
         r2.holds(),

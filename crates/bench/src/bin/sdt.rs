@@ -7,19 +7,34 @@
 //!     [--merge]            use merging (SDT option ii); default is 1:1
 //!     [--migration]        also print data-migration SQL for each merge
 //!     [--report]           print merge reports instead of raw schemas
+//!     [--trace]            print the span tree of the run to stderr
+//!     [--metrics <text|json>]  print collected metrics after the run
 //! ```
 //!
 //! Example: `sdt --demo fig7 --dialect sybase40 --merge --migration`
+//!
+//! `--metrics` also runs a small engine *maintenance probe*: the generated
+//! schema is deployed to the in-memory engine under the dialect's capability
+//! profile and a synthetic state is inserted tuple-by-tuple, so the metric
+//! output includes per-mechanism (declarative vs. procedural) constraint
+//! check counts and latencies.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use relmerge_core::{Advisor, MergeReport};
-use relmerge_ddl::{
-    advisor_config_for, backward_migration, forward_migration, generate, Dialect,
-};
+use relmerge_ddl::{advisor_config_for, backward_migration, forward_migration, generate, Dialect};
 use relmerge_eer::{figures, model::EerSchema, translate};
-use relmerge_workload::{random_eer, EerSpec};
+use relmerge_engine::{Database, DbmsProfile};
+use relmerge_obs as obs;
+use relmerge_relational::{DatabaseState, RelationalSchema, Tuple};
+use relmerge_workload::{consistent_state, random_eer, EerSpec, StateSpec};
+
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Text,
+    Json,
+}
 
 struct Args {
     demo: String,
@@ -27,6 +42,8 @@ struct Args {
     merge: bool,
     migration: bool,
     report: bool,
+    trace: bool,
+    metrics: Option<MetricsFormat>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +53,8 @@ fn parse_args() -> Result<Args, String> {
         merge: false,
         migration: false,
         report: false,
+        trace: false,
+        metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -56,10 +75,20 @@ fn parse_args() -> Result<Args, String> {
             "--merge" => args.merge = true,
             "--migration" => args.migration = true,
             "--report" => args.report = true,
+            "--trace" => args.trace = true,
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a value")?;
+                args.metrics = Some(match v.as_str() {
+                    "text" => MetricsFormat::Text,
+                    "json" => MetricsFormat::Json,
+                    other => return Err(format!("unknown metrics format `{other}`")),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>] \
-                     [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] [--report]"
+                     [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] \
+                     [--report] [--trace] [--metrics <text|json>]"
                 );
                 std::process::exit(0);
             }
@@ -67,6 +96,63 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// The engine capability profile that matches a DDL dialect.
+fn profile_for(dialect: Dialect) -> DbmsProfile {
+    match dialect {
+        Dialect::Db2 => DbmsProfile::db2(),
+        Dialect::Sybase40 => DbmsProfile::sybase40(),
+        Dialect::Ingres63 => DbmsProfile::ingres63(),
+        Dialect::Sql92 => DbmsProfile::ideal(),
+    }
+}
+
+/// Deploys `schema` on the in-memory engine and inserts `state` tuple by
+/// tuple, retrying rejected tuples until a fixed point (intra-relation
+/// references can need a later pass). Returns the database so its metrics
+/// shard stays alive until the final snapshot is printed.
+fn engine_probe(
+    schema: &RelationalSchema,
+    state: &DatabaseState,
+    dialect: Dialect,
+    label: &str,
+) -> Option<Database> {
+    let mut span = obs::span("sdt.probe").field("schema", label);
+    let mut db = Database::new(schema.clone(), profile_for(dialect)).ok()?;
+    let mut pending: Vec<(String, Tuple)> = Vec::new();
+    for (name, relation) in state.iter() {
+        for t in relation.iter() {
+            pending.push((name.to_owned(), t.clone()));
+        }
+    }
+    let total = pending.len();
+    loop {
+        let before = pending.len();
+        pending.retain(|(rel, t)| !matches!(db.insert(rel, t.clone()), Ok(true)));
+        if pending.is_empty() || pending.len() == before {
+            break;
+        }
+    }
+    span.add_field("inserted", total - pending.len());
+    span.add_field("unplaceable", pending.len());
+    // Delete probe: try removing the first row of every relation. Rows
+    // still referenced by others exercise the RESTRICT check path and
+    // stay put; the rest exercise the delete path.
+    for s in schema.schemes() {
+        let Ok(relation) = state.relation_required(s.name()) else {
+            continue;
+        };
+        let Some(t) = relation.iter().next() else {
+            continue;
+        };
+        let Ok(pk_pos) = relation.positions(&s.primary_key()) else {
+            continue;
+        };
+        let key = Tuple::new(pk_pos.iter().map(|i| t.get(*i).clone()).collect::<Vec<_>>());
+        let _ = db.delete_by_key(s.name(), &key);
+    }
+    Some(db)
 }
 
 fn demo_schema(name: &str) -> Result<EerSchema, String> {
@@ -101,6 +187,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.trace {
+        obs::set_enabled(true);
+    }
     let eer = match demo_schema(&args.demo) {
         Ok(e) => e,
         Err(e) => {
@@ -173,7 +262,9 @@ fn main() {
         if let Some(pipeline) = &pipeline {
             for step in pipeline.steps() {
                 match forward_migration(step) {
-                    Ok(sql) => println!("-- forward migration for {}:\n{sql}\n", step.merged_name()),
+                    Ok(sql) => {
+                        println!("-- forward migration for {}:\n{sql}\n", step.merged_name())
+                    }
                     Err(e) => eprintln!("sdt: forward migration failed: {e}"),
                 }
                 match backward_migration(step) {
@@ -190,4 +281,51 @@ fn main() {
             eprintln!("sdt: --migration has no effect without --merge");
         }
     }
+
+    // Engine maintenance probe (drives the per-mechanism check metrics).
+    // The returned databases hold their metric shards alive until the
+    // snapshot below.
+    let mut probes: Vec<Database> = Vec::new();
+    if args.metrics.is_some() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = StateSpec {
+            root_rows: 16,
+            coverage: 0.5,
+        };
+        match consistent_state(&base, &spec, &mut rng) {
+            Ok(base_state) => {
+                probes.extend(engine_probe(&base, &base_state, args.dialect, "base"));
+                if let Some(pipeline) = &pipeline {
+                    match pipeline.apply(&base_state) {
+                        Ok(merged_state) => {
+                            probes.extend(engine_probe(
+                                &schema,
+                                &merged_state,
+                                args.dialect,
+                                "merged",
+                            ));
+                        }
+                        Err(e) => eprintln!("sdt: probe state mapping failed: {e}"),
+                    }
+                }
+            }
+            Err(e) => eprintln!("sdt: probe state generation failed: {e}"),
+        }
+    }
+
+    if args.trace {
+        eprintln!("-- trace:");
+        eprint!("{}", obs::render_tree(&obs::take_events()));
+    }
+    if let Some(format) = args.metrics {
+        let snap = obs::snapshot_all();
+        match format {
+            MetricsFormat::Text => {
+                println!("-- metrics:");
+                print!("{}", obs::to_text(&snap));
+            }
+            MetricsFormat::Json => println!("{}", obs::to_json(&snap)),
+        }
+    }
+    drop(probes);
 }

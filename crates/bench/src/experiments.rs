@@ -1,13 +1,12 @@
 //! The measured experiments: B1 (query speedup), B2 (maintenance cost),
 //! and B4 (the effect of `Remove` on relation size).
 
-use std::time::Instant;
-
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_core::{Merge, Merged};
 use relmerge_engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge_obs as obs;
 use relmerge_relational::{Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
 
@@ -119,6 +118,7 @@ pub struct SpeedupRow {
 pub fn query_speedup(scales: &[usize], queries_per_scale: usize) -> Result<Vec<SpeedupRow>> {
     let mut rows = Vec::new();
     for &courses in scales {
+        let _scale_span = obs::span("bench.b1.scale").field("courses", courses);
         let (u, m) = university_merge(courses, 42)?;
         let (unmerged, merged) = university_databases(&u, &m)?;
         let mut rng = StdRng::seed_from_u64(7);
@@ -132,16 +132,16 @@ pub fn query_speedup(scales: &[usize], queries_per_scale: usize) -> Result<Vec<S
         let (r2, s2) = execute(&merged, &merged_point_query(probe_key))?;
         assert_eq!(r1.len(), r2.len(), "result cardinality must agree");
 
-        let start = Instant::now();
+        let t = obs::timer("bench.b1.point.unmerged").field("queries", keys.len());
         for &k in &keys {
             let _ = execute(&unmerged, &unmerged_point_query(k))?;
         }
-        let unmerged_ns = start.elapsed().as_nanos() as f64 / keys.len() as f64;
-        let start = Instant::now();
+        let unmerged_ns = t.stop() as f64 / keys.len() as f64;
+        let t = obs::timer("bench.b1.point.merged").field("queries", keys.len());
         for &k in &keys {
             let _ = execute(&merged, &merged_point_query(k))?;
         }
-        let merged_ns = start.elapsed().as_nanos() as f64 / keys.len() as f64;
+        let merged_ns = t.stop() as f64 / keys.len() as f64;
 
         // Scans: warm up once, then average several iterations (a single
         // cold measurement is dominated by first-touch page faults).
@@ -149,16 +149,16 @@ pub fn query_speedup(scales: &[usize], queries_per_scale: usize) -> Result<Vec<S
         let (scan2, _) = execute(&merged, &merged_scan_query())?;
         assert_eq!(scan1.len(), scan2.len(), "scan cardinality must agree");
         const SCAN_ITERS: u32 = 5;
-        let start = Instant::now();
+        let t = obs::timer("bench.b1.scan.unmerged");
         for _ in 0..SCAN_ITERS {
             let _ = execute(&unmerged, &unmerged_scan_query())?;
         }
-        let scan_unmerged_ns = start.elapsed().as_nanos() as f64 / f64::from(SCAN_ITERS);
-        let start = Instant::now();
+        let scan_unmerged_ns = t.stop() as f64 / f64::from(SCAN_ITERS);
+        let t = obs::timer("bench.b1.scan.merged");
         for _ in 0..SCAN_ITERS {
             let _ = execute(&merged, &merged_scan_query())?;
         }
-        let scan_merged_ns = start.elapsed().as_nanos() as f64 / f64::from(SCAN_ITERS);
+        let scan_merged_ns = t.stop() as f64 / f64::from(SCAN_ITERS);
 
         rows.push(SpeedupRow {
             courses,
@@ -207,8 +207,8 @@ pub fn maintenance_cost(entities: usize) -> Result<Vec<MaintenanceRow>> {
         let dept = Value::text("dept0");
         let faculty = Value::Int(10_000);
         let student = Value::Int(10_400);
-        db.reset_stats();
-        let start = Instant::now();
+        let _ = db.take_stats(); // discard the load phase
+        let t = obs::timer("bench.b2.insert").field("scenario", "unmerged");
         for i in 0..entities {
             let nr = Value::Int(1_000_000 + i as i64);
             db.insert("COURSE", Tuple::new([nr.clone()]))
@@ -220,8 +220,8 @@ pub fn maintenance_cost(entities: usize) -> Result<Vec<MaintenanceRow>> {
             db.insert("ASSIST", Tuple::new([nr, student.clone()]))
                 .expect("assist insert");
         }
-        let elapsed = start.elapsed().as_nanos() as f64;
-        let stats = db.stats();
+        let elapsed = t.stop() as f64;
+        let stats = db.take_stats();
         rows.push(MaintenanceRow {
             scenario: "unmerged (DB2, declarative)".to_owned(),
             entities: entities as u64,
@@ -241,8 +241,8 @@ pub fn maintenance_cost(entities: usize) -> Result<Vec<MaintenanceRow>> {
         let dept = Value::text("dept0");
         let faculty = Value::Int(10_000);
         let student = Value::Int(10_400);
-        db.reset_stats();
-        let start = Instant::now();
+        let _ = db.take_stats(); // discard the load phase
+        let t = obs::timer("bench.b2.insert").field("scenario", "merged");
         for i in 0..entities {
             let nr = Value::Int(1_000_000 + i as i64);
             db.insert(
@@ -251,8 +251,8 @@ pub fn maintenance_cost(entities: usize) -> Result<Vec<MaintenanceRow>> {
             )
             .expect("merged insert");
         }
-        let elapsed = start.elapsed().as_nanos() as f64;
-        let stats = db.stats();
+        let elapsed = t.stop() as f64;
+        let stats = db.take_stats();
         rows.push(MaintenanceRow {
             scenario: "merged (SYBASE 4.0, triggers)".to_owned(),
             entities: entities as u64,
@@ -308,7 +308,7 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
     {
         let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
         db.load_state(&u.state)?;
-        let start = Instant::now();
+        let t = obs::timer("bench.b6.run").field("scenario", "unmerged");
         for op in &ops {
             match op {
                 UniversityOp::CourseDetail { nr } => {
@@ -339,7 +339,7 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
                 }
             }
         }
-        let total_ns = start.elapsed().as_nanos() as f64;
+        let total_ns = t.stop() as f64;
         rows.push(MixedRow {
             scenario: "unmerged (4 relations)".to_owned(),
             ops: n_ops,
@@ -355,7 +355,7 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
         let merged_state = m.apply(&u.state)?;
         let mut db = Database::new(m.schema().clone(), DbmsProfile::ideal())?;
         db.load_state(&merged_state)?;
-        let start = Instant::now();
+        let t = obs::timer("bench.b6.run").field("scenario", "merged");
         for op in &ops {
             match op {
                 UniversityOp::CourseDetail { nr } => {
@@ -383,7 +383,7 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
                 }
             }
         }
-        let total_ns = start.elapsed().as_nanos() as f64;
+        let total_ns = t.stop() as f64;
         rows.push(MixedRow {
             scenario: "merged (COURSE_M)".to_owned(),
             ops: n_ops,

@@ -9,6 +9,7 @@
 
 use std::collections::BTreeSet;
 
+use relmerge_obs as obs;
 use relmerge_relational::{RelationalSchema, Result};
 
 use crate::conditions::{
@@ -97,6 +98,7 @@ impl Advisor {
         schema: &RelationalSchema,
         config: &AdvisorConfig,
     ) -> Result<Vec<MergeProposal>> {
+        let mut span = obs::span("core.advisor.propose");
         let mut proposals = Vec::new();
         for set in maximal_merge_sets(schema) {
             let set = if config.max_set_size > 0 && set.len() > config.max_set_size {
@@ -140,6 +142,14 @@ impl Advisor {
                 .cmp(&a.joins_eliminated)
                 .then_with(|| a.members.cmp(&b.members))
         });
+        span.add_field("proposals", proposals.len());
+        span.add_field(
+            "admissible",
+            proposals.iter().filter(|p| p.admissible).count(),
+        );
+        obs::global()
+            .counter("core.advisor.proposals")
+            .add(proposals.len() as u64);
         Ok(proposals)
     }
 
@@ -164,6 +174,7 @@ impl Advisor {
         schema: &RelationalSchema,
         config: &AdvisorConfig,
     ) -> Result<(RelationalSchema, Vec<AppliedMerge>)> {
+        let mut span = obs::span("core.advisor.apply_greedy");
         let mut current = schema.clone();
         let mut consumed: BTreeSet<String> = BTreeSet::new();
         let mut applied = Vec::new();
@@ -186,6 +197,10 @@ impl Advisor {
                 merged,
             });
         }
+        span.add_field("applied", applied.len());
+        obs::global()
+            .counter("core.advisor.applied")
+            .add(applied.len() as u64);
         Ok((current, applied))
     }
 }
@@ -193,9 +208,7 @@ impl Advisor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relmerge_relational::{
-        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme,
-    };
+    use relmerge_relational::{Attribute, Domain, InclusionDep, NullConstraint, RelationScheme};
 
     fn attr(name: &str) -> Attribute {
         Attribute::new(name, Domain::Int)
@@ -218,7 +231,8 @@ mod tests {
             .collect();
         for (name, attrs) in pairs {
             let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            rs.add_null_constraint(NullConstraint::nna(&name, &refs)).unwrap();
+            rs.add_null_constraint(NullConstraint::nna(&name, &refs))
+                .unwrap();
         }
     }
 
@@ -226,14 +240,20 @@ mod tests {
     fn two_stars() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(scheme("P", &["P.K"], &["P.K"])).unwrap();
-        rs.add_scheme(scheme("Q", &["Q.K", "Q.V"], &["Q.K"])).unwrap();
+        rs.add_scheme(scheme("Q", &["Q.K", "Q.V"], &["Q.K"]))
+            .unwrap();
         rs.add_scheme(scheme("X", &["X.K"], &["X.K"])).unwrap();
-        rs.add_scheme(scheme("Y", &["Y.K", "Y.V"], &["Y.K"])).unwrap();
-        rs.add_scheme(scheme("Z", &["Z.K", "Z.V"], &["Z.K"])).unwrap();
+        rs.add_scheme(scheme("Y", &["Y.K", "Y.V"], &["Y.K"]))
+            .unwrap();
+        rs.add_scheme(scheme("Z", &["Z.K", "Z.V"], &["Z.K"]))
+            .unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("Q", &["Q.K"], "P", &["P.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("Y", &["Y.K"], "X", &["X.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("Z", &["Z.K"], "X", &["X.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("Q", &["Q.K"], "P", &["P.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("Y", &["Y.K"], "X", &["X.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("Z", &["Z.K"], "X", &["X.K"]))
+            .unwrap();
         rs
     }
 
@@ -277,14 +297,22 @@ mod tests {
         // prop 5.2 fails for the full merge set; with declarative-only
         // config the big merge is inadmissible.
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
-        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"])).unwrap();
-        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"])).unwrap();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"]))
+            .unwrap();
         nna_all(&mut rs);
         rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]))
-            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         let proposals = Advisor::propose(&rs, &AdvisorConfig::declarative_only()).unwrap();
         let big = proposals
             .iter()

@@ -10,6 +10,7 @@
 //! for one state, and property tests drive it with randomly generated
 //! consistent states.
 
+use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, Result};
 
 use crate::merge::Merged;
@@ -50,11 +51,17 @@ impl CapacityReport {
 /// pipeline on one consistent state `r` of the original schema:
 /// η(r) consistent, η′(η(r)) = r, and values preserved.
 pub fn check_forward(merged: &Merged, state: &DatabaseState) -> Result<CapacityReport> {
+    let mut span = obs::span("core.capacity.check_forward").field("merged", merged.merged_name());
     let image = merged.apply(state)?;
     let forward_consistent = image.is_consistent(merged.schema())?;
     let back = merged.invert(&image)?;
     let forward_round_trip = back == *state;
     let forward_values_preserved = image.values_included_in(state);
+    span.add_field(
+        "holds",
+        forward_consistent && forward_round_trip && forward_values_preserved,
+    );
+    obs::global().counter("core.capacity.checks").inc();
     Ok(CapacityReport {
         forward_consistent,
         forward_round_trip,
@@ -95,8 +102,8 @@ mod tests {
     use super::*;
     use crate::merge::Merge;
     use relmerge_relational::{
-        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema,
-        Tuple, Value,
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Tuple,
+        Value,
     };
 
     fn schema() -> RelationalSchema {
@@ -106,10 +113,8 @@ mod tests {
             RelationScheme::new("EMP", vec![a("E.SSN"), a("E.GRADE")], &["E.SSN"]).unwrap(),
         )
         .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("MGR", vec![a("M.SSN"), a("M.NR")], &["M.SSN"]).unwrap(),
-        )
-        .unwrap();
+        rs.add_scheme(RelationScheme::new("MGR", vec![a("M.SSN"), a("M.NR")], &["M.SSN"]).unwrap())
+            .unwrap();
         rs.add_null_constraint(NullConstraint::nna("EMP", &["E.SSN", "E.GRADE"]))
             .unwrap();
         rs.add_null_constraint(NullConstraint::nna("MGR", &["M.SSN", "M.NR"]))

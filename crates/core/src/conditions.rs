@@ -40,9 +40,10 @@ pub fn prop51_inds_key_based(schema: &RelationalSchema, members: &[&str]) -> Res
         if Some(ri.name()) == key_rel.as_deref() {
             return true;
         }
-        !schema.inds().iter().any(|ind| {
-            ind.rhs_rel == ri.name() && !members.contains(&ind.lhs_rel.as_str())
-        })
+        !schema
+            .inds()
+            .iter()
+            .any(|ind| ind.rhs_rel == ri.name() && !members.contains(&ind.lhs_rel.as_str()))
     }))
 }
 
@@ -53,9 +54,9 @@ pub fn prop51_inds_key_based(schema: &RelationalSchema, members: &[&str]) -> Res
 pub fn prop51_keys_non_null(schema: &RelationalSchema, members: &[&str]) -> Result<bool> {
     let schemes = member_schemes(schema, members)?;
     let key_rel = find_key_relation(schema, &schemes).map(|s| s.name().to_owned());
-    Ok(schemes.iter().all(|ri| {
-        Some(ri.name()) == key_rel.as_deref() || ri.candidate_keys().len() == 1
-    }))
+    Ok(schemes
+        .iter()
+        .all(|ri| Some(ri.name()) == key_rel.as_deref() || ri.candidate_keys().len() == 1))
 }
 
 /// A single failed condition of Proposition 5.2, for diagnostics.
@@ -83,10 +84,7 @@ pub struct Prop52Failure {
 /// Returns the empty vector when the conditions hold (for *some* choice of
 /// `Rk` — the key-relation found by Proposition 3.1); otherwise the list of
 /// failures for the best candidate.
-pub fn prop52_nna_only(
-    schema: &RelationalSchema,
-    members: &[&str],
-) -> Result<Vec<Prop52Failure>> {
+pub fn prop52_nna_only(schema: &RelationalSchema, members: &[&str]) -> Result<Vec<Prop52Failure>> {
     let schemes = member_schemes(schema, members)?;
     let Some(rk) = find_key_relation(schema, &schemes) else {
         return Ok(vec![Prop52Failure {
@@ -224,7 +222,8 @@ mod tests {
             .collect();
         for (name, attrs) in pairs {
             let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-            rs.add_null_constraint(NullConstraint::nna(&name, &refs)).unwrap();
+            rs.add_null_constraint(NullConstraint::nna(&name, &refs))
+                .unwrap();
         }
     }
 
@@ -232,28 +231,51 @@ mod tests {
     /// relationship relation references COURSE directly.
     fn star_schema() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
-        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"])).unwrap();
-        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"])).unwrap();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"]))
+            .unwrap();
         rs.add_scheme(scheme("DEPT", &["D.N"], &["D.N"])).unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "COURSE", &["C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("OFFER", &["O.D"], "DEPT", &["D.N"])).unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.D"], "DEPT", &["D.N"]))
+            .unwrap();
         rs
     }
 
     /// The Figure 3/4 chain: TEACH references OFFER, not COURSE.
     fn chain_schema() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
-        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"])).unwrap();
-        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"])).unwrap();
-        rs.add_scheme(scheme("ASSIST", &["A.C.NR", "A.S"], &["A.C.NR"])).unwrap();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"]))
+            .unwrap();
+        rs.add_scheme(scheme("ASSIST", &["A.C.NR", "A.S"], &["A.C.NR"]))
+            .unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("ASSIST", &["A.C.NR"], "OFFER", &["O.C.NR"])).unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "ASSIST",
+            &["A.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         rs
     }
 
@@ -264,9 +286,7 @@ mod tests {
         // key: non-key-based IND in I′ (the Figure 4 situation).
         assert!(!prop51_inds_key_based(&rs, &["COURSE", "OFFER", "TEACH"]).unwrap());
         // Merging all four removes the external reference.
-        assert!(
-            prop51_inds_key_based(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"]).unwrap()
-        );
+        assert!(prop51_inds_key_based(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"]).unwrap());
         // And the prediction matches Merge's actual output.
         let m3 = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH"], "M3").unwrap();
         assert!(!m3.schema().key_based_inds_only());
@@ -288,7 +308,8 @@ mod tests {
         )
         .unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
         // B has an alternative candidate key → nullable key in Rm.
         assert!(!prop51_keys_non_null(&rs, &["A", "B"]).unwrap());
         // Matches the actual merge output: B.ALT is a declared candidate
@@ -312,23 +333,22 @@ mod tests {
         // check N″ is NNA-only.
         let mut m = Merge::plan(&star, &["COURSE", "OFFER", "TEACH"], "CM").unwrap();
         m.remove_all_removable().unwrap();
-        assert!(m
-            .generated_null_constraints()
-            .iter()
-            .all(|c| c.is_nna()));
+        assert!(m.generated_null_constraints().iter().all(|c| c.is_nna()));
 
         let chain = chain_schema();
-        let failures =
-            prop52_nna_only(&chain, &["COURSE", "OFFER", "TEACH", "ASSIST"]).unwrap();
+        let failures = prop52_nna_only(&chain, &["COURSE", "OFFER", "TEACH", "ASSIST"]).unwrap();
         // TEACH and ASSIST reference OFFER, not COURSE (condition 1), and
         // OFFER is targeted (condition 3).
         assert!(!failures.is_empty());
-        assert!(failures.iter().any(|f| f.condition == 1 && f.member == "TEACH"));
-        assert!(failures.iter().any(|f| f.condition == 3 && f.member == "OFFER"));
+        assert!(failures
+            .iter()
+            .any(|f| f.condition == 1 && f.member == "TEACH"));
+        assert!(failures
+            .iter()
+            .any(|f| f.condition == 3 && f.member == "OFFER"));
         // Matches the pipeline: Figure 6 ends with null-existence
         // constraints that are not NNA.
-        let mut m = Merge::plan(&chain, &["COURSE", "OFFER", "TEACH", "ASSIST"], "CM")
-            .unwrap();
+        let mut m = Merge::plan(&chain, &["COURSE", "OFFER", "TEACH", "ASSIST"], "CM").unwrap();
         m.remove_all_removable().unwrap();
         assert!(!m.generated_null_constraints().iter().all(|c| c.is_nna()));
     }
@@ -337,9 +357,11 @@ mod tests {
     fn prop52_condition_2_needs_single_non_key_attr() {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(scheme("A", &["A.K"], &["A.K"])).unwrap();
-        rs.add_scheme(scheme("B", &["B.K", "B.V1", "B.V2"], &["B.K"])).unwrap();
+        rs.add_scheme(scheme("B", &["B.K", "B.V1", "B.V2"], &["B.K"]))
+            .unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
         let failures = prop52_nna_only(&rs, &["A", "B"]).unwrap();
         assert_eq!(failures.len(), 1);
         assert_eq!(failures[0].condition, 2);
@@ -355,14 +377,18 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(scheme("EXT", &["E.K"], &["E.K"])).unwrap();
         rs.add_scheme(scheme("A", &["A.K"], &["A.K"])).unwrap();
-        rs.add_scheme(scheme("B", &["B.K", "B.V"], &["B.K"])).unwrap();
+        rs.add_scheme(scheme("B", &["B.K", "B.V"], &["B.K"]))
+            .unwrap();
         nna_all(&mut rs);
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"]))
+            .unwrap();
         let failures = prop52_nna_only(&rs, &["A", "B"]).unwrap();
         assert!(failures.iter().any(|f| f.condition == 4));
         let mut rs2 = rs.clone();
-        rs2.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"])).unwrap();
+        rs2.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"]))
+            .unwrap();
         assert!(prop52_nna_only(&rs2, &["A", "B"]).unwrap().is_empty());
     }
 

@@ -173,7 +173,8 @@ mod tests {
     /// COURSE <- OFFER <- {TEACH, ASSIST} key chain of Figures 3-5.
     fn university() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"])).unwrap();
+        rs.add_scheme(scheme("COURSE", &["C.NR"], &["C.NR"]))
+            .unwrap();
         rs.add_scheme(scheme("OFFER", &["O.C.NR", "O.D"], &["O.C.NR"]))
             .unwrap();
         rs.add_scheme(scheme("TEACH", &["T.C.NR", "T.F"], &["T.C.NR"]))
@@ -182,10 +183,20 @@ mod tests {
             .unwrap();
         rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]))
-            .unwrap();
-        rs.add_ind(InclusionDep::new("ASSIST", &["A.C.NR"], "OFFER", &["O.C.NR"]))
-            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "ASSIST",
+            &["A.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         rs
     }
 
@@ -218,20 +229,16 @@ mod tests {
             .unwrap();
         // Definition 3.1 requires *equality*: COURSE(3) is offered by
         // nobody, so COURSE is not a key-relation of {OFFER, TEACH}.
-        assert!(!is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"])
-            .unwrap());
+        assert!(!is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"]).unwrap());
         // Covering course 3 restores equality.
         st.insert("OFFER", Tuple::new([Value::Int(3), Value::Int(30)]))
             .unwrap();
-        assert!(is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"])
-            .unwrap());
+        assert!(is_key_relation_semantically(&rs, &st, "COURSE", &["OFFER", "TEACH"]).unwrap());
         // A member key-relation: when Rk ∈ R̄ its own keys join the union,
         // so the condition reduces to "rk covers all member keys".
-        assert!(is_key_relation_semantically(&rs, &st, "OFFER", &["OFFER", "TEACH"])
-            .unwrap());
+        assert!(is_key_relation_semantically(&rs, &st, "OFFER", &["OFFER", "TEACH"]).unwrap());
         // TEACH lacks courses 2 and 3: not a key-relation of the pair.
-        assert!(!is_key_relation_semantically(&rs, &st, "TEACH", &["OFFER", "TEACH"])
-            .unwrap());
+        assert!(!is_key_relation_semantically(&rs, &st, "TEACH", &["OFFER", "TEACH"]).unwrap());
     }
 
     #[test]
@@ -258,8 +265,10 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(scheme("A", &["A.K"], &["A.K"])).unwrap();
         rs.add_scheme(scheme("B", &["B.K"], &["B.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
         let schemes: Vec<&RelationScheme> = rs.schemes().iter().collect();
         assert_eq!(find_key_relation(&rs, &schemes).unwrap().name(), "A");
         let reversed: Vec<&RelationScheme> = rs.schemes().iter().rev().collect();
@@ -283,8 +292,7 @@ mod tests {
     #[test]
     fn synthetic_key_attrs_fresh_and_typed() {
         let rs = university();
-        let members: Vec<&RelationScheme> =
-            rs.schemes()[2..].iter().collect(); // TEACH, ASSIST
+        let members: Vec<&RelationScheme> = rs.schemes()[2..].iter().collect(); // TEACH, ASSIST
         let attrs = synthesize_key_attrs(&rs, &members, "MERGED", None).unwrap();
         assert_eq!(attrs.len(), 1);
         assert_eq!(attrs[0].name(), "MERGED.K1");

@@ -41,8 +41,7 @@ pub mod report;
 pub use advisor::{Advisor, AdvisorConfig, AppliedMerge, MergeProposal};
 pub use capacity::{check_both, check_forward, check_proposition_4_1, CapacityReport};
 pub use conditions::{
-    maximal_merge_sets, prop51_inds_key_based, prop51_keys_non_null, prop52_nna_only,
-    Prop52Failure,
+    maximal_merge_sets, prop51_inds_key_based, prop51_keys_non_null, prop52_nna_only, Prop52Failure,
 };
 pub use keyrel::{find_key_relation, is_key_relation_semantically, KeyRelationSpec};
 pub use merge::{Merge, MergeGroup, MergeOptions, Merged};

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use relmerge_obs as obs;
 use relmerge_relational::algebra;
 use relmerge_relational::{
     Attribute, DatabaseState, Error, NullConstraint, Relation, RelationScheme, RelationalSchema,
@@ -116,11 +117,7 @@ impl Merge {
     /// );
     /// # Ok::<(), relmerge_relational::Error>(())
     /// ```
-    pub fn plan(
-        schema: &RelationalSchema,
-        members: &[&str],
-        merged_name: &str,
-    ) -> Result<Merged> {
+    pub fn plan(schema: &RelationalSchema, members: &[&str], merged_name: &str) -> Result<Merged> {
         Self::plan_with_options(schema, members, merged_name, &MergeOptions::default())
     }
 
@@ -139,9 +136,7 @@ impl Merge {
             members,
             merged_name,
             &MergeOptions {
-                synthetic_key_names: Some(
-                    key_names.iter().map(|s| (*s).to_owned()).collect(),
-                ),
+                synthetic_key_names: Some(key_names.iter().map(|s| (*s).to_owned()).collect()),
                 ..MergeOptions::default()
             },
         )
@@ -174,10 +169,17 @@ impl Merge {
         synthetic_key_names: Option<&[&str]>,
         strengthen_total_participation: bool,
     ) -> Result<Merged> {
+        let mut span = obs::span("core.merge.plan")
+            .field("merged", merged_name)
+            .field("members", members.len());
+        merge_counters().plans.inc();
         let member_schemes = Self::validate_members(schema, members, merged_name)?;
 
         // --- Key-relation (Definition 4.1 case split). ---
-        let key_relation = match keyrel::find_key_relation(schema, &member_schemes) {
+        let keyrel_span = obs::span("core.merge.keyrel");
+        let found = keyrel::find_key_relation(schema, &member_schemes);
+        drop(keyrel_span);
+        let key_relation = match found {
             Some(r0) => {
                 if synthetic_key_names.is_some() {
                     return Err(Error::PreconditionViolated {
@@ -201,6 +203,13 @@ impl Merge {
             },
         };
         let km: Vec<String> = key_relation.key_names(schema)?;
+        span.add_field(
+            "keyrel",
+            match &key_relation {
+                KeyRelationSpec::Member(n) => n.clone(),
+                KeyRelationSpec::Synthetic { .. } => "<synthetic>".to_owned(),
+            },
+        );
 
         // --- Step 1: Xm := Xk ∪ ⋃ Xi, Km := Kk; groups in fold order. ---
         let mut xm: Vec<Attribute> = Vec::new();
@@ -251,8 +260,7 @@ impl Merge {
             .map(|k| k.iter().map(String::as_str).collect())
             .collect();
         let key_slices: Vec<&[&str]> = key_refs.iter().map(Vec::as_slice).collect();
-        let merged_scheme =
-            RelationScheme::with_candidate_keys(merged_name, xm, &key_slices)?;
+        let merged_scheme = RelationScheme::with_candidate_keys(merged_name, xm, &key_slices)?;
 
         // R′: replace the members with Rm at the first member's position.
         let mut schemes: Vec<RelationScheme> = Vec::new();
@@ -269,6 +277,7 @@ impl Merge {
         }
 
         // --- Step 4 (I′). ---
+        let constraints_span = obs::span("core.merge.constraints");
         let member_keys: Vec<(&str, Vec<&str>)> = ordered
             .iter()
             .map(|s| (s.name(), s.primary_key()))
@@ -287,10 +296,7 @@ impl Merge {
             if out.lhs_rel == merged_name && out.rhs_rel == merged_name {
                 // (b) rewrite Rm[Z] ⊆ Rm[Ki] to Rm[Z] ⊆ Rm[Km].
                 let rhs_names: Vec<&str> = out.rhs_attrs.iter().map(String::as_str).collect();
-                if let Some((_, ki)) = member_keys
-                    .iter()
-                    .find(|(_, ki)| same_set(&rhs_names, ki))
-                {
+                if let Some((_, ki)) = member_keys.iter().find(|(_, ki)| same_set(&rhs_names, ki)) {
                     out.rhs_attrs = reorder_to_km(&out.rhs_attrs, ki, &km);
                 }
                 // (c) drop Rm[Ki] ⊆ Rm[Km] for member primary keys Ki.
@@ -299,9 +305,7 @@ impl Merge {
                     &out.rhs_attrs.iter().map(String::as_str).collect::<Vec<_>>(),
                     &km.iter().map(String::as_str).collect::<Vec<_>>(),
                 );
-                if rhs_is_km
-                    && member_keys.iter().any(|(_, ki)| same_set(&lhs_names, ki))
-                {
+                if rhs_is_km && member_keys.iter().any(|(_, ki)| same_set(&lhs_names, ki)) {
                     continue;
                 }
             }
@@ -345,10 +349,7 @@ impl Merge {
                                             .iter()
                                             .map(String::as_str)
                                             .collect::<Vec<_>>(),
-                                        &g.key
-                                            .iter()
-                                            .map(String::as_str)
-                                            .collect::<Vec<_>>(),
+                                        &g.key.iter().map(String::as_str).collect::<Vec<_>>(),
                                     )
                             })
                         })
@@ -363,9 +364,7 @@ impl Merge {
         // 3a: Rm : ∅ ⊑ Xk (the key-relation's whole attribute set).
         let xk: Vec<&str> = match &key_relation {
             KeyRelationSpec::Member(n) => schema.scheme_required(n)?.attr_names(),
-            KeyRelationSpec::Synthetic { attrs } => {
-                attrs.iter().map(Attribute::name).collect()
-            }
+            KeyRelationSpec::Synthetic { attrs } => attrs.iter().map(Attribute::name).collect(),
         };
         nulls.push(NullConstraint::nna(merged_name, &xk));
         // 3c: NS(Xi) for every member except Rk with |Xi| > 1 — or, with
@@ -402,8 +401,7 @@ impl Merge {
                     continue;
                 }
                 let rj = schema.scheme_required(&ind.lhs_rel)?;
-                let lhs_names: Vec<&str> =
-                    ind.lhs_attrs.iter().map(String::as_str).collect();
+                let lhs_names: Vec<&str> = ind.lhs_attrs.iter().map(String::as_str).collect();
                 if !rj.is_primary_key(&lhs_names) {
                     continue;
                 }
@@ -440,6 +438,13 @@ impl Merge {
             let group_refs: Vec<&[&str]> = group_attrs.iter().map(Vec::as_slice).collect();
             nulls.push(NullConstraint::pn(merged_name, &group_refs));
         }
+
+        let generated_nulls = nulls.iter().filter(|c| c.rel() == merged_name).count();
+        drop(constraints_span);
+        span.add_field("null_constraints", generated_nulls);
+        merge_counters()
+            .null_constraints
+            .add(generated_nulls as u64);
 
         let current = RelationalSchema::with_parts(schemes, inds, nulls);
         current.validate()?;
@@ -555,6 +560,30 @@ fn reorder_to_km(rhs: &[String], ki: &[&str], km: &[String]) -> Vec<String> {
 
 fn same_set(a: &[&str], b: &[&str]) -> bool {
     a.len() == b.len() && a.iter().all(|x| b.contains(x))
+}
+
+/// Process-wide counters for the merge procedure, cached so the hot path
+/// never touches the registry lock.
+struct MergeCounters {
+    plans: std::sync::Arc<obs::Counter>,
+    null_constraints: std::sync::Arc<obs::Counter>,
+    removals: std::sync::Arc<obs::Counter>,
+}
+
+fn merge_counters() -> &'static MergeCounters {
+    static COUNTERS: std::sync::OnceLock<MergeCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = obs::global();
+        MergeCounters {
+            plans: r.counter("core.merge.plans"),
+            null_constraints: r.counter("core.merge.null_constraints"),
+            removals: r.counter("core.remove.removed"),
+        }
+    })
+}
+
+pub(crate) fn removal_counter() -> &'static std::sync::Arc<obs::Counter> {
+    &merge_counters().removals
 }
 
 /// The result of `Merge` (and any subsequent `Remove`s): the transformed
@@ -740,12 +769,12 @@ impl Merged {
                         .expect("only key attributes are removable");
                     Ok(Source::FromKm(km_pos[p]))
                 } else {
-                    Ok(Source::Col(
-                        rm.position(a).ok_or_else(|| Error::UnknownAttribute {
+                    Ok(Source::Col(rm.position(a).ok_or_else(|| {
+                        Error::UnknownAttribute {
                             attribute: a.clone(),
                             context: self.merged_name.clone(),
-                        })?,
-                    ))
+                        }
+                    })?))
                 }
             })
             .collect::<Result<_>>()?;
@@ -806,13 +835,10 @@ mod tests {
     #[test]
     fn synthetic_key_merge_matches_figure_2() {
         let rs = offer_teach();
-        let m = Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"])
-            .unwrap();
+        let m =
+            Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"]).unwrap();
         let scheme = m.merged_scheme();
-        assert_eq!(
-            scheme.attr_names(),
-            ["CN", "O.CN", "O.DN", "T.CN", "T.FN"]
-        );
+        assert_eq!(scheme.attr_names(), ["CN", "O.CN", "O.DN", "T.CN", "T.FN"]);
         assert_eq!(scheme.primary_key(), ["CN"]);
         let cons = m.generated_null_constraints();
         // NNA on CN, NS per member, PN over both groups, TE per member.
@@ -848,10 +874,9 @@ mod tests {
         // NNA over the key-relation's whole attribute set.
         assert!(cons.contains(&&NullConstraint::nna("ASSIGN", &["O.CN", "O.DN"])));
         // No part-null constraint (key-relation is a member).
-        assert!(!cons.iter().any(|c| matches!(
-            c,
-            NullConstraint::PartNull { .. }
-        )));
+        assert!(!cons
+            .iter()
+            .any(|c| matches!(c, NullConstraint::PartNull { .. })));
         // NS only for TEACH.
         assert!(cons.contains(&&NullConstraint::ns("ASSIGN", &["T.CN", "T.FN"])));
         // TE only for TEACH's key.
@@ -871,14 +896,10 @@ mod tests {
         // Missing NNA on a member attribute.
         let mut no_nna = RelationalSchema::new();
         no_nna
-            .add_scheme(
-                RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap(),
-            )
+            .add_scheme(RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap())
             .unwrap();
         no_nna
-            .add_scheme(
-                RelationScheme::new("B", vec![attr("B.K", Domain::Int)], &["B.K"]).unwrap(),
-            )
+            .add_scheme(RelationScheme::new("B", vec![attr("B.K", Domain::Int)], &["B.K"]).unwrap())
             .unwrap();
         no_nna
             .add_null_constraint(NullConstraint::nna("A", &["A.K"]))
@@ -889,9 +910,7 @@ mod tests {
         // Incompatible keys.
         let mut incompat = RelationalSchema::new();
         incompat
-            .add_scheme(
-                RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap(),
-            )
+            .add_scheme(RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap())
             .unwrap();
         incompat
             .add_scheme(
@@ -910,8 +929,8 @@ mod tests {
     #[test]
     fn eta_round_trip_synthetic_key() {
         let rs = offer_teach();
-        let m = Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"])
-            .unwrap();
+        let m =
+            Merge::plan_with_synthetic_key(&rs, &["OFFER", "TEACH"], "ASSIGN", &["CN"]).unwrap();
         let mut st = DatabaseState::empty_for(&rs).unwrap();
         st.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(10)]))
             .unwrap();
@@ -986,13 +1005,18 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("F0", &["F0.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("F1", &["F1.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("F0", &["F0.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("F1", &["F1.K"]))
+            .unwrap();
         rs.add_null_constraint(NullConstraint::nna("F2", &["F2.K", "F2.V0"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("F1", &["F1.K"], "F0", &["F0.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("F2", &["F2.K"], "F0", &["F0.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("F2", &["F2.V0"], "F1", &["F1.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("F1", &["F1.K"], "F0", &["F0.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("F2", &["F2.K"], "F0", &["F0.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("F2", &["F2.V0"], "F1", &["F1.K"]))
+            .unwrap();
         let m = Merge::plan(&rs, &["F0", "F1", "F2"], "M").unwrap();
         // No null-existence constraint between the F2 and F1 groups.
         assert!(!m.generated_null_constraints().iter().any(|c| matches!(
@@ -1011,7 +1035,8 @@ mod tests {
             st.insert("F0", Tuple::new([Value::Int(k)])).unwrap();
         }
         st.insert("F1", Tuple::new([Value::Int(4)])).unwrap();
-        st.insert("F2", Tuple::new([Value::Int(5), Value::Int(4)])).unwrap();
+        st.insert("F2", Tuple::new([Value::Int(5), Value::Int(4)]))
+            .unwrap();
         assert!(st.is_consistent(&rs).unwrap());
         let image = m.apply(&st).unwrap();
         assert!(
@@ -1030,8 +1055,7 @@ mod tests {
         // null-synchronized.
         let mut rs = RelationalSchema::new();
         rs.add_scheme(
-            RelationScheme::new("COURSE", vec![attr("C.NR", Domain::Int)], &["C.NR"])
-                .unwrap(),
+            RelationScheme::new("COURSE", vec![attr("C.NR", Domain::Int)], &["C.NR"]).unwrap(),
         )
         .unwrap();
         rs.add_scheme(
@@ -1052,7 +1076,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"]))
+            .unwrap();
         rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"]))
             .unwrap();
         rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"]))
@@ -1076,8 +1101,7 @@ mod tests {
             ..MergeOptions::default()
         };
         let strengthened =
-            Merge::plan_with_options(&rs, &["COURSE", "OFFER", "TEACH"], "M", &options)
-                .unwrap();
+            Merge::plan_with_options(&rs, &["COURSE", "OFFER", "TEACH"], "M", &options).unwrap();
         let cons = strengthened.generated_null_constraints();
         assert!(cons.contains(&&NullConstraint::nna("M", &["O.C.NR", "O.D"])));
         assert!(!cons.contains(&&NullConstraint::ns("M", &["O.C.NR", "O.D"])));
@@ -1161,11 +1185,13 @@ mod tests {
         let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
         assert_eq!(m.km(), ["A.K1", "A.K2"]);
         // The TE constraint pairs key components positionally.
-        assert!(m.generated_null_constraints().contains(&&NullConstraint::te(
-            "M",
-            &["A.K1", "A.K2"],
-            &["B.K1", "B.K2"]
-        )));
+        assert!(m
+            .generated_null_constraints()
+            .contains(&&NullConstraint::te(
+                "M",
+                &["A.K1", "A.K2"],
+                &["B.K1", "B.K2"]
+            )));
         // Round trip with composite keys.
         let mut st = DatabaseState::empty_for(&rs).unwrap();
         st.insert(
@@ -1195,10 +1221,8 @@ mod tests {
         // self-referencing inclusion dependency Rm[B.REF] ⊆ Rm[Km]
         // (step 4(a)+(b)), while the key-to-key one disappears (4(c)).
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(
-            RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap(),
-        )
-        .unwrap();
+        rs.add_scheme(RelationScheme::new("A", vec![attr("A.K", Domain::Int)], &["A.K"]).unwrap())
+            .unwrap();
         rs.add_scheme(
             RelationScheme::new(
                 "B",
@@ -1208,11 +1232,14 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
         rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.REF"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.REF"], "A", &["A.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.REF"], "A", &["A.K"]))
+            .unwrap();
         let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
         let inds = m.schema().inds();
         assert_eq!(inds.len(), 1);
@@ -1223,7 +1250,8 @@ mod tests {
         let mut st = DatabaseState::empty_for(&rs).unwrap();
         st.insert("A", Tuple::new([Value::Int(1)])).unwrap();
         st.insert("A", Tuple::new([Value::Int(2)])).unwrap();
-        st.insert("B", Tuple::new([Value::Int(1), Value::Int(2)])).unwrap();
+        st.insert("B", Tuple::new([Value::Int(1), Value::Int(2)]))
+            .unwrap();
         let merged_state = m.apply(&st).unwrap();
         assert!(merged_state.is_consistent(m.schema()).unwrap());
         assert_eq!(m.invert(&merged_state).unwrap(), st);
@@ -1247,10 +1275,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("B", vec![attr("B.K", Domain::Int)], &["B.K"]).unwrap(),
-        )
-        .unwrap();
+        rs.add_scheme(RelationScheme::new("B", vec![attr("B.K", Domain::Int)], &["B.K"]).unwrap())
+            .unwrap();
         rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.ALT"]))
             .unwrap();
         rs.add_null_constraint(NullConstraint::nna("B", &["B.K"]))

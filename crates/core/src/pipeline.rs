@@ -7,6 +7,7 @@
 //! and back in one call — with the same information-capacity guarantees,
 //! compositionally.
 
+use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, Error, RelationalSchema, Result};
 
 use crate::merge::Merged;
@@ -85,8 +86,10 @@ impl MergePipeline {
 
     /// The composed forward mapping: η of every step, in order.
     pub fn apply(&self, state: &DatabaseState) -> Result<DatabaseState> {
+        let _span = obs::span("core.pipeline.apply").field("steps", self.steps.len());
         let mut current = state.clone();
         for step in &self.steps {
+            let _step_span = obs::span("core.pipeline.step").field("merged", step.merged_name());
             current = step.apply(&current)?;
         }
         Ok(current)
@@ -94,8 +97,10 @@ impl MergePipeline {
 
     /// The composed backward mapping: η′ of every step, in reverse order.
     pub fn invert(&self, state: &DatabaseState) -> Result<DatabaseState> {
+        let _span = obs::span("core.pipeline.invert").field("steps", self.steps.len());
         let mut current = state.clone();
         for step in self.steps.iter().rev() {
+            let _step_span = obs::span("core.pipeline.step").field("merged", step.merged_name());
             current = step.invert(&current)?;
         }
         Ok(current)
@@ -135,26 +140,32 @@ mod tests {
             ("Z", vec!["Z.K", "Z.V"], "Z.K"),
         ] {
             rs.add_scheme(
-                RelationScheme::new(name, attrs.iter().map(|a| attr(a)).collect(), &[key])
-                    .unwrap(),
+                RelationScheme::new(name, attrs.iter().map(|a| attr(a)).collect(), &[key]).unwrap(),
             )
             .unwrap();
-            rs.add_null_constraint(NullConstraint::nna(name, &attrs)).unwrap();
+            rs.add_null_constraint(NullConstraint::nna(name, &attrs))
+                .unwrap();
         }
-        rs.add_ind(InclusionDep::new("Q", &["Q.K"], "P", &["P.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("Y", &["Y.K"], "X", &["X.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("Z", &["Z.K"], "X", &["X.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("Q", &["Q.K"], "P", &["P.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("Y", &["Y.K"], "X", &["X.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("Z", &["Z.K"], "X", &["X.K"]))
+            .unwrap();
         rs
     }
 
     fn sample_state(rs: &RelationalSchema) -> DatabaseState {
         let mut st = DatabaseState::empty_for(rs).unwrap();
         st.insert("P", Tuple::new([Value::Int(1)])).unwrap();
-        st.insert("Q", Tuple::new([Value::Int(1), Value::Int(10)])).unwrap();
+        st.insert("Q", Tuple::new([Value::Int(1), Value::Int(10)]))
+            .unwrap();
         st.insert("X", Tuple::new([Value::Int(5)])).unwrap();
         st.insert("X", Tuple::new([Value::Int(6)])).unwrap();
-        st.insert("Y", Tuple::new([Value::Int(5), Value::Int(50)])).unwrap();
-        st.insert("Z", Tuple::new([Value::Int(6), Value::Int(60)])).unwrap();
+        st.insert("Y", Tuple::new([Value::Int(5), Value::Int(50)]))
+            .unwrap();
+        st.insert("Z", Tuple::new([Value::Int(6), Value::Int(60)]))
+            .unwrap();
         st
     }
 

@@ -3,6 +3,7 @@
 
 use std::collections::HashSet;
 
+use relmerge_obs as obs;
 use relmerge_relational::{
     Error, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Result,
 };
@@ -44,7 +45,10 @@ impl std::fmt::Display for NotRemovable {
                 f.write_str("condition (1): removal would leave the group empty")
             }
             NotRemovable::ExternalReference(ind) => {
-                write!(f, "condition (2): external IND targets the attributes: {ind}")
+                write!(
+                    f,
+                    "condition (2): external IND targets the attributes: {ind}"
+                )
             }
             NotRemovable::ForeignKeyNotShared(detail) => {
                 write!(f, "condition (3): {detail}")
@@ -91,9 +95,10 @@ impl Merged {
         let rm = self.merged_name();
         let inds = self.schema().inds();
         // Condition (2): no Rj[Z] ⊆ Rm[Yi] with Rj ≠ Rm.
-        if let Some(ind) = inds.iter().find(|ind| {
-            ind.rhs_rel == rm && ind.lhs_rel != rm && same_set(&ind.rhs_attrs, yi)
-        }) {
+        if let Some(ind) = inds
+            .iter()
+            .find(|ind| ind.rhs_rel == rm && ind.lhs_rel != rm && same_set(&ind.rhs_attrs, yi))
+        {
             return Err(NotRemovable::ExternalReference(ind.to_string()));
         }
         // Condition (3): if Rm[Yi] ⊆ Rj[Kj] (Rj ≠ Rm) exists, every
@@ -149,10 +154,15 @@ impl Merged {
     /// transforming `RS′` into `RS″` in place. Fails if the key is not
     /// removable.
     pub fn remove(&mut self, group: &str) -> Result<()> {
-        self.removable(group).map_err(|e| Error::PreconditionViolated {
-            procedure: "Remove",
-            detail: e.to_string(),
-        })?;
+        let _span = obs::span("core.remove")
+            .field("merged", self.merged_name())
+            .field("group", group);
+        self.removable(group)
+            .map_err(|e| Error::PreconditionViolated {
+                procedure: "Remove",
+                detail: e.to_string(),
+            })?;
+        crate::merge::removal_counter().inc();
         let g = self
             .groups
             .iter()
@@ -293,9 +303,7 @@ impl Merged {
 mod tests {
     use super::*;
     use crate::merge::Merge;
-    use relmerge_relational::{
-        Attribute, DatabaseState, Domain, Tuple, Value,
-    };
+    use relmerge_relational::{Attribute, DatabaseState, Domain, Tuple, Value};
 
     fn attr(name: &str) -> Attribute {
         Attribute::new(name, Domain::Int)
@@ -305,35 +313,21 @@ mod tests {
     /// OFFER / TEACH / ASSIST chain (integer domains throughout).
     fn university() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("COURSE", vec![attr("C.NR")], &["C.NR"]).unwrap())
+            .unwrap();
         rs.add_scheme(
-            RelationScheme::new("COURSE", vec![attr("C.NR")], &["C.NR"]).unwrap(),
+            RelationScheme::new("OFFER", vec![attr("O.C.NR"), attr("O.D.NAME")], &["O.C.NR"])
+                .unwrap(),
         )
         .unwrap();
         rs.add_scheme(
-            RelationScheme::new(
-                "OFFER",
-                vec![attr("O.C.NR"), attr("O.D.NAME")],
-                &["O.C.NR"],
-            )
-            .unwrap(),
+            RelationScheme::new("TEACH", vec![attr("T.C.NR"), attr("T.F.SSN")], &["T.C.NR"])
+                .unwrap(),
         )
         .unwrap();
         rs.add_scheme(
-            RelationScheme::new(
-                "TEACH",
-                vec![attr("T.C.NR"), attr("T.F.SSN")],
-                &["T.C.NR"],
-            )
-            .unwrap(),
-        )
-        .unwrap();
-        rs.add_scheme(
-            RelationScheme::new(
-                "ASSIST",
-                vec![attr("A.C.NR"), attr("A.S.SSN")],
-                &["A.C.NR"],
-            )
-            .unwrap(),
+            RelationScheme::new("ASSIST", vec![attr("A.C.NR"), attr("A.S.SSN")], &["A.C.NR"])
+                .unwrap(),
         )
         .unwrap();
         for (rel, attrs) in [
@@ -342,14 +336,25 @@ mod tests {
             ("TEACH", vec!["T.C.NR", "T.F.SSN"]),
             ("ASSIST", vec!["A.C.NR", "A.S.SSN"]),
         ] {
-            rs.add_null_constraint(NullConstraint::nna(rel, &attrs)).unwrap();
+            rs.add_null_constraint(NullConstraint::nna(rel, &attrs))
+                .unwrap();
         }
         rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"]))
-            .unwrap();
-        rs.add_ind(InclusionDep::new("ASSIST", &["A.C.NR"], "OFFER", &["O.C.NR"]))
-            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "ASSIST",
+            &["A.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         rs
     }
 
@@ -375,12 +380,7 @@ mod tests {
     #[test]
     fn figure_5_and_6_all_keys_removable() {
         let rs = university();
-        let mut m = Merge::plan(
-            &rs,
-            &["COURSE", "OFFER", "TEACH", "ASSIST"],
-            "COURSE_PP",
-        )
-        .unwrap();
+        let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
         for g in ["OFFER", "TEACH", "ASSIST"] {
             assert_eq!(m.removable(g), Ok(()), "{g} should be removable");
         }
@@ -411,12 +411,7 @@ mod tests {
     #[test]
     fn remove_preserves_round_trip() {
         let rs = university();
-        let mut m = Merge::plan(
-            &rs,
-            &["COURSE", "OFFER", "TEACH", "ASSIST"],
-            "COURSE_PP",
-        )
-        .unwrap();
+        let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
         let mut st = DatabaseState::empty_for(&rs).unwrap();
         for nr in [1, 2, 3] {
             st.insert("COURSE", Tuple::new([Value::Int(nr)])).unwrap();
@@ -448,21 +443,26 @@ mod tests {
     #[test]
     fn removal_shrinks_relation_size() {
         let rs = university();
-        let mut m = Merge::plan(
-            &rs,
-            &["COURSE", "OFFER", "TEACH", "ASSIST"],
-            "COURSE_PP",
-        )
-        .unwrap();
+        let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
         let mut st = DatabaseState::empty_for(&rs).unwrap();
         for nr in 0..50 {
             st.insert("COURSE", Tuple::new([Value::Int(nr)])).unwrap();
             st.insert("OFFER", Tuple::new([Value::Int(nr), Value::Int(nr + 1000)]))
                 .unwrap();
         }
-        let before = m.apply(&st).unwrap().relation("COURSE_PP").unwrap().value_count();
+        let before = m
+            .apply(&st)
+            .unwrap()
+            .relation("COURSE_PP")
+            .unwrap()
+            .value_count();
         m.remove_all_removable().unwrap();
-        let after = m.apply(&st).unwrap().relation("COURSE_PP").unwrap().value_count();
+        let after = m
+            .apply(&st)
+            .unwrap()
+            .relation("COURSE_PP")
+            .unwrap()
+            .value_count();
         assert!(after < before, "{after} should be < {before}");
     }
 
@@ -475,9 +475,12 @@ mod tests {
             .unwrap();
         rs.add_scheme(RelationScheme::new("B", vec![attr("B.K")], &["B.K"]).unwrap())
             .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("B", &["B.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("B", &["B.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
         let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
         assert_eq!(m.removable("B"), Err(NotRemovable::NothingLeft));
     }
@@ -489,19 +492,20 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("EXT", vec![attr("E.K")], &["E.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("A", vec![attr("A.K"), attr("A.V")], &["A.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.V"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.V"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("EXT", &["E.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("A", vec![attr("A.K"), attr("A.V")], &["A.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.V"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.V"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("EXT", &["E.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"]))
+            .unwrap();
         let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
         assert!(matches!(
             m.removable("B"),
@@ -510,18 +514,15 @@ mod tests {
         // Adding A[A.K] ⊆ EXT[E.K] (so that Km is also a foreign key to
         // EXT) makes B.K removable.
         let mut rs2 = rs.clone();
-        rs2.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"])).unwrap();
+        rs2.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"]))
+            .unwrap();
         let mut m2 = Merge::plan(&rs2, &["A", "B"], "M").unwrap();
         assert_eq!(m2.removable("B"), Ok(()));
         m2.remove("B").unwrap();
         // The foreign key was rewritten onto Km.
-        assert!(m2
-            .schema()
-            .inds()
-            .iter()
-            .any(|i| i.lhs_rel == "M"
-                && i.lhs_attrs == vec!["A.K".to_owned()]
-                && i.rhs_rel == "EXT"));
+        assert!(m2.schema().inds().iter().any(|i| i.lhs_rel == "M"
+            && i.lhs_attrs == vec!["A.K".to_owned()]
+            && i.rhs_rel == "EXT"));
     }
 
     #[test]
@@ -534,30 +535,29 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("EXT", vec![attr("E.K")], &["E.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("A", vec![attr("A.K"), attr("A.V")], &["A.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("C", vec![attr("C.K"), attr("C.V")], &["C.K"]).unwrap(),
-        )
-        .unwrap();
+        rs.add_scheme(RelationScheme::new("A", vec![attr("A.K"), attr("A.V")], &["A.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("C", vec![attr("C.K"), attr("C.V")], &["C.K"]).unwrap())
+            .unwrap();
         for (rel, attrs) in [
             ("EXT", vec!["E.K"]),
             ("A", vec!["A.K", "A.V"]),
             ("B", vec!["B.K", "B.V"]),
             ("C", vec!["C.K", "C.V"]),
         ] {
-            rs.add_null_constraint(NullConstraint::nna(rel, &attrs)).unwrap();
+            rs.add_null_constraint(NullConstraint::nna(rel, &attrs))
+                .unwrap();
         }
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("C", &["C.K"], "A", &["A.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.K"], "A", &["A.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "EXT", &["E.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "EXT", &["E.K"]))
+            .unwrap();
         let mut m = Merge::plan(&rs, &["A", "B", "C"], "M").unwrap();
         // B is blocked by condition (3): the TE set {C.K} has no inclusion
         // dependency into EXT.
@@ -580,12 +580,7 @@ mod tests {
     #[test]
     fn double_remove_rejected() {
         let rs = university();
-        let mut m = Merge::plan(
-            &rs,
-            &["COURSE", "OFFER", "TEACH", "ASSIST"],
-            "COURSE_PP",
-        )
-        .unwrap();
+        let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
         m.remove("TEACH").unwrap();
         assert_eq!(m.removable("TEACH"), Err(NotRemovable::AlreadyRemoved));
         assert!(m.remove("TEACH").is_err());

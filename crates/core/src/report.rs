@@ -125,7 +125,12 @@ impl fmt::Display for MergeReport {
             self.scheme_count.1,
             self.joins_eliminated
         )?;
-        writeln!(f, "  key-relation: {}; Km = ({})", self.key_relation, self.km.join(","))?;
+        writeln!(
+            f,
+            "  key-relation: {}; Km = ({})",
+            self.key_relation,
+            self.km.join(",")
+        )?;
         if !self.removed_attrs.is_empty() {
             let parts: Vec<String> = self
                 .removed_attrs
@@ -149,7 +154,10 @@ impl fmt::Display for MergeReport {
             }
         }
         if !self.non_key_based_inds.is_empty() {
-            writeln!(f, "  non key-based inclusion dependencies (deployment hazard):")?;
+            writeln!(
+                f,
+                "  non key-based inclusion dependencies (deployment hazard):"
+            )?;
             for i in &self.non_key_based_inds {
                 writeln!(f, "    {i}")?;
             }
@@ -183,20 +191,28 @@ mod tests {
         rs.add_scheme(RelationScheme::new("COURSE", vec![attr("C.NR")], &["C.NR"]).unwrap())
             .unwrap();
         rs.add_scheme(
-            RelationScheme::new("OFFER", vec![attr("O.C.NR"), attr("O.D")], &["O.C.NR"])
-                .unwrap(),
+            RelationScheme::new("OFFER", vec![attr("O.C.NR"), attr("O.D")], &["O.C.NR"]).unwrap(),
         )
         .unwrap();
         rs.add_scheme(
-            RelationScheme::new("TEACH", vec![attr("T.C.NR"), attr("T.F")], &["T.C.NR"])
-                .unwrap(),
+            RelationScheme::new("TEACH", vec![attr("T.C.NR"), attr("T.F")], &["T.C.NR"]).unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"])).unwrap();
-        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         rs
     }
 
@@ -227,13 +243,14 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("R", vec![attr("R.K")], &["R.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("S", vec![attr("S.K"), attr("S.V")], &["S.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("R", &["R.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("S", &["S.K", "S.V"])).unwrap();
-        rs.add_ind(InclusionDep::new("S", &["S.K"], "R", &["R.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("S", vec![attr("S.K"), attr("S.V")], &["S.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("R", &["R.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("S", &["S.K", "S.V"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("S", &["S.K"], "R", &["R.K"]))
+            .unwrap();
         let mut m = Merge::plan(&rs, &["R", "S"], "M").unwrap();
         m.remove_all_removable().unwrap();
         let report = MergeReport::new(&m);

@@ -48,6 +48,17 @@ impl Dialect {
         }
     }
 
+    /// A short lowercase identifier for metric names (`ddl.<slug>.…`).
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            Dialect::Db2 => "db2",
+            Dialect::Sybase40 => "sybase40",
+            Dialect::Ingres63 => "ingres63",
+            Dialect::Sql92 => "sql92",
+        }
+    }
+
     /// Whether referential integrity is declared in `CREATE TABLE`.
     #[must_use]
     pub fn declarative_foreign_keys(self) -> bool {

@@ -1,5 +1,6 @@
 //! DDL generation: the code-emitting half of the SDT tool \[12\].
 
+use relmerge_obs as obs;
 use relmerge_relational::{NullConstraint, RelationScheme, RelationalSchema, Result};
 
 use crate::dialect::{DdlScript, DdlStatement, Dialect};
@@ -9,6 +10,7 @@ use crate::dialect::{DdlScript, DdlStatement, Dialect};
 /// Constraint classes the dialect cannot maintain are emitted as
 /// `-- UNSUPPORTED` warning comments rather than silently dropped.
 pub fn generate(schema: &RelationalSchema, dialect: Dialect) -> Result<DdlScript> {
+    let mut span = obs::span("ddl.generate").field("dialect", dialect.name());
     schema.validate()?;
     let mut script = DdlScript::default();
     for name in creation_order(schema) {
@@ -85,7 +87,57 @@ pub fn generate(schema: &RelationalSchema, dialect: Dialect) -> Result<DdlScript
             }),
         }
     }
+    record_statement_counts(&script, dialect, &mut span);
     Ok(script)
+}
+
+/// Bumps the per-dialect statement counters (`ddl.<dialect>.<kind>`) and
+/// annotates the generation span with the emitted counts. Declarative
+/// `CHECK` constraints ride on the `CreateTable` variant as `ALTER TABLE`
+/// statements, so they are told apart by their SQL prefix.
+fn record_statement_counts(script: &DdlScript, dialect: Dialect, span: &mut obs::Span) {
+    let mut tables = 0u64;
+    let mut checks = 0u64;
+    let mut indexes = 0u64;
+    let mut triggers = 0u64;
+    let mut rules = 0u64;
+    let mut unsupported = 0u64;
+    for s in &script.statements {
+        match s {
+            DdlStatement::CreateTable { sql, .. } => {
+                if sql.starts_with("ALTER TABLE") {
+                    checks += 1;
+                } else {
+                    tables += 1;
+                }
+            }
+            DdlStatement::Index { .. } => indexes += 1,
+            DdlStatement::Trigger { .. } => triggers += 1,
+            DdlStatement::Rule { .. } => rules += 1,
+            DdlStatement::Unsupported { .. } => unsupported += 1,
+        }
+    }
+    let registry = obs::global();
+    let slug = dialect.slug();
+    for (kind, n) in [
+        ("tables", tables),
+        ("checks", checks),
+        ("indexes", indexes),
+        ("triggers", triggers),
+        ("rules", rules),
+        ("unsupported", unsupported),
+    ] {
+        if n > 0 {
+            registry.counter(&format!("ddl.{slug}.{kind}")).add(n);
+        }
+    }
+    span.add_field("statements", script.statements.len());
+    if triggers + rules > 0 {
+        span.add_field("procedural", triggers + rules);
+    }
+    if unsupported > 0 {
+        span.add_field("unsupported", unsupported);
+    }
 }
 
 fn ident(name: &str) -> String {
@@ -338,12 +390,7 @@ mod tests {
         let a = |n: &str, d: Domain| Attribute::new(n, d);
         let mut rs = RelationalSchema::new();
         rs.add_scheme(
-            RelationScheme::new(
-                "COURSE",
-                vec![a("C.NR", Domain::Int)],
-                &["C.NR"],
-            )
-            .unwrap(),
+            RelationScheme::new("COURSE", vec![a("C.NR", Domain::Int)], &["C.NR"]).unwrap(),
         )
         .unwrap();
         rs.add_scheme(
@@ -355,11 +402,14 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR"]))
+            .unwrap();
         rs.add_null_constraint(NullConstraint::ns("OFFER", &["O.C.NR", "O.D.NAME"]))
             .unwrap();
-        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
         rs
     }
 
@@ -455,8 +505,10 @@ mod tests {
             .unwrap();
         rs.add_scheme(RelationScheme::new("Y", vec![a("Y.K"), a("Y.R")], &["Y.K"]).unwrap())
             .unwrap();
-        rs.add_ind(InclusionDep::new("X", &["X.R"], "Y", &["Y.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("Y", &["Y.R"], "X", &["X.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("X", &["X.R"], "Y", &["Y.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("Y", &["Y.R"], "X", &["X.K"]))
+            .unwrap();
         let script = generate(&rs, Dialect::Sql92).unwrap();
         // Both tables are still emitted.
         let text = script.render();
@@ -468,11 +520,10 @@ mod tests {
     fn self_reference_does_not_block_ordering() {
         let a = |n: &str| Attribute::new(n, Domain::Int);
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(
-            RelationScheme::new("E", vec![a("E.K"), a("E.BOSS")], &["E.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_ind(InclusionDep::new("E", &["E.BOSS"], "E", &["E.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("E", vec![a("E.K"), a("E.BOSS")], &["E.K"]).unwrap())
+            .unwrap();
+        rs.add_ind(InclusionDep::new("E", &["E.BOSS"], "E", &["E.K"]))
+            .unwrap();
         let script = generate(&rs, Dialect::Db2).unwrap();
         assert!(script.render().contains("CREATE TABLE E"));
     }

@@ -93,14 +93,8 @@ pub fn backward_migration(merged: &Merged) -> Result<Vec<String>> {
     let km = merged.km();
     let mut out = Vec::new();
     for g in merged.groups() {
-        let original = merged
-            .original_schema()
-            .scheme_required(&g.scheme)?;
-        let cols: Vec<String> = original
-            .attr_names()
-            .iter()
-            .map(|a| ident(a))
-            .collect();
+        let original = merged.original_schema().scheme_required(&g.scheme)?;
+        let cols: Vec<String> = original.attr_names().iter().map(|a| ident(a)).collect();
         // Source expression per attribute: itself, or the corresponding
         // Km attribute if removed.
         let select: Vec<String> = g
@@ -153,13 +147,14 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("ROOT", vec![a("ROOT.K")], &["ROOT.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("S0", vec![a("S0.K"), a("S0.V")], &["S0.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("ROOT", &["ROOT.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("S0", &["S0.K", "S0.V"])).unwrap();
-        rs.add_ind(InclusionDep::new("S0", &["S0.K"], "ROOT", &["ROOT.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("S0", vec![a("S0.K"), a("S0.V")], &["S0.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("ROOT", &["ROOT.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("S0", &["S0.K", "S0.V"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("S0", &["S0.K"], "ROOT", &["ROOT.K"]))
+            .unwrap();
         rs
     }
 
@@ -190,8 +185,10 @@ mod tests {
             .unwrap();
         rs.add_scheme(RelationScheme::new("B", vec![a("B.K"), a("B.V")], &["B.K"]).unwrap())
             .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.V"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.V"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K", "A.V"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("B", &["B.K", "B.V"]))
+            .unwrap();
         let m = Merge::plan_with_synthetic_key(&rs, &["A", "B"], "M", &["CN"]).unwrap();
         let sql = forward_migration(&m).unwrap();
         assert!(sql.contains("SELECT DISTINCT A_K FROM A"), "{sql}");

@@ -141,10 +141,8 @@ pub fn classify_many_one_star(eer: &EerSchema, root: &str) -> Option<ClassifiedG
                             "(2c) `{}` has a {n}-attribute identifier (need 1)",
                             p.object
                         )),
-                        None => violations.push(format!(
-                            "(2c) `{}` has no resolvable identifier",
-                            p.object
-                        )),
+                        None => violations
+                            .push(format!("(2c) `{}` has no resolvable identifier", p.object)),
                     }
                 }
                 None => violations.push(format!(
@@ -217,7 +215,10 @@ mod tests {
         set.extend(members.iter().map(String::as_str));
         let mut merged = Merge::plan(&rs, &set, "MERGED_GROUP").unwrap();
         merged.remove_all_removable().unwrap();
-        merged.generated_null_constraints().iter().all(|c| c.is_nna())
+        merged
+            .generated_null_constraints()
+            .iter()
+            .all(|c| c.is_nna())
     }
 
     #[test]

@@ -84,10 +84,8 @@ pub fn translate_teorey(eer: &EerSchema) -> Result<TeoreyTranslation> {
 
     // Start from the modular translation, then rewrite the folded pairs.
     let modular = translate::translate(eer)?;
-    let folded_rel_names: HashSet<&str> = fold_of_entity
-        .values()
-        .map(|r| r.name.as_str())
-        .collect();
+    let folded_rel_names: HashSet<&str> =
+        fold_of_entity.values().map(|r| r.name.as_str()).collect();
     let folded_entity_names: HashSet<&str> = fold_of_entity.keys().copied().collect();
 
     let mut schema = RelationalSchema::new();
@@ -259,11 +257,7 @@ mod tests {
             Tuple::new([Value::Int(1), Value::Null, Value::Null]),
         )
         .unwrap();
-        ok.insert(
-            "PROJECT",
-            Tuple::new([Value::Int(7)]),
-        )
-        .unwrap();
+        ok.insert("PROJECT", Tuple::new([Value::Int(7)])).unwrap();
         ok.insert(
             "WORKS",
             Tuple::new([Value::Int(2), Value::Int(7), Value::Date(5)]),
@@ -277,10 +271,12 @@ mod tests {
         let eer = figures::fig1_eer();
         let t = translate_teorey(&eer).unwrap();
         // WORKS's one-side reference to PROJECT survives.
-        assert!(t
-            .schema
-            .inds()
-            .contains(&InclusionDep::new("WORKS", &["W.NR"], "PROJECT", &["PR.NR"])));
+        assert!(t.schema.inds().contains(&InclusionDep::new(
+            "WORKS",
+            &["W.NR"],
+            "PROJECT",
+            &["PR.NR"]
+        )));
         // MANAGES now references the folded WORKS relation for the employee
         // side.
         assert!(t

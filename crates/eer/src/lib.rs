@@ -20,9 +20,11 @@ pub mod figures;
 pub mod model;
 pub mod translate;
 
-pub use amenable::{classify_all, classify_generalization, classify_many_one_star, Amenability,
-    ClassifiedGroup};
+pub use amenable::{
+    classify_all, classify_generalization, classify_many_one_star, Amenability, ClassifiedGroup,
+};
 pub use baseline::{repair, translate_teorey, FoldedRelationship, TeoreyTranslation};
-pub use model::{Card, EerAttribute, EerSchema, EntitySet, Generalization, Participant,
-    RelationshipSet};
+pub use model::{
+    Card, EerAttribute, EerSchema, EntitySet, Generalization, Participant, RelationshipSet,
+};
 pub use translate::translate;

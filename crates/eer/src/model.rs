@@ -357,7 +357,10 @@ impl EerSchema {
         for g in &self.generalizations {
             if self.entity(&g.child).is_none() || self.entity(&g.parent).is_none() {
                 return Err(Error::MalformedConstraint {
-                    detail: format!("ISA {} -> {} mentions unknown entity sets", g.child, g.parent),
+                    detail: format!(
+                        "ISA {} -> {} mentions unknown entity sets",
+                        g.child, g.parent
+                    ),
                 });
             }
         }
@@ -365,10 +368,7 @@ impl EerSchema {
         for e in &self.entities {
             let mut current = vec![e.name.as_str()];
             for _ in 0..=self.entities.len() {
-                current = current
-                    .iter()
-                    .flat_map(|c| self.parents_of(c))
-                    .collect();
+                current = current.iter().flat_map(|c| self.parents_of(c)).collect();
                 if current.is_empty() {
                     break;
                 }
@@ -449,9 +449,7 @@ mod tests {
     #[test]
     fn valid_schema_passes() {
         let mut eer = person_course();
-        eer.add_entity(
-            EntitySet::new("FACULTY", vec![], &[]).with_abbrev("F"),
-        );
+        eer.add_entity(EntitySet::new("FACULTY", vec![], &[]).with_abbrev("F"));
         eer.add_isa("FACULTY", "PERSON");
         eer.add_relationship(RelationshipSet::new(
             "TEACHES",
@@ -475,10 +473,7 @@ mod tests {
             vec![EerAttribute::required("A", Domain::Int)],
             &[],
         ));
-        assert!(matches!(
-            eer.validate(),
-            Err(Error::MissingPrimaryKey(_))
-        ));
+        assert!(matches!(eer.validate(), Err(Error::MissingPrimaryKey(_))));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+use relmerge_obs as obs;
 use relmerge_relational::{
     Attribute, Error, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Result,
 };
@@ -57,6 +58,10 @@ use crate::model::{Card, EerSchema, EntitySet, RelationshipSet};
 /// assert!(schema.is_bcnf() && schema.key_based_inds_only());
 /// ```
 pub fn translate(eer: &EerSchema) -> Result<RelationalSchema> {
+    let mut span = obs::span("eer.translate")
+        .field("entities", eer.entities.len())
+        .field("relationships", eer.relationships.len());
+    obs::global().counter("eer.translate.count").inc();
     eer.validate()?;
     let mut schema = RelationalSchema::new();
     // scheme name -> (primary key names, abbreviation) for already-built
@@ -81,9 +86,7 @@ pub fn translate(eer: &EerSchema) -> Result<RelationalSchema> {
             .copied()
             .filter(|r| r.participants.iter().all(|p| built.contains_key(&p.object)))
             .collect();
-        pending_rels.retain(|r| {
-            !r.participants.iter().all(|p| built.contains_key(&p.object))
-        });
+        pending_rels.retain(|r| !r.participants.iter().all(|p| built.contains_key(&p.object)));
         for r in &ready_rels {
             build_relationship(r, &mut schema, &mut built)?;
         }
@@ -105,6 +108,8 @@ pub fn translate(eer: &EerSchema) -> Result<RelationalSchema> {
         }
     }
     schema.validate()?;
+    span.add_field("schemes", schema.schemes().len());
+    span.add_field("inds", schema.inds().len());
     Ok(schema)
 }
 
@@ -326,11 +331,14 @@ mod tests {
             vec![EerAttribute::required("SSN", Domain::Int)],
             &["SSN"],
         ));
-        eer.add_entity(EntitySet::new(
-            "PROJECT",
-            vec![EerAttribute::required("NR", Domain::Int)],
-            &["NR"],
-        ).with_abbrev("PR"));
+        eer.add_entity(
+            EntitySet::new(
+                "PROJECT",
+                vec![EerAttribute::required("NR", Domain::Int)],
+                &["NR"],
+            )
+            .with_abbrev("PR"),
+        );
         eer
     }
 
@@ -355,7 +363,12 @@ mod tests {
         assert_eq!(fac.primary_key(), ["F.SSN"]);
         assert_eq!(
             rs.inds(),
-            &[InclusionDep::new("FACULTY", &["F.SSN"], "PERSON", &["P.SSN"])]
+            &[InclusionDep::new(
+                "FACULTY",
+                &["F.SSN"],
+                "PERSON",
+                &["P.SSN"]
+            )]
         );
         assert!(rs.attr_not_null("FACULTY", "F.SSN"));
     }
@@ -378,12 +391,18 @@ mod tests {
         let works = rs.scheme("WORKS").unwrap();
         assert_eq!(works.attr_names(), ["W.SSN", "W.NR", "W.DATE"]);
         assert_eq!(works.primary_key(), ["W.SSN"]);
-        assert!(rs
-            .inds()
-            .contains(&InclusionDep::new("WORKS", &["W.SSN"], "PERSON", &["P.SSN"])));
-        assert!(rs
-            .inds()
-            .contains(&InclusionDep::new("WORKS", &["W.NR"], "PROJECT", &["PR.NR"])));
+        assert!(rs.inds().contains(&InclusionDep::new(
+            "WORKS",
+            &["W.SSN"],
+            "PERSON",
+            &["P.SSN"]
+        )));
+        assert!(rs.inds().contains(&InclusionDep::new(
+            "WORKS",
+            &["W.NR"],
+            "PROJECT",
+            &["PR.NR"]
+        )));
         // All copied keys and the required DATE are NNA.
         for a in ["W.SSN", "W.NR", "W.DATE"] {
             assert!(rs.attr_not_null("WORKS", a), "{a}");
@@ -473,15 +492,16 @@ mod tests {
             .with_abbrev("PC"),
         );
         let rs = translate(&eer).unwrap();
-        assert!(rs
-            .inds()
-            .contains(&InclusionDep::new(
-                "PREREQ_CHECK",
-                &["PC.C.NR"],
-                "OFFER",
-                &["O.C.NR"]
-            )));
-        assert_eq!(rs.scheme("PREREQ_CHECK").unwrap().primary_key(), ["PC.C.NR"]);
+        assert!(rs.inds().contains(&InclusionDep::new(
+            "PREREQ_CHECK",
+            &["PC.C.NR"],
+            "OFFER",
+            &["O.C.NR"]
+        )));
+        assert_eq!(
+            rs.scheme("PREREQ_CHECK").unwrap().primary_key(),
+            ["PC.C.NR"]
+        );
     }
 
     #[test]
@@ -499,9 +519,12 @@ mod tests {
         let rs = translate(&eer).unwrap();
         let dep = rs.scheme("DEPENDENT").unwrap();
         assert_eq!(dep.primary_key(), ["D.SSN", "D.NAME"]);
-        assert!(rs
-            .inds()
-            .contains(&InclusionDep::new("DEPENDENT", &["D.SSN"], "PERSON", &["P.SSN"])));
+        assert!(rs.inds().contains(&InclusionDep::new(
+            "DEPENDENT",
+            &["D.SSN"],
+            "PERSON",
+            &["P.SSN"]
+        )));
     }
 
     #[test]

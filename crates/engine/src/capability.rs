@@ -128,13 +128,20 @@ impl DbmsProfile {
                 problems.push(format!(
                     "{}: cannot maintain {} dependency {ind}",
                     self.name,
-                    if key_based { "referential" } else { "non key-based" }
+                    if key_based {
+                        "referential"
+                    } else {
+                        "non key-based"
+                    }
                 ));
             }
         }
         for c in schema.null_constraints() {
             if self.null_constraint_mechanism(c) == Mechanism::Unsupported {
-                problems.push(format!("{}: cannot maintain null constraint {c}", self.name));
+                problems.push(format!(
+                    "{}: cannot maintain null constraint {c}",
+                    self.name
+                ));
             }
         }
         if !self.nullable_keys {
@@ -165,9 +172,7 @@ impl DbmsProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use relmerge_relational::{
-        Attribute, Domain, InclusionDep, RelationScheme, RelationalSchema,
-    };
+    use relmerge_relational::{Attribute, Domain, InclusionDep, RelationScheme, RelationalSchema};
 
     fn base_schema() -> RelationalSchema {
         let a = |n: &str| Attribute::new(n, Domain::Int);
@@ -176,22 +181,26 @@ mod tests {
             .unwrap();
         rs.add_scheme(RelationScheme::new("B", vec![a("B.K")], &["B.K"]).unwrap())
             .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("B", &["B.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("A", &["A.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("B", &["B.K"]))
+            .unwrap();
         rs
     }
 
     #[test]
     fn db2_hosts_declarative_schema() {
         let mut rs = base_schema();
-        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"])).unwrap();
+        rs.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"]))
+            .unwrap();
         assert!(DbmsProfile::db2().can_host(&rs));
     }
 
     #[test]
     fn db2_rejects_non_key_ind() {
         let mut rs = base_schema();
-        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.V"])).unwrap();
+        rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.V"]))
+            .unwrap();
         let report = DbmsProfile::db2().hosting_report(&rs);
         assert_eq!(report.len(), 1);
         assert!(report[0].contains("non key-based"));
@@ -221,7 +230,8 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("R", &["R.K"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("R", &["R.K"]))
+            .unwrap();
         // R.ALT is nullable.
         for profile in [
             DbmsProfile::db2(),

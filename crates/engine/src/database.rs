@@ -9,13 +9,22 @@
 //! * **procedural** checks — the trigger/rule tier: general null
 //!   constraints, non key-based inclusion dependencies.
 //!
-//! [`MaintenanceStats`] counts the checks by tier, letting the benches
-//! quantify §5.1's point that merged schemas shift maintenance work into
-//! the (more expensive) procedural tier on some systems.
+//! Every check is metered through a per-instance `relmerge-obs` registry
+//! shard: counts per constraint class (`null`, `key`, `ind`, `restrict`)
+//! split by [`Mechanism`], latency histograms per tier, and DML outcome
+//! counters. [`MaintenanceStats`] is a cheap snapshot view over those
+//! counters, letting the benches quantify §5.1's point that merged schemas
+//! shift maintenance work into the (more expensive) procedural tier on some
+//! systems. Each DML statement also opens an `engine.dml.*` trace span
+//! carrying the relation and outcome.
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::sync::Arc;
+use std::time::Instant;
 
+use relmerge_obs::{self as obs, Counter, Histogram, Registry};
 use relmerge_relational::{
     Attribute, DatabaseState, Error, NullConstraint, Relation, RelationalSchema, Result, Tuple,
 };
@@ -49,6 +58,9 @@ impl From<Error> for DmlError {
 }
 
 /// Counters for constraint-maintenance work, split by mechanism tier.
+///
+/// This is a point-in-time *view* over the database's metrics shard
+/// (see [`Database::stats`]); the live counters are registry-backed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintenanceStats {
     /// Successful inserts.
@@ -70,6 +82,128 @@ impl MaintenanceStats {
     #[must_use]
     pub fn total_checks(&self) -> u64 {
         self.declarative_checks + self.procedural_checks
+    }
+
+    /// Folds `other` into `self` field-wise.
+    pub fn merge(&mut self, other: &MaintenanceStats) {
+        *self += *other;
+    }
+}
+
+impl AddAssign for MaintenanceStats {
+    fn add_assign(&mut self, rhs: MaintenanceStats) {
+        self.inserts += rhs.inserts;
+        self.deletes += rhs.deletes;
+        self.rejected += rhs.rejected;
+        self.declarative_checks += rhs.declarative_checks;
+        self.procedural_checks += rhs.procedural_checks;
+        self.index_probes += rhs.index_probes;
+    }
+}
+
+impl Add for MaintenanceStats {
+    type Output = MaintenanceStats;
+
+    fn add(mut self, rhs: MaintenanceStats) -> MaintenanceStats {
+        self += rhs;
+        self
+    }
+}
+
+/// The constraint classes the engine meters, indexing per-class counters.
+#[derive(Debug, Clone, Copy)]
+enum CheckClass {
+    /// Null constraints (NNA/NS/NE/TE) on insert.
+    Null = 0,
+    /// Candidate-key uniqueness on insert.
+    Key = 1,
+    /// Outgoing inclusion dependencies (FK existence) on insert.
+    Ind = 2,
+    /// Incoming inclusion dependencies (RESTRICT) on delete.
+    Restrict = 3,
+}
+
+const CHECK_CLASSES: usize = 4;
+const CLASS_NAMES: [&str; CHECK_CLASSES] = ["null", "key", "ind", "restrict"];
+
+/// Cached handles into one database instance's metrics shard.
+struct DbMetrics {
+    registry: Arc<Registry>,
+    inserts: Arc<Counter>,
+    deletes: Arc<Counter>,
+    rejected: Arc<Counter>,
+    declarative: Arc<Counter>,
+    procedural: Arc<Counter>,
+    index_probes: Arc<Counter>,
+    class_declarative: [Arc<Counter>; CHECK_CLASSES],
+    class_procedural: [Arc<Counter>; CHECK_CLASSES],
+    declarative_ns: Arc<Histogram>,
+    procedural_ns: Arc<Histogram>,
+    insert_ns: Arc<Histogram>,
+    delete_ns: Arc<Histogram>,
+}
+
+impl DbMetrics {
+    fn new() -> DbMetrics {
+        let registry = Arc::new(Registry::new());
+        obs::register_shard(&registry);
+        let per_class = |tier: &str| {
+            std::array::from_fn(|i| {
+                registry.counter(&format!("engine.check.{}.{tier}", CLASS_NAMES[i]))
+            })
+        };
+        DbMetrics {
+            inserts: registry.counter("engine.dml.inserts"),
+            deletes: registry.counter("engine.dml.deletes"),
+            rejected: registry.counter("engine.dml.rejected"),
+            declarative: registry.counter("engine.check.declarative"),
+            procedural: registry.counter("engine.check.procedural"),
+            index_probes: registry.counter("engine.check.index_probes"),
+            class_declarative: per_class("declarative"),
+            class_procedural: per_class("procedural"),
+            declarative_ns: registry.histogram("engine.check.declarative.ns"),
+            procedural_ns: registry.histogram("engine.check.procedural.ns"),
+            insert_ns: registry.histogram("engine.dml.insert.ns"),
+            delete_ns: registry.histogram("engine.dml.delete.ns"),
+            registry,
+        }
+    }
+
+    /// A fresh shard carrying over the counter values (histograms start
+    /// empty — latency samples describe the instance that measured them).
+    fn fork(&self) -> DbMetrics {
+        let out = DbMetrics::new();
+        out.inserts.set(self.inserts.get());
+        out.deletes.set(self.deletes.get());
+        out.rejected.set(self.rejected.get());
+        out.declarative.set(self.declarative.get());
+        out.procedural.set(self.procedural.get());
+        out.index_probes.set(self.index_probes.get());
+        for i in 0..CHECK_CLASSES {
+            out.class_declarative[i].set(self.class_declarative[i].get());
+            out.class_procedural[i].set(self.class_procedural[i].get());
+        }
+        out
+    }
+
+    /// Records one finished check of `class` under `mechanism`, started at
+    /// `start`.
+    #[inline]
+    fn record_check(&self, class: CheckClass, mechanism: Mechanism, start: Instant) {
+        let ns = obs::elapsed_ns(start);
+        match mechanism {
+            Mechanism::Declarative => {
+                self.declarative.inc();
+                self.class_declarative[class as usize].inc();
+                self.declarative_ns.record(ns);
+            }
+            Mechanism::Procedural => {
+                self.procedural.inc();
+                self.class_procedural[class as usize].inc();
+                self.procedural_ns.record(ns);
+            }
+            Mechanism::Unsupported => {}
+        }
     }
 }
 
@@ -128,8 +262,7 @@ impl Table {
     fn add_lookup(&mut self, names: &[String]) -> Result<()> {
         if !self.lookups.contains_key(names) {
             let pos = self.positions(names)?;
-            self.lookups
-                .insert(names.to_vec(), (pos, HashMap::new()));
+            self.lookups.insert(names.to_vec(), (pos, HashMap::new()));
         }
         Ok(())
     }
@@ -163,10 +296,7 @@ impl Table {
     }
 
     fn to_relation(&self) -> Result<Relation> {
-        Relation::with_rows(
-            self.header.clone(),
-            self.rows.iter().flatten().cloned(),
-        )
+        Relation::with_rows(self.header.clone(), self.rows.iter().flatten().cloned())
     }
 }
 
@@ -189,7 +319,6 @@ struct CompiledInd {
 
 /// A constraint-enforcing in-memory database hosting one schema under one
 /// DBMS capability profile.
-#[derive(Clone)]
 pub struct Database {
     schema: RelationalSchema,
     profile: DbmsProfile,
@@ -197,7 +326,34 @@ pub struct Database {
     nulls: BTreeMap<String, Vec<CompiledNull>>,
     outgoing: BTreeMap<String, Vec<CompiledInd>>,
     incoming: BTreeMap<String, Vec<CompiledInd>>,
-    stats: MaintenanceStats,
+    metrics: DbMetrics,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            profile: self.profile.clone(),
+            tables: self.tables.clone(),
+            nulls: self.nulls.clone(),
+            outgoing: self.outgoing.clone(),
+            incoming: self.incoming.clone(),
+            metrics: self.metrics.fork(),
+        }
+    }
+}
+
+/// The span outcome label for a DML result.
+fn outcome_label(
+    result: &std::result::Result<bool, DmlError>,
+    applied: &'static str,
+) -> &'static str {
+    match result {
+        Ok(true) => applied,
+        Ok(false) => "noop",
+        Err(DmlError::ConstraintViolation(_)) => "rejected",
+        Err(DmlError::Schema(_)) => "error",
+    }
 }
 
 impl Database {
@@ -235,10 +391,13 @@ impl Database {
         }
         let mut nulls: BTreeMap<String, Vec<CompiledNull>> = BTreeMap::new();
         for c in schema.null_constraints() {
-            nulls.entry(c.rel().to_owned()).or_default().push(CompiledNull {
-                mechanism: profile.null_constraint_mechanism(c),
-                constraint: c.clone(),
-            });
+            nulls
+                .entry(c.rel().to_owned())
+                .or_default()
+                .push(CompiledNull {
+                    mechanism: profile.null_constraint_mechanism(c),
+                    constraint: c.clone(),
+                });
         }
         let mut outgoing: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
         let mut incoming: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
@@ -260,8 +419,11 @@ impl Database {
             outgoing
                 .entry(ind.lhs_rel.clone())
                 .or_default()
-                .push(CompiledInd { ..clone_ind(&compiled) });
-            incoming.entry(ind.rhs_rel.clone()).or_default().push(compiled);
+                .push(compiled.clone());
+            incoming
+                .entry(ind.rhs_rel.clone())
+                .or_default()
+                .push(compiled);
         }
         Ok(Database {
             schema,
@@ -270,7 +432,7 @@ impl Database {
             nulls,
             outgoing,
             incoming,
-            stats: MaintenanceStats::default(),
+            metrics: DbMetrics::new(),
         })
     }
 
@@ -286,15 +448,38 @@ impl Database {
         &self.profile
     }
 
-    /// The maintenance counters accumulated so far.
+    /// A snapshot of the maintenance counters accumulated so far.
     #[must_use]
     pub fn stats(&self) -> MaintenanceStats {
-        self.stats
+        MaintenanceStats {
+            inserts: self.metrics.inserts.get(),
+            deletes: self.metrics.deletes.get(),
+            rejected: self.metrics.rejected.get(),
+            declarative_checks: self.metrics.declarative.get(),
+            procedural_checks: self.metrics.procedural.get(),
+            index_probes: self.metrics.index_probes.get(),
+        }
     }
 
-    /// Resets the maintenance counters.
+    /// Resets the maintenance counters (and the instance's whole metrics
+    /// shard, including per-class counters and latency histograms).
     pub fn reset_stats(&mut self) {
-        self.stats = MaintenanceStats::default();
+        self.metrics.registry.reset();
+    }
+
+    /// Returns the accumulated maintenance counters and resets them — the
+    /// one-call replacement for the `reset_stats()`-then-`stats()` dance.
+    pub fn take_stats(&mut self) -> MaintenanceStats {
+        let out = self.stats();
+        self.reset_stats();
+        out
+    }
+
+    /// The metrics shard backing this instance's counters, for callers
+    /// that want per-class counts or latency histograms directly.
+    #[must_use]
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
     }
 
     /// Live row count of `rel`.
@@ -309,18 +494,20 @@ impl Database {
         self.len(rel) == 0
     }
 
-    fn bump(&mut self, mechanism: Mechanism) {
-        match mechanism {
-            Mechanism::Declarative => self.stats.declarative_checks += 1,
-            Mechanism::Procedural => self.stats.procedural_checks += 1,
-            Mechanism::Unsupported => {}
-        }
-    }
-
     /// Inserts a tuple, enforcing every constraint. On success returns
     /// whether the tuple was new (duplicate inserts of an identical tuple
     /// are idempotent successes, matching set semantics).
     pub fn insert(&mut self, rel: &str, t: Tuple) -> std::result::Result<bool, DmlError> {
+        let start = Instant::now();
+        let mut span = obs::span("engine.dml.insert");
+        span.add_field("rel", rel);
+        let result = self.insert_inner(rel, t);
+        self.metrics.insert_ns.record(obs::elapsed_ns(start));
+        span.add_field("result", outcome_label(&result, "inserted"));
+        result
+    }
+
+    fn insert_inner(&mut self, rel: &str, t: Tuple) -> std::result::Result<bool, DmlError> {
         let table = self
             .tables
             .get(rel)
@@ -343,23 +530,15 @@ impl Database {
             }
         }
         // Null constraints: single-tuple checks.
-        let null_checks: Vec<(NullConstraint, Mechanism)> = self
-            .nulls
-            .get(rel)
-            .map(|checks| {
-                checks
-                    .iter()
-                    .map(|c| (c.constraint.clone(), c.mechanism))
-                    .collect()
-            })
-            .unwrap_or_default();
-        if !null_checks.is_empty() {
+        if let Some(checks) = self.nulls.get(rel).filter(|c| !c.is_empty()) {
             let singleton = singleton_relation(&self.tables[rel].header, &t);
-            for (c, m) in null_checks {
-                self.bump(m);
-                if !c.satisfied_by(&singleton)? {
-                    self.stats.rejected += 1;
-                    return Err(DmlError::ConstraintViolation(c.to_string()));
+            for c in checks {
+                let t0 = Instant::now();
+                let ok = c.constraint.satisfied_by(&singleton)?;
+                self.metrics.record_check(CheckClass::Null, c.mechanism, t0);
+                if !ok {
+                    self.metrics.rejected.inc();
+                    return Err(DmlError::ConstraintViolation(c.constraint.to_string()));
                 }
             }
         }
@@ -367,13 +546,16 @@ impl Database {
         {
             let table = &self.tables[rel];
             for (pos, map) in &table.unique {
-                self.stats.declarative_checks += 1;
-                self.stats.index_probes += 1;
-                if let Some(&slot) = map.get(&t.project(pos)) {
+                let t0 = Instant::now();
+                self.metrics.index_probes.inc();
+                let hit = map.get(&t.project(pos)).copied();
+                self.metrics
+                    .record_check(CheckClass::Key, Mechanism::Declarative, t0);
+                if let Some(slot) = hit {
                     if table.rows[slot].as_ref() == Some(&t) {
                         return Ok(false); // identical tuple: idempotent
                     }
-                    self.stats.rejected += 1;
+                    self.metrics.rejected.inc();
                     return Err(DmlError::ConstraintViolation(format!(
                         "duplicate key for `{rel}`"
                     )));
@@ -382,48 +564,42 @@ impl Database {
         }
         // Outgoing inclusion dependencies (FK-style: a total LHS subtuple
         // must exist in the target).
-        let outgoing_specs: Vec<(Vec<String>, String, Vec<String>, Mechanism)> = self
+        for c in self
             .outgoing
             .get(rel)
-            .map(|v| {
-                v.iter()
-                    .map(|c| {
-                        (
-                            c.lhs_attrs.clone(),
-                            c.rhs_rel.clone(),
-                            c.rhs_attrs.clone(),
-                            c.mechanism,
-                        )
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        for (lhs_attrs, rhs_rel, rhs_attrs, mech) in outgoing_specs {
-            self.bump(mech);
-            let lhs_pos = self.tables[rel].positions(&lhs_attrs)?;
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            let t0 = Instant::now();
+            let lhs_pos = self.tables[rel].positions(&c.lhs_attrs)?;
             if !t.is_total_at(&lhs_pos) {
+                self.metrics.record_check(CheckClass::Ind, c.mechanism, t0);
                 continue; // partial subtuples are exempt (total-projection semantics)
             }
             let key = t.project(&lhs_pos);
-            self.stats.index_probes += 1;
+            self.metrics.index_probes.inc();
             // Self-referencing dependency satisfied by the tuple itself.
-            if rhs_rel == rel {
-                let rhs_pos = self.tables[rel].positions(&rhs_attrs)?;
+            if c.rhs_rel == rel {
+                let rhs_pos = self.tables[rel].positions(&c.rhs_attrs)?;
                 if t.project(&rhs_pos) == key {
+                    self.metrics.record_check(CheckClass::Ind, c.mechanism, t0);
                     continue;
                 }
             }
-            let target = &self.tables[&rhs_rel];
+            let target = &self.tables[&c.rhs_rel];
             let (_, map) = target
                 .lookups
-                .get(&rhs_attrs)
+                .get(&c.rhs_attrs)
                 .expect("lookup indexes built for every IND");
-            if !map.contains_key(&key) {
-                self.stats.rejected += 1;
+            let found = map.contains_key(&key);
+            self.metrics.record_check(CheckClass::Ind, c.mechanism, t0);
+            if !found {
+                self.metrics.rejected.inc();
                 return Err(DmlError::ConstraintViolation(format!(
-                    "`{rel}`[{}] = {key} has no match in `{rhs_rel}`[{}]",
-                    lhs_attrs.join(","),
-                    rhs_attrs.join(",")
+                    "`{rel}`[{}] = {key} has no match in `{}`[{}]",
+                    c.lhs_attrs.join(","),
+                    c.rhs_rel,
+                    c.rhs_attrs.join(",")
                 )));
             }
         }
@@ -433,29 +609,45 @@ impl Database {
         table.index_insert(&t, slot);
         table.rows.push(Some(t));
         table.live += 1;
-        self.stats.inserts += 1;
+        self.metrics.inserts.inc();
         Ok(true)
     }
 
     /// Deletes the tuple with the given primary-key value, enforcing
     /// RESTRICT semantics on incoming inclusion dependencies.
     pub fn delete_by_key(&mut self, rel: &str, key: &Tuple) -> std::result::Result<bool, DmlError> {
+        let start = Instant::now();
+        let mut span = obs::span("engine.dml.delete");
+        span.add_field("rel", rel);
+        let result = self.delete_inner(rel, key);
+        self.metrics.delete_ns.record(obs::elapsed_ns(start));
+        span.add_field("result", outcome_label(&result, "deleted"));
+        result
+    }
+
+    fn delete_inner(&mut self, rel: &str, key: &Tuple) -> std::result::Result<bool, DmlError> {
         let scheme = self.schema.scheme_required(rel)?.clone();
-        let pk: Vec<String> = scheme.primary_key().iter().map(|k| (*k).to_owned()).collect();
+        let pk: Vec<String> = scheme
+            .primary_key()
+            .iter()
+            .map(|k| (*k).to_owned())
+            .collect();
         let (slot, victim) = {
             let table = self
                 .tables
                 .get(rel)
                 .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
             let pk_pos = table.positions(&pk)?;
-            self.stats.index_probes += 1;
+            self.metrics.index_probes.inc();
             let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pk_pos) else {
                 return Err(DmlError::Schema(Error::MissingPrimaryKey(rel.to_owned())));
             };
             match map.get(key) {
                 Some(&slot) => (
                     slot,
-                    table.rows[slot].clone().expect("unique index points at live rows"),
+                    table.rows[slot]
+                        .clone()
+                        .expect("unique index points at live rows"),
                 ),
                 None => return Ok(false),
             }
@@ -463,55 +655,51 @@ impl Database {
         // RESTRICT: no referencing tuple may be orphaned. The deletion only
         // orphans a reference if no *other* live tuple of `rel` carries the
         // same referenced subtuple.
-        let incoming_specs: Vec<(String, Vec<String>, Vec<String>, Mechanism)> = self
+        for c in self
             .incoming
             .get(rel)
-            .map(|v| {
-                v.iter()
-                    .map(|c| {
-                        (
-                            c.lhs_rel.clone(),
-                            c.lhs_attrs.clone(),
-                            c.rhs_attrs.clone(),
-                            c.mechanism,
-                        )
-                    })
-                    .collect()
-            })
-            .unwrap_or_default();
-        for (lhs_rel, lhs_attrs, rhs_attrs, mech) in incoming_specs {
-            self.bump(mech);
-            let rhs_pos = self.tables[rel].positions(&rhs_attrs)?;
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+        {
+            let t0 = Instant::now();
+            let rhs_pos = self.tables[rel].positions(&c.rhs_attrs)?;
             if !victim.is_total_at(&rhs_pos) {
+                self.metrics
+                    .record_check(CheckClass::Restrict, c.mechanism, t0);
                 continue;
             }
             let referenced = victim.project(&rhs_pos);
-            self.stats.index_probes += 2;
+            self.metrics.index_probes.add(2);
             let remaining = self.tables[rel]
                 .lookups
-                .get(&rhs_attrs)
+                .get(&c.rhs_attrs)
                 .and_then(|(_, map)| map.get(&referenced))
                 .map_or(0, Vec::len) as u32;
             if remaining > 1 {
+                self.metrics
+                    .record_check(CheckClass::Restrict, c.mechanism, t0);
                 continue; // another tuple still provides the value
             }
-            let referencing = self.tables[&lhs_rel]
+            let referencing = self.tables[&c.lhs_rel]
                 .lookups
-                .get(&lhs_attrs)
+                .get(&c.lhs_attrs)
                 .and_then(|(_, map)| map.get(&referenced))
                 .map_or(0, Vec::len) as u32;
             // A self-reference by the victim itself does not block.
-            let self_ref = if lhs_rel == rel {
-                let lhs_pos = self.tables[rel].positions(&lhs_attrs)?;
+            let self_ref = if c.lhs_rel == rel {
+                let lhs_pos = self.tables[rel].positions(&c.lhs_attrs)?;
                 u32::from(victim.is_total_at(&lhs_pos) && victim.project(&lhs_pos) == referenced)
             } else {
                 0
             };
+            self.metrics
+                .record_check(CheckClass::Restrict, c.mechanism, t0);
             if referencing > self_ref {
-                self.stats.rejected += 1;
+                self.metrics.rejected.inc();
                 return Err(DmlError::ConstraintViolation(format!(
-                    "RESTRICT: `{lhs_rel}`[{}] still references {referenced}",
-                    lhs_attrs.join(",")
+                    "RESTRICT: `{}`[{}] still references {referenced}",
+                    c.lhs_rel,
+                    c.lhs_attrs.join(",")
                 )));
             }
         }
@@ -519,7 +707,7 @@ impl Database {
         table.index_remove(&victim, slot);
         table.rows[slot] = None;
         table.live -= 1;
-        self.stats.deletes += 1;
+        self.metrics.deletes.inc();
         Ok(true)
     }
 
@@ -659,16 +847,6 @@ impl Database {
     }
 }
 
-fn clone_ind(c: &CompiledInd) -> CompiledInd {
-    CompiledInd {
-        lhs_rel: c.lhs_rel.clone(),
-        lhs_attrs: c.lhs_attrs.clone(),
-        rhs_rel: c.rhs_rel.clone(),
-        rhs_attrs: c.rhs_attrs.clone(),
-        mechanism: c.mechanism,
-    }
-}
-
 fn singleton_relation(header: &[Attribute], t: &Tuple) -> Relation {
     let mut r = Relation::new(header.to_vec()).expect("header already validated");
     r.insert(t.clone()).expect("tuple already validated");
@@ -686,17 +864,16 @@ mod tests {
 
     fn emp_mgr_schema() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(
-            RelationScheme::new("EMP", vec![a("E.SSN"), a("E.G")], &["E.SSN"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("MGR", vec![a("M.SSN"), a("M.NR")], &["M.SSN"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("EMP", &["E.SSN", "E.G"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("MGR", &["M.SSN", "M.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("MGR", &["M.SSN"], "EMP", &["E.SSN"])).unwrap();
+        rs.add_scheme(RelationScheme::new("EMP", vec![a("E.SSN"), a("E.G")], &["E.SSN"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("MGR", vec![a("M.SSN"), a("M.NR")], &["M.SSN"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("EMP", &["E.SSN", "E.G"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("MGR", &["M.SSN", "M.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("MGR", &["M.SSN"], "EMP", &["E.SSN"]))
+            .unwrap();
         rs
     }
 
@@ -753,12 +930,12 @@ mod tests {
         // A merged-style schema with a null-sync constraint: SYBASE
         // maintains it via triggers → procedural counter.
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(
-            RelationScheme::new("M", vec![a("K"), a("X"), a("Y")], &["K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("M", &["K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::ns("M", &["X", "Y"])).unwrap();
+        rs.add_scheme(RelationScheme::new("M", vec![a("K"), a("X"), a("Y")], &["K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("M", &["K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::ns("M", &["X", "Y"]))
+            .unwrap();
         let mut db = Database::new(rs.clone(), DbmsProfile::sybase40()).unwrap();
         db.insert("M", Tuple::new([Value::Int(1), Value::Null, Value::Null]))
             .unwrap();
@@ -778,15 +955,17 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("P", vec![a("P.K")], &["P.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("C", &["C.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("C", &["C.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"]))
+            .unwrap();
         let mut db = Database::new(rs, DbmsProfile::db2()).unwrap();
-        db.insert("C", Tuple::new([Value::Int(1), Value::Null])).unwrap();
+        db.insert("C", Tuple::new([Value::Int(1), Value::Null]))
+            .unwrap();
         assert!(db.insert("C", tup(&[2, 77])).is_err());
         db.insert("P", tup(&[77])).unwrap();
         db.insert("C", tup(&[2, 77])).unwrap();
@@ -813,16 +992,97 @@ mod tests {
     #[test]
     fn self_referencing_ind_allows_own_tuple() {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(
-            RelationScheme::new("E", vec![a("E.K"), a("E.BOSS")], &["E.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("E", &["E.K"])).unwrap();
-        rs.add_ind(InclusionDep::new("E", &["E.BOSS"], "E", &["E.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("E", vec![a("E.K"), a("E.BOSS")], &["E.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("E", &["E.K"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("E", &["E.BOSS"], "E", &["E.K"]))
+            .unwrap();
         let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
         // Self-managed root employee.
         db.insert("E", tup(&[1, 1])).unwrap();
         db.insert("E", tup(&[2, 1])).unwrap();
         assert!(db.insert("E", tup(&[3, 9])).is_err());
+    }
+
+    #[test]
+    fn take_stats_reads_and_resets() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        let taken = db.take_stats();
+        assert_eq!(taken.inserts, 1);
+        assert!(taken.declarative_checks > 0);
+        assert_eq!(db.stats(), MaintenanceStats::default());
+        // Counters keep working after the reset.
+        db.insert("EMP", tup(&[2, 20])).unwrap();
+        assert_eq!(db.stats().inserts, 1);
+    }
+
+    #[test]
+    fn stats_add_and_merge() {
+        let a = MaintenanceStats {
+            inserts: 1,
+            deletes: 2,
+            rejected: 3,
+            declarative_checks: 4,
+            procedural_checks: 5,
+            index_probes: 6,
+        };
+        let b = MaintenanceStats {
+            inserts: 10,
+            deletes: 20,
+            rejected: 30,
+            declarative_checks: 40,
+            procedural_checks: 50,
+            index_probes: 60,
+        };
+        let sum = a + b;
+        assert_eq!(sum.inserts, 11);
+        assert_eq!(sum.index_probes, 66);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, sum);
+        let mut aa = a;
+        aa += b;
+        assert_eq!(aa, sum);
+    }
+
+    #[test]
+    fn cloned_database_has_isolated_counters() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        let mut copy = db.clone();
+        assert_eq!(copy.stats(), db.stats(), "clone carries counts over");
+        copy.insert("EMP", tup(&[2, 20])).unwrap();
+        assert_eq!(copy.stats().inserts, 2);
+        assert_eq!(db.stats().inserts, 1, "original unaffected by the clone");
+    }
+
+    #[test]
+    fn per_class_counters_split_by_mechanism() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        db.insert("MGR", tup(&[1, 7])).unwrap();
+        db.delete_by_key("MGR", &tup(&[1])).unwrap();
+        // EMP is the IND's RHS, so deleting from it runs the RESTRICT check.
+        db.delete_by_key("EMP", &tup(&[1])).unwrap();
+        let snap = db.metrics_registry().snapshot();
+        // DB2: NNA + PK + FK are declarative.
+        assert_eq!(snap.counters["engine.check.null.declarative"], 2);
+        assert_eq!(snap.counters["engine.check.key.declarative"], 2);
+        assert_eq!(snap.counters["engine.check.ind.declarative"], 1);
+        assert_eq!(snap.counters["engine.check.restrict.declarative"], 1);
+        // Per-class counts sum to the tier totals the stats view reports.
+        let per_class: u64 = CLASS_NAMES
+            .iter()
+            .map(|c| snap.counters[&format!("engine.check.{c}.declarative")])
+            .sum();
+        assert_eq!(per_class, db.stats().declarative_checks);
+        // Latency histograms saw every declarative check.
+        assert_eq!(
+            snap.histograms["engine.check.declarative.ns"].count,
+            db.stats().declarative_checks
+        );
+        assert_eq!(db.stats().procedural_checks, 0);
     }
 }

@@ -22,5 +22,8 @@ pub mod txn;
 pub use capability::{DbmsProfile, Mechanism};
 pub use database::{Database, DmlError, MaintenanceStats};
 pub use planner::{plan, LogicalQuery};
-pub use query::{execute, Access, JoinStep, Predicate, QueryPlan, QueryStats};
+pub use query::{
+    execute, execute_traced, Access, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan,
+    QueryStats, QueryTrace,
+};
 pub use txn::Transaction;

@@ -71,6 +71,8 @@ fn predicate_attrs(p: &crate::query::Predicate, out: &mut Vec<String>) {
 /// dependencies. Fails when an attribute resolves to no scheme or the
 /// needed schemes are not connected by inclusion dependencies.
 pub fn plan(schema: &RelationalSchema, query: &LogicalQuery) -> Result<QueryPlan> {
+    let mut span = relmerge_obs::span("engine.plan");
+    planner_counters().plans.inc();
     // Resolve every mentioned attribute to its scheme.
     let mut needed: BTreeSet<String> = BTreeSet::new();
     let resolve = |attr: &str| -> Result<String> {
@@ -93,10 +95,7 @@ pub fn plan(schema: &RelationalSchema, query: &LogicalQuery) -> Result<QueryPlan
         }
     }
     let filter_schemes: BTreeSet<String> = match &query.filter {
-        Some((attrs, _)) => attrs
-            .iter()
-            .map(|a| resolve(a))
-            .collect::<Result<_>>()?,
+        Some((attrs, _)) => attrs.iter().map(|a| resolve(a)).collect::<Result<_>>()?,
         None => BTreeSet::new(),
     };
     if let Some(multi) = (filter_schemes.len() > 1).then(|| filter_schemes.clone()) {
@@ -118,35 +117,48 @@ pub fn plan(schema: &RelationalSchema, query: &LogicalQuery) -> Result<QueryPlan
         .next()
         .cloned()
         .unwrap_or_else(|| resolve(&query.wanted[0]).expect("validated above"));
+    span.add_field("root", &root);
 
     // Join graph: for each IND, an edge both ways carrying the join
-    // attribute pairs oriented as (attrs-on-from-side, attrs-on-to-side).
-    type Edge = (String, Vec<String>, Vec<String>);
+    // attribute pairs oriented as (attrs-on-from-side, attrs-on-to-side)
+    // plus the justifying dependency's notation.
+    type Edge = (String, Vec<String>, Vec<String>, String);
     let mut edges: BTreeMap<String, Vec<Edge>> = BTreeMap::new();
     for ind in schema.inds() {
+        let notation = ind.to_string();
         edges.entry(ind.lhs_rel.clone()).or_default().push((
             ind.rhs_rel.clone(),
             ind.lhs_attrs.clone(),
             ind.rhs_attrs.clone(),
+            notation.clone(),
         ));
         edges.entry(ind.rhs_rel.clone()).or_default().push((
             ind.lhs_rel.clone(),
             ind.rhs_attrs.clone(),
             ind.lhs_attrs.clone(),
+            notation,
         ));
     }
 
     // BFS from the root; record the joining edge for each scheme reached.
-    let mut parent: BTreeMap<String, (String, Vec<String>, Vec<String>)> = BTreeMap::new();
+    let mut parent: BTreeMap<String, Edge> = BTreeMap::new();
     let mut visited: BTreeSet<String> = BTreeSet::new();
     visited.insert(root.clone());
     let mut queue: VecDeque<String> = VecDeque::new();
     queue.push_back(root.clone());
     while let Some(current) = queue.pop_front() {
         if let Some(nexts) = edges.get(&current) {
-            for (to, from_attrs, to_attrs) in nexts {
+            for (to, from_attrs, to_attrs, via) in nexts {
                 if visited.insert(to.clone()) {
-                    parent.insert(to.clone(), (current.clone(), from_attrs.clone(), to_attrs.clone()));
+                    parent.insert(
+                        to.clone(),
+                        (
+                            current.clone(),
+                            from_attrs.clone(),
+                            to_attrs.clone(),
+                            via.clone(),
+                        ),
+                    );
                     queue.push_back(to.clone());
                 }
             }
@@ -205,15 +217,36 @@ pub fn plan(schema: &RelationalSchema, query: &LogicalQuery) -> Result<QueryPlan
         project: query.wanted.clone(),
     };
     for scheme in ordered {
-        let (_, from_attrs, to_attrs) = &parent[&scheme];
+        let (_, from_attrs, to_attrs, via) = &parent[&scheme];
         let left: Vec<&str> = from_attrs.iter().map(String::as_str).collect();
         let right: Vec<&str> = to_attrs.iter().map(String::as_str).collect();
         // Outer joins throughout: referencing tuples may be absent, and
         // foreign keys may be null — outer semantics match what the merged
         // relation encodes.
-        plan = plan.join(JoinStep::outer(scheme, &left, &right));
+        plan = plan.join(JoinStep::outer(scheme, &left, &right).via(via.clone()));
     }
+    span.add_field("joins", plan.joins.len());
+    planner_counters()
+        .joins_derived
+        .add(plan.joins.len() as u64);
     Ok(plan)
+}
+
+/// Process-global planner counters, resolved once.
+struct PlannerCounters {
+    plans: std::sync::Arc<relmerge_obs::Counter>,
+    joins_derived: std::sync::Arc<relmerge_obs::Counter>,
+}
+
+fn planner_counters() -> &'static PlannerCounters {
+    static COUNTERS: std::sync::OnceLock<PlannerCounters> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let reg = relmerge_obs::global();
+        PlannerCounters {
+            plans: reg.counter("engine.plan.count"),
+            joins_derived: reg.counter("engine.plan.joins_derived"),
+        }
+    })
 }
 
 impl crate::database::Database {
@@ -255,19 +288,29 @@ mod tests {
             RelationScheme::new("TEACH", vec![a("T.C.NR"), a("T.F")], &["T.C.NR"]).unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"])).unwrap();
-        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"])).unwrap();
-        rs.add_ind(InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.C.NR", "O.D"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("TEACH", &["T.C.NR", "T.F"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.C.NR"], "COURSE", &["C.NR"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new(
+            "TEACH",
+            &["T.C.NR"],
+            "OFFER",
+            &["O.C.NR"],
+        ))
+        .unwrap();
         rs
     }
 
     #[test]
     fn plans_joins_across_the_chain() {
         let rs = chain();
-        let q = LogicalQuery::select(&["C.NR", "T.F"])
-            .filtered(&["C.NR"], Tuple::new([Value::Int(1)]));
+        let q =
+            LogicalQuery::select(&["C.NR", "T.F"]).filtered(&["C.NR"], Tuple::new([Value::Int(1)]));
         let p = plan(&rs, &q).unwrap();
         assert_eq!(p.root, "COURSE");
         // OFFER is an intermediate: two joins even though only TEACH's
@@ -275,6 +318,11 @@ mod tests {
         assert_eq!(p.joins.len(), 2);
         assert_eq!(p.joins[0].rel, "OFFER");
         assert_eq!(p.joins[1].rel, "TEACH");
+        // Each derived join records the inclusion dependency justifying it.
+        for step in &p.joins {
+            let via = step.via_ind.as_deref().expect("planner records provenance");
+            assert!(via.contains(&step.rel), "{via} should mention {}", step.rel);
+        }
     }
 
     #[test]
@@ -340,8 +388,8 @@ mod tests {
         db.insert("COURSE", Tuple::new([Value::Int(1)])).unwrap();
         db.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(42)]))
             .unwrap();
-        let q = LogicalQuery::select(&["C.NR", "O.D"])
-            .filtered(&["C.NR"], Tuple::new([Value::Int(1)]));
+        let q =
+            LogicalQuery::select(&["C.NR", "O.D"]).filtered(&["C.NR"], Tuple::new([Value::Int(1)]));
         let (result, stats) = db.query(&q).unwrap();
         assert_eq!(result.len(), 1);
         assert!(result.contains(&Tuple::new([Value::Int(1), Value::Int(42)])));
@@ -360,8 +408,7 @@ mod tests {
         }
         // Predicate mentions O.D even though only C.NR is wanted: OFFER
         // must be joined in.
-        let q = LogicalQuery::select(&["C.NR"])
-            .with_predicate(Predicate::eq("O.D", 1i64));
+        let q = LogicalQuery::select(&["C.NR"]).with_predicate(Predicate::eq("O.D", 1i64));
         let (result, _) = db.query(&q).unwrap();
         assert_eq!(result.len(), 3); // nr in {1, 4, 7}
         assert_eq!(result.attr_names(), ["C.NR"]);
@@ -370,10 +417,8 @@ mod tests {
     #[test]
     fn filter_spanning_schemes_rejected() {
         let rs = chain();
-        let q = LogicalQuery::select(&["C.NR"]).filtered(
-            &["C.NR", "O.D"],
-            Tuple::new([Value::Int(1), Value::Int(2)]),
-        );
+        let q = LogicalQuery::select(&["C.NR"])
+            .filtered(&["C.NR", "O.D"], Tuple::new([Value::Int(1), Value::Int(2)]));
         assert!(plan(&rs, &q).is_err());
     }
 }

@@ -7,7 +7,17 @@
 //! or scan over a single merged relation versus an N-way join — and counts
 //! the rows and index probes each needs, so the benches can report the
 //! speedup *shape* the paper asserts.
+//!
+//! [`execute_traced`] additionally returns a [`QueryTrace`]: an
+//! EXPLAIN-ANALYZE-style operator breakdown (rows in/out, index probes,
+//! rows scanned, wall time per access/join/filter/project step) whose
+//! per-operator counters sum exactly to the [`QueryStats`] totals.
 
+use std::fmt;
+use std::ops::{Add, AddAssign};
+use std::time::Instant;
+
+use relmerge_obs::{self as obs};
 use relmerge_relational::{Attribute, Error, Relation, Result, Tuple, Value};
 
 use crate::database::Database;
@@ -103,6 +113,32 @@ pub struct QueryStats {
     pub rows_output: u64,
 }
 
+impl QueryStats {
+    /// Folds `other` into `self` field-wise (`rows_output` adds too, which
+    /// is the useful reading when aggregating a batch of queries).
+    pub fn merge(&mut self, other: &QueryStats) {
+        *self += *other;
+    }
+}
+
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        self.rows_scanned += rhs.rows_scanned;
+        self.index_probes += rhs.index_probes;
+        self.joins += rhs.joins;
+        self.rows_output += rhs.rows_output;
+    }
+}
+
+impl Add for QueryStats {
+    type Output = QueryStats;
+
+    fn add(mut self, rhs: QueryStats) -> QueryStats {
+        self += rhs;
+        self
+    }
+}
+
 /// How the root relation of a plan is accessed.
 #[derive(Debug, Clone)]
 pub enum Access {
@@ -131,6 +167,9 @@ pub struct JoinStep {
     /// `true` keeps unmatched left rows padded with nulls (the outer join
     /// a merged relation encodes implicitly).
     pub outer: bool,
+    /// The inclusion dependency that justified deriving this join, when the
+    /// planner produced it (notation form, e.g. `OFFER[O.K] ⊆ COURSE[C.K]`).
+    pub via_ind: Option<String>,
 }
 
 impl JoinStep {
@@ -141,6 +180,7 @@ impl JoinStep {
             left_attrs: left.iter().map(|s| (*s).to_owned()).collect(),
             right_attrs: right.iter().map(|s| (*s).to_owned()).collect(),
             outer: false,
+            via_ind: None,
         }
     }
 
@@ -149,6 +189,13 @@ impl JoinStep {
         let mut step = Self::inner(rel, left, right);
         step.outer = true;
         step
+    }
+
+    /// Records the inclusion dependency that justified this join.
+    #[must_use]
+    pub fn via(mut self, ind: impl Into<String>) -> Self {
+        self.via_ind = Some(ind.into());
+        self
     }
 }
 
@@ -217,10 +264,186 @@ impl QueryPlan {
     }
 }
 
+/// What one operator in a [`QueryTrace`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Root full scan.
+    Scan,
+    /// Root index lookup.
+    Lookup,
+    /// One index-nested-loop join step.
+    Join,
+    /// Selection predicate.
+    Filter,
+    /// Output projection.
+    Project,
+}
+
+/// Per-operator counters in an EXPLAIN-ANALYZE trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Rows flowing into the operator.
+    pub rows_in: u64,
+    /// Rows flowing out of the operator.
+    pub rows_out: u64,
+    /// Rows this operator read by scanning.
+    pub rows_scanned: u64,
+    /// Hash-index probes this operator issued.
+    pub index_probes: u64,
+    /// Wall time spent in this operator.
+    pub wall_ns: u64,
+}
+
+/// One operator of an executed plan, with its measured cost.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// The operator kind.
+    pub kind: OpKind,
+    /// Human-readable label, e.g. `Lookup COURSE [C.K]`.
+    pub label: String,
+    /// Measured counters.
+    pub stats: OpStats,
+}
+
+/// An EXPLAIN-ANALYZE-style breakdown of one query execution: the
+/// operators in execution order (root access first), each with rows
+/// in/out, probes, scanned rows, and wall time. [`QueryTrace::totals`]
+/// reconstructs the [`QueryStats`] the run reported — the per-operator
+/// counters sum exactly to them.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// Operators in execution order.
+    pub ops: Vec<OpTrace>,
+}
+
+impl QueryTrace {
+    /// Total wall time across operators.
+    #[must_use]
+    pub fn wall_ns(&self) -> u64 {
+        self.ops.iter().map(|o| o.stats.wall_ns).sum()
+    }
+
+    /// The [`QueryStats`] equivalent of this trace: scanned rows and index
+    /// probes sum over operators, `joins` counts the join operators, and
+    /// `rows_output` is the last operator's output cardinality.
+    #[must_use]
+    pub fn totals(&self) -> QueryStats {
+        QueryStats {
+            rows_scanned: self.ops.iter().map(|o| o.stats.rows_scanned).sum(),
+            index_probes: self.ops.iter().map(|o| o.stats.index_probes).sum(),
+            joins: self.ops.iter().filter(|o| o.kind == OpKind::Join).count() as u64,
+            rows_output: self.ops.last().map_or(0, |o| o.stats.rows_out),
+        }
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+impl fmt::Display for QueryTrace {
+    /// EXPLAIN-ANALYZE layout: the outermost (last-executed) operator
+    /// first, each input indented below it.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (indent, op) in self.ops.iter().rev().enumerate() {
+            let s = &op.stats;
+            write!(
+                f,
+                "{}{}  (rows_in={} rows_out={}",
+                "  ".repeat(indent),
+                op.label,
+                s.rows_in,
+                s.rows_out
+            )?;
+            if s.index_probes > 0 {
+                write!(f, " probes={}", s.index_probes)?;
+            }
+            if s.rows_scanned > 0 {
+                write!(f, " scanned={}", s.rows_scanned)?;
+            }
+            writeln!(f, " time={})", format_ns(s.wall_ns))?;
+        }
+        Ok(())
+    }
+}
+
+/// Collects per-operator measurements by diffing the running stats around
+/// each operator, so the operator counters sum exactly to the totals.
+struct OpRecorder {
+    trace: QueryTrace,
+    before: QueryStats,
+    started: Instant,
+}
+
+impl OpRecorder {
+    fn start(stats: &QueryStats) -> OpRecorder {
+        OpRecorder {
+            trace: QueryTrace::default(),
+            before: *stats,
+            started: Instant::now(),
+        }
+    }
+
+    /// Closes the current operator and opens the next.
+    fn finish_op(
+        &mut self,
+        kind: OpKind,
+        label: String,
+        rows_in: u64,
+        rows_out: u64,
+        stats: &QueryStats,
+    ) {
+        let wall_ns = obs::elapsed_ns(self.started);
+        self.trace.ops.push(OpTrace {
+            kind,
+            label,
+            stats: OpStats {
+                rows_in,
+                rows_out,
+                rows_scanned: stats.rows_scanned - self.before.rows_scanned,
+                index_probes: stats.index_probes - self.before.index_probes,
+                wall_ns,
+            },
+        });
+        self.before = *stats;
+        self.started = Instant::now();
+    }
+}
+
 /// Executes `plan` against `db`, returning the result relation and the
 /// cost counters.
 pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)> {
+    let (relation, stats, _) = execute_impl(db, plan, false)?;
+    Ok((relation, stats))
+}
+
+/// Executes `plan` against `db` like [`execute`], additionally returning
+/// an EXPLAIN-ANALYZE-style [`QueryTrace`] whose per-operator counters sum
+/// to the returned [`QueryStats`].
+pub fn execute_traced(
+    db: &Database,
+    plan: &QueryPlan,
+) -> Result<(Relation, QueryStats, QueryTrace)> {
+    let (relation, stats, trace) = execute_impl(db, plan, true)?;
+    Ok((relation, stats, trace.expect("tracing requested")))
+}
+
+fn execute_impl(
+    db: &Database,
+    plan: &QueryPlan,
+    traced: bool,
+) -> Result<(Relation, QueryStats, Option<QueryTrace>)> {
+    let mut span = obs::span("engine.query.execute");
+    span.add_field("root", &plan.root);
+    span.add_field("joins", plan.joins.len());
     let mut stats = QueryStats::default();
+    let mut recorder = traced.then(|| OpRecorder::start(&stats));
     // Root access.
     let mut header: Vec<Attribute> = db.header(&plan.root)?.to_vec();
     let mut rows: Vec<Tuple> = match &plan.access {
@@ -231,8 +454,19 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)
         }
         Access::Lookup { attrs, key } => db.probe(&plan.root, attrs, key, &mut stats)?,
     };
+    if let Some(rec) = recorder.as_mut() {
+        let (kind, label) = match &plan.access {
+            Access::FullScan => (OpKind::Scan, format!("Scan {}", plan.root)),
+            Access::Lookup { attrs, .. } => (
+                OpKind::Lookup,
+                format!("Lookup {} [{}]", plan.root, attrs.join(",")),
+            ),
+        };
+        rec.finish_op(kind, label, 0, rows.len() as u64, &stats);
+    }
     // Join steps: index-nested-loop through the database's indexes.
     for step in &plan.joins {
+        let rows_in = rows.len() as u64;
         stats.joins += 1;
         let right_header = db.header(&step.rel)?;
         let mut next: Vec<Tuple> = Vec::new();
@@ -271,9 +505,24 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)
         }
         header.extend(right_header.iter().cloned());
         rows = next;
+        if let Some(rec) = recorder.as_mut() {
+            let mut label = format!(
+                "{} {} ON {}={}",
+                if step.outer { "OuterJoin" } else { "Join" },
+                step.rel,
+                step.left_attrs.join(","),
+                step.right_attrs.join(",")
+            );
+            if let Some(ind) = &step.via_ind {
+                label.push_str(" via ");
+                label.push_str(ind);
+            }
+            rec.finish_op(OpKind::Join, label, rows_in, rows.len() as u64, &stats);
+        }
     }
     // Selection.
     if let Some(predicate) = &plan.filter {
+        let rows_in = rows.len() as u64;
         let mut kept = Vec::with_capacity(rows.len());
         for t in rows {
             if predicate.eval(&header, &t)? {
@@ -281,8 +530,18 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)
             }
         }
         rows = kept;
+        if let Some(rec) = recorder.as_mut() {
+            rec.finish_op(
+                OpKind::Filter,
+                "Filter".to_owned(),
+                rows_in,
+                rows.len() as u64,
+                &stats,
+            );
+        }
     }
     // Projection.
+    let rows_in = rows.len() as u64;
     let result = if plan.project.is_empty() {
         Relation::with_rows(header, rows)?
     } else {
@@ -291,7 +550,16 @@ pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)
         relmerge_relational::algebra::project(&full, &wanted)?
     };
     stats.rows_output = result.len() as u64;
-    Ok((result, stats))
+    if let Some(rec) = recorder.as_mut() {
+        let label = if plan.project.is_empty() {
+            "Project *".to_owned()
+        } else {
+            format!("Project [{}]", plan.project.join(","))
+        };
+        rec.finish_op(OpKind::Project, label, rows_in, result.len() as u64, &stats);
+    }
+    span.add_field("rows_out", stats.rows_output);
+    Ok((result, stats, recorder.map(|r| r.trace)))
 }
 
 #[cfg(test)]
@@ -315,13 +583,14 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("COURSE", vec![a("C.K")], &["C.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("OFFER", vec![a("O.K"), a("O.D")], &["O.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.K", "O.D"])).unwrap();
-        rs.add_ind(InclusionDep::new("OFFER", &["O.K"], "COURSE", &["C.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("OFFER", vec![a("O.K"), a("O.D")], &["O.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("COURSE", &["C.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("OFFER", &["O.K", "O.D"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("OFFER", &["O.K"], "COURSE", &["C.K"]))
+            .unwrap();
         let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
         for k in 0..10 {
             db.insert("COURSE", tup(&[k])).unwrap();
@@ -355,8 +624,7 @@ mod tests {
     #[test]
     fn inner_join_drops_unmatched() {
         let db = db();
-        let plan = QueryPlan::scan("COURSE")
-            .join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
         let (result, stats) = execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 5); // even courses only
         assert_eq!(stats.joins, 1);
@@ -366,8 +634,7 @@ mod tests {
     #[test]
     fn outer_join_pads_with_nulls() {
         let db = db();
-        let plan = QueryPlan::scan("COURSE")
-            .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
         let (result, _) = execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 10);
         assert!(result.contains(&Tuple::new([Value::Int(1), Value::Null, Value::Null])));
@@ -386,8 +653,11 @@ mod tests {
     fn lookup_then_join_point_query() {
         // The canonical unmerged point query: course 4 with its offer.
         let db = db();
-        let plan = QueryPlan::lookup("COURSE", &["C.K"], tup(&[4]))
-            .join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
+        let plan = QueryPlan::lookup("COURSE", &["C.K"], tup(&[4])).join(JoinStep::inner(
+            "OFFER",
+            &["C.K"],
+            &["O.K"],
+        ));
         let (result, stats) = execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(stats.index_probes, 2); // root lookup + join probe
@@ -411,14 +681,12 @@ mod tests {
         assert_eq!(result.len(), 5); // odd courses
         assert!(result.contains(&tup(&[3])));
         // Compound predicates.
-        let plan = QueryPlan::scan("OFFER").filter(
-            Predicate::eq("O.K", 2i64).or(Predicate::eq("O.K", 4i64)),
-        );
+        let plan = QueryPlan::scan("OFFER")
+            .filter(Predicate::eq("O.K", 2i64).or(Predicate::eq("O.K", 4i64)));
         let (result, _) = execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 2);
-        let plan = QueryPlan::scan("OFFER").filter(
-            Predicate::not_null("O.K").and(Predicate::eq("O.K", 2i64).negate()),
-        );
+        let plan = QueryPlan::scan("OFFER")
+            .filter(Predicate::not_null("O.K").and(Predicate::eq("O.K", 2i64).negate()));
         let (result, _) = execute(&db, &plan).unwrap();
         assert_eq!(result.len(), 4);
         // Unknown attribute errors.
@@ -436,11 +704,10 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("P", vec![a("P.K")], &["P.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap())
+            .unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"]))
+            .unwrap();
         let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
         db.insert("P", tup(&[1])).unwrap();
         db.insert("P", tup(&[2])).unwrap();
@@ -461,10 +728,70 @@ mod tests {
     }
 
     #[test]
+    fn traced_execution_sums_to_stats() {
+        let db = db();
+        // Lookup → outer join → filter → project: every operator kind.
+        let plan = QueryPlan::lookup("COURSE", &["C.K"], tup(&[4]))
+            .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]).via("OFFER[O.K] ⊆ COURSE[C.K]"))
+            .filter(Predicate::not_null("O.D"))
+            .select(&["O.D"]);
+        let (result, stats, trace) = execute_traced(&db, &plan).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(trace.totals(), stats, "operator counters sum to totals");
+        assert_eq!(trace.ops.len(), 4);
+        assert_eq!(trace.ops[0].kind, OpKind::Lookup);
+        assert_eq!(trace.ops[1].kind, OpKind::Join);
+        assert_eq!(trace.ops[2].kind, OpKind::Filter);
+        assert_eq!(trace.ops[3].kind, OpKind::Project);
+        assert!(trace.ops[1].label.contains("via OFFER[O.K] ⊆ COURSE[C.K]"));
+        // The rendered form leads with the outermost operator.
+        let text = trace.to_string();
+        assert!(text.starts_with("Project [O.D]"), "{text}");
+        assert!(text.contains("OuterJoin OFFER"), "{text}");
+        // Traced and untraced runs agree.
+        let (plain_result, plain_stats) = execute(&db, &plan).unwrap();
+        assert_eq!(plain_stats, stats);
+        assert!(plain_result.set_eq_unordered(&result));
+    }
+
+    #[test]
+    fn traced_scan_sums_to_stats() {
+        let db = db();
+        let (_, stats, trace) = execute_traced(&db, &QueryPlan::scan("COURSE")).unwrap();
+        assert_eq!(trace.totals(), stats);
+        assert_eq!(trace.ops.len(), 2); // Scan + Project *
+        assert_eq!(trace.ops[0].stats.rows_scanned, 10);
+    }
+
+    #[test]
+    fn query_stats_add_and_merge() {
+        let a = QueryStats {
+            rows_scanned: 1,
+            index_probes: 2,
+            joins: 3,
+            rows_output: 4,
+        };
+        let b = QueryStats {
+            rows_scanned: 10,
+            index_probes: 20,
+            joins: 30,
+            rows_output: 40,
+        };
+        let sum = a + b;
+        assert_eq!(sum.rows_scanned, 11);
+        assert_eq!(sum.rows_output, 44);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, sum);
+        let mut aa = a;
+        aa += b;
+        assert_eq!(aa, sum);
+    }
+
+    #[test]
     fn unknown_join_attr_errors() {
         let db = db();
-        let plan = QueryPlan::scan("COURSE")
-            .join(JoinStep::inner("OFFER", &["NOPE"], &["O.K"]));
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["NOPE"], &["O.K"]));
         assert!(execute(&db, &plan).is_err());
     }
 }

@@ -129,8 +129,7 @@ mod tests {
     use super::*;
     use crate::capability::DbmsProfile;
     use relmerge_relational::{
-        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema,
-        Value,
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Value,
     };
 
     fn a(n: &str) -> Attribute {
@@ -141,13 +140,14 @@ mod tests {
         let mut rs = RelationalSchema::new();
         rs.add_scheme(RelationScheme::new("P", vec![a("P.K")], &["P.K"]).unwrap())
             .unwrap();
-        rs.add_scheme(
-            RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap(),
-        )
-        .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("C", &["C.K", "C.FK"])).unwrap();
-        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"])).unwrap();
+        rs.add_scheme(RelationScheme::new("C", vec![a("C.K"), a("C.FK")], &["C.K"]).unwrap())
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("C", &["C.K", "C.FK"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"]))
+            .unwrap();
         rs
     }
 
@@ -210,7 +210,10 @@ mod tests {
         db.insert("C", tup(&[10, 1])).unwrap();
         db.transaction(|tx| tx.update_by_key("C", &tup(&[10]), tup(&[10, 2])))
             .unwrap();
-        assert_eq!(db.get_by_key("C", &tup(&[10])).unwrap(), Some(tup(&[10, 2])));
+        assert_eq!(
+            db.get_by_key("C", &tup(&[10])).unwrap(),
+            Some(tup(&[10, 2]))
+        );
     }
 
     #[test]
@@ -221,7 +224,10 @@ mod tests {
         let result = db.transaction(|tx| tx.update_by_key("C", &tup(&[10]), tup(&[10, 99])));
         assert!(result.is_err());
         // Old row restored.
-        assert_eq!(db.get_by_key("C", &tup(&[10])).unwrap(), Some(tup(&[10, 1])));
+        assert_eq!(
+            db.get_by_key("C", &tup(&[10])).unwrap(),
+            Some(tup(&[10, 1]))
+        );
         let snap = db.snapshot().unwrap();
         assert!(snap.is_consistent(db.schema()).unwrap());
     }

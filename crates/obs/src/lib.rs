@@ -1,0 +1,44 @@
+//! Observability for the relmerge workspace: a metrics registry and a
+//! span-based tracer, std-only by design.
+//!
+//! # Metrics
+//!
+//! [`Registry`] hands out lock-free [`Counter`], [`Gauge`], and log2-bucketed
+//! [`Histogram`] handles by name. Components that need isolated counts (e.g.
+//! one `Database` instance) own a shard registry and register it with
+//! [`register_shard`]; [`snapshot_all`] merges the global registry with every
+//! live shard. A [`Snapshot`] supports [`diff`](Snapshot::diff) /
+//! [`merge`](Snapshot::merge) and renders via [`to_text`] or [`to_json`].
+//!
+//! # Tracing
+//!
+//! [`span`] opens a nestable timed span; fields attach as `key=value`; the
+//! guard records on drop. Tracing is globally off by default and the
+//! disabled path allocates nothing. Closed spans go to a bounded event log
+//! ([`take_events`]) and a pluggable [`Sink`]; [`render_tree`] pretty-prints
+//! a collected trace.
+//!
+//! ```
+//! use relmerge_obs as obs;
+//!
+//! let reg = obs::Registry::new();
+//! reg.counter("demo.events").add(2);
+//! reg.histogram("demo.latency_ns").record(1_250);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counters["demo.events"], 2);
+//! assert!(obs::to_json(&snap).contains("\"demo.events\":2"));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use export::{json_escape, to_json, to_text};
+pub use metrics::{
+    bucket_bounds, bucket_index, elapsed_ns, global, register_shard, snapshot_all, Counter, Gauge,
+    Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use trace::{
+    clear_events, enabled, render_tree, set_enabled, set_sink, span, take_events, timer, NullSink,
+    Sink, Span, SpanEvent, Timer, EVENT_LOG_CAPACITY,
+};

@@ -1,0 +1,319 @@
+//! A span-based tracer: nestable timed spans with `key=value` fields.
+//!
+//! Tracing is off by default. When off, [`span`] returns an inert guard —
+//! no clock read, no allocation, one relaxed atomic load — so instrumented
+//! hot paths cost effectively nothing. When on, each span records its wall
+//! time on drop and emits a [`SpanEvent`] to a bounded in-memory event log
+//! and to the installed [`Sink`].
+//!
+//! Spans close child-before-parent, so the event log is in *close* order.
+//! [`render_tree`] re-derives the call tree from each event's `(open_seq,
+//! depth)` pair.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// One closed span.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Span name, e.g. `"engine.query.execute"`.
+    pub name: &'static str,
+    /// `key=value` fields attached while the span was open.
+    pub fields: Vec<(&'static str, String)>,
+    /// Nesting depth at open time (0 = root).
+    pub depth: usize,
+    /// Global open-order sequence number.
+    pub open_seq: u64,
+    /// Wall time from open to close.
+    pub duration_ns: u64,
+}
+
+/// A consumer of closed spans.
+pub trait Sink: Send + Sync {
+    /// Called once per span, at close.
+    fn record(&self, event: &SpanEvent);
+}
+
+/// Discards every event.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &SpanEvent) {}
+}
+
+/// Maximum events retained in the in-memory log; older events are dropped.
+pub const EVENT_LOG_CAPACITY: usize = 8192;
+
+struct TracerState {
+    sink: Mutex<Arc<dyn Sink>>,
+    events: Mutex<VecDeque<SpanEvent>>,
+    open_seq: AtomicU64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state() -> &'static TracerState {
+    static STATE: OnceLock<TracerState> = OnceLock::new();
+    STATE.get_or_init(|| TracerState {
+        sink: Mutex::new(Arc::new(NullSink)),
+        events: Mutex::new(VecDeque::new()),
+        open_seq: AtomicU64::new(0),
+    })
+}
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Turns tracing on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs the sink closed spans are forwarded to.
+pub fn set_sink(sink: Arc<dyn Sink>) {
+    *state().sink.lock().unwrap() = sink;
+}
+
+/// Drains and returns the buffered event log.
+pub fn take_events() -> Vec<SpanEvent> {
+    state().events.lock().unwrap().drain(..).collect()
+}
+
+/// Discards the buffered event log.
+pub fn clear_events() {
+    state().events.lock().unwrap().clear();
+}
+
+/// Opens a span. Returns an inert guard when tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    let open_seq = state().open_seq.fetch_add(1, Ordering::Relaxed);
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    Span {
+        active: Some(ActiveSpan {
+            name,
+            fields: Vec::new(),
+            depth,
+            open_seq,
+            start: Instant::now(),
+        }),
+    }
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+    depth: usize,
+    open_seq: u64,
+    start: Instant,
+}
+
+/// An open span; closes (and records) on drop.
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Attaches a `key=value` field (builder form).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Display) -> Self {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attaches a `key=value` field in place.
+    pub fn add_field(&mut self, key: &'static str, value: impl Display) {
+        if let Some(active) = self.active.as_mut() {
+            active.fields.push((key, value.to_string()));
+        }
+    }
+
+    /// Whether this span is live (tracing was on when it opened).
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let duration_ns = crate::metrics::elapsed_ns(active.start);
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let event = SpanEvent {
+            name: active.name,
+            fields: active.fields,
+            depth: active.depth,
+            open_seq: active.open_seq,
+            duration_ns,
+        };
+        let sink = Arc::clone(&state().sink.lock().unwrap());
+        sink.record(&event);
+        let mut events = state().events.lock().unwrap();
+        if events.len() == EVENT_LOG_CAPACITY {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+}
+
+/// Starts a [`Timer`]: a stopwatch paired with a span of the same name.
+pub fn timer(name: &'static str) -> Timer {
+    Timer {
+        start: Instant::now(),
+        span: span(name),
+    }
+}
+
+/// A wall-clock stopwatch paired with a span. Unlike a bare [`span`], the
+/// clock runs even when tracing is off, so callers can use the measured
+/// time in their own reports; the span itself still costs nothing when
+/// tracing is disabled.
+pub struct Timer {
+    start: Instant,
+    span: Span,
+}
+
+impl Timer {
+    /// Attaches a `key=value` field to the underlying span (builder form).
+    #[must_use]
+    pub fn field(mut self, key: &'static str, value: impl Display) -> Self {
+        self.span.add_field(key, value);
+        self
+    }
+
+    /// Attaches a `key=value` field in place.
+    pub fn add_field(&mut self, key: &'static str, value: impl Display) {
+        self.span.add_field(key, value);
+    }
+
+    /// Stops the clock, closes the span, and returns the elapsed
+    /// nanoseconds.
+    pub fn stop(self) -> u64 {
+        let ns = crate::metrics::elapsed_ns(self.start);
+        drop(self.span);
+        ns
+    }
+}
+
+fn format_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders `events` as an indented tree in open order, one span per line:
+/// `name key=value ... (duration)`.
+pub fn render_tree(events: &[SpanEvent]) -> String {
+    let mut ordered: Vec<&SpanEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.open_seq);
+    let mut out = String::new();
+    for event in ordered {
+        let _ = write!(out, "{}{}", "  ".repeat(event.depth), event.name);
+        for (k, v) in &event.fields {
+            let _ = write!(out, " {k}={v}");
+        }
+        let _ = writeln!(out, " ({})", format_duration(event.duration_ns));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tracer state is process-global, so the unit tests for it live in one
+    // #[test] fn to avoid cross-test interference under parallel execution.
+    #[test]
+    fn spans_nest_fields_attach_and_tree_renders() {
+        clear_events();
+        set_enabled(false);
+        {
+            let s = span("off");
+            assert!(!s.is_active());
+        }
+        assert!(take_events().is_empty(), "disabled spans emit nothing");
+
+        set_enabled(true);
+        {
+            let mut outer = span("outer").field("k", 1);
+            outer.add_field("extra", "v");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner2 = span("inner2").field("rows", 42);
+            }
+        }
+        set_enabled(false);
+
+        let events = take_events();
+        assert_eq!(events.len(), 3);
+        // Close order: inner, inner2, outer.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "inner2");
+        assert_eq!(events[2].name, "outer");
+        assert_eq!(events[2].depth, 0);
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].depth, 1);
+        assert_eq!(
+            events[2].fields,
+            vec![("k", "1".to_owned()), ("extra", "v".to_owned())]
+        );
+
+        let tree = render_tree(&events);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("outer k=1 extra=v ("));
+        assert!(lines[1].starts_with("  inner ("));
+        assert!(lines[2].starts_with("  inner2 rows=42 ("));
+
+        // Timers measure with tracing off (no event) and on (one event).
+        let t = timer("timed.off");
+        let _ = t.stop();
+        assert!(take_events().is_empty());
+        set_enabled(true);
+        let t = timer("timed.on").field("k", 7);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(t.stop() >= 1_000_000);
+        set_enabled(false);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "timed.on");
+        assert_eq!(events[0].fields, vec![("k", "7".to_owned())]);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(15), "15ns");
+        assert_eq!(format_duration(1_500), "1.5us");
+        assert_eq!(format_duration(2_500_000), "2.50ms");
+        assert_eq!(format_duration(3_000_000_000), "3.00s");
+    }
+}

@@ -227,11 +227,7 @@ mod tests {
 
     fn rel(names: &[(&str, Domain)], rows: &[&[Value]]) -> Relation {
         let header = names.iter().map(|(n, d)| attr(n, *d)).collect();
-        Relation::with_rows(
-            header,
-            rows.iter().map(|r| Tuple::new(r.to_vec())),
-        )
-        .unwrap()
+        Relation::with_rows(header, rows.iter().map(|r| Tuple::new(r.to_vec()))).unwrap()
     }
 
     fn teach() -> Relation {
@@ -394,7 +390,12 @@ mod tests {
         for t in j.iter() {
             assert!(t.is_all_null_at(&[0, 1]));
         }
-        let j2 = outer_equi_join(&teach(), &rel(&[("O.CN", Domain::Int), ("O.DN", Domain::Text)], &[]), &[("T.CN", "O.CN")]).unwrap();
+        let j2 = outer_equi_join(
+            &teach(),
+            &rel(&[("O.CN", Domain::Int), ("O.DN", Domain::Text)], &[]),
+            &[("T.CN", "O.CN")],
+        )
+        .unwrap();
         assert_eq!(j2.len(), 2);
         for t in j2.iter() {
             assert!(t.is_all_null_at(&[2, 3]));

@@ -230,11 +230,7 @@ mod tests {
         let r = [a("C", Domain::Int), a("D", Domain::Text)];
         let c = AttrCorrespondence::new(&l, &r).unwrap();
         assert_eq!(c.len(), 2);
-        let pairs: Vec<(&str, &str)> = c
-            .pairs()
-            .iter()
-            .map(|(x, y)| (&**x, &**y))
-            .collect();
+        let pairs: Vec<(&str, &str)> = c.pairs().iter().map(|(x, y)| (&**x, &**y)).collect();
         assert_eq!(pairs, vec![("A", "C"), ("B", "D")]);
         assert_eq!(c.left().collect::<Vec<_>>(), ["A", "B"]);
         assert_eq!(c.right().collect::<Vec<_>>(), ["C", "D"]);

@@ -214,8 +214,7 @@ impl FdSet {
                 if chosen.len() == size {
                     let mut cand = core.clone();
                     cand.extend(&chosen);
-                    let cand_set: BTreeSet<String> =
-                        cand.iter().map(|s| (*s).to_owned()).collect();
+                    let cand_set: BTreeSet<String> = cand.iter().map(|s| (*s).to_owned()).collect();
                     if keys.iter().any(|k| k.is_subset(&cand_set)) {
                         continue;
                     }

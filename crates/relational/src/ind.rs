@@ -79,9 +79,7 @@ impl InclusionDep {
             };
             if !ya.compatible(za) {
                 return Err(Error::MalformedConstraint {
-                    detail: format!(
-                        "IND {self}: `{y}` and `{z}` have incompatible domains"
-                    ),
+                    detail: format!("IND {self}: `{y}` and `{z}` have incompatible domains"),
                 });
             }
         }
@@ -208,8 +206,7 @@ mod tests {
         let ind = InclusionDep::new("L", &["A"], "R", &["B"]);
         assert!(ind.satisfied_by(&lhs, &rhs).unwrap());
 
-        let rhs_missing =
-            Relation::with_rows(vec![Attribute::new("B", Domain::Int)], []).unwrap();
+        let rhs_missing = Relation::with_rows(vec![Attribute::new("B", Domain::Int)], []).unwrap();
         assert!(!ind.satisfied_by(&lhs, &rhs_missing).unwrap());
     }
 
@@ -226,12 +223,8 @@ mod tests {
         assert!(InclusionDep::new("A", &[], "B", &[])
             .validate(&a, &b)
             .is_err());
-        let text = RelationScheme::new(
-            "T",
-            vec![Attribute::new("T.K", Domain::Text)],
-            &["T.K"],
-        )
-        .unwrap();
+        let text =
+            RelationScheme::new("T", vec![Attribute::new("T.K", Domain::Text)], &["T.K"]).unwrap();
         assert!(InclusionDep::new("A", &["A.K"], "T", &["T.K"])
             .validate(&a, &text)
             .is_err());

@@ -111,8 +111,10 @@ mod tests {
             .unwrap(),
         )
         .unwrap();
-        rs.add_null_constraint(NullConstraint::nna("WORKS", &["W.SSN"])).unwrap();
-        rs.add_null_constraint(NullConstraint::nna("PROJECT", &["P.NR"])).unwrap();
+        rs.add_null_constraint(NullConstraint::nna("WORKS", &["W.SSN"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("PROJECT", &["P.NR"]))
+            .unwrap();
         rs.add_ind(InclusionDep::new("WORKS", &["W.NR"], "PROJECT", &["P.NR"]))
             .unwrap();
         rs
@@ -123,7 +125,10 @@ mod tests {
         let text = render_figure(&schema(), "Fig. X. Test Schema.");
         assert!(text.starts_with("Fig. X. Test Schema.\n"));
         // Keys underlined, nullable non-key attrs starred.
-        assert!(text.contains("(1) WORKS (_W.SSN_, W.NR*, W.DATE*)"), "{text}");
+        assert!(
+            text.contains("(1) WORKS (_W.SSN_, W.NR*, W.DATE*)"),
+            "{text}"
+        );
         assert!(text.contains("(2) PROJECT (_P.NR_)"));
         // Numbered dependency and constraint sections.
         assert!(text.contains("Inclusion Dependencies\n(1) WORKS [W.NR] <= PROJECT [P.NR]"));

@@ -145,9 +145,7 @@ impl NullConstraint {
             NullConstraint::PartNull { groups, .. } => {
                 groups.is_empty() || groups.iter().any(Vec::is_empty)
             }
-            NullConstraint::TotalEquality { lhs, rhs, .. } => {
-                lhs.is_empty() || lhs == rhs
-            }
+            NullConstraint::TotalEquality { lhs, rhs, .. } => lhs.is_empty() || lhs == rhs,
         }
     }
 
@@ -170,15 +168,13 @@ impl NullConstraint {
                     .iter()
                     .map(|g| positions(r, g))
                     .collect::<Result<_>>()?;
-                Ok(r.iter()
-                    .all(|t| group_pos.iter().any(|g| t.is_total_at(g))))
+                Ok(r.iter().all(|t| group_pos.iter().any(|g| t.is_total_at(g))))
             }
             NullConstraint::TotalEquality { lhs, rhs, .. } => {
                 let lpos = positions(r, lhs)?;
                 let rpos = positions(r, rhs)?;
                 Ok(r.iter().all(|t| {
-                    !(t.is_total_at(&lpos) && t.is_total_at(&rpos))
-                        || t.eq_at(&lpos, &rpos)
+                    !(t.is_total_at(&lpos) && t.is_total_at(&rpos)) || t.eq_at(&lpos, &rpos)
                 }))
             }
         }
@@ -190,9 +186,7 @@ impl NullConstraint {
         for a in self.attrs() {
             if !scheme.has_attr(a) {
                 return Err(Error::MalformedConstraint {
-                    detail: format!(
-                        "null constraint `{self}` mentions unknown attribute `{a}`"
-                    ),
+                    detail: format!("null constraint `{self}` mentions unknown attribute `{a}`"),
                 });
             }
         }
@@ -209,9 +203,7 @@ impl NullConstraint {
                 );
                 if !ya.compatible(za) {
                     return Err(Error::MalformedConstraint {
-                        detail: format!(
-                            "total-equality `{self}`: `{y}` / `{z}` incompatible"
-                        ),
+                        detail: format!("total-equality `{self}`: `{y}` / `{z}` incompatible"),
                     });
                 }
             }
@@ -466,8 +458,7 @@ impl TotalEqualityClosure {
     /// Whether the pairwise constraint `lhs =⊥ rhs` is implied.
     #[must_use]
     pub fn implies(&self, lhs: &[&str], rhs: &[&str]) -> bool {
-        lhs.len() == rhs.len()
-            && lhs.iter().zip(rhs).all(|(y, z)| self.equivalent(y, z))
+        lhs.len() == rhs.len() && lhs.iter().zip(rhs).all(|(y, z)| self.equivalent(y, z))
     }
 }
 
@@ -556,9 +547,7 @@ mod tests {
             r4(&[[i(1), N, N, N]]),
         ] {
             let direct = c.satisfied_by(&rel).unwrap();
-            let via_expansion = expanded
-                .iter()
-                .all(|e| e.satisfied_by(&rel).unwrap());
+            let via_expansion = expanded.iter().all(|e| e.satisfied_by(&rel).unwrap());
             assert_eq!(direct, via_expansion);
         }
     }
@@ -581,11 +570,7 @@ mod tests {
         let removed: HashSet<&str> = ["O.C.NR", "T.C.NR", "A.C.NR"].into();
         let ns = NullConstraint::ns("C", &["O.C.NR", "O.D.NAME"]);
         assert_eq!(ns.remove_attrs(&removed), None); // singleton → trivial
-        let ne = NullConstraint::ne(
-            "C",
-            &["T.C.NR", "T.F.SSN"],
-            &["O.C.NR", "O.D.NAME"],
-        );
+        let ne = NullConstraint::ne("C", &["T.C.NR", "T.F.SSN"], &["O.C.NR", "O.D.NAME"]);
         assert_eq!(
             ne.remove_attrs(&removed),
             Some(NullConstraint::ne("C", &["T.F.SSN"], &["O.D.NAME"]))

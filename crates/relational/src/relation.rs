@@ -38,7 +38,10 @@ impl Relation {
     }
 
     /// Creates a relation and inserts every tuple of `rows`.
-    pub fn with_rows(header: Vec<Attribute>, rows: impl IntoIterator<Item = Tuple>) -> Result<Self> {
+    pub fn with_rows(
+        header: Vec<Attribute>,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
         let mut r = Relation::new(header)?;
         for t in rows {
             r.insert(t)?;
@@ -247,7 +250,10 @@ mod tests {
             Attribute::new("A", Domain::Int),
             Attribute::new("A", Domain::Text),
         ];
-        assert!(matches!(Relation::new(h), Err(Error::DuplicateAttribute(_))));
+        assert!(matches!(
+            Relation::new(h),
+            Err(Error::DuplicateAttribute(_))
+        ));
     }
 
     #[test]
@@ -297,8 +303,8 @@ mod tests {
 
     #[test]
     fn set_eq_unordered_permutes_columns() {
-        let r1 = Relation::with_rows(header(), [Tuple::new([Value::Int(1), Value::text("x")])])
-            .unwrap();
+        let r1 =
+            Relation::with_rows(header(), [Tuple::new([Value::Int(1), Value::text("x")])]).unwrap();
         let flipped = vec![
             Attribute::new("B", Domain::Text),
             Attribute::new("A", Domain::Int),

@@ -236,10 +236,7 @@ impl RelationalSchema {
     /// merging exists to reduce (§1).
     #[must_use]
     pub fn joins_needed(&self, touched: &[&str]) -> usize {
-        let present = touched
-            .iter()
-            .filter(|n| self.scheme(n).is_some())
-            .count();
+        let present = touched.iter().filter(|n| self.scheme(n).is_some()).count();
         present.saturating_sub(1)
     }
 }
@@ -286,7 +283,8 @@ mod tests {
 
     fn two_schemes() -> RelationalSchema {
         let mut rs = RelationalSchema::new();
-        rs.add_scheme(scheme("A", &["A.K", "A.V"], &["A.K"])).unwrap();
+        rs.add_scheme(scheme("A", &["A.K", "A.V"], &["A.K"]))
+            .unwrap();
         rs.add_scheme(scheme("B", &["B.K"], &["B.K"])).unwrap();
         rs
     }
@@ -370,7 +368,8 @@ mod tests {
         assert!(fds.is_superkey(scheme_a, &["A.V"]));
         // A genuine non-key FD breaks BCNF. Use a 3-attribute scheme.
         let mut rs2 = RelationalSchema::new();
-        rs2.add_scheme(scheme("R", &["K", "B", "C"], &["K"])).unwrap();
+        rs2.add_scheme(scheme("R", &["K", "B", "C"], &["K"]))
+            .unwrap();
         rs2.add_fd(Fd::new("R", &["B"], &["C"])).unwrap();
         assert!(!rs2.is_bcnf());
     }

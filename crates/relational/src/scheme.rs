@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(w.primary_key(), ["W.SSN", "W.NR"]);
         assert_eq!(w.attr_names(), ["W.SSN", "W.NR", "W.DATE"]);
         assert_eq!(
-            w.non_key_attrs().iter().map(|a| a.name()).collect::<Vec<_>>(),
+            w.non_key_attrs()
+                .iter()
+                .map(|a| a.name())
+                .collect::<Vec<_>>(),
             ["W.DATE"]
         );
         assert!(w.is_primary_key(&["W.NR", "W.SSN"]));
@@ -236,10 +239,14 @@ mod tests {
             Err(Error::MalformedKey { .. })
         ));
         assert!(matches!(
-            RelationScheme::new("R", vec![
-                Attribute::new("A", Domain::Int),
-                Attribute::new("A", Domain::Int)
-            ], &["A"]),
+            RelationScheme::new(
+                "R",
+                vec![
+                    Attribute::new("A", Domain::Int),
+                    Attribute::new("A", Domain::Int)
+                ],
+                &["A"]
+            ),
             Err(Error::DuplicateAttribute(_))
         ));
     }
@@ -279,19 +286,17 @@ mod tests {
             &["B.K1", "B.K2"],
         )
         .unwrap();
-        let c = RelationScheme::new(
-            "C",
-            vec![Attribute::new("C.K", Domain::Int)],
-            &["C.K"],
-        )
-        .unwrap();
+        let c =
+            RelationScheme::new("C", vec![Attribute::new("C.K", Domain::Int)], &["C.K"]).unwrap();
         assert!(a.key_compatible(&b));
         assert!(!a.key_compatible(&c));
     }
 
     #[test]
     fn extended_appends_attrs() {
-        let w = works().extended(&[Attribute::new("EXTRA", Domain::Int)]).unwrap();
+        let w = works()
+            .extended(&[Attribute::new("EXTRA", Domain::Int)])
+            .unwrap();
         assert_eq!(w.attr_names().len(), 4);
         assert_eq!(w.primary_key(), ["W.SSN", "W.NR"]);
     }

@@ -81,9 +81,11 @@ impl DatabaseState {
 
     /// The relation for `name`, failing with [`Error::StateMismatch`].
     pub fn relation_required(&self, name: &str) -> Result<&Relation> {
-        self.relations.get(name).ok_or_else(|| Error::StateMismatch {
-            detail: format!("state has no relation for scheme `{name}`"),
-        })
+        self.relations
+            .get(name)
+            .ok_or_else(|| Error::StateMismatch {
+                detail: format!("state has no relation for scheme `{name}`"),
+            })
     }
 
     /// Mutable access to the relation for `name`.
@@ -213,10 +215,12 @@ impl DatabaseState {
     /// by round-trip checks that only the merged relations changed.
     #[must_use]
     pub fn eq_on(&self, other: &DatabaseState, names: &[&str]) -> bool {
-        names.iter().all(|n| match (self.relation(n), other.relation(n)) {
-            (Some(a), Some(b)) => a.set_eq(b),
-            _ => false,
-        })
+        names
+            .iter()
+            .all(|n| match (self.relation(n), other.relation(n)) {
+                (Some(a), Some(b)) => a.set_eq(b),
+                _ => false,
+            })
     }
 }
 
@@ -285,7 +289,9 @@ mod tests {
         st.insert("EMP", Tuple::new([Value::Int(1), Value::text("b")]))
             .unwrap();
         let v = st.violations(&rs).unwrap();
-        assert!(v.iter().any(|v| matches!(v, Violation::Key { rel, .. } if rel == "EMP")));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::Key { rel, .. } if rel == "EMP")));
     }
 
     #[test]

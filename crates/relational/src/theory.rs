@@ -98,7 +98,10 @@ pub fn project_fds(set: &FdSet, rel: &str, attrs: &[&str]) -> crate::error::Resu
     }
     // Enumerate subsets of `attrs` as LHS candidates.
     for mask in 0..(1u32 << n) {
-        let lhs: Vec<&str> = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| attrs[i]).collect();
+        let lhs: Vec<&str> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| attrs[i])
+            .collect();
         if lhs.is_empty() {
             continue;
         }
@@ -357,7 +360,10 @@ mod tests {
             &["B.X", "B.Y"],
         )];
         // Projection.
-        assert!(ind_implies(&given, &InclusionDep::new("A", &["A.X"], "B", &["B.X"])));
+        assert!(ind_implies(
+            &given,
+            &InclusionDep::new("A", &["A.X"], "B", &["B.X"])
+        ));
         // Permutation.
         assert!(ind_implies(
             &given,

@@ -238,11 +238,19 @@ mod tests {
     #[test]
     fn projection_and_concat() {
         let t = Tuple::new([Value::Int(1), Value::Int(2), Value::Int(3)]);
-        assert_eq!(t.project(&[2, 0]), Tuple::new([Value::Int(3), Value::Int(1)]));
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::new([Value::Int(3), Value::Int(1)])
+        );
         let u = Tuple::new([Value::text("a")]);
         assert_eq!(
             t.concat(&u),
-            Tuple::new([Value::Int(1), Value::Int(2), Value::Int(3), Value::text("a")])
+            Tuple::new([
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+                Value::text("a")
+            ])
         );
     }
 
@@ -258,7 +266,10 @@ mod tests {
     #[test]
     fn with_replaces_one_position() {
         let t = Tuple::new([Value::Int(1), Value::Int(2)]);
-        assert_eq!(t.with(1, Value::Null), Tuple::new([Value::Int(1), Value::Null]));
+        assert_eq!(
+            t.with(1, Value::Null),
+            Tuple::new([Value::Int(1), Value::Null])
+        );
     }
 
     #[test]

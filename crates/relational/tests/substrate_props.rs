@@ -50,7 +50,10 @@ fn ne_strategy() -> impl Strategy<Value = NullConstraint> {
 
 /// A random total-equality constraint (single attribute pair).
 fn te_strategy() -> impl Strategy<Value = NullConstraint> {
-    (proptest::sample::select(ATTRS.to_vec()), proptest::sample::select(ATTRS.to_vec()))
+    (
+        proptest::sample::select(ATTRS.to_vec()),
+        proptest::sample::select(ATTRS.to_vec()),
+    )
         .prop_map(|(a, b)| NullConstraint::te("R", &[a], &[b]))
 }
 

@@ -5,6 +5,8 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+use relmerge_obs as obs;
+
 /// One logical operation on the university domain, schema-independent.
 #[derive(Debug, Clone, PartialEq)]
 pub enum UniversityOp {
@@ -71,6 +73,10 @@ pub fn university_ops(
     faculty: usize,
     rng: &mut StdRng,
 ) -> Vec<UniversityOp> {
+    let _span = obs::span("workload.university_ops").field("n", n);
+    obs::global()
+        .counter("workload.ops_generated")
+        .add(n as u64);
     let total = spec.point_reads + spec.reverse_reads + spec.inserts + spec.deletes;
     let mut next_new = 1_000_000i64;
     let mut added: Vec<i64> = Vec::new();

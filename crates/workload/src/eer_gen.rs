@@ -7,9 +7,7 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use relmerge_eer::model::{
-    Card, EerAttribute, EerSchema, EntitySet, Participant, RelationshipSet,
-};
+use relmerge_eer::model::{Card, EerAttribute, EerSchema, EntitySet, Participant, RelationshipSet};
 use relmerge_relational::Domain;
 
 /// Generation parameters.
@@ -69,9 +67,7 @@ pub fn random_eer(spec: &EerSpec, rng: &mut StdRng) -> EerSchema {
         let mut a = vec![EerAttribute::required("ID", Domain::Int)];
         let n = rng.gen_range(0..=spec.max_attrs);
         a.extend(attrs(rng, spec, "V", n));
-        eer.add_entity(
-            EntitySet::new(&name, a, &["ID"]).with_abbrev(format!("E{i}")),
-        );
+        eer.add_entity(EntitySet::new(&name, a, &["ID"]).with_abbrev(format!("E{i}")));
         strong.push(name);
     }
     for i in 0..spec.specializations {
@@ -80,8 +76,7 @@ pub fn random_eer(spec: &EerSpec, rng: &mut StdRng) -> EerSchema {
         // 1..=max(1,max_attrs) own attributes (≥1 keeps the scheme useful).
         let n = rng.gen_range(1..=spec.max_attrs.max(1));
         eer.add_entity(
-            EntitySet::new(&name, attrs(rng, spec, "S", n), &[])
-                .with_abbrev(format!("SP{i}")),
+            EntitySet::new(&name, attrs(rng, spec, "S", n), &[]).with_abbrev(format!("SP{i}")),
         );
         eer.add_isa(&name, parent);
     }
@@ -131,7 +126,8 @@ mod tests {
         for seed in 0..40 {
             let mut rng = StdRng::seed_from_u64(seed);
             let eer = random_eer(&EerSpec::default(), &mut rng);
-            eer.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            eer.validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             let rs = translate::translate(&eer)
                 .unwrap_or_else(|e| panic!("seed {seed} translation: {e}"));
             // The translation invariants of [11]: BCNF, key-based INDs,

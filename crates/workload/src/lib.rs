@@ -20,7 +20,9 @@ pub mod university;
 pub use dml::{university_ops, MixSpec, UniversityOp};
 pub use eer_gen::{random_eer, EerSpec};
 pub use merged_state_gen::{merged_state, MergedStateSpec};
-pub use schema_gen::{chain_merge_set, chain_schema, forest_schema, star_merge_set, star_schema,
-    ChainSpec, ForestSpec, StarSpec};
+pub use schema_gen::{
+    chain_merge_set, chain_schema, forest_schema, star_merge_set, star_schema, ChainSpec,
+    ForestSpec, StarSpec,
+};
 pub use state_gen::{consistent_state, dependency_order, StateSpec};
 pub use university::{generate as generate_university, University, UniversitySpec};

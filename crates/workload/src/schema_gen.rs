@@ -38,8 +38,12 @@ impl Default for StarSpec {
 pub fn star_schema(spec: &StarSpec) -> RelationalSchema {
     let mut rs = RelationalSchema::new();
     rs.add_scheme(
-        RelationScheme::new("ROOT", vec![Attribute::new("ROOT.K", Domain::Int)], &["ROOT.K"])
-            .expect("static scheme"),
+        RelationScheme::new(
+            "ROOT",
+            vec![Attribute::new("ROOT.K", Domain::Int)],
+            &["ROOT.K"],
+        )
+        .expect("static scheme"),
     )
     .expect("fresh name");
     rs.add_null_constraint(NullConstraint::nna("ROOT", &["ROOT.K"]))
@@ -48,8 +52,12 @@ pub fn star_schema(spec: &StarSpec) -> RelationalSchema {
         let name = format!("E{e}");
         let attr = format!("{name}.K");
         rs.add_scheme(
-            RelationScheme::new(&name, vec![Attribute::new(attr.clone(), Domain::Int)], &[&attr])
-                .expect("static scheme"),
+            RelationScheme::new(
+                &name,
+                vec![Attribute::new(attr.clone(), Domain::Int)],
+                &[&attr],
+            )
+            .expect("static scheme"),
         )
         .expect("fresh name");
         rs.add_null_constraint(NullConstraint::nna(&name, &[&attr]))
@@ -166,10 +174,7 @@ impl Default for ForestSpec {
 
 /// Builds a random forest schema per `spec`, using `rng`. Scheme `Fi` has
 /// key `Fi.K`; all attributes are nulls-not-allowed.
-pub fn forest_schema(
-    spec: &ForestSpec,
-    rng: &mut impl rand::Rng,
-) -> RelationalSchema {
+pub fn forest_schema(spec: &ForestSpec, rng: &mut impl rand::Rng) -> RelationalSchema {
     let mut rs = RelationalSchema::new();
     for i in 0..spec.schemes.max(1) {
         let name = format!("F{i}");

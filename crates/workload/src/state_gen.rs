@@ -12,9 +12,7 @@ use std::collections::BTreeMap;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use relmerge_relational::{
-    DatabaseState, Error, RelationalSchema, Result, Tuple, Value,
-};
+use relmerge_relational::{DatabaseState, Domain, Error, RelationalSchema, Result, Tuple, Value};
 
 /// Generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -68,25 +66,36 @@ pub fn consistent_state(
                     detail: format!("`{}` generated before `{}`", name, ind.rhs_rel),
                 })?;
                 let take = ((parent.len() as f64) * spec.coverage).round() as usize;
-                let mut sampled: Vec<Tuple> =
-                    parent.choose_multiple(rng, take.min(parent.len())).cloned().collect();
+                let mut sampled: Vec<Tuple> = parent
+                    .choose_multiple(rng, take.min(parent.len()))
+                    .cloned()
+                    .collect();
                 sampled.shuffle(rng);
                 sampled
             }
-            None => (0..spec.root_rows)
-                .map(|_| {
-                    
-                    Tuple::new(
-                        (0..pk.len())
-                            .map(|_| {
-                                let v = Value::Int(next_value);
-                                next_value += 1;
-                                v
-                            })
-                            .collect::<Vec<_>>(),
-                    )
-                })
-                .collect(),
+            None => {
+                let pk_domains: Vec<Domain> = pk
+                    .iter()
+                    .map(|k| {
+                        scheme
+                            .attrs()
+                            .iter()
+                            .find(|a| a.name() == *k)
+                            .expect("key attr exists")
+                            .domain()
+                    })
+                    .collect();
+                (0..spec.root_rows)
+                    .map(|_| {
+                        Tuple::new(
+                            pk_domains
+                                .iter()
+                                .map(|d| fresh_value(*d, &mut next_value))
+                                .collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect()
+            }
         };
         // Non-key foreign keys (disjoint from the primary key).
         let other_fks: Vec<(Vec<String>, String)> = schema
@@ -102,10 +111,14 @@ pub fn consistent_state(
         // If any non-key foreign key points at an empty target, no row of
         // this scheme can exist (all attributes are NNA in generated
         // schemas): the relation stays empty, which is consistent.
-        let fk_target_empty = other_fks.iter().any(|(_, target)| {
-            keys.get(target).is_none_or(|k| k.is_empty())
-        });
-        let key_tuples = if fk_target_empty { Vec::new() } else { key_tuples };
+        let fk_target_empty = other_fks
+            .iter()
+            .any(|(_, target)| keys.get(target).is_none_or(|k| k.is_empty()));
+        let key_tuples = if fk_target_empty {
+            Vec::new()
+        } else {
+            key_tuples
+        };
         // Assemble tuples.
         let attr_names: Vec<&str> = scheme.attr_names();
         for key_tuple in &key_tuples {
@@ -130,10 +143,10 @@ pub fn consistent_state(
                     values[pos] = choice.get(i).clone();
                 }
             }
-            // Remaining attributes: random payloads.
-            for v in values.iter_mut() {
+            // Remaining attributes: random payloads in the right domain.
+            for (v, a) in values.iter_mut().zip(scheme.attrs()) {
                 if v.is_null() {
-                    *v = Value::Int(rng.gen_range(0..1_000_000));
+                    *v = random_value(a.domain(), rng);
                 }
             }
             state.insert(&name, Tuple::new(values))?;
@@ -141,6 +154,30 @@ pub fn consistent_state(
         keys.insert(name.clone(), key_tuples);
     }
     Ok(state)
+}
+
+/// A globally-unique value of `domain` (drawn from the shared counter, so
+/// generated keys never collide). Booleans cannot be unique; bool-keyed
+/// schemes are not produced by any generator here.
+fn fresh_value(domain: Domain, next: &mut i64) -> Value {
+    let v = *next;
+    *next += 1;
+    match domain {
+        Domain::Int => Value::Int(v),
+        Domain::Text => Value::text(format!("k{v}")),
+        Domain::Bool => Value::Bool(v % 2 == 0),
+        Domain::Date => Value::Date(v),
+    }
+}
+
+/// A random payload value of `domain`.
+fn random_value(domain: Domain, rng: &mut StdRng) -> Value {
+    match domain {
+        Domain::Int => Value::Int(rng.gen_range(0..1_000_000)),
+        Domain::Text => Value::text(format!("v{}", rng.gen_range(0..1_000_000i64))),
+        Domain::Bool => Value::Bool(rng.gen_range(0..2) == 0),
+        Domain::Date => Value::Date(rng.gen_range(0..40_000)),
+    }
 }
 
 /// Orders scheme names so that every scheme follows everything it

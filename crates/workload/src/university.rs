@@ -5,6 +5,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_eer::figures;
+use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, RelationalSchema, Result, Tuple, Value};
 
 /// Scale parameters for the university workload.
@@ -51,6 +52,9 @@ pub struct University {
 
 /// Generates the university instance.
 pub fn generate(spec: &UniversitySpec, rng: &mut StdRng) -> Result<University> {
+    let _span = obs::span("workload.university.generate")
+        .field("courses", spec.courses)
+        .field("persons", spec.persons);
     let schema = relmerge_eer::translate(&figures::fig7_eer())?;
     let mut state = DatabaseState::empty_for(&schema)?;
 

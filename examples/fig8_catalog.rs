@@ -40,20 +40,39 @@ fn demo(
         .collect();
     println!("surviving null constraints: {}\n", survivors.join("; "));
     // The classifier's NNA-only verdict must match reality.
-    let nna_only = merged.generated_null_constraints().iter().all(|c| c.is_nna());
+    let nna_only = merged
+        .generated_null_constraints()
+        .iter()
+        .all(|c| c.is_nna());
     assert_eq!(nna_only, group.amenability == Amenability::NnaOnly);
     Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let i = figures::fig8_i();
-    demo("8(i)", &i, classify_generalization(&i, "VEHICLE").expect("group"))?;
+    demo(
+        "8(i)",
+        &i,
+        classify_generalization(&i, "VEHICLE").expect("group"),
+    )?;
     let ii = figures::fig8_ii();
-    demo("8(ii)", &ii, classify_many_one_star(&ii, "PRODUCT").expect("group"))?;
+    demo(
+        "8(ii)",
+        &ii,
+        classify_many_one_star(&ii, "PRODUCT").expect("group"),
+    )?;
     let iii = figures::fig8_iii();
-    demo("8(iii)", &iii, classify_generalization(&iii, "ACCOUNT").expect("group"))?;
+    demo(
+        "8(iii)",
+        &iii,
+        classify_generalization(&iii, "ACCOUNT").expect("group"),
+    )?;
     let iv = figures::fig8_iv();
-    demo("8(iv)", &iv, classify_many_one_star(&iv, "COURSE").expect("group"))?;
+    demo(
+        "8(iv)",
+        &iv,
+        classify_many_one_star(&iv, "COURSE").expect("group"),
+    )?;
     println!("Paper §5.2: (i),(ii) need general null constraints; (iii),(iv) only NNA. ✓");
     Ok(())
 }

@@ -19,9 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (label, config) in [
-        ("permissive (triggers available)", AdvisorConfig::permissive()),
-        ("declarative-only (plain DB2)", AdvisorConfig::declarative_only()),
-        ("SQL-92 (CHECKs, no triggers)", advisor_config_for(Dialect::Sql92)),
+        (
+            "permissive (triggers available)",
+            AdvisorConfig::permissive(),
+        ),
+        (
+            "declarative-only (plain DB2)",
+            AdvisorConfig::declarative_only(),
+        ),
+        (
+            "SQL-92 (CHECKs, no triggers)",
+            advisor_config_for(Dialect::Sql92),
+        ),
     ] {
         println!("== {label} ==");
         let proposals = Advisor::propose(&schema, &config)?;
@@ -53,10 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         externals: 1,
     };
     let star = star_schema(&spec);
-    println!(
-        "Synthetic star: {} schemes -> ",
-        star.schemes().len()
-    );
+    println!("Synthetic star: {} schemes -> ", star.schemes().len());
     let (collapsed, applied) = Advisor::apply_greedy(&star, &AdvisorConfig::declarative_only())?;
     println!(
         "{} schemes after {} merge(s); final schema:\n{collapsed}",

@@ -45,14 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Map a concrete state through η and back through η′.
     let mut state = DatabaseState::empty_for(&schema)?;
-    state.insert("OFFER", Tuple::new([Value::Int(101), Value::text("physics")]))?;
+    state.insert(
+        "OFFER",
+        Tuple::new([Value::Int(101), Value::text("physics")]),
+    )?;
     state.insert("OFFER", Tuple::new([Value::Int(102), Value::text("math")]))?;
     state.insert("TEACH", Tuple::new([Value::Int(101), Value::text("curie")]))?;
-    state.insert("TEACH", Tuple::new([Value::Int(103), Value::text("noether")]))?;
+    state.insert(
+        "TEACH",
+        Tuple::new([Value::Int(103), Value::text("noether")]),
+    )?;
 
     let merged_state = merged.apply(&state)?;
     println!("Merged relation (outer-equi-join on the key-relation):");
-    println!("ASSIGN {}", merged_state.relation("ASSIGN").expect("merged relation"));
+    println!(
+        "ASSIGN {}",
+        merged_state.relation("ASSIGN").expect("merged relation")
+    );
 
     let back = merged.invert(&merged_state)?;
     assert_eq!(back, state, "η′ ∘ η must be the identity");

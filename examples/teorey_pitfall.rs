@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The Teorey translation: EMPLOYEE folded into WORKS.
     let teorey = translate_teorey(&eer)?;
-    println!("RS' — Teorey translation (Figure 1(iii)):\n{}", teorey.schema);
+    println!(
+        "RS' — Teorey translation (Figure 1(iii)):\n{}",
+        teorey.schema
+    );
     for f in &teorey.folded {
         println!(
             "folded relationship {} absorbed entity {} (nullable: {:?} {:?})",

@@ -37,12 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         merged.removable_groups()
     );
     let removed = merged.remove_all_removable()?;
-    println!("Removed keys of: {removed:?} (paper Figure 6)\n{}", merged.schema());
+    println!(
+        "Removed keys of: {removed:?} (paper Figure 6)\n{}",
+        merged.schema()
+    );
     assert!(merged.schema().is_bcnf());
     println!("{}", MergeReport::new(&merged));
 
     // Data migration: the state mappings as executable SQL.
-    println!("-- forward migration (η):\n{}\n", forward_migration(&merged)?);
+    println!(
+        "-- forward migration (η):\n{}\n",
+        forward_migration(&merged)?
+    );
     println!("-- backward migration (η′):");
     for stmt in backward_migration(&merged)? {
         println!("{stmt}\n");

@@ -41,5 +41,6 @@ pub use relmerge_core as core;
 pub use relmerge_ddl as ddl;
 pub use relmerge_eer as eer;
 pub use relmerge_engine as engine;
+pub use relmerge_obs as obs;
 pub use relmerge_relational as relational;
 pub use relmerge_workload as workload;

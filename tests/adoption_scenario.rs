@@ -74,10 +74,7 @@ fn university_adoption_end_to_end() {
         .find(|n| n.starts_with("COURSE"))
         .expect("course chain merged");
     db.transaction(|tx| {
-        tx.insert(
-            "DEPARTMENT",
-            Tuple::new([Value::text("new-dept")]),
-        )?;
+        tx.insert("DEPARTMENT", Tuple::new([Value::text("new-dept")]))?;
         tx.insert(
             merged_name,
             Tuple::new([
@@ -93,12 +90,15 @@ fn university_adoption_end_to_end() {
     // A constraint-violating bundle rolls back wholesale.
     let before = db.snapshot().unwrap();
     let result = db.transaction(|tx| {
-        tx.insert(merged_name, Tuple::new([
-            Value::Int(50_001),
-            Value::text("ghost-dept"), // dangling FK
-            Value::Null,
-            Value::Null,
-        ]))?;
+        tx.insert(
+            merged_name,
+            Tuple::new([
+                Value::Int(50_001),
+                Value::text("ghost-dept"), // dangling FK
+                Value::Null,
+                Value::Null,
+            ]),
+        )?;
         Ok(())
     });
     assert!(result.is_err());

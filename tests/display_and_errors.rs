@@ -92,16 +92,24 @@ fn violation_messages_name_the_constraint() {
         RelationScheme::new("T", vec![Attribute::new("T.K", Domain::Int)], &["T.K"]).unwrap(),
     )
     .unwrap();
-    rs.add_null_constraint(NullConstraint::nna("R", &["R.K"])).unwrap();
-    rs.add_ind(InclusionDep::new("R", &["R.V"], "T", &["T.K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::nna("R", &["R.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("R", &["R.V"], "T", &["T.K"]))
+        .unwrap();
     let mut st = DatabaseState::empty_for(&rs).unwrap();
     // One tuple violating key (dup), NNA, and IND at once.
-    st.insert("R", Tuple::new([Value::Null, Value::Int(9)])).unwrap();
-    st.insert("R", Tuple::new([Value::Int(1), Value::Int(9)])).unwrap();
-    st.insert("R", Tuple::new([Value::Int(1), Value::Int(8)])).unwrap();
+    st.insert("R", Tuple::new([Value::Null, Value::Int(9)]))
+        .unwrap();
+    st.insert("R", Tuple::new([Value::Int(1), Value::Int(9)]))
+        .unwrap();
+    st.insert("R", Tuple::new([Value::Int(1), Value::Int(8)]))
+        .unwrap();
     let violations = st.violations(&rs).unwrap();
     let texts: Vec<String> = violations.iter().map(ToString::to_string).collect();
-    assert!(texts.iter().any(|t| t.contains("key violation on R")), "{texts:?}");
+    assert!(
+        texts.iter().any(|t| t.contains("key violation on R")),
+        "{texts:?}"
+    );
     assert!(texts.iter().any(|t| t.contains("0 E-> R.K")), "{texts:?}");
     assert!(
         texts.iter().any(|t| t.contains("R [R.V] <= T [T.K]")),
@@ -118,7 +126,8 @@ fn dml_error_display() {
         RelationScheme::new("R", vec![Attribute::new("R.K", Domain::Int)], &["R.K"]).unwrap(),
     )
     .unwrap();
-    rs.add_null_constraint(NullConstraint::nna("R", &["R.K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::nna("R", &["R.K"]))
+        .unwrap();
     let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
     let constraint_err = db.insert("R", Tuple::new([Value::Null])).unwrap_err();
     assert!(constraint_err.to_string().contains("constraint violation"));

@@ -25,7 +25,8 @@ fn nna_all(rs: &mut RelationalSchema) {
         .collect();
     for (name, attrs) in pairs {
         let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        rs.add_null_constraint(NullConstraint::nna(&name, &refs)).unwrap();
+        rs.add_null_constraint(NullConstraint::nna(&name, &refs))
+            .unwrap();
     }
 }
 
@@ -59,10 +60,14 @@ fn remove_under_synthetic_key_relation() {
 
     // Round trip with overlapping and disjoint keys.
     let mut st = DatabaseState::empty_for(&rs).unwrap();
-    st.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(10)])).unwrap();
-    st.insert("OFFER", Tuple::new([Value::Int(2), Value::Int(20)])).unwrap();
-    st.insert("TEACH", Tuple::new([Value::Int(2), Value::Int(200)])).unwrap();
-    st.insert("TEACH", Tuple::new([Value::Int(3), Value::Int(300)])).unwrap();
+    st.insert("OFFER", Tuple::new([Value::Int(1), Value::Int(10)]))
+        .unwrap();
+    st.insert("OFFER", Tuple::new([Value::Int(2), Value::Int(20)]))
+        .unwrap();
+    st.insert("TEACH", Tuple::new([Value::Int(2), Value::Int(200)]))
+        .unwrap();
+    st.insert("TEACH", Tuple::new([Value::Int(3), Value::Int(300)]))
+        .unwrap();
     let report = check_forward(&m, &st).unwrap();
     assert!(report.holds(), "{report:?}");
 }
@@ -74,17 +79,15 @@ fn merge_everything() {
     let mut rs = RelationalSchema::new();
     rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
         .unwrap();
-    rs.add_scheme(
-        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
-    )
-    .unwrap();
-    rs.add_scheme(
-        RelationScheme::new("C", vec![attr("C.K"), attr("C.V")], &["C.K"]).unwrap(),
-    )
-    .unwrap();
+    rs.add_scheme(RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(RelationScheme::new("C", vec![attr("C.K"), attr("C.V")], &["C.K"]).unwrap())
+        .unwrap();
     nna_all(&mut rs);
-    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-    rs.add_ind(InclusionDep::new("C", &["C.K"], "A", &["A.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("C", &["C.K"], "A", &["A.K"]))
+        .unwrap();
     let mut m = Merge::plan(&rs, &["A", "B", "C"], "ALL").unwrap();
     m.remove_all_removable().unwrap();
     assert_eq!(m.schema().schemes().len(), 1);
@@ -98,12 +101,11 @@ fn empty_states_round_trip() {
     let mut rs = RelationalSchema::new();
     rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
         .unwrap();
-    rs.add_scheme(
-        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
-    )
-    .unwrap();
+    rs.add_scheme(RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap())
+        .unwrap();
     nna_all(&mut rs);
-    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+        .unwrap();
     let mut m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
     m.remove_all_removable().unwrap();
     let empty = DatabaseState::empty_for(&rs).unwrap();
@@ -120,24 +122,21 @@ fn remerging_gated_by_nna_assumption() {
     let mut rs = RelationalSchema::new();
     rs.add_scheme(RelationScheme::new("A", vec![attr("A.K")], &["A.K"]).unwrap())
         .unwrap();
-    rs.add_scheme(
-        RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap(),
-    )
-    .unwrap();
+    rs.add_scheme(RelationScheme::new("B", vec![attr("B.K"), attr("B.V")], &["B.K"]).unwrap())
+        .unwrap();
     rs.add_scheme(RelationScheme::new("X", vec![attr("X.K")], &["X.K"]).unwrap())
         .unwrap();
     nna_all(&mut rs);
-    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
-    rs.add_ind(InclusionDep::new("A", &["A.K"], "X", &["X.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("A", &["A.K"], "X", &["X.K"]))
+        .unwrap();
     let m = Merge::plan(&rs, &["A", "B"], "AB").unwrap();
     // AB's B-part is nullable (and null-synchronized): merging AB with X
     // must be rejected — the first violated gate is the missing
     // nulls-not-allowed coverage on B.K.
     let err = Merge::plan(m.schema(), &["AB", "X"], "ABX").unwrap_err();
-    assert!(
-        err.to_string().contains("nulls-not-allowed"),
-        "{err}"
-    );
+    assert!(err.to_string().contains("nulls-not-allowed"), "{err}");
     // Even after full removal, the B-part stays nullable, so the gate
     // still holds: merged schemes are only re-mergeable when every
     // attribute is non-null.
@@ -149,17 +148,15 @@ fn remerging_gated_by_nna_assumption() {
     // strengthening option, the merged scheme is fully NNA — and then
     // re-merging is legal.
     let mut rs2 = rs.clone();
-    rs2.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"])).unwrap();
+    rs2.add_ind(InclusionDep::new("A", &["A.K"], "B", &["B.K"]))
+        .unwrap();
     let options = relmerge::core::MergeOptions {
         strengthen_total_participation: true,
         ..Default::default()
     };
     let mut m3 = Merge::plan_with_options(&rs2, &["A", "B"], "AB", &options).unwrap();
     m3.remove_all_removable().unwrap();
-    assert!(m3
-        .generated_null_constraints()
-        .iter()
-        .all(|c| c.is_nna()));
+    assert!(m3.generated_null_constraints().iter().all(|c| c.is_nna()));
     let second = Merge::plan(m3.schema(), &["AB", "X"], "ABX");
     assert!(second.is_ok(), "{second:?}");
 }
@@ -169,8 +166,7 @@ fn remerging_gated_by_nna_assumption() {
 fn unicode_names() {
     let mut rs = RelationalSchema::new();
     rs.add_scheme(
-        RelationScheme::new("KÜRS", vec![Attribute::new("K.NR", Domain::Int)], &["K.NR"])
-            .unwrap(),
+        RelationScheme::new("KÜRS", vec![Attribute::new("K.NR", Domain::Int)], &["K.NR"]).unwrap(),
     )
     .unwrap();
     rs.add_scheme(
@@ -186,12 +182,14 @@ fn unicode_names() {
     )
     .unwrap();
     nna_all(&mut rs);
-    rs.add_ind(InclusionDep::new("ANGEBOT", &["Å.NR"], "KÜRS", &["K.NR"])).unwrap();
+    rs.add_ind(InclusionDep::new("ANGEBOT", &["Å.NR"], "KÜRS", &["K.NR"]))
+        .unwrap();
     let mut m = Merge::plan(&rs, &["KÜRS", "ANGEBOT"], "KÜRS_M").unwrap();
     m.remove_all_removable().unwrap();
     let mut st = DatabaseState::empty_for(&rs).unwrap();
     st.insert("KÜRS", Tuple::new([Value::Int(1)])).unwrap();
-    st.insert("ANGEBOT", Tuple::new([Value::Int(1), Value::text("maß")])).unwrap();
+    st.insert("ANGEBOT", Tuple::new([Value::Int(1), Value::text("maß")]))
+        .unwrap();
     let report = check_forward(&m, &st).unwrap();
     assert!(report.holds());
 }
@@ -205,7 +203,8 @@ fn removability_diagnostics() {
     rs.add_scheme(RelationScheme::new("B", vec![attr("B.K")], &["B.K"]).unwrap())
         .unwrap();
     nna_all(&mut rs);
-    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"])).unwrap();
+    rs.add_ind(InclusionDep::new("B", &["B.K"], "A", &["A.K"]))
+        .unwrap();
     let m = Merge::plan(&rs, &["A", "B"], "M").unwrap();
     assert_eq!(m.removable("A"), Err(NotRemovable::IsKeyRelation));
     assert_eq!(m.removable("B"), Err(NotRemovable::NothingLeft));

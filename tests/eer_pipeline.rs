@@ -21,7 +21,14 @@ fn spec_strategy() -> impl Strategy<Value = EerSpec> {
         0.0f64..=1.0,
     )
         .prop_map(
-            |(entities, specializations, weak_entities, relationships, max_attrs, optional_prob)| {
+            |(
+                entities,
+                specializations,
+                weak_entities,
+                relationships,
+                max_attrs,
+                optional_prob,
+            )| {
                 EerSpec {
                     entities,
                     specializations,

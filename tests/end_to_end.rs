@@ -113,12 +113,9 @@ fn merged_and_unmerged_agree_on_all_courses() {
 #[test]
 fn ddl_mechanisms_per_dialect() {
     let schema = translate(&figures::fig7_eer()).unwrap();
-    let mut m = relmerge::core::Merge::plan(
-        &schema,
-        &["COURSE", "OFFER", "TEACH", "ASSIST"],
-        "COURSE_M",
-    )
-    .unwrap();
+    let mut m =
+        relmerge::core::Merge::plan(&schema, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_M")
+            .unwrap();
     m.remove_all_removable().unwrap();
     // The merged schema carries two general null constraints.
     let general = m
@@ -138,13 +135,7 @@ fn ddl_mechanisms_per_dialect() {
     let sql92 = generate(m.schema(), Dialect::Sql92).unwrap();
     assert!(sql92.unsupported().is_empty());
     assert_eq!(sql92.procedural_count(), 0);
-    assert_eq!(
-        sql92
-            .render()
-            .matches("ADD CONSTRAINT")
-            .count(),
-        general
-    );
+    assert_eq!(sql92.render().matches("ADD CONSTRAINT").count(), general);
 }
 
 /// The engine rejects exactly the statements that would break the merged
@@ -152,15 +143,13 @@ fn ddl_mechanisms_per_dialect() {
 #[test]
 fn merged_constraints_enforced_by_engine() {
     let schema = translate(&figures::fig7_eer()).unwrap();
-    let mut m = relmerge::core::Merge::plan(
-        &schema,
-        &["COURSE", "OFFER", "TEACH", "ASSIST"],
-        "COURSE_M",
-    )
-    .unwrap();
+    let mut m =
+        relmerge::core::Merge::plan(&schema, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_M")
+            .unwrap();
     m.remove_all_removable().unwrap();
     let mut db = Database::new(m.schema().clone(), DbmsProfile::sybase40()).unwrap();
-    db.insert("DEPARTMENT", Tuple::new([Value::text("cs")])).unwrap();
+    db.insert("DEPARTMENT", Tuple::new([Value::text("cs")]))
+        .unwrap();
     db.insert("PERSON", Tuple::new([Value::Int(1)])).unwrap();
     db.insert("FACULTY", Tuple::new([Value::Int(1)])).unwrap();
     // A course with no offer: nulls everywhere but the key — fine.

@@ -3,11 +3,17 @@
 //! would leave the state consistent.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use relmerge::engine::{Database, DbmsProfile, DmlError};
+use relmerge::obs;
 use relmerge::relational::{
     Attribute, DatabaseState, Domain, InclusionDep, NullConstraint, RelationScheme,
     RelationalSchema, Tuple, Value,
+};
+use relmerge::workload::{
+    generate_university, university_ops, MixSpec, UniversityOp, UniversitySpec,
 };
 
 /// A merged-shape schema with every constraint class the engine enforces:
@@ -27,15 +33,22 @@ fn merged_shape_schema() -> RelationalSchema {
         .unwrap(),
     )
     .unwrap();
-    rs.add_null_constraint(NullConstraint::nna("DEPT", &["D.K"])).unwrap();
-    rs.add_null_constraint(NullConstraint::nna("M", &["K"])).unwrap();
-    rs.add_null_constraint(NullConstraint::ns("M", &["O.K", "O.D"])).unwrap();
-    rs.add_null_constraint(NullConstraint::ns("M", &["T.K", "T.F"])).unwrap();
+    rs.add_null_constraint(NullConstraint::nna("DEPT", &["D.K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("M", &["K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::ns("M", &["O.K", "O.D"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::ns("M", &["T.K", "T.F"]))
+        .unwrap();
     rs.add_null_constraint(NullConstraint::ne("M", &["T.K", "T.F"], &["O.K", "O.D"]))
         .unwrap();
-    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["O.K"])).unwrap();
-    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["T.K"])).unwrap();
-    rs.add_ind(InclusionDep::new("M", &["O.D"], "DEPT", &["D.K"])).unwrap();
+    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["O.K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::te("M", &["K"], &["T.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("M", &["O.D"], "DEPT", &["D.K"]))
+        .unwrap();
     rs
 }
 
@@ -112,6 +125,135 @@ proptest! {
     }
 }
 
+/// The relations the traced-DML property below operates on. The tracer's
+/// event log is process-global and the other property in this binary may
+/// run concurrently (on `DEPT`/`M`), so events are filtered by relation.
+const TRACED_RELS: [&str; 4] = ["COURSE", "OFFER", "TEACH", "ASSIST"];
+
+fn rel_field(e: &obs::SpanEvent) -> Option<&str> {
+    e.fields
+        .iter()
+        .find(|(k, _)| *k == "rel")
+        .map(|(_, v)| v.as_str())
+}
+
+fn result_field(e: &obs::SpanEvent, want: &str) -> bool {
+    e.fields.iter().any(|(k, v)| *k == "result" && v == want)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The metrics registry and the tracer observe the same reality: for a
+    /// random DML stream, each shard counter equals the number of span
+    /// events with the matching outcome, and each DML latency histogram
+    /// holds exactly one sample per call.
+    #[test]
+    fn registry_counters_match_trace_events(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = generate_university(
+            &UniversitySpec {
+                courses: 40,
+                departments: 5,
+                persons: 40,
+                ..UniversitySpec::default()
+            },
+            &mut rng,
+        )
+        .expect("university");
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("db");
+        db.load_state(&u.state).expect("load");
+        let ops = university_ops(
+            &MixSpec {
+                point_reads: 0.2,
+                reverse_reads: 0.2,
+                inserts: 0.4,
+                deletes: 0.2,
+            },
+            60,
+            40,
+            5,
+            16,
+            &mut rng,
+        );
+
+        let before = db.metrics_registry().snapshot();
+        obs::set_enabled(true);
+        for op in &ops {
+            match op {
+                UniversityOp::AddCourse { nr, dept, teacher } => {
+                    let _ = db.insert("COURSE", Tuple::new([Value::Int(*nr)]));
+                    let _ = db.insert(
+                        "OFFER",
+                        Tuple::new([Value::Int(*nr), Value::text(format!("dept{dept}"))]),
+                    );
+                    if let Some(t) = teacher {
+                        let _ =
+                            db.insert("TEACH", Tuple::new([Value::Int(*nr), Value::Int(*t)]));
+                    }
+                }
+                UniversityOp::DropCourse { nr } => {
+                    let key = Tuple::new([Value::Int(*nr)]);
+                    for rel in ["TEACH", "ASSIST", "OFFER", "COURSE"] {
+                        let _ = db.delete_by_key(rel, &key);
+                    }
+                }
+                // Repurpose the read ops as failure probes so the stream
+                // also exercises the rejection paths: an OFFER for a course
+                // that does not exist (IND violation) and a delete of a
+                // possibly-still-offered base course (RESTRICT violation).
+                UniversityOp::CourseDetail { nr } => {
+                    let _ = db.insert(
+                        "OFFER",
+                        Tuple::new([Value::Int(-nr - 1), Value::text("dept0")]),
+                    );
+                }
+                UniversityOp::ByFaculty { ssn } => {
+                    let _ = db.delete_by_key("COURSE", &Tuple::new([Value::Int(ssn - 10_000)]));
+                }
+            }
+        }
+        obs::set_enabled(false);
+        let events = obs::take_events();
+        let diff = db.metrics_registry().snapshot().diff(&before);
+
+        let mine = |e: &&obs::SpanEvent| {
+            rel_field(e).is_some_and(|r| TRACED_RELS.contains(&r))
+        };
+        let count = |name: &str, result: &str| -> u64 {
+            events
+                .iter()
+                .filter(mine)
+                .filter(|e| e.name == name && result_field(e, result))
+                .count() as u64
+        };
+        let calls = |name: &str| -> u64 {
+            events.iter().filter(mine).filter(|e| e.name == name).count() as u64
+        };
+        let counter = |name: &str| diff.counters.get(name).copied().unwrap_or(0);
+        let hist_count =
+            |name: &str| diff.histograms.get(name).map_or(0, |h| h.count);
+
+        prop_assert_eq!(counter("engine.dml.inserts"), count("engine.dml.insert", "inserted"));
+        prop_assert_eq!(counter("engine.dml.deletes"), count("engine.dml.delete", "deleted"));
+        prop_assert_eq!(
+            counter("engine.dml.rejected"),
+            count("engine.dml.insert", "rejected") + count("engine.dml.delete", "rejected")
+        );
+        prop_assert_eq!(hist_count("engine.dml.insert.ns"), calls("engine.dml.insert"));
+        prop_assert_eq!(hist_count("engine.dml.delete.ns"), calls("engine.dml.delete"));
+        // The per-mechanism totals agree with their per-class splits.
+        prop_assert_eq!(
+            counter("engine.check.declarative"),
+            counter("engine.check.null.declarative")
+                + counter("engine.check.key.declarative")
+                + counter("engine.check.ind.declarative")
+                + counter("engine.check.restrict.declarative")
+        );
+        prop_assert_eq!(counter("engine.check.procedural"), 0);
+    }
+}
+
 /// Applies a statement to a state copy without any checking. Returns
 /// `None` for deletes of absent keys (nothing to force).
 fn force_apply(state: &DatabaseState, stmt: &Stmt) -> Option<DatabaseState> {
@@ -124,22 +266,19 @@ fn force_apply(state: &DatabaseState, stmt: &Stmt) -> Option<DatabaseState> {
                 .ok()?;
         }
         Stmt::InsertM(vals) => {
-            s.relation_mut("M").expect("m").insert(to_tuple(vals)).ok()?;
+            s.relation_mut("M")
+                .expect("m")
+                .insert(to_tuple(vals))
+                .ok()?;
         }
         Stmt::DeleteDept(k) => {
             let rel = s.relation_mut("DEPT").expect("dept");
-            let victim = rel
-                .iter()
-                .find(|t| t.get(0) == &Value::Int(*k))
-                .cloned()?;
+            let victim = rel.iter().find(|t| t.get(0) == &Value::Int(*k)).cloned()?;
             rel.remove(&victim);
         }
         Stmt::DeleteM(k) => {
             let rel = s.relation_mut("M").expect("m");
-            let victim = rel
-                .iter()
-                .find(|t| t.get(0) == &Value::Int(*k))
-                .cloned()?;
+            let victim = rel.iter().find(|t| t.get(0) == &Value::Int(*k)).cloned()?;
             rel.remove(&victim);
         }
     }

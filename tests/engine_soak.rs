@@ -47,7 +47,9 @@ fn dml_soak_unmerged_and_merged() {
         match rng.gen_range(0..5) {
             // Insert a full bundle into the unmerged database...
             0 => {
-                let ok = unmerged.insert("COURSE", Tuple::new([Value::Int(course)])).is_ok()
+                let ok = unmerged
+                    .insert("COURSE", Tuple::new([Value::Int(course)]))
+                    .is_ok()
                     && unmerged
                         .insert("OFFER", Tuple::new([Value::Int(course), dept.clone()]))
                         .is_ok();

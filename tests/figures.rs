@@ -2,8 +2,8 @@
 
 use relmerge::core::{Merge, NotRemovable};
 use relmerge::eer::{
-    classify_generalization, classify_many_one_star, figures, repair, translate,
-    translate_teorey, Amenability,
+    classify_generalization, classify_many_one_star, figures, repair, translate, translate_teorey,
+    Amenability,
 };
 use relmerge::relational::{DatabaseState, InclusionDep, NullConstraint, Tuple, Value};
 
@@ -39,7 +39,10 @@ fn e1_figure1_teorey_vs_modular() {
         .iter()
         .filter(|c| !teorey.schema.null_constraints().contains(c))
         .collect();
-    assert_eq!(added, [&NullConstraint::ne("WORKS", &["W.DATE"], &["W.NR"])]);
+    assert_eq!(
+        added,
+        [&NullConstraint::ne("WORKS", &["W.DATE"], &["W.NR"])]
+    );
 }
 
 /// E2 / Figure 2: merging OFFER and TEACH with a synthetic key-relation;
@@ -117,9 +120,12 @@ fn e3_figure3_translation() {
     let teach = rs.scheme("TEACH").unwrap();
     assert_eq!(teach.attr_names(), ["T.C.NR", "T.F.SSN"]);
     assert_eq!(teach.primary_key(), ["T.C.NR"]);
-    assert!(rs
-        .inds()
-        .contains(&InclusionDep::new("TEACH", &["T.C.NR"], "OFFER", &["O.C.NR"])));
+    assert!(rs.inds().contains(&InclusionDep::new(
+        "TEACH",
+        &["T.C.NR"],
+        "OFFER",
+        &["O.C.NR"]
+    )));
 }
 
 /// E4 / Figure 4: Merge{COURSE, OFFER, TEACH} — exact output constraints
@@ -155,17 +161,15 @@ fn e4_figure4_course_prime() {
         &["O.C.NR"]
     )));
     // No internal inclusion dependencies survive.
-    assert!(!inds.iter().any(|i| i.lhs_rel == "COURSE_P" && i.rhs_rel == "COURSE_P"));
+    assert!(!inds
+        .iter()
+        .any(|i| i.lhs_rel == "COURSE_P" && i.rhs_rel == "COURSE_P"));
     // Null constraints (9)–(14), exactly.
     let expected = [
         NullConstraint::nna("COURSE_P", &["C.NR"]),
         NullConstraint::ns("COURSE_P", &["O.C.NR", "O.D.NAME"]),
         NullConstraint::ns("COURSE_P", &["T.C.NR", "T.F.SSN"]),
-        NullConstraint::ne(
-            "COURSE_P",
-            &["T.C.NR", "T.F.SSN"],
-            &["O.C.NR", "O.D.NAME"],
-        ),
+        NullConstraint::ne("COURSE_P", &["T.C.NR", "T.F.SSN"], &["O.C.NR", "O.D.NAME"]),
         NullConstraint::te("COURSE_P", &["C.NR"], &["O.C.NR"]),
         NullConstraint::te("COURSE_P", &["C.NR"], &["T.C.NR"]),
     ];
@@ -191,18 +195,11 @@ fn e5_figure5_course_double_prime() {
     let m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
     assert_eq!(
         m.merged_scheme().attr_names(),
-        [
-            "C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN", "A.C.NR", "A.S.SSN"
-        ]
+        ["C.NR", "O.C.NR", "O.D.NAME", "T.C.NR", "T.F.SSN", "A.C.NR", "A.S.SSN"]
     );
     // Inclusion dependencies (9)–(11).
     let inds = m.schema().inds();
-    assert_eq!(
-        inds.iter()
-            .filter(|i| i.lhs_rel == "COURSE_PP")
-            .count(),
-        3
-    );
+    assert_eq!(inds.iter().filter(|i| i.lhs_rel == "COURSE_PP").count(), 3);
     assert!(inds.contains(&InclusionDep::new(
         "COURSE_PP",
         &["A.S.SSN"],
@@ -215,16 +212,8 @@ fn e5_figure5_course_double_prime() {
         NullConstraint::ns("COURSE_PP", &["O.C.NR", "O.D.NAME"]),
         NullConstraint::ns("COURSE_PP", &["T.C.NR", "T.F.SSN"]),
         NullConstraint::ns("COURSE_PP", &["A.C.NR", "A.S.SSN"]),
-        NullConstraint::ne(
-            "COURSE_PP",
-            &["T.C.NR", "T.F.SSN"],
-            &["O.C.NR", "O.D.NAME"],
-        ),
-        NullConstraint::ne(
-            "COURSE_PP",
-            &["A.C.NR", "A.S.SSN"],
-            &["O.C.NR", "O.D.NAME"],
-        ),
+        NullConstraint::ne("COURSE_PP", &["T.C.NR", "T.F.SSN"], &["O.C.NR", "O.D.NAME"]),
+        NullConstraint::ne("COURSE_PP", &["A.C.NR", "A.S.SSN"], &["O.C.NR", "O.D.NAME"]),
         NullConstraint::te("COURSE_PP", &["C.NR"], &["O.C.NR"]),
         NullConstraint::te("COURSE_PP", &["C.NR"], &["T.C.NR"]),
         NullConstraint::te("COURSE_PP", &["C.NR"], &["A.C.NR"]),
@@ -245,8 +234,7 @@ fn e5_figure5_course_double_prime() {
 #[test]
 fn e6_figure6_removal() {
     let rs = translate(&figures::fig7_eer()).unwrap();
-    let mut m =
-        Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
+    let mut m = Merge::plan(&rs, &["COURSE", "OFFER", "TEACH", "ASSIST"], "COURSE_PP").unwrap();
     let removed = m.remove_all_removable().unwrap();
     assert_eq!(removed.len(), 3);
     assert_eq!(

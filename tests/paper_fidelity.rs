@@ -10,9 +10,7 @@ use relmerge::relational::algebra::{
     equi_join, outer_equi_join, project, rename, total_project, union,
 };
 use relmerge::relational::{Attribute, Domain, Relation, Tuple, Value};
-use relmerge::workload::{
-    consistent_state, star_merge_set, star_schema, StarSpec, StateSpec,
-};
+use relmerge::workload::{consistent_state, star_merge_set, star_schema, StarSpec, StateSpec};
 
 /// η implemented by `Merged::apply` equals the literal fold of
 /// outer-equi-joins written out with the algebra operators.
@@ -40,10 +38,7 @@ fn eta_matches_literal_algebra() {
         rm = outer_equi_join(&rm, ri, &[("ROOT.K", &ki)]).unwrap();
     }
     let via_apply = merged.apply(&state).unwrap();
-    assert!(via_apply
-        .relation("MERGED")
-        .unwrap()
-        .set_eq_unordered(&rm));
+    assert!(via_apply.relation("MERGED").unwrap().set_eq_unordered(&rm));
 }
 
 /// η′ implemented by `Merged::invert` equals the literal total projections
