@@ -1,0 +1,25 @@
+//! B7: the same write stream applied per-statement vs through
+//! `Database::apply_batch` with deferred group validation, across batch
+//! sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use relmerge_bench::experiments::batch_dml;
+
+fn bench_batch_dml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_dml_2k_ops");
+    group.sample_size(10);
+    for &batch_size in &[8usize, 64, 512] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
+            &batch_size,
+            |b, &batch_size| {
+                b.iter(|| batch_dml(1_000, 2_000, batch_size).expect("batch dml"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_dml);
+criterion_main!(benches);

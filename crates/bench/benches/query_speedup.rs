@@ -10,7 +10,6 @@ use relmerge_bench::experiments::{
     merged_by_faculty_query, merged_point_query, merged_scan_query, university_databases,
     university_merge, unmerged_by_faculty_query, unmerged_point_query, unmerged_scan_query,
 };
-use relmerge_engine::execute;
 
 fn bench_point_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("point_query");
@@ -29,7 +28,7 @@ fn bench_point_queries(c: &mut Criterion) {
                 b.iter(|| {
                     let k = keys[i % keys.len()];
                     i += 1;
-                    execute(&unmerged, &unmerged_point_query(k)).expect("query")
+                    unmerged.execute(&unmerged_point_query(k)).expect("query")
                 });
             },
         );
@@ -41,7 +40,7 @@ fn bench_point_queries(c: &mut Criterion) {
                 b.iter(|| {
                     let k = keys[j % keys.len()];
                     j += 1;
-                    execute(&merged, &merged_point_query(k)).expect("query")
+                    merged.execute(&merged_point_query(k)).expect("query")
                 });
             },
         );
@@ -58,12 +57,12 @@ fn bench_scan_queries(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("unmerged_3joins", courses),
             &courses,
-            |b, _| b.iter(|| execute(&unmerged, &unmerged_scan_query()).expect("query")),
+            |b, _| b.iter(|| unmerged.execute(&unmerged_scan_query()).expect("query")),
         );
         group.bench_with_input(
             BenchmarkId::new("merged_scan", courses),
             &courses,
-            |b, _| b.iter(|| execute(&merged, &merged_scan_query()).expect("query")),
+            |b, _| b.iter(|| merged.execute(&merged_scan_query()).expect("query")),
         );
     }
     group.finish();
@@ -84,7 +83,9 @@ fn bench_reverse_lookup(c: &mut Criterion) {
                 b.iter(|| {
                     let ssn = ssns[i % ssns.len()];
                     i += 1;
-                    execute(&unmerged, &unmerged_by_faculty_query(ssn)).expect("query")
+                    unmerged
+                        .execute(&unmerged_by_faculty_query(ssn))
+                        .expect("query")
                 });
             },
         );
@@ -96,7 +97,9 @@ fn bench_reverse_lookup(c: &mut Criterion) {
                 b.iter(|| {
                     let ssn = ssns[j % ssns.len()];
                     j += 1;
-                    execute(&merged, &merged_by_faculty_query(ssn)).expect("query")
+                    merged
+                        .execute(&merged_by_faculty_query(ssn))
+                        .expect("query")
                 });
             },
         );

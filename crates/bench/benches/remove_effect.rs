@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use relmerge_core::Merge;
-use relmerge_engine::{execute, Database, DbmsProfile, QueryPlan};
+use relmerge_engine::{Database, DbmsProfile, QueryPlan};
 use relmerge_workload::{generate_university, UniversitySpec};
 
 fn bench_remove_effect(c: &mut Criterion) {
@@ -52,7 +52,7 @@ fn bench_remove_effect(c: &mut Criterion) {
         let mut wide_db = Database::new(wide.schema().clone(), DbmsProfile::ideal()).expect("db");
         wide_db.load_state(&wide_state).expect("load");
         group.bench_with_input(BenchmarkId::new("scan_wide7", courses), &courses, |b, _| {
-            b.iter(|| execute(&wide_db, &QueryPlan::scan("COURSE_M")).expect("scan"))
+            b.iter(|| wide_db.execute(&QueryPlan::scan("COURSE_M")).expect("scan"))
         });
         let narrow_state = narrow.apply(&u.state).expect("apply");
         let mut narrow_db =
@@ -61,7 +61,13 @@ fn bench_remove_effect(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("scan_removed4", courses),
             &courses,
-            |b, _| b.iter(|| execute(&narrow_db, &QueryPlan::scan("COURSE_M")).expect("scan")),
+            |b, _| {
+                b.iter(|| {
+                    narrow_db
+                        .execute(&QueryPlan::scan("COURSE_M"))
+                        .expect("scan")
+                })
+            },
         );
     }
     group.finish();

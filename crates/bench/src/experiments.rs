@@ -5,7 +5,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_core::{Merge, Merged};
-use relmerge_engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge_engine::{Database, DbmsProfile, JoinStep, QueryPlan, Statement};
 use relmerge_obs as obs;
 use relmerge_relational::{Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
@@ -128,35 +128,35 @@ pub fn query_speedup(scales: &[usize], queries_per_scale: usize) -> Result<Vec<S
 
         // Warm-up + correctness cross-check on one key.
         let probe_key = keys[0];
-        let (r1, s1) = execute(&unmerged, &unmerged_point_query(probe_key))?;
-        let (r2, s2) = execute(&merged, &merged_point_query(probe_key))?;
+        let (r1, s1) = unmerged.execute(&unmerged_point_query(probe_key))?;
+        let (r2, s2) = merged.execute(&merged_point_query(probe_key))?;
         assert_eq!(r1.len(), r2.len(), "result cardinality must agree");
 
         let t = obs::timer("bench.b1.point.unmerged").field("queries", keys.len());
         for &k in &keys {
-            let _ = execute(&unmerged, &unmerged_point_query(k))?;
+            let _ = unmerged.execute(&unmerged_point_query(k))?;
         }
         let unmerged_ns = t.stop() as f64 / keys.len() as f64;
         let t = obs::timer("bench.b1.point.merged").field("queries", keys.len());
         for &k in &keys {
-            let _ = execute(&merged, &merged_point_query(k))?;
+            let _ = merged.execute(&merged_point_query(k))?;
         }
         let merged_ns = t.stop() as f64 / keys.len() as f64;
 
         // Scans: warm up once, then average several iterations (a single
         // cold measurement is dominated by first-touch page faults).
-        let (scan1, _) = execute(&unmerged, &unmerged_scan_query())?;
-        let (scan2, _) = execute(&merged, &merged_scan_query())?;
+        let (scan1, _) = unmerged.execute(&unmerged_scan_query())?;
+        let (scan2, _) = merged.execute(&merged_scan_query())?;
         assert_eq!(scan1.len(), scan2.len(), "scan cardinality must agree");
         const SCAN_ITERS: u32 = 5;
         let t = obs::timer("bench.b1.scan.unmerged");
         for _ in 0..SCAN_ITERS {
-            let _ = execute(&unmerged, &unmerged_scan_query())?;
+            let _ = unmerged.execute(&unmerged_scan_query())?;
         }
         let scan_unmerged_ns = t.stop() as f64 / f64::from(SCAN_ITERS);
         let t = obs::timer("bench.b1.scan.merged");
         for _ in 0..SCAN_ITERS {
-            let _ = execute(&merged, &merged_scan_query())?;
+            let _ = merged.execute(&merged_scan_query())?;
         }
         let scan_merged_ns = t.stop() as f64 / f64::from(SCAN_ITERS);
 
@@ -312,10 +312,10 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
         for op in &ops {
             match op {
                 UniversityOp::CourseDetail { nr } => {
-                    let _ = execute(&db, &unmerged_point_query(*nr))?;
+                    let _ = db.execute(&unmerged_point_query(*nr))?;
                 }
                 UniversityOp::ByFaculty { ssn } => {
-                    let _ = execute(&db, &unmerged_by_faculty_query(*ssn))?;
+                    let _ = db.execute(&unmerged_by_faculty_query(*ssn))?;
                 }
                 UniversityOp::AddCourse { nr, dept, teacher } => {
                     db.insert("COURSE", Tuple::new([Value::Int(*nr)]))
@@ -359,10 +359,10 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
         for op in &ops {
             match op {
                 UniversityOp::CourseDetail { nr } => {
-                    let _ = execute(&db, &merged_point_query(*nr))?;
+                    let _ = db.execute(&merged_point_query(*nr))?;
                 }
                 UniversityOp::ByFaculty { ssn } => {
-                    let _ = execute(&db, &merged_by_faculty_query(*ssn))?;
+                    let _ = db.execute(&merged_by_faculty_query(*ssn))?;
                 }
                 UniversityOp::AddCourse { nr, dept, teacher } => {
                     db.insert(
@@ -391,6 +391,131 @@ pub fn mixed_workload(courses: usize, n_ops: usize) -> Result<Vec<MixedRow>> {
             writes,
             total_ns,
             ns_per_op: total_ns / n_ops as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// One row of the B7 batched-DML table: the same write stream applied
+/// per-statement versus through [`Database::apply_batch`].
+#[derive(Debug, Clone)]
+pub struct BatchDmlRow {
+    /// Scenario label ("unmerged" / "merged").
+    pub scenario: String,
+    /// Write statements in the stream.
+    pub statements: usize,
+    /// Batches the stream was chunked into.
+    pub batches: usize,
+    /// Constraint checks, per-statement application.
+    pub eager_checks: u64,
+    /// Constraint checks, batched application.
+    pub batched_checks: u64,
+    /// Index probes, per-statement application.
+    pub eager_probes: u64,
+    /// Index probes, batched application.
+    pub batched_probes: u64,
+    /// Group validations that ran deferred at batch commit.
+    pub deferred_checks: u64,
+    /// Wall time of the per-statement run (ns).
+    pub eager_ns: f64,
+    /// Wall time of the batched run (ns).
+    pub batched_ns: f64,
+}
+
+/// Applies one statement through the immediate per-statement API — the
+/// baseline the batch path is measured against.
+fn apply_single(db: &mut Database, stmt: &Statement) -> Result<()> {
+    match stmt {
+        Statement::Insert { rel, tuple } => {
+            db.insert(rel, tuple.clone())?;
+        }
+        Statement::Delete { rel, key } => {
+            db.delete_by_key(rel, key)?;
+        }
+        Statement::Update { rel, key, tuple } => {
+            db.update_by_key(rel, key, tuple.clone())?;
+        }
+    }
+    Ok(())
+}
+
+/// B7: batched DML with deferred group validation versus per-statement
+/// application of the identical write stream. Both runs must end in the
+/// same [`relmerge_relational::DatabaseState`]; the batched run performs
+/// strictly fewer constraint checks and index probes because commit-time
+/// validation checks each constraint once over the touched rows of a
+/// relation instead of once per statement.
+pub fn batch_dml(courses: usize, n_ops: usize, batch_size: usize) -> Result<Vec<BatchDmlRow>> {
+    use relmerge_workload::{university_ops, write_batches, MixSpec};
+
+    let _span = obs::span("bench.b7.batch_dml")
+        .field("ops", n_ops)
+        .field("batch_size", batch_size);
+    let (u, m) = university_merge(courses, 21)?;
+    let mut rng = StdRng::seed_from_u64(77);
+    // A write-only mix: reads lower to no statements anyway.
+    let spec = MixSpec {
+        point_reads: 0.0,
+        reverse_reads: 0.0,
+        inserts: 0.7,
+        deletes: 0.3,
+    };
+    let ops = university_ops(&spec, n_ops, courses, 20, 200, &mut rng);
+    let merged_state = m.apply(&u.state)?;
+
+    let mut rows = Vec::new();
+    for (scenario, merged) in [("unmerged (Figure 3)", false), ("merged (COURSE_M)", true)] {
+        let batches = write_batches(&ops, merged, batch_size);
+        let statements: usize = batches.iter().map(Vec::len).sum();
+        let build = || -> Result<Database> {
+            let mut db = if merged {
+                Database::new(m.schema().clone(), DbmsProfile::ideal())?
+            } else {
+                Database::new(u.schema.clone(), DbmsProfile::ideal())?
+            };
+            db.load_state(if merged { &merged_state } else { &u.state })?;
+            Ok(db)
+        };
+
+        // Per-statement baseline: every statement validated on its own.
+        let mut eager_db = build()?;
+        let _ = eager_db.take_stats(); // discard the load phase
+        let t = obs::timer("bench.b7.eager").field("scenario", scenario);
+        for stmt in batches.iter().flatten() {
+            apply_single(&mut eager_db, stmt)?;
+        }
+        let eager_ns = t.stop() as f64;
+        let eager = eager_db.take_stats();
+
+        // Batched: all-or-nothing batches with deferred group validation.
+        let mut batched_db = build()?;
+        let _ = batched_db.take_stats();
+        let mut deferred_checks = 0u64;
+        let t = obs::timer("bench.b7.batched").field("scenario", scenario);
+        for batch in &batches {
+            deferred_checks += batched_db.apply_batch(batch)?.deferred_checks;
+        }
+        let batched_ns = t.stop() as f64;
+        let batched = batched_db.take_stats();
+
+        // The two application orders must be indistinguishable afterwards.
+        assert_eq!(
+            eager_db.snapshot()?,
+            batched_db.snapshot()?,
+            "batched and per-statement runs must converge on one state"
+        );
+
+        rows.push(BatchDmlRow {
+            scenario: scenario.to_owned(),
+            statements,
+            batches: batches.len(),
+            eager_checks: eager.total_checks(),
+            batched_checks: batched.total_checks(),
+            eager_probes: eager.index_probes,
+            batched_probes: batched.index_probes,
+            deferred_checks,
+            eager_ns,
+            batched_ns,
         });
     }
     Ok(rows)
@@ -474,8 +599,8 @@ mod tests {
         // Probe every faculty member; results must agree and the merged
         // plan must use its secondary index (no scans).
         for ssn in 10_000..10_040 {
-            let (r1, s1) = execute(&unmerged, &unmerged_by_faculty_query(ssn)).unwrap();
-            let (r2, s2) = execute(&merged, &merged_by_faculty_query(ssn)).unwrap();
+            let (r1, s1) = unmerged.execute(&unmerged_by_faculty_query(ssn)).unwrap();
+            let (r2, s2) = merged.execute(&merged_by_faculty_query(ssn)).unwrap();
             assert!(r1.set_eq_unordered(&r2), "ssn {ssn}: {r1} vs {r2}");
             assert_eq!(s2.rows_scanned, 0, "merged reverse lookup must not scan");
             assert_eq!(s2.index_probes, 1);
@@ -506,6 +631,22 @@ mod tests {
         assert_eq!(rows[0].reads + rows[0].writes, 2_000);
         assert!(rows[0].reads > rows[0].writes, "read-mostly mix");
         assert!(rows[1].total_ns > 0.0);
+    }
+
+    #[test]
+    fn batch_dml_defers_and_saves_checks() {
+        // `batch_dml` itself asserts the final states are identical.
+        let rows = batch_dml(200, 400, 32).unwrap();
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.statements > 0, "{r:?}");
+            assert!(r.batches > 1, "{r:?}");
+            // The acceptance criterion: strictly fewer checks and probes
+            // than per-statement application of the same stream.
+            assert!(r.batched_checks < r.eager_checks, "{r:?}");
+            assert!(r.batched_probes < r.eager_probes, "{r:?}");
+            assert!(r.deferred_checks > 0, "group validation ran: {r:?}");
+        }
     }
 
     #[test]

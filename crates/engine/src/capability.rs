@@ -40,6 +40,12 @@ pub struct DbmsProfile {
     /// Whether candidate keys containing nullable attributes can be
     /// maintained (false when the DBMS treats all nulls as identical).
     pub nullable_keys: bool,
+    /// Whether constraint checking can be deferred to the end of a
+    /// statement batch (SQL-92 `DEFERRABLE INITIALLY DEFERRED`). None of
+    /// the paper's 1989-era targets support it; when `false`,
+    /// [`Database::apply_batch`](crate::Database::apply_batch) falls back
+    /// to immediate per-statement checking (still all-or-nothing).
+    pub deferred_checking: bool,
 }
 
 impl DbmsProfile {
@@ -55,6 +61,7 @@ impl DbmsProfile {
             nna: Mechanism::Declarative,
             general_null_constraints: Mechanism::Unsupported,
             nullable_keys: false,
+            deferred_checking: false,
         }
     }
 
@@ -69,6 +76,7 @@ impl DbmsProfile {
             nna: Mechanism::Declarative,
             general_null_constraints: Mechanism::Procedural,
             nullable_keys: false,
+            deferred_checking: false,
         }
     }
 
@@ -82,6 +90,7 @@ impl DbmsProfile {
             nna: Mechanism::Declarative,
             general_null_constraints: Mechanism::Procedural,
             nullable_keys: false,
+            deferred_checking: false,
         }
     }
 
@@ -96,6 +105,7 @@ impl DbmsProfile {
             nna: Mechanism::Declarative,
             general_null_constraints: Mechanism::Declarative,
             nullable_keys: true,
+            deferred_checking: true,
         }
     }
 

@@ -38,6 +38,41 @@ pub enum DmlError {
     ConstraintViolation(String),
     /// Structural problem (unknown relation, arity mismatch, …).
     Schema(Error),
+    /// A statement inside a batch failed; `index` is its zero-based
+    /// position in the slice passed to
+    /// [`Database::apply_batch`](crate::Database::apply_batch). Deferred
+    /// violations detected at commit are attributed to the statement that
+    /// introduced the offending row.
+    AtStatement {
+        /// Zero-based position of the failing statement in the batch.
+        index: usize,
+        /// The underlying failure.
+        source: Box<DmlError>,
+    },
+}
+
+impl DmlError {
+    /// Wraps `error` with the batch position of the statement that caused
+    /// it (idempotent: an already-attributed error keeps its index).
+    #[must_use]
+    pub fn at_statement(index: usize, error: DmlError) -> DmlError {
+        match error {
+            already @ DmlError::AtStatement { .. } => already,
+            other => DmlError::AtStatement {
+                index,
+                source: Box::new(other),
+            },
+        }
+    }
+
+    /// The batch position of the failing statement, when known.
+    #[must_use]
+    pub fn statement_index(&self) -> Option<usize> {
+        match self {
+            DmlError::AtStatement { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for DmlError {
@@ -45,6 +80,9 @@ impl fmt::Display for DmlError {
         match self {
             DmlError::ConstraintViolation(s) => write!(f, "constraint violation: {s}"),
             DmlError::Schema(e) => write!(f, "{e}"),
+            DmlError::AtStatement { index, source } => {
+                write!(f, "statement #{index}: {source}")
+            }
         }
     }
 }
@@ -53,7 +91,29 @@ impl std::error::Error for DmlError {}
 
 impl From<Error> for DmlError {
     fn from(e: Error) -> Self {
-        DmlError::Schema(e)
+        match e {
+            Error::ConstraintViolation(s) => DmlError::ConstraintViolation(s),
+            other => DmlError::Schema(other),
+        }
+    }
+}
+
+/// The reverse direction of the `?`-friendly pair: a [`DmlError`] folds
+/// into the workspace-wide [`Error`], so engine call sites can live inside
+/// functions returning the substrate [`Result`]
+/// without a second error hierarchy.
+impl From<DmlError> for Error {
+    fn from(e: DmlError) -> Self {
+        match e {
+            DmlError::ConstraintViolation(s) => Error::ConstraintViolation(s),
+            DmlError::Schema(inner) => inner,
+            DmlError::AtStatement { index, source } => match Error::from(*source) {
+                Error::ConstraintViolation(s) => {
+                    Error::ConstraintViolation(format!("statement #{index}: {s}"))
+                }
+                other => other,
+            },
+        }
     }
 }
 
@@ -67,12 +127,17 @@ pub struct MaintenanceStats {
     pub inserts: u64,
     /// Successful deletes.
     pub deletes: u64,
+    /// Successful updates (each also counts its physical delete + insert).
+    pub updates: u64,
     /// Statements rejected by a constraint.
     pub rejected: u64,
     /// Declarative-tier checks performed (PK, NNA, FK).
     pub declarative_checks: u64,
     /// Procedural-tier (trigger/rule) checks performed.
     pub procedural_checks: u64,
+    /// Checks that ran as deferred group validations at batch commit
+    /// (also counted in their tier's total).
+    pub deferred_checks: u64,
     /// Hash-index probes performed by checks.
     pub index_probes: u64,
 }
@@ -94,9 +159,11 @@ impl AddAssign for MaintenanceStats {
     fn add_assign(&mut self, rhs: MaintenanceStats) {
         self.inserts += rhs.inserts;
         self.deletes += rhs.deletes;
+        self.updates += rhs.updates;
         self.rejected += rhs.rejected;
         self.declarative_checks += rhs.declarative_checks;
         self.procedural_checks += rhs.procedural_checks;
+        self.deferred_checks += rhs.deferred_checks;
         self.index_probes += rhs.index_probes;
     }
 }
@@ -112,7 +179,7 @@ impl Add for MaintenanceStats {
 
 /// The constraint classes the engine meters, indexing per-class counters.
 #[derive(Debug, Clone, Copy)]
-enum CheckClass {
+pub(crate) enum CheckClass {
     /// Null constraints (NNA/NS/NE/TE) on insert.
     Null = 0,
     /// Candidate-key uniqueness on insert.
@@ -127,20 +194,27 @@ const CHECK_CLASSES: usize = 4;
 const CLASS_NAMES: [&str; CHECK_CLASSES] = ["null", "key", "ind", "restrict"];
 
 /// Cached handles into one database instance's metrics shard.
-struct DbMetrics {
-    registry: Arc<Registry>,
-    inserts: Arc<Counter>,
-    deletes: Arc<Counter>,
-    rejected: Arc<Counter>,
-    declarative: Arc<Counter>,
-    procedural: Arc<Counter>,
-    index_probes: Arc<Counter>,
+pub(crate) struct DbMetrics {
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) inserts: Arc<Counter>,
+    pub(crate) deletes: Arc<Counter>,
+    pub(crate) updates: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) declarative: Arc<Counter>,
+    pub(crate) procedural: Arc<Counter>,
+    pub(crate) deferred: Arc<Counter>,
+    pub(crate) index_probes: Arc<Counter>,
+    pub(crate) batch_commits: Arc<Counter>,
+    pub(crate) batch_rollbacks: Arc<Counter>,
     class_declarative: [Arc<Counter>; CHECK_CLASSES],
     class_procedural: [Arc<Counter>; CHECK_CLASSES],
     declarative_ns: Arc<Histogram>,
     procedural_ns: Arc<Histogram>,
-    insert_ns: Arc<Histogram>,
-    delete_ns: Arc<Histogram>,
+    pub(crate) insert_ns: Arc<Histogram>,
+    pub(crate) delete_ns: Arc<Histogram>,
+    pub(crate) update_ns: Arc<Histogram>,
+    pub(crate) batch_size: Arc<Histogram>,
+    pub(crate) batch_ns: Arc<Histogram>,
 }
 
 impl DbMetrics {
@@ -155,16 +229,23 @@ impl DbMetrics {
         DbMetrics {
             inserts: registry.counter("engine.dml.inserts"),
             deletes: registry.counter("engine.dml.deletes"),
+            updates: registry.counter("engine.dml.updates"),
             rejected: registry.counter("engine.dml.rejected"),
             declarative: registry.counter("engine.check.declarative"),
             procedural: registry.counter("engine.check.procedural"),
+            deferred: registry.counter("engine.check.deferred"),
             index_probes: registry.counter("engine.check.index_probes"),
+            batch_commits: registry.counter("engine.batch.commits"),
+            batch_rollbacks: registry.counter("engine.batch.rollbacks"),
             class_declarative: per_class("declarative"),
             class_procedural: per_class("procedural"),
             declarative_ns: registry.histogram("engine.check.declarative.ns"),
             procedural_ns: registry.histogram("engine.check.procedural.ns"),
             insert_ns: registry.histogram("engine.dml.insert.ns"),
             delete_ns: registry.histogram("engine.dml.delete.ns"),
+            update_ns: registry.histogram("engine.dml.update.ns"),
+            batch_size: registry.histogram("engine.batch.size"),
+            batch_ns: registry.histogram("engine.batch.ns"),
             registry,
         }
     }
@@ -175,10 +256,14 @@ impl DbMetrics {
         let out = DbMetrics::new();
         out.inserts.set(self.inserts.get());
         out.deletes.set(self.deletes.get());
+        out.updates.set(self.updates.get());
         out.rejected.set(self.rejected.get());
         out.declarative.set(self.declarative.get());
         out.procedural.set(self.procedural.get());
+        out.deferred.set(self.deferred.get());
         out.index_probes.set(self.index_probes.get());
+        out.batch_commits.set(self.batch_commits.get());
+        out.batch_rollbacks.set(self.batch_rollbacks.get());
         for i in 0..CHECK_CLASSES {
             out.class_declarative[i].set(self.class_declarative[i].get());
             out.class_procedural[i].set(self.class_procedural[i].get());
@@ -189,7 +274,7 @@ impl DbMetrics {
     /// Records one finished check of `class` under `mechanism`, started at
     /// `start`.
     #[inline]
-    fn record_check(&self, class: CheckClass, mechanism: Mechanism, start: Instant) {
+    pub(crate) fn record_check(&self, class: CheckClass, mechanism: Mechanism, start: Instant) {
         let ns = obs::elapsed_ns(start);
         match mechanism {
             Mechanism::Declarative => {
@@ -213,16 +298,16 @@ type LookupIndex = (Vec<usize>, HashMap<Tuple, Vec<usize>>);
 
 /// One stored relation with its indexes.
 #[derive(Clone)]
-struct Table {
-    header: Vec<Attribute>,
-    rows: Vec<Option<Tuple>>, // tombstoned on delete
-    live: usize,
+pub(crate) struct Table {
+    pub(crate) header: Vec<Attribute>,
+    pub(crate) rows: Vec<Option<Tuple>>, // tombstoned on delete
+    pub(crate) live: usize,
     /// Unique indexes, one per candidate key: positions + map to row slot.
-    unique: Vec<(Vec<usize>, HashMap<Tuple, usize>)>,
+    pub(crate) unique: Vec<(Vec<usize>, HashMap<Tuple, usize>)>,
     /// Secondary lookup indexes keyed by attribute-name list (for foreign
     /// keys, IND targets, and join probes). Values are the live row slots
     /// of each **total** subtuple.
-    lookups: BTreeMap<Vec<String>, LookupIndex>,
+    pub(crate) lookups: BTreeMap<Vec<String>, LookupIndex>,
 }
 
 impl Table {
@@ -236,7 +321,7 @@ impl Table {
         }
     }
 
-    fn positions(&self, names: &[String]) -> Result<Vec<usize>> {
+    pub(crate) fn positions(&self, names: &[String]) -> Result<Vec<usize>> {
         names
             .iter()
             .map(|n| {
@@ -302,19 +387,19 @@ impl Table {
 
 /// A compiled null-constraint check: single-tuple evaluation plus its tier.
 #[derive(Clone)]
-struct CompiledNull {
-    constraint: NullConstraint,
-    mechanism: Mechanism,
+pub(crate) struct CompiledNull {
+    pub(crate) constraint: NullConstraint,
+    pub(crate) mechanism: Mechanism,
 }
 
 /// A compiled inclusion-dependency check.
 #[derive(Clone)]
-struct CompiledInd {
-    lhs_rel: String,
-    lhs_attrs: Vec<String>,
-    rhs_rel: String,
-    rhs_attrs: Vec<String>,
-    mechanism: Mechanism,
+pub(crate) struct CompiledInd {
+    pub(crate) lhs_rel: String,
+    pub(crate) lhs_attrs: Vec<String>,
+    pub(crate) rhs_rel: String,
+    pub(crate) rhs_attrs: Vec<String>,
+    pub(crate) mechanism: Mechanism,
 }
 
 /// A constraint-enforcing in-memory database hosting one schema under one
@@ -322,11 +407,11 @@ struct CompiledInd {
 pub struct Database {
     schema: RelationalSchema,
     profile: DbmsProfile,
-    tables: BTreeMap<String, Table>,
-    nulls: BTreeMap<String, Vec<CompiledNull>>,
-    outgoing: BTreeMap<String, Vec<CompiledInd>>,
-    incoming: BTreeMap<String, Vec<CompiledInd>>,
-    metrics: DbMetrics,
+    pub(crate) tables: BTreeMap<String, Table>,
+    pub(crate) nulls: BTreeMap<String, Vec<CompiledNull>>,
+    pub(crate) outgoing: BTreeMap<String, Vec<CompiledInd>>,
+    pub(crate) incoming: BTreeMap<String, Vec<CompiledInd>>,
+    pub(crate) metrics: DbMetrics,
 }
 
 impl Clone for Database {
@@ -340,19 +425,6 @@ impl Clone for Database {
             incoming: self.incoming.clone(),
             metrics: self.metrics.fork(),
         }
-    }
-}
-
-/// The span outcome label for a DML result.
-fn outcome_label(
-    result: &std::result::Result<bool, DmlError>,
-    applied: &'static str,
-) -> &'static str {
-    match result {
-        Ok(true) => applied,
-        Ok(false) => "noop",
-        Err(DmlError::ConstraintViolation(_)) => "rejected",
-        Err(DmlError::Schema(_)) => "error",
     }
 }
 
@@ -454,9 +526,11 @@ impl Database {
         MaintenanceStats {
             inserts: self.metrics.inserts.get(),
             deletes: self.metrics.deletes.get(),
+            updates: self.metrics.updates.get(),
             rejected: self.metrics.rejected.get(),
             declarative_checks: self.metrics.declarative.get(),
             procedural_checks: self.metrics.procedural.get(),
+            deferred_checks: self.metrics.deferred.get(),
             index_probes: self.metrics.index_probes.get(),
         }
     }
@@ -494,25 +568,12 @@ impl Database {
         self.len(rel) == 0
     }
 
-    /// Inserts a tuple, enforcing every constraint. On success returns
-    /// whether the tuple was new (duplicate inserts of an identical tuple
-    /// are idempotent successes, matching set semantics).
-    pub fn insert(&mut self, rel: &str, t: Tuple) -> std::result::Result<bool, DmlError> {
-        let start = Instant::now();
-        let mut span = obs::span("engine.dml.insert");
-        span.add_field("rel", rel);
-        let result = self.insert_inner(rel, t);
-        self.metrics.insert_ns.record(obs::elapsed_ns(start));
-        span.add_field("result", outcome_label(&result, "inserted"));
-        result
-    }
-
-    fn insert_inner(&mut self, rel: &str, t: Tuple) -> std::result::Result<bool, DmlError> {
+    /// Validates arity and domains of `t` against the header of `rel`.
+    pub(crate) fn validate_shape(&self, rel: &str, t: &Tuple) -> std::result::Result<(), DmlError> {
         let table = self
             .tables
             .get(rel)
             .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
-        // Arity/domain validation.
         if t.arity() != table.header.len() {
             return Err(DmlError::Schema(Error::TupleMismatch {
                 detail: format!(
@@ -529,6 +590,44 @@ impl Database {
                 }));
             }
         }
+        Ok(())
+    }
+
+    /// Probes every unique index of `rel` for `t`, counting one key check
+    /// per index. Returns `Ok(true)` when an identical tuple is already
+    /// stored (idempotent no-op), `Ok(false)` when the slot is free, and a
+    /// constraint violation for a conflicting duplicate. Key uniqueness is
+    /// *never* deferred: the unique indexes must stay consistent while a
+    /// batch applies, exactly like SQL's non-deferrable `PRIMARY KEY`.
+    pub(crate) fn check_unique(&self, rel: &str, t: &Tuple) -> std::result::Result<bool, DmlError> {
+        let table = &self.tables[rel];
+        for (pos, map) in &table.unique {
+            let t0 = Instant::now();
+            self.metrics.index_probes.inc();
+            let hit = map.get(&t.project(pos)).copied();
+            self.metrics
+                .record_check(CheckClass::Key, Mechanism::Declarative, t0);
+            if let Some(slot) = hit {
+                if table.rows[slot].as_ref() == Some(t) {
+                    return Ok(true); // identical tuple: idempotent
+                }
+                self.metrics.rejected.inc();
+                return Err(DmlError::ConstraintViolation(format!(
+                    "duplicate key for `{rel}`"
+                )));
+            }
+        }
+        Ok(false)
+    }
+
+    /// The eagerly-checked single-tuple insert: every constraint is
+    /// enforced before the row lands. Returns whether the tuple was new.
+    pub(crate) fn insert_inner(
+        &mut self,
+        rel: &str,
+        t: Tuple,
+    ) -> std::result::Result<bool, DmlError> {
+        self.validate_shape(rel, &t)?;
         // Null constraints: single-tuple checks.
         if let Some(checks) = self.nulls.get(rel).filter(|c| !c.is_empty()) {
             let singleton = singleton_relation(&self.tables[rel].header, &t);
@@ -543,24 +642,8 @@ impl Database {
             }
         }
         // Key uniqueness (declarative).
-        {
-            let table = &self.tables[rel];
-            for (pos, map) in &table.unique {
-                let t0 = Instant::now();
-                self.metrics.index_probes.inc();
-                let hit = map.get(&t.project(pos)).copied();
-                self.metrics
-                    .record_check(CheckClass::Key, Mechanism::Declarative, t0);
-                if let Some(slot) = hit {
-                    if table.rows[slot].as_ref() == Some(&t) {
-                        return Ok(false); // identical tuple: idempotent
-                    }
-                    self.metrics.rejected.inc();
-                    return Err(DmlError::ConstraintViolation(format!(
-                        "duplicate key for `{rel}`"
-                    )));
-                }
-            }
+        if self.check_unique(rel, &t)? {
+            return Ok(false);
         }
         // Outgoing inclusion dependencies (FK-style: a total LHS subtuple
         // must exist in the target).
@@ -613,44 +696,64 @@ impl Database {
         Ok(true)
     }
 
-    /// Deletes the tuple with the given primary-key value, enforcing
-    /// RESTRICT semantics on incoming inclusion dependencies.
-    pub fn delete_by_key(&mut self, rel: &str, key: &Tuple) -> std::result::Result<bool, DmlError> {
-        let start = Instant::now();
-        let mut span = obs::span("engine.dml.delete");
-        span.add_field("rel", rel);
-        let result = self.delete_inner(rel, key);
-        self.metrics.delete_ns.record(obs::elapsed_ns(start));
-        span.add_field("result", outcome_label(&result, "deleted"));
-        result
-    }
-
-    fn delete_inner(&mut self, rel: &str, key: &Tuple) -> std::result::Result<bool, DmlError> {
-        let scheme = self.schema.scheme_required(rel)?.clone();
-        let pk: Vec<String> = scheme
+    /// The primary-key attribute names of `rel`.
+    pub(crate) fn primary_key_attrs(
+        &self,
+        rel: &str,
+    ) -> std::result::Result<Vec<String>, DmlError> {
+        Ok(self
+            .schema
+            .scheme_required(rel)?
             .primary_key()
             .iter()
             .map(|k| (*k).to_owned())
-            .collect();
-        let (slot, victim) = {
-            let table = self
-                .tables
-                .get(rel)
-                .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
-            let pk_pos = table.positions(&pk)?;
-            self.metrics.index_probes.inc();
-            let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pk_pos) else {
-                return Err(DmlError::Schema(Error::MissingPrimaryKey(rel.to_owned())));
-            };
-            match map.get(key) {
-                Some(&slot) => (
-                    slot,
-                    table.rows[slot]
-                        .clone()
-                        .expect("unique index points at live rows"),
-                ),
-                None => return Ok(false),
-            }
+            .collect())
+    }
+
+    /// Locates the row with primary key `key` (one index probe), without
+    /// removing it.
+    pub(crate) fn find_by_pk(
+        &self,
+        rel: &str,
+        key: &Tuple,
+    ) -> std::result::Result<Option<(usize, Tuple)>, DmlError> {
+        let pk = self.primary_key_attrs(rel)?;
+        let table = self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        let pk_pos = table.positions(&pk)?;
+        self.metrics.index_probes.inc();
+        let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pk_pos) else {
+            return Err(DmlError::Schema(Error::MissingPrimaryKey(rel.to_owned())));
+        };
+        Ok(map.get(key).map(|&slot| {
+            (
+                slot,
+                table.rows[slot]
+                    .clone()
+                    .expect("unique index points at live rows"),
+            )
+        }))
+    }
+
+    /// Removes the row at `slot` with **no** constraint checking.
+    pub(crate) fn remove_slot(&mut self, rel: &str, slot: usize, victim: &Tuple) {
+        let table = self.tables.get_mut(rel).expect("checked");
+        table.index_remove(victim, slot);
+        table.rows[slot] = None;
+        table.live -= 1;
+    }
+
+    /// The eagerly-checked delete: RESTRICT semantics are enforced before
+    /// the row is removed. Returns the victim tuple, if one existed.
+    pub(crate) fn delete_inner(
+        &mut self,
+        rel: &str,
+        key: &Tuple,
+    ) -> std::result::Result<Option<Tuple>, DmlError> {
+        let Some((slot, victim)) = self.find_by_pk(rel, key)? else {
+            return Ok(None);
         };
         // RESTRICT: no referencing tuple may be orphaned. The deletion only
         // orphans a reference if no *other* live tuple of `rel` carries the
@@ -703,12 +806,9 @@ impl Database {
                 )));
             }
         }
-        let table = self.tables.get_mut(rel).expect("checked");
-        table.index_remove(&victim, slot);
-        table.rows[slot] = None;
-        table.live -= 1;
+        self.remove_slot(rel, slot, &victim);
         self.metrics.deletes.inc();
-        Ok(true)
+        Ok(Some(victim))
     }
 
     /// Bulk-loads a database state without per-tuple rejection (the state
@@ -847,7 +947,7 @@ impl Database {
     }
 }
 
-fn singleton_relation(header: &[Attribute], t: &Tuple) -> Relation {
+pub(crate) fn singleton_relation(header: &[Attribute], t: &Tuple) -> Relation {
     let mut r = Relation::new(header.to_vec()).expect("header already validated");
     r.insert(t.clone()).expect("tuple already validated");
     r
@@ -1023,17 +1123,21 @@ mod tests {
         let a = MaintenanceStats {
             inserts: 1,
             deletes: 2,
+            updates: 7,
             rejected: 3,
             declarative_checks: 4,
             procedural_checks: 5,
+            deferred_checks: 8,
             index_probes: 6,
         };
         let b = MaintenanceStats {
             inserts: 10,
             deletes: 20,
+            updates: 70,
             rejected: 30,
             declarative_checks: 40,
             procedural_checks: 50,
+            deferred_checks: 80,
             index_probes: 60,
         };
         let sum = a + b;

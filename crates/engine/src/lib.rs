@@ -6,24 +6,29 @@
 //! describing which constraint classes it maintains and through which
 //! mechanism ([`capability`]); [`Database`] enforces a schema's
 //! dependencies and null constraints on DML through the corresponding tier,
-//! counting the work ([`database`]); and [`query`] executes point lookups
+//! counting the work ([`database`]); [`query`] executes point lookups
 //! and joins with cost counters, quantifying the paper's §1 claim that
-//! merging reduces joins and improves access performance.
+//! merging reduces joins and improves access performance; and [`batch`]
+//! provides the unified [`Statement`] DML path with all-or-nothing batches
+//! and deferred, group-validated constraint checking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod capability;
 pub mod database;
 pub mod planner;
 pub mod query;
 pub mod txn;
 
+pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
 pub use database::{Database, DmlError, MaintenanceStats};
 pub use planner::{plan, LogicalQuery};
+#[allow(deprecated)]
+pub use query::{execute, execute_traced};
 pub use query::{
-    execute, execute_traced, Access, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan,
-    QueryStats, QueryTrace,
+    Access, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan, QueryStats, QueryTrace,
 };
 pub use txn::Transaction;

@@ -257,7 +257,7 @@ impl crate::database::Database {
         q: &LogicalQuery,
     ) -> Result<(relmerge_relational::Relation, crate::query::QueryStats)> {
         let physical = plan(self.schema(), q)?;
-        crate::query::execute(self, &physical)
+        self.execute(&physical)
     }
 }
 
@@ -266,7 +266,6 @@ mod tests {
     use super::*;
     use crate::capability::DbmsProfile;
     use crate::database::Database;
-    use crate::query::execute;
     use relmerge_relational::{
         Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, Value,
     };
@@ -375,8 +374,8 @@ mod tests {
         let merged_plan = plan(m.schema(), &q).unwrap();
         assert_eq!(unmerged_plan.joins.len(), 2);
         assert_eq!(merged_plan.joins.len(), 0, "join elimination");
-        let (r1, s1) = execute(&db, &unmerged_plan).unwrap();
-        let (r2, s2) = execute(&mdb, &merged_plan).unwrap();
+        let (r1, s1) = db.execute(&unmerged_plan).unwrap();
+        let (r2, s2) = mdb.execute(&merged_plan).unwrap();
         assert!(r1.set_eq_unordered(&r2), "{r1} vs {r2}");
         assert!(s2.rows_scanned < s1.rows_scanned + s1.index_probes);
     }

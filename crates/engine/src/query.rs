@@ -8,7 +8,7 @@
 //! the rows and index probes each needs, so the benches can report the
 //! speedup *shape* the paper asserts.
 //!
-//! [`execute_traced`] additionally returns a [`QueryTrace`]: an
+//! [`Database::execute_traced`] additionally returns a [`QueryTrace`]: an
 //! EXPLAIN-ANALYZE-style operator breakdown (rows in/out, index probes,
 //! rows scanned, wall time per access/join/filter/project step) whose
 //! per-operator counters sum exactly to the [`QueryStats`] totals.
@@ -416,22 +416,44 @@ impl OpRecorder {
     }
 }
 
-/// Executes `plan` against `db`, returning the result relation and the
-/// cost counters.
-pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)> {
-    let (relation, stats, _) = execute_impl(db, plan, false)?;
-    Ok((relation, stats))
+impl Database {
+    /// Executes `plan`, returning the result relation and the cost
+    /// counters.
+    pub fn execute(&self, plan: &QueryPlan) -> Result<(Relation, QueryStats)> {
+        let (relation, stats, _) = execute_impl(self, plan, false)?;
+        Ok((relation, stats))
+    }
+
+    /// Executes `plan` like [`Database::execute`], additionally returning
+    /// an EXPLAIN-ANALYZE-style [`QueryTrace`] whose per-operator counters
+    /// sum to the returned [`QueryStats`].
+    pub fn execute_traced(&self, plan: &QueryPlan) -> Result<(Relation, QueryStats, QueryTrace)> {
+        let (relation, stats, trace) = execute_impl(self, plan, true)?;
+        Ok((relation, stats, trace.expect("tracing requested")))
+    }
 }
 
-/// Executes `plan` against `db` like [`execute`], additionally returning
-/// an EXPLAIN-ANALYZE-style [`QueryTrace`] whose per-operator counters sum
-/// to the returned [`QueryStats`].
+/// Free-function form of [`Database::execute`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "call the inherent `Database::execute` instead"
+)]
+pub fn execute(db: &Database, plan: &QueryPlan) -> Result<(Relation, QueryStats)> {
+    db.execute(plan)
+}
+
+/// Free-function form of [`Database::execute_traced`], kept for source
+/// compatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "call the inherent `Database::execute_traced` instead"
+)]
 pub fn execute_traced(
     db: &Database,
     plan: &QueryPlan,
 ) -> Result<(Relation, QueryStats, QueryTrace)> {
-    let (relation, stats, trace) = execute_impl(db, plan, true)?;
-    Ok((relation, stats, trace.expect("tracing requested")))
+    db.execute_traced(plan)
 }
 
 fn execute_impl(
@@ -604,7 +626,7 @@ mod tests {
     #[test]
     fn full_scan_counts_rows() {
         let db = db();
-        let (result, stats) = execute(&db, &QueryPlan::scan("COURSE")).unwrap();
+        let (result, stats) = db.execute(&QueryPlan::scan("COURSE")).unwrap();
         assert_eq!(result.len(), 10);
         assert_eq!(stats.rows_scanned, 10);
         assert_eq!(stats.index_probes, 0);
@@ -614,7 +636,7 @@ mod tests {
     fn key_lookup_uses_unique_index() {
         let db = db();
         let plan = QueryPlan::lookup("OFFER", &["O.K"], tup(&[4]));
-        let (result, stats) = execute(&db, &plan).unwrap();
+        let (result, stats) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 1);
         assert!(result.contains(&tup(&[4, 400])));
         assert_eq!(stats.index_probes, 1);
@@ -625,7 +647,7 @@ mod tests {
     fn inner_join_drops_unmatched() {
         let db = db();
         let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
-        let (result, stats) = execute(&db, &plan).unwrap();
+        let (result, stats) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 5); // even courses only
         assert_eq!(stats.joins, 1);
         assert!(stats.index_probes >= 10); // one probe per outer row
@@ -635,7 +657,7 @@ mod tests {
     fn outer_join_pads_with_nulls() {
         let db = db();
         let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 10);
         assert!(result.contains(&Tuple::new([Value::Int(1), Value::Null, Value::Null])));
     }
@@ -644,7 +666,7 @@ mod tests {
     fn projection_applies() {
         let db = db();
         let plan = QueryPlan::scan("OFFER").select(&["O.D"]);
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.attr_names(), ["O.D"]);
         assert_eq!(result.len(), 5);
     }
@@ -658,7 +680,7 @@ mod tests {
             &["C.K"],
             &["O.K"],
         ));
-        let (result, stats) = execute(&db, &plan).unwrap();
+        let (result, stats) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(stats.index_probes, 2); // root lookup + join probe
         assert_eq!(stats.rows_scanned, 0);
@@ -669,7 +691,7 @@ mod tests {
         let db = db();
         // Offered courses with O.D = 400.
         let plan = QueryPlan::scan("OFFER").filter(Predicate::eq("O.D", 400i64));
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 1);
         assert!(result.contains(&tup(&[4, 400])));
         // Courses with no offer: outer join + IS NULL.
@@ -677,21 +699,21 @@ mod tests {
             .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
             .filter(Predicate::is_null("O.K"))
             .select(&["C.K"]);
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 5); // odd courses
         assert!(result.contains(&tup(&[3])));
         // Compound predicates.
         let plan = QueryPlan::scan("OFFER")
             .filter(Predicate::eq("O.K", 2i64).or(Predicate::eq("O.K", 4i64)));
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 2);
         let plan = QueryPlan::scan("OFFER")
             .filter(Predicate::not_null("O.K").and(Predicate::eq("O.K", 2i64).negate()));
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 4);
         // Unknown attribute errors.
         let plan = QueryPlan::scan("OFFER").filter(Predicate::eq("NOPE", 1i64));
-        assert!(execute(&db, &plan).is_err());
+        assert!(db.execute(&plan).is_err());
     }
 
     #[test]
@@ -717,13 +739,13 @@ mod tests {
         // Probing C by its non-key FK column hits the secondary index —
         // no scan.
         let plan = QueryPlan::lookup("C", &["C.FK"], tup(&[1]));
-        let (result, stats) = execute(&db, &plan).unwrap();
+        let (result, stats) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 10);
         assert_eq!(stats.rows_scanned, 0, "secondary index must be used");
         assert_eq!(stats.index_probes, 1);
         // Deleting a row keeps the index correct.
         db.delete_by_key("C", &tup(&[0])).unwrap();
-        let (result, _) = execute(&db, &plan).unwrap();
+        let (result, _) = db.execute(&plan).unwrap();
         assert_eq!(result.len(), 9);
     }
 
@@ -735,7 +757,7 @@ mod tests {
             .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]).via("OFFER[O.K] ⊆ COURSE[C.K]"))
             .filter(Predicate::not_null("O.D"))
             .select(&["O.D"]);
-        let (result, stats, trace) = execute_traced(&db, &plan).unwrap();
+        let (result, stats, trace) = db.execute_traced(&plan).unwrap();
         assert_eq!(result.len(), 1);
         assert_eq!(trace.totals(), stats, "operator counters sum to totals");
         assert_eq!(trace.ops.len(), 4);
@@ -749,7 +771,7 @@ mod tests {
         assert!(text.starts_with("Project [O.D]"), "{text}");
         assert!(text.contains("OuterJoin OFFER"), "{text}");
         // Traced and untraced runs agree.
-        let (plain_result, plain_stats) = execute(&db, &plan).unwrap();
+        let (plain_result, plain_stats) = db.execute(&plan).unwrap();
         assert_eq!(plain_stats, stats);
         assert!(plain_result.set_eq_unordered(&result));
     }
@@ -757,7 +779,7 @@ mod tests {
     #[test]
     fn traced_scan_sums_to_stats() {
         let db = db();
-        let (_, stats, trace) = execute_traced(&db, &QueryPlan::scan("COURSE")).unwrap();
+        let (_, stats, trace) = db.execute_traced(&QueryPlan::scan("COURSE")).unwrap();
         assert_eq!(trace.totals(), stats);
         assert_eq!(trace.ops.len(), 2); // Scan + Project *
         assert_eq!(trace.ops[0].stats.rows_scanned, 10);
@@ -792,6 +814,20 @@ mod tests {
     fn unknown_join_attr_errors() {
         let db = db();
         let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["NOPE"], &["O.K"]));
-        assert!(execute(&db, &plan).is_err());
+        assert!(db.execute(&plan).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_functions_still_work() {
+        let db = db();
+        let plan = QueryPlan::scan("COURSE");
+        let (via_fn, fn_stats) = execute(&db, &plan).unwrap();
+        let (via_method, method_stats) = db.execute(&plan).unwrap();
+        assert!(via_fn.set_eq_unordered(&via_method));
+        assert_eq!(fn_stats, method_stats);
+        let (_, traced_stats, trace) = execute_traced(&db, &plan).unwrap();
+        assert_eq!(traced_stats, method_stats);
+        assert_eq!(trace.totals(), traced_stats);
     }
 }

@@ -9,73 +9,51 @@
 
 use relmerge_relational::{Error, Tuple};
 
+use crate::batch::{rollback, Statement, StatementOutcome, Undo};
 use crate::database::{Database, DmlError};
 
-/// One undoable change.
-enum Undo {
-    /// Remove the tuple that was inserted.
-    Insert { rel: String, tuple: Tuple },
-    /// Re-insert the tuple that was deleted.
-    Delete { rel: String, tuple: Tuple },
-}
-
 /// A transaction handle: issue statements through it; changes are recorded
-/// for rollback.
+/// for rollback. Each verb is a thin front for the unified
+/// [`Statement`] executor shared with [`Database::apply_batch`].
 pub struct Transaction<'a> {
     db: &'a mut Database,
     undo: Vec<Undo>,
 }
 
 impl Transaction<'_> {
+    fn run(&mut self, stmt: &Statement) -> Result<StatementOutcome, DmlError> {
+        self.db.execute_statement(stmt, Some(&mut self.undo))
+    }
+
     /// Inserts a tuple (same contract as [`Database::insert`]).
     pub fn insert(&mut self, rel: &str, t: Tuple) -> Result<bool, DmlError> {
-        let fresh = self.db.insert(rel, t.clone())?;
-        if fresh {
-            self.undo.push(Undo::Insert {
-                rel: rel.to_owned(),
-                tuple: t,
-            });
-        }
-        Ok(fresh)
+        let stmt = Statement::Insert {
+            rel: rel.to_owned(),
+            tuple: t,
+        };
+        Ok(matches!(self.run(&stmt)?, StatementOutcome::Inserted))
     }
 
     /// Deletes by primary key (same contract as
     /// [`Database::delete_by_key`]).
     pub fn delete_by_key(&mut self, rel: &str, key: &Tuple) -> Result<bool, DmlError> {
-        let victim = self.db.get_by_key(rel, key)?;
-        match victim {
-            Some(t) => {
-                let removed = self.db.delete_by_key(rel, key)?;
-                if removed {
-                    self.undo.push(Undo::Delete {
-                        rel: rel.to_owned(),
-                        tuple: t,
-                    });
-                }
-                Ok(removed)
-            }
-            None => Ok(false),
-        }
+        let stmt = Statement::Delete {
+            rel: rel.to_owned(),
+            key: key.clone(),
+        };
+        Ok(matches!(self.run(&stmt)?, StatementOutcome::Deleted))
     }
 
     /// Updates the row with primary key `key` to `new`, atomically. The
     /// new tuple may change the key; referential RESTRICT applies only to
     /// referenced projections that actually change.
     pub fn update_by_key(&mut self, rel: &str, key: &Tuple, new: Tuple) -> Result<bool, DmlError> {
-        let Some(old) = self.db.get_by_key(rel, key)? else {
-            return Ok(false);
+        let stmt = Statement::Update {
+            rel: rel.to_owned(),
+            key: key.clone(),
+            tuple: new,
         };
-        if old == new {
-            return Ok(true);
-        }
-        // Delete-then-insert under the undo log; on failure the caller's
-        // transaction rolls both back. The delete's RESTRICT check is what
-        // makes key-changing updates safe.
-        self.delete_by_key(rel, key)?;
-        match self.insert(rel, new) {
-            Ok(_) => Ok(true),
-            Err(e) => Err(e),
-        }
+        Ok(matches!(self.run(&stmt)?, StatementOutcome::Updated))
     }
 }
 
@@ -94,16 +72,7 @@ impl Database {
             Ok(value) => Ok(value),
             Err(e) => {
                 let undo = std::mem::take(&mut tx.undo);
-                for entry in undo.into_iter().rev() {
-                    match entry {
-                        Undo::Insert { rel, tuple } => {
-                            tx.db.raw_remove(&rel, &tuple).map_err(DmlError::Schema)?;
-                        }
-                        Undo::Delete { rel, tuple } => {
-                            tx.db.raw_insert(&rel, tuple).map_err(DmlError::Schema)?;
-                        }
-                    }
-                }
+                rollback(tx.db, undo)?;
                 Err(e)
             }
         }

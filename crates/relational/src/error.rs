@@ -69,6 +69,10 @@ pub enum Error {
         /// Description of the problem.
         detail: String,
     },
+    /// A dependency or null constraint would be violated by a data change.
+    /// Raised by the engine's DML path; carried here so engine errors fold
+    /// into the workspace-wide `Result` without a second error hierarchy.
+    ConstraintViolation(String),
 }
 
 impl fmt::Display for Error {
@@ -101,6 +105,7 @@ impl fmt::Display for Error {
                 write!(f, "{procedure}: precondition violated: {detail}")
             }
             Error::StateMismatch { detail } => write!(f, "database state mismatch: {detail}"),
+            Error::ConstraintViolation(detail) => write!(f, "constraint violation: {detail}"),
         }
     }
 }

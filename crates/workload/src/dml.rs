@@ -1,11 +1,15 @@
 //! Mixed DML/query operation streams for the university workload — the
 //! B6 experiment's input: the same logical operation sequence executed
-//! against the unmerged (Figure 3) and merged (`COURSE_M`) databases.
+//! against the unmerged (Figure 3) and merged (`COURSE_M`) databases —
+//! plus lowering of the write operations into engine [`Statement`]
+//! batches for the batched-DML experiment.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+use relmerge_engine::Statement;
 use relmerge_obs as obs;
+use relmerge_relational::{Tuple, Value};
 
 /// One logical operation on the university domain, schema-independent.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +121,103 @@ pub fn university_ops(
         .collect()
 }
 
+/// Lowers one logical write op into its statements against the unmerged
+/// (Figure 3) schema, parent-first: a course bundle is `COURSE`, `OFFER`,
+/// and optionally `TEACH`; a drop deletes children before the course.
+/// Read operations lower to no statements.
+#[must_use]
+pub fn unmerged_statements(op: &UniversityOp) -> Vec<Statement> {
+    match op {
+        UniversityOp::CourseDetail { .. } | UniversityOp::ByFaculty { .. } => Vec::new(),
+        UniversityOp::AddCourse { nr, dept, teacher } => {
+            let nrv = Value::Int(*nr);
+            let mut stmts = vec![
+                Statement::insert("COURSE", Tuple::new([nrv.clone()])),
+                Statement::insert(
+                    "OFFER",
+                    Tuple::new([nrv.clone(), Value::text(format!("dept{dept}"))]),
+                ),
+            ];
+            if let Some(t) = teacher {
+                stmts.push(Statement::insert(
+                    "TEACH",
+                    Tuple::new([nrv, Value::Int(*t)]),
+                ));
+            }
+            stmts
+        }
+        UniversityOp::DropCourse { nr } => {
+            let key = Tuple::new([Value::Int(*nr)]);
+            vec![
+                Statement::delete("TEACH", key.clone()),
+                Statement::delete("ASSIST", key.clone()),
+                Statement::delete("OFFER", key.clone()),
+                Statement::delete("COURSE", key),
+            ]
+        }
+    }
+}
+
+/// Lowers one logical write op into its statements against the merged
+/// `COURSE_M` schema: a course bundle is a single wide insert (assistant
+/// always null — `AddCourse` does not assign one), a drop a single delete.
+#[must_use]
+pub fn merged_statements(op: &UniversityOp) -> Vec<Statement> {
+    match op {
+        UniversityOp::CourseDetail { .. } | UniversityOp::ByFaculty { .. } => Vec::new(),
+        UniversityOp::AddCourse { nr, dept, teacher } => {
+            vec![Statement::insert(
+                "COURSE_M",
+                Tuple::new([
+                    Value::Int(*nr),
+                    Value::text(format!("dept{dept}")),
+                    teacher.map_or(Value::Null, Value::Int),
+                    Value::Null,
+                ]),
+            )]
+        }
+        UniversityOp::DropCourse { nr } => {
+            vec![Statement::delete("COURSE_M", Tuple::new([Value::Int(*nr)]))]
+        }
+    }
+}
+
+/// Splits the write statements of `ops` into batches of at most
+/// `batch_size` statements (minimum 1), lowering through `merged` or
+/// unmerged form. A logical operation's statements are never split across
+/// batches, so every batch is applicable atomically; statement order is
+/// preserved, keeping the stream equivalent to per-statement execution.
+#[must_use]
+pub fn write_batches(ops: &[UniversityOp], merged: bool, batch_size: usize) -> Vec<Vec<Statement>> {
+    let mut span = obs::span("workload.write_batches");
+    span.add_field("ops", ops.len());
+    let cap = batch_size.max(1);
+    let mut batches: Vec<Vec<Statement>> = Vec::new();
+    let mut current: Vec<Statement> = Vec::new();
+    for op in ops {
+        let stmts = if merged {
+            merged_statements(op)
+        } else {
+            unmerged_statements(op)
+        };
+        if stmts.is_empty() {
+            continue;
+        }
+        if !current.is_empty() && current.len() + stmts.len() > cap {
+            batches.push(std::mem::take(&mut current));
+        }
+        current.extend(stmts);
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    span.add_field("batches", batches.len());
+    obs::global()
+        .counter("workload.batches_generated")
+        .add(batches.len() as u64);
+    batches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +269,70 @@ mod tests {
         let a = university_ops(&spec, 100, 50, 5, 10, &mut StdRng::seed_from_u64(9));
         let b = university_ops(&spec, 100, 50, 5, 10, &mut StdRng::seed_from_u64(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn statement_lowering_shapes() {
+        let add = UniversityOp::AddCourse {
+            nr: 7,
+            dept: 3,
+            teacher: Some(10_001),
+        };
+        let unm = unmerged_statements(&add);
+        assert_eq!(unm.len(), 3);
+        assert_eq!(unm[0].rel(), "COURSE");
+        assert_eq!(unm[1].rel(), "OFFER");
+        assert_eq!(unm[2].rel(), "TEACH");
+        let mrg = merged_statements(&add);
+        assert_eq!(mrg.len(), 1);
+        assert_eq!(mrg[0].rel(), "COURSE_M");
+        // Untaught course: no TEACH statement.
+        let untaught = UniversityOp::AddCourse {
+            nr: 8,
+            dept: 0,
+            teacher: None,
+        };
+        assert_eq!(unmerged_statements(&untaught).len(), 2);
+        // Drops delete children before the course.
+        let drop = UniversityOp::DropCourse { nr: 7 };
+        let dropped = unmerged_statements(&drop);
+        let rels: Vec<&str> = dropped.iter().map(Statement::rel).collect();
+        assert_eq!(rels, ["TEACH", "ASSIST", "OFFER", "COURSE"]);
+        // Reads lower to nothing.
+        assert!(unmerged_statements(&UniversityOp::CourseDetail { nr: 1 }).is_empty());
+        assert!(merged_statements(&UniversityOp::ByFaculty { ssn: 1 }).is_empty());
+    }
+
+    #[test]
+    fn write_batches_respect_size_and_op_atomicity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = MixSpec {
+            point_reads: 0.2,
+            reverse_reads: 0.0,
+            inserts: 0.6,
+            deletes: 0.2,
+        };
+        let ops = university_ops(&spec, 500, 50, 5, 10, &mut rng);
+        let batches = write_batches(&ops, false, 16);
+        assert!(!batches.is_empty());
+        let total: usize = batches.iter().map(Vec::len).sum();
+        let expected: usize = ops.iter().map(|o| unmerged_statements(o).len()).sum();
+        assert_eq!(total, expected, "no statement lost or duplicated");
+        for b in &batches {
+            // An op lowers to at most 4 statements, so a batch can only
+            // overflow the cap when a whole op would not fit.
+            assert!(b.len() <= 16, "batch of {}", b.len());
+            assert!(!b.is_empty());
+        }
+        // Order is preserved across the concatenation.
+        let flat: Vec<Statement> = batches.into_iter().flatten().collect();
+        let direct: Vec<Statement> = ops.iter().flat_map(unmerged_statements).collect();
+        assert_eq!(flat, direct);
+        // Degenerate cap still yields whole-op batches.
+        let tiny = write_batches(&ops, true, 0);
+        assert!(
+            tiny.iter().all(|b| b.len() == 1),
+            "merged ops are single statements"
+        );
     }
 }

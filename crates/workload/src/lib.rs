@@ -17,7 +17,9 @@ pub mod schema_gen;
 pub mod state_gen;
 pub mod university;
 
-pub use dml::{university_ops, MixSpec, UniversityOp};
+pub use dml::{
+    merged_statements, university_ops, unmerged_statements, write_batches, MixSpec, UniversityOp,
+};
 pub use eer_gen::{random_eer, EerSpec};
 pub use merged_state_gen::{merged_state, MergedStateSpec};
 pub use schema_gen::{

@@ -11,7 +11,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge::core::Merge;
-use relmerge::engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge::engine::{Database, DbmsProfile, JoinStep, QueryPlan};
 use relmerge::relational::{Tuple, Value};
 use relmerge::workload::{generate_university, UniversitySpec};
 
@@ -55,8 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Correctness first: both plans agree on every sampled key.
     let mut probes = (0u64, 0u64);
     for &nr in keys.iter().take(100) {
-        let (r1, s1) = execute(&unmerged_db, &unmerged_plan(nr))?;
-        let (r2, s2) = execute(&merged_db, &merged_plan(nr))?;
+        let (r1, s1) = unmerged_db.execute(&unmerged_plan(nr))?;
+        let (r2, s2) = merged_db.execute(&merged_plan(nr))?;
         assert_eq!(r1.len(), r2.len());
         probes = (probes.0 + s1.index_probes, probes.1 + s2.index_probes);
     }
@@ -68,12 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let start = Instant::now();
     for &nr in &keys {
-        let _ = execute(&unmerged_db, &unmerged_plan(nr))?;
+        let _ = unmerged_db.execute(&unmerged_plan(nr))?;
     }
     let unmerged_time = start.elapsed();
     let start = Instant::now();
     for &nr in &keys {
-        let _ = execute(&merged_db, &merged_plan(nr))?;
+        let _ = merged_db.execute(&merged_plan(nr))?;
     }
     let merged_time = start.elapsed();
     println!(

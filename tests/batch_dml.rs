@@ -1,0 +1,160 @@
+//! Integration coverage for the batched-DML API: deferred inclusion
+//! dependencies make statement order inside a batch irrelevant, a failed
+//! batch leaves no trace, and profiles without the capability fall back
+//! to immediate (still atomic) checking.
+
+use relmerge::engine::{Database, DbmsProfile, Statement};
+use relmerge::relational::{
+    Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Tuple, Value,
+};
+
+/// PARENT(P.K) ← CHILD(C.K, C.FK) with CHILD[C.FK] ⊆ PARENT[P.K].
+fn parent_child_schema() -> RelationalSchema {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new("PARENT", vec![Attribute::new("P.K", Domain::Int)], &["P.K"]).unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new(
+            "CHILD",
+            vec![
+                Attribute::new("C.K", Domain::Int),
+                Attribute::new("C.FK", Domain::Int),
+            ],
+            &["C.K"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("PARENT", &["P.K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("CHILD", &["C.K", "C.FK"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("CHILD", &["C.FK"], "PARENT", &["P.K"]))
+        .unwrap();
+    rs
+}
+
+/// Two relations referencing each other: no insertion order is valid one
+/// statement at a time, so only a deferred batch can populate them.
+fn cyclic_schema() -> RelationalSchema {
+    let mut rs = RelationalSchema::new();
+    for (name, k, fk) in [("A", "A.K", "A.FK"), ("B", "B.K", "B.FK")] {
+        rs.add_scheme(
+            RelationScheme::new(
+                name,
+                vec![
+                    Attribute::new(k, Domain::Int),
+                    Attribute::new(fk, Domain::Int),
+                ],
+                &[k],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna(name, &[k, fk]))
+            .unwrap();
+    }
+    rs.add_ind(InclusionDep::new("A", &["A.FK"], "B", &["B.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("B", &["B.FK"], "A", &["A.K"]))
+        .unwrap();
+    rs
+}
+
+fn row(vals: &[i64]) -> Tuple {
+    Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>())
+}
+
+#[test]
+fn child_before_parent_commits_under_deferred_checking() {
+    let mut db = Database::new(parent_child_schema(), DbmsProfile::ideal()).unwrap();
+
+    // One statement at a time the child is an orphan...
+    assert!(db.insert("CHILD", row(&[1, 10])).is_err());
+
+    // ...but a deferred batch validates at commit, when the parent exists.
+    let out = db
+        .apply_batch(&[
+            Statement::insert("CHILD", row(&[1, 10])),
+            Statement::insert("PARENT", row(&[10])),
+        ])
+        .unwrap();
+    assert!(out.deferred);
+    assert_eq!(out.applied(), 2);
+    assert_eq!(
+        db.get_by_key("CHILD", &row(&[1])).unwrap(),
+        Some(row(&[1, 10]))
+    );
+}
+
+#[test]
+fn violating_batch_rolls_back_fully() {
+    let mut db = Database::new(parent_child_schema(), DbmsProfile::ideal()).unwrap();
+    db.insert("PARENT", row(&[10])).unwrap();
+    let before = db.snapshot().unwrap();
+
+    // Statement 1 dangles (no PARENT 99), so commit-time validation fails.
+    let err = db
+        .apply_batch(&[
+            Statement::insert("CHILD", row(&[1, 10])),
+            Statement::insert("CHILD", row(&[2, 99])),
+        ])
+        .unwrap_err();
+    assert_eq!(err.statement_index(), Some(1), "{err}");
+
+    // State AND indexes are exactly as before the attempt.
+    assert_eq!(db.snapshot().unwrap(), before);
+    assert_eq!(db.get_by_key("CHILD", &row(&[1])).unwrap(), None);
+    assert!(
+        db.insert("CHILD", row(&[1, 10])).unwrap(),
+        "index still live"
+    );
+}
+
+#[test]
+fn cyclic_references_need_a_batch() {
+    let mut db = Database::new(cyclic_schema(), DbmsProfile::ideal()).unwrap();
+
+    // Neither row can go first on its own.
+    assert!(db.insert("A", row(&[1, 2])).is_err());
+    assert!(db.insert("B", row(&[2, 1])).is_err());
+
+    let out = db
+        .apply_batch(&[
+            Statement::insert("A", row(&[1, 2])),
+            Statement::insert("B", row(&[2, 1])),
+        ])
+        .unwrap();
+    assert_eq!(out.applied(), 2);
+    assert_eq!(db.get_by_key("A", &row(&[1])).unwrap(), Some(row(&[1, 2])));
+    assert_eq!(db.get_by_key("B", &row(&[2])).unwrap(), Some(row(&[2, 1])));
+}
+
+#[test]
+fn profiles_without_the_capability_check_immediately_but_stay_atomic() {
+    let mut db = Database::new(parent_child_schema(), DbmsProfile::db2()).unwrap();
+    assert!(!db.profile().deferred_checking);
+
+    // Child-before-parent fails at the offending statement...
+    let err = db
+        .apply_batch(&[
+            Statement::insert("CHILD", row(&[1, 10])),
+            Statement::insert("PARENT", row(&[10])),
+        ])
+        .unwrap_err();
+    assert_eq!(err.statement_index(), Some(0), "{err}");
+    assert_eq!(db.get_by_key("PARENT", &row(&[10])).unwrap(), None);
+
+    // ...while the dependency-ordered batch commits, un-deferred.
+    let out = db
+        .apply_batch(&[
+            Statement::insert("PARENT", row(&[10])),
+            Statement::insert("CHILD", row(&[1, 10])),
+        ])
+        .unwrap();
+    assert!(!out.deferred);
+    assert_eq!(out.deferred_checks, 0);
+    assert_eq!(out.applied(), 2);
+}

@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use relmerge::core::{Advisor, AdvisorConfig};
 use relmerge::ddl::{generate, run_sdt, Dialect, SdtOption};
 use relmerge::eer::{figures, translate};
-use relmerge::engine::{execute, Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge::engine::{Database, DbmsProfile, JoinStep, QueryPlan};
 use relmerge::relational::{Tuple, Value};
 use relmerge::workload::{generate_university, UniversitySpec};
 
@@ -99,8 +99,8 @@ fn merged_and_unmerged_agree_on_all_courses() {
             .join(JoinStep::outer("ASSIST", &["O.C.NR"], &["A.C.NR"]))
             .select(&["C.NR", "O.D.NAME", "T.F.SSN", "A.S.SSN"]);
         let merged_plan = QueryPlan::lookup("COURSE_M", &["C.NR"], key);
-        let (r1, _) = execute(&unmerged, &unmerged_plan).unwrap();
-        let (r2, _) = execute(&merged, &merged_plan).unwrap();
+        let (r1, _) = unmerged.execute(&unmerged_plan).unwrap();
+        let (r2, _) = merged.execute(&merged_plan).unwrap();
         assert!(
             r1.set_eq_unordered(&r2),
             "course {nr}: unmerged {r1} vs merged {r2}"
