@@ -1,0 +1,105 @@
+//! B8: the morsel-parallel executor versus serial execution on the large
+//! unmerged university chain, plus the cost-based hash join versus the
+//! forced index-nested-loop strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_bench::experiments::{composite_no_index_query, unmerged_scan_query};
+use relmerge_engine::{Database, DbmsProfile};
+use relmerge_workload::{generate_university, UniversitySpec};
+
+fn build_db(courses: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )
+    .expect("university");
+    let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("database");
+    db.load_state(&u.state).expect("load");
+    db
+}
+
+/// Serial vs parallel execution of the B1 chain scan (3 outer joins) at
+/// every worker count up to the machine's parallelism.
+fn bench_chain_scan_workers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_chain_scan");
+    group.sample_size(20);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for &courses in &[10_000usize, 40_000] {
+        let mut db = build_db(courses);
+        let plan = unmerged_scan_query();
+        let mut workers: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&w| w < cores).collect();
+        workers.push(cores);
+        for w in workers {
+            db.set_parallelism(w);
+            group.bench_with_input(
+                BenchmarkId::new(format!("workers_{w}"), courses),
+                &courses,
+                |b, _| b.iter(|| db.execute(&plan).expect("query")),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Cost-based hash join vs forced index-nested-loop on the chain scan
+/// (serial, so the join strategy is the only variable).
+fn bench_join_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join_strategy_serial");
+    group.sample_size(20);
+    for &courses in &[1_000usize, 10_000] {
+        let mut db = build_db(courses);
+        db.set_parallelism(1);
+        let plan = unmerged_scan_query();
+        db.set_hash_join_threshold(usize::MAX);
+        group.bench_with_input(BenchmarkId::new("forced_inl", courses), &courses, |b, _| {
+            b.iter(|| db.execute(&plan).expect("query"))
+        });
+        db.set_hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD);
+        group.bench_with_input(
+            BenchmarkId::new("cost_based_hash", courses),
+            &courses,
+            |b, _| b.iter(|| db.execute(&plan).expect("query")),
+        );
+    }
+    group.finish();
+}
+
+/// The no-covering-index composite join: one transient hash build versus
+/// the quadratic per-row scan fallback (small scale — the fallback is
+/// O(|ASSIST| x |TEACH|)).
+fn bench_composite_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("composite_join_no_index");
+    group.sample_size(20);
+    let courses = 1_000usize;
+    let mut db = build_db(courses);
+    db.set_parallelism(1);
+    let plan = composite_no_index_query();
+    db.set_hash_join_threshold(usize::MAX);
+    group.bench_with_input(
+        BenchmarkId::new("per_row_scan", courses),
+        &courses,
+        |b, _| b.iter(|| db.execute(&plan).expect("query")),
+    );
+    db.set_hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD);
+    group.bench_with_input(
+        BenchmarkId::new("transient_hash_build", courses),
+        &courses,
+        |b, _| b.iter(|| db.execute(&plan).expect("query")),
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_scan_workers,
+    bench_join_strategy,
+    bench_composite_join
+);
+criterion_main!(benches);

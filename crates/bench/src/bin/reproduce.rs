@@ -1,7 +1,14 @@
 //! Regenerates every figure and proposition of the paper, plus the
 //! measured B1/B2/B4 tables recorded in `EXPERIMENTS.md`.
 //!
-//! Usage: `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|all]`
+//! Usage:
+//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|all] [--trace] [--smoke]`
+//!
+//! `--trace` additionally prints the [`Database::execute_traced`] operator
+//! tree for one representative query per query-running experiment;
+//! `--smoke` shrinks the B8 instance so CI can run it in seconds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,12 +23,49 @@ use relmerge_eer::{
     classify_generalization, classify_many_one_star, figures, repair, translate, translate_teorey,
     Amenability,
 };
+use relmerge_engine::{Database, QueryPlan};
 use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, InclusionDep, Tuple, Value};
 use relmerge_workload::{consistent_state, star_schema, StarSpec, StateSpec};
 
+/// Set by `--trace`: query experiments print one representative
+/// operator tree.
+static TRACE: AtomicBool = AtomicBool::new(false);
+/// Set by `--smoke`: B8 runs at a CI-sized scale.
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+fn trace_enabled() -> bool {
+    TRACE.load(Ordering::Relaxed)
+}
+
+/// Prints the traced operator tree of `plan` against `db` (no-op unless
+/// `--trace` was given).
+fn trace_query(db: &Database, label: &str, plan: &QueryPlan) {
+    if !trace_enabled() {
+        return;
+    }
+    match db.execute_traced(plan) {
+        Ok((_, _, trace)) => println!("\n-- trace: {label} --\n{trace}"),
+        Err(e) => println!("\n-- trace: {label} -- failed: {e}"),
+    }
+}
+
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let mut arg: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--trace" => TRACE.store(true, Ordering::Relaxed),
+            "--smoke" => SMOKE.store(true, Ordering::Relaxed),
+            name => {
+                if let Some(prev) = &arg {
+                    eprintln!("reproduce: one experiment at a time (got {prev:?} and {name:?})");
+                    std::process::exit(2);
+                }
+                arg = Some(name.to_owned());
+            }
+        }
+    }
+    let arg = arg.unwrap_or_else(|| "all".to_owned());
     let run = |name: &str| arg == "all" || arg == name;
     let mut timings: Vec<(&'static str, u64)> = Vec::new();
     let mut go = |label: &'static str, f: fn()| {
@@ -67,6 +111,9 @@ fn main() {
     }
     if run("b7") {
         go("b7", b7);
+    }
+    if run("b8") {
+        go("b8", b8);
     }
     summary(&timings);
 }
@@ -464,6 +511,22 @@ fn b1() {
             &table_rows,
         )
     );
+    if trace_enabled() {
+        let (u, m) = experiments::university_merge(1_000, 42).expect("trace instance");
+        let (unmerged, merged) =
+            experiments::university_databases(&u, &m).expect("trace databases");
+        let nr = u.offered_courses[0];
+        trace_query(
+            &unmerged,
+            "b1 unmerged point query",
+            &experiments::unmerged_point_query(nr),
+        );
+        trace_query(
+            &merged,
+            "b1 merged point query",
+            &experiments::merged_point_query(nr),
+        );
+    }
 }
 
 /// B2: constraint-maintenance cost.
@@ -532,6 +595,15 @@ fn b6() {
             &table_rows,
         )
     );
+    if trace_enabled() {
+        let (u, m) = experiments::university_merge(1_000, 21).expect("trace instance");
+        let (unmerged, _) = experiments::university_databases(&u, &m).expect("trace databases");
+        trace_query(
+            &unmerged,
+            "b6 reverse lookup (courses by faculty)",
+            &experiments::unmerged_by_faculty_query(10_000),
+        );
+    }
 }
 
 /// B7: batched DML with deferred checking vs per-statement application.
@@ -572,6 +644,82 @@ fn b7() {
          relation and dedupes repeated foreign-key probes, so the batched run \
          does strictly fewer checks and probes for the identical final state."
     );
+}
+
+/// B8: the morsel-parallel executor and cost-based hash joins versus the
+/// serial index-nested-loop baseline, on the unmerged university chain.
+/// Emits `BENCH_query.json` for CI and result-comparison tooling.
+fn b8() {
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let (courses, iters) = if smoke { (4_000, 3) } else { (40_000, 5) };
+    heading("B8: parallel executor + cost-based joins vs serial INL");
+    println!(
+        "scale: {courses} courses ({} mode)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let rows = experiments::parallel_query(courses, iters).expect("b8");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.query.clone(),
+                r.workers.to_string(),
+                r.rows_out.to_string(),
+                format!("{:.2} ms", r.serial_ns / 1e6),
+                format!("{:.2} ms", r.parallel_ns / 1e6),
+                format!("{:.2}x", r.speedup),
+                format!("{:.0}", r.rows_per_sec),
+                r.morsels.to_string(),
+                format!("{} -> {}", r.baseline_probes, r.index_probes),
+                format!("{} -> {}", r.baseline_scanned, r.rows_scanned),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "query",
+                "workers",
+                "rows",
+                "serial",
+                "parallel",
+                "speedup",
+                "rows/s",
+                "morsels",
+                "probes (INL -> cost)",
+                "scanned (INL -> cost)",
+            ],
+            &table_rows,
+        )
+    );
+    let path = std::path::Path::new("BENCH_query.json");
+    experiments::write_parallel_query_json(path, &rows).expect("write BENCH_query.json");
+    println!("wrote {}", path.display());
+    if trace_enabled() {
+        use relmerge_engine::DbmsProfile;
+        let mut rng = StdRng::seed_from_u64(42);
+        let u = relmerge_workload::generate_university(
+            &relmerge_workload::UniversitySpec {
+                courses: 1_000,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("trace instance");
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("trace db");
+        db.load_state(&u.state).expect("load");
+        trace_query(
+            &db,
+            "b8 chain scan (borrowed-index hash joins)",
+            &experiments::unmerged_scan_query(),
+        );
+        trace_query(
+            &db,
+            "b8 composite join (transient hash build)",
+            &experiments::composite_no_index_query(),
+        );
+    }
 }
 
 /// B4: the effect of `Remove`.

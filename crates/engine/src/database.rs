@@ -412,6 +412,13 @@ pub struct Database {
     pub(crate) outgoing: BTreeMap<String, Vec<CompiledInd>>,
     pub(crate) incoming: BTreeMap<String, Vec<CompiledInd>>,
     pub(crate) metrics: DbMetrics,
+    /// Worker threads the query executor may use (1 = serial execution).
+    parallelism: usize,
+    /// Left-input cardinality at which a join switches to the hash
+    /// strategy; `usize::MAX` disables hash joins entirely.
+    hash_join_threshold: usize,
+    /// Rows per executor morsel (always ≥ 1).
+    morsel_rows: usize,
 }
 
 impl Clone for Database {
@@ -424,9 +431,31 @@ impl Clone for Database {
             outgoing: self.outgoing.clone(),
             incoming: self.incoming.clone(),
             metrics: self.metrics.fork(),
+            parallelism: self.parallelism,
+            hash_join_threshold: self.hash_join_threshold,
+            morsel_rows: self.morsel_rows,
         }
     }
 }
+
+impl Drop for Database {
+    /// Flushes this instance's metric shard into the process-global
+    /// registry so its counts remain visible in [`obs::snapshot_all`]
+    /// after the weak shard reference dies. Note that a [`Clone`]d
+    /// database forks the shard *with* its accumulated values, so both
+    /// copies flush them — consistent with how `snapshot_all` already
+    /// sums live forked shards.
+    fn drop(&mut self) {
+        obs::flush_shard(&self.metrics.registry);
+    }
+}
+
+/// Default left-cardinality at which the executor switches a join step to
+/// the hash strategy (see [`crate::planner::choose_join_strategy`]).
+pub const DEFAULT_HASH_JOIN_THRESHOLD: usize = 64;
+
+/// Default number of root rows per executor morsel.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
 
 impl Database {
     /// Creates an empty database for `schema` under `profile`. Fails when
@@ -505,7 +534,51 @@ impl Database {
             outgoing,
             incoming,
             metrics: DbMetrics::new(),
+            parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
         })
+    }
+
+    /// Worker threads the query executor may use. Defaults to the
+    /// machine's available parallelism; `1` means serial execution,
+    /// byte-identical to the parallel result by construction.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Sets the executor's worker-thread budget (clamped to ≥ 1).
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+    }
+
+    /// Left-input cardinality at which a join step switches from
+    /// index-nested-loop to the hash strategy. `usize::MAX` disables hash
+    /// joins entirely (the pre-morsel executor's behavior); `0` forces
+    /// them wherever the left input is non-empty.
+    #[must_use]
+    pub fn hash_join_threshold(&self) -> usize {
+        self.hash_join_threshold
+    }
+
+    /// Sets the hash-join switchover threshold.
+    pub fn set_hash_join_threshold(&mut self, rows: usize) {
+        self.hash_join_threshold = rows;
+    }
+
+    /// Root rows per executor morsel.
+    #[must_use]
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// Sets the morsel size (clamped to ≥ 1). Smaller morsels exercise
+    /// the reassembly path; the default suits large scans.
+    pub fn set_morsel_rows(&mut self, rows: usize) {
+        self.morsel_rows = rows.max(1);
     }
 
     /// The hosted schema.
@@ -839,16 +912,19 @@ impl Database {
         Ok(state)
     }
 
-    /// Probes the lookup index of `rel` over `attrs` for `key`, returning
-    /// the matching tuples (scanning only on index miss). Exposed for the
-    /// query executor.
-    pub(crate) fn probe(
-        &self,
+    /// Probes the lookup index of `rel` over `attrs` for `key`, appending
+    /// *borrowed* matches to `out` (scanning only on index miss). The
+    /// clone-free variant of the old `probe`: tuples materialize once, at
+    /// concat/projection time in the executor, not per probe. Exposed for
+    /// the query executor.
+    pub(crate) fn probe_slots<'a>(
+        &'a self,
         rel: &str,
         attrs: &[String],
         key: &Tuple,
         stats: &mut crate::query::QueryStats,
-    ) -> Result<Vec<Tuple>> {
+        out: &mut Vec<&'a Tuple>,
+    ) -> Result<()> {
         let table = self
             .tables
             .get(rel)
@@ -857,35 +933,29 @@ impl Database {
         // Unique index?
         if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
             stats.index_probes += 1;
-            return Ok(map
-                .get(key)
-                .and_then(|&slot| table.rows[slot].clone())
-                .into_iter()
-                .collect());
+            if let Some(t) = map.get(key).and_then(|&slot| table.rows[slot].as_ref()) {
+                out.push(t);
+            }
+            return Ok(());
         }
         // Secondary lookup index?
-        let names: Vec<String> = attrs.to_vec();
-        if let Some((_, map)) = table.lookups.get(&names) {
+        if let Some((_, map)) = table.lookups.get(attrs) {
             stats.index_probes += 1;
-            return Ok(map
-                .get(key)
-                .map(|slots| {
-                    slots
-                        .iter()
-                        .filter_map(|&s| table.rows[s].clone())
-                        .collect()
-                })
-                .unwrap_or_default());
+            if let Some(slots) = map.get(key) {
+                out.extend(slots.iter().filter_map(|&s| table.rows[s].as_ref()));
+            }
+            return Ok(());
         }
         // Fall back to a scan.
         stats.rows_scanned += table.rows.len() as u64;
-        Ok(table
-            .rows
-            .iter()
-            .flatten()
-            .filter(|t| t.is_total_at(&pos) && t.project(&pos) == *key)
-            .cloned()
-            .collect())
+        out.extend(
+            table
+                .rows
+                .iter()
+                .flatten()
+                .filter(|t| t.is_total_at(&pos) && t.project(&pos) == *key),
+        );
+        Ok(())
     }
 
     pub(crate) fn scan(&self, rel: &str) -> Result<(&[Attribute], Vec<&Tuple>)> {
@@ -936,6 +1006,17 @@ impl Database {
         table.rows[slot] = None;
         table.live -= 1;
         Ok(())
+    }
+
+    /// Whether a unique or secondary lookup index of `rel` covers exactly
+    /// `attrs` (the join-strategy cost model's index question).
+    pub(crate) fn index_covers(&self, rel: &str, attrs: &[String]) -> Result<bool> {
+        let table = self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
+        let pos = table.positions(attrs)?;
+        Ok(table.unique.iter().any(|(p, _)| *p == pos) || table.lookups.contains_key(attrs))
     }
 
     pub(crate) fn header(&self, rel: &str) -> Result<&[Attribute]> {

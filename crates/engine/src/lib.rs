@@ -24,8 +24,10 @@ pub mod txn;
 
 pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
-pub use database::{Database, DmlError, MaintenanceStats};
-pub use planner::{plan, LogicalQuery};
+pub use database::{
+    Database, DmlError, MaintenanceStats, DEFAULT_HASH_JOIN_THRESHOLD, DEFAULT_MORSEL_ROWS,
+};
+pub use planner::{choose_join_strategy, plan, JoinStrategy, LogicalQuery};
 #[allow(deprecated)]
 pub use query::{execute, execute_traced};
 pub use query::{

@@ -13,6 +13,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use relmerge_relational::{Error, RelationalSchema, Result, Tuple};
 
+use crate::database::Database;
 use crate::query::{Access, JoinStep, QueryPlan};
 
 /// A schema-independent query: attributes wanted, optional key filter,
@@ -232,10 +233,61 @@ pub fn plan(schema: &RelationalSchema, query: &LogicalQuery) -> Result<QueryPlan
     Ok(plan)
 }
 
+/// Physical strategy for one join step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Probe the right relation once per left row through its indexes,
+    /// falling back to a full scan per row when none covers the join
+    /// attributes. Cheap for small left inputs over a covering index.
+    IndexNestedLoop,
+    /// Build (or borrow) a hash table over the right relation once and
+    /// probe it per left row. Amortizes the build over a large left input
+    /// and rescues the no-covering-index case from per-row scans.
+    Hash,
+}
+
+/// Cost-based strategy choice for one join step against `rel` over
+/// `right_attrs`, with `left_estimate` rows on the probe side (the
+/// executor passes the root cardinality, known exactly after root access
+/// and independent of parallelism).
+///
+/// The rules, in order:
+/// 1. [`Database::hash_join_threshold`] of `usize::MAX` disables hash
+///    joins entirely — the pre-morsel executor's behavior, useful as a
+///    measurement baseline.
+/// 2. An empty left input never builds: index-nested-loop probes nothing.
+/// 3. No covering index ⇒ hash (the alternative is a full right-relation
+///    scan *per left row*).
+/// 4. Left cardinality at or above the threshold ⇒ hash.
+/// 5. Otherwise index-nested-loop.
+pub fn choose_join_strategy(
+    db: &Database,
+    rel: &str,
+    right_attrs: &[String],
+    left_estimate: usize,
+) -> Result<JoinStrategy> {
+    let covered = db.index_covers(rel, right_attrs)?;
+    let threshold = db.hash_join_threshold();
+    let strategy = if threshold == usize::MAX || left_estimate == 0 {
+        JoinStrategy::IndexNestedLoop
+    } else if !covered || left_estimate >= threshold {
+        JoinStrategy::Hash
+    } else {
+        JoinStrategy::IndexNestedLoop
+    };
+    match strategy {
+        JoinStrategy::IndexNestedLoop => planner_counters().strategy_inl.inc(),
+        JoinStrategy::Hash => planner_counters().strategy_hash.inc(),
+    }
+    Ok(strategy)
+}
+
 /// Process-global planner counters, resolved once.
 struct PlannerCounters {
     plans: std::sync::Arc<relmerge_obs::Counter>,
     joins_derived: std::sync::Arc<relmerge_obs::Counter>,
+    strategy_inl: std::sync::Arc<relmerge_obs::Counter>,
+    strategy_hash: std::sync::Arc<relmerge_obs::Counter>,
 }
 
 fn planner_counters() -> &'static PlannerCounters {
@@ -245,6 +297,8 @@ fn planner_counters() -> &'static PlannerCounters {
         PlannerCounters {
             plans: reg.counter("engine.plan.count"),
             joins_derived: reg.counter("engine.plan.joins_derived"),
+            strategy_inl: reg.counter("engine.plan.strategy.inl"),
+            strategy_hash: reg.counter("engine.plan.strategy.hash"),
         }
     })
 }
@@ -411,6 +465,44 @@ mod tests {
         let (result, _) = db.query(&q).unwrap();
         assert_eq!(result.len(), 3); // nr in {1, 4, 7}
         assert_eq!(result.attr_names(), ["C.NR"]);
+    }
+
+    #[test]
+    fn join_strategy_cost_model() {
+        use crate::database::DEFAULT_HASH_JOIN_THRESHOLD;
+        let rs = chain();
+        let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+        let keyed = vec!["O.C.NR".to_owned()];
+        let unindexed = vec!["O.D".to_owned()];
+        // Small left input with a covering index: index-nested-loop.
+        assert_eq!(
+            choose_join_strategy(&db, "OFFER", &keyed, 10).unwrap(),
+            JoinStrategy::IndexNestedLoop
+        );
+        // Crossing the threshold flips to hash.
+        assert_eq!(
+            choose_join_strategy(&db, "OFFER", &keyed, DEFAULT_HASH_JOIN_THRESHOLD).unwrap(),
+            JoinStrategy::Hash
+        );
+        // No covering index: hash even for a small left input.
+        assert_eq!(
+            choose_join_strategy(&db, "OFFER", &unindexed, 2).unwrap(),
+            JoinStrategy::Hash
+        );
+        // An empty left input never builds.
+        assert_eq!(
+            choose_join_strategy(&db, "OFFER", &unindexed, 0).unwrap(),
+            JoinStrategy::IndexNestedLoop
+        );
+        // usize::MAX disables hash joins outright (measurement baseline).
+        db.set_hash_join_threshold(usize::MAX);
+        assert_eq!(
+            choose_join_strategy(&db, "OFFER", &unindexed, 1_000_000).unwrap(),
+            JoinStrategy::IndexNestedLoop
+        );
+        // Unknown relations and attributes error.
+        assert!(choose_join_strategy(&db, "NOPE", &unindexed, 1).is_err());
+        assert!(choose_join_strategy(&db, "OFFER", &["NOPE".to_owned()], 1).is_err());
     }
 
     #[test]

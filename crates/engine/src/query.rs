@@ -1,4 +1,4 @@
-//! A small query executor with cost counters.
+//! A morsel-parallel query executor with cost counters.
 //!
 //! The point (paper §1): *"decreasing the number of relations in a database
 //! by merging relations reduces the need for joining relations, and usually
@@ -8,19 +8,38 @@
 //! the rows and index probes each needs, so the benches can report the
 //! speedup *shape* the paper asserts.
 //!
+//! # Execution model
+//!
+//! The root access runs serially, producing *borrowed* row slots (no tuple
+//! is cloned on the scan path). The join pipeline is then compiled once:
+//! each step picks a strategy via [`crate::planner::choose_join_strategy`]
+//! — index-nested-loop for small left inputs with a covering index, hash
+//! join (building or borrowing a hash table over the right relation once)
+//! otherwise — and any hash builds happen before fan-out so cost counters
+//! are identical at every parallelism level. The root rows are partitioned
+//! into fixed-size morsels ([`Database::morsel_rows`]) claimed by up to
+//! [`Database::parallelism`] scoped worker threads; intermediate rows are
+//! arrays of borrowed slots, materialized exactly once per surviving row.
+//! Morsel outputs are reassembled in morsel order, so the result is
+//! deterministic and byte-identical to serial execution.
+//!
 //! [`Database::execute_traced`] additionally returns a [`QueryTrace`]: an
 //! EXPLAIN-ANALYZE-style operator breakdown (rows in/out, index probes,
-//! rows scanned, wall time per access/join/filter/project step) whose
-//! per-operator counters sum exactly to the [`QueryStats`] totals.
+//! rows scanned, hash builds, wall time per access/join/filter/project
+//! step) whose per-operator counters sum exactly to the [`QueryStats`]
+//! totals — per-worker counters merge back into their operator.
 
+use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use relmerge_obs::{self as obs};
 use relmerge_relational::{Attribute, Error, Relation, Result, Tuple, Value};
 
 use crate::database::Database;
+use crate::planner::{choose_join_strategy, JoinStrategy};
 
 /// A selection predicate over the attributes visible at its evaluation
 /// point (the joined row, before projection). Three-valued logic is not
@@ -80,6 +99,24 @@ impl Predicate {
 
     /// Evaluates against a tuple under `header`.
     pub fn eval(&self, header: &[Attribute], t: &Tuple) -> Result<bool> {
+        Ok(CompiledPredicate::compile(self, header)?.matches(t.values()))
+    }
+}
+
+/// A [`Predicate`] with attribute positions resolved against the joined
+/// header, so workers evaluate it on materialized value rows infallibly.
+#[derive(Debug)]
+enum CompiledPredicate {
+    Eq(usize, Value),
+    IsNull(usize),
+    NotNull(usize),
+    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
+    Not(Box<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    fn compile(p: &Predicate, header: &[Attribute]) -> Result<CompiledPredicate> {
         let pos = |attr: &str| -> Result<usize> {
             header
                 .iter()
@@ -89,28 +126,53 @@ impl Predicate {
                     context: "predicate".to_owned(),
                 })
         };
-        Ok(match self {
-            Predicate::Eq(attr, value) => t.get(pos(attr)?) == value,
-            Predicate::IsNull(attr) => t.get(pos(attr)?).is_null(),
-            Predicate::NotNull(attr) => !t.get(pos(attr)?).is_null(),
-            Predicate::And(a, b) => a.eval(header, t)? && b.eval(header, t)?,
-            Predicate::Or(a, b) => a.eval(header, t)? || b.eval(header, t)?,
-            Predicate::Not(a) => !a.eval(header, t)?,
+        Ok(match p {
+            Predicate::Eq(attr, value) => CompiledPredicate::Eq(pos(attr)?, value.clone()),
+            Predicate::IsNull(attr) => CompiledPredicate::IsNull(pos(attr)?),
+            Predicate::NotNull(attr) => CompiledPredicate::NotNull(pos(attr)?),
+            Predicate::And(a, b) => CompiledPredicate::And(
+                Box::new(Self::compile(a, header)?),
+                Box::new(Self::compile(b, header)?),
+            ),
+            Predicate::Or(a, b) => CompiledPredicate::Or(
+                Box::new(Self::compile(a, header)?),
+                Box::new(Self::compile(b, header)?),
+            ),
+            Predicate::Not(a) => CompiledPredicate::Not(Box::new(Self::compile(a, header)?)),
         })
+    }
+
+    fn matches(&self, row: &[Value]) -> bool {
+        match self {
+            CompiledPredicate::Eq(pos, value) => row[*pos] == *value,
+            CompiledPredicate::IsNull(pos) => row[*pos].is_null(),
+            CompiledPredicate::NotNull(pos) => !row[*pos].is_null(),
+            CompiledPredicate::And(a, b) => a.matches(row) && b.matches(row),
+            CompiledPredicate::Or(a, b) => a.matches(row) || b.matches(row),
+            CompiledPredicate::Not(a) => !a.matches(row),
+        }
     }
 }
 
-/// Counters accumulated by one query execution.
+/// Counters accumulated by one query execution. Identical at every
+/// [`Database::parallelism`] level: join strategies and hash builds are
+/// decided before fan-out, and per-morsel counters merge commutatively.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryStats {
-    /// Rows read by scans.
+    /// Rows read by scans (root scans, per-row scan fallbacks, and hash
+    /// build-side scans).
     pub rows_scanned: u64,
-    /// Hash-index probes.
+    /// Hash-index probes issued by index-nested-loop steps and root
+    /// lookups.
     pub index_probes: u64,
     /// Join steps performed.
     pub joins: u64,
     /// Rows in the result.
     pub rows_output: u64,
+    /// Hash tables built (or borrowed from an index) as join build sides.
+    pub hash_builds: u64,
+    /// Morsels the root rows were partitioned into.
+    pub morsels: u64,
 }
 
 impl QueryStats {
@@ -127,6 +189,8 @@ impl AddAssign for QueryStats {
         self.index_probes += rhs.index_probes;
         self.joins += rhs.joins;
         self.rows_output += rhs.rows_output;
+        self.hash_builds += rhs.hash_builds;
+        self.morsels += rhs.morsels;
     }
 }
 
@@ -271,7 +335,7 @@ pub enum OpKind {
     Scan,
     /// Root index lookup.
     Lookup,
-    /// One index-nested-loop join step.
+    /// One join step (index-nested-loop or hash, see the label).
     Join,
     /// Selection predicate.
     Filter,
@@ -290,7 +354,9 @@ pub struct OpStats {
     pub rows_scanned: u64,
     /// Hash-index probes this operator issued.
     pub index_probes: u64,
-    /// Wall time spent in this operator.
+    /// Hash tables this operator built (or borrowed) as a build side.
+    pub hash_builds: u64,
+    /// Wall time spent in this operator (summed across workers).
     pub wall_ns: u64,
 }
 
@@ -309,11 +375,14 @@ pub struct OpTrace {
 /// operators in execution order (root access first), each with rows
 /// in/out, probes, scanned rows, and wall time. [`QueryTrace::totals`]
 /// reconstructs the [`QueryStats`] the run reported — the per-operator
-/// counters sum exactly to them.
+/// counters sum exactly to them, with per-worker (morsel) contributions
+/// merged back into their operator.
 #[derive(Debug, Clone, Default)]
 pub struct QueryTrace {
     /// Operators in execution order.
     pub ops: Vec<OpTrace>,
+    /// Morsels the root rows were partitioned into.
+    pub morsels: u64,
 }
 
 impl QueryTrace {
@@ -323,9 +392,10 @@ impl QueryTrace {
         self.ops.iter().map(|o| o.stats.wall_ns).sum()
     }
 
-    /// The [`QueryStats`] equivalent of this trace: scanned rows and index
-    /// probes sum over operators, `joins` counts the join operators, and
-    /// `rows_output` is the last operator's output cardinality.
+    /// The [`QueryStats`] equivalent of this trace: scanned rows, index
+    /// probes, and hash builds sum over operators, `joins` counts the join
+    /// operators, and `rows_output` is the last operator's output
+    /// cardinality.
     #[must_use]
     pub fn totals(&self) -> QueryStats {
         QueryStats {
@@ -333,6 +403,8 @@ impl QueryTrace {
             index_probes: self.ops.iter().map(|o| o.stats.index_probes).sum(),
             joins: self.ops.iter().filter(|o| o.kind == OpKind::Join).count() as u64,
             rows_output: self.ops.last().map_or(0, |o| o.stats.rows_out),
+            hash_builds: self.ops.iter().map(|o| o.stats.hash_builds).sum(),
+            morsels: self.morsels,
         }
     }
 }
@@ -367,52 +439,12 @@ impl fmt::Display for QueryTrace {
             if s.rows_scanned > 0 {
                 write!(f, " scanned={}", s.rows_scanned)?;
             }
+            if s.hash_builds > 0 {
+                write!(f, " hash_builds={}", s.hash_builds)?;
+            }
             writeln!(f, " time={})", format_ns(s.wall_ns))?;
         }
         Ok(())
-    }
-}
-
-/// Collects per-operator measurements by diffing the running stats around
-/// each operator, so the operator counters sum exactly to the totals.
-struct OpRecorder {
-    trace: QueryTrace,
-    before: QueryStats,
-    started: Instant,
-}
-
-impl OpRecorder {
-    fn start(stats: &QueryStats) -> OpRecorder {
-        OpRecorder {
-            trace: QueryTrace::default(),
-            before: *stats,
-            started: Instant::now(),
-        }
-    }
-
-    /// Closes the current operator and opens the next.
-    fn finish_op(
-        &mut self,
-        kind: OpKind,
-        label: String,
-        rows_in: u64,
-        rows_out: u64,
-        stats: &QueryStats,
-    ) {
-        let wall_ns = obs::elapsed_ns(self.started);
-        self.trace.ops.push(OpTrace {
-            kind,
-            label,
-            stats: OpStats {
-                rows_in,
-                rows_out,
-                rows_scanned: stats.rows_scanned - self.before.rows_scanned,
-                index_probes: stats.index_probes - self.before.index_probes,
-                wall_ns,
-            },
-        });
-        self.before = *stats;
-        self.started = Instant::now();
     }
 }
 
@@ -456,6 +488,320 @@ pub fn execute_traced(
     db.execute_traced(plan)
 }
 
+/// How one compiled join step reaches its right-hand rows. Borrowed
+/// variants point straight into the database's storage; `HashBuilt` owns a
+/// transient table built by scanning the right relation once.
+enum RightAccess<'a> {
+    /// Index-nested-loop through a unique index: one counted probe per
+    /// total left row.
+    Unique {
+        map: &'a HashMap<Tuple, usize>,
+        rows: &'a [Option<Tuple>],
+    },
+    /// Index-nested-loop through a secondary lookup index.
+    Lookup {
+        map: &'a HashMap<Tuple, Vec<usize>>,
+        rows: &'a [Option<Tuple>],
+    },
+    /// Index-nested-loop fallback with no covering index: scan the whole
+    /// right table for every left row (the pre-morsel executor's silent
+    /// worst case, reachable only when hash joins are disabled or the left
+    /// side is empty).
+    ScanProbe {
+        pos: Vec<usize>,
+        rows: &'a [Option<Tuple>],
+    },
+    /// Hash join borrowing a unique index as the prebuilt build side:
+    /// probes are amortized by the build and not counted.
+    HashUnique {
+        map: &'a HashMap<Tuple, usize>,
+        rows: &'a [Option<Tuple>],
+    },
+    /// Hash join borrowing a secondary lookup index as the build side.
+    HashLookup {
+        map: &'a HashMap<Tuple, Vec<usize>>,
+        rows: &'a [Option<Tuple>],
+    },
+    /// Hash join over a transient table built by scanning the right
+    /// relation once (counted as that one scan).
+    HashBuilt { map: HashMap<Tuple, Vec<&'a Tuple>> },
+}
+
+/// One join step compiled against the database: strategy chosen, build
+/// side ready, left attribute positions resolved to (source, column)
+/// slots. Compilation happens before fan-out, so workers share it
+/// immutably.
+struct CompiledJoin<'a> {
+    access: RightAccess<'a>,
+    /// (source, column) of each left join attribute in the slot row.
+    left_locs: Vec<(usize, usize)>,
+    outer: bool,
+    /// Build-side costs (hash builds, build scans, build wall time),
+    /// attributed to this join's operator in the trace.
+    build: OpStats,
+    label: String,
+}
+
+/// An intermediate row: one borrowed slot per plan source (root, then one
+/// per join step); `None` is an outer-join null pad.
+type Row<'a> = Vec<Option<&'a Tuple>>;
+
+/// What one morsel produced: materialized (and filtered) rows plus the
+/// per-operator counters accumulated while producing them.
+struct MorselOut {
+    rows: Vec<Tuple>,
+    /// Probe-side counters per join step (build costs live in
+    /// [`CompiledJoin::build`]).
+    per_join: Vec<OpStats>,
+    /// Materialize + filter counters (`rows_in`/`rows_out`/`wall_ns`).
+    filter: OpStats,
+}
+
+/// Runs the compiled join → materialize → filter pipeline over one morsel
+/// of root rows. Infallible: every name was resolved at compile time.
+fn run_morsel<'a>(
+    morsel: &[&'a Tuple],
+    joins: &[CompiledJoin<'a>],
+    filter: Option<&CompiledPredicate>,
+    widths: &[usize],
+) -> MorselOut {
+    let mut cur: Vec<Row<'a>> = morsel
+        .iter()
+        .map(|t| {
+            let mut parts: Row<'a> = Vec::with_capacity(widths.len());
+            parts.push(Some(*t));
+            parts
+        })
+        .collect();
+    let mut per_join = Vec::with_capacity(joins.len());
+    let mut key_vals: Vec<Value> = Vec::new();
+    let mut matches: Vec<&'a Tuple> = Vec::new();
+    for join in joins {
+        let t0 = Instant::now();
+        let mut op = OpStats {
+            rows_in: cur.len() as u64,
+            ..OpStats::default()
+        };
+        let mut next: Vec<Row<'a>> = Vec::with_capacity(cur.len());
+        for mut row in cur {
+            // Extract the left key; an outer-join pad or a null component
+            // makes it non-total (no probe, old behavior).
+            key_vals.clear();
+            let mut total = true;
+            for &(src, col) in &join.left_locs {
+                match row[src] {
+                    Some(t) if !t.get(col).is_null() => key_vals.push(t.get(col).clone()),
+                    _ => {
+                        total = false;
+                        break;
+                    }
+                }
+            }
+            if !total {
+                if join.outer {
+                    row.push(None);
+                    next.push(row);
+                }
+                continue;
+            }
+            let key = Tuple::new(std::mem::take(&mut key_vals));
+            matches.clear();
+            match &join.access {
+                RightAccess::Unique { map, rows } => {
+                    op.index_probes += 1;
+                    matches.extend(map.get(&key).and_then(|&s| rows[s].as_ref()));
+                }
+                RightAccess::HashUnique { map, rows } => {
+                    matches.extend(map.get(&key).and_then(|&s| rows[s].as_ref()));
+                }
+                RightAccess::Lookup { map, rows } => {
+                    op.index_probes += 1;
+                    if let Some(slots) = map.get(&key) {
+                        matches.extend(slots.iter().filter_map(|&s| rows[s].as_ref()));
+                    }
+                }
+                RightAccess::HashLookup { map, rows } => {
+                    if let Some(slots) = map.get(&key) {
+                        matches.extend(slots.iter().filter_map(|&s| rows[s].as_ref()));
+                    }
+                }
+                RightAccess::ScanProbe { pos, rows } => {
+                    op.rows_scanned += rows.len() as u64;
+                    matches.extend(
+                        rows.iter()
+                            .flatten()
+                            .filter(|t| t.is_total_at(pos) && t.project(pos) == key),
+                    );
+                }
+                RightAccess::HashBuilt { map } => {
+                    if let Some(found) = map.get(&key) {
+                        matches.extend(found.iter().copied());
+                    }
+                }
+            }
+            if matches.is_empty() {
+                if join.outer {
+                    row.push(None);
+                    next.push(row);
+                }
+            } else {
+                let (last, rest) = matches.split_last().expect("non-empty");
+                for &m in rest {
+                    let mut r = row.clone();
+                    r.push(Some(m));
+                    next.push(r);
+                }
+                row.push(Some(*last));
+                next.push(row);
+            }
+        }
+        op.rows_out = next.len() as u64;
+        op.wall_ns = obs::elapsed_ns(t0);
+        per_join.push(op);
+        cur = next;
+    }
+    // Materialize each surviving row exactly once, applying the filter on
+    // the freshly built values.
+    let t0 = Instant::now();
+    let mut fop = OpStats {
+        rows_in: cur.len() as u64,
+        ..OpStats::default()
+    };
+    let total_width: usize = widths.iter().sum();
+    let mut out = Vec::with_capacity(cur.len());
+    for parts in cur {
+        let mut vals: Vec<Value> = Vec::with_capacity(total_width);
+        for (si, w) in widths.iter().enumerate() {
+            match parts[si] {
+                Some(t) => vals.extend_from_slice(t.values()),
+                None => vals.extend(std::iter::repeat_with(|| Value::Null).take(*w)),
+            }
+        }
+        if let Some(p) = filter {
+            if !p.matches(&vals) {
+                continue;
+            }
+        }
+        out.push(Tuple::new(vals));
+    }
+    fop.rows_out = out.len() as u64;
+    fop.wall_ns = obs::elapsed_ns(t0);
+    MorselOut {
+        rows: out,
+        per_join,
+        filter: fop,
+    }
+}
+
+/// Compiles one join step: resolves the left attributes against the
+/// evolving header, picks the strategy, and prepares (or borrows) the
+/// build side. Extends `flat_header`/`locs`/`widths` with the right
+/// relation's attributes.
+fn compile_join<'a>(
+    db: &'a Database,
+    step: &JoinStep,
+    flat_header: &mut Vec<Attribute>,
+    locs: &mut Vec<(usize, usize)>,
+    widths: &mut Vec<usize>,
+    left_estimate: usize,
+) -> Result<CompiledJoin<'a>> {
+    let left_locs: Vec<(usize, usize)> = step
+        .left_attrs
+        .iter()
+        .map(|n| {
+            flat_header
+                .iter()
+                .position(|a| a.name() == n.as_str())
+                .map(|p| locs[p])
+                .ok_or_else(|| Error::UnknownAttribute {
+                    attribute: n.clone(),
+                    context: format!("join input of `{}`", step.rel),
+                })
+        })
+        .collect::<Result<_>>()?;
+    let table = db
+        .tables
+        .get(&step.rel)
+        .ok_or_else(|| Error::UnknownScheme(step.rel.clone()))?;
+    let pos = table.positions(&step.right_attrs)?;
+    let strategy = choose_join_strategy(db, &step.rel, &step.right_attrs, left_estimate)?;
+    let t0 = Instant::now();
+    let mut build = OpStats::default();
+    let access = match strategy {
+        JoinStrategy::IndexNestedLoop => {
+            if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
+                RightAccess::Unique {
+                    map,
+                    rows: &table.rows,
+                }
+            } else if let Some((_, map)) = table.lookups.get(&step.right_attrs) {
+                RightAccess::Lookup {
+                    map,
+                    rows: &table.rows,
+                }
+            } else {
+                RightAccess::ScanProbe {
+                    pos,
+                    rows: &table.rows,
+                }
+            }
+        }
+        JoinStrategy::Hash => {
+            build.hash_builds = 1;
+            if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
+                RightAccess::HashUnique {
+                    map,
+                    rows: &table.rows,
+                }
+            } else if let Some((_, map)) = table.lookups.get(&step.right_attrs) {
+                RightAccess::HashLookup {
+                    map,
+                    rows: &table.rows,
+                }
+            } else {
+                build.rows_scanned = table.rows.len() as u64;
+                let mut map: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
+                for t in table.rows.iter().flatten() {
+                    if t.is_total_at(&pos) {
+                        map.entry(t.project(&pos)).or_default().push(t);
+                    }
+                }
+                RightAccess::HashBuilt { map }
+            }
+        }
+    };
+    build.wall_ns = obs::elapsed_ns(t0);
+    let verb = match (step.outer, strategy) {
+        (false, JoinStrategy::IndexNestedLoop) => "Join",
+        (true, JoinStrategy::IndexNestedLoop) => "OuterJoin",
+        (false, JoinStrategy::Hash) => "HashJoin",
+        (true, JoinStrategy::Hash) => "OuterHashJoin",
+    };
+    let mut label = format!(
+        "{verb} {} ON {}={}",
+        step.rel,
+        step.left_attrs.join(","),
+        step.right_attrs.join(",")
+    );
+    if let Some(ind) = &step.via_ind {
+        label.push_str(" via ");
+        label.push_str(ind);
+    }
+    let source = widths.len();
+    for (i, a) in table.header.iter().enumerate() {
+        flat_header.push(a.clone());
+        locs.push((source, i));
+    }
+    widths.push(table.header.len());
+    Ok(CompiledJoin {
+        access,
+        left_locs,
+        outer: step.outer,
+        build,
+        label,
+    })
+}
+
 fn execute_impl(
     db: &Database,
     plan: &QueryPlan,
@@ -465,18 +811,22 @@ fn execute_impl(
     span.add_field("root", &plan.root);
     span.add_field("joins", plan.joins.len());
     let mut stats = QueryStats::default();
-    let mut recorder = traced.then(|| OpRecorder::start(&stats));
-    // Root access.
-    let mut header: Vec<Attribute> = db.header(&plan.root)?.to_vec();
-    let mut rows: Vec<Tuple> = match &plan.access {
+
+    // Root access (serial, borrowed slots — nothing is cloned).
+    let root_header = db.header(&plan.root)?;
+    let t_root = Instant::now();
+    let mut root_rows: Vec<&Tuple> = Vec::new();
+    match &plan.access {
         Access::FullScan => {
             let (_, scanned) = db.scan(&plan.root)?;
             stats.rows_scanned += scanned.len() as u64;
-            scanned.into_iter().cloned().collect()
+            root_rows = scanned;
         }
-        Access::Lookup { attrs, key } => db.probe(&plan.root, attrs, key, &mut stats)?,
-    };
-    if let Some(rec) = recorder.as_mut() {
+        Access::Lookup { attrs, key } => {
+            db.probe_slots(&plan.root, attrs, key, &mut stats, &mut root_rows)?;
+        }
+    }
+    let root_op = traced.then(|| {
         let (kind, label) = match &plan.access {
             Access::FullScan => (OpKind::Scan, format!("Scan {}", plan.root)),
             Access::Lookup { attrs, .. } => (
@@ -484,104 +834,170 @@ fn execute_impl(
                 format!("Lookup {} [{}]", plan.root, attrs.join(",")),
             ),
         };
-        rec.finish_op(kind, label, 0, rows.len() as u64, &stats);
-    }
-    // Join steps: index-nested-loop through the database's indexes.
+        OpTrace {
+            kind,
+            label,
+            stats: OpStats {
+                rows_in: 0,
+                rows_out: root_rows.len() as u64,
+                rows_scanned: stats.rows_scanned,
+                index_probes: stats.index_probes,
+                hash_builds: 0,
+                wall_ns: obs::elapsed_ns(t_root),
+            },
+        }
+    });
+
+    // Compile the join pipeline. Strategy choice uses the *root*
+    // cardinality as the left estimate and hash builds happen here, before
+    // fan-out, so the counters are identical at every parallelism level.
+    let mut flat_header: Vec<Attribute> = root_header.to_vec();
+    let mut locs: Vec<(usize, usize)> = (0..root_header.len()).map(|i| (0, i)).collect();
+    let mut widths: Vec<usize> = vec![root_header.len()];
+    let left_estimate = root_rows.len();
+    let mut joins: Vec<CompiledJoin<'_>> = Vec::with_capacity(plan.joins.len());
     for step in &plan.joins {
-        let rows_in = rows.len() as u64;
         stats.joins += 1;
-        let right_header = db.header(&step.rel)?;
-        let mut next: Vec<Tuple> = Vec::new();
-        let left_pos: Vec<usize> = step
-            .left_attrs
+        joins.push(compile_join(
+            db,
+            step,
+            &mut flat_header,
+            &mut locs,
+            &mut widths,
+            left_estimate,
+        )?);
+    }
+    let filter = plan
+        .filter
+        .as_ref()
+        .map(|p| CompiledPredicate::compile(p, &flat_header))
+        .transpose()?;
+
+    // Partition into morsels and fan out; each worker claims the next
+    // unprocessed morsel until none remain.
+    let morsel_rows = db.morsel_rows().max(1);
+    let morsels: Vec<&[&Tuple]> = root_rows.chunks(morsel_rows).collect();
+    stats.morsels = morsels.len() as u64;
+    let workers = db.parallelism().clamp(1, morsels.len().max(1));
+    span.add_field("morsels", morsels.len());
+    span.add_field("workers", workers);
+    let outs: Vec<MorselOut> = if workers <= 1 {
+        morsels
             .iter()
-            .map(|n| {
-                header
-                    .iter()
-                    .position(|a| a.name() == n.as_str())
-                    .ok_or_else(|| Error::UnknownAttribute {
-                        attribute: n.clone(),
-                        context: format!("join input of `{}`", step.rel),
+            .map(|m| run_morsel(m, &joins, filter.as_ref(), &widths))
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<MorselOut>> = Vec::new();
+        slots.resize_with(morsels.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (next, morsels, joins) = (&next, &morsels, &joins);
+                    let (filter, widths) = (filter.as_ref(), &widths);
+                    scope.spawn(move || {
+                        let mut done: Vec<(usize, MorselOut)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(m) = morsels.get(i) else { break };
+                            done.push((i, run_morsel(m, joins, filter, widths)));
+                        }
+                        done
                     })
-            })
-            .collect::<Result<_>>()?;
-        let pad = Tuple::nulls(right_header.len());
-        for left in &rows {
-            if !left.is_total_at(&left_pos) {
-                if step.outer {
-                    next.push(left.concat(&pad));
-                }
-                continue;
-            }
-            let key = left.project(&left_pos);
-            let matches = db.probe(&step.rel, &step.right_attrs, &key, &mut stats)?;
-            if matches.is_empty() {
-                if step.outer {
-                    next.push(left.concat(&pad));
-                }
-            } else {
-                for m in &matches {
-                    next.push(left.concat(m));
+                })
+                .collect();
+            for h in handles {
+                for (i, out) in h.join().expect("query worker panicked") {
+                    slots[i] = Some(out);
                 }
             }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel claimed exactly once"))
+            .collect()
+    };
+
+    // Reassemble in morsel order — deterministic and byte-identical to the
+    // serial path — and merge per-worker counters into their operators.
+    let mut per_join: Vec<OpStats> = joins.iter().map(|j| j.build).collect();
+    let mut filter_op = OpStats::default();
+    let mut rows: Vec<Tuple> = Vec::with_capacity(outs.iter().map(|o| o.rows.len()).sum());
+    for out in outs {
+        for (agg, op) in per_join.iter_mut().zip(&out.per_join) {
+            agg.rows_in += op.rows_in;
+            agg.rows_out += op.rows_out;
+            agg.rows_scanned += op.rows_scanned;
+            agg.index_probes += op.index_probes;
+            agg.wall_ns += op.wall_ns;
         }
-        header.extend(right_header.iter().cloned());
-        rows = next;
-        if let Some(rec) = recorder.as_mut() {
-            let mut label = format!(
-                "{} {} ON {}={}",
-                if step.outer { "OuterJoin" } else { "Join" },
-                step.rel,
-                step.left_attrs.join(","),
-                step.right_attrs.join(",")
-            );
-            if let Some(ind) = &step.via_ind {
-                label.push_str(" via ");
-                label.push_str(ind);
-            }
-            rec.finish_op(OpKind::Join, label, rows_in, rows.len() as u64, &stats);
-        }
+        filter_op.rows_in += out.filter.rows_in;
+        filter_op.rows_out += out.filter.rows_out;
+        filter_op.wall_ns += out.filter.wall_ns;
+        rows.extend(out.rows);
     }
-    // Selection.
-    if let Some(predicate) = &plan.filter {
-        let rows_in = rows.len() as u64;
-        let mut kept = Vec::with_capacity(rows.len());
-        for t in rows {
-            if predicate.eval(&header, &t)? {
-                kept.push(t);
-            }
-        }
-        rows = kept;
-        if let Some(rec) = recorder.as_mut() {
-            rec.finish_op(
-                OpKind::Filter,
-                "Filter".to_owned(),
-                rows_in,
-                rows.len() as u64,
-                &stats,
-            );
-        }
+    for op in &per_join {
+        stats.rows_scanned += op.rows_scanned;
+        stats.index_probes += op.index_probes;
+        stats.hash_builds += op.hash_builds;
     }
-    // Projection.
-    let rows_in = rows.len() as u64;
+
+    // Projection (central, so set semantics dedup once).
+    let t_proj = Instant::now();
+    let rows_in_proj = rows.len() as u64;
     let result = if plan.project.is_empty() {
-        Relation::with_rows(header, rows)?
+        Relation::with_rows(flat_header, rows)?
     } else {
         let wanted: Vec<&str> = plan.project.iter().map(String::as_str).collect();
-        let full = Relation::with_rows(header, rows)?;
+        let full = Relation::with_rows(flat_header, rows)?;
         relmerge_relational::algebra::project(&full, &wanted)?
     };
     stats.rows_output = result.len() as u64;
-    if let Some(rec) = recorder.as_mut() {
+
+    let trace = traced.then(|| {
+        let mut tr = QueryTrace {
+            ops: Vec::with_capacity(joins.len() + 3),
+            morsels: stats.morsels,
+        };
+        tr.ops.push(root_op.expect("recorded when traced"));
+        for (cj, op) in joins.iter().zip(per_join) {
+            tr.ops.push(OpTrace {
+                kind: OpKind::Join,
+                label: cj.label.clone(),
+                stats: op,
+            });
+        }
+        let mut proj_wall = obs::elapsed_ns(t_proj);
+        if plan.filter.is_some() {
+            tr.ops.push(OpTrace {
+                kind: OpKind::Filter,
+                label: "Filter".to_owned(),
+                stats: filter_op,
+            });
+        } else {
+            // No filter operator: materialization time folds into the
+            // projection it feeds.
+            proj_wall += filter_op.wall_ns;
+        }
         let label = if plan.project.is_empty() {
             "Project *".to_owned()
         } else {
             format!("Project [{}]", plan.project.join(","))
         };
-        rec.finish_op(OpKind::Project, label, rows_in, result.len() as u64, &stats);
-    }
+        tr.ops.push(OpTrace {
+            kind: OpKind::Project,
+            label,
+            stats: OpStats {
+                rows_in: rows_in_proj,
+                rows_out: stats.rows_output,
+                wall_ns: proj_wall,
+                ..OpStats::default()
+            },
+        });
+        tr
+    });
     span.add_field("rows_out", stats.rows_output);
-    Ok((result, stats, recorder.map(|r| r.trace)))
+    Ok((result, stats, trace))
 }
 
 #[cfg(test)]
@@ -792,16 +1208,22 @@ mod tests {
             index_probes: 2,
             joins: 3,
             rows_output: 4,
+            hash_builds: 5,
+            morsels: 6,
         };
         let b = QueryStats {
             rows_scanned: 10,
             index_probes: 20,
             joins: 30,
             rows_output: 40,
+            hash_builds: 50,
+            morsels: 60,
         };
         let sum = a + b;
         assert_eq!(sum.rows_scanned, 11);
         assert_eq!(sum.rows_output, 44);
+        assert_eq!(sum.hash_builds, 55);
+        assert_eq!(sum.morsels, 66);
         let mut m = a;
         m.merge(&b);
         assert_eq!(m, sum);
@@ -829,5 +1251,127 @@ mod tests {
         let (_, traced_stats, trace) = execute_traced(&db, &plan).unwrap();
         assert_eq!(traced_stats, method_stats);
         assert_eq!(trace.totals(), traced_stats);
+    }
+
+    #[test]
+    fn morsels_counted_independent_of_workers() {
+        let mut db = db();
+        db.set_morsel_rows(3);
+        for workers in [1, 4] {
+            db.set_parallelism(workers);
+            let (_, stats) = db.execute(&QueryPlan::scan("COURSE")).unwrap();
+            assert_eq!(stats.morsels, 4, "10 rows / 3-row morsels");
+        }
+        // An empty root partitions into zero morsels.
+        let plan = QueryPlan::lookup("COURSE", &["C.K"], tup(&[999])).join(JoinStep::inner(
+            "OFFER",
+            &["C.K"],
+            &["O.K"],
+        ));
+        let (result, stats) = db.execute(&plan).unwrap();
+        assert_eq!(result.len(), 0);
+        assert_eq!(stats.morsels, 0);
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical() {
+        let mut db = db();
+        let plan = QueryPlan::scan("COURSE")
+            .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
+            .filter(Predicate::not_null("C.K"));
+        db.set_morsel_rows(1); // every row its own morsel
+        db.set_parallelism(1);
+        let (serial, serial_stats) = db.execute(&plan).unwrap();
+        for workers in 2..=4 {
+            db.set_parallelism(workers);
+            let (parallel, parallel_stats) = db.execute(&plan).unwrap();
+            assert_eq!(parallel, serial, "byte-identical at {workers} workers");
+            assert_eq!(parallel_stats, serial_stats);
+            let (traced, traced_stats, trace) = db.execute_traced(&plan).unwrap();
+            assert_eq!(traced, serial);
+            assert_eq!(traced_stats, serial_stats);
+            assert_eq!(trace.totals(), traced_stats);
+        }
+    }
+
+    #[test]
+    fn hash_join_over_threshold_replaces_probes_with_one_build() {
+        let mut db = db();
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
+        // Force the hash strategy: the OFFER unique index becomes the
+        // build side, so no per-row probes are counted.
+        db.set_hash_join_threshold(0);
+        let (hashed, hash_stats) = db.execute(&plan).unwrap();
+        assert_eq!(hash_stats.hash_builds, 1);
+        assert_eq!(hash_stats.index_probes, 0);
+        // Force index-nested-loop: the pre-morsel counters.
+        db.set_hash_join_threshold(usize::MAX);
+        let (inl, inl_stats) = db.execute(&plan).unwrap();
+        assert_eq!(inl_stats.hash_builds, 0);
+        assert_eq!(inl_stats.index_probes, 10);
+        assert_eq!(hashed, inl, "strategy changes cost, not the result");
+    }
+
+    #[test]
+    fn outer_hash_join_pads_like_inl() {
+        let mut db = db();
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
+        db.set_hash_join_threshold(usize::MAX);
+        let (inl, _) = db.execute(&plan).unwrap();
+        db.set_hash_join_threshold(0);
+        let (hashed, stats) = db.execute(&plan).unwrap();
+        assert_eq!(stats.hash_builds, 1);
+        assert_eq!(hashed, inl);
+        assert!(hashed.contains(&Tuple::new([Value::Int(1), Value::Null, Value::Null])));
+    }
+
+    #[test]
+    fn hash_join_without_covering_index_builds_from_one_scan() {
+        // Join OFFER to itself-shaped data on the *non-indexed* O.D
+        // column: no unique or lookup index covers it, so the pre-morsel
+        // executor scanned the whole table per left row. The hash strategy
+        // scans it once to build.
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("L", vec![a("L.K"), a("L.V")], &["L.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("R", vec![a("R.K"), a("R.V")], &["R.K"]).unwrap())
+            .unwrap();
+        let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+        for k in 0..12 {
+            db.insert("L", tup(&[k, k % 3])).unwrap();
+            db.insert("R", tup(&[k, k % 4])).unwrap();
+        }
+        let plan = QueryPlan::scan("L").join(JoinStep::inner("R", &["L.V"], &["R.V"]));
+        db.set_hash_join_threshold(usize::MAX);
+        let (inl, inl_stats) = db.execute(&plan).unwrap();
+        assert_eq!(inl_stats.rows_scanned, 12 + 12 * 12, "scan per left row");
+        db.set_hash_join_threshold(64); // left = 12 < 64, but no index ⇒ hash
+        let (hashed, hash_stats) = db.execute(&plan).unwrap();
+        assert_eq!(hash_stats.hash_builds, 1);
+        assert_eq!(
+            hash_stats.rows_scanned,
+            12 + 12,
+            "root scan + one build scan"
+        );
+        assert_eq!(hashed, inl);
+        // The strictly-lower claim of the clone-free/hash path.
+        assert!(hash_stats.rows_scanned < inl_stats.rows_scanned);
+    }
+
+    #[test]
+    fn hash_join_label_in_trace() {
+        let mut db = db();
+        db.set_hash_join_threshold(0);
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
+        let (_, stats, trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(trace.totals(), stats);
+        assert_eq!(trace.ops[1].kind, OpKind::Join);
+        assert!(
+            trace.ops[1].label.starts_with("OuterHashJoin OFFER"),
+            "{}",
+            trace.ops[1].label
+        );
+        assert_eq!(trace.ops[1].stats.hash_builds, 1);
+        assert!(trace.to_string().contains("hash_builds=1"));
     }
 }

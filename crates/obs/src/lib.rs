@@ -35,8 +35,8 @@ pub mod trace;
 
 pub use export::{json_escape, to_json, to_text};
 pub use metrics::{
-    bucket_bounds, bucket_index, elapsed_ns, global, register_shard, snapshot_all, Counter, Gauge,
-    Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+    bucket_bounds, bucket_index, elapsed_ns, flush_shard, global, register_shard, snapshot_all,
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use trace::{
     clear_events, enabled, render_tree, set_enabled, set_sink, span, take_events, timer, NullSink,

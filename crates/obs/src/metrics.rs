@@ -170,6 +170,19 @@ impl Histogram {
             b.store(0, Ordering::Relaxed);
         }
     }
+
+    /// Folds a snapshot's samples into this histogram (adds counts, sums,
+    /// and per-bucket tallies). Used when flushing a shard registry into
+    /// the global one.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        for &(i, n) in &snap.buckets {
+            if i < HISTOGRAM_BUCKETS {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Saturating nanoseconds since `start`.
@@ -405,6 +418,30 @@ pub fn register_shard(shard: &Arc<Registry>) {
     shards.push(Arc::downgrade(shard));
 }
 
+/// Folds every metric of `shard` into the process-global registry:
+/// counters add, gauges take the shard's value, histograms merge their
+/// bucket tallies. Call this when a shard owner is dropped so its counts
+/// survive in [`snapshot_all`] instead of vanishing with the weak
+/// reference. Flushing a *live* shard double-counts it in `snapshot_all`
+/// (once merged, once live) — only flush at end of life.
+pub fn flush_shard(shard: &Registry) {
+    let snap = shard.snapshot();
+    let g = global();
+    for (name, v) in &snap.counters {
+        if *v > 0 {
+            g.counter(name).add(*v);
+        }
+    }
+    for (name, v) in &snap.gauges {
+        g.gauge(name).set(*v);
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            g.histogram(name).merge_snapshot(h);
+        }
+    }
+}
+
 /// The global registry's snapshot merged with every live shard's.
 pub fn snapshot_all() -> Snapshot {
     let mut snap = global().snapshot();
@@ -495,6 +532,28 @@ mod tests {
         assert_eq!(merged.counters["c"], now.counters["c"]);
         assert_eq!(merged.histograms["h"].count, now.histograms["h"].count);
         assert_eq!(merged.histograms["h"].sum, now.histograms["h"].sum);
+    }
+
+    #[test]
+    fn flush_shard_preserves_counts_past_drop() {
+        let shard = Arc::new(Registry::new());
+        register_shard(&shard);
+        shard.counter("flush.test.events").add(7);
+        shard.gauge("flush.test.level").set(-3);
+        shard.histogram("flush.test.ns").record(5);
+        shard.histogram("flush.test.ns").record(1000);
+        let before = global().snapshot();
+        flush_shard(&shard);
+        drop(shard);
+        let after = snapshot_all().diff(&before);
+        assert_eq!(after.counters["flush.test.events"], 7);
+        assert_eq!(after.gauges["flush.test.level"], -3);
+        let h = &after.histograms["flush.test.ns"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 1005);
+        let by_bucket: BTreeMap<usize, u64> = h.buckets.iter().copied().collect();
+        assert_eq!(by_bucket[&bucket_index(5)], 1);
+        assert_eq!(by_bucket[&bucket_index(1000)], 1);
     }
 
     #[test]
