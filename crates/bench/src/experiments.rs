@@ -5,9 +5,9 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_core::{Merge, Merged};
-use relmerge_engine::{Database, DbmsProfile, JoinStep, QueryPlan, Statement};
+use relmerge_engine::{Database, DbmsProfile, DmlError, JoinStep, QueryPlan, Statement};
 use relmerge_obs as obs;
-use relmerge_relational::{Result, Tuple, Value};
+use relmerge_relational::{Error, Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
 
 /// The university COURSE-chain merge used by B1/B2/B4: merge
@@ -776,6 +776,131 @@ pub fn write_parallel_query_json(
     std::fs::write(path, out)
 }
 
+/// One row of the B9 fault-torture matrix: all cells for one
+/// `(injection site, fault mode)` pair, aggregated.
+#[derive(Debug, Clone)]
+pub struct TortureRow {
+    /// Injection site name (see `relmerge_engine::fault::site`).
+    pub site: String,
+    /// Fault mode label (`"error"` or `"panic"`).
+    pub mode: String,
+    /// Matrix cells run for this pair (one per arrival index).
+    pub cells: u64,
+    /// Cells whose fault actually fired.
+    pub injections: u64,
+    /// Fired cells that surfaced a typed injected/panic error (never a
+    /// process abort).
+    pub typed_errors: u64,
+    /// Fired cells whose post-abort [`Database::verify_integrity`] report
+    /// was clean.
+    pub clean_reports: u64,
+    /// Fired cells whose post-abort state byte-equalled the pre-batch
+    /// snapshot.
+    pub snapshot_matches: u64,
+    /// Cells whose arm never fired (the batch must then commit).
+    pub no_fire: u64,
+}
+
+/// B9: the fault-torture matrix. One merged-schema write batch is applied
+/// repeatedly; each run arms exactly one injection site at one arrival
+/// index, in error mode and in panic mode. Every fired cell must (a)
+/// surface a typed error to the caller, (b) leave
+/// [`Database::verify_integrity`] clean, and (c) roll the state back to
+/// the pre-batch snapshot, byte-identical.
+///
+/// Callers that arm panic-mode cells outside the test harness should
+/// install a quiet panic hook around the call — the injected panics are
+/// caught and converted, but the default hook still prints each one.
+pub fn fault_torture(courses: usize, batch_size: usize, seed: u64) -> Result<Vec<TortureRow>> {
+    use relmerge_engine::fault::site;
+    use relmerge_engine::{FaultMode, FaultPlan};
+    use relmerge_workload::{university_ops, write_batches, MixSpec};
+
+    let _span = obs::span("bench.b9.fault_torture")
+        .field("courses", courses)
+        .field("batch_size", batch_size);
+    let (u, m) = university_merge(courses, seed)?;
+    let merged_state = m.apply(&u.state)?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    // A write-only stream so every statement slot in the batch is a
+    // mutation; take the first full batch as the torture subject.
+    let ops = university_ops(
+        &MixSpec::write_only(),
+        batch_size * 3,
+        courses,
+        20,
+        200,
+        &mut rng,
+    );
+    let batches = write_batches(&ops, true, batch_size);
+    let batch = batches.first().cloned().unwrap_or_default();
+
+    let build = || -> Result<Database> {
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::ideal())?;
+        db.load_state(&merged_state)?;
+        Ok(db)
+    };
+
+    // Dry run with never-firing arms to count per-site arrivals; the
+    // arrival count is the matrix width for that site.
+    let mut dry = build()?;
+    let mut probe = FaultPlan::new();
+    for &s in site::BATCH {
+        probe = probe.fail_at(s, u64::MAX, FaultMode::Error);
+    }
+    let probe = dry.set_fault_plan(probe);
+    dry.apply_batch(&batch)?;
+    let arrivals: Vec<(&'static str, u64)> =
+        site::BATCH.iter().map(|&s| (s, probe.hits(s))).collect();
+
+    let mut rows = Vec::new();
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        for &(s, hits) in &arrivals {
+            let mut row = TortureRow {
+                site: s.to_owned(),
+                mode: mode.label().to_owned(),
+                cells: 0,
+                injections: 0,
+                typed_errors: 0,
+                clean_reports: 0,
+                snapshot_matches: 0,
+                no_fire: 0,
+            };
+            for nth in 0..hits {
+                row.cells += 1;
+                let mut db = build()?;
+                let pre = db.snapshot()?;
+                let plan = db.set_fault_plan(FaultPlan::new().fail_at(s, nth, mode));
+                let outcome = db.apply_batch(&batch);
+                if plan.total_fired() == 0 {
+                    row.no_fire += 1;
+                    outcome?;
+                    continue;
+                }
+                row.injections += 1;
+                if let Err(e) = outcome {
+                    if matches!(
+                        e.root_cause(),
+                        DmlError::Schema(Error::Injected { .. })
+                            | DmlError::Schema(Error::ExecutionPanic { .. })
+                    ) {
+                        row.typed_errors += 1;
+                    }
+                }
+                db.clear_fault_plan();
+                if db.verify_integrity().is_clean() {
+                    row.clean_reports += 1;
+                }
+                if db.snapshot()? == pre {
+                    row.snapshot_matches += 1;
+                }
+            }
+            rows.push(row);
+        }
+    }
+    Ok(rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -909,6 +1034,25 @@ mod tests {
         assert!(text.trim_end().ends_with("]}"));
         for key in ["\"speedup\":", "\"workers\":", "\"rows_per_sec\":"] {
             assert_eq!(text.matches(key).count(), rows.len(), "{key}");
+        }
+    }
+
+    #[test]
+    fn fault_torture_every_cell_recovers() {
+        let rows = fault_torture(60, 8, 11).unwrap();
+        // 4 batch sites × 2 modes.
+        assert_eq!(rows.len(), 8);
+        let total_cells: u64 = rows.iter().map(|r| r.cells).sum();
+        assert!(total_cells > 8, "matrix is wider than one cell per pair");
+        for r in &rows {
+            assert!(r.cells > 0, "{r:?}");
+            assert_eq!(r.no_fire, 0, "every arrival index must fire: {r:?}");
+            // The acceptance criterion: typed error, clean integrity,
+            // byte-identical rollback — for every fired cell.
+            assert_eq!(r.injections, r.cells, "{r:?}");
+            assert_eq!(r.typed_errors, r.injections, "{r:?}");
+            assert_eq!(r.clean_reports, r.injections, "{r:?}");
+            assert_eq!(r.snapshot_matches, r.injections, "{r:?}");
         }
     }
 

@@ -36,12 +36,14 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use relmerge_obs::{self as obs};
-use relmerge_relational::{Relation, Tuple};
+use relmerge_relational::{Error, Relation, Tuple};
 
 use crate::database::{singleton_relation, CheckClass, Database, DmlError};
+use crate::fault::{panic_message, site};
 
 /// One DML statement, the unit of the unified execution path.
 #[derive(Debug, Clone, PartialEq)]
@@ -435,36 +437,50 @@ impl Database {
         span.add_field("statements", stmts.len());
         span.add_field("mode", if deferred { "deferred" } else { "immediate" });
         let mut undo: Vec<Undo> = Vec::new();
-        let mut touched = Touched::default();
         let mut outcomes = Vec::with_capacity(stmts.len());
-        let mut result: Result<u64, DmlError> = Ok(0);
-        for (i, stmt) in stmts.iter().enumerate() {
-            let applied = if deferred {
-                self.apply_deferred(stmt, i, &mut undo, &mut touched)
-            } else {
-                self.execute_statement(stmt, Some(&mut undo))
-            };
-            match applied {
-                Ok(outcome) => outcomes.push(outcome),
-                Err(e) => {
-                    result = Err(DmlError::at_statement(i, e));
-                    break;
+        // The whole forward path — statement apply, deferred group
+        // validation, the commit tail — runs under `catch_unwind`, with the
+        // undo log owned *outside* the closure. Every mutation records its
+        // undo entry before any fault site can fire again, so a panic
+        // anywhere inside (injected or genuine) leaves `undo` complete:
+        // the caught panic becomes a typed error and takes the same
+        // rollback path a constraint violation does.
+        let forward = catch_unwind(AssertUnwindSafe(|| -> Result<u64, DmlError> {
+            let mut touched = Touched::default();
+            for (i, stmt) in stmts.iter().enumerate() {
+                self.fault_check(site::STATEMENT_APPLY)
+                    .map_err(|e| DmlError::at_statement(i, e.into()))?;
+                let applied = if deferred {
+                    self.apply_deferred(stmt, i, &mut undo, &mut touched)
+                } else {
+                    self.execute_statement(stmt, Some(&mut undo))
+                };
+                match applied {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(e) => return Err(DmlError::at_statement(i, e)),
                 }
             }
-        }
-        if deferred {
-            if let Ok(checks) = &mut result {
+            let checks = if deferred {
                 match self.validate_deferred(&touched) {
-                    Ok(c) => *checks = c,
+                    Ok(c) => c,
                     Err(e) => {
                         // Apply-time failures already counted themselves;
                         // commit-time violations are counted here.
                         self.metrics.rejected.inc();
-                        result = Err(e);
+                        return Err(e);
                     }
                 }
-            }
-        }
+            } else {
+                0
+            };
+            self.fault_check(site::COMMIT)?;
+            Ok(checks)
+        }));
+        let result = forward.unwrap_or_else(|payload| {
+            Err(DmlError::Schema(Error::ExecutionPanic {
+                context: panic_message(payload),
+            }))
+        });
         self.metrics.batch_size.record(stmts.len() as u64);
         self.metrics.batch_ns.record(obs::elapsed_ns(start));
         match result {
@@ -479,6 +495,13 @@ impl Database {
                 })
             }
             Err(e) => {
+                match e.root_cause() {
+                    DmlError::Schema(Error::Injected { .. }) => self.metrics.injected_aborts.inc(),
+                    DmlError::Schema(Error::ExecutionPanic { .. }) => {
+                        self.metrics.panic_aborts.inc();
+                    }
+                    _ => {}
+                }
                 rollback(self, undo)?;
                 self.metrics.batch_rollbacks.inc();
                 span.add_field("result", "rolled_back");
@@ -502,6 +525,7 @@ impl Database {
                 if self.check_unique(rel, tuple)? {
                     return Ok(StatementOutcome::Noop);
                 }
+                self.fault_check(site::INDEX_MAINTENANCE)?;
                 self.raw_insert(rel, tuple.clone())
                     .map_err(DmlError::Schema)?;
                 self.metrics.inserts.inc();
@@ -516,6 +540,7 @@ impl Database {
                 let Some((slot, victim)) = self.find_by_pk(rel, key)? else {
                     return Ok(StatementOutcome::Noop);
                 };
+                self.fault_check(site::INDEX_MAINTENANCE)?;
                 self.remove_slot(rel, slot, &victim);
                 self.metrics.deletes.inc();
                 undo.push(Undo::Delete {
@@ -533,6 +558,7 @@ impl Database {
                     return Ok(StatementOutcome::Updated);
                 }
                 self.validate_shape(rel, tuple)?;
+                self.fault_check(site::INDEX_MAINTENANCE)?;
                 self.remove_slot(rel, slot, &old);
                 undo.push(Undo::Delete {
                     rel: rel.clone(),
@@ -540,6 +566,7 @@ impl Database {
                 });
                 touched.record_delete(rel, old, index);
                 if !self.check_unique(rel, tuple)? {
+                    self.fault_check(site::INDEX_MAINTENANCE)?;
                     self.raw_insert(rel, tuple.clone())
                         .map_err(DmlError::Schema)?;
                     undo.push(Undo::Insert {
@@ -569,9 +596,23 @@ impl Database {
                         .iter()
                         .map(|(name, tr)| scope.spawn(move || self.validate_relation(name, tr)))
                         .collect();
+                    // A panicked validation worker (injected or genuine)
+                    // fails only its relation: the panic becomes a typed
+                    // violation attributed to that relation's earliest
+                    // statement, and the batch rolls back normally.
                     handles
                         .into_iter()
-                        .map(|h| h.join().expect("validation thread panicked"))
+                        .zip(&rels)
+                        .map(|(h, (_, tr))| {
+                            h.join().unwrap_or_else(|payload| {
+                                Err(Violation {
+                                    index: tr.first_index(),
+                                    error: DmlError::Schema(Error::ExecutionPanic {
+                                        context: panic_message(payload),
+                                    }),
+                                })
+                            })
+                        })
                         .collect()
                 })
             } else {
@@ -608,6 +649,8 @@ impl Database {
             index: tr.first_index(),
             error: e,
         };
+        self.fault_check(site::GROUP_VALIDATE)
+            .map_err(|e| structural(e.into()))?;
         let mut checks = 0u64;
         if !tr.inserted.is_empty() {
             // Null constraints: one group check per constraint over a

@@ -30,6 +30,9 @@ use relmerge_relational::{
 };
 
 use crate::capability::{DbmsProfile, Mechanism};
+use crate::fault::{
+    site, FaultPlan, IntegrityKind, IntegrityReport, IntegrityViolation, QueryBudget,
+};
 
 /// Why a DML statement was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +74,17 @@ impl DmlError {
         match self {
             DmlError::AtStatement { index, .. } => Some(*index),
             _ => None,
+        }
+    }
+
+    /// The innermost error, unwrapping any [`DmlError::AtStatement`]
+    /// attribution layers — what callers match on to classify a failure
+    /// (e.g. injected fault vs. caught panic vs. real violation).
+    #[must_use]
+    pub fn root_cause(&self) -> &DmlError {
+        match self {
+            DmlError::AtStatement { source, .. } => source.root_cause(),
+            other => other,
         }
     }
 }
@@ -206,6 +220,9 @@ pub(crate) struct DbMetrics {
     pub(crate) index_probes: Arc<Counter>,
     pub(crate) batch_commits: Arc<Counter>,
     pub(crate) batch_rollbacks: Arc<Counter>,
+    pub(crate) injected_aborts: Arc<Counter>,
+    pub(crate) panic_aborts: Arc<Counter>,
+    pub(crate) budget_aborts: Arc<Counter>,
     class_declarative: [Arc<Counter>; CHECK_CLASSES],
     class_procedural: [Arc<Counter>; CHECK_CLASSES],
     declarative_ns: Arc<Histogram>,
@@ -237,6 +254,9 @@ impl DbMetrics {
             index_probes: registry.counter("engine.check.index_probes"),
             batch_commits: registry.counter("engine.batch.commits"),
             batch_rollbacks: registry.counter("engine.batch.rollbacks"),
+            injected_aborts: registry.counter("engine.fault.aborts.injected"),
+            panic_aborts: registry.counter("engine.fault.aborts.panic"),
+            budget_aborts: registry.counter("engine.query.aborts.budget"),
             class_declarative: per_class("declarative"),
             class_procedural: per_class("procedural"),
             declarative_ns: registry.histogram("engine.check.declarative.ns"),
@@ -264,6 +284,9 @@ impl DbMetrics {
         out.index_probes.set(self.index_probes.get());
         out.batch_commits.set(self.batch_commits.get());
         out.batch_rollbacks.set(self.batch_rollbacks.get());
+        out.injected_aborts.set(self.injected_aborts.get());
+        out.panic_aborts.set(self.panic_aborts.get());
+        out.budget_aborts.set(self.budget_aborts.get());
         for i in 0..CHECK_CLASSES {
             out.class_declarative[i].set(self.class_declarative[i].get());
             out.class_procedural[i].set(self.class_procedural[i].get());
@@ -419,6 +442,13 @@ pub struct Database {
     hash_join_threshold: usize,
     /// Rows per executor morsel (always ≥ 1).
     morsel_rows: usize,
+    /// Resource limits for query execution (default unlimited).
+    budget: QueryBudget,
+    /// Installed fault plan, if any (`None` in production configurations).
+    /// Behind an `Arc` so sites can fire from `&self` contexts — validation
+    /// and morsel worker threads included — and so callers keep a handle to
+    /// inspect hit/fire counts after the run.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Clone for Database {
@@ -434,6 +464,8 @@ impl Clone for Database {
             parallelism: self.parallelism,
             hash_join_threshold: self.hash_join_threshold,
             morsel_rows: self.morsel_rows,
+            budget: self.budget,
+            fault: self.fault.clone(),
         }
     }
 }
@@ -539,6 +571,8 @@ impl Database {
                 .unwrap_or(1),
             hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            budget: QueryBudget::unlimited(),
+            fault: None,
         })
     }
 
@@ -579,6 +613,49 @@ impl Database {
     /// the reassembly path; the default suits large scans.
     pub fn set_morsel_rows(&mut self, rows: usize) {
         self.morsel_rows = rows.max(1);
+    }
+
+    /// The resource limits queries execute under (default unlimited).
+    #[must_use]
+    pub fn query_budget(&self) -> QueryBudget {
+        self.budget
+    }
+
+    /// Sets the query budget. Limits are checked cooperatively at morsel
+    /// boundaries; a tripped limit surfaces as
+    /// [`Error::BudgetExceeded`] with the partial progress in its detail.
+    pub fn set_query_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// Installs `plan` as the active fault plan, replacing any previous
+    /// one, and returns a handle for inspecting its hit/fire counts.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Arc<FaultPlan> {
+        let plan = Arc::new(plan);
+        self.fault = Some(Arc::clone(&plan));
+        plan
+    }
+
+    /// Removes the active fault plan, if any.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// The active fault plan, if one is installed.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// One branch when no plan is installed; otherwise counts this arrival
+    /// at `site` and fires the arm armed for it, if its trigger count is
+    /// reached.
+    #[inline]
+    pub(crate) fn fault_check(&self, site: &'static str) -> Result<()> {
+        match &self.fault {
+            None => Ok(()),
+            Some(plan) => plan.check(site),
+        }
     }
 
     /// The hosted schema.
@@ -759,7 +836,9 @@ impl Database {
                 )));
             }
         }
-        // Commit.
+        // Commit. The fault site fires *before* any index mutation so an
+        // injected failure leaves no partial maintenance behind.
+        self.fault_check(site::INDEX_MAINTENANCE)?;
         let table = self.tables.get_mut(rel).expect("checked");
         let slot = table.rows.len();
         table.index_insert(&t, slot);
@@ -879,6 +958,7 @@ impl Database {
                 )));
             }
         }
+        self.fault_check(site::INDEX_MAINTENANCE)?;
         self.remove_slot(rel, slot, &victim);
         self.metrics.deletes.inc();
         Ok(Some(victim))
@@ -910,6 +990,227 @@ impl Database {
             state.set_relation(name.clone(), table.to_relation()?);
         }
         Ok(state)
+    }
+
+    /// The deep integrity checker: re-validates every constraint the
+    /// schema declares against the *stored* rows and cross-checks every
+    /// index against its base relation, trusting nothing the DML fast
+    /// paths maintain incrementally. Checks performed, per relation:
+    ///
+    /// * row accounting — the live counter equals the non-tombstoned rows;
+    /// * unique (candidate-key) indexes — every entry points at a live row
+    ///   carrying that key, every live row is indexed, and no key value
+    ///   occurs twice;
+    /// * secondary lookup indexes — every entry points at a live row whose
+    ///   total subtuple matches, and every total live row is reachable;
+    /// * null constraints (NNA/NS/NE/TE) — re-evaluated over all rows;
+    /// * inclusion dependencies — every total LHS projection is rebuilt
+    ///   and probed against a set recomputed from the RHS *base rows*
+    ///   (not its indexes, which are verified separately).
+    ///
+    /// Returns the structured [`IntegrityReport`]; this function never
+    /// fails — structural impossibilities (e.g. rows that no longer form a
+    /// valid relation) are themselves reported as violations.
+    #[must_use]
+    pub fn verify_integrity(&self) -> IntegrityReport {
+        let mut report = IntegrityReport::default();
+        let mut violations = Vec::new();
+        let mut flag = |relation: &str, kind: IntegrityKind, detail: String| {
+            violations.push(IntegrityViolation {
+                relation: relation.to_owned(),
+                kind,
+                detail,
+            });
+        };
+        for (name, table) in &self.tables {
+            report.relations_checked += 1;
+            let live_rows: Vec<(usize, &Tuple)> = table
+                .rows
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, row)| row.as_ref().map(|t| (slot, t)))
+                .collect();
+            if live_rows.len() != table.live {
+                flag(
+                    name,
+                    IntegrityKind::RowAccounting,
+                    format!(
+                        "live counter says {} but {} rows are stored",
+                        table.live,
+                        live_rows.len()
+                    ),
+                );
+            }
+            // Unique indexes, both directions.
+            for (pos, map) in &table.unique {
+                for (key, &slot) in map {
+                    report.index_entries_checked += 1;
+                    match table.rows.get(slot).and_then(|r| r.as_ref()) {
+                        Some(t) if t.project(pos) == *key => {}
+                        Some(_) => flag(
+                            name,
+                            IntegrityKind::UniqueIndex,
+                            format!("entry {key} points at slot {slot} holding a different key"),
+                        ),
+                        None => flag(
+                            name,
+                            IntegrityKind::UniqueIndex,
+                            format!("entry {key} points at dead slot {slot}"),
+                        ),
+                    }
+                }
+                for &(slot, t) in &live_rows {
+                    let key = t.project(pos);
+                    match map.get(&key) {
+                        Some(&s) if s == slot => {}
+                        Some(&s) => flag(
+                            name,
+                            IntegrityKind::UniqueIndex,
+                            format!("key {key} of slot {slot} indexed at slot {s} (duplicate key)"),
+                        ),
+                        None => flag(
+                            name,
+                            IntegrityKind::UniqueIndex,
+                            format!("slot {slot} with key {key} missing from the index"),
+                        ),
+                    }
+                }
+            }
+            // Lookup indexes, both directions.
+            for (attrs, (pos, map)) in &table.lookups {
+                for (key, slots) in map {
+                    let mut seen = std::collections::HashSet::new();
+                    for &slot in slots {
+                        report.index_entries_checked += 1;
+                        if !seen.insert(slot) {
+                            flag(
+                                name,
+                                IntegrityKind::LookupIndex,
+                                format!(
+                                    "[{}] entry {key} lists slot {slot} twice",
+                                    attrs.join(",")
+                                ),
+                            );
+                        }
+                        match table.rows.get(slot).and_then(|r| r.as_ref()) {
+                            Some(t) if t.is_total_at(pos) && t.project(pos) == *key => {}
+                            _ => flag(
+                                name,
+                                IntegrityKind::LookupIndex,
+                                format!(
+                                    "[{}] entry {key} points at slot {slot} not carrying it",
+                                    attrs.join(",")
+                                ),
+                            ),
+                        }
+                    }
+                }
+                for &(slot, t) in &live_rows {
+                    if !t.is_total_at(pos) {
+                        continue;
+                    }
+                    let key = t.project(pos);
+                    if !map.get(&key).is_some_and(|slots| slots.contains(&slot)) {
+                        flag(
+                            name,
+                            IntegrityKind::LookupIndex,
+                            format!(
+                                "slot {slot} with [{}] = {key} missing from the index",
+                                attrs.join(",")
+                            ),
+                        );
+                    }
+                }
+            }
+            // Null constraints, re-evaluated over the whole stored relation.
+            if let Some(checks) = self.nulls.get(name).filter(|c| !c.is_empty()) {
+                match table.to_relation() {
+                    Ok(relation) => {
+                        for c in checks {
+                            report.constraints_checked += 1;
+                            match c.constraint.satisfied_by(&relation) {
+                                Ok(true) => {}
+                                Ok(false) => flag(
+                                    name,
+                                    IntegrityKind::NullConstraint,
+                                    c.constraint.to_string(),
+                                ),
+                                Err(e) => flag(
+                                    name,
+                                    IntegrityKind::NullConstraint,
+                                    format!("check failed to evaluate: {e}"),
+                                ),
+                            }
+                        }
+                    }
+                    Err(e) => flag(
+                        name,
+                        IntegrityKind::NullConstraint,
+                        format!("stored rows no longer form a relation: {e}"),
+                    ),
+                }
+            }
+            // Outgoing inclusion dependencies, base rows against base rows.
+            for c in self
+                .outgoing
+                .get(name)
+                .map(Vec::as_slice)
+                .unwrap_or_default()
+            {
+                report.constraints_checked += 1;
+                let Ok(lhs_pos) = table.positions(&c.lhs_attrs) else {
+                    flag(
+                        name,
+                        IntegrityKind::InclusionDependency,
+                        format!("LHS attributes [{}] unresolvable", c.lhs_attrs.join(",")),
+                    );
+                    continue;
+                };
+                let Some(rhs_table) = self.tables.get(&c.rhs_rel) else {
+                    flag(
+                        name,
+                        IntegrityKind::InclusionDependency,
+                        format!("RHS relation `{}` missing", c.rhs_rel),
+                    );
+                    continue;
+                };
+                let Ok(rhs_pos) = rhs_table.positions(&c.rhs_attrs) else {
+                    flag(
+                        name,
+                        IntegrityKind::InclusionDependency,
+                        format!("RHS attributes [{}] unresolvable", c.rhs_attrs.join(",")),
+                    );
+                    continue;
+                };
+                let targets: std::collections::HashSet<Tuple> = rhs_table
+                    .rows
+                    .iter()
+                    .flatten()
+                    .filter(|t| t.is_total_at(&rhs_pos))
+                    .map(|t| t.project(&rhs_pos))
+                    .collect();
+                for &(slot, t) in &live_rows {
+                    if !t.is_total_at(&lhs_pos) {
+                        continue;
+                    }
+                    let key = t.project(&lhs_pos);
+                    if !targets.contains(&key) {
+                        flag(
+                            name,
+                            IntegrityKind::InclusionDependency,
+                            format!(
+                                "slot {slot}: [{}] = {key} has no match in `{}`[{}]",
+                                c.lhs_attrs.join(","),
+                                c.rhs_rel,
+                                c.rhs_attrs.join(",")
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        report.violations = violations;
+        report
     }
 
     /// Probes the lookup index of `rel` over `attrs` for `key`, appending

@@ -1,0 +1,539 @@
+//! Deterministic fault injection, query budgets, and integrity reports.
+//!
+//! The paper's preservation claims (Propositions 4.1/4.2/5.1/5.2) are
+//! claims about *states*: whatever the maintenance machinery does, every
+//! key, inclusion dependency, and null constraint must still hold. This
+//! module makes failure a first-class, testable input to the engine:
+//!
+//! * a [`FaultPlan`] arms named injection **sites** threaded through
+//!   statement execution, group validation, index maintenance, batch
+//!   commit, and the morsel executor — each site can fire a typed
+//!   [`Error::Injected`] or a panic, deterministically on its n-th
+//!   arrival;
+//! * a [`QueryBudget`] caps a query's intermediate rows and wall time,
+//!   checked cooperatively at morsel boundaries and surfaced as
+//!   [`Error::BudgetExceeded`];
+//! * an [`IntegrityReport`] is the structured output of
+//!   [`Database::verify_integrity`](crate::Database::verify_integrity),
+//!   the deep checker the torture harness runs after every induced abort.
+//!
+//! Faults are *injected*, never spontaneous: a database with no plan
+//! installed pays one branch per site.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use relmerge_obs as obs;
+use relmerge_relational::{Error, Result};
+
+/// The named injection sites a [`FaultPlan`] can arm.
+///
+/// Site names double as metric labels: every fire bumps the process-global
+/// counter `engine.fault.fired.<site>`.
+pub mod site {
+    /// Entry of one statement inside [`Database::apply_batch`]
+    /// (fires once per statement, before the statement mutates anything).
+    ///
+    /// [`Database::apply_batch`]: crate::Database::apply_batch
+    pub const STATEMENT_APPLY: &str = "engine.batch.statement_apply";
+    /// Commit-time group validation (fires once per touched relation,
+    /// possibly on a validation worker thread).
+    pub const GROUP_VALIDATE: &str = "engine.batch.group_validate";
+    /// Index maintenance: just before a row (and its index entries) lands
+    /// or is removed on the forward DML path. Never fires during rollback.
+    pub const INDEX_MAINTENANCE: &str = "engine.db.index_maintenance";
+    /// The batch commit tail, after every deferred validation succeeded.
+    pub const COMMIT: &str = "engine.batch.commit";
+    /// A morsel worker in the query executor (fires once per morsel,
+    /// possibly on a worker thread).
+    pub const MORSEL_WORKER: &str = "engine.query.morsel_worker";
+
+    /// The sites on the batched-DML path, in firing order.
+    pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
+    /// Every site.
+    pub const ALL: &[&str] = &[
+        STATEMENT_APPLY,
+        INDEX_MAINTENANCE,
+        GROUP_VALIDATE,
+        COMMIT,
+        MORSEL_WORKER,
+    ];
+}
+
+/// How an armed site fails when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Return [`Error::Injected`] from the site.
+    Error,
+    /// Panic at the site (exercising the engine's `catch_unwind` armor).
+    Panic,
+}
+
+impl FaultMode {
+    /// Short label (`"error"` / `"panic"`), used in reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultMode::Error => "error",
+            FaultMode::Panic => "panic",
+        }
+    }
+}
+
+/// One armed site: fires on its `nth` (0-based) arrival, exactly once.
+#[derive(Debug)]
+struct Arm {
+    site: String,
+    nth: u64,
+    mode: FaultMode,
+    hits: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// A deterministic fault plan: a set of armed sites, each of which fires
+/// on a specific arrival count. Counters are atomic so sites can fire from
+/// `&self` contexts (validation and morsel worker threads included), and
+/// the plan is installed behind an [`Arc`](std::sync::Arc) so the caller
+/// keeps a handle to inspect [`hits`](FaultPlan::hits) and
+/// [`fired`](FaultPlan::fired) after the run.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    arms: Vec<Arm>,
+}
+
+/// One step of the splitmix64 sequence — the plan's own seed expander, so
+/// the engine needs no RNG dependency.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (no site armed).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms `site` to fire `mode` on its `nth` (0-based) arrival.
+    #[must_use]
+    pub fn fail_at(mut self, site: &str, nth: u64, mode: FaultMode) -> Self {
+        self.arms.push(Arm {
+            site: site.to_owned(),
+            nth,
+            mode,
+            hits: AtomicU64::new(0),
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// A single-arm plan derived deterministically from `seed`: picks one
+    /// of `sites`, an arrival count below `max_nth`, and a mode. The same
+    /// seed always yields the same plan — the property-test entry point.
+    #[must_use]
+    pub fn seeded(seed: u64, sites: &[&str], max_nth: u64) -> Self {
+        let mut s = seed;
+        let site = if sites.is_empty() {
+            site::STATEMENT_APPLY
+        } else {
+            sites[(splitmix64(&mut s) % sites.len() as u64) as usize]
+        };
+        let nth = splitmix64(&mut s) % max_nth.max(1);
+        let mode = if splitmix64(&mut s).is_multiple_of(2) {
+            FaultMode::Error
+        } else {
+            FaultMode::Panic
+        };
+        FaultPlan::new().fail_at(site, nth, mode)
+    }
+
+    /// The armed `(site, nth, mode)` triples, for reporting.
+    #[must_use]
+    pub fn arms(&self) -> Vec<(&str, u64, FaultMode)> {
+        self.arms
+            .iter()
+            .map(|a| (a.site.as_str(), a.nth, a.mode))
+            .collect()
+    }
+
+    /// Called by the engine each time execution reaches `site`. Counts the
+    /// arrival and, when an arm's trigger count is reached, fires it:
+    /// returns [`Error::Injected`] or panics, per the arm's mode.
+    pub(crate) fn check(&self, site: &str) -> Result<()> {
+        for arm in self.arms.iter().filter(|a| a.site == site) {
+            let arrival = arm.hits.fetch_add(1, Ordering::Relaxed);
+            if arrival == arm.nth {
+                arm.fired.fetch_add(1, Ordering::Relaxed);
+                obs::global()
+                    .counter(&format!("engine.fault.fired.{site}"))
+                    .inc();
+                match arm.mode {
+                    FaultMode::Error => {
+                        return Err(Error::Injected {
+                            site: site.to_owned(),
+                        })
+                    }
+                    FaultMode::Panic => panic!("injected panic at site `{site}`"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Times execution reached `site` (across all arms on it).
+    #[must_use]
+    pub fn hits(&self, site: &str) -> u64 {
+        self.arms
+            .iter()
+            .filter(|a| a.site == site)
+            .map(|a| a.hits.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Times an arm on `site` actually fired.
+    #[must_use]
+    pub fn fired(&self, site: &str) -> u64 {
+        self.arms
+            .iter()
+            .filter(|a| a.site == site)
+            .map(|a| a.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total fires across every arm.
+    #[must_use]
+    pub fn total_fired(&self) -> u64 {
+        self.arms
+            .iter()
+            .map(|a| a.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the engine's own
+/// injected panics carry a `String`).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Resource limits for one query execution, checked cooperatively at
+/// morsel boundaries (so enforcement granularity is
+/// [`Database::morsel_rows`](crate::Database::morsel_rows)). The default
+/// is unlimited; a tripped limit surfaces as [`Error::BudgetExceeded`]
+/// carrying the partial progress (rows produced, morsels completed) in
+/// its detail.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryBudget {
+    max_rows: Option<u64>,
+    max_wall: Option<Duration>,
+}
+
+impl QueryBudget {
+    /// No limits — the default for every new database.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Caps the rows a query may produce (root rows plus rows
+    /// materialized per morsel) before it is cancelled.
+    #[must_use]
+    pub fn with_max_rows(mut self, rows: u64) -> Self {
+        self.max_rows = Some(rows);
+        self
+    }
+
+    /// Caps the query's wall time; the deadline starts when execution
+    /// does and is checked before each morsel is claimed.
+    #[must_use]
+    pub fn with_max_wall(mut self, limit: Duration) -> Self {
+        self.max_wall = Some(limit);
+        self
+    }
+
+    /// Whether both limits are absent.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_rows.is_none() && self.max_wall.is_none()
+    }
+
+    /// The row cap, if any.
+    #[must_use]
+    pub fn max_rows(&self) -> Option<u64> {
+        self.max_rows
+    }
+
+    /// The wall-time cap, if any.
+    #[must_use]
+    pub fn max_wall(&self) -> Option<Duration> {
+        self.max_wall
+    }
+
+    /// Starts tracking one execution against this budget.
+    pub(crate) fn start(&self) -> BudgetTracker {
+        BudgetTracker {
+            max_rows: self.max_rows,
+            deadline: self.max_wall.map(|d| Instant::now() + d),
+            rows: AtomicU64::new(0),
+            morsels: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Shared per-execution budget state: workers charge rows as morsels
+/// complete and poll [`checkpoint`](BudgetTracker::checkpoint) before
+/// claiming the next one, so one tripped worker cancels the rest
+/// cooperatively.
+pub(crate) struct BudgetTracker {
+    max_rows: Option<u64>,
+    deadline: Option<Instant>,
+    rows: AtomicU64,
+    morsels: AtomicU64,
+    tripped: AtomicBool,
+}
+
+impl BudgetTracker {
+    fn exceeded(&self, why: String) -> Error {
+        self.tripped.store(true, Ordering::Relaxed);
+        Error::BudgetExceeded {
+            detail: format!(
+                "{why} ({} rows produced across {} completed morsels)",
+                self.rows.load(Ordering::Relaxed),
+                self.morsels.load(Ordering::Relaxed)
+            ),
+        }
+    }
+
+    /// Cheap poll: fails once another worker tripped the budget or the
+    /// deadline passed.
+    pub(crate) fn checkpoint(&self) -> Result<()> {
+        if self.tripped.load(Ordering::Relaxed) {
+            return Err(self.exceeded("budget tripped by another worker".to_owned()));
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(self.exceeded("wall-time deadline passed".to_owned()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `rows` produced outside any morsel (the root access).
+    pub(crate) fn charge_rows(&self, rows: u64) -> Result<()> {
+        let total = self.rows.fetch_add(rows, Ordering::Relaxed) + rows;
+        match self.max_rows {
+            Some(cap) if total > cap => Err(self.exceeded(format!("row cap {cap} exceeded"))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Charges one completed morsel that materialized `rows` rows.
+    pub(crate) fn charge_morsel(&self, rows: u64) -> Result<()> {
+        self.morsels.fetch_add(1, Ordering::Relaxed);
+        self.charge_rows(rows)
+    }
+}
+
+/// Which invariant class an [`IntegrityViolation`] breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityKind {
+    /// A table's live-row count disagrees with its stored rows.
+    RowAccounting,
+    /// A unique (candidate-key) index disagrees with the base rows, or a
+    /// key value occurs twice.
+    UniqueIndex,
+    /// A secondary lookup index disagrees with the base rows.
+    LookupIndex,
+    /// A null constraint (NNA/NS/NE/TE) does not hold on the stored rows.
+    NullConstraint,
+    /// An inclusion dependency does not hold between the stored relations.
+    InclusionDependency,
+}
+
+impl std::fmt::Display for IntegrityKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IntegrityKind::RowAccounting => "row-accounting",
+            IntegrityKind::UniqueIndex => "unique-index",
+            IntegrityKind::LookupIndex => "lookup-index",
+            IntegrityKind::NullConstraint => "null-constraint",
+            IntegrityKind::InclusionDependency => "inclusion-dependency",
+        })
+    }
+}
+
+/// One invariant the deep checker found broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityViolation {
+    /// The relation the violation was detected in.
+    pub relation: String,
+    /// The invariant class broken.
+    pub kind: IntegrityKind,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl std::fmt::Display for IntegrityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] `{}`: {}", self.kind, self.relation, self.detail)
+    }
+}
+
+/// The structured output of
+/// [`Database::verify_integrity`](crate::Database::verify_integrity): every
+/// violation found, plus how much checking was done (so "clean" is
+/// distinguishable from "checked nothing").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Every broken invariant found.
+    pub violations: Vec<IntegrityViolation>,
+    /// Relations examined.
+    pub relations_checked: usize,
+    /// Null-constraint and inclusion-dependency group checks performed.
+    pub constraints_checked: usize,
+    /// Index entries cross-checked against base rows.
+    pub index_entries_checked: u64,
+}
+
+impl IntegrityReport {
+    /// Whether no violation was found.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+impl std::fmt::Display for IntegrityReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "integrity: {} violation(s); {} relations, {} constraint checks, {} index entries",
+            self.violations.len(),
+            self.relations_checked,
+            self.constraints_checked,
+            self.index_entries_checked
+        )?;
+        for v in &self.violations {
+            writeln!(f, "  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_on_nth_arrival_exactly_once() {
+        let plan = FaultPlan::new().fail_at(site::COMMIT, 2, FaultMode::Error);
+        assert!(plan.check(site::COMMIT).is_ok());
+        assert!(plan.check(site::COMMIT).is_ok());
+        let err = plan.check(site::COMMIT).unwrap_err();
+        assert!(matches!(err, Error::Injected { ref site } if site == site::COMMIT));
+        assert!(plan.check(site::COMMIT).is_ok(), "fires exactly once");
+        assert_eq!(plan.hits(site::COMMIT), 4);
+        assert_eq!(plan.fired(site::COMMIT), 1);
+        assert_eq!(plan.total_fired(), 1);
+        // Other sites are unaffected.
+        assert!(plan.check(site::STATEMENT_APPLY).is_ok());
+        assert_eq!(plan.fired(site::STATEMENT_APPLY), 0);
+    }
+
+    #[test]
+    fn panic_mode_panics_with_site_message() {
+        let plan = FaultPlan::new().fail_at(site::GROUP_VALIDATE, 0, FaultMode::Panic);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.check(site::GROUP_VALIDATE)
+        }));
+        let msg = panic_message(caught.unwrap_err());
+        assert!(msg.contains(site::GROUP_VALIDATE), "{msg}");
+        assert_eq!(plan.fired(site::GROUP_VALIDATE), 1);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_inputs() {
+        let plan_a = FaultPlan::seeded(42, site::ALL, 10);
+        let plan_b = FaultPlan::seeded(42, site::ALL, 10);
+        let a = plan_a.arms();
+        assert_eq!(a, plan_b.arms());
+        let (s, nth, _) = a[0];
+        assert!(site::ALL.contains(&s));
+        assert!(nth < 10);
+        // Different seeds eventually pick different sites and modes.
+        let distinct: std::collections::BTreeSet<String> = (0..64)
+            .map(|seed| {
+                let plan = FaultPlan::seeded(seed, site::ALL, 10);
+                let (s, _, m) = plan.arms()[0];
+                format!("{s}/{}", m.label())
+            })
+            .collect();
+        assert!(distinct.len() > 4, "{distinct:?}");
+        // Degenerate inputs stay total.
+        let plan = FaultPlan::seeded(7, &[], 0);
+        assert_eq!(plan.arms()[0].1, 0);
+    }
+
+    #[test]
+    fn budget_tracker_trips_row_cap_and_cancels_peers() {
+        let budget = QueryBudget::unlimited().with_max_rows(10);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.max_rows(), Some(10));
+        let tracker = budget.start();
+        assert!(tracker.checkpoint().is_ok());
+        assert!(tracker.charge_morsel(6).is_ok());
+        let err = tracker.charge_morsel(5).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("row cap")));
+        // Peers see the trip at their next checkpoint.
+        assert!(tracker.checkpoint().is_err());
+    }
+
+    #[test]
+    fn budget_tracker_enforces_deadline() {
+        let tracker = QueryBudget::unlimited()
+            .with_max_wall(Duration::ZERO)
+            .start();
+        let err = tracker.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("deadline")),
+            "{err}"
+        );
+        // Unlimited budgets never trip.
+        let free = QueryBudget::unlimited().start();
+        assert!(free.charge_morsel(u64::MAX / 2).is_ok());
+        assert!(free.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn integrity_report_renders() {
+        let mut report = IntegrityReport {
+            relations_checked: 3,
+            constraints_checked: 5,
+            index_entries_checked: 9,
+            ..IntegrityReport::default()
+        };
+        assert!(report.is_clean());
+        report.violations.push(IntegrityViolation {
+            relation: "COURSE_M".to_owned(),
+            kind: IntegrityKind::UniqueIndex,
+            detail: "slot 3 missing from key index".to_owned(),
+        });
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("1 violation"), "{text}");
+        assert!(text.contains("unique-index"), "{text}");
+        assert!(text.contains("COURSE_M"), "{text}");
+    }
+}

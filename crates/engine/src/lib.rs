@@ -10,7 +10,10 @@
 //! and joins with cost counters, quantifying the paper's §1 claim that
 //! merging reduces joins and improves access performance; and [`batch`]
 //! provides the unified [`Statement`] DML path with all-or-nothing batches
-//! and deferred, group-validated constraint checking.
+//! and deferred, group-validated constraint checking. The [`fault`] module
+//! makes failure itself testable: deterministic fault injection, query
+//! budgets, and the deep integrity checker behind
+//! [`Database::verify_integrity`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,6 +21,7 @@
 pub mod batch;
 pub mod capability;
 pub mod database;
+pub mod fault;
 pub mod planner;
 pub mod query;
 pub mod txn;
@@ -26,6 +30,9 @@ pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
 pub use database::{
     Database, DmlError, MaintenanceStats, DEFAULT_HASH_JOIN_THRESHOLD, DEFAULT_MORSEL_ROWS,
+};
+pub use fault::{
+    FaultMode, FaultPlan, IntegrityKind, IntegrityReport, IntegrityViolation, QueryBudget,
 };
 pub use planner::{choose_join_strategy, plan, JoinStrategy, LogicalQuery};
 #[allow(deprecated)]

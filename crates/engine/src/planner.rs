@@ -247,9 +247,13 @@ pub enum JoinStrategy {
 }
 
 /// Cost-based strategy choice for one join step against `rel` over
-/// `right_attrs`, with `left_estimate` rows on the probe side (the
-/// executor passes the root cardinality, known exactly after root access
-/// and independent of parallelism).
+/// `right_attrs`, with `left_estimate` rows on the probe side. For the
+/// first step the executor passes the root cardinality, known exactly
+/// after root access; each later step receives the previous step's
+/// estimated output cardinality (left estimate × the access path's
+/// average index fan-out), so a selective chain that fans out switches to
+/// hash joins per-step. Estimates derive only from pre-fan-out state and
+/// are independent of parallelism.
 ///
 /// The rules, in order:
 /// 1. [`Database::hash_join_threshold`] of `usize::MAX` disables hash

@@ -32,6 +32,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::ops::{Add, AddAssign};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -39,6 +40,7 @@ use relmerge_obs::{self as obs};
 use relmerge_relational::{Attribute, Error, Relation, Result, Tuple, Value};
 
 use crate::database::Database;
+use crate::fault::{panic_message, site};
 use crate::planner::{choose_join_strategy, JoinStrategy};
 
 /// A selection predicate over the attributes visible at its evaluation
@@ -802,7 +804,61 @@ fn compile_join<'a>(
     })
 }
 
+/// Estimates a compiled join's output cardinality from its left estimate
+/// and the access path's fan-out, so the *next* step's strategy choice
+/// sees this step's output rather than the root cardinality. Unique
+/// accesses match at most one row per left row; lookup and built hash
+/// accesses multiply by the index's average bucket size; a bare scan probe
+/// gives no fan-out information and carries the left estimate through.
+/// Outer joins never shrink the left side. Everything here reads
+/// pre-fan-out state only, keeping strategy choice deterministic across
+/// morsel sizes and worker counts.
+fn estimate_join_output(join: &CompiledJoin<'_>, left: usize) -> usize {
+    let avg_bucket = |keys: usize, slots: usize| {
+        if keys == 0 {
+            1
+        } else {
+            slots.div_ceil(keys).max(1)
+        }
+    };
+    let fanout = match &join.access {
+        RightAccess::Unique { .. } | RightAccess::HashUnique { .. } => 1,
+        RightAccess::Lookup { map, .. } | RightAccess::HashLookup { map, .. } => {
+            avg_bucket(map.len(), map.values().map(Vec::len).sum())
+        }
+        RightAccess::HashBuilt { map } => avg_bucket(map.len(), map.values().map(Vec::len).sum()),
+        RightAccess::ScanProbe { .. } => 1,
+    };
+    let estimate = left.saturating_mul(fanout);
+    if join.outer {
+        estimate.max(left)
+    } else {
+        estimate
+    }
+}
+
+/// Thin classification wrapper over [`execute_core`]: a failed execution
+/// bumps the matching abort counter before the error propagates, so
+/// injected faults, contained panics, and budget trips are visible in the
+/// metrics snapshot.
 fn execute_impl(
+    db: &Database,
+    plan: &QueryPlan,
+    traced: bool,
+) -> Result<(Relation, QueryStats, Option<QueryTrace>)> {
+    let result = execute_core(db, plan, traced);
+    if let Err(e) = &result {
+        match e {
+            Error::Injected { .. } => db.metrics.injected_aborts.inc(),
+            Error::ExecutionPanic { .. } => db.metrics.panic_aborts.inc(),
+            Error::BudgetExceeded { .. } => db.metrics.budget_aborts.inc(),
+            _ => {}
+        }
+    }
+    result
+}
+
+fn execute_core(
     db: &Database,
     plan: &QueryPlan,
     traced: bool,
@@ -811,6 +867,7 @@ fn execute_impl(
     span.add_field("root", &plan.root);
     span.add_field("joins", plan.joins.len());
     let mut stats = QueryStats::default();
+    let budget = db.query_budget().start();
 
     // Root access (serial, borrowed slots — nothing is cloned).
     let root_header = db.header(&plan.root)?;
@@ -826,6 +883,7 @@ fn execute_impl(
             db.probe_slots(&plan.root, attrs, key, &mut stats, &mut root_rows)?;
         }
     }
+    budget.charge_rows(root_rows.len() as u64)?;
     let root_op = traced.then(|| {
         let (kind, label) = match &plan.access {
             Access::FullScan => (OpKind::Scan, format!("Scan {}", plan.root)),
@@ -848,24 +906,31 @@ fn execute_impl(
         }
     });
 
-    // Compile the join pipeline. Strategy choice uses the *root*
-    // cardinality as the left estimate and hash builds happen here, before
-    // fan-out, so the counters are identical at every parallelism level.
+    // Compile the join pipeline. Strategy choice starts from the root
+    // cardinality (known exactly after root access) and carries each
+    // step's estimated *output* cardinality forward as the next step's
+    // left estimate, so a selective chain that fans out picks hash joins
+    // per-step instead of from the root alone. Estimates derive only from
+    // pre-fan-out state (root rows plus index fan-outs), and hash builds
+    // happen here, before fan-out, so strategies and counters are
+    // identical at every parallelism level.
     let mut flat_header: Vec<Attribute> = root_header.to_vec();
     let mut locs: Vec<(usize, usize)> = (0..root_header.len()).map(|i| (0, i)).collect();
     let mut widths: Vec<usize> = vec![root_header.len()];
-    let left_estimate = root_rows.len();
+    let mut left_estimate = root_rows.len();
     let mut joins: Vec<CompiledJoin<'_>> = Vec::with_capacity(plan.joins.len());
     for step in &plan.joins {
         stats.joins += 1;
-        joins.push(compile_join(
+        let compiled = compile_join(
             db,
             step,
             &mut flat_header,
             &mut locs,
             &mut widths,
             left_estimate,
-        )?);
+        )?;
+        left_estimate = estimate_join_output(&compiled, left_estimate);
+        joins.push(compiled);
     }
     let filter = plan
         .filter
@@ -881,37 +946,81 @@ fn execute_impl(
     let workers = db.parallelism().clamp(1, morsels.len().max(1));
     span.add_field("morsels", morsels.len());
     span.add_field("workers", workers);
+    // Each morsel boundary is a cancellation point: the budget is polled
+    // before a morsel is claimed and charged after it completes, and a
+    // panicking worker (injected or genuine) is contained — it fails only
+    // this query, as a typed error, leaving the database untouched (the
+    // executor never mutates; workers hold only borrowed rows).
     let outs: Vec<MorselOut> = if workers <= 1 {
-        morsels
-            .iter()
-            .map(|m| run_morsel(m, &joins, filter.as_ref(), &widths))
-            .collect()
+        let mut outs = Vec::with_capacity(morsels.len());
+        for m in &morsels {
+            budget.checkpoint()?;
+            let out = catch_unwind(AssertUnwindSafe(|| -> Result<MorselOut> {
+                db.fault_check(site::MORSEL_WORKER)?;
+                Ok(run_morsel(m, &joins, filter.as_ref(), &widths))
+            }))
+            .unwrap_or_else(|payload| {
+                Err(Error::ExecutionPanic {
+                    context: panic_message(payload),
+                })
+            })?;
+            budget.charge_morsel(out.rows.len() as u64)?;
+            outs.push(out);
+        }
+        outs
     } else {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<MorselOut>> = Vec::new();
         slots.resize_with(morsels.len(), || None);
+        let mut failure: Option<Error> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (next, morsels, joins) = (&next, &morsels, &joins);
-                    let (filter, widths) = (filter.as_ref(), &widths);
-                    scope.spawn(move || {
+                    let (filter, widths, budget) = (filter.as_ref(), &widths, &budget);
+                    scope.spawn(move || -> Result<Vec<(usize, MorselOut)>> {
                         let mut done: Vec<(usize, MorselOut)> = Vec::new();
                         loop {
+                            // Cooperative cancellation: a budget tripped by
+                            // any worker stops the others at their next
+                            // claim.
+                            budget.checkpoint()?;
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(m) = morsels.get(i) else { break };
-                            done.push((i, run_morsel(m, joins, filter, widths)));
+                            db.fault_check(site::MORSEL_WORKER)?;
+                            let out = run_morsel(m, joins, filter, widths);
+                            budget.charge_morsel(out.rows.len() as u64)?;
+                            done.push((i, out));
                         }
-                        done
+                        Ok(done)
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, out) in h.join().expect("query worker panicked") {
-                    slots[i] = Some(out);
+                match h.join() {
+                    Ok(Ok(done)) => {
+                        for (i, out) in done {
+                            slots[i] = Some(out);
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        if failure.is_none() {
+                            failure = Some(e);
+                        }
+                    }
+                    Err(payload) => {
+                        if failure.is_none() {
+                            failure = Some(Error::ExecutionPanic {
+                                context: panic_message(payload),
+                            });
+                        }
+                    }
                 }
             }
         });
+        if let Some(e) = failure {
+            return Err(e);
+        }
         slots
             .into_iter()
             .map(|s| s.expect("every morsel claimed exactly once"))

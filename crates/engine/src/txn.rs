@@ -60,6 +60,11 @@ impl Transaction<'_> {
 impl Database {
     /// Runs `f` atomically: if it returns `Err`, every statement it issued
     /// is rolled back and the error is returned.
+    ///
+    /// Panic safety: if `f` panics, every statement it issued is rolled
+    /// back *first* and the panic then resumes — the caller sees the same
+    /// panic it would have without the transaction, but the database is
+    /// back in its pre-transaction state (rows and indexes both).
     pub fn transaction<T>(
         &mut self,
         f: impl FnOnce(&mut Transaction<'_>) -> Result<T, DmlError>,
@@ -68,12 +73,20 @@ impl Database {
             db: self,
             undo: Vec::new(),
         };
-        match f(&mut tx) {
-            Ok(value) => Ok(value),
-            Err(e) => {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
+        match outcome {
+            Ok(Ok(value)) => Ok(value),
+            Ok(Err(e)) => {
                 let undo = std::mem::take(&mut tx.undo);
                 rollback(tx.db, undo)?;
                 Err(e)
+            }
+            Err(payload) => {
+                let undo = std::mem::take(&mut tx.undo);
+                // A failed rollback here would mean the undo log itself is
+                // corrupt; surface that instead of the original panic.
+                rollback(tx.db, undo).expect("transaction rollback after panic");
+                std::panic::resume_unwind(payload);
             }
         }
     }

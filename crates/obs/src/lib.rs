@@ -39,6 +39,6 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use trace::{
-    clear_events, enabled, render_tree, set_enabled, set_sink, span, take_events, timer, NullSink,
-    Sink, Span, SpanEvent, Timer, EVENT_LOG_CAPACITY,
+    clear_events, dropped_spans, enabled, render_tree, set_enabled, set_sink, span, take_events,
+    timer, NullSink, Sink, Span, SpanEvent, Timer, EVENT_LOG_CAPACITY, OVERFLOW_SAMPLE_EVERY,
 };

@@ -46,13 +46,27 @@ impl Sink for NullSink {
     fn record(&self, _event: &SpanEvent) {}
 }
 
-/// Maximum events retained in the in-memory log; older events are dropped.
+/// Maximum events retained in the in-memory log. Once the log is full,
+/// overflowing spans are *tail-sampled* (see [`OVERFLOW_SAMPLE_EVERY`])
+/// instead of silently evicting the oldest event on every close.
 pub const EVENT_LOG_CAPACITY: usize = 8192;
+
+/// Tail-sampling rate once the event log is full: every `N`th overflowing
+/// span is admitted (evicting the oldest buffered event) and the rest are
+/// discarded, so a trace much longer than [`EVENT_LOG_CAPACITY`] keeps a
+/// thinned-out tail rather than only its last 8192 closes. Every span the
+/// log sheds — evicted or discarded — counts toward [`dropped_spans`] and
+/// the global `obs.trace.dropped_spans` counter.
+pub const OVERFLOW_SAMPLE_EVERY: u64 = 64;
 
 struct TracerState {
     sink: Mutex<Arc<dyn Sink>>,
     events: Mutex<VecDeque<SpanEvent>>,
     open_seq: AtomicU64,
+    /// Overflow arrivals since the log last drained (drives sampling).
+    overflow_seen: AtomicU64,
+    /// Spans shed by the log since it last drained.
+    dropped: AtomicU64,
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -63,6 +77,8 @@ fn state() -> &'static TracerState {
         sink: Mutex::new(Arc::new(NullSink)),
         events: Mutex::new(VecDeque::new()),
         open_seq: AtomicU64::new(0),
+        overflow_seen: AtomicU64::new(0),
+        dropped: AtomicU64::new(0),
     })
 }
 
@@ -86,14 +102,29 @@ pub fn set_sink(sink: Arc<dyn Sink>) {
     *state().sink.lock().unwrap() = sink;
 }
 
-/// Drains and returns the buffered event log.
+/// Drains and returns the buffered event log, resetting the overflow
+/// sampler and the [`dropped_spans`] count.
 pub fn take_events() -> Vec<SpanEvent> {
-    state().events.lock().unwrap().drain(..).collect()
+    let drained = state().events.lock().unwrap().drain(..).collect();
+    state().overflow_seen.store(0, Ordering::Relaxed);
+    state().dropped.store(0, Ordering::Relaxed);
+    drained
 }
 
-/// Discards the buffered event log.
+/// Discards the buffered event log, resetting the overflow sampler and
+/// the [`dropped_spans`] count.
 pub fn clear_events() {
     state().events.lock().unwrap().clear();
+    state().overflow_seen.store(0, Ordering::Relaxed);
+    state().dropped.store(0, Ordering::Relaxed);
+}
+
+/// Spans the event log has shed since it last drained — overflow
+/// evictions plus overflow discards. The process-lifetime total is also
+/// kept on the global `obs.trace.dropped_spans` counter, so it shows up
+/// in metric snapshots.
+pub fn dropped_spans() -> u64 {
+    state().dropped.load(Ordering::Relaxed)
 }
 
 /// Opens a span. Returns an inert guard when tracing is off.
@@ -169,8 +200,20 @@ impl Drop for Span {
         };
         let sink = Arc::clone(&state().sink.lock().unwrap());
         sink.record(&event);
-        let mut events = state().events.lock().unwrap();
+        let st = state();
+        let mut events = st.events.lock().unwrap();
         if events.len() == EVENT_LOG_CAPACITY {
+            // Tail-sample the overflow: admit every Nth arrival (evicting
+            // the oldest buffered event), discard the rest. Either way one
+            // span is shed, so the dropped count advances per arrival.
+            let arrival = st.overflow_seen.fetch_add(1, Ordering::Relaxed);
+            st.dropped.fetch_add(1, Ordering::Relaxed);
+            crate::metrics::global()
+                .counter("obs.trace.dropped_spans")
+                .inc();
+            if !arrival.is_multiple_of(OVERFLOW_SAMPLE_EVERY) {
+                return;
+            }
             events.pop_front();
         }
         events.push_back(event);
@@ -307,6 +350,29 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "timed.on");
         assert_eq!(events[0].fields, vec![("k", "7".to_owned())]);
+
+        // Overflow tail-sampling: fill the log past capacity and check
+        // that only every Nth overflowing span is admitted, the log never
+        // grows past capacity, and every shed span is counted.
+        set_enabled(true);
+        let overflow = 10 * OVERFLOW_SAMPLE_EVERY;
+        for _ in 0..EVENT_LOG_CAPACITY as u64 + overflow {
+            let _s = span("flood");
+        }
+        set_enabled(false);
+        assert_eq!(dropped_spans(), overflow);
+        let events = take_events();
+        assert_eq!(events.len(), EVENT_LOG_CAPACITY);
+        assert_eq!(dropped_spans(), 0, "take_events resets the count");
+        // Admitted overflow spans replaced the oldest events, so the log
+        // is no longer a contiguous window: exactly overflow/N survivors
+        // from the overflow region are interleaved at the tail.
+        let max_seq = events.iter().map(|e| e.open_seq).max().unwrap();
+        let min_seq = events.iter().map(|e| e.open_seq).min().unwrap();
+        assert!(
+            max_seq - min_seq >= EVENT_LOG_CAPACITY as u64,
+            "sampled tail spans span a wider sequence range than the buffer"
+        );
     }
 
     #[test]

@@ -73,6 +73,31 @@ pub enum Error {
     /// Raised by the engine's DML path; carried here so engine errors fold
     /// into the workspace-wide `Result` without a second error hierarchy.
     ConstraintViolation(String),
+    /// A fault deliberately fired by the engine's fault-injection layer.
+    /// Never raised in production configurations; carried here so injected
+    /// faults travel the same typed-error paths real failures do.
+    Injected {
+        /// The injection site that fired (see `engine::fault::site`).
+        site: String,
+    },
+    /// A query exceeded its `QueryBudget` (row cap or wall-time
+    /// deadline) and was cancelled cooperatively at a morsel boundary.
+    ///
+    /// `QueryBudget` lives in the engine crate; the variant lives here so
+    /// budget aborts fold into the workspace-wide `Result`.
+    BudgetExceeded {
+        /// Which limit tripped and the partial progress made
+        /// (rows produced / morsels completed) at cancellation.
+        detail: String,
+    },
+    /// A panic was caught (`catch_unwind`) inside the executor or the
+    /// batch machinery and converted into a typed error after the undo
+    /// log was fully unwound. The process survives; only the offending
+    /// query or batch fails.
+    ExecutionPanic {
+        /// The captured panic message.
+        context: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -106,6 +131,9 @@ impl fmt::Display for Error {
             }
             Error::StateMismatch { detail } => write!(f, "database state mismatch: {detail}"),
             Error::ConstraintViolation(detail) => write!(f, "constraint violation: {detail}"),
+            Error::Injected { site } => write!(f, "injected fault at site `{site}`"),
+            Error::BudgetExceeded { detail } => write!(f, "query budget exceeded: {detail}"),
+            Error::ExecutionPanic { context } => write!(f, "execution panicked: {context}"),
         }
     }
 }

@@ -65,6 +65,21 @@ impl Default for MixSpec {
     }
 }
 
+impl MixSpec {
+    /// A write-only mix (70% inserts, 30% deletes) — every operation
+    /// lowers to statements, so torture harnesses get a dense statement
+    /// stream without read-op padding.
+    #[must_use]
+    pub fn write_only() -> Self {
+        MixSpec {
+            point_reads: 0.0,
+            reverse_reads: 0.0,
+            inserts: 0.70,
+            deletes: 0.30,
+        }
+    }
+}
+
 /// Generates `n` operations over a university instance with `courses`
 /// base courses, `departments` departments, and `faculty` teachers
 /// (SSNs starting at 10 000). New course numbers start above the base

@@ -1,0 +1,311 @@
+//! Fault-injection integration coverage: every batch injection site ×
+//! arrival index × mode aborts with a typed error, leaves the deep
+//! integrity checker clean, and rolls the state back byte-identical; a
+//! panicking morsel worker fails only its own query; query budgets trip
+//! with typed errors; and seeded corruption is actually detected.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use relmerge::engine::fault::site;
+use relmerge::engine::{
+    Database, DbmsProfile, FaultMode, FaultPlan, IntegrityKind, QueryBudget, QueryPlan, Statement,
+};
+use relmerge::relational::{
+    Attribute, DatabaseState, Domain, Error, InclusionDep, NullConstraint, RelationScheme,
+    RelationalSchema, Tuple, Value,
+};
+
+/// PARENT(P.K) ← CHILD(C.K, C.FK) with CHILD[C.FK] ⊆ PARENT[P.K].
+fn parent_child_schema() -> RelationalSchema {
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(
+        RelationScheme::new("PARENT", vec![Attribute::new("P.K", Domain::Int)], &["P.K"]).unwrap(),
+    )
+    .unwrap();
+    rs.add_scheme(
+        RelationScheme::new(
+            "CHILD",
+            vec![
+                Attribute::new("C.K", Domain::Int),
+                Attribute::new("C.FK", Domain::Int),
+            ],
+            &["C.K"],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("PARENT", &["P.K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("CHILD", &["C.K", "C.FK"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("CHILD", &["C.FK"], "PARENT", &["P.K"]))
+        .unwrap();
+    rs
+}
+
+fn row(vals: &[i64]) -> Tuple {
+    Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>())
+}
+
+/// A seeded baseline database: PARENT(1), PARENT(2), CHILD(500, 1).
+fn baseline_db() -> Database {
+    let mut db = Database::new(parent_child_schema(), DbmsProfile::ideal()).unwrap();
+    db.insert("PARENT", row(&[1])).unwrap();
+    db.insert("PARENT", row(&[2])).unwrap();
+    db.insert("CHILD", row(&[500, 1])).unwrap();
+    db
+}
+
+/// A valid mixed batch: inserts, a delete, and a child arriving before
+/// its parent (legal under deferred validation).
+fn torture_batch() -> Vec<Statement> {
+    vec![
+        Statement::insert("CHILD", row(&[501, 10])),
+        Statement::insert("PARENT", row(&[10])),
+        Statement::insert("PARENT", row(&[20])),
+        Statement::insert("CHILD", row(&[502, 20])),
+        Statement::delete("CHILD", row(&[500])),
+        Statement::insert("CHILD", row(&[503, 10])),
+    ]
+}
+
+#[test]
+fn every_site_arrival_and_mode_recovers() {
+    let batch = torture_batch();
+
+    // Dry run with never-firing arms to learn each site's arrival count.
+    let mut dry = baseline_db();
+    let mut probe = FaultPlan::new();
+    for &s in site::BATCH {
+        probe = probe.fail_at(s, u64::MAX, FaultMode::Error);
+    }
+    let probe = dry.set_fault_plan(probe);
+    dry.apply_batch(&batch).unwrap();
+
+    for &s in site::BATCH {
+        let hits = probe.hits(s);
+        assert!(hits > 0, "site {s} never reached by the batch");
+        for nth in 0..hits {
+            for mode in [FaultMode::Error, FaultMode::Panic] {
+                let mut db = baseline_db();
+                let pre = db.snapshot().unwrap();
+                let plan = db.set_fault_plan(FaultPlan::new().fail_at(s, nth, mode));
+                let err = db
+                    .apply_batch(&batch)
+                    .expect_err("armed fault must abort the batch");
+                assert_eq!(plan.fired(s), 1, "{s}#{nth} ({})", mode.label());
+                // The abort is a typed error, never a process abort.
+                match mode {
+                    FaultMode::Error => assert!(
+                        matches!(
+                            err.root_cause(),
+                            relmerge::engine::DmlError::Schema(Error::Injected { .. })
+                        ),
+                        "{s}#{nth}: {err}"
+                    ),
+                    FaultMode::Panic => assert!(
+                        matches!(
+                            err.root_cause(),
+                            relmerge::engine::DmlError::Schema(Error::ExecutionPanic { .. })
+                        ),
+                        "{s}#{nth}: {err}"
+                    ),
+                }
+                db.clear_fault_plan();
+                let report = db.verify_integrity();
+                assert!(report.is_clean(), "{s}#{nth} ({}): {report}", mode.label());
+                assert_eq!(
+                    db.snapshot().unwrap(),
+                    pre,
+                    "{s}#{nth} ({}): rollback must be byte-identical",
+                    mode.label()
+                );
+                // The database stays fully usable after the abort.
+                db.apply_batch(&batch).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn panicking_morsel_worker_fails_only_its_query() {
+    let mut db = baseline_db();
+    for k in 100..164 {
+        db.insert("PARENT", row(&[k])).unwrap();
+    }
+    db.set_morsel_rows(4);
+    db.set_parallelism(4);
+    let scan = QueryPlan::scan("PARENT");
+    let (all, _) = db.execute(&scan).unwrap();
+
+    let plan =
+        db.set_fault_plan(FaultPlan::new().fail_at(site::MORSEL_WORKER, 2, FaultMode::Panic));
+    let err = db.execute(&scan).unwrap_err();
+    assert!(matches!(err, Error::ExecutionPanic { .. }), "{err}");
+    assert_eq!(plan.fired(site::MORSEL_WORKER), 1);
+
+    // Only that query failed: the database survives, verifies clean, and
+    // answers the same query once the plan is cleared.
+    db.clear_fault_plan();
+    assert!(db.verify_integrity().is_clean());
+    let (again, _) = db.execute(&scan).unwrap();
+    assert_eq!(again, all);
+    db.insert("PARENT", row(&[999])).unwrap();
+
+    // Error mode on the serial path is equally contained.
+    db.set_parallelism(1);
+    db.set_fault_plan(FaultPlan::new().fail_at(site::MORSEL_WORKER, 0, FaultMode::Error));
+    let err = db.execute(&scan).unwrap_err();
+    assert!(matches!(err, Error::Injected { .. }), "{err}");
+    db.clear_fault_plan();
+    assert!(db.execute(&scan).is_ok());
+}
+
+#[test]
+fn query_budgets_trip_with_typed_errors() {
+    let mut db = baseline_db();
+    for k in 100..200 {
+        db.insert("PARENT", row(&[k])).unwrap();
+    }
+    let scan = QueryPlan::scan("PARENT");
+
+    db.set_query_budget(QueryBudget::unlimited().with_max_rows(10));
+    let err = db.execute(&scan).unwrap_err();
+    assert!(
+        matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("row cap")),
+        "{err}"
+    );
+
+    db.set_query_budget(QueryBudget::unlimited().with_max_wall(Duration::ZERO));
+    let err = db.execute(&scan).unwrap_err();
+    assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
+
+    // Lifting the budget restores service; parallel execution under a
+    // generous budget is unaffected.
+    db.set_query_budget(QueryBudget::unlimited());
+    assert!(db.execute(&scan).is_ok());
+    db.set_parallelism(4);
+    db.set_query_budget(QueryBudget::unlimited().with_max_rows(1_000_000));
+    assert!(db.execute(&scan).is_ok());
+}
+
+#[test]
+fn verify_integrity_detects_seeded_corruption() {
+    // `load_state` trusts its input, so a dangling foreign key and a
+    // null in a NOT-NULL column can be smuggled past the DML layer.
+    let schema = parent_child_schema();
+    let mut state = DatabaseState::empty_for(&schema).unwrap();
+    state.insert("PARENT", Tuple::new([Value::Int(1)])).unwrap();
+    state
+        .insert("CHILD", Tuple::new([Value::Int(5), Value::Int(99)]))
+        .unwrap();
+    state
+        .insert("CHILD", Tuple::new([Value::Int(6), Value::Null]))
+        .unwrap();
+    let mut db = Database::new(schema, DbmsProfile::ideal()).unwrap();
+    db.load_state(&state).unwrap();
+
+    let report = db.verify_integrity();
+    assert!(!report.is_clean());
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == IntegrityKind::InclusionDependency),
+        "{report}"
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.kind == IntegrityKind::NullConstraint),
+        "{report}"
+    );
+    // A healthy database reports clean with non-trivial coverage counts.
+    let clean = baseline_db().verify_integrity();
+    assert!(clean.is_clean());
+    assert!(clean.relations_checked >= 2);
+    assert!(clean.constraints_checked > 0);
+    assert!(clean.index_entries_checked > 0);
+}
+
+/// One random statement against the parent/child schema.
+fn random_batch(rng: &mut StdRng, n: usize) -> Vec<Statement> {
+    let mut next_parent = 100i64;
+    let mut next_child = 1000i64;
+    let mut stmts = Vec::new();
+    for _ in 0..n {
+        match rng.gen_range(0..4u32) {
+            0 => {
+                stmts.push(Statement::insert("PARENT", row(&[next_parent])));
+                next_parent += 1;
+            }
+            1 => {
+                // Mostly valid references (parents 1/2 or ones inserted in
+                // this batch), occasionally dangling — natural violations
+                // must roll back exactly like injected ones.
+                let fk = if rng.gen_bool(0.85) {
+                    if next_parent > 100 && rng.gen_bool(0.5) {
+                        rng.gen_range(100..next_parent)
+                    } else {
+                        rng.gen_range(1..3)
+                    }
+                } else {
+                    9_999
+                };
+                stmts.push(Statement::insert("CHILD", row(&[next_child, fk])));
+                next_child += 1;
+            }
+            2 => stmts.push(Statement::delete(
+                "CHILD",
+                row(&[rng.gen_range(999..next_child)]),
+            )),
+            _ => stmts.push(Statement::delete(
+                "PARENT",
+                row(&[rng.gen_range(99..next_parent)]),
+            )),
+        }
+    }
+    stmts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random batches under random seeded single-arm fault plans: if the
+    /// arm fires the batch aborts, and after any abort — injected, panic,
+    /// or natural violation — the deep checker is clean and the state
+    /// equals the pre-batch snapshot.
+    #[test]
+    fn seeded_faults_always_leave_a_clean_database(
+        seed in 0u64..1_000_000,
+        n in 4usize..24,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = random_batch(&mut rng, n);
+        let mut db = baseline_db();
+        let pre = db.snapshot().unwrap();
+        let plan = db.set_fault_plan(FaultPlan::seeded(
+            seed,
+            site::BATCH,
+            (n as u64) * 2,
+        ));
+        let outcome = db.apply_batch(&batch);
+        let fired = plan.total_fired();
+        db.clear_fault_plan();
+        if fired > 0 {
+            prop_assert!(outcome.is_err(), "a fired fault must abort the batch");
+        }
+        let report = db.verify_integrity();
+        prop_assert!(report.is_clean(), "{}", report);
+        if outcome.is_err() {
+            prop_assert_eq!(db.snapshot().unwrap(), pre);
+        }
+        // The database remains serviceable either way.
+        db.insert("PARENT", row(&[777_777])).unwrap();
+    }
+}
