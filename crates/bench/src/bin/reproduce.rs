@@ -2,13 +2,19 @@
 //! measured B1/B2/B4 tables recorded in `EXPERIMENTS.md`.
 //!
 //! Usage:
-//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|all] [--trace] [--smoke]`
+//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|b10|all]... [--trace] [--smoke]`
+//!
+//! Several experiments may be named in one invocation (`reproduce b8 b10`
+//! runs both and writes one combined `BENCH_query.json`); no names means
+//! `all`.
 //!
 //! `--trace` additionally prints the [`Database::execute_traced`] operator
 //! tree for one representative query per query-running experiment;
-//! `--smoke` shrinks the B8/B9 instances so CI can run them in seconds.
+//! `--smoke` shrinks the B8/B9/B10 instances so CI can run them in
+//! seconds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,8 +37,24 @@ use relmerge_workload::{consistent_state, star_schema, StarSpec, StateSpec};
 /// Set by `--trace`: query experiments print one representative
 /// operator tree.
 static TRACE: AtomicBool = AtomicBool::new(false);
-/// Set by `--smoke`: B8 runs at a CI-sized scale.
+/// Set by `--smoke`: B8/B10 run at a CI-sized scale.
 static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// B8 rows stashed for `BENCH_query.json` (see [`write_query_json`]).
+static B8_ROWS: Mutex<Vec<experiments::ParallelQueryRow>> = Mutex::new(Vec::new());
+/// B10 rows stashed for `BENCH_query.json` (see [`write_query_json`]).
+static B10_ROWS: Mutex<Vec<experiments::BuildCacheRow>> = Mutex::new(Vec::new());
+
+/// Writes `BENCH_query.json` from whatever B8/B10 rows have been stashed
+/// so far, so `b8`, `b10`, and `all` each leave a file carrying every
+/// section that ran this invocation.
+fn write_query_json() {
+    let b8 = B8_ROWS.lock().expect("b8 stash");
+    let b10 = B10_ROWS.lock().expect("b10 stash");
+    let path = std::path::Path::new("BENCH_query.json");
+    experiments::write_parallel_query_json(path, &b8, &b10).expect("write BENCH_query.json");
+    println!("wrote {}", path.display());
+}
 
 fn trace_enabled() -> bool {
     TRACE.load(Ordering::Relaxed)
@@ -51,22 +73,15 @@ fn trace_query(db: &Database, label: &str, plan: &QueryPlan) {
 }
 
 fn main() {
-    let mut arg: Option<String> = None;
+    let mut picked: Vec<String> = Vec::new();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--trace" => TRACE.store(true, Ordering::Relaxed),
             "--smoke" => SMOKE.store(true, Ordering::Relaxed),
-            name => {
-                if let Some(prev) = &arg {
-                    eprintln!("reproduce: one experiment at a time (got {prev:?} and {name:?})");
-                    std::process::exit(2);
-                }
-                arg = Some(name.to_owned());
-            }
+            name => picked.push(name.to_owned()),
         }
     }
-    let arg = arg.unwrap_or_else(|| "all".to_owned());
-    let run = |name: &str| arg == "all" || arg == name;
+    let run = |name: &str| picked.is_empty() || picked.iter().any(|p| p == "all" || p == name);
     let mut timings: Vec<(&'static str, u64)> = Vec::new();
     let mut go = |label: &'static str, f: fn()| {
         let t = obs::timer("reproduce.experiment").field("name", label);
@@ -117,6 +132,9 @@ fn main() {
     }
     if run("b9") {
         go("b9", b9);
+    }
+    if run("b10") {
+        go("b10", b10);
     }
     summary(&timings);
 }
@@ -668,7 +686,7 @@ fn b8() {
                 r.query.clone(),
                 r.workers.to_string(),
                 r.rows_out.to_string(),
-                format!("{:.2} ms", r.serial_ns / 1e6),
+                format!("{:.2} ms", r.baseline_ns / 1e6),
                 format!("{:.2} ms", r.parallel_ns / 1e6),
                 format!("{:.2}x", r.speedup),
                 format!("{:.0}", r.rows_per_sec),
@@ -685,9 +703,9 @@ fn b8() {
                 "query",
                 "workers",
                 "rows",
-                "serial",
-                "parallel",
-                "speedup",
+                "INL baseline",
+                "measured",
+                "speedup vs INL",
                 "rows/s",
                 "morsels",
                 "probes (INL -> cost)",
@@ -696,9 +714,41 @@ fn b8() {
             &table_rows,
         )
     );
-    let path = std::path::Path::new("BENCH_query.json");
-    experiments::write_parallel_query_json(path, &rows).expect("write BENCH_query.json");
-    println!("wrote {}", path.display());
+    // The composite win is structural (quadratic forced-INL scan vs one
+    // build-side scan) and must show at every worker count. The chain's
+    // forced-INL baseline does near-identical per-row work to the
+    // borrowed-build hash plan, so its end-to-end win is thread-level: on
+    // a single-core host the honest value is parity, and only multi-core
+    // hosts are required to beat the serial baseline.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    for r in &rows {
+        if r.query.starts_with("composite") {
+            assert!(
+                r.speedup > 1.0,
+                "the composite query must beat the quadratic INL baseline: {r:?}"
+            );
+        } else if cores > 1 && r.workers > 1 && r.workers <= cores {
+            assert!(
+                r.speedup > 1.0,
+                "multi-worker chain rows must beat the serial INL baseline \
+                 on a {cores}-core host: {r:?}"
+            );
+        } else {
+            assert!(
+                r.speedup > 0.5 && r.speedup < 2.5,
+                "chain rows must sit near INL parity on this host: {r:?}"
+            );
+        }
+    }
+    if cores == 1 {
+        println!(
+            "Note: recorded on a single-core host — chain-scan rows measure \
+             thread overhead only (≈1.0x); the composite rows carry the \
+             measured end-to-end win."
+        );
+    }
+    *B8_ROWS.lock().expect("b8 stash") = rows;
+    write_query_json();
     if trace_enabled() {
         use relmerge_engine::DbmsProfile;
         let mut rng = StdRng::seed_from_u64(42);
@@ -789,6 +839,91 @@ fn b9() {
          with a typed error; integrity verification found zero violations \
          and the state always matched the pre-batch snapshot."
     );
+}
+
+/// B10: the versioned build-side cache — cold (rebuild before every
+/// execution) versus warm (every execution hits the cache) on the
+/// build-heavy composite join, swept over worker counts. Emits the B10
+/// section of `BENCH_query.json`.
+fn b10() {
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let (courses, iters) = if smoke { (4_000, 3) } else { (40_000, 5) };
+    heading("B10: versioned build-side cache (cold rebuild vs warm hit)");
+    println!(
+        "scale: {courses} courses ({} mode)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let rows = experiments::build_cache_speedup(courses, iters).expect("b10");
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                format!("{:.2} ms", r.cold_ns / 1e6),
+                format!("{:.2} ms", r.warm_ns / 1e6),
+                format!("{:.2}x", r.speedup),
+                r.cache_hits.to_string(),
+                r.cache_misses.to_string(),
+                format!("{:.1} KiB", r.build_bytes as f64 / 1024.0),
+                r.parallel_builds.to_string(),
+                r.saved_allocs.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "workers",
+                "cold",
+                "warm",
+                "speedup vs serial cold",
+                "hits",
+                "misses",
+                "build size",
+                "parallel builds",
+                "saved allocs/run",
+            ],
+            &table_rows,
+        )
+    );
+    assert!(
+        rows.iter()
+            .all(|r| r.cache_hits >= 1 && r.warm_ns < r.cold_ns),
+        "every warm run must hit the cache and beat its cold run: {rows:?}"
+    );
+    if !smoke {
+        assert!(
+            rows.iter().any(|r| r.workers > 1 && r.speedup >= 2.0),
+            "a multi-worker warm run must be >= 2x over the serial cold \
+             baseline at full scale: {rows:?}"
+        );
+    }
+    println!(
+        "Reading: warm executions skip the build entirely — the cache key \
+         (relation, probe attrs, version) guarantees a hit can never serve \
+         stale data, and stats are charged as if the build ran, so cold and \
+         warm runs are indistinguishable to the caller."
+    );
+    *B10_ROWS.lock().expect("b10 stash") = rows;
+    write_query_json();
+    if trace_enabled() {
+        use relmerge_engine::DbmsProfile;
+        let mut rng = StdRng::seed_from_u64(42);
+        let u = relmerge_workload::generate_university(
+            &relmerge_workload::UniversitySpec {
+                courses: 1_000,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("trace instance");
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("trace db");
+        db.load_state(&u.state).expect("load");
+        let plan = experiments::composite_no_index_query();
+        let _ = db.execute(&plan).expect("populate cache");
+        trace_query(&db, "b10 composite join, warm (cached build)", &plan);
+    }
 }
 
 /// B4: the effect of `Remove`.

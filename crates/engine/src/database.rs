@@ -223,6 +223,11 @@ pub(crate) struct DbMetrics {
     pub(crate) injected_aborts: Arc<Counter>,
     pub(crate) panic_aborts: Arc<Counter>,
     pub(crate) budget_aborts: Arc<Counter>,
+    pub(crate) build_cache_hits: Arc<Counter>,
+    pub(crate) build_cache_misses: Arc<Counter>,
+    pub(crate) build_cache_evictions: Arc<Counter>,
+    pub(crate) parallel_builds: Arc<Counter>,
+    pub(crate) probe_saved_allocs: Arc<Counter>,
     class_declarative: [Arc<Counter>; CHECK_CLASSES],
     class_procedural: [Arc<Counter>; CHECK_CLASSES],
     declarative_ns: Arc<Histogram>,
@@ -257,6 +262,11 @@ impl DbMetrics {
             injected_aborts: registry.counter("engine.fault.aborts.injected"),
             panic_aborts: registry.counter("engine.fault.aborts.panic"),
             budget_aborts: registry.counter("engine.query.aborts.budget"),
+            build_cache_hits: registry.counter("engine.query.build_cache.hits"),
+            build_cache_misses: registry.counter("engine.query.build_cache.misses"),
+            build_cache_evictions: registry.counter("engine.query.build_cache.evictions"),
+            parallel_builds: registry.counter("engine.query.build.parallel"),
+            probe_saved_allocs: registry.counter("engine.query.probe_key.saved_allocs"),
             class_declarative: per_class("declarative"),
             class_procedural: per_class("procedural"),
             declarative_ns: registry.histogram("engine.check.declarative.ns"),
@@ -287,6 +297,12 @@ impl DbMetrics {
         out.injected_aborts.set(self.injected_aborts.get());
         out.panic_aborts.set(self.panic_aborts.get());
         out.budget_aborts.set(self.budget_aborts.get());
+        out.build_cache_hits.set(self.build_cache_hits.get());
+        out.build_cache_misses.set(self.build_cache_misses.get());
+        out.build_cache_evictions
+            .set(self.build_cache_evictions.get());
+        out.parallel_builds.set(self.parallel_builds.get());
+        out.probe_saved_allocs.set(self.probe_saved_allocs.get());
         for i in 0..CHECK_CLASSES {
             out.class_declarative[i].set(self.class_declarative[i].get());
             out.class_procedural[i].set(self.class_procedural[i].get());
@@ -331,6 +347,13 @@ pub(crate) struct Table {
     /// keys, IND targets, and join probes). Values are the live row slots
     /// of each **total** subtuple.
     pub(crate) lookups: BTreeMap<Vec<String>, LookupIndex>,
+    /// Monotone modification counter: bumped once per row mutation (every
+    /// mutation path funnels through `index_insert`/`index_remove`). Keys
+    /// the build-side cache — a version match proves a cached hash build
+    /// still describes the stored rows. Never decremented, including on
+    /// rollback: undo re-mutates rows, so the version moves forward and
+    /// pre-rollback cache entries simply age out.
+    pub(crate) version: u64,
 }
 
 impl Table {
@@ -341,6 +364,7 @@ impl Table {
             live: 0,
             unique: Vec::new(),
             lookups: BTreeMap::new(),
+            version: 0,
         }
     }
 
@@ -376,6 +400,7 @@ impl Table {
     }
 
     fn index_insert(&mut self, t: &Tuple, slot: usize) {
+        self.version += 1;
         for (pos, map) in &mut self.unique {
             map.insert(t.project(pos), slot);
         }
@@ -387,6 +412,7 @@ impl Table {
     }
 
     fn index_remove(&mut self, t: &Tuple, slot: usize) {
+        self.version += 1;
         for (pos, map) in &mut self.unique {
             map.remove(&t.project(pos));
         }
@@ -442,6 +468,14 @@ pub struct Database {
     hash_join_threshold: usize,
     /// Rows per executor morsel (always ≥ 1).
     morsel_rows: usize,
+    /// Build-side live-row count at which a transient hash build fans out
+    /// over the worker pool; `usize::MAX` pins builds to the serial path
+    /// (mirroring the INL sentinel of `hash_join_threshold`).
+    build_parallel_threshold: usize,
+    /// The versioned build-side cache. Interior-mutable because queries
+    /// run through `&self`; the lock is only ever held for map operations,
+    /// never across a build or a fault site.
+    build_cache: std::sync::Mutex<crate::build::BuildCache>,
     /// Resource limits for query execution (default unlimited).
     budget: QueryBudget,
     /// Installed fault plan, if any (`None` in production configurations).
@@ -464,6 +498,8 @@ impl Clone for Database {
             parallelism: self.parallelism,
             hash_join_threshold: self.hash_join_threshold,
             morsel_rows: self.morsel_rows,
+            build_parallel_threshold: self.build_parallel_threshold,
+            build_cache: std::sync::Mutex::new(self.build_cache_lock().clone()),
             budget: self.budget,
             fault: self.fault.clone(),
         }
@@ -488,6 +524,14 @@ pub const DEFAULT_HASH_JOIN_THRESHOLD: usize = 64;
 
 /// Default number of root rows per executor morsel.
 pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// Default build-side live-row count at which a transient hash build fans
+/// out over the worker pool (see
+/// [`crate::planner::choose_build_parallelism`]).
+pub const DEFAULT_BUILD_PARALLEL_THRESHOLD: usize = 4096;
+
+/// Default byte capacity of the versioned build-side cache.
+pub const DEFAULT_BUILD_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 
 impl Database {
     /// Creates an empty database for `schema` under `profile`. Fails when
@@ -571,6 +615,10 @@ impl Database {
                 .unwrap_or(1),
             hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            build_parallel_threshold: DEFAULT_BUILD_PARALLEL_THRESHOLD,
+            build_cache: std::sync::Mutex::new(crate::build::BuildCache::new(
+                DEFAULT_BUILD_CACHE_BYTES,
+            )),
             budget: QueryBudget::unlimited(),
             fault: None,
         })
@@ -613,6 +661,75 @@ impl Database {
     /// the reassembly path; the default suits large scans.
     pub fn set_morsel_rows(&mut self, rows: usize) {
         self.morsel_rows = rows.max(1);
+    }
+
+    /// Build-side live-row count at which a transient hash build fans out
+    /// over the worker pool. `usize::MAX` pins every build to the serial
+    /// path (the same sentinel idiom as
+    /// [`hash_join_threshold`](Self::hash_join_threshold)).
+    #[must_use]
+    pub fn build_parallel_threshold(&self) -> usize {
+        self.build_parallel_threshold
+    }
+
+    /// Sets the parallel-build switchover threshold. No clamping:
+    /// `usize::MAX` is the serial sentinel, `0` fans out any non-trivial
+    /// build.
+    pub fn set_build_parallel_threshold(&mut self, rows: usize) {
+        self.build_parallel_threshold = rows;
+    }
+
+    /// Byte capacity of the versioned build-side cache (`0` = caching
+    /// disabled).
+    #[must_use]
+    pub fn build_cache_capacity(&self) -> u64 {
+        self.build_cache_lock().capacity()
+    }
+
+    /// Sets the build-cache byte capacity, evicting least-recently-used
+    /// entries down to it. `0` disables caching: every transient build is
+    /// rebuilt cold (results and `QueryStats` are unaffected — only wall
+    /// time changes).
+    pub fn set_build_cache_capacity(&mut self, bytes: u64) {
+        let evicted = self.build_cache_lock().set_capacity(bytes);
+        self.metrics.build_cache_evictions.add(evicted);
+    }
+
+    /// Drops every cached build (capacity is unchanged).
+    pub fn clear_build_cache(&mut self) {
+        self.build_cache_lock().clear();
+    }
+
+    /// Builds currently cached.
+    #[must_use]
+    pub fn build_cache_len(&self) -> usize {
+        self.build_cache_lock().len()
+    }
+
+    /// Approximate bytes of cached builds.
+    #[must_use]
+    pub fn build_cache_bytes(&self) -> u64 {
+        self.build_cache_lock().bytes()
+    }
+
+    /// The monotone modification version of `rel` (bumped once per row
+    /// mutation, rollbacks included). Exposed so tests and benches can
+    /// assert cache-invalidation behavior.
+    pub fn relation_version(&self, rel: &str) -> Result<u64> {
+        Ok(self
+            .tables
+            .get(rel)
+            .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?
+            .version)
+    }
+
+    /// The build cache, locked. Poisoning is ignored deliberately: the
+    /// lock is never held across user code or fault sites, so a poisoned
+    /// cache is structurally sound and safe to keep using.
+    pub(crate) fn build_cache_lock(&self) -> std::sync::MutexGuard<'_, crate::build::BuildCache> {
+        self.build_cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The resource limits queries execute under (default unlimited).
@@ -1542,6 +1659,45 @@ mod tests {
         copy.insert("EMP", tup(&[2, 20])).unwrap();
         assert_eq!(copy.stats().inserts, 2);
         assert_eq!(db.stats().inserts, 1, "original unaffected by the clone");
+    }
+
+    #[test]
+    fn relation_versions_bump_on_every_mutation() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        let v0 = db.relation_version("EMP").unwrap();
+        db.insert("EMP", tup(&[1, 10])).unwrap();
+        let v1 = db.relation_version("EMP").unwrap();
+        assert!(v1 > v0);
+        // An idempotent re-insert mutates nothing, so the version holds —
+        // a cached build over EMP stays valid.
+        assert!(!db.insert("EMP", tup(&[1, 10])).unwrap());
+        assert_eq!(db.relation_version("EMP").unwrap(), v1);
+        // A rejected statement mutates nothing either.
+        assert!(db.insert("EMP", tup(&[1, 99])).is_err());
+        assert_eq!(db.relation_version("EMP").unwrap(), v1);
+        // Deletes bump; other relations are untouched.
+        let mgr_v = db.relation_version("MGR").unwrap();
+        db.delete_by_key("EMP", &tup(&[1])).unwrap();
+        assert!(db.relation_version("EMP").unwrap() > v1);
+        assert_eq!(db.relation_version("MGR").unwrap(), mgr_v);
+        assert!(db.relation_version("NOPE").is_err());
+    }
+
+    #[test]
+    fn build_cache_knobs_round_trip() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        assert_eq!(db.build_cache_capacity(), DEFAULT_BUILD_CACHE_BYTES);
+        assert_eq!(
+            db.build_parallel_threshold(),
+            DEFAULT_BUILD_PARALLEL_THRESHOLD
+        );
+        assert_eq!((db.build_cache_len(), db.build_cache_bytes()), (0, 0));
+        db.set_build_cache_capacity(0);
+        assert_eq!(db.build_cache_capacity(), 0);
+        db.set_build_parallel_threshold(usize::MAX);
+        assert_eq!(db.build_parallel_threshold(), usize::MAX);
+        db.clear_build_cache();
+        assert_eq!(db.build_cache_len(), 0);
     }
 
     #[test]

@@ -47,9 +47,17 @@ pub mod site {
     /// A morsel worker in the query executor (fires once per morsel,
     /// possibly on a worker thread).
     pub const MORSEL_WORKER: &str = "engine.query.morsel_worker";
+    /// A transient hash build in the query executor (fires once per build
+    /// chunk, possibly on a build worker thread).
+    pub const HASH_BUILD: &str = "engine.query.hash_build";
+    /// Insertion of a finished transient build into the build-side cache
+    /// (fires once per insert, before the cache is mutated).
+    pub const BUILD_CACHE_INSERT: &str = "engine.query.build_cache_insert";
 
     /// The sites on the batched-DML path, in firing order.
     pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
+    /// The sites on the query-execution path, in firing order.
+    pub const QUERY: &[&str] = &[HASH_BUILD, BUILD_CACHE_INSERT, MORSEL_WORKER];
     /// Every site.
     pub const ALL: &[&str] = &[
         STATEMENT_APPLY,
@@ -57,6 +65,8 @@ pub mod site {
         GROUP_VALIDATE,
         COMMIT,
         MORSEL_WORKER,
+        HASH_BUILD,
+        BUILD_CACHE_INSERT,
     ];
 }
 
@@ -237,6 +247,7 @@ pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 pub struct QueryBudget {
     max_rows: Option<u64>,
     max_wall: Option<Duration>,
+    max_build_bytes: Option<u64>,
 }
 
 impl QueryBudget {
@@ -262,10 +273,20 @@ impl QueryBudget {
         self
     }
 
-    /// Whether both limits are absent.
+    /// Caps the approximate bytes of transient hash-build state a query
+    /// may materialize (charged when a build finishes, including builds
+    /// answered from the build-side cache — a cached build still occupies
+    /// memory on the query's behalf).
+    #[must_use]
+    pub fn with_max_build_bytes(mut self, bytes: u64) -> Self {
+        self.max_build_bytes = Some(bytes);
+        self
+    }
+
+    /// Whether all limits are absent.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.max_rows.is_none() && self.max_wall.is_none()
+        self.max_rows.is_none() && self.max_wall.is_none() && self.max_build_bytes.is_none()
     }
 
     /// The row cap, if any.
@@ -280,13 +301,21 @@ impl QueryBudget {
         self.max_wall
     }
 
+    /// The approximate hash-build memory cap, if any.
+    #[must_use]
+    pub fn max_build_bytes(&self) -> Option<u64> {
+        self.max_build_bytes
+    }
+
     /// Starts tracking one execution against this budget.
     pub(crate) fn start(&self) -> BudgetTracker {
         BudgetTracker {
             max_rows: self.max_rows,
             deadline: self.max_wall.map(|d| Instant::now() + d),
+            max_build_bytes: self.max_build_bytes,
             rows: AtomicU64::new(0),
             morsels: AtomicU64::new(0),
+            build_bytes: AtomicU64::new(0),
             tripped: AtomicBool::new(false),
         }
     }
@@ -299,8 +328,10 @@ impl QueryBudget {
 pub(crate) struct BudgetTracker {
     max_rows: Option<u64>,
     deadline: Option<Instant>,
+    max_build_bytes: Option<u64>,
     rows: AtomicU64,
     morsels: AtomicU64,
+    build_bytes: AtomicU64,
     tripped: AtomicBool,
 }
 
@@ -343,6 +374,17 @@ impl BudgetTracker {
     pub(crate) fn charge_morsel(&self, rows: u64) -> Result<()> {
         self.morsels.fetch_add(1, Ordering::Relaxed);
         self.charge_rows(rows)
+    }
+
+    /// Charges `bytes` of approximate transient hash-build memory.
+    pub(crate) fn charge_build_bytes(&self, bytes: u64) -> Result<()> {
+        let total = self.build_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        match self.max_build_bytes {
+            Some(cap) if total > cap => Err(self.exceeded(format!(
+                "build-memory cap {cap} exceeded ({total} approximate bytes built)"
+            ))),
+            _ => Ok(()),
+        }
     }
 }
 
@@ -498,6 +540,21 @@ mod tests {
         assert!(matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("row cap")));
         // Peers see the trip at their next checkpoint.
         assert!(tracker.checkpoint().is_err());
+    }
+
+    #[test]
+    fn budget_tracker_trips_build_byte_cap() {
+        let budget = QueryBudget::unlimited().with_max_build_bytes(1_000);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.max_build_bytes(), Some(1_000));
+        let tracker = budget.start();
+        assert!(tracker.charge_build_bytes(900).is_ok());
+        let err = tracker.charge_build_bytes(200).unwrap_err();
+        assert!(
+            matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("build-memory")),
+            "{err}"
+        );
+        assert!(tracker.checkpoint().is_err(), "peers see the trip");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+mod build;
 pub mod capability;
 pub mod database;
 pub mod fault;
@@ -29,7 +30,8 @@ pub mod txn;
 pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
 pub use database::{
-    Database, DmlError, MaintenanceStats, DEFAULT_HASH_JOIN_THRESHOLD, DEFAULT_MORSEL_ROWS,
+    Database, DmlError, MaintenanceStats, DEFAULT_BUILD_CACHE_BYTES,
+    DEFAULT_BUILD_PARALLEL_THRESHOLD, DEFAULT_HASH_JOIN_THRESHOLD, DEFAULT_MORSEL_ROWS,
 };
 pub use fault::{
     FaultMode, FaultPlan, IntegrityKind, IntegrityReport, IntegrityViolation, QueryBudget,

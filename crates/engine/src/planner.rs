@@ -286,12 +286,49 @@ pub fn choose_join_strategy(
     Ok(strategy)
 }
 
+/// Worker count for one transient hash build over `build_rows` live rows.
+///
+/// Mirrors the join-strategy sentinel: a
+/// [`Database::build_parallel_threshold`] of `usize::MAX` pins builds to
+/// the serial path (the measurement baseline), as does a single-worker
+/// executor or a build side smaller than the threshold — chunking tiny
+/// builds costs more in thread scaffolding than it saves. Past the
+/// threshold the build fans out over at most
+/// [`Database::parallelism`] workers, one chunk of at least
+/// `threshold` rows each, so worker count grows with the build side
+/// instead of jumping straight to the full pool. The decision depends
+/// only on knobs and the live-row count, never on timing, so the
+/// partition layout — and therefore every downstream counter — is
+/// deterministic.
+pub fn choose_build_parallelism(db: &Database, build_rows: usize) -> usize {
+    let threshold = db.build_parallel_threshold();
+    let workers = if threshold == usize::MAX || db.parallelism() <= 1 || build_rows < threshold {
+        1
+    } else {
+        match build_rows.checked_div(threshold) {
+            // Threshold 0 means "always parallel" — the chunk-size
+            // heuristic has no meaningful answer, so fan out over the
+            // full pool.
+            None => db.parallelism(),
+            Some(chunks) => db.parallelism().min(chunks.max(1)),
+        }
+    };
+    if workers > 1 {
+        planner_counters().build_parallel.inc();
+    } else {
+        planner_counters().build_serial.inc();
+    }
+    workers
+}
+
 /// Process-global planner counters, resolved once.
 struct PlannerCounters {
     plans: std::sync::Arc<relmerge_obs::Counter>,
     joins_derived: std::sync::Arc<relmerge_obs::Counter>,
     strategy_inl: std::sync::Arc<relmerge_obs::Counter>,
     strategy_hash: std::sync::Arc<relmerge_obs::Counter>,
+    build_parallel: std::sync::Arc<relmerge_obs::Counter>,
+    build_serial: std::sync::Arc<relmerge_obs::Counter>,
 }
 
 fn planner_counters() -> &'static PlannerCounters {
@@ -303,6 +340,8 @@ fn planner_counters() -> &'static PlannerCounters {
             joins_derived: reg.counter("engine.plan.joins_derived"),
             strategy_inl: reg.counter("engine.plan.strategy.inl"),
             strategy_hash: reg.counter("engine.plan.strategy.hash"),
+            build_parallel: reg.counter("engine.plan.build.parallel"),
+            build_serial: reg.counter("engine.plan.build.serial"),
         }
     })
 }
@@ -507,6 +546,33 @@ mod tests {
         // Unknown relations and attributes error.
         assert!(choose_join_strategy(&db, "NOPE", &unindexed, 1).is_err());
         assert!(choose_join_strategy(&db, "OFFER", &["NOPE".to_owned()], 1).is_err());
+    }
+
+    #[test]
+    fn build_parallelism_cost_model() {
+        let rs = chain();
+        let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+        db.set_parallelism(4);
+        db.set_build_parallel_threshold(1_000);
+        // Below the threshold: serial.
+        assert_eq!(choose_build_parallelism(&db, 999), 1);
+        // One threshold's worth of rows per worker, capped by parallelism.
+        assert_eq!(choose_build_parallelism(&db, 1_000), 1);
+        assert_eq!(choose_build_parallelism(&db, 2_500), 2);
+        assert_eq!(choose_build_parallelism(&db, 1_000_000), 4);
+        // Single-worker executor never fans out a build.
+        db.set_parallelism(1);
+        assert_eq!(choose_build_parallelism(&db, 1_000_000), 1);
+        // The usize::MAX sentinel is the serial measurement baseline.
+        db.set_parallelism(8);
+        db.set_build_parallel_threshold(usize::MAX);
+        assert_eq!(choose_build_parallelism(&db, 1_000_000), 1);
+        // Threshold 0 means "always parallel": the full pool, even for a
+        // tiny build (and no division by zero).
+        db.set_build_parallel_threshold(0);
+        assert_eq!(choose_build_parallelism(&db, 3), 8);
+        db.set_parallelism(1);
+        assert_eq!(choose_build_parallelism(&db, 3), 1);
     }
 
     #[test]

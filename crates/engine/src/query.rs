@@ -10,13 +10,19 @@
 //!
 //! # Execution model
 //!
-//! The root access runs serially, producing *borrowed* row slots (no tuple
-//! is cloned on the scan path). The join pipeline is then compiled once:
-//! each step picks a strategy via [`crate::planner::choose_join_strategy`]
-//! — index-nested-loop for small left inputs with a covering index, hash
-//! join (building or borrowing a hash table over the right relation once)
+//! The root access produces *borrowed* row slots (no tuple is cloned on
+//! the scan path). A predicate over root attributes alone is pushed down:
+//! it runs before the join pipeline, morsel-parallel on the worker pool,
+//! with survivors reassembled in chunk order. The join pipeline is then
+//! compiled once: each step picks a strategy via
+//! [`crate::planner::choose_join_strategy`] — index-nested-loop for small
+//! left inputs with a covering index, hash join (borrowing an index, or
+//! building a transient table via the partitioned parallel builder in
+//! the crate-private `build` module, reused through the versioned
+//! build-side cache)
 //! otherwise — and any hash builds happen before fan-out so cost counters
-//! are identical at every parallelism level. The root rows are partitioned
+//! are identical at every parallelism level, cache on or off. The root
+//! rows are partitioned
 //! into fixed-size morsels ([`Database::morsel_rows`]) claimed by up to
 //! [`Database::parallelism`] scoped worker threads; intermediate rows are
 //! arrays of borrowed slots, materialized exactly once per surviving row.
@@ -34,14 +40,16 @@ use std::fmt;
 use std::ops::{Add, AddAssign};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use relmerge_obs::{self as obs};
 use relmerge_relational::{Attribute, Error, Relation, Result, Tuple, Value};
 
+use crate::build::{build_owned, BuildKey, OwnedBuild};
 use crate::database::Database;
-use crate::fault::{panic_message, site};
-use crate::planner::{choose_join_strategy, JoinStrategy};
+use crate::fault::{panic_message, site, BudgetTracker};
+use crate::planner::{choose_build_parallelism, choose_join_strategy, JoinStrategy};
 
 /// A selection predicate over the attributes visible at its evaluation
 /// point (the joined row, before projection). Three-valued logic is not
@@ -491,8 +499,9 @@ pub fn execute_traced(
 }
 
 /// How one compiled join step reaches its right-hand rows. Borrowed
-/// variants point straight into the database's storage; `HashBuilt` owns a
-/// transient table built by scanning the right relation once.
+/// variants point straight into the database's storage; `HashOwned` shares
+/// a transient table built by scanning the right relation once (possibly
+/// partition-parallel, possibly reused through the build-side cache).
 enum RightAccess<'a> {
     /// Index-nested-loop through a unique index: one counted probe per
     /// total left row.
@@ -525,8 +534,13 @@ enum RightAccess<'a> {
         rows: &'a [Option<Tuple>],
     },
     /// Hash join over a transient table built by scanning the right
-    /// relation once (counted as that one scan).
-    HashBuilt { map: HashMap<Tuple, Vec<&'a Tuple>> },
+    /// relation once (counted as that one scan, whether the build ran cold
+    /// or came from the versioned cache). The build maps keys to row
+    /// *slots*, resolved against the borrowed storage rows at probe time.
+    HashOwned {
+        build: Arc<OwnedBuild>,
+        rows: &'a [Option<Tuple>],
+    },
 }
 
 /// One join step compiled against the database: strategy chosen, build
@@ -557,6 +571,10 @@ struct MorselOut {
     per_join: Vec<OpStats>,
     /// Materialize + filter counters (`rows_in`/`rows_out`/`wall_ns`).
     filter: OpStats,
+    /// Probe-key `Tuple` allocations avoided by probing with the borrowed
+    /// value slice (one per total-key probe; the B10 summary reports the
+    /// sum).
+    saved_allocs: u64,
 }
 
 /// Runs the compiled join → materialize → filter pipeline over one morsel
@@ -578,6 +596,7 @@ fn run_morsel<'a>(
     let mut per_join = Vec::with_capacity(joins.len());
     let mut key_vals: Vec<Value> = Vec::new();
     let mut matches: Vec<&'a Tuple> = Vec::new();
+    let mut saved_allocs: u64 = 0;
     for join in joins {
         let t0 = Instant::now();
         let mut op = OpStats {
@@ -606,38 +625,43 @@ fn run_morsel<'a>(
                 }
                 continue;
             }
-            let key = Tuple::new(std::mem::take(&mut key_vals));
+            // Probe with the borrowed value slice — `Tuple` hashes and
+            // compares like its slice (`Borrow<[Value]>`), so no key tuple
+            // is allocated; `key_vals` keeps its capacity across rows.
+            saved_allocs += 1;
+            let key = key_vals.as_slice();
             matches.clear();
             match &join.access {
                 RightAccess::Unique { map, rows } => {
                     op.index_probes += 1;
-                    matches.extend(map.get(&key).and_then(|&s| rows[s].as_ref()));
+                    matches.extend(map.get(key).and_then(|&s| rows[s].as_ref()));
                 }
                 RightAccess::HashUnique { map, rows } => {
-                    matches.extend(map.get(&key).and_then(|&s| rows[s].as_ref()));
+                    matches.extend(map.get(key).and_then(|&s| rows[s].as_ref()));
                 }
                 RightAccess::Lookup { map, rows } => {
                     op.index_probes += 1;
-                    if let Some(slots) = map.get(&key) {
+                    if let Some(slots) = map.get(key) {
                         matches.extend(slots.iter().filter_map(|&s| rows[s].as_ref()));
                     }
                 }
                 RightAccess::HashLookup { map, rows } => {
-                    if let Some(slots) = map.get(&key) {
+                    if let Some(slots) = map.get(key) {
                         matches.extend(slots.iter().filter_map(|&s| rows[s].as_ref()));
                     }
                 }
                 RightAccess::ScanProbe { pos, rows } => {
                     op.rows_scanned += rows.len() as u64;
-                    matches.extend(
-                        rows.iter()
-                            .flatten()
-                            .filter(|t| t.is_total_at(pos) && t.project(pos) == key),
-                    );
+                    // Element-wise compare against a total key: a null or
+                    // differing stored value fails the zip, so this matches
+                    // exactly what `project == key` matched.
+                    matches.extend(rows.iter().flatten().filter(|t| {
+                        pos.len() == key.len() && pos.iter().zip(key).all(|(&p, k)| t.get(p) == k)
+                    }));
                 }
-                RightAccess::HashBuilt { map } => {
-                    if let Some(found) = map.get(&key) {
-                        matches.extend(found.iter().copied());
+                RightAccess::HashOwned { build, rows } => {
+                    if let Some(slots) = build.probe(key) {
+                        matches.extend(slots.iter().filter_map(|&s| rows[s].as_ref()));
                     }
                 }
             }
@@ -692,13 +716,17 @@ fn run_morsel<'a>(
         rows: out,
         per_join,
         filter: fop,
+        saved_allocs,
     }
 }
 
 /// Compiles one join step: resolves the left attributes against the
 /// evolving header, picks the strategy, and prepares (or borrows) the
-/// build side. Extends `flat_header`/`locs`/`widths` with the right
-/// relation's attributes.
+/// build side. A transient build goes through the versioned cache — a hit
+/// reuses the stored build and charges its stored costs, so `QueryStats`
+/// are identical cold and warm; a miss builds (fanning out past
+/// [`Database::build_parallel_threshold`]) and inserts. Extends
+/// `flat_header`/`locs`/`widths` with the right relation's attributes.
 fn compile_join<'a>(
     db: &'a Database,
     step: &JoinStep,
@@ -706,6 +734,7 @@ fn compile_join<'a>(
     locs: &mut Vec<(usize, usize)>,
     widths: &mut Vec<usize>,
     left_estimate: usize,
+    budget: &BudgetTracker,
 ) -> Result<CompiledJoin<'a>> {
     let left_locs: Vec<(usize, usize)> = step
         .left_attrs
@@ -729,6 +758,7 @@ fn compile_join<'a>(
     let strategy = choose_join_strategy(db, &step.rel, &step.right_attrs, left_estimate)?;
     let t0 = Instant::now();
     let mut build = OpStats::default();
+    let mut build_note: Option<String> = None;
     let access = match strategy {
         JoinStrategy::IndexNestedLoop => {
             if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
@@ -761,14 +791,59 @@ fn compile_join<'a>(
                     rows: &table.rows,
                 }
             } else {
-                build.rows_scanned = table.rows.len() as u64;
-                let mut map: HashMap<Tuple, Vec<&Tuple>> = HashMap::new();
-                for t in table.rows.iter().flatten() {
-                    if t.is_total_at(&pos) {
-                        map.entry(t.project(&pos)).or_default().push(t);
+                // Transient build, through the versioned cache: a version
+                // match proves the cached build still describes the stored
+                // rows, so hits skip the scan entirely. The cache lock is
+                // never held across the build or a fault site.
+                let key = BuildKey {
+                    rel: step.rel.clone(),
+                    attrs: step.right_attrs.clone(),
+                    version: table.version,
+                };
+                let cached = db.build_cache_lock().get(&key);
+                let owned = match cached {
+                    Some(owned) => {
+                        db.metrics.build_cache_hits.inc();
+                        build_note = Some("build: cached".to_owned());
+                        owned
                     }
+                    None => {
+                        db.metrics.build_cache_misses.inc();
+                        let workers = choose_build_parallelism(db, table.live);
+                        let owned = Arc::new(build_owned(&table.rows, &pos, workers, || {
+                            db.fault_check(site::HASH_BUILD)
+                        })?);
+                        if owned.workers() > 1 {
+                            db.metrics.parallel_builds.inc();
+                            build_note = Some(format!("build: {} workers", owned.workers()));
+                        } else {
+                            build_note = Some("build: serial".to_owned());
+                        }
+                        // The insert-side fault site fires *before* the
+                        // cache is touched: an injected error or panic
+                        // fails this query and leaves the cache unmodified
+                        // — never a poisoned entry.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            db.fault_check(site::BUILD_CACHE_INSERT)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(Error::ExecutionPanic {
+                                context: panic_message(payload),
+                            })
+                        })?;
+                        let evicted = db.build_cache_lock().insert(key, Arc::clone(&owned));
+                        db.metrics.build_cache_evictions.add(evicted);
+                        owned
+                    }
+                };
+                // Hits charge the same scan count and bytes the cold build
+                // did, keeping stats and budgets independent of cache state.
+                budget.charge_build_bytes(owned.bytes())?;
+                build.rows_scanned = owned.rows_scanned();
+                RightAccess::HashOwned {
+                    build: owned,
+                    rows: &table.rows,
                 }
-                RightAccess::HashBuilt { map }
             }
         }
     };
@@ -788,6 +863,11 @@ fn compile_join<'a>(
     if let Some(ind) = &step.via_ind {
         label.push_str(" via ");
         label.push_str(ind);
+    }
+    if let Some(note) = build_note {
+        label.push_str(" [");
+        label.push_str(&note);
+        label.push(']');
     }
     let source = widths.len();
     for (i, a) in table.header.iter().enumerate() {
@@ -826,7 +906,7 @@ fn estimate_join_output(join: &CompiledJoin<'_>, left: usize) -> usize {
         RightAccess::Lookup { map, .. } | RightAccess::HashLookup { map, .. } => {
             avg_bucket(map.len(), map.values().map(Vec::len).sum())
         }
-        RightAccess::HashBuilt { map } => avg_bucket(map.len(), map.values().map(Vec::len).sum()),
+        RightAccess::HashOwned { build, .. } => avg_bucket(build.keys(), build.slots()),
         RightAccess::ScanProbe { .. } => 1,
     };
     let estimate = left.saturating_mul(fanout);
@@ -835,6 +915,79 @@ fn estimate_join_output(join: &CompiledJoin<'_>, left: usize) -> usize {
     } else {
         estimate
     }
+}
+
+/// Evaluates a root-only predicate over the scanned rows *before* the
+/// join pipeline. Past one worker the rows are split into
+/// [`Database::morsel_rows`]-sized contiguous chunks claimed by scoped
+/// workers, and survivors are reassembled in chunk order — so the
+/// surviving slots, and everything downstream, are identical at every
+/// worker count. A panicking worker fails only this query, as a typed
+/// error.
+fn prefilter_root<'a>(
+    db: &Database,
+    rows: Vec<&'a Tuple>,
+    cp: &CompiledPredicate,
+) -> Result<Vec<&'a Tuple>> {
+    let chunk_rows = db.morsel_rows().max(1);
+    let workers = db
+        .parallelism()
+        .clamp(1, rows.len().div_ceil(chunk_rows).max(1));
+    if workers <= 1 {
+        return Ok(rows
+            .into_iter()
+            .filter(|t| cp.matches(t.values()))
+            .collect());
+    }
+    let chunks: Vec<&[&Tuple]> = rows.chunks(chunk_rows).collect();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<Vec<&'a Tuple>>> = Vec::new();
+    slots.resize_with(chunks.len(), || None);
+    let mut failure: Option<Error> = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (next, chunks) = (&next, &chunks);
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, Vec<&'a Tuple>)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
+                        let kept = chunk
+                            .iter()
+                            .copied()
+                            .filter(|t| cp.matches(t.values()))
+                            .collect();
+                        done.push((i, kept));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(done) => {
+                    for (i, kept) in done {
+                        slots[i] = Some(kept);
+                    }
+                }
+                Err(payload) => {
+                    if failure.is_none() {
+                        failure = Some(Error::ExecutionPanic {
+                            context: panic_message(payload),
+                        });
+                    }
+                }
+            }
+        }
+    });
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .flat_map(|s| s.expect("every chunk claimed exactly once"))
+        .collect())
 }
 
 /// Thin classification wrapper over [`execute_core`]: a failed execution
@@ -883,7 +1036,6 @@ fn execute_core(
             db.probe_slots(&plan.root, attrs, key, &mut stats, &mut root_rows)?;
         }
     }
-    budget.charge_rows(root_rows.len() as u64)?;
     let root_op = traced.then(|| {
         let (kind, label) = match &plan.access {
             Access::FullScan => (OpKind::Scan, format!("Scan {}", plan.root)),
@@ -905,6 +1057,30 @@ fn execute_core(
             },
         }
     });
+
+    // Filter pushdown: a predicate compiling against the root header alone
+    // commutes with the joins (joins never modify root columns, and the
+    // root is never null-padded), so it runs *before* the pipeline —
+    // morsel-parallel past one worker — shrinking every downstream
+    // operator. A predicate needing join attributes falls through to the
+    // post-join filter, and an unknown attribute still errors there.
+    let root_only_filter = match (&plan.access, &plan.filter) {
+        (Access::FullScan, Some(p)) => CompiledPredicate::compile(p, root_header).ok(),
+        _ => None,
+    };
+    let mut pushed_op: Option<OpStats> = None;
+    if let Some(cp) = &root_only_filter {
+        let t0 = Instant::now();
+        let rows_in = root_rows.len() as u64;
+        root_rows = prefilter_root(db, root_rows, cp)?;
+        pushed_op = Some(OpStats {
+            rows_in,
+            rows_out: root_rows.len() as u64,
+            wall_ns: obs::elapsed_ns(t0),
+            ..OpStats::default()
+        });
+    }
+    budget.charge_rows(root_rows.len() as u64)?;
 
     // Compile the join pipeline. Strategy choice starts from the root
     // cardinality (known exactly after root access) and carries each
@@ -928,15 +1104,20 @@ fn execute_core(
             &mut locs,
             &mut widths,
             left_estimate,
+            &budget,
         )?;
         left_estimate = estimate_join_output(&compiled, left_estimate);
         joins.push(compiled);
     }
-    let filter = plan
-        .filter
-        .as_ref()
-        .map(|p| CompiledPredicate::compile(p, &flat_header))
-        .transpose()?;
+    // Residual filter: only when the predicate was not pushed to the scan.
+    let filter = if root_only_filter.is_some() {
+        None
+    } else {
+        plan.filter
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(p, &flat_header))
+            .transpose()?
+    };
 
     // Partition into morsels and fan out; each worker claims the next
     // unprocessed morsel until none remain.
@@ -1032,7 +1213,9 @@ fn execute_core(
     let mut per_join: Vec<OpStats> = joins.iter().map(|j| j.build).collect();
     let mut filter_op = OpStats::default();
     let mut rows: Vec<Tuple> = Vec::with_capacity(outs.iter().map(|o| o.rows.len()).sum());
+    let mut saved_allocs: u64 = 0;
     for out in outs {
+        saved_allocs += out.saved_allocs;
         for (agg, op) in per_join.iter_mut().zip(&out.per_join) {
             agg.rows_in += op.rows_in;
             agg.rows_out += op.rows_out;
@@ -1050,6 +1233,7 @@ fn execute_core(
         stats.index_probes += op.index_probes;
         stats.hash_builds += op.hash_builds;
     }
+    db.metrics.probe_saved_allocs.add(saved_allocs);
 
     // Projection (central, so set semantics dedup once).
     let t_proj = Instant::now();
@@ -1069,6 +1253,13 @@ fn execute_core(
             morsels: stats.morsels,
         };
         tr.ops.push(root_op.expect("recorded when traced"));
+        if let Some(op) = pushed_op {
+            tr.ops.push(OpTrace {
+                kind: OpKind::Filter,
+                label: "Filter (pushed to scan)".to_owned(),
+                stats: op,
+            });
+        }
         for (cj, op) in joins.iter().zip(per_join) {
             tr.ops.push(OpTrace {
                 kind: OpKind::Join,
@@ -1077,7 +1268,7 @@ fn execute_core(
             });
         }
         let mut proj_wall = obs::elapsed_ns(t_proj);
-        if plan.filter.is_some() {
+        if filter.is_some() {
             tr.ops.push(OpTrace {
                 kind: OpKind::Filter,
                 label: "Filter".to_owned(),
@@ -1465,6 +1656,193 @@ mod tests {
         assert_eq!(hashed, inl);
         // The strictly-lower claim of the clone-free/hash path.
         assert!(hash_stats.rows_scanned < inl_stats.rows_scanned);
+    }
+
+    /// L(L.K, L.V) / R(R.K, R.V): no index covers the V columns, so a
+    /// hash join on them needs a transient build.
+    fn lr_db(rows: i64) -> Database {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(RelationScheme::new("L", vec![a("L.K"), a("L.V")], &["L.K"]).unwrap())
+            .unwrap();
+        rs.add_scheme(RelationScheme::new("R", vec![a("R.K"), a("R.V")], &["R.K"]).unwrap())
+            .unwrap();
+        let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+        for k in 0..rows {
+            db.insert("L", tup(&[k, k % 3])).unwrap();
+            db.insert("R", tup(&[k, k % 4])).unwrap();
+        }
+        db.set_hash_join_threshold(0);
+        db
+    }
+
+    fn lr_plan() -> QueryPlan {
+        QueryPlan::scan("L").join(JoinStep::inner("R", &["L.V"], &["R.V"]))
+    }
+
+    #[test]
+    fn root_filter_pushdown_is_equivalent_and_traced() {
+        let mut db = db();
+        db.set_morsel_rows(2);
+        // A root-only predicate on a full scan runs pre-join,
+        // morsel-parallel, without changing results or stats.
+        let plan = QueryPlan::scan("COURSE")
+            .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
+            .filter(Predicate::not_null("C.K").and(Predicate::eq("C.K", 4i64).negate()));
+        db.set_parallelism(1);
+        let (serial, serial_stats, trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(serial.len(), 9);
+        assert_eq!(trace.totals(), serial_stats);
+        assert_eq!(trace.ops[1].kind, OpKind::Filter);
+        assert_eq!(trace.ops[1].label, "Filter (pushed to scan)");
+        assert_eq!(trace.ops[1].stats.rows_in, 10);
+        assert_eq!(trace.ops[1].stats.rows_out, 9);
+        for workers in [2, 4] {
+            db.set_parallelism(workers);
+            let (parallel, parallel_stats) = db.execute(&plan).unwrap();
+            assert_eq!(parallel, serial, "pushdown byte-identical at {workers}");
+            assert_eq!(parallel_stats, serial_stats);
+        }
+        // A predicate needing join attributes still runs post-join.
+        let plan = QueryPlan::scan("COURSE")
+            .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
+            .filter(Predicate::is_null("O.K"));
+        let (result, _, trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(result.len(), 5);
+        assert_eq!(trace.ops[2].kind, OpKind::Filter);
+        assert_eq!(trace.ops[2].label, "Filter");
+    }
+
+    #[test]
+    fn build_cache_reuses_transient_builds_until_mutation() {
+        let mut db = lr_db(12);
+        let plan = lr_plan();
+        let counters = |db: &Database| {
+            let snap = db.metrics_registry().snapshot();
+            (
+                snap.counters["engine.query.build_cache.hits"],
+                snap.counters["engine.query.build_cache.misses"],
+            )
+        };
+        let (cold, cold_stats, cold_trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(cold.len(), 36);
+        assert_eq!(counters(&db), (0, 1));
+        assert!(
+            cold_trace.ops[1].label.ends_with("[build: serial]"),
+            "{}",
+            cold_trace.ops[1].label
+        );
+        assert_eq!(db.build_cache_len(), 1);
+        assert!(db.build_cache_bytes() > 0);
+        let (warm, warm_stats, warm_trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(counters(&db), (1, 1));
+        assert!(
+            warm_trace.ops[1].label.ends_with("[build: cached]"),
+            "{}",
+            warm_trace.ops[1].label
+        );
+        assert_eq!(warm, cold, "cache changes wall time, never results");
+        assert_eq!(warm_stats, cold_stats, "hits charge the stored build costs");
+        // A mutation bumps the version: the next run misses and rebuilds
+        // against the new rows; the stale entry just ages out via LRU.
+        db.insert("R", tup(&[100, 1])).unwrap();
+        let (after, _) = db.execute(&plan).unwrap();
+        assert_eq!(counters(&db), (1, 2));
+        assert_eq!(after.len(), 40, "4 more matches for L.V = 1");
+        assert_eq!(db.build_cache_len(), 2);
+        db.clear_build_cache();
+        assert_eq!(db.build_cache_len(), 0);
+        // Capacity 0 disables caching: every run is a cold miss.
+        db.set_build_cache_capacity(0);
+        let (off, _) = db.execute(&plan).unwrap();
+        assert_eq!(counters(&db), (1, 3));
+        assert_eq!(db.build_cache_len(), 0);
+        assert_eq!(off, after);
+    }
+
+    #[test]
+    fn parallel_builds_are_byte_identical_to_serial() {
+        let mut db = lr_db(200);
+        let plan = lr_plan();
+        db.set_parallelism(4);
+        db.set_build_parallel_threshold(usize::MAX);
+        let (serial, serial_stats) = db.execute(&plan).unwrap();
+        db.clear_build_cache();
+        db.set_build_parallel_threshold(8);
+        let (parallel, parallel_stats, trace) = db.execute_traced(&plan).unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel_stats, serial_stats);
+        assert!(
+            trace.ops[1].label.ends_with("[build: 4 workers]"),
+            "{}",
+            trace.ops[1].label
+        );
+        let snap = db.metrics_registry().snapshot();
+        assert_eq!(snap.counters["engine.query.build.parallel"], 1);
+    }
+
+    #[test]
+    fn build_byte_budget_trips_with_typed_error() {
+        use crate::fault::QueryBudget;
+        let mut db = lr_db(12);
+        let plan = lr_plan();
+        db.set_query_budget(QueryBudget::unlimited().with_max_build_bytes(1));
+        let err = db.execute(&plan).unwrap_err();
+        assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
+        assert_eq!(
+            db.metrics_registry().snapshot().counters["engine.query.aborts.budget"],
+            1
+        );
+        // A roomy cap passes, and the cached build charges the same bytes
+        // on the warm run.
+        db.set_query_budget(QueryBudget::unlimited().with_max_build_bytes(1 << 20));
+        let (cold, _) = db.execute(&plan).unwrap();
+        let (warm, _) = db.execute(&plan).unwrap();
+        assert_eq!(warm, cold);
+    }
+
+    #[test]
+    fn build_faults_never_poison_the_cache() {
+        use crate::fault::{FaultMode, FaultPlan};
+        let mut db = lr_db(12);
+        let plan = lr_plan();
+        let (baseline, _) = db.execute(&plan).unwrap();
+        for (site_name, mode) in [
+            (site::HASH_BUILD, FaultMode::Error),
+            (site::HASH_BUILD, FaultMode::Panic),
+            (site::BUILD_CACHE_INSERT, FaultMode::Error),
+            (site::BUILD_CACHE_INSERT, FaultMode::Panic),
+        ] {
+            db.clear_build_cache();
+            db.set_fault_plan(FaultPlan::new().fail_at(site_name, 0, mode));
+            let err = db.execute(&plan).unwrap_err();
+            match mode {
+                FaultMode::Error => {
+                    assert!(matches!(err, Error::Injected { .. }), "{site_name}: {err}");
+                }
+                FaultMode::Panic => {
+                    assert!(
+                        matches!(err, Error::ExecutionPanic { .. }),
+                        "{site_name}: {err}"
+                    );
+                }
+            }
+            assert_eq!(db.build_cache_len(), 0, "{site_name}: no poisoned entry");
+            db.clear_fault_plan();
+            let (recovered, _) = db.execute(&plan).unwrap();
+            assert_eq!(recovered, baseline, "{site_name}: clean recovery");
+        }
+    }
+
+    #[test]
+    fn probe_key_allocations_are_counted_saved() {
+        let db = db();
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
+        db.execute(&plan).unwrap();
+        let snap = db.metrics_registry().snapshot();
+        assert_eq!(
+            snap.counters["engine.query.probe_key.saved_allocs"], 10,
+            "one saved key allocation per probed left row"
+        );
     }
 
     #[test]

@@ -190,6 +190,15 @@ impl fmt::Display for Tuple {
     }
 }
 
+impl std::borrow::Borrow<[Value]> for Tuple {
+    /// Tuples hash and compare exactly like their value slice (the derived
+    /// impls delegate to the boxed slice), so a `&[Value]` can probe a
+    /// `HashMap<Tuple, _>` without allocating a key tuple.
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
 impl<const N: usize> From<[Value; N]> for Tuple {
     fn from(values: [Value; N]) -> Self {
         Tuple(values.into())
@@ -270,6 +279,16 @@ mod tests {
             t.with(1, Value::Null),
             Tuple::new([Value::Int(1), Value::Null])
         );
+    }
+
+    #[test]
+    fn borrowed_slice_probes_a_tuple_keyed_map() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Tuple, i32> = HashMap::new();
+        m.insert(Tuple::new([Value::Int(1), Value::Null]), 7);
+        let key: Vec<Value> = vec![Value::Int(1), Value::Null];
+        assert_eq!(m.get(key.as_slice()), Some(&7));
+        assert_eq!(m.get([Value::Int(2)].as_slice()), None);
     }
 
     #[test]
