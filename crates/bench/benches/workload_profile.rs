@@ -1,0 +1,88 @@
+//! B14: the workload profiler's overhead — the same skewed read mix
+//! executed with profiling inherent to the engine, measured per query,
+//! plus the cost of the snapshot/report path itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_bench::experiments::{unmerged_by_faculty_query, unmerged_point_query};
+use relmerge_engine::{Database, DbmsProfile};
+use relmerge_obs as obs;
+use relmerge_workload::{
+    generate_university, skewed_reads, SkewSpec, UniversityOp, UniversitySpec,
+};
+
+fn build_db(courses: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )
+    .expect("university");
+    let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("database");
+    db.load_state(&u.state).expect("load");
+    db
+}
+
+/// The skewed read mix end to end: every execution folds into the
+/// profiler, so this measures query cost *with* attribution.
+fn bench_skewed_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_profile");
+    group.sample_size(20);
+    for &courses in &[1_000usize, 10_000] {
+        let db = build_db(courses);
+        let mut rng = StdRng::seed_from_u64(14);
+        let ops = skewed_reads(&SkewSpec::default(), 256, courses, 200, &mut rng);
+        group.bench_with_input(BenchmarkId::new("skewed_mix", courses), &courses, |b, _| {
+            b.iter(|| {
+                for op in &ops {
+                    match op {
+                        UniversityOp::CourseDetail { nr } => {
+                            db.execute(&unmerged_point_query(*nr)).expect("point")
+                        }
+                        UniversityOp::ByFaculty { ssn } => {
+                            db.execute(&unmerged_by_faculty_query(*ssn)).expect("rev")
+                        }
+                        other => panic!("write op in read stream: {other:?}"),
+                    };
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Snapshotting the profiler and ranking its hot joins — the report path
+/// a monitoring loop would poll.
+fn bench_snapshot_and_report(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_report");
+    group.sample_size(20);
+    let courses = 1_000usize;
+    let db = build_db(courses);
+    let mut rng = StdRng::seed_from_u64(14);
+    for op in skewed_reads(&SkewSpec::default(), 512, courses, 200, &mut rng) {
+        match op {
+            UniversityOp::CourseDetail { nr } => {
+                db.execute(&unmerged_point_query(nr)).expect("point")
+            }
+            UniversityOp::ByFaculty { ssn } => {
+                db.execute(&unmerged_by_faculty_query(ssn)).expect("rev")
+            }
+            other => panic!("write op in read stream: {other:?}"),
+        };
+    }
+    group.bench_function("snapshot", |b| b.iter(|| db.profile_snapshot()));
+    let snap = db.profile_snapshot();
+    group.bench_function("report", |b| b.iter(|| obs::report(&snap)));
+    group.bench_function("report_json", |b| {
+        b.iter(|| obs::report_to_json(&obs::report(&snap)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_skewed_mix, bench_snapshot_and_report);
+criterion_main!(benches);

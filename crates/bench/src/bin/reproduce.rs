@@ -2,7 +2,7 @@
 //! measured B1/B2/B4 tables recorded in `EXPERIMENTS.md`.
 //!
 //! Usage:
-//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|b10|all]... [--trace] [--smoke]`
+//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|b10|b14|all]... [--trace] [--smoke]`
 //!
 //! Several experiments may be named in one invocation (`reproduce b8 b10`
 //! runs both and writes one combined `BENCH_query.json`); no names means
@@ -10,7 +10,7 @@
 //!
 //! `--trace` additionally prints the [`Database::execute_traced`] operator
 //! tree for one representative query per query-running experiment;
-//! `--smoke` shrinks the B8/B9/B10 instances so CI can run them in
+//! `--smoke` shrinks the B8/B9/B10/B14 instances so CI can run them in
 //! seconds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -135,6 +135,9 @@ fn main() {
     }
     if run("b10") {
         go("b10", b10);
+    }
+    if run("b14") {
+        go("b14", b14);
     }
     summary(&timings);
 }
@@ -923,6 +926,101 @@ fn b10() {
         let plan = experiments::composite_no_index_query();
         let _ = db.execute(&plan).expect("populate cache");
         trace_query(&db, "b10 composite join, warm (cached build)", &plan);
+    }
+}
+
+/// B14: the workload profiler on a Zipf-skewed read mix — per-fingerprint
+/// attribution, allocation tracking, and the hot-join ranking that feeds
+/// the merge advisor. Emits `BENCH_profile.json`.
+fn b14() {
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let (courses, n_ops, top_k) = if smoke {
+        (500, 1_000, 5)
+    } else {
+        (10_000, 20_000, 8)
+    };
+    heading("B14: workload profiler (skewed read mix, hot-join ranking)");
+    println!(
+        "scale: {courses} courses, {n_ops} skewed reads ({} mode)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let s = experiments::workload_profile(courses, n_ops, top_k).expect("b14");
+    println!(
+        "fingerprints: {} across {} executions; {} probes, {} rows scanned, \
+         {} intermediate bytes (peak {})\n",
+        s.fingerprints,
+        s.executions,
+        s.index_probes,
+        s.rows_scanned,
+        s.intermediate_bytes,
+        s.peak_intermediate_bytes
+    );
+    let table_rows: Vec<Vec<String>> = s
+        .hot_joins
+        .iter()
+        .map(|h| {
+            vec![
+                format!("#{}", h.rank),
+                h.edge.clone(),
+                h.cumulative_cost.to_string(),
+                h.index_probes.to_string(),
+                h.rows_scanned.to_string(),
+                h.executions.to_string(),
+                format!("{:.1} KiB", h.intermediate_bytes as f64 / 1024.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "rank",
+                "join edge",
+                "cost",
+                "probes",
+                "scanned",
+                "execs",
+                "bytes"
+            ],
+            &table_rows,
+        )
+    );
+    // `workload_profile` already asserted exactness and determinism;
+    // re-state the advisor-facing property on the rendered rows.
+    assert!(
+        s.hot_joins
+            .windows(2)
+            .all(|w| w[0].cumulative_cost >= w[1].cumulative_cost),
+        "ranking must be sorted by cumulative cost: {:?}",
+        s.hot_joins
+    );
+    let path = std::path::Path::new("BENCH_profile.json");
+    experiments::write_profile_json(path, &s).expect("write BENCH_profile.json");
+    println!("wrote {}", path.display());
+    println!(
+        "Reading: the top edges are exactly the COURSE->OFFER->TEACH/ASSIST \
+         chain the paper merges away — the profiler's ranking reproduces the \
+         advisor's motivating evidence from observed load, and its totals sum \
+         exactly to the per-query stats (asserted)."
+    );
+    if trace_enabled() {
+        use relmerge_engine::DbmsProfile;
+        let mut rng = StdRng::seed_from_u64(42);
+        let u = relmerge_workload::generate_university(
+            &relmerge_workload::UniversitySpec {
+                courses: 1_000,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("trace instance");
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("trace db");
+        db.load_state(&u.state).expect("load");
+        trace_query(
+            &db,
+            "b14 point query (the hot fingerprint)",
+            &experiments::unmerged_point_query(0),
+        );
     }
 }
 

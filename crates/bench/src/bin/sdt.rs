@@ -9,6 +9,9 @@
 //!     [--report]           print merge reports instead of raw schemas
 //!     [--trace]            print the span tree of the run to stderr
 //!     [--metrics <text|json>]  print collected metrics after the run
+//!     [--profile <text|json|chrome>]  print the workload profile and
+//!                          hot-join ranking (chrome: a Chrome-trace JSON
+//!                          array of the run's spans for chrome://tracing)
 //! ```
 //!
 //! Example: `sdt --demo fig7 --dialect sybase40 --merge --migration`
@@ -17,7 +20,11 @@
 //! schema is deployed to the in-memory engine under the dialect's capability
 //! profile and a synthetic state is inserted tuple-by-tuple, so the metric
 //! output includes per-mechanism (declarative vs. procedural) constraint
-//! check counts and latencies.
+//! check counts and latencies, plus the tracer's dropped-span count and
+//! overflow sampling rate. `--profile` additionally runs a *query probe*
+//! (scans, point lookups, and one join per inclusion dependency) and prints
+//! the per-fingerprint workload profile with the hot-join ranking the merge
+//! advisor consumes.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,7 +32,7 @@ use rand::SeedableRng;
 use relmerge_core::{Advisor, MergeReport};
 use relmerge_ddl::{advisor_config_for, backward_migration, forward_migration, generate, Dialect};
 use relmerge_eer::{figures, model::EerSchema, translate};
-use relmerge_engine::{Database, DbmsProfile};
+use relmerge_engine::{Database, DbmsProfile, JoinStep, QueryPlan};
 use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, RelationalSchema, Tuple};
 use relmerge_workload::{consistent_state, random_eer, EerSpec, StateSpec};
@@ -36,6 +43,13 @@ enum MetricsFormat {
     Json,
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum ProfileFormat {
+    Text,
+    Json,
+    Chrome,
+}
+
 struct Args {
     demo: String,
     dialect: Dialect,
@@ -44,6 +58,7 @@ struct Args {
     report: bool,
     trace: bool,
     metrics: Option<MetricsFormat>,
+    profile: Option<ProfileFormat>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +70,7 @@ fn parse_args() -> Result<Args, String> {
         report: false,
         trace: false,
         metrics: None,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,11 +100,21 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown metrics format `{other}`")),
                 });
             }
+            "--profile" => {
+                let v = it.next().ok_or("--profile needs a value")?;
+                args.profile = Some(match v.as_str() {
+                    "text" => ProfileFormat::Text,
+                    "json" => ProfileFormat::Json,
+                    "chrome" => ProfileFormat::Chrome,
+                    other => return Err(format!("unknown profile format `{other}`")),
+                });
+            }
             "--help" | "-h" => {
                 println!(
                     "sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>] \
                      [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] \
-                     [--report] [--trace] [--metrics <text|json>]"
+                     [--report] [--trace] [--metrics <text|json>] \
+                     [--profile <text|json|chrome>]"
                 );
                 std::process::exit(0);
             }
@@ -155,6 +181,34 @@ fn engine_probe(
     Some(db)
 }
 
+/// Runs a small read workload against a probed database so `--profile` has
+/// something to report: a full scan of every relation, a primary-key point
+/// lookup of each relation's first row, and one join per inclusion
+/// dependency (the access paths merging is meant to shorten).
+fn query_probe(db: &Database, schema: &RelationalSchema, state: &DatabaseState) {
+    for s in schema.schemes() {
+        let _ = db.execute(&QueryPlan::scan(s.name()));
+        let Ok(relation) = state.relation_required(s.name()) else {
+            continue;
+        };
+        let Some(t) = relation.iter().next() else {
+            continue;
+        };
+        let pk = s.primary_key();
+        let Ok(pk_pos) = relation.positions(&pk) else {
+            continue;
+        };
+        let key = Tuple::new(pk_pos.iter().map(|i| t.get(*i).clone()).collect::<Vec<_>>());
+        let _ = db.execute(&QueryPlan::lookup(s.name(), &pk, key));
+    }
+    for ind in schema.inds() {
+        let left: Vec<&str> = ind.lhs_attrs.iter().map(String::as_str).collect();
+        let right: Vec<&str> = ind.rhs_attrs.iter().map(String::as_str).collect();
+        let plan = QueryPlan::scan(&ind.lhs_rel).join(JoinStep::inner(&ind.rhs_rel, &left, &right));
+        let _ = db.execute(&plan);
+    }
+}
+
 fn demo_schema(name: &str) -> Result<EerSchema, String> {
     Ok(match name {
         "fig1" => figures::fig1_eer(),
@@ -187,7 +241,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if args.trace {
+    if args.trace || args.profile == Some(ProfileFormat::Chrome) {
         obs::set_enabled(true);
     }
     let eer = match demo_schema(&args.demo) {
@@ -286,7 +340,7 @@ fn main() {
     // The returned databases hold their metric shards alive until the
     // snapshot below.
     let mut probes: Vec<Database> = Vec::new();
-    if args.metrics.is_some() {
+    if args.metrics.is_some() || args.profile.is_some() {
         let mut rng = StdRng::seed_from_u64(42);
         let spec = StateSpec {
             root_rows: 16,
@@ -294,16 +348,23 @@ fn main() {
         };
         match consistent_state(&base, &spec, &mut rng) {
             Ok(base_state) => {
-                probes.extend(engine_probe(&base, &base_state, args.dialect, "base"));
+                if let Some(db) = engine_probe(&base, &base_state, args.dialect, "base") {
+                    if args.profile.is_some() {
+                        query_probe(&db, &base, &base_state);
+                    }
+                    probes.push(db);
+                }
                 if let Some(pipeline) = &pipeline {
                     match pipeline.apply(&base_state) {
                         Ok(merged_state) => {
-                            probes.extend(engine_probe(
-                                &schema,
-                                &merged_state,
-                                args.dialect,
-                                "merged",
-                            ));
+                            if let Some(db) =
+                                engine_probe(&schema, &merged_state, args.dialect, "merged")
+                            {
+                                if args.profile.is_some() {
+                                    query_probe(&db, &schema, &merged_state);
+                                }
+                                probes.push(db);
+                            }
                         }
                         Err(e) => eprintln!("sdt: probe state mapping failed: {e}"),
                     }
@@ -313,11 +374,24 @@ fn main() {
         }
     }
 
+    // A single take drains the event log for both consumers; taking twice
+    // would hand the second one an empty trace.
+    let events = if args.trace || args.profile == Some(ProfileFormat::Chrome) {
+        obs::take_events()
+    } else {
+        Vec::new()
+    };
     if args.trace {
         eprintln!("-- trace:");
-        eprint!("{}", obs::render_tree(&obs::take_events()));
+        eprint!("{}", obs::render_tree(&events));
     }
     if let Some(format) = args.metrics {
+        obs::global()
+            .gauge("obs.trace.dropped_spans_pending")
+            .set(obs::dropped_spans() as i64);
+        obs::global()
+            .gauge("obs.trace.overflow_sample_every")
+            .set(obs::OVERFLOW_SAMPLE_EVERY as i64);
         let snap = obs::snapshot_all();
         match format {
             MetricsFormat::Text => {
@@ -325,6 +399,29 @@ fn main() {
                 print!("{}", obs::to_text(&snap));
             }
             MetricsFormat::Json => println!("{}", obs::to_json(&snap)),
+        }
+    }
+    if let Some(format) = args.profile {
+        // Probe databases are independent engines with independent
+        // profilers; merge their snapshots into one workload view.
+        let mut snap = obs::ProfileSnapshot::default();
+        for db in &probes {
+            snap.merge(&db.profile_snapshot());
+        }
+        let ranking = obs::report(&snap);
+        match format {
+            ProfileFormat::Text => {
+                println!("-- profile:");
+                print!("{}", obs::profile_to_text(&snap));
+                println!("-- hot joins:");
+                print!("{}", obs::report_to_text(&ranking));
+            }
+            ProfileFormat::Json => println!(
+                "{{\"profile\":{},\"report\":{}}}",
+                obs::profile_to_json(&snap),
+                obs::report_to_json(&ranking)
+            ),
+            ProfileFormat::Chrome => println!("{}", obs::chrome_trace(&events)),
         }
     }
     drop(probes);

@@ -1031,6 +1031,234 @@ pub fn write_parallel_query_json(
     std::fs::write(path, out)
 }
 
+/// One row of the B14 hot-join ranking table.
+#[derive(Debug, Clone)]
+pub struct HotJoinRow {
+    /// 1-based rank by cumulative cost.
+    pub rank: usize,
+    /// The edge label, `LEFT->RIGHT[attrs]`.
+    pub edge: String,
+    /// The ranking key: index probes + rows scanned on the edge.
+    pub cumulative_cost: u64,
+    /// Index probes spent on the edge.
+    pub index_probes: u64,
+    /// Rows scanned on the edge.
+    pub rows_scanned: u64,
+    /// Executions that exercised the edge.
+    pub executions: u64,
+    /// Intermediate bytes the edge materialized.
+    pub intermediate_bytes: u64,
+}
+
+/// The B14 result: workload-wide profiler aggregates plus the top-k
+/// hot-join ranking.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfileSummary {
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Operations executed.
+    pub ops: usize,
+    /// Distinct query fingerprints observed (the skewed read mix has
+    /// exactly two shapes, whatever the key skew).
+    pub fingerprints: usize,
+    /// Executions folded into the profiler.
+    pub executions: u64,
+    /// Workload-wide index probes (profiler == manual per-query sum).
+    pub index_probes: u64,
+    /// Workload-wide rows scanned.
+    pub rows_scanned: u64,
+    /// Workload-wide intermediate bytes.
+    pub intermediate_bytes: u64,
+    /// Workload-wide peak per-operator intermediate bytes.
+    pub peak_intermediate_bytes: u64,
+    /// The top-k hot joins, ranked by cumulative cost.
+    pub hot_joins: Vec<HotJoinRow>,
+}
+
+/// One B14 run: load the unmerged university instance, execute the
+/// skewed read mix, and return the profiler snapshot alongside the
+/// manually summed per-query [`QueryStats`] — the ground truth the
+/// profiler must match exactly.
+fn profile_run(
+    courses: usize,
+    ops: &[relmerge_workload::UniversityOp],
+) -> Result<(obs::ProfileSnapshot, relmerge_engine::QueryStats)> {
+    use relmerge_workload::UniversityOp;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+    let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    db.load_state(&u.state)?;
+    let mut manual = relmerge_engine::QueryStats::default();
+    for op in ops {
+        let (_, stats) = match op {
+            UniversityOp::CourseDetail { nr } => db.execute(&unmerged_point_query(*nr))?,
+            UniversityOp::ByFaculty { ssn } => db.execute(&unmerged_by_faculty_query(*ssn))?,
+            other => panic!("write op in B14 read stream: {other:?}"),
+        };
+        manual += stats;
+    }
+    Ok((db.profile_snapshot(), manual))
+}
+
+/// B14: the workload profiler on a Zipf-skewed read mix against the
+/// unmerged Figure 3 schema — the hot-join report this produces is the
+/// evidence stream the merge advisor would consume.
+///
+/// Two invariants are asserted, not just reported:
+///
+/// * **Exactness** — the profiler's per-fingerprint totals, summed, equal
+///   the manual sum of every execution's [`relmerge_engine::QueryStats`]
+///   field for field (peak maxed), and the per-shape split matches the
+///   per-operation split.
+/// * **Determinism** — a second run over the same operation stream on a
+///   fresh database yields a byte-identical hot-join report (wall time is
+///   excluded from the report by construction).
+pub fn workload_profile(
+    courses: usize,
+    n_ops: usize,
+    top_k: usize,
+) -> Result<WorkloadProfileSummary> {
+    use relmerge_workload::{skewed_reads, SkewSpec, UniversityOp};
+
+    let _span = obs::span("bench.b14.workload_profile").field("courses", courses);
+    // Defaults: 200 faculty (persons 500 × 2/5).
+    let mut rng = StdRng::seed_from_u64(14);
+    let ops = skewed_reads(&SkewSpec::default(), n_ops, courses, 200, &mut rng);
+
+    let (snap, manual) = profile_run(courses, &ops)?;
+
+    // Exactness: profiler totals == manual per-query sums, field for field.
+    let sum = |f: fn(&obs::QueryCost) -> u64| -> u64 {
+        snap.queries.values().map(|p| f(&p.totals)).sum()
+    };
+    assert_eq!(
+        snap.executions(),
+        ops.len() as u64,
+        "every execution folded"
+    );
+    assert_eq!(sum(|t| t.rows_scanned), manual.rows_scanned);
+    assert_eq!(sum(|t| t.index_probes), manual.index_probes);
+    assert_eq!(sum(|t| t.hash_builds), manual.hash_builds);
+    assert_eq!(sum(|t| t.rows_out), manual.rows_output);
+    assert_eq!(sum(|t| t.morsels), manual.morsels);
+    assert_eq!(sum(|t| t.intermediate_bytes), manual.intermediate_bytes);
+    assert_eq!(
+        snap.queries
+            .values()
+            .map(|p| p.totals.peak_intermediate_bytes)
+            .max()
+            .unwrap_or(0),
+        manual.peak_intermediate_bytes,
+        "peak is maxed, not summed"
+    );
+    // The skewed mix has exactly two shapes — fingerprints hash the plan,
+    // not the key constants — and the per-shape execution split matches.
+    assert_eq!(snap.queries.len(), 2, "two query shapes, two fingerprints");
+    let point_ops = ops
+        .iter()
+        .filter(|o| matches!(o, UniversityOp::CourseDetail { .. }))
+        .count() as u64;
+    for p in snap.queries.values() {
+        let expected = if p.shape.root == "COURSE" {
+            point_ops
+        } else {
+            ops.len() as u64 - point_ops
+        };
+        assert_eq!(p.executions, expected, "shape {}", p.shape.label);
+    }
+
+    // Determinism: a fresh database + the same stream reproduce the
+    // report byte for byte.
+    let ranking = obs::report(&snap);
+    let (snap2, _) = profile_run(courses, &ops)?;
+    assert_eq!(
+        obs::report_to_json(&ranking),
+        obs::report_to_json(&obs::report(&snap2)),
+        "hot-join report must be deterministic"
+    );
+
+    let hot_joins: Vec<HotJoinRow> = ranking
+        .iter()
+        .take(top_k)
+        .enumerate()
+        .map(|(i, h)| HotJoinRow {
+            rank: i + 1,
+            edge: h.edge.label(),
+            cumulative_cost: h.cumulative_cost,
+            index_probes: h.index_probes,
+            rows_scanned: h.rows_scanned,
+            executions: h.executions,
+            intermediate_bytes: h.intermediate_bytes,
+        })
+        .collect();
+    assert!(!hot_joins.is_empty(), "the read mix exercises joins");
+    assert!(
+        hot_joins.iter().any(|h| h.intermediate_bytes > 0),
+        "allocation tracking must attribute bytes to hot edges"
+    );
+
+    Ok(WorkloadProfileSummary {
+        courses,
+        ops: n_ops,
+        fingerprints: snap.queries.len(),
+        executions: snap.executions(),
+        index_probes: sum(|t| t.index_probes),
+        rows_scanned: sum(|t| t.rows_scanned),
+        intermediate_bytes: sum(|t| t.intermediate_bytes),
+        peak_intermediate_bytes: manual.peak_intermediate_bytes,
+        hot_joins,
+    })
+}
+
+/// Writes the B14 summary as machine-readable JSON (the
+/// `BENCH_profile.json` artifact).
+pub fn write_profile_json(
+    path: &std::path::Path,
+    summary: &WorkloadProfileSummary,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"experiment\":\"B14\",\"courses\":{},\"ops\":{},\"fingerprints\":{},\
+         \"executions\":{},\"index_probes\":{},\"rows_scanned\":{},\
+         \"intermediate_bytes\":{},\"peak_intermediate_bytes\":{},\"hot_joins\":[",
+        summary.courses,
+        summary.ops,
+        summary.fingerprints,
+        summary.executions,
+        summary.index_probes,
+        summary.rows_scanned,
+        summary.intermediate_bytes,
+        summary.peak_intermediate_bytes,
+    );
+    for (i, h) in summary.hot_joins.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rank\":{},\"edge\":\"{}\",\"cumulative_cost\":{},\
+             \"index_probes\":{},\"rows_scanned\":{},\"executions\":{},\
+             \"intermediate_bytes\":{}}}",
+            h.rank,
+            obs::json_escape(&h.edge),
+            h.cumulative_cost,
+            h.index_probes,
+            h.rows_scanned,
+            h.executions,
+            h.intermediate_bytes,
+        );
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
+
 /// One row of the B9 fault-torture matrix: all cells for one
 /// `(injection site, fault mode)` pair, aggregated.
 #[derive(Debug, Clone)]
@@ -1425,6 +1653,54 @@ mod tests {
             b8.len() + b10.len(),
             "every row carries a speedup"
         );
+    }
+
+    #[test]
+    fn workload_profile_shape() {
+        // `workload_profile` itself asserts the exactness (profiler totals
+        // == manual per-query sums) and determinism invariants; the shape
+        // checks here cover the summary surface.
+        let s = workload_profile(200, 300, 5).unwrap();
+        assert_eq!(s.ops, 300);
+        assert_eq!(s.fingerprints, 2);
+        assert_eq!(s.executions, 300);
+        assert!(s.index_probes > 0);
+        assert!(s.intermediate_bytes > 0, "allocation tracking is live");
+        assert!(s.peak_intermediate_bytes > 0);
+        assert!(s.peak_intermediate_bytes <= s.intermediate_bytes);
+        assert!(!s.hot_joins.is_empty() && s.hot_joins.len() <= 5);
+        // Ranking is 1-based, dense, and sorted by cumulative cost.
+        for (i, h) in s.hot_joins.iter().enumerate() {
+            assert_eq!(h.rank, i + 1);
+            assert_eq!(h.cumulative_cost, h.index_probes + h.rows_scanned);
+            if i > 0 {
+                assert!(h.cumulative_cost <= s.hot_joins[i - 1].cumulative_cost);
+            }
+        }
+        // The point query dominates the skewed mix, so its first join
+        // edge (COURSE→OFFER) must lead the ranking.
+        assert_eq!(s.hot_joins[0].edge, "COURSE->OFFER[O.C.NR]");
+    }
+
+    #[test]
+    fn profile_json_is_well_formed() {
+        let s = workload_profile(120, 100, 3).unwrap();
+        let path = std::env::temp_dir().join("relmerge_bench_profile_test.json");
+        write_profile_json(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"experiment\":\"B14\","));
+        assert!(text.trim_end().ends_with("]}"));
+        assert_eq!(
+            text.matches("\"cumulative_cost\":").count(),
+            s.hot_joins.len()
+        );
+        assert_eq!(
+            text.matches("\"edge\":").count(),
+            s.hot_joins.len(),
+            "every hot join carries its relation pair"
+        );
+        assert!(text.contains("\"intermediate_bytes\":"));
     }
 
     #[test]

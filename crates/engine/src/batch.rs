@@ -188,6 +188,16 @@ pub(crate) enum Undo {
     },
 }
 
+impl Undo {
+    /// Approximate heap footprint of this entry — the batch path's
+    /// analogue of the executor's intermediate-byte accounting, so the
+    /// staging cost of a batch is observable before it commits.
+    fn approx_bytes(&self) -> u64 {
+        let (Undo::Insert { rel, tuple } | Undo::Delete { rel, tuple }) = self;
+        (std::mem::size_of::<Undo>() + rel.len() + std::mem::size_of_val(tuple.values())) as u64
+    }
+}
+
 /// Reverses every recorded change, newest first.
 pub(crate) fn rollback(db: &mut Database, undo: Vec<Undo>) -> Result<(), DmlError> {
     for entry in undo.into_iter().rev() {
@@ -483,6 +493,12 @@ impl Database {
         });
         self.metrics.batch_size.record(stmts.len() as u64);
         self.metrics.batch_ns.record(obs::elapsed_ns(start));
+        // Undo-log footprint at its high-water mark (the log is complete
+        // here whether the batch commits or rolls back).
+        let undo_bytes: u64 = undo.iter().map(Undo::approx_bytes).sum();
+        self.metrics.undo_entries.record(undo.len() as u64);
+        self.metrics.undo_bytes.record(undo_bytes);
+        span.add_field("undo_entries", undo.len());
         match result {
             Ok(deferred_checks) => {
                 self.metrics.batch_commits.inc();

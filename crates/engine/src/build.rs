@@ -329,12 +329,12 @@ impl BuildCache {
     }
 
     /// Inserts a finished build, evicting least-recently-used entries
-    /// while over capacity; returns how many were evicted. A build larger
-    /// than the whole capacity (or any build when the capacity is 0) is
-    /// not cached at all.
-    pub(crate) fn insert(&mut self, key: BuildKey, build: Arc<OwnedBuild>) -> u64 {
+    /// while over capacity; returns `(entries evicted, bytes evicted)`.
+    /// A build larger than the whole capacity (or any build when the
+    /// capacity is 0) is not cached at all.
+    pub(crate) fn insert(&mut self, key: BuildKey, build: Arc<OwnedBuild>) -> (u64, u64) {
         if self.cap_bytes == 0 || build.bytes() > self.cap_bytes {
-            return 0;
+            return (0, 0);
         }
         self.tick += 1;
         self.bytes += build.bytes();
@@ -350,16 +350,18 @@ impl BuildCache {
         self.evict_to_cap()
     }
 
-    /// Changes the capacity, evicting down to it; returns evictions.
-    pub(crate) fn set_capacity(&mut self, cap_bytes: u64) -> u64 {
+    /// Changes the capacity, evicting down to it; returns
+    /// `(entries evicted, bytes evicted)`.
+    pub(crate) fn set_capacity(&mut self, cap_bytes: u64) -> (u64, u64) {
         self.cap_bytes = cap_bytes;
         self.evict_to_cap()
     }
 
     /// Evicts strictly least-recently-used first (ticks are unique, so
-    /// the victim order is deterministic).
-    fn evict_to_cap(&mut self) -> u64 {
+    /// the victim order is deterministic); returns `(entries, bytes)`.
+    fn evict_to_cap(&mut self) -> (u64, u64) {
         let mut evicted = 0;
+        let mut evicted_bytes = 0;
         while self.bytes > self.cap_bytes {
             let Some(victim) = self
                 .entries
@@ -371,10 +373,11 @@ impl BuildCache {
             };
             if let Some(e) = self.entries.remove(&victim) {
                 self.bytes -= e.build.bytes();
+                evicted_bytes += e.build.bytes();
             }
             evicted += 1;
         }
-        evicted
+        (evicted, evicted_bytes)
     }
 }
 
@@ -469,26 +472,26 @@ mod tests {
         };
         // Room for exactly two entries.
         let mut cache = BuildCache::new(2 * one);
-        assert_eq!(cache.insert(key(0), build()), 0);
-        assert_eq!(cache.insert(key(1), build()), 0);
+        assert_eq!(cache.insert(key(0), build()), (0, 0));
+        assert_eq!(cache.insert(key(1), build()), (0, 0));
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.bytes(), 2 * one);
         // Touch version 0 so version 1 becomes the LRU victim.
         assert!(cache.get(&key(0)).is_some());
-        assert_eq!(cache.insert(key(2), build()), 1);
+        assert_eq!(cache.insert(key(2), build()), (1, one));
         assert!(cache.get(&key(1)).is_none(), "LRU entry evicted");
         assert!(cache.get(&key(0)).is_some());
         assert!(cache.get(&key(2)).is_some());
         // Shrinking the capacity evicts down.
-        assert_eq!(cache.set_capacity(one), 1);
+        assert_eq!(cache.set_capacity(one), (1, one));
         assert_eq!(cache.len(), 1);
         // A build larger than the whole cache is skipped, not inserted.
-        assert_eq!(cache.set_capacity(1), 1);
-        assert_eq!(cache.insert(key(9), build()), 0);
+        assert_eq!(cache.set_capacity(1), (1, one));
+        assert_eq!(cache.insert(key(9), build()), (0, 0));
         assert_eq!(cache.len(), 0);
         // Capacity 0 disables caching outright.
         let mut off = BuildCache::new(0);
-        assert_eq!(off.insert(key(0), build()), 0);
+        assert_eq!(off.insert(key(0), build()), (0, 0));
         assert!(off.get(&key(0)).is_none());
         assert_eq!(off.bytes(), 0);
         // clear() empties and resets accounting.

@@ -228,6 +228,14 @@ pub(crate) struct DbMetrics {
     pub(crate) build_cache_evictions: Arc<Counter>,
     pub(crate) parallel_builds: Arc<Counter>,
     pub(crate) probe_saved_allocs: Arc<Counter>,
+    /// Build-cache event counters under the `engine.build_cache.*`
+    /// namespace: hits and misses on `get`, inserts, and the entries /
+    /// bytes evicted by inserts and capacity changes.
+    pub(crate) cache_hit: Arc<Counter>,
+    pub(crate) cache_miss: Arc<Counter>,
+    pub(crate) cache_insert: Arc<Counter>,
+    pub(crate) cache_evict: Arc<Counter>,
+    pub(crate) cache_evicted_bytes: Arc<obs::Gauge>,
     class_declarative: [Arc<Counter>; CHECK_CLASSES],
     class_procedural: [Arc<Counter>; CHECK_CLASSES],
     declarative_ns: Arc<Histogram>,
@@ -237,6 +245,10 @@ pub(crate) struct DbMetrics {
     pub(crate) update_ns: Arc<Histogram>,
     pub(crate) batch_size: Arc<Histogram>,
     pub(crate) batch_ns: Arc<Histogram>,
+    /// Undo-log footprint per batch (entries and approximate bytes) —
+    /// the batch path's intermediate-state accounting.
+    pub(crate) undo_entries: Arc<Histogram>,
+    pub(crate) undo_bytes: Arc<Histogram>,
 }
 
 impl DbMetrics {
@@ -267,6 +279,11 @@ impl DbMetrics {
             build_cache_evictions: registry.counter("engine.query.build_cache.evictions"),
             parallel_builds: registry.counter("engine.query.build.parallel"),
             probe_saved_allocs: registry.counter("engine.query.probe_key.saved_allocs"),
+            cache_hit: registry.counter("engine.build_cache.hit"),
+            cache_miss: registry.counter("engine.build_cache.miss"),
+            cache_insert: registry.counter("engine.build_cache.insert"),
+            cache_evict: registry.counter("engine.build_cache.evict"),
+            cache_evicted_bytes: registry.gauge("engine.build_cache.evicted_bytes"),
             class_declarative: per_class("declarative"),
             class_procedural: per_class("procedural"),
             declarative_ns: registry.histogram("engine.check.declarative.ns"),
@@ -276,6 +293,8 @@ impl DbMetrics {
             update_ns: registry.histogram("engine.dml.update.ns"),
             batch_size: registry.histogram("engine.batch.size"),
             batch_ns: registry.histogram("engine.batch.ns"),
+            undo_entries: registry.histogram("engine.batch.undo.entries"),
+            undo_bytes: registry.histogram("engine.batch.undo.bytes"),
             registry,
         }
     }
@@ -303,6 +322,11 @@ impl DbMetrics {
             .set(self.build_cache_evictions.get());
         out.parallel_builds.set(self.parallel_builds.get());
         out.probe_saved_allocs.set(self.probe_saved_allocs.get());
+        out.cache_hit.set(self.cache_hit.get());
+        out.cache_miss.set(self.cache_miss.get());
+        out.cache_insert.set(self.cache_insert.get());
+        out.cache_evict.set(self.cache_evict.get());
+        out.cache_evicted_bytes.set(self.cache_evicted_bytes.get());
         for i in 0..CHECK_CLASSES {
             out.class_declarative[i].set(self.class_declarative[i].get());
             out.class_procedural[i].set(self.class_procedural[i].get());
@@ -476,6 +500,10 @@ pub struct Database {
     /// run through `&self`; the lock is only ever held for map operations,
     /// never across a build or a fault site.
     build_cache: std::sync::Mutex<crate::build::BuildCache>,
+    /// The workload profiler every successful query execution folds into
+    /// (shape fingerprint → aggregated cost). Shared by clones — the
+    /// profile describes the workload, not one instance's storage.
+    profiler: Arc<obs::Profiler>,
     /// Resource limits for query execution (default unlimited).
     budget: QueryBudget,
     /// Installed fault plan, if any (`None` in production configurations).
@@ -500,6 +528,7 @@ impl Clone for Database {
             morsel_rows: self.morsel_rows,
             build_parallel_threshold: self.build_parallel_threshold,
             build_cache: std::sync::Mutex::new(self.build_cache_lock().clone()),
+            profiler: Arc::clone(&self.profiler),
             budget: self.budget,
             fault: self.fault.clone(),
         }
@@ -619,6 +648,7 @@ impl Database {
             build_cache: std::sync::Mutex::new(crate::build::BuildCache::new(
                 DEFAULT_BUILD_CACHE_BYTES,
             )),
+            profiler: Arc::new(obs::Profiler::new()),
             budget: QueryBudget::unlimited(),
             fault: None,
         })
@@ -691,8 +721,10 @@ impl Database {
     /// rebuilt cold (results and `QueryStats` are unaffected — only wall
     /// time changes).
     pub fn set_build_cache_capacity(&mut self, bytes: u64) {
-        let evicted = self.build_cache_lock().set_capacity(bytes);
+        let (evicted, evicted_bytes) = self.build_cache_lock().set_capacity(bytes);
         self.metrics.build_cache_evictions.add(evicted);
+        self.metrics.cache_evict.add(evicted);
+        self.metrics.cache_evicted_bytes.add(evicted_bytes as i64);
     }
 
     /// Drops every cached build (capacity is unchanged).
@@ -730,6 +762,24 @@ impl Database {
         self.build_cache
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// The workload profiler this database folds every successful query
+    /// execution into: per-fingerprint operator totals, intermediate-byte
+    /// accounting, and latency histograms. Clones share it (via `Arc`),
+    /// so a workload spread over forks still aggregates into one profile;
+    /// use [`obs::Profiler::snapshot`] / [`obs::Profiler::take`] and
+    /// [`relmerge_obs::report`] to read it.
+    #[must_use]
+    pub fn profiler(&self) -> &obs::Profiler {
+        &self.profiler
+    }
+
+    /// A point-in-time [`obs::ProfileSnapshot`] of the workload profiler
+    /// — convenience for `self.profiler().snapshot()`.
+    #[must_use]
+    pub fn profile_snapshot(&self) -> obs::ProfileSnapshot {
+        self.profiler.snapshot()
     }
 
     /// The resource limits queries execute under (default unlimited).

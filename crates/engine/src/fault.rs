@@ -248,6 +248,7 @@ pub struct QueryBudget {
     max_rows: Option<u64>,
     max_wall: Option<Duration>,
     max_build_bytes: Option<u64>,
+    max_intermediate_bytes: Option<u64>,
 }
 
 impl QueryBudget {
@@ -283,10 +284,25 @@ impl QueryBudget {
         self
     }
 
+    /// Caps the approximate bytes of *all* intermediate state a query may
+    /// materialize: slot rows flowing between joins, rows materialized
+    /// out of morsels, and transient hash builds. A superset of
+    /// [`with_max_build_bytes`](QueryBudget::with_max_build_bytes) —
+    /// the full memory budget over intermediate rows. Charged when each
+    /// build finishes and as each morsel completes.
+    #[must_use]
+    pub fn with_max_intermediate_bytes(mut self, bytes: u64) -> Self {
+        self.max_intermediate_bytes = Some(bytes);
+        self
+    }
+
     /// Whether all limits are absent.
     #[must_use]
     pub fn is_unlimited(&self) -> bool {
-        self.max_rows.is_none() && self.max_wall.is_none() && self.max_build_bytes.is_none()
+        self.max_rows.is_none()
+            && self.max_wall.is_none()
+            && self.max_build_bytes.is_none()
+            && self.max_intermediate_bytes.is_none()
     }
 
     /// The row cap, if any.
@@ -307,15 +323,23 @@ impl QueryBudget {
         self.max_build_bytes
     }
 
+    /// The approximate total-intermediate-memory cap, if any.
+    #[must_use]
+    pub fn max_intermediate_bytes(&self) -> Option<u64> {
+        self.max_intermediate_bytes
+    }
+
     /// Starts tracking one execution against this budget.
     pub(crate) fn start(&self) -> BudgetTracker {
         BudgetTracker {
             max_rows: self.max_rows,
             deadline: self.max_wall.map(|d| Instant::now() + d),
             max_build_bytes: self.max_build_bytes,
+            max_intermediate_bytes: self.max_intermediate_bytes,
             rows: AtomicU64::new(0),
             morsels: AtomicU64::new(0),
             build_bytes: AtomicU64::new(0),
+            intermediate_bytes: AtomicU64::new(0),
             tripped: AtomicBool::new(false),
         }
     }
@@ -329,9 +353,11 @@ pub(crate) struct BudgetTracker {
     max_rows: Option<u64>,
     deadline: Option<Instant>,
     max_build_bytes: Option<u64>,
+    max_intermediate_bytes: Option<u64>,
     rows: AtomicU64,
     morsels: AtomicU64,
     build_bytes: AtomicU64,
+    intermediate_bytes: AtomicU64,
     tripped: AtomicBool,
 }
 
@@ -376,12 +402,27 @@ impl BudgetTracker {
         self.charge_rows(rows)
     }
 
-    /// Charges `bytes` of approximate transient hash-build memory.
+    /// Charges `bytes` of approximate transient hash-build memory. Build
+    /// bytes are intermediate bytes too, so both caps see the charge.
     pub(crate) fn charge_build_bytes(&self, bytes: u64) -> Result<()> {
         let total = self.build_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        match self.max_build_bytes {
+        if let Some(cap) = self.max_build_bytes {
+            if total > cap {
+                return Err(self.exceeded(format!(
+                    "build-memory cap {cap} exceeded ({total} approximate bytes built)"
+                )));
+            }
+        }
+        self.charge_intermediate_bytes(bytes)
+    }
+
+    /// Charges `bytes` of approximate intermediate-row memory (slot rows,
+    /// materialized rows, hash builds).
+    pub(crate) fn charge_intermediate_bytes(&self, bytes: u64) -> Result<()> {
+        let total = self.intermediate_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        match self.max_intermediate_bytes {
             Some(cap) if total > cap => Err(self.exceeded(format!(
-                "build-memory cap {cap} exceeded ({total} approximate bytes built)"
+                "intermediate-memory cap {cap} exceeded ({total} approximate bytes materialized)"
             ))),
             _ => Ok(()),
         }
@@ -555,6 +596,29 @@ mod tests {
             "{err}"
         );
         assert!(tracker.checkpoint().is_err(), "peers see the trip");
+    }
+
+    #[test]
+    fn budget_tracker_trips_intermediate_byte_cap() {
+        let budget = QueryBudget::unlimited().with_max_intermediate_bytes(1_000);
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.max_intermediate_bytes(), Some(1_000));
+        let tracker = budget.start();
+        assert!(tracker.charge_intermediate_bytes(600).is_ok());
+        // Build bytes count toward the intermediate cap as well.
+        let err = tracker.charge_build_bytes(500).unwrap_err();
+        assert!(
+            matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("intermediate-memory")),
+            "{err}"
+        );
+        assert!(tracker.checkpoint().is_err(), "peers see the trip");
+        // The build cap alone does not charge the intermediate pool past
+        // its own limit check order: a pure intermediate charge can trip
+        // while the build cap stays untouched.
+        let tracker = QueryBudget::unlimited()
+            .with_max_intermediate_bytes(100)
+            .start();
+        assert!(tracker.charge_intermediate_bytes(101).is_err());
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //! dependencies and null constraints on DML through the corresponding tier,
 //! counting the work ([`database`]); [`query`] executes point lookups
 //! and joins with cost counters, quantifying the paper's §1 claim that
-//! merging reduces joins and improves access performance; and [`batch`]
+//! merging reduces joins and improves access performance — every
+//! successful execution also folds into the database's shared workload
+//! profiler, keyed by the canonical plan fingerprint
+//! ([`planner::fingerprint`]), feeding the hot-join report the merge
+//! advisor consumes; and [`batch`]
 //! provides the unified [`Statement`] DML path with all-or-nothing batches
 //! and deferred, group-validated constraint checking. The [`fault`] module
 //! makes failure itself testable: deterministic fault injection, query
@@ -36,7 +40,7 @@ pub use database::{
 pub use fault::{
     FaultMode, FaultPlan, IntegrityKind, IntegrityReport, IntegrityViolation, QueryBudget,
 };
-pub use planner::{choose_join_strategy, plan, JoinStrategy, LogicalQuery};
+pub use planner::{choose_join_strategy, fingerprint, plan, JoinStrategy, LogicalQuery};
 #[allow(deprecated)]
 pub use query::{execute, execute_traced};
 pub use query::{

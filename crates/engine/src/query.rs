@@ -183,6 +183,16 @@ pub struct QueryStats {
     pub hash_builds: u64,
     /// Morsels the root rows were partitioned into.
     pub morsels: u64,
+    /// Approximate bytes of intermediate state this query materialized:
+    /// borrowed slot rows emitted by join steps, transient hash builds,
+    /// and the materialized output rows. Deterministic at every
+    /// parallelism level and identical whether a build ran cold or came
+    /// from the cache.
+    pub intermediate_bytes: u64,
+    /// The largest single-operator contribution to `intermediate_bytes` —
+    /// the high-water mark a memory budget should reason about. Maxed,
+    /// not summed, when stats are merged.
+    pub peak_intermediate_bytes: u64,
 }
 
 impl QueryStats {
@@ -201,6 +211,10 @@ impl AddAssign for QueryStats {
         self.rows_output += rhs.rows_output;
         self.hash_builds += rhs.hash_builds;
         self.morsels += rhs.morsels;
+        self.intermediate_bytes += rhs.intermediate_bytes;
+        self.peak_intermediate_bytes = self
+            .peak_intermediate_bytes
+            .max(rhs.peak_intermediate_bytes);
     }
 }
 
@@ -366,6 +380,10 @@ pub struct OpStats {
     pub index_probes: u64,
     /// Hash tables this operator built (or borrowed) as a build side.
     pub hash_builds: u64,
+    /// Approximate intermediate bytes this operator materialized (slot
+    /// rows for joins, transient build tables, output tuples for the
+    /// materialize/filter step).
+    pub intermediate_bytes: u64,
     /// Wall time spent in this operator (summed across workers).
     pub wall_ns: u64,
 }
@@ -415,6 +433,13 @@ impl QueryTrace {
             rows_output: self.ops.last().map_or(0, |o| o.stats.rows_out),
             hash_builds: self.ops.iter().map(|o| o.stats.hash_builds).sum(),
             morsels: self.morsels,
+            intermediate_bytes: self.ops.iter().map(|o| o.stats.intermediate_bytes).sum(),
+            peak_intermediate_bytes: self
+                .ops
+                .iter()
+                .map(|o| o.stats.intermediate_bytes)
+                .max()
+                .unwrap_or(0),
         }
     }
 }
@@ -451,6 +476,9 @@ impl fmt::Display for QueryTrace {
             }
             if s.hash_builds > 0 {
                 write!(f, " hash_builds={}", s.hash_builds)?;
+            }
+            if s.intermediate_bytes > 0 {
+                write!(f, " bytes={}", s.intermediate_bytes)?;
             }
             writeln!(f, " time={})", format_ns(s.wall_ns))?;
         }
@@ -556,6 +584,13 @@ struct CompiledJoin<'a> {
     /// attributed to this join's operator in the trace.
     build: OpStats,
     label: String,
+    /// The strategy the planner chose — part of the query fingerprint.
+    strategy: JoinStrategy,
+    /// Build-cache interactions of this step (0/1 hit, 0/1 miss, bytes
+    /// evicted by its insert), folded into the query's profile record.
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_evicted_bytes: u64,
 }
 
 /// An intermediate row: one borrowed slot per plan source (root, then one
@@ -575,6 +610,19 @@ struct MorselOut {
     /// value slice (one per total-key probe; the B10 summary reports the
     /// sum).
     saved_allocs: u64,
+}
+
+impl MorselOut {
+    /// Intermediate bytes this morsel materialized (slot rows emitted by
+    /// its join steps plus its materialized output rows) — what the
+    /// intermediate-memory budget charges at the morsel boundary.
+    fn intermediate_bytes(&self) -> u64 {
+        self.per_join
+            .iter()
+            .map(|o| o.intermediate_bytes)
+            .sum::<u64>()
+            + self.filter.intermediate_bytes
+    }
 }
 
 /// Runs the compiled join → materialize → filter pipeline over one morsel
@@ -597,7 +645,7 @@ fn run_morsel<'a>(
     let mut key_vals: Vec<Value> = Vec::new();
     let mut matches: Vec<&'a Tuple> = Vec::new();
     let mut saved_allocs: u64 = 0;
-    for join in joins {
+    for (ji, join) in joins.iter().enumerate() {
         let t0 = Instant::now();
         let mut op = OpStats {
             rows_in: cur.len() as u64,
@@ -682,6 +730,12 @@ fn run_morsel<'a>(
             }
         }
         op.rows_out = next.len() as u64;
+        // Slot-row footprint of this step's output: one borrowed slot per
+        // source seen so far (root + ji + 1 joins). Depends only on
+        // `rows_out`, so the sum across morsels is identical at every
+        // worker count.
+        op.intermediate_bytes =
+            op.rows_out * ((ji + 2) * std::mem::size_of::<Option<&Tuple>>()) as u64;
         op.wall_ns = obs::elapsed_ns(t0);
         per_join.push(op);
         cur = next;
@@ -711,6 +765,10 @@ fn run_morsel<'a>(
         out.push(Tuple::new(vals));
     }
     fop.rows_out = out.len() as u64;
+    // Materialized-output footprint: each surviving row owns a `Tuple`
+    // holding `total_width` values.
+    fop.intermediate_bytes = fop.rows_out
+        * (std::mem::size_of::<Tuple>() + total_width * std::mem::size_of::<Value>()) as u64;
     fop.wall_ns = obs::elapsed_ns(t0);
     MorselOut {
         rows: out,
@@ -759,6 +817,7 @@ fn compile_join<'a>(
     let t0 = Instant::now();
     let mut build = OpStats::default();
     let mut build_note: Option<String> = None;
+    let (mut cache_hits, mut cache_misses, mut cache_evicted_bytes) = (0u64, 0u64, 0u64);
     let access = match strategy {
         JoinStrategy::IndexNestedLoop => {
             if let Some((_, map)) = table.unique.iter().find(|(p, _)| *p == pos) {
@@ -804,11 +863,15 @@ fn compile_join<'a>(
                 let owned = match cached {
                     Some(owned) => {
                         db.metrics.build_cache_hits.inc();
+                        db.metrics.cache_hit.inc();
+                        cache_hits = 1;
                         build_note = Some("build: cached".to_owned());
                         owned
                     }
                     None => {
                         db.metrics.build_cache_misses.inc();
+                        db.metrics.cache_miss.inc();
+                        cache_misses = 1;
                         let workers = choose_build_parallelism(db, table.live);
                         let owned = Arc::new(build_owned(&table.rows, &pos, workers, || {
                             db.fault_check(site::HASH_BUILD)
@@ -831,8 +894,13 @@ fn compile_join<'a>(
                                 context: panic_message(payload),
                             })
                         })?;
-                        let evicted = db.build_cache_lock().insert(key, Arc::clone(&owned));
+                        let (evicted, evicted_bytes) =
+                            db.build_cache_lock().insert(key, Arc::clone(&owned));
                         db.metrics.build_cache_evictions.add(evicted);
+                        db.metrics.cache_insert.inc();
+                        db.metrics.cache_evict.add(evicted);
+                        db.metrics.cache_evicted_bytes.add(evicted_bytes as i64);
+                        cache_evicted_bytes = evicted_bytes;
                         owned
                     }
                 };
@@ -840,6 +908,7 @@ fn compile_join<'a>(
                 // did, keeping stats and budgets independent of cache state.
                 budget.charge_build_bytes(owned.bytes())?;
                 build.rows_scanned = owned.rows_scanned();
+                build.intermediate_bytes = owned.bytes();
                 RightAccess::HashOwned {
                     build: owned,
                     rows: &table.rows,
@@ -881,6 +950,10 @@ fn compile_join<'a>(
         outer: step.outer,
         build,
         label,
+        strategy,
+        cache_hits,
+        cache_misses,
+        cache_evicted_bytes,
     })
 }
 
@@ -1016,6 +1089,7 @@ fn execute_core(
     plan: &QueryPlan,
     traced: bool,
 ) -> Result<(Relation, QueryStats, Option<QueryTrace>)> {
+    let t_exec = Instant::now();
     let mut span = obs::span("engine.query.execute");
     span.add_field("root", &plan.root);
     span.add_field("joins", plan.joins.len());
@@ -1053,6 +1127,7 @@ fn execute_core(
                 rows_scanned: stats.rows_scanned,
                 index_probes: stats.index_probes,
                 hash_builds: 0,
+                intermediate_bytes: 0,
                 wall_ns: obs::elapsed_ns(t_root),
             },
         }
@@ -1146,6 +1221,7 @@ fn execute_core(
                 })
             })?;
             budget.charge_morsel(out.rows.len() as u64)?;
+            budget.charge_intermediate_bytes(out.intermediate_bytes())?;
             outs.push(out);
         }
         outs
@@ -1171,6 +1247,7 @@ fn execute_core(
                             db.fault_check(site::MORSEL_WORKER)?;
                             let out = run_morsel(m, joins, filter, widths);
                             budget.charge_morsel(out.rows.len() as u64)?;
+                            budget.charge_intermediate_bytes(out.intermediate_bytes())?;
                             done.push((i, out));
                         }
                         Ok(done)
@@ -1221,10 +1298,12 @@ fn execute_core(
             agg.rows_out += op.rows_out;
             agg.rows_scanned += op.rows_scanned;
             agg.index_probes += op.index_probes;
+            agg.intermediate_bytes += op.intermediate_bytes;
             agg.wall_ns += op.wall_ns;
         }
         filter_op.rows_in += out.filter.rows_in;
         filter_op.rows_out += out.filter.rows_out;
+        filter_op.intermediate_bytes += out.filter.intermediate_bytes;
         filter_op.wall_ns += out.filter.wall_ns;
         rows.extend(out.rows);
     }
@@ -1232,7 +1311,15 @@ fn execute_core(
         stats.rows_scanned += op.rows_scanned;
         stats.index_probes += op.index_probes;
         stats.hash_builds += op.hash_builds;
+        stats.intermediate_bytes += op.intermediate_bytes;
     }
+    stats.intermediate_bytes += filter_op.intermediate_bytes;
+    stats.peak_intermediate_bytes = per_join
+        .iter()
+        .map(|op| op.intermediate_bytes)
+        .chain(std::iter::once(filter_op.intermediate_bytes))
+        .max()
+        .unwrap_or(0);
     db.metrics.probe_saved_allocs.add(saved_allocs);
 
     // Projection (central, so set semantics dedup once).
@@ -1260,14 +1347,15 @@ fn execute_core(
                 stats: op,
             });
         }
-        for (cj, op) in joins.iter().zip(per_join) {
+        for (cj, op) in joins.iter().zip(&per_join) {
             tr.ops.push(OpTrace {
                 kind: OpKind::Join,
                 label: cj.label.clone(),
-                stats: op,
+                stats: *op,
             });
         }
         let mut proj_wall = obs::elapsed_ns(t_proj);
+        let mut proj_bytes = 0;
         if filter.is_some() {
             tr.ops.push(OpTrace {
                 kind: OpKind::Filter,
@@ -1275,9 +1363,10 @@ fn execute_core(
                 stats: filter_op,
             });
         } else {
-            // No filter operator: materialization time folds into the
-            // projection it feeds.
+            // No filter operator: materialization time (and its byte
+            // accounting) folds into the projection it feeds.
             proj_wall += filter_op.wall_ns;
+            proj_bytes = filter_op.intermediate_bytes;
         }
         let label = if plan.project.is_empty() {
             "Project *".to_owned()
@@ -1290,6 +1379,7 @@ fn execute_core(
             stats: OpStats {
                 rows_in: rows_in_proj,
                 rows_out: stats.rows_output,
+                intermediate_bytes: proj_bytes,
                 wall_ns: proj_wall,
                 ..OpStats::default()
             },
@@ -1297,6 +1387,63 @@ fn execute_core(
         tr
     });
     span.add_field("rows_out", stats.rows_output);
+
+    // Fold this execution into the shared workload profiler: the shape
+    // (fingerprinted with the strategies the planner actually chose), the
+    // per-query cost, and per-edge attribution from the aggregated join
+    // operators — so per-fingerprint totals sum exactly to the
+    // `QueryStats` each execution reported.
+    let strategies: Vec<JoinStrategy> = joins.iter().map(|j| j.strategy).collect();
+    let edges: Vec<obs::JoinEdge> = plan
+        .joins
+        .iter()
+        .zip(&joins)
+        .map(|(step, cj)| obs::JoinEdge {
+            // The probe side's relation: the source the first left
+            // attribute resolves to (source 0 is the root; source k is
+            // join step k-1's relation).
+            left: match cj.left_locs.first().map(|&(src, _)| src) {
+                Some(0) | None => plan.root.clone(),
+                Some(s) => plan.joins[s - 1].rel.clone(),
+            },
+            right: step.rel.clone(),
+            probe_attrs: step.right_attrs.clone(),
+        })
+        .collect();
+    let access_word = match &plan.access {
+        Access::FullScan => "scan",
+        Access::Lookup { .. } => "lookup",
+    };
+    let shape = obs::QueryShape {
+        fingerprint: crate::planner::fingerprint(plan, &strategies),
+        label: format!("{access_word} {} + {} joins", plan.root, plan.joins.len()),
+        root: plan.root.clone(),
+        edges,
+    };
+    let cost = obs::QueryCost {
+        rows_scanned: stats.rows_scanned,
+        index_probes: stats.index_probes,
+        hash_builds: stats.hash_builds,
+        rows_out: stats.rows_output,
+        morsels: stats.morsels,
+        intermediate_bytes: stats.intermediate_bytes,
+        peak_intermediate_bytes: stats.peak_intermediate_bytes,
+        build_cache_hits: joins.iter().map(|j| j.cache_hits).sum(),
+        build_cache_misses: joins.iter().map(|j| j.cache_misses).sum(),
+        build_cache_evicted_bytes: joins.iter().map(|j| j.cache_evicted_bytes).sum(),
+        wall_ns: obs::elapsed_ns(t_exec),
+    };
+    let edge_costs: Vec<obs::EdgeCost> = per_join
+        .iter()
+        .map(|op| obs::EdgeCost {
+            index_probes: op.index_probes,
+            rows_scanned: op.rows_scanned,
+            hash_builds: op.hash_builds,
+            rows_out: op.rows_out,
+            intermediate_bytes: op.intermediate_bytes,
+        })
+        .collect();
+    db.profiler().record(&shape, &cost, &edge_costs);
     Ok((result, stats, trace))
 }
 
@@ -1510,6 +1657,8 @@ mod tests {
             rows_output: 4,
             hash_builds: 5,
             morsels: 6,
+            intermediate_bytes: 7,
+            peak_intermediate_bytes: 8,
         };
         let b = QueryStats {
             rows_scanned: 10,
@@ -1518,18 +1667,107 @@ mod tests {
             rows_output: 40,
             hash_builds: 50,
             morsels: 60,
+            intermediate_bytes: 70,
+            peak_intermediate_bytes: 3,
         };
         let sum = a + b;
         assert_eq!(sum.rows_scanned, 11);
         assert_eq!(sum.rows_output, 44);
         assert_eq!(sum.hash_builds, 55);
         assert_eq!(sum.morsels, 66);
+        assert_eq!(sum.intermediate_bytes, 77);
+        // Peak is a high-water mark: maxed, never summed.
+        assert_eq!(sum.peak_intermediate_bytes, 8);
         let mut m = a;
         m.merge(&b);
         assert_eq!(m, sum);
         let mut aa = a;
         aa += b;
         assert_eq!(aa, sum);
+    }
+
+    #[test]
+    fn execution_reports_intermediate_bytes() {
+        let db = db();
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
+        let (_, stats, trace) = db.execute_traced(&plan).unwrap();
+        assert!(stats.intermediate_bytes > 0, "{stats:?}");
+        assert!(stats.peak_intermediate_bytes > 0);
+        assert!(stats.peak_intermediate_bytes <= stats.intermediate_bytes);
+        assert_eq!(trace.totals(), stats);
+        // The accounting is deterministic across worker counts and morsel
+        // sizes.
+        let mut small = db.clone();
+        small.set_parallelism(4);
+        small.set_morsel_rows(1);
+        let (_, par_stats) = small.execute(&plan).unwrap();
+        assert_eq!(par_stats.intermediate_bytes, stats.intermediate_bytes);
+        assert_eq!(
+            par_stats.peak_intermediate_bytes,
+            stats.peak_intermediate_bytes
+        );
+    }
+
+    #[test]
+    fn executions_fold_into_the_shared_profiler() {
+        let db = db();
+        let lookup = |k: i64| {
+            QueryPlan::lookup("COURSE", &["C.K"], tup(&[k])).join(JoinStep::inner(
+                "OFFER",
+                &["C.K"],
+                &["O.K"],
+            ))
+        };
+        let (_, s1) = db.execute(&lookup(2)).unwrap();
+        let (_, s2) = db.execute(&lookup(4)).unwrap();
+        // Different constants, same shape: one fingerprint, two executions.
+        let snap = db.profile_snapshot();
+        assert_eq!(snap.queries.len(), 1);
+        let prof = snap.queries.values().next().unwrap();
+        assert_eq!(prof.executions, 2);
+        assert_eq!(prof.shape.root, "COURSE");
+        assert_eq!(prof.shape.edges.len(), 1);
+        assert_eq!(prof.shape.edges[0].left, "COURSE");
+        assert_eq!(prof.shape.edges[0].right, "OFFER");
+        // Profiler totals are exactly the sum of the per-query stats.
+        let total = s1 + s2;
+        assert_eq!(prof.totals.index_probes, total.index_probes);
+        assert_eq!(prof.totals.rows_scanned, total.rows_scanned);
+        assert_eq!(prof.totals.rows_out, total.rows_output);
+        assert_eq!(prof.totals.intermediate_bytes, total.intermediate_bytes);
+        assert_eq!(
+            prof.totals.peak_intermediate_bytes,
+            total.peak_intermediate_bytes
+        );
+        assert_eq!(prof.latency.count, 2);
+        // A clone shares the profiler; a different shape adds a
+        // fingerprint.
+        let fork = db.clone();
+        fork.execute(&QueryPlan::scan("OFFER")).unwrap();
+        assert_eq!(db.profiler().len(), 2);
+        // The hot-join report attributes this workload's probe cost to
+        // the COURSE->OFFER edge.
+        let ranking = obs::report(&db.profile_snapshot());
+        assert_eq!(ranking.len(), 1);
+        assert_eq!(ranking[0].edge.label(), "COURSE->OFFER[O.K]");
+        assert_eq!(ranking[0].executions, 2);
+        assert!(ranking[0].cumulative_cost > 0);
+    }
+
+    #[test]
+    fn intermediate_byte_budget_trips() {
+        let mut db = db();
+        db.set_query_budget(crate::fault::QueryBudget::unlimited().with_max_intermediate_bytes(1));
+        let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
+        let err = db.execute(&plan).unwrap_err();
+        assert!(
+            matches!(err, Error::BudgetExceeded { .. }),
+            "unexpected error: {err}"
+        );
+        assert!(err.to_string().contains("intermediate-memory cap"), "{err}");
+        // Unlimited budget executes fine.
+        db.set_query_budget(crate::fault::QueryBudget::unlimited());
+        db.execute(&plan).unwrap();
     }
 
     #[test]

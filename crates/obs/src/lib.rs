@@ -16,7 +16,15 @@
 //! guard records on drop. Tracing is globally off by default and the
 //! disabled path allocates nothing. Closed spans go to a bounded event log
 //! ([`take_events`]) and a pluggable [`Sink`]; [`render_tree`] pretty-prints
-//! a collected trace.
+//! a collected trace and [`chrome_trace`] exports it for `chrome://tracing`.
+//!
+//! # Workload profiling
+//!
+//! [`Profiler`] aggregates executed queries by shape fingerprint into
+//! per-operator totals, intermediate-byte accounting, and log2 latency
+//! histograms; [`report`] flattens a [`ProfileSnapshot`] into the
+//! hot-join ranking (`(relation pair, probe attrs, cumulative cost)`)
+//! that drives relation-merging decisions. See [`profile`].
 //!
 //! ```
 //! use relmerge_obs as obs;
@@ -31,12 +39,17 @@
 
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
-pub use export::{json_escape, to_json, to_text};
+pub use export::{chrome_trace, json_escape, to_json, to_text};
 pub use metrics::{
     bucket_bounds, bucket_index, elapsed_ns, flush_shard, global, register_shard, snapshot_all,
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use profile::{
+    profile_to_json, profile_to_text, report, report_to_json, report_to_text, EdgeCost,
+    FingerprintProfile, HotJoin, JoinEdge, ProfileSnapshot, Profiler, QueryCost, QueryShape,
 };
 pub use trace::{
     clear_events, dropped_spans, enabled, render_tree, set_enabled, set_sink, span, take_events,

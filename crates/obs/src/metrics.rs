@@ -208,7 +208,21 @@ impl HistogramSnapshot {
         self.sum.checked_div(self.count).unwrap_or(0)
     }
 
-    fn merge(&mut self, other: &HistogramSnapshot) {
+    /// Records one sample directly into the snapshot (the owned-value
+    /// counterpart of [`Histogram::record`], for aggregators that keep
+    /// per-key snapshots instead of live atomics).
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value;
+        let idx = bucket_index(value);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += 1,
+            Err(pos) => self.buckets.insert(pos, (idx, 1)),
+        }
+    }
+
+    /// Folds `other`'s samples into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
         self.sum += other.sum;
         let mut merged: BTreeMap<usize, u64> = self.buckets.iter().copied().collect();
@@ -218,7 +232,8 @@ impl HistogramSnapshot {
         self.buckets = merged.into_iter().collect();
     }
 
-    fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
+    /// The samples recorded since `baseline` (saturating per field).
+    pub fn diff(&self, baseline: &HistogramSnapshot) -> HistogramSnapshot {
         let base: BTreeMap<usize, u64> = baseline.buckets.iter().copied().collect();
         let buckets = self
             .buckets

@@ -29,6 +29,10 @@ pub struct SpanEvent {
     pub depth: usize,
     /// Global open-order sequence number.
     pub open_seq: u64,
+    /// Open time as nanoseconds since the tracer's process epoch (the
+    /// first span ever opened) — the timeline origin Chrome-trace export
+    /// needs. Comparable across threads.
+    pub start_ns: u64,
     /// Wall time from open to close.
     pub duration_ns: u64,
 }
@@ -86,6 +90,13 @@ thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
+/// The tracer's process epoch: fixed at the first call, so every span's
+/// `start_ns` shares one timeline origin.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
 /// Turns tracing on or off process-wide.
 pub fn set_enabled(on: bool) {
     ENABLED.store(on, Ordering::Relaxed);
@@ -139,12 +150,14 @@ pub fn span(name: &'static str) -> Span {
         d.set(v + 1);
         v
     });
+    let start_ns = crate::metrics::elapsed_ns(epoch());
     Span {
         active: Some(ActiveSpan {
             name,
             fields: Vec::new(),
             depth,
             open_seq,
+            start_ns,
             start: Instant::now(),
         }),
     }
@@ -155,6 +168,7 @@ struct ActiveSpan {
     fields: Vec<(&'static str, String)>,
     depth: usize,
     open_seq: u64,
+    start_ns: u64,
     start: Instant,
 }
 
@@ -196,6 +210,7 @@ impl Drop for Span {
             fields: active.fields,
             depth: active.depth,
             open_seq: active.open_seq,
+            start_ns: active.start_ns,
             duration_ns,
         };
         let sink = Arc::clone(&state().sink.lock().unwrap());

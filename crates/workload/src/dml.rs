@@ -80,6 +80,78 @@ impl MixSpec {
     }
 }
 
+/// Parameters of a Zipf-skewed read-only stream ([`skewed_reads`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SkewSpec {
+    /// Zipf exponent: rank-`i` keys draw with weight `1/(i+1)^theta`.
+    /// `0.0` degenerates to a uniform mix; `~1.0` is classic Zipf.
+    pub theta: f64,
+    /// Fraction of the stream that are [`UniversityOp::CourseDetail`]
+    /// probes; the remainder are [`UniversityOp::ByFaculty`].
+    pub point_share: f64,
+}
+
+impl Default for SkewSpec {
+    /// Hot-key heavy: Zipf `theta = 1.1`, 75% point reads.
+    fn default() -> Self {
+        SkewSpec {
+            theta: 1.1,
+            point_share: 0.75,
+        }
+    }
+}
+
+/// Cumulative Zipf weights over ranks `0..k`: `w(i) = 1/(i+1)^theta`.
+fn zipf_cdf(k: usize, theta: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    (0..k.max(1))
+        .map(|i| {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            acc
+        })
+        .collect()
+}
+
+/// Draws a rank from the distribution described by `cdf`.
+fn sample_rank(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cdf.last().expect("cdf is non-empty");
+    let roll = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    cdf.partition_point(|&c| c <= roll).min(cdf.len() - 1)
+}
+
+/// Generates `n` read-only operations whose key popularity is
+/// Zipf-skewed: low course numbers and low faculty SSNs are hot, with
+/// rank-`i` keys drawn with weight `1/(i+1)^theta`. This is the B14
+/// profiler workload — a skewed mix makes the hot-join ranking
+/// non-trivial while staying deterministic under the seed.
+pub fn skewed_reads(
+    spec: &SkewSpec,
+    n: usize,
+    courses: usize,
+    faculty: usize,
+    rng: &mut StdRng,
+) -> Vec<UniversityOp> {
+    let _span = obs::span("workload.skewed_reads").field("n", n);
+    obs::global()
+        .counter("workload.ops_generated")
+        .add(n as u64);
+    let course_cdf = zipf_cdf(courses, spec.theta);
+    let faculty_cdf = zipf_cdf(faculty, spec.theta);
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(spec.point_share.clamp(0.0, 1.0)) {
+                UniversityOp::CourseDetail {
+                    nr: sample_rank(&course_cdf, rng) as i64,
+                }
+            } else {
+                UniversityOp::ByFaculty {
+                    ssn: 10_000 + sample_rank(&faculty_cdf, rng) as i64,
+                }
+            }
+        })
+        .collect()
+}
+
 /// Generates `n` operations over a university instance with `courses`
 /// base courses, `departments` departments, and `faculty` teachers
 /// (SSNs starting at 10 000). New course numbers start above the base
@@ -276,6 +348,48 @@ mod tests {
                 _ => {}
             }
         }
+    }
+
+    #[test]
+    fn skewed_reads_are_read_only_skewed_and_deterministic() {
+        let spec = SkewSpec::default();
+        let ops = skewed_reads(&spec, 4_000, 64, 16, &mut StdRng::seed_from_u64(14));
+        assert_eq!(ops.len(), 4_000);
+        let mut course_hits = vec![0usize; 64];
+        for op in &ops {
+            match op {
+                UniversityOp::CourseDetail { nr } => {
+                    assert!((0..64).contains(nr), "{nr}");
+                    course_hits[*nr as usize] += 1;
+                }
+                UniversityOp::ByFaculty { ssn } => {
+                    assert!((10_000..10_016).contains(ssn), "{ssn}");
+                }
+                other => panic!("write op in read stream: {other:?}"),
+            }
+        }
+        // Zipf theta=1.1 over 64 keys gives the rank-0 key ~21% of the
+        // mass; a uniform draw would give ~1.6%.
+        let total: usize = course_hits.iter().sum();
+        assert!(
+            course_hits[0] * 10 > total,
+            "hot key got {}/{total}",
+            course_hits[0]
+        );
+        assert!(course_hits[0] > course_hits[63], "skew is rank-ordered");
+        let again = skewed_reads(&spec, 4_000, 64, 16, &mut StdRng::seed_from_u64(14));
+        assert_eq!(ops, again);
+        // theta = 0 degenerates to uniform: the hot key loses its edge.
+        let flat = SkewSpec {
+            theta: 0.0,
+            point_share: 1.0,
+        };
+        let uops = skewed_reads(&flat, 4_000, 64, 16, &mut StdRng::seed_from_u64(14));
+        let hot = uops
+            .iter()
+            .filter(|o| matches!(o, UniversityOp::CourseDetail { nr: 0 }))
+            .count();
+        assert!(hot * 10 < 4_000, "uniform hot key got {hot}/4000");
     }
 
     #[test]

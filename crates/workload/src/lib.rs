@@ -18,7 +18,8 @@ pub mod state_gen;
 pub mod university;
 
 pub use dml::{
-    merged_statements, university_ops, unmerged_statements, write_batches, MixSpec, UniversityOp,
+    merged_statements, skewed_reads, university_ops, unmerged_statements, write_batches, MixSpec,
+    SkewSpec, UniversityOp,
 };
 pub use eer_gen::{random_eer, EerSpec};
 pub use merged_state_gen::{merged_state, MergedStateSpec};
