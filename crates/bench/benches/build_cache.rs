@@ -32,7 +32,7 @@ fn bench_cold_vs_warm(c: &mut Criterion) {
     group.sample_size(20);
     for &courses in &[1_000usize, 10_000] {
         let mut db = build_db(courses);
-        db.set_parallelism(1);
+        db.configure(db.config().parallelism(1));
         let plan = composite_no_index_query();
         group.bench_with_input(BenchmarkId::new("cold", courses), &courses, |b, _| {
             b.iter(|| {
@@ -56,11 +56,11 @@ fn bench_partitioned_build(c: &mut Criterion) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let courses = 10_000usize;
     let mut db = build_db(courses);
-    db.set_build_cache_capacity(0);
-    db.set_build_parallel_threshold(0);
+    db.configure(db.config().build_cache_capacity(0));
+    db.configure(db.config().build_parallel_threshold(0));
     let plan = composite_no_index_query();
     for w in worker_sweep(cores) {
-        db.set_parallelism(w);
+        db.configure(db.config().parallelism(w));
         group.bench_with_input(
             BenchmarkId::new(format!("workers_{w}"), courses),
             &courses,

@@ -105,7 +105,9 @@ fn bench_advisor_and_planner(c: &mut Criterion) {
             &satellites,
             |b, _| {
                 b.iter(|| {
-                    Advisor::propose(&schema, &AdvisorConfig::declarative_only()).expect("propose")
+                    Advisor::new(AdvisorConfig::declarative_only())
+                        .propose_static(&schema)
+                        .expect("propose")
                 });
             },
         );
@@ -114,7 +116,8 @@ fn bench_advisor_and_planner(c: &mut Criterion) {
             &satellites,
             |b, _| {
                 b.iter(|| {
-                    Advisor::apply_greedy(&schema, &AdvisorConfig::declarative_only())
+                    Advisor::new(AdvisorConfig::declarative_only())
+                        .greedy(&schema)
                         .expect("apply")
                 });
             },

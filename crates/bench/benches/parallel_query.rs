@@ -37,7 +37,7 @@ fn bench_chain_scan_workers(c: &mut Criterion) {
         let mut workers: Vec<usize> = (0..).map(|i| 1 << i).take_while(|&w| w < cores).collect();
         workers.push(cores);
         for w in workers {
-            db.set_parallelism(w);
+            db.configure(db.config().parallelism(w));
             group.bench_with_input(
                 BenchmarkId::new(format!("workers_{w}"), courses),
                 &courses,
@@ -55,13 +55,16 @@ fn bench_join_strategy(c: &mut Criterion) {
     group.sample_size(20);
     for &courses in &[1_000usize, 10_000] {
         let mut db = build_db(courses);
-        db.set_parallelism(1);
+        db.configure(db.config().parallelism(1));
         let plan = unmerged_scan_query();
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         group.bench_with_input(BenchmarkId::new("forced_inl", courses), &courses, |b, _| {
             b.iter(|| db.execute(&plan).expect("query"))
         });
-        db.set_hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD);
+        db.configure(
+            db.config()
+                .hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD),
+        );
         group.bench_with_input(
             BenchmarkId::new("cost_based_hash", courses),
             &courses,
@@ -79,15 +82,18 @@ fn bench_composite_join(c: &mut Criterion) {
     group.sample_size(20);
     let courses = 1_000usize;
     let mut db = build_db(courses);
-    db.set_parallelism(1);
+    db.configure(db.config().parallelism(1));
     let plan = composite_no_index_query();
-    db.set_hash_join_threshold(usize::MAX);
+    db.configure(db.config().hash_join_threshold(usize::MAX));
     group.bench_with_input(
         BenchmarkId::new("per_row_scan", courses),
         &courses,
         |b, _| b.iter(|| db.execute(&plan).expect("query")),
     );
-    db.set_hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD);
+    db.configure(
+        db.config()
+            .hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD),
+    );
     group.bench_with_input(
         BenchmarkId::new("transient_hash_build", courses),
         &courses,

@@ -6,6 +6,11 @@
 //!     [--dialect <db2|sybase40|ingres63|sql92>]
 //!     [--merge]            use merging (SDT option ii); default is 1:1
 //!     [--migration]        also print data-migration SQL for each merge
+//!     [--advise]           deploy the 1:1 schema live, run a probe
+//!                          workload, and print the advisor's ranked
+//!                          workload-backed merge proposals
+//!     [--migrate]          like --advise, then execute the admissible
+//!                          proposals online against the live database
 //!     [--report]           print merge reports instead of raw schemas
 //!     [--trace]            print the span tree of the run to stderr
 //!     [--metrics <text|json>]  print collected metrics after the run
@@ -55,6 +60,8 @@ struct Args {
     dialect: Dialect,
     merge: bool,
     migration: bool,
+    advise: bool,
+    migrate: bool,
     report: bool,
     trace: bool,
     metrics: Option<MetricsFormat>,
@@ -67,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         dialect: Dialect::Sql92,
         merge: false,
         migration: false,
+        advise: false,
+        migrate: false,
         report: false,
         trace: false,
         metrics: None,
@@ -90,6 +99,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--merge" => args.merge = true,
             "--migration" => args.migration = true,
+            "--advise" => args.advise = true,
+            "--migrate" => args.migrate = true,
             "--report" => args.report = true,
             "--trace" => args.trace = true,
             "--metrics" => {
@@ -113,8 +124,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>] \
                      [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] \
-                     [--report] [--trace] [--metrics <text|json>] \
-                     [--profile <text|json|chrome>]"
+                     [--advise] [--migrate] [--report] [--trace] \
+                     [--metrics <text|json>] [--profile <text|json|chrome>]"
                 );
                 std::process::exit(0);
             }
@@ -264,7 +275,7 @@ fn main() {
 
     let (schema, pipeline) = if args.merge {
         let config = advisor_config_for(args.dialect);
-        match Advisor::apply_greedy_pipeline(&base, &config) {
+        match Advisor::new(config).greedy_pipeline(&base) {
             Ok((s, p)) => (s, Some(p)),
             Err(e) => {
                 eprintln!("sdt: merging failed: {e}");
@@ -333,6 +344,83 @@ fn main() {
             }
         } else {
             eprintln!("sdt: --migration has no effect without --merge");
+        }
+    }
+
+    // The live path: deploy the 1:1 schema on the engine, run the probe
+    // workload so the profiler accumulates join evidence, and let the
+    // advisor rank merges from what the workload actually paid for.
+    // `--migrate` then executes the admissible proposals online.
+    if args.advise || args.migrate {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = StateSpec {
+            root_rows: 16,
+            coverage: 0.5,
+        };
+        match consistent_state(&base, &spec, &mut rng) {
+            Ok(state) => match engine_probe(&base, &state, args.dialect, "live") {
+                Some(mut db) => {
+                    query_probe(&db, &base, &state);
+                    let advisor = Advisor::new(advisor_config_for(args.dialect));
+                    match advisor.propose_from_profile(&db.profile_snapshot(), &base) {
+                        Ok(proposals) => {
+                            println!(
+                                "-- advisor: {} proposal(s) from the live workload profile",
+                                proposals.len()
+                            );
+                            for (i, p) in proposals.iter().enumerate() {
+                                println!(
+                                    "--   {}. {:?}: observed cost {}, eliminates {} join(s), \
+                                     admissible on {}: {}",
+                                    i + 1,
+                                    p.members,
+                                    p.observed_cost,
+                                    p.joins_eliminated,
+                                    args.dialect,
+                                    p.admissible
+                                );
+                            }
+                        }
+                        Err(e) => eprintln!("sdt: advisor failed: {e}"),
+                    }
+                    if args.migrate {
+                        match db.advise_and_migrate(&advisor) {
+                            Ok(applied) if applied.is_empty() => println!(
+                                "-- live migration: nothing to do (no admissible \
+                                 workload-backed merge)"
+                            ),
+                            Ok(applied) => {
+                                for a in &applied {
+                                    println!(
+                                        "-- live migration: {} <- {:?} ({} row(s) in {} \
+                                         chunk(s), dropped {:?})",
+                                        a.report.merged_name,
+                                        a.report.members,
+                                        a.report.rows_migrated,
+                                        a.report.chunks_applied,
+                                        a.report.dropped
+                                    );
+                                }
+                                println!(
+                                    "-- integrity after migration: {}",
+                                    if db.verify_integrity().is_clean() {
+                                        "clean"
+                                    } else {
+                                        "VIOLATIONS"
+                                    }
+                                );
+                                println!("-- post-migration schema:\n{}", db.schema());
+                            }
+                            Err(e) => eprintln!("sdt: live migration failed: {e}"),
+                        }
+                    }
+                }
+                None => eprintln!(
+                    "sdt: live probe deployment failed under {} (schema not hostable)",
+                    args.dialect
+                ),
+            },
+            Err(e) => eprintln!("sdt: probe state generation failed: {e}"),
         }
     }
 

@@ -67,6 +67,11 @@ pub struct MergeProposal {
     pub members: Vec<String>,
     /// Joins a query touching all members no longer needs (`|R̄| − 1`).
     pub joins_eliminated: usize,
+    /// Observed workload cost (index probes + scanned rows, summed over
+    /// every profiled join edge between two members) this merge would
+    /// eliminate. `0` for purely static proposals — no evidence, not
+    /// "measured as free".
+    pub observed_cost: u64,
     /// Proposition 5.1(i): output inclusion dependencies all key-based.
     pub inds_key_based: bool,
     /// Proposition 5.1(ii): output key attributes all non-null.
@@ -88,16 +93,57 @@ pub struct AppliedMerge {
     pub merged: Merged,
 }
 
-/// The advisor entry points.
-pub struct Advisor;
+/// The advisor: instantiate with [`Advisor::new`] and ask it to
+/// [`propose_static`](Advisor::propose_static) from the schema alone, or
+/// [`propose_from_profile`](Advisor::propose_from_profile) with workload
+/// evidence ranking the proposals by the access cost they would
+/// eliminate.
+pub struct Advisor {
+    config: AdvisorConfig,
+}
 
 impl Advisor {
-    /// Evaluates every maximal merge set in `schema` against `config`,
-    /// without applying anything. Sorted by joins eliminated, descending.
-    pub fn propose(
+    /// An advisor constrained by `config`.
+    #[must_use]
+    pub fn new(config: AdvisorConfig) -> Self {
+        Advisor { config }
+    }
+
+    /// The capability constraints this advisor proposes under.
+    #[must_use]
+    pub fn advisor_config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// Evaluates every maximal merge set in `schema` against the
+    /// configured constraints, without applying anything. Sorted by
+    /// joins eliminated, descending (`observed_cost` stays 0: no
+    /// workload evidence was consulted).
+    pub fn propose_static(&self, schema: &RelationalSchema) -> Result<Vec<MergeProposal>> {
+        self.evaluate(schema, None)
+    }
+
+    /// Like [`Advisor::propose_static`], but scores each proposal with
+    /// the workload evidence in `snapshot`: a proposal's `observed_cost`
+    /// is the cumulative probe + scan cost of every profiled join edge
+    /// whose two relations are both members, i.e. the measured access
+    /// work the merge would eliminate. Sorted by observed cost
+    /// descending, then joins eliminated, then members.
+    pub fn propose_from_profile(
+        &self,
+        snapshot: &obs::ProfileSnapshot,
         schema: &RelationalSchema,
-        config: &AdvisorConfig,
     ) -> Result<Vec<MergeProposal>> {
+        let evidence = obs::JoinEvidence::from_snapshot(snapshot);
+        self.evaluate(schema, Some(&evidence))
+    }
+
+    fn evaluate(
+        &self,
+        schema: &RelationalSchema,
+        evidence: Option<&obs::JoinEvidence>,
+    ) -> Result<Vec<MergeProposal>> {
+        let config = &self.config;
         let mut span = obs::span("core.advisor.propose");
         let mut proposals = Vec::new();
         for set in maximal_merge_sets(schema) {
@@ -128,9 +174,19 @@ impl Advisor {
             let admissible = (!config.require_key_based_inds || inds_key_based)
                 && (!config.require_non_null_keys || keys_non_null)
                 && (!config.require_nna_only || nna_only);
+            let observed_cost = evidence.map_or(0, |ev| {
+                let mut cost = 0;
+                for (i, a) in refs.iter().enumerate() {
+                    for b in &refs[i + 1..] {
+                        cost += ev.cost_between(a, b);
+                    }
+                }
+                cost
+            });
             proposals.push(MergeProposal {
                 joins_eliminated: set.len() - 1,
                 members: set,
+                observed_cost,
                 inds_key_based,
                 keys_non_null,
                 nna_only,
@@ -138,8 +194,9 @@ impl Advisor {
             });
         }
         proposals.sort_by(|a, b| {
-            b.joins_eliminated
-                .cmp(&a.joins_eliminated)
+            b.observed_cost
+                .cmp(&a.observed_cost)
+                .then_with(|| b.joins_eliminated.cmp(&a.joins_eliminated))
                 .then_with(|| a.members.cmp(&b.members))
         });
         span.add_field("proposals", proposals.len());
@@ -153,32 +210,22 @@ impl Advisor {
         Ok(proposals)
     }
 
-    /// Like [`Advisor::apply_greedy`], but also assembles the applied
-    /// merges into a [`crate::pipeline::MergePipeline`] whose composed
-    /// state mappings carry data between the original and final schemas.
-    pub fn apply_greedy_pipeline(
+    /// Greedily applies admissible, pairwise-disjoint proposals in
+    /// `proposals` order (first come, first merged), running `Remove` to
+    /// completion after each merge. Returns the final schema and the
+    /// applied merges in order. Pass [`Advisor::propose_static`] output
+    /// for the classic largest-first behavior, or
+    /// [`Advisor::propose_from_profile`] output to merge hottest-first.
+    pub fn apply_proposals(
+        &self,
         schema: &RelationalSchema,
-        config: &AdvisorConfig,
-    ) -> Result<(RelationalSchema, crate::pipeline::MergePipeline)> {
-        let (final_schema, applied) = Self::apply_greedy(schema, config)?;
-        let pipeline = crate::pipeline::MergePipeline::from_steps(
-            applied.into_iter().map(|a| a.merged).collect(),
-        )?;
-        Ok((final_schema, pipeline))
-    }
-
-    /// Greedily applies admissible, pairwise-disjoint proposals
-    /// largest-first, running `Remove` to completion after each merge.
-    /// Returns the final schema and the applied merges in order.
-    pub fn apply_greedy(
-        schema: &RelationalSchema,
-        config: &AdvisorConfig,
+        proposals: &[MergeProposal],
     ) -> Result<(RelationalSchema, Vec<AppliedMerge>)> {
         let mut span = obs::span("core.advisor.apply_greedy");
         let mut current = schema.clone();
         let mut consumed: BTreeSet<String> = BTreeSet::new();
         let mut applied = Vec::new();
-        for proposal in Self::propose(schema, config)? {
+        for proposal in proposals {
             if !proposal.admissible {
                 continue;
             }
@@ -192,7 +239,7 @@ impl Advisor {
             current = merged.schema().clone();
             consumed.extend(proposal.members.iter().cloned());
             applied.push(AppliedMerge {
-                proposal,
+                proposal: proposal.clone(),
                 merged_name,
                 merged,
             });
@@ -202,6 +249,57 @@ impl Advisor {
             .counter("core.advisor.applied")
             .add(applied.len() as u64);
         Ok((current, applied))
+    }
+
+    /// [`Advisor::propose_static`] followed by
+    /// [`Advisor::apply_proposals`]: the classic one-call greedy run.
+    pub fn greedy(
+        &self,
+        schema: &RelationalSchema,
+    ) -> Result<(RelationalSchema, Vec<AppliedMerge>)> {
+        let proposals = self.propose_static(schema)?;
+        self.apply_proposals(schema, &proposals)
+    }
+
+    /// Like [`Advisor::greedy`], but also assembles the applied merges
+    /// into a [`crate::pipeline::MergePipeline`] whose composed state
+    /// mappings carry data between the original and final schemas.
+    pub fn greedy_pipeline(
+        &self,
+        schema: &RelationalSchema,
+    ) -> Result<(RelationalSchema, crate::pipeline::MergePipeline)> {
+        let (final_schema, applied) = self.greedy(schema)?;
+        let pipeline = crate::pipeline::MergePipeline::from_steps(
+            applied.into_iter().map(|a| a.merged).collect(),
+        )?;
+        Ok((final_schema, pipeline))
+    }
+
+    /// Evaluates every maximal merge set in `schema` against `config`.
+    #[deprecated(note = "use `Advisor::new(config).propose_static(schema)` instead")]
+    pub fn propose(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<Vec<MergeProposal>> {
+        Advisor::new(*config).propose_static(schema)
+    }
+
+    /// Greedy application with a composed pipeline.
+    #[deprecated(note = "use `Advisor::new(config).greedy_pipeline(schema)` instead")]
+    pub fn apply_greedy_pipeline(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<(RelationalSchema, crate::pipeline::MergePipeline)> {
+        Advisor::new(*config).greedy_pipeline(schema)
+    }
+
+    /// Greedy application, largest proposal first.
+    #[deprecated(note = "use `Advisor::new(config).greedy(schema)` instead")]
+    pub fn apply_greedy(
+        schema: &RelationalSchema,
+        config: &AdvisorConfig,
+    ) -> Result<(RelationalSchema, Vec<AppliedMerge>)> {
+        Advisor::new(*config).greedy(schema)
     }
 }
 
@@ -260,7 +358,9 @@ mod tests {
     #[test]
     fn proposals_ranked_by_joins_eliminated() {
         let rs = two_stars();
-        let proposals = Advisor::propose(&rs, &AdvisorConfig::permissive()).unwrap();
+        let proposals = Advisor::new(AdvisorConfig::permissive())
+            .propose_static(&rs)
+            .unwrap();
         assert_eq!(proposals.len(), 2);
         assert_eq!(proposals[0].members, ["X", "Y", "Z"]);
         assert_eq!(proposals[0].joins_eliminated, 2);
@@ -274,8 +374,9 @@ mod tests {
     #[test]
     fn greedy_application_merges_both_stars() {
         let rs = two_stars();
-        let (final_schema, applied) =
-            Advisor::apply_greedy(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        let (final_schema, applied) = Advisor::new(AdvisorConfig::declarative_only())
+            .greedy(&rs)
+            .unwrap();
         assert_eq!(applied.len(), 2);
         assert_eq!(final_schema.schemes().len(), 2);
         assert!(final_schema.scheme("X_M").is_some());
@@ -313,7 +414,8 @@ mod tests {
             &["O.C.NR"],
         ))
         .unwrap();
-        let proposals = Advisor::propose(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        let advisor = Advisor::new(AdvisorConfig::declarative_only());
+        let proposals = advisor.propose_static(&rs).unwrap();
         let big = proposals
             .iter()
             .find(|p| p.members.len() == 3)
@@ -329,8 +431,7 @@ mod tests {
             .expect("offer star proposal");
         assert_eq!(small.members, ["OFFER", "TEACH"]);
         assert!(small.admissible, "{small:?}");
-        let (final_schema, applied) =
-            Advisor::apply_greedy(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        let (final_schema, applied) = advisor.greedy(&rs).unwrap();
         assert_eq!(applied.len(), 1);
         assert_eq!(applied[0].merged_name, "OFFER_M");
         assert!(final_schema.nna_only());
@@ -339,9 +440,69 @@ mod tests {
     #[test]
     fn permissive_config_accepts_everything() {
         let rs = two_stars();
-        let (final_schema, applied) =
-            Advisor::apply_greedy(&rs, &AdvisorConfig::permissive()).unwrap();
+        let (final_schema, applied) = Advisor::new(AdvisorConfig::permissive())
+            .greedy(&rs)
+            .unwrap();
         assert_eq!(applied.len(), 2);
         assert!(final_schema.is_bcnf());
+    }
+
+    /// A workload that only ever joins P with Q must outrank the bigger
+    /// (but cold) X star.
+    #[test]
+    fn profile_evidence_reorders_proposals() {
+        let rs = two_stars();
+        let profiler = obs::Profiler::new();
+        let shape = obs::QueryShape {
+            fingerprint: 0xFEED,
+            label: "P + 1 join".to_owned(),
+            root: "P".to_owned(),
+            edges: vec![obs::JoinEdge {
+                left: "P".to_owned(),
+                right: "Q".to_owned(),
+                probe_attrs: vec!["Q.K".to_owned()],
+            }],
+        };
+        let cost = obs::QueryCost {
+            index_probes: 500,
+            rows_scanned: 250,
+            ..obs::QueryCost::default()
+        };
+        let edge = obs::EdgeCost {
+            index_probes: 500,
+            rows_scanned: 250,
+            ..obs::EdgeCost::default()
+        };
+        profiler.record(&shape, &cost, &[edge]);
+        let advisor = Advisor::new(AdvisorConfig::permissive());
+        let snapshot = profiler.snapshot();
+        let proposals = advisor.propose_from_profile(&snapshot, &rs).unwrap();
+        assert_eq!(proposals.len(), 2);
+        assert_eq!(proposals[0].members, ["P", "Q"]);
+        assert_eq!(proposals[0].observed_cost, 750);
+        assert_eq!(proposals[1].members, ["X", "Y", "Z"]);
+        assert_eq!(proposals[1].observed_cost, 0);
+        // With no evidence the static ranking (joins eliminated) returns.
+        let cold = advisor
+            .propose_from_profile(&obs::ProfileSnapshot::default(), &rs)
+            .unwrap();
+        assert_eq!(cold[0].members, ["X", "Y", "Z"]);
+    }
+
+    /// The deprecated statics must keep delegating to the instance API.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_statics_delegate() {
+        let rs = two_stars();
+        let config = AdvisorConfig::declarative_only();
+        let advisor = Advisor::new(config);
+        assert_eq!(
+            Advisor::propose(&rs, &config).unwrap(),
+            advisor.propose_static(&rs).unwrap()
+        );
+        let (old_schema, old_applied) = Advisor::apply_greedy(&rs, &config).unwrap();
+        let (new_schema, new_applied) = advisor.greedy(&rs).unwrap();
+        assert_eq!(old_schema, new_schema);
+        assert_eq!(old_applied.len(), new_applied.len());
     }
 }

@@ -220,8 +220,9 @@ mod tests {
     #[test]
     fn advisor_produces_a_valid_pipeline() {
         let rs = two_stars();
-        let (final_schema, pipeline) =
-            Advisor::apply_greedy_pipeline(&rs, &AdvisorConfig::declarative_only()).unwrap();
+        let (final_schema, pipeline) = Advisor::new(AdvisorConfig::declarative_only())
+            .greedy_pipeline(&rs)
+            .unwrap();
         assert_eq!(pipeline.steps().len(), 2);
         assert_eq!(pipeline.output_schema().unwrap(), &final_schema);
         let st = sample_state(&rs);

@@ -79,7 +79,7 @@ pub fn run(eer: &EerSchema, option: SdtOption, dialect: Dialect) -> Result<SdtOu
         SdtOption::OneToOne => (base, 0),
         SdtOption::Merged => {
             let config = advisor_config_for(dialect);
-            let (merged, applied) = Advisor::apply_greedy(&base, &config)?;
+            let (merged, applied) = Advisor::new(config).greedy(&base)?;
             (merged, applied.len())
         }
     };

@@ -562,75 +562,252 @@ pub const DEFAULT_BUILD_PARALLEL_THRESHOLD: usize = 4096;
 /// Default byte capacity of the versioned build-side cache.
 pub const DEFAULT_BUILD_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 
+/// The compiled physical half of a [`Database`]: per-relation tables with
+/// their indexes, plus the null- and inclusion-dependency constraint maps
+/// keyed by relation. Built by [`compile_catalog`] for both
+/// [`Database::new`] and the online-migration catalog swap.
+pub(crate) struct Catalog {
+    pub(crate) tables: BTreeMap<String, Table>,
+    pub(crate) nulls: BTreeMap<String, Vec<CompiledNull>>,
+    pub(crate) outgoing: BTreeMap<String, Vec<CompiledInd>>,
+    pub(crate) incoming: BTreeMap<String, Vec<CompiledInd>>,
+}
+
+/// Validates `schema` against `profile` and compiles its physical catalog:
+/// one table per scheme (unique index per candidate key, lookup indexes on
+/// both sides of every inclusion dependency) and the compiled constraint
+/// maps, each constraint annotated with the maintenance mechanism the
+/// profile assigns it (paper §5.1).
+pub(crate) fn compile_catalog(
+    schema: &RelationalSchema,
+    profile: &DbmsProfile,
+    procedure: &'static str,
+) -> Result<Catalog> {
+    schema.validate()?;
+    let problems = profile.hosting_report(schema);
+    if !problems.is_empty() {
+        return Err(Error::PreconditionViolated {
+            procedure,
+            detail: problems.join("; "),
+        });
+    }
+    let mut tables = BTreeMap::new();
+    for s in schema.schemes() {
+        let mut table = Table::new(s.attrs().to_vec());
+        for key in s.candidate_keys() {
+            let names: Vec<String> = key.iter().map(|k| (*k).to_owned()).collect();
+            table.add_unique(&names)?;
+        }
+        tables.insert(s.name().to_owned(), table);
+    }
+    // Lookup indexes for both sides of every inclusion dependency.
+    for ind in schema.inds() {
+        tables
+            .get_mut(&ind.rhs_rel)
+            .expect("validated")
+            .add_lookup(&ind.rhs_attrs)?;
+        tables
+            .get_mut(&ind.lhs_rel)
+            .expect("validated")
+            .add_lookup(&ind.lhs_attrs)?;
+    }
+    let mut nulls: BTreeMap<String, Vec<CompiledNull>> = BTreeMap::new();
+    for c in schema.null_constraints() {
+        nulls
+            .entry(c.rel().to_owned())
+            .or_default()
+            .push(CompiledNull {
+                mechanism: profile.null_constraint_mechanism(c),
+                constraint: c.clone(),
+            });
+    }
+    let mut outgoing: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
+    let mut incoming: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
+    for ind in schema.inds() {
+        let key_based = schema
+            .scheme(&ind.rhs_rel)
+            .is_some_and(|rhs| ind.is_key_based(rhs));
+        let compiled = CompiledInd {
+            lhs_rel: ind.lhs_rel.clone(),
+            lhs_attrs: ind.lhs_attrs.clone(),
+            rhs_rel: ind.rhs_rel.clone(),
+            rhs_attrs: ind.rhs_attrs.clone(),
+            mechanism: if key_based {
+                profile.referential_integrity
+            } else {
+                profile.non_key_inds
+            },
+        };
+        outgoing
+            .entry(ind.lhs_rel.clone())
+            .or_default()
+            .push(compiled.clone());
+        incoming
+            .entry(ind.rhs_rel.clone())
+            .or_default()
+            .push(compiled);
+    }
+    Ok(Catalog {
+        tables,
+        nulls,
+        outgoing,
+        incoming,
+    })
+}
+
+/// One `EngineConfig` consolidates every `Database` tuning knob: executor
+/// parallelism, join-strategy and parallel-build thresholds, morsel size,
+/// build-cache capacity, and the query budget. Build one with the
+/// fluent setters and hand it to [`Database::new_with_config`] or
+/// [`Database::configure`]; read the live values back with
+/// [`Database::config`], so a sweep can tweak a single knob:
+///
+/// ```ignore
+/// db.configure(db.config().parallelism(4));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    parallelism: usize,
+    hash_join_threshold: usize,
+    morsel_rows: usize,
+    build_parallel_threshold: usize,
+    build_cache_capacity: u64,
+    query_budget: QueryBudget,
+}
+
+impl Default for EngineConfig {
+    /// The defaults `Database::new` ships with: available-parallelism
+    /// workers, the documented threshold/morsel constants, a 64 MiB build
+    /// cache, and an unlimited query budget.
+    fn default() -> Self {
+        EngineConfig {
+            parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            build_parallel_threshold: DEFAULT_BUILD_PARALLEL_THRESHOLD,
+            build_cache_capacity: DEFAULT_BUILD_CACHE_BYTES,
+            query_budget: QueryBudget::unlimited(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (same as [`Default::default`]).
+    #[must_use]
+    pub fn new() -> Self {
+        EngineConfig::default()
+    }
+
+    /// Sets the executor's worker-thread budget (clamped to ≥ 1 when
+    /// applied). `1` means serial execution, byte-identical to the
+    /// parallel result by construction.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Sets the left-input cardinality at which a join step switches from
+    /// index-nested-loop to the hash strategy. `usize::MAX` disables hash
+    /// joins entirely; `0` forces them wherever the left input is
+    /// non-empty.
+    #[must_use]
+    pub fn hash_join_threshold(mut self, rows: usize) -> Self {
+        self.hash_join_threshold = rows;
+        self
+    }
+
+    /// Sets the root rows per executor morsel (clamped to ≥ 1 when
+    /// applied).
+    #[must_use]
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Sets the build-side live-row count at which a transient hash build
+    /// fans out over the worker pool. `usize::MAX` pins every build to
+    /// the serial path; `0` fans out any non-trivial build.
+    #[must_use]
+    pub fn build_parallel_threshold(mut self, rows: usize) -> Self {
+        self.build_parallel_threshold = rows;
+        self
+    }
+
+    /// Sets the build-cache byte capacity (`0` disables caching).
+    #[must_use]
+    pub fn build_cache_capacity(mut self, bytes: u64) -> Self {
+        self.build_cache_capacity = bytes;
+        self
+    }
+
+    /// Sets the per-query resource limits.
+    #[must_use]
+    pub fn query_budget(mut self, budget: QueryBudget) -> Self {
+        self.query_budget = budget;
+        self
+    }
+
+    /// The configured worker-thread budget.
+    #[must_use]
+    pub fn get_parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The configured hash-join switchover threshold.
+    #[must_use]
+    pub fn get_hash_join_threshold(&self) -> usize {
+        self.hash_join_threshold
+    }
+
+    /// The configured morsel size.
+    #[must_use]
+    pub fn get_morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// The configured parallel-build switchover threshold.
+    #[must_use]
+    pub fn get_build_parallel_threshold(&self) -> usize {
+        self.build_parallel_threshold
+    }
+
+    /// The configured build-cache byte capacity.
+    #[must_use]
+    pub fn get_build_cache_capacity(&self) -> u64 {
+        self.build_cache_capacity
+    }
+
+    /// The configured query budget.
+    #[must_use]
+    pub fn get_query_budget(&self) -> QueryBudget {
+        self.query_budget
+    }
+}
+
 impl Database {
     /// Creates an empty database for `schema` under `profile`. Fails when
     /// the profile cannot maintain some constraint class the schema needs
     /// (paper §5.1).
     pub fn new(schema: RelationalSchema, profile: DbmsProfile) -> Result<Self> {
-        schema.validate()?;
-        let problems = profile.hosting_report(&schema);
-        if !problems.is_empty() {
-            return Err(Error::PreconditionViolated {
-                procedure: "Database::new",
-                detail: problems.join("; "),
-            });
-        }
-        let mut tables = BTreeMap::new();
-        for s in schema.schemes() {
-            let mut table = Table::new(s.attrs().to_vec());
-            for key in s.candidate_keys() {
-                let names: Vec<String> = key.iter().map(|k| (*k).to_owned()).collect();
-                table.add_unique(&names)?;
-            }
-            tables.insert(s.name().to_owned(), table);
-        }
-        // Lookup indexes for both sides of every inclusion dependency.
-        for ind in schema.inds() {
-            tables
-                .get_mut(&ind.rhs_rel)
-                .expect("validated")
-                .add_lookup(&ind.rhs_attrs)?;
-            tables
-                .get_mut(&ind.lhs_rel)
-                .expect("validated")
-                .add_lookup(&ind.lhs_attrs)?;
-        }
-        let mut nulls: BTreeMap<String, Vec<CompiledNull>> = BTreeMap::new();
-        for c in schema.null_constraints() {
-            nulls
-                .entry(c.rel().to_owned())
-                .or_default()
-                .push(CompiledNull {
-                    mechanism: profile.null_constraint_mechanism(c),
-                    constraint: c.clone(),
-                });
-        }
-        let mut outgoing: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
-        let mut incoming: BTreeMap<String, Vec<CompiledInd>> = BTreeMap::new();
-        for ind in schema.inds() {
-            let key_based = schema
-                .scheme(&ind.rhs_rel)
-                .is_some_and(|rhs| ind.is_key_based(rhs));
-            let compiled = CompiledInd {
-                lhs_rel: ind.lhs_rel.clone(),
-                lhs_attrs: ind.lhs_attrs.clone(),
-                rhs_rel: ind.rhs_rel.clone(),
-                rhs_attrs: ind.rhs_attrs.clone(),
-                mechanism: if key_based {
-                    profile.referential_integrity
-                } else {
-                    profile.non_key_inds
-                },
-            };
-            outgoing
-                .entry(ind.lhs_rel.clone())
-                .or_default()
-                .push(compiled.clone());
-            incoming
-                .entry(ind.rhs_rel.clone())
-                .or_default()
-                .push(compiled);
-        }
+        Self::new_with_config(schema, profile, EngineConfig::default())
+    }
+
+    /// Like [`Database::new`], but with every tuning knob taken from
+    /// `config` instead of the defaults.
+    pub fn new_with_config(
+        schema: RelationalSchema,
+        profile: DbmsProfile,
+        config: EngineConfig,
+    ) -> Result<Self> {
+        let Catalog {
+            tables,
+            nulls,
+            outgoing,
+            incoming,
+        } = compile_catalog(&schema, &profile, "Database::new")?;
         Ok(Database {
             schema,
             profile,
@@ -639,19 +816,53 @@ impl Database {
             outgoing,
             incoming,
             metrics: DbMetrics::new(),
-            parallelism: std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-            hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
-            morsel_rows: DEFAULT_MORSEL_ROWS,
-            build_parallel_threshold: DEFAULT_BUILD_PARALLEL_THRESHOLD,
+            parallelism: config.parallelism.max(1),
+            hash_join_threshold: config.hash_join_threshold,
+            morsel_rows: config.morsel_rows.max(1),
+            build_parallel_threshold: config.build_parallel_threshold,
             build_cache: std::sync::Mutex::new(crate::build::BuildCache::new(
-                DEFAULT_BUILD_CACHE_BYTES,
+                config.build_cache_capacity,
             )),
             profiler: Arc::new(obs::Profiler::new()),
-            budget: QueryBudget::unlimited(),
+            budget: config.query_budget,
             fault: None,
         })
+    }
+
+    /// The current values of every tuning knob, as an [`EngineConfig`].
+    /// Combined with the builder setters this makes single-knob tweaks
+    /// one-liners: `db.configure(db.config().morsel_rows(64))`.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            parallelism: self.parallelism,
+            hash_join_threshold: self.hash_join_threshold,
+            morsel_rows: self.morsel_rows,
+            build_parallel_threshold: self.build_parallel_threshold,
+            build_cache_capacity: self.build_cache_lock().capacity(),
+            query_budget: self.budget,
+        }
+    }
+
+    /// Applies every knob in `config` to the live database. Shrinking the
+    /// build-cache capacity evicts least-recently-used entries down to the
+    /// new cap (and counts them in the eviction metrics); results and
+    /// `QueryStats` never depend on any of these knobs, only wall time
+    /// does.
+    pub fn configure(&mut self, config: EngineConfig) {
+        self.parallelism = config.parallelism.max(1);
+        self.hash_join_threshold = config.hash_join_threshold;
+        self.morsel_rows = config.morsel_rows.max(1);
+        self.build_parallel_threshold = config.build_parallel_threshold;
+        if config.build_cache_capacity != self.build_cache_lock().capacity() {
+            let (evicted, evicted_bytes) = self
+                .build_cache_lock()
+                .set_capacity(config.build_cache_capacity);
+            self.metrics.build_cache_evictions.add(evicted);
+            self.metrics.cache_evict.add(evicted);
+            self.metrics.cache_evicted_bytes.add(evicted_bytes as i64);
+        }
+        self.budget = config.query_budget;
     }
 
     /// Worker threads the query executor may use. Defaults to the
@@ -663,8 +874,9 @@ impl Database {
     }
 
     /// Sets the executor's worker-thread budget (clamped to ≥ 1).
+    #[deprecated(note = "use `configure(db.config().parallelism(..))` instead")]
     pub fn set_parallelism(&mut self, workers: usize) {
-        self.parallelism = workers.max(1);
+        self.configure(self.config().parallelism(workers));
     }
 
     /// Left-input cardinality at which a join step switches from
@@ -677,8 +889,9 @@ impl Database {
     }
 
     /// Sets the hash-join switchover threshold.
+    #[deprecated(note = "use `configure(db.config().hash_join_threshold(..))` instead")]
     pub fn set_hash_join_threshold(&mut self, rows: usize) {
-        self.hash_join_threshold = rows;
+        self.configure(self.config().hash_join_threshold(rows));
     }
 
     /// Root rows per executor morsel.
@@ -689,8 +902,9 @@ impl Database {
 
     /// Sets the morsel size (clamped to ≥ 1). Smaller morsels exercise
     /// the reassembly path; the default suits large scans.
+    #[deprecated(note = "use `configure(db.config().morsel_rows(..))` instead")]
     pub fn set_morsel_rows(&mut self, rows: usize) {
-        self.morsel_rows = rows.max(1);
+        self.configure(self.config().morsel_rows(rows));
     }
 
     /// Build-side live-row count at which a transient hash build fans out
@@ -705,8 +919,9 @@ impl Database {
     /// Sets the parallel-build switchover threshold. No clamping:
     /// `usize::MAX` is the serial sentinel, `0` fans out any non-trivial
     /// build.
+    #[deprecated(note = "use `configure(db.config().build_parallel_threshold(..))` instead")]
     pub fn set_build_parallel_threshold(&mut self, rows: usize) {
-        self.build_parallel_threshold = rows;
+        self.configure(self.config().build_parallel_threshold(rows));
     }
 
     /// Byte capacity of the versioned build-side cache (`0` = caching
@@ -720,11 +935,9 @@ impl Database {
     /// entries down to it. `0` disables caching: every transient build is
     /// rebuilt cold (results and `QueryStats` are unaffected — only wall
     /// time changes).
+    #[deprecated(note = "use `configure(db.config().build_cache_capacity(..))` instead")]
     pub fn set_build_cache_capacity(&mut self, bytes: u64) {
-        let (evicted, evicted_bytes) = self.build_cache_lock().set_capacity(bytes);
-        self.metrics.build_cache_evictions.add(evicted);
-        self.metrics.cache_evict.add(evicted);
-        self.metrics.cache_evicted_bytes.add(evicted_bytes as i64);
+        self.configure(self.config().build_cache_capacity(bytes));
     }
 
     /// Drops every cached build (capacity is unchanged).
@@ -791,8 +1004,9 @@ impl Database {
     /// Sets the query budget. Limits are checked cooperatively at morsel
     /// boundaries; a tripped limit surfaces as
     /// [`Error::BudgetExceeded`] with the partial progress in its detail.
+    #[deprecated(note = "use `configure(db.config().query_budget(..))` instead")]
     pub fn set_query_budget(&mut self, budget: QueryBudget) {
-        self.budget = budget;
+        self.configure(self.config().query_budget(budget));
     }
 
     /// Installs `plan` as the active fault plan, replacing any previous
@@ -829,6 +1043,37 @@ impl Database {
     #[must_use]
     pub fn schema(&self) -> &RelationalSchema {
         &self.schema
+    }
+
+    /// Swaps the live logical schema and physical catalog for `schema` /
+    /// `catalog`, returning the previous pair — the online-migration
+    /// catalog-rewrite primitive. The caller owns consistency: data must
+    /// be (re)loaded into the new tables, and on failure the returned
+    /// pair must be swapped back for byte-identical rollback.
+    pub(crate) fn swap_catalog(
+        &mut self,
+        schema: RelationalSchema,
+        catalog: Catalog,
+    ) -> (RelationalSchema, Catalog) {
+        let old_schema = std::mem::replace(&mut self.schema, schema);
+        let old = Catalog {
+            tables: std::mem::replace(&mut self.tables, catalog.tables),
+            nulls: std::mem::replace(&mut self.nulls, catalog.nulls),
+            outgoing: std::mem::replace(&mut self.outgoing, catalog.outgoing),
+            incoming: std::mem::replace(&mut self.incoming, catalog.incoming),
+        };
+        (old_schema, old)
+    }
+
+    /// Raises `rel`'s modification version to at least `floor`. The
+    /// migration path carries pre-migration versions across a catalog
+    /// swap so every relation name's version stays strictly monotonic
+    /// over the database's lifetime — the invariant that makes a
+    /// build-cache hit proof of freshness.
+    pub(crate) fn raise_relation_version(&mut self, rel: &str, floor: u64) {
+        if let Some(t) = self.tables.get_mut(rel) {
+            t.version = t.version.max(floor);
+        }
     }
 
     /// The DBMS profile in force.
@@ -1742,12 +1987,59 @@ mod tests {
             DEFAULT_BUILD_PARALLEL_THRESHOLD
         );
         assert_eq!((db.build_cache_len(), db.build_cache_bytes()), (0, 0));
-        db.set_build_cache_capacity(0);
+        db.configure(db.config().build_cache_capacity(0));
         assert_eq!(db.build_cache_capacity(), 0);
-        db.set_build_parallel_threshold(usize::MAX);
+        db.configure(db.config().build_parallel_threshold(usize::MAX));
         assert_eq!(db.build_parallel_threshold(), usize::MAX);
         db.clear_build_cache();
         assert_eq!(db.build_cache_len(), 0);
+    }
+
+    #[test]
+    fn engine_config_round_trips_every_knob() {
+        let cfg = EngineConfig::new()
+            .parallelism(3)
+            .hash_join_threshold(7)
+            .morsel_rows(11)
+            .build_parallel_threshold(13)
+            .build_cache_capacity(1 << 20);
+        let mut db = Database::new_with_config(emp_mgr_schema(), DbmsProfile::db2(), cfg).unwrap();
+        assert_eq!(db.parallelism(), 3);
+        assert_eq!(db.hash_join_threshold(), 7);
+        assert_eq!(db.morsel_rows(), 11);
+        assert_eq!(db.build_parallel_threshold(), 13);
+        assert_eq!(db.build_cache_capacity(), 1 << 20);
+        let read_back = db.config();
+        assert_eq!(read_back.get_parallelism(), 3);
+        assert_eq!(read_back.get_hash_join_threshold(), 7);
+        assert_eq!(read_back.get_morsel_rows(), 11);
+        assert_eq!(read_back.get_build_parallel_threshold(), 13);
+        assert_eq!(read_back.get_build_cache_capacity(), 1 << 20);
+        // Single-knob tweak leaves the rest intact, and zero values clamp
+        // where the old setters clamped.
+        db.configure(db.config().parallelism(0).morsel_rows(0));
+        assert_eq!(db.parallelism(), 1);
+        assert_eq!(db.morsel_rows(), 1);
+        assert_eq!(db.hash_join_threshold(), 7);
+    }
+
+    /// The deprecated one-knob setters must keep working as thin
+    /// wrappers over `configure`.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_apply() {
+        let mut db = Database::new(emp_mgr_schema(), DbmsProfile::db2()).unwrap();
+        db.set_parallelism(2);
+        db.set_hash_join_threshold(5);
+        db.set_morsel_rows(9);
+        db.set_build_parallel_threshold(17);
+        db.set_build_cache_capacity(0);
+        db.set_query_budget(QueryBudget::unlimited());
+        assert_eq!(db.parallelism(), 2);
+        assert_eq!(db.hash_join_threshold(), 5);
+        assert_eq!(db.morsel_rows(), 9);
+        assert_eq!(db.build_parallel_threshold(), 17);
+        assert_eq!(db.build_cache_capacity(), 0);
     }
 
     #[test]

@@ -53,11 +53,22 @@ pub mod site {
     /// Insertion of a finished transient build into the build-side cache
     /// (fires once per insert, before the cache is mutated).
     pub const BUILD_CACHE_INSERT: &str = "engine.query.build_cache_insert";
+    /// The catalog-rewrite phase of an online migration
+    /// ([`Database::migrate`]): fires once, after the pre-migration
+    /// snapshot is taken but before the live catalog is swapped.
+    ///
+    /// [`Database::migrate`]: crate::Database::migrate
+    pub const MIGRATION_REWRITE: &str = "engine.migrate.rewrite";
+    /// The data-apply phase of an online migration: fires once per
+    /// statement chunk, before that chunk's `apply_batch` runs.
+    pub const MIGRATION_APPLY: &str = "engine.migrate.apply";
 
     /// The sites on the batched-DML path, in firing order.
     pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
     /// The sites on the query-execution path, in firing order.
     pub const QUERY: &[&str] = &[HASH_BUILD, BUILD_CACHE_INSERT, MORSEL_WORKER];
+    /// The sites on the online-migration path, in firing order.
+    pub const MIGRATION: &[&str] = &[MIGRATION_REWRITE, MIGRATION_APPLY];
     /// Every site.
     pub const ALL: &[&str] = &[
         STATEMENT_APPLY,
@@ -67,6 +78,8 @@ pub mod site {
         MORSEL_WORKER,
         HASH_BUILD,
         BUILD_CACHE_INSERT,
+        MIGRATION_REWRITE,
+        MIGRATION_APPLY,
     ];
 }
 

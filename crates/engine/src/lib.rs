@@ -27,6 +27,7 @@ mod build;
 pub mod capability;
 pub mod database;
 pub mod fault;
+pub mod migrate;
 pub mod planner;
 pub mod query;
 pub mod txn;
@@ -34,12 +35,13 @@ pub mod txn;
 pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
 pub use database::{
-    Database, DmlError, MaintenanceStats, DEFAULT_BUILD_CACHE_BYTES,
+    Database, DmlError, EngineConfig, MaintenanceStats, DEFAULT_BUILD_CACHE_BYTES,
     DEFAULT_BUILD_PARALLEL_THRESHOLD, DEFAULT_HASH_JOIN_THRESHOLD, DEFAULT_MORSEL_ROWS,
 };
 pub use fault::{
     FaultMode, FaultPlan, IntegrityKind, IntegrityReport, IntegrityViolation, QueryBudget,
 };
+pub use migrate::{AdvisedMigration, MigrationReport};
 pub use planner::{choose_join_strategy, fingerprint, plan, JoinStrategy, LogicalQuery};
 #[allow(deprecated)]
 pub use query::{execute, execute_traced};

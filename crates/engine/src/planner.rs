@@ -656,7 +656,7 @@ mod tests {
             JoinStrategy::IndexNestedLoop
         );
         // usize::MAX disables hash joins outright (measurement baseline).
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         assert_eq!(
             choose_join_strategy(&db, "OFFER", &unindexed, 1_000_000).unwrap(),
             JoinStrategy::IndexNestedLoop
@@ -670,8 +670,8 @@ mod tests {
     fn build_parallelism_cost_model() {
         let rs = chain();
         let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
-        db.set_parallelism(4);
-        db.set_build_parallel_threshold(1_000);
+        db.configure(db.config().parallelism(4));
+        db.configure(db.config().build_parallel_threshold(1_000));
         // Below the threshold: serial.
         assert_eq!(choose_build_parallelism(&db, 999), 1);
         // One threshold's worth of rows per worker, capped by parallelism.
@@ -679,17 +679,17 @@ mod tests {
         assert_eq!(choose_build_parallelism(&db, 2_500), 2);
         assert_eq!(choose_build_parallelism(&db, 1_000_000), 4);
         // Single-worker executor never fans out a build.
-        db.set_parallelism(1);
+        db.configure(db.config().parallelism(1));
         assert_eq!(choose_build_parallelism(&db, 1_000_000), 1);
         // The usize::MAX sentinel is the serial measurement baseline.
-        db.set_parallelism(8);
-        db.set_build_parallel_threshold(usize::MAX);
+        db.configure(db.config().parallelism(8));
+        db.configure(db.config().build_parallel_threshold(usize::MAX));
         assert_eq!(choose_build_parallelism(&db, 1_000_000), 1);
         // Threshold 0 means "always parallel": the full pool, even for a
         // tiny build (and no division by zero).
-        db.set_build_parallel_threshold(0);
+        db.configure(db.config().build_parallel_threshold(0));
         assert_eq!(choose_build_parallelism(&db, 3), 8);
-        db.set_parallelism(1);
+        db.configure(db.config().parallelism(1));
         assert_eq!(choose_build_parallelism(&db, 3), 1);
     }
 

@@ -1698,8 +1698,8 @@ mod tests {
         // The accounting is deterministic across worker counts and morsel
         // sizes.
         let mut small = db.clone();
-        small.set_parallelism(4);
-        small.set_morsel_rows(1);
+        small.configure(small.config().parallelism(4));
+        small.configure(small.config().morsel_rows(1));
         let (_, par_stats) = small.execute(&plan).unwrap();
         assert_eq!(par_stats.intermediate_bytes, stats.intermediate_bytes);
         assert_eq!(
@@ -1757,7 +1757,11 @@ mod tests {
     #[test]
     fn intermediate_byte_budget_trips() {
         let mut db = db();
-        db.set_query_budget(crate::fault::QueryBudget::unlimited().with_max_intermediate_bytes(1));
+        db.configure(
+            db.config().query_budget(
+                crate::fault::QueryBudget::unlimited().with_max_intermediate_bytes(1),
+            ),
+        );
         let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
         let err = db.execute(&plan).unwrap_err();
         assert!(
@@ -1766,7 +1770,10 @@ mod tests {
         );
         assert!(err.to_string().contains("intermediate-memory cap"), "{err}");
         // Unlimited budget executes fine.
-        db.set_query_budget(crate::fault::QueryBudget::unlimited());
+        db.configure(
+            db.config()
+                .query_budget(crate::fault::QueryBudget::unlimited()),
+        );
         db.execute(&plan).unwrap();
     }
 
@@ -1794,9 +1801,9 @@ mod tests {
     #[test]
     fn morsels_counted_independent_of_workers() {
         let mut db = db();
-        db.set_morsel_rows(3);
+        db.configure(db.config().morsel_rows(3));
         for workers in [1, 4] {
-            db.set_parallelism(workers);
+            db.configure(db.config().parallelism(workers));
             let (_, stats) = db.execute(&QueryPlan::scan("COURSE")).unwrap();
             assert_eq!(stats.morsels, 4, "10 rows / 3-row morsels");
         }
@@ -1817,11 +1824,11 @@ mod tests {
         let plan = QueryPlan::scan("COURSE")
             .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
             .filter(Predicate::not_null("C.K"));
-        db.set_morsel_rows(1); // every row its own morsel
-        db.set_parallelism(1);
+        db.configure(db.config().morsel_rows(1)); // every row its own morsel
+        db.configure(db.config().parallelism(1));
         let (serial, serial_stats) = db.execute(&plan).unwrap();
         for workers in 2..=4 {
-            db.set_parallelism(workers);
+            db.configure(db.config().parallelism(workers));
             let (parallel, parallel_stats) = db.execute(&plan).unwrap();
             assert_eq!(parallel, serial, "byte-identical at {workers} workers");
             assert_eq!(parallel_stats, serial_stats);
@@ -1838,12 +1845,12 @@ mod tests {
         let plan = QueryPlan::scan("COURSE").join(JoinStep::inner("OFFER", &["C.K"], &["O.K"]));
         // Force the hash strategy: the OFFER unique index becomes the
         // build side, so no per-row probes are counted.
-        db.set_hash_join_threshold(0);
+        db.configure(db.config().hash_join_threshold(0));
         let (hashed, hash_stats) = db.execute(&plan).unwrap();
         assert_eq!(hash_stats.hash_builds, 1);
         assert_eq!(hash_stats.index_probes, 0);
         // Force index-nested-loop: the pre-morsel counters.
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         let (inl, inl_stats) = db.execute(&plan).unwrap();
         assert_eq!(inl_stats.hash_builds, 0);
         assert_eq!(inl_stats.index_probes, 10);
@@ -1854,9 +1861,9 @@ mod tests {
     fn outer_hash_join_pads_like_inl() {
         let mut db = db();
         let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         let (inl, _) = db.execute(&plan).unwrap();
-        db.set_hash_join_threshold(0);
+        db.configure(db.config().hash_join_threshold(0));
         let (hashed, stats) = db.execute(&plan).unwrap();
         assert_eq!(stats.hash_builds, 1);
         assert_eq!(hashed, inl);
@@ -1880,10 +1887,10 @@ mod tests {
             db.insert("R", tup(&[k, k % 4])).unwrap();
         }
         let plan = QueryPlan::scan("L").join(JoinStep::inner("R", &["L.V"], &["R.V"]));
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         let (inl, inl_stats) = db.execute(&plan).unwrap();
         assert_eq!(inl_stats.rows_scanned, 12 + 12 * 12, "scan per left row");
-        db.set_hash_join_threshold(64); // left = 12 < 64, but no index ⇒ hash
+        db.configure(db.config().hash_join_threshold(64)); // left = 12 < 64, but no index ⇒ hash
         let (hashed, hash_stats) = db.execute(&plan).unwrap();
         assert_eq!(hash_stats.hash_builds, 1);
         assert_eq!(
@@ -1909,7 +1916,7 @@ mod tests {
             db.insert("L", tup(&[k, k % 3])).unwrap();
             db.insert("R", tup(&[k, k % 4])).unwrap();
         }
-        db.set_hash_join_threshold(0);
+        db.configure(db.config().hash_join_threshold(0));
         db
     }
 
@@ -1920,13 +1927,13 @@ mod tests {
     #[test]
     fn root_filter_pushdown_is_equivalent_and_traced() {
         let mut db = db();
-        db.set_morsel_rows(2);
+        db.configure(db.config().morsel_rows(2));
         // A root-only predicate on a full scan runs pre-join,
         // morsel-parallel, without changing results or stats.
         let plan = QueryPlan::scan("COURSE")
             .join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]))
             .filter(Predicate::not_null("C.K").and(Predicate::eq("C.K", 4i64).negate()));
-        db.set_parallelism(1);
+        db.configure(db.config().parallelism(1));
         let (serial, serial_stats, trace) = db.execute_traced(&plan).unwrap();
         assert_eq!(serial.len(), 9);
         assert_eq!(trace.totals(), serial_stats);
@@ -1935,7 +1942,7 @@ mod tests {
         assert_eq!(trace.ops[1].stats.rows_in, 10);
         assert_eq!(trace.ops[1].stats.rows_out, 9);
         for workers in [2, 4] {
-            db.set_parallelism(workers);
+            db.configure(db.config().parallelism(workers));
             let (parallel, parallel_stats) = db.execute(&plan).unwrap();
             assert_eq!(parallel, serial, "pushdown byte-identical at {workers}");
             assert_eq!(parallel_stats, serial_stats);
@@ -1990,7 +1997,7 @@ mod tests {
         db.clear_build_cache();
         assert_eq!(db.build_cache_len(), 0);
         // Capacity 0 disables caching: every run is a cold miss.
-        db.set_build_cache_capacity(0);
+        db.configure(db.config().build_cache_capacity(0));
         let (off, _) = db.execute(&plan).unwrap();
         assert_eq!(counters(&db), (1, 3));
         assert_eq!(db.build_cache_len(), 0);
@@ -2001,11 +2008,11 @@ mod tests {
     fn parallel_builds_are_byte_identical_to_serial() {
         let mut db = lr_db(200);
         let plan = lr_plan();
-        db.set_parallelism(4);
-        db.set_build_parallel_threshold(usize::MAX);
+        db.configure(db.config().parallelism(4));
+        db.configure(db.config().build_parallel_threshold(usize::MAX));
         let (serial, serial_stats) = db.execute(&plan).unwrap();
         db.clear_build_cache();
-        db.set_build_parallel_threshold(8);
+        db.configure(db.config().build_parallel_threshold(8));
         let (parallel, parallel_stats, trace) = db.execute_traced(&plan).unwrap();
         assert_eq!(parallel, serial);
         assert_eq!(parallel_stats, serial_stats);
@@ -2023,7 +2030,10 @@ mod tests {
         use crate::fault::QueryBudget;
         let mut db = lr_db(12);
         let plan = lr_plan();
-        db.set_query_budget(QueryBudget::unlimited().with_max_build_bytes(1));
+        db.configure(
+            db.config()
+                .query_budget(QueryBudget::unlimited().with_max_build_bytes(1)),
+        );
         let err = db.execute(&plan).unwrap_err();
         assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
         assert_eq!(
@@ -2032,7 +2042,10 @@ mod tests {
         );
         // A roomy cap passes, and the cached build charges the same bytes
         // on the warm run.
-        db.set_query_budget(QueryBudget::unlimited().with_max_build_bytes(1 << 20));
+        db.configure(
+            db.config()
+                .query_budget(QueryBudget::unlimited().with_max_build_bytes(1 << 20)),
+        );
         let (cold, _) = db.execute(&plan).unwrap();
         let (warm, _) = db.execute(&plan).unwrap();
         assert_eq!(warm, cold);
@@ -2086,7 +2099,7 @@ mod tests {
     #[test]
     fn hash_join_label_in_trace() {
         let mut db = db();
-        db.set_hash_join_threshold(0);
+        db.configure(db.config().hash_join_threshold(0));
         let plan = QueryPlan::scan("COURSE").join(JoinStep::outer("OFFER", &["C.K"], &["O.K"]));
         let (_, stats, trace) = db.execute_traced(&plan).unwrap();
         assert_eq!(trace.totals(), stats);

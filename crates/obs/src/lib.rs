@@ -49,7 +49,8 @@ pub use metrics::{
 };
 pub use profile::{
     profile_to_json, profile_to_text, report, report_to_json, report_to_text, EdgeCost,
-    FingerprintProfile, HotJoin, JoinEdge, ProfileSnapshot, Profiler, QueryCost, QueryShape,
+    FingerprintProfile, HotJoin, JoinEdge, JoinEvidence, ProfileSnapshot, Profiler, QueryCost,
+    QueryShape,
 };
 pub use trace::{
     clear_events, dropped_spans, enabled, render_tree, set_enabled, set_sink, span, take_events,

@@ -390,6 +390,63 @@ pub fn report(snapshot: &ProfileSnapshot) -> Vec<HotJoin> {
     out
 }
 
+/// The report → advisor bridge: the hot-join ranking of a
+/// [`ProfileSnapshot`], packaged with the aggregate queries a merge
+/// advisor asks of it — which relations the workload joins at all, and
+/// how much access cost it spent between any two of them. Deterministic
+/// for a given snapshot (same ordering guarantees as [`report`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinEvidence {
+    /// Every distinct join edge the workload exercised, hottest first
+    /// (exactly [`report`]'s output).
+    pub edges: Vec<HotJoin>,
+}
+
+impl JoinEvidence {
+    /// Distills `snapshot` into ranked per-edge evidence.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &ProfileSnapshot) -> Self {
+        JoinEvidence {
+            edges: report(snapshot),
+        }
+    }
+
+    /// True when the workload exercised no join edge at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The summed cumulative cost (probes + scanned rows) of every edge.
+    #[must_use]
+    pub fn total_cost(&self) -> u64 {
+        self.edges.iter().map(|h| h.cumulative_cost).sum()
+    }
+
+    /// The cumulative cost the workload spent joining `a` with `b`, in
+    /// either direction, summed across all probe-attribute variants of
+    /// the edge.
+    #[must_use]
+    pub fn cost_between(&self, a: &str, b: &str) -> u64 {
+        self.edges
+            .iter()
+            .filter(|h| {
+                (h.edge.left == a && h.edge.right == b) || (h.edge.left == b && h.edge.right == a)
+            })
+            .map(|h| h.cumulative_cost)
+            .sum()
+    }
+
+    /// Every relation that appears on some join edge, sorted.
+    #[must_use]
+    pub fn relations(&self) -> std::collections::BTreeSet<&str> {
+        self.edges
+            .iter()
+            .flat_map(|h| [h.edge.left.as_str(), h.edge.right.as_str()])
+            .collect()
+    }
+}
+
 /// Renders a [`ProfileSnapshot`] as aligned text, one block per
 /// fingerprint, ordered by fingerprint.
 #[must_use]

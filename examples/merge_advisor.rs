@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         println!("== {label} ==");
-        let proposals = Advisor::propose(&schema, &config)?;
+        let proposals = Advisor::new(config).propose_static(&schema)?;
         for p in &proposals {
             println!(
                 "  candidate {:?}: eliminates {} join(s); key-based INDs: {}; \
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 p.admissible
             );
         }
-        let (final_schema, applied) = Advisor::apply_greedy(&schema, &config)?;
+        let (final_schema, applied) = Advisor::new(config).greedy(&schema)?;
         println!(
             "  applied {} merge(s): {} -> {} relation-schemes\n",
             applied.len(),
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let star = star_schema(&spec);
     println!("Synthetic star: {} schemes -> ", star.schemes().len());
-    let (collapsed, applied) = Advisor::apply_greedy(&star, &AdvisorConfig::declarative_only())?;
+    let (collapsed, applied) = Advisor::new(AdvisorConfig::declarative_only()).greedy(&star)?;
     println!(
         "{} schemes after {} merge(s); final schema:\n{collapsed}",
         collapsed.schemes().len(),

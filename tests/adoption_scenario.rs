@@ -31,7 +31,7 @@ fn university_adoption_end_to_end() {
 
     // 2. The advisor proposes merges the SYBASE target can maintain.
     let config = advisor_config_for(Dialect::Sybase40);
-    let (merged_schema, pipeline) = Advisor::apply_greedy_pipeline(&u.schema, &config).unwrap();
+    let (merged_schema, pipeline) = Advisor::new(config).greedy_pipeline(&u.schema).unwrap();
     assert!(!pipeline.is_empty());
     assert!(pipeline.joins_eliminated() >= 3, "the COURSE chain merges");
     for step in pipeline.steps() {

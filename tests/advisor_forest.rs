@@ -35,7 +35,7 @@ proptest! {
             AdvisorConfig::declarative_only()
         };
         let (final_schema, pipeline) =
-            Advisor::apply_greedy_pipeline(&schema, &config).expect("advisor");
+            Advisor::new(config).greedy_pipeline(&schema).expect("advisor");
         prop_assert!(final_schema.schemes().len() <= schema.schemes().len());
         prop_assert!(final_schema.is_bcnf());
         if !permissive {

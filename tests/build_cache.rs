@@ -30,9 +30,9 @@ fn schema() -> RelationalSchema {
 fn build_db(cache: bool) -> Database {
     let mut db = Database::new(schema(), DbmsProfile::ideal()).unwrap();
     // Always hash-join, so every query exercises a build side.
-    db.set_hash_join_threshold(0);
+    db.configure(db.config().hash_join_threshold(0));
     if !cache {
-        db.set_build_cache_capacity(0);
+        db.configure(db.config().build_cache_capacity(0));
     }
     db
 }
@@ -80,8 +80,8 @@ proptest! {
                 }
                 4 => {
                     let workers = (k % 4 + 1) as usize;
-                    cached.set_parallelism(workers);
-                    plain.set_parallelism(workers);
+                    cached.configure(cached.config().parallelism(workers));
+                    plain.configure(plain.config().parallelism(workers));
                 }
                 _ => cached.clear_build_cache(),
             }

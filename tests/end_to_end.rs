@@ -53,7 +53,7 @@ fn advisor_output_hostable() {
         ),
     ];
     for (config, profile) in cases {
-        let (merged_schema, applied) = Advisor::apply_greedy(&schema, &config).unwrap();
+        let (merged_schema, applied) = Advisor::new(config).greedy(&schema).unwrap();
         let db = Database::new(merged_schema.clone(), profile.clone());
         assert!(
             db.is_ok(),

@@ -137,8 +137,8 @@ fn panicking_morsel_worker_fails_only_its_query() {
     for k in 100..164 {
         db.insert("PARENT", row(&[k])).unwrap();
     }
-    db.set_morsel_rows(4);
-    db.set_parallelism(4);
+    db.configure(db.config().morsel_rows(4));
+    db.configure(db.config().parallelism(4));
     let scan = QueryPlan::scan("PARENT");
     let (all, _) = db.execute(&scan).unwrap();
 
@@ -157,7 +157,7 @@ fn panicking_morsel_worker_fails_only_its_query() {
     db.insert("PARENT", row(&[999])).unwrap();
 
     // Error mode on the serial path is equally contained.
-    db.set_parallelism(1);
+    db.configure(db.config().parallelism(1));
     db.set_fault_plan(FaultPlan::new().fail_at(site::MORSEL_WORKER, 0, FaultMode::Error));
     let err = db.execute(&scan).unwrap_err();
     assert!(matches!(err, Error::Injected { .. }), "{err}");
@@ -173,23 +173,32 @@ fn query_budgets_trip_with_typed_errors() {
     }
     let scan = QueryPlan::scan("PARENT");
 
-    db.set_query_budget(QueryBudget::unlimited().with_max_rows(10));
+    db.configure(
+        db.config()
+            .query_budget(QueryBudget::unlimited().with_max_rows(10)),
+    );
     let err = db.execute(&scan).unwrap_err();
     assert!(
         matches!(err, Error::BudgetExceeded { ref detail } if detail.contains("row cap")),
         "{err}"
     );
 
-    db.set_query_budget(QueryBudget::unlimited().with_max_wall(Duration::ZERO));
+    db.configure(
+        db.config()
+            .query_budget(QueryBudget::unlimited().with_max_wall(Duration::ZERO)),
+    );
     let err = db.execute(&scan).unwrap_err();
     assert!(matches!(err, Error::BudgetExceeded { .. }), "{err}");
 
     // Lifting the budget restores service; parallel execution under a
     // generous budget is unaffected.
-    db.set_query_budget(QueryBudget::unlimited());
+    db.configure(db.config().query_budget(QueryBudget::unlimited()));
     assert!(db.execute(&scan).is_ok());
-    db.set_parallelism(4);
-    db.set_query_budget(QueryBudget::unlimited().with_max_rows(1_000_000));
+    db.configure(db.config().parallelism(4));
+    db.configure(
+        db.config()
+            .query_budget(QueryBudget::unlimited().with_max_rows(1_000_000)),
+    );
     assert!(db.execute(&scan).is_ok());
 }
 

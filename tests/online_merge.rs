@@ -1,0 +1,186 @@
+//! Whole-system property test for the online migration path: for a random
+//! star schema, a random consistent state, and a random tolerated DML
+//! history, `Database::migrate` must land the live database byte-identical
+//! — state and per-query `QueryStats`, at every worker count — to a fresh
+//! database built on the merged schema from the η-mapped state; capacity
+//! must be preserved (Propositions 4.1/4.2); and every injected migration
+//! fault must abort with a typed error, verify clean, and roll back
+//! byte-identical to the pre-migration snapshot without poisoning the
+//! database for a later, clean migration.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge::core::{check_both, check_proposition_4_1, Merge, Merged};
+use relmerge::engine::fault::site;
+use relmerge::engine::{Database, DbmsProfile, FaultMode, FaultPlan, QueryPlan, Statement};
+use relmerge::relational::{Error, Tuple, Value};
+use relmerge::workload::{consistent_state, star_merge_set, star_schema, StarSpec, StateSpec};
+
+/// One step of the random DML history. Every field is interpreted
+/// modulo the generated schema's actual shape, and statements the
+/// constraints reject are simply skipped — rejection is part of the
+/// randomness, not a failure.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Insert a fresh ROOT row (keys drawn from a disjoint range).
+    InsertRoot(i64),
+    /// Insert a satellite row keyed by an existing-or-not root key.
+    InsertSat(usize, i64),
+    /// Delete a satellite row by key (no-op when absent).
+    DeleteSat(usize, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..32i64).prop_map(|k| Op::InsertRoot(10_000 + k)),
+        (any::<usize>(), 0..64i64).prop_map(|(s, k)| Op::InsertSat(s, k)),
+        (any::<usize>(), 0..64i64).prop_map(|(s, k)| Op::DeleteSat(s, k)),
+    ]
+}
+
+/// Builds the live database: schema + generated state + the DML history,
+/// applied one tolerated statement at a time.
+fn build_live(
+    schema: &relmerge::relational::RelationalSchema,
+    state: &relmerge::relational::DatabaseState,
+    history: &[Op],
+    spec: &StarSpec,
+    root_rows: usize,
+) -> Database {
+    let mut db = Database::new(schema.clone(), DbmsProfile::ideal()).unwrap();
+    db.load_state(state).unwrap();
+    for op in history {
+        let stmt = match *op {
+            Op::InsertRoot(k) => Statement::insert("ROOT", Tuple::new([Value::Int(k)])),
+            Op::InsertSat(s, k) => {
+                let s = s % spec.satellites;
+                // Map into (roughly) the generated root-key range so some
+                // inserts land and some violate the IND or the key.
+                let key = 1 + (k % (2 * root_rows as i64));
+                let mut vals = vec![Value::Int(key)];
+                for j in 0..spec.non_key_attrs {
+                    vals.push(Value::Int(key + 100 + j as i64));
+                }
+                Statement::insert(format!("S{s}"), Tuple::new(vals))
+            }
+            Op::DeleteSat(s, k) => {
+                let s = s % spec.satellites;
+                let key = 1 + (k % (2 * root_rows as i64));
+                Statement::delete(format!("S{s}"), Tuple::new([Value::Int(key)]))
+            }
+        };
+        let _ = db.apply_batch(&[stmt]);
+    }
+    db
+}
+
+/// The replay queries both sides must answer identically: a full scan of
+/// the merged relation and point lookups across present and absent keys.
+fn replay_queries(root_rows: usize) -> Vec<QueryPlan> {
+    let mut qs = vec![QueryPlan::scan("M")];
+    for k in [1, 2, root_rows as i64, 10_005, 999_999] {
+        qs.push(QueryPlan::lookup(
+            "M",
+            &["ROOT.K"],
+            Tuple::new([Value::Int(k)]),
+        ));
+    }
+    qs
+}
+
+/// Plans the full star merge with every removable key removed.
+fn star_plan(schema: &relmerge::relational::RelationalSchema, spec: &StarSpec) -> Merged {
+    let members = star_merge_set(spec);
+    let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+    let mut plan = Merge::plan(schema, &refs, "M").unwrap();
+    plan.remove_all_removable().unwrap();
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn migrate_then_replay_is_byte_identical(
+        satellites in 1usize..=4,
+        non_key_attrs in 0usize..=2,
+        root_rows in 4usize..=20,
+        coverage in 0.2f64..=1.0,
+        seed in 0u64..1_000,
+        history in proptest::collection::vec(op_strategy(), 0..24),
+    ) {
+        let spec = StarSpec { satellites, non_key_attrs, externals: 0 };
+        let schema = star_schema(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = consistent_state(&schema, &StateSpec { root_rows, coverage }, &mut rng).unwrap();
+        let plan = star_plan(&schema, &spec);
+
+        let mut live = build_live(&schema, &state, &history, &spec, root_rows);
+        let pre = live.snapshot().unwrap();
+        prop_assert!(check_proposition_4_1(&plan, &pre).unwrap());
+
+        live.migrate(&plan).unwrap();
+        let post = live.snapshot().unwrap();
+        prop_assert!(check_both(&plan, &pre, &post).unwrap().holds());
+
+        // The fresh twin: a database born on the merged schema, loaded
+        // with the η-mapped state. The migrated live database must be
+        // indistinguishable from it.
+        let mut fresh = Database::new(plan.schema().clone(), DbmsProfile::ideal()).unwrap();
+        fresh.load_state(&plan.apply(&pre).unwrap()).unwrap();
+        prop_assert_eq!(&post, &fresh.snapshot().unwrap());
+        prop_assert!(live.verify_integrity().is_clean());
+
+        for w in [1usize, 2, 4] {
+            live.configure(live.config().parallelism(w));
+            fresh.configure(fresh.config().parallelism(w));
+            for q in replay_queries(root_rows) {
+                let (r_live, s_live) = live.execute(&q).unwrap();
+                let (r_fresh, s_fresh) = fresh.execute(&q).unwrap();
+                prop_assert_eq!(&r_live, &r_fresh, "workers {} plan {:?}", w, q);
+                prop_assert_eq!(s_live, s_fresh, "workers {} plan {:?}", w, q);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_migration_faults_roll_back_byte_identical(
+        satellites in 1usize..=3,
+        non_key_attrs in 0usize..=2,
+        root_rows in 4usize..=16,
+        coverage in 0.2f64..=1.0,
+        seed in 0u64..1_000,
+        history in proptest::collection::vec(op_strategy(), 0..16),
+    ) {
+        let spec = StarSpec { satellites, non_key_attrs, externals: 0 };
+        let schema = star_schema(&spec);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let state = consistent_state(&schema, &StateSpec { root_rows, coverage }, &mut rng).unwrap();
+        let plan = star_plan(&schema, &spec);
+
+        for &s in site::MIGRATION {
+            for mode in [FaultMode::Error, FaultMode::Panic] {
+                let mut db = build_live(&schema, &state, &history, &spec, root_rows);
+                let pre = db.snapshot().unwrap();
+                let armed = db.set_fault_plan(FaultPlan::new().fail_at(s, 0, mode));
+                let outcome = db.migrate(&plan);
+                prop_assert!(armed.total_fired() > 0, "site {} must arrive", s);
+                prop_assert!(
+                    matches!(outcome, Err(Error::Injected { .. } | Error::ExecutionPanic { .. })),
+                    "site {} mode {:?}: {:?}", s, mode, outcome
+                );
+                db.clear_fault_plan();
+                prop_assert!(db.verify_integrity().is_clean());
+                prop_assert_eq!(&db.snapshot().unwrap(), &pre, "site {} mode {:?}", s, mode);
+                // The aborted database is not poisoned: the same migration
+                // succeeds once the fault is gone, and matches the twin.
+                db.migrate(&plan).unwrap();
+                let mut fresh = Database::new(plan.schema().clone(), DbmsProfile::ideal()).unwrap();
+                fresh.load_state(&plan.apply(&pre).unwrap()).unwrap();
+                prop_assert_eq!(&db.snapshot().unwrap(), &fresh.snapshot().unwrap());
+            }
+        }
+    }
+}

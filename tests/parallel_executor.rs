@@ -90,17 +90,17 @@ proptest! {
 
         // Reference: the pre-optimizer behavior — serial, index-nested-loop
         // only (`usize::MAX` disables hash joins).
-        db.set_parallelism(1);
-        db.set_hash_join_threshold(usize::MAX);
+        db.configure(db.config().parallelism(1));
+        db.configure(db.config().hash_join_threshold(usize::MAX));
         let (ref_rel, _, ref_trace) = db.execute_traced(&plan).expect("reference");
 
         for threshold in [0usize, 64, usize::MAX] {
-            db.set_hash_join_threshold(threshold);
+            db.configure(db.config().hash_join_threshold(threshold));
             let mut strategy_stats = None;
             for morsel_rows in [1usize, 7, 64] {
-                db.set_morsel_rows(morsel_rows);
+                db.configure(db.config().morsel_rows(morsel_rows));
                 for workers in 1usize..=4 {
-                    db.set_parallelism(workers);
+                    db.configure(db.config().parallelism(workers));
                     let (rel, stats, trace) = db.execute_traced(&plan).expect("query");
 
                     // Byte-identical result, whatever the configuration.

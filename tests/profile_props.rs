@@ -131,7 +131,7 @@ proptest! {
         for workers in [1usize, 2, 4] {
             let mut db = Database::new(schema.clone(), DbmsProfile::ideal()).expect("db");
             db.load_state(&state).expect("load");
-            db.set_parallelism(workers);
+            db.configure(db.config().parallelism(workers));
 
             // Execute the mix (twice, so folding is exercised) and sum
             // stats manually per expected fingerprint.
