@@ -5,7 +5,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_core::{Merge, Merged};
-use relmerge_engine::{Database, DbmsProfile, DmlError, JoinStep, QueryPlan, Statement};
+use relmerge_engine::{Database, DbmsProfile, DmlError, JoinStep, Predicate, QueryPlan, Statement};
 use relmerge_obs as obs;
 use relmerge_relational::{Error, Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
@@ -837,6 +837,176 @@ fn median(xs: &mut [f64]) -> f64 {
     }
 }
 
+/// One row of the B15 predicate-pushdown table.
+#[derive(Debug, Clone)]
+pub struct PushdownRow {
+    /// Query label.
+    pub query: String,
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Output rows (identical with pushdown on and off).
+    pub rows_out: u64,
+    /// `rows_scanned` per execution with pushdown off.
+    pub off_scanned: u64,
+    /// `rows_scanned` per execution with pushdown on.
+    pub on_scanned: u64,
+    /// `index_probes` with pushdown off.
+    pub off_probes: u64,
+    /// `index_probes` with pushdown on.
+    pub on_probes: u64,
+    /// Scan-reduction factor: `off_scanned / max(on_scanned, 1)`.
+    pub scan_reduction: f64,
+    /// Median latency (ns) with pushdown off.
+    pub off_ns: f64,
+    /// Median latency (ns) with pushdown on.
+    pub on_ns: f64,
+    /// Median of per-pair `off / on` latency ratios (interleaved loop).
+    pub speedup: f64,
+    /// Conjuncts placed below the residual filter per execution.
+    pub pushed_conjuncts: u64,
+    /// Rows pruned below the residual filter per execution.
+    pub pruned_rows: u64,
+}
+
+/// B15: optimizer-driven predicate pushdown versus the legacy
+/// evaluate-at-the-top filter, on the unmerged university schema.
+///
+/// Two queries are measured. The *selective chain* scans COURSE,
+/// inner-joins TEACH (where the pushed `Eq(T.F.SSN, ssn)` keeps roughly
+/// one faculty member's courses out of ~200), then inner-joins ASSIST on
+/// the composite non-indexed `[T.C.NR, T.F.SSN]` — under the forced
+/// index-nested-loop strategy that last step scans ASSIST once per
+/// surviving left row, so evaluating the conjunct at the TEACH probe
+/// instead of at the top shrinks the quadratic term by the predicate's
+/// selectivity. Like B8's composite query the result is legitimately
+/// empty (faculty and student SSNs are disjoint), keeping the query a
+/// pure measure of filter placement. The *root Eq upgrade* filters a
+/// two-relation outer chain on the root key; the optimizer converts the
+/// full scan into an index point lookup, so `rows_scanned` drops to
+/// zero.
+///
+/// Both settings are asserted byte-identical per query; the chain must
+/// show a >= 10x scan reduction and the root upgrade must scan zero
+/// rows. Latency pairs are interleaved off/on with the median-of-ratios
+/// estimator (B8's drift-cancelling idiom). The build cache is disabled
+/// so every execution pays its own access work, and the chain pins the
+/// join strategy so the delta is filter placement alone, not a strategy
+/// flip.
+pub fn predicate_pushdown(courses: usize, iters: u32) -> Result<Vec<PushdownRow>> {
+    let _span = obs::span("bench.b15.predicate_pushdown").field("courses", courses);
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+    let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    db.load_state(&u.state)?;
+    db.configure(db.config().build_cache_capacity(0));
+
+    // The first faculty SSN: teaches ~1/200th of the offered courses.
+    let ssn = 10_000_i64;
+    let chain = QueryPlan::scan("COURSE")
+        .join(JoinStep::inner("TEACH", &["C.NR"], &["T.C.NR"]))
+        .join(JoinStep::inner(
+            "ASSIST",
+            &["T.C.NR", "T.F.SSN"],
+            &["A.C.NR", "A.S.SSN"],
+        ))
+        .filter(Predicate::eq("T.F.SSN", ssn));
+    let offered = *u.offered_courses.first().expect("offered course");
+    let root_eq = QueryPlan::scan("COURSE")
+        .join(JoinStep::outer("OFFER", &["C.NR"], &["O.C.NR"]))
+        .filter(Predicate::eq("C.NR", offered));
+
+    let queries = [
+        ("selective chain (Eq pushed to TEACH)", &chain, true),
+        ("root Eq upgrade (scan -> lookup)", &root_eq, false),
+    ];
+    let mut rows = Vec::new();
+    for (label, plan, forced_inl) in queries {
+        let threshold = if forced_inl {
+            usize::MAX
+        } else {
+            relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD
+        };
+        db.configure(db.config().hash_join_threshold(threshold));
+
+        db.configure(db.config().predicate_pushdown(false));
+        let (off_rel, off_stats) = db.execute(plan)?;
+        db.configure(db.config().predicate_pushdown(true));
+        let before = db.metrics_registry().snapshot();
+        let (on_rel, on_stats) = db.execute(plan)?;
+        let after = db.metrics_registry().snapshot();
+        assert_eq!(
+            on_rel, off_rel,
+            "pushdown must not change the result ({label})"
+        );
+        let pushed_conjuncts = after.counters["engine.query.pushed_conjuncts"]
+            - before.counters["engine.query.pushed_conjuncts"];
+        let pruned_rows = after.counters["engine.query.pushdown_pruned_rows"]
+            - before.counters["engine.query.pushdown_pruned_rows"];
+        if forced_inl {
+            assert!(
+                on_stats.rows_scanned * 10 <= off_stats.rows_scanned,
+                "pushdown must cut the chain's scans >= 10x: on={} off={}",
+                on_stats.rows_scanned,
+                off_stats.rows_scanned
+            );
+        } else {
+            assert_eq!(
+                on_stats.rows_scanned, 0,
+                "the pushed root Eq must upgrade the scan to a lookup"
+            );
+            assert!(
+                off_stats.rows_scanned >= courses as u64,
+                "the legacy path must pay the full root scan"
+            );
+        }
+
+        // Interleaved off/on timing pairs; the median of per-pair ratios
+        // cancels host-speed drift (see `parallel_query`).
+        let mut offs = Vec::with_capacity(iters as usize);
+        let mut ons = Vec::with_capacity(iters as usize);
+        let mut ratios = Vec::with_capacity(iters as usize);
+        for _ in 0..iters {
+            db.configure(db.config().predicate_pushdown(false));
+            let t0 = std::time::Instant::now();
+            let _ = db.execute(plan)?;
+            let off_ns = obs::elapsed_ns(t0) as f64;
+            db.configure(db.config().predicate_pushdown(true));
+            let t0 = std::time::Instant::now();
+            let _ = db.execute(plan)?;
+            let on_ns = obs::elapsed_ns(t0) as f64;
+            offs.push(off_ns);
+            ons.push(on_ns);
+            ratios.push(off_ns / on_ns);
+        }
+        rows.push(PushdownRow {
+            query: label.to_owned(),
+            courses,
+            rows_out: on_rel.len() as u64,
+            off_scanned: off_stats.rows_scanned,
+            on_scanned: on_stats.rows_scanned,
+            off_probes: off_stats.index_probes,
+            on_probes: on_stats.index_probes,
+            scan_reduction: off_stats.rows_scanned as f64 / on_stats.rows_scanned.max(1) as f64,
+            off_ns: median(&mut offs),
+            on_ns: median(&mut ons),
+            speedup: median(&mut ratios),
+            pushed_conjuncts,
+            pruned_rows,
+        });
+    }
+    db.configure(
+        db.config()
+            .hash_join_threshold(relmerge_engine::DEFAULT_HASH_JOIN_THRESHOLD),
+    );
+    Ok(rows)
+}
+
 /// One row of the B10 build-cache table.
 #[derive(Debug, Clone)]
 pub struct BuildCacheRow {
@@ -973,16 +1143,17 @@ pub fn build_cache_speedup(courses: usize, iters: u32) -> Result<Vec<BuildCacheR
     Ok(rows)
 }
 
-/// Writes the B8 and B10 rows as machine-readable JSON (the
+/// Writes the B8, B10, and B15 rows as machine-readable JSON (the
 /// `BENCH_query.json` artifact consumed by CI and by result-comparison
-/// tooling). Either section may be empty when only one experiment ran.
+/// tooling). Any section may be empty when only some experiments ran.
 pub fn write_parallel_query_json(
     path: &std::path::Path,
     b8: &[ParallelQueryRow],
     b10: &[BuildCacheRow],
+    b15: &[PushdownRow],
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
-    let mut out = String::from("{\"experiment\":\"B8+B10\",\"b8\":[");
+    let mut out = String::from("{\"experiment\":\"B8+B10+B15\",\"b8\":[");
     for (i, r) in b8.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1034,6 +1205,34 @@ pub fn write_parallel_query_json(
             r.build_bytes,
             r.parallel_builds,
             r.saved_allocs,
+        );
+    }
+    out.push_str("],\"b15\":[");
+    for (i, r) in b15.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"query\":\"{}\",\"courses\":{},\"rows_out\":{},\
+             \"off_scanned\":{},\"on_scanned\":{},\
+             \"off_probes\":{},\"on_probes\":{},\
+             \"scan_reduction\":{:.2},\
+             \"off_ns\":{:.0},\"on_ns\":{:.0},\"speedup\":{:.4},\
+             \"pushed_conjuncts\":{},\"pruned_rows\":{}}}",
+            obs::json_escape(&r.query),
+            r.courses,
+            r.rows_out,
+            r.off_scanned,
+            r.on_scanned,
+            r.off_probes,
+            r.on_probes,
+            r.scan_reduction,
+            r.off_ns,
+            r.on_ns,
+            r.speedup,
+            r.pushed_conjuncts,
+            r.pruned_rows,
         );
     }
     out.push_str("]}\n");
@@ -1281,7 +1480,10 @@ pub struct TortureRow {
     /// Cells whose fault actually fired.
     pub injections: u64,
     /// Fired cells that surfaced a typed injected/panic error (never a
-    /// process abort).
+    /// process abort). For the contained pushdown site
+    /// (`engine.query.pushdown`) this instead counts fired cells that
+    /// *succeeded* via the verified byte-identical legacy fallback — the
+    /// site's acceptance criterion is containment, not a surfaced error.
     pub typed_errors: u64,
     /// Fired cells whose post-abort [`Database::verify_integrity`] report
     /// was clean.
@@ -1301,7 +1503,11 @@ pub struct TortureRow {
 /// the pre-batch snapshot, byte-identical. A second leg tortures the
 /// query path the same way — the partitioned hash build and the
 /// build-cache insert — additionally requiring that a failed build never
-/// leaves an entry in the cache.
+/// leaves an entry in the cache. A third leg tortures the predicate
+/// pushdown planner (`engine.query.pushdown`), whose contract inverts
+/// the others: a fault there must be *contained* — the executor falls
+/// back to the legacy top-of-plan filter and the query must still
+/// succeed, byte-identical (result and stats) to a pushdown-off run.
 ///
 /// Callers that arm panic-mode cells outside the test harness should
 /// install a quiet panic hook around the call — the injected panics are
@@ -1465,6 +1671,70 @@ pub fn fault_torture(courses: usize, batch_size: usize, seed: u64) -> Result<Vec
             }
             rows.push(row);
         }
+    }
+
+    // The pushdown leg: the predicate-planning site fires before any
+    // data is touched, so an injected error or panic must never surface.
+    // The executor falls back to the legacy top-of-plan filter; the
+    // query must succeed byte-identical (result and stats) to a
+    // pushdown-off reference with the fallback counter bumped. Those
+    // verified contained fallbacks are recorded as this leg's
+    // `typed_errors` (see [`TortureRow::typed_errors`]).
+    let pquery = unmerged_scan_query().filter(Predicate::not_null("T.F.SSN"));
+    let pbuild = || -> Result<Database> {
+        let mut db = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+        db.load_state(&u.state)?;
+        Ok(db)
+    };
+    let mut reference = pbuild()?;
+    reference.configure(reference.config().predicate_pushdown(false));
+    let (ref_rel, ref_stats) = reference.execute(&pquery)?;
+
+    let mut dry = pbuild()?;
+    let probe =
+        dry.set_fault_plan(FaultPlan::new().fail_at(site::PUSHDOWN, u64::MAX, FaultMode::Error));
+    let _ = dry.execute(&pquery)?;
+    let p_hits = probe.hits(site::PUSHDOWN);
+
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        let mut row = TortureRow {
+            site: site::PUSHDOWN.to_owned(),
+            mode: mode.label().to_owned(),
+            cells: 0,
+            injections: 0,
+            typed_errors: 0,
+            clean_reports: 0,
+            snapshot_matches: 0,
+            no_fire: 0,
+        };
+        for nth in 0..p_hits {
+            row.cells += 1;
+            let mut db = pbuild()?;
+            let pre = db.snapshot()?;
+            let plan = db.set_fault_plan(FaultPlan::new().fail_at(site::PUSHDOWN, nth, mode));
+            let outcome = db.execute(&pquery);
+            if plan.total_fired() == 0 {
+                row.no_fire += 1;
+                outcome?;
+                continue;
+            }
+            row.injections += 1;
+            let fallbacks =
+                db.metrics_registry().snapshot().counters["engine.query.pushdown.fallbacks"];
+            if let Ok((rel, stats)) = outcome {
+                if rel == ref_rel && stats == ref_stats && fallbacks == 1 {
+                    row.typed_errors += 1;
+                }
+            }
+            db.clear_fault_plan();
+            if db.verify_integrity().is_clean() {
+                row.clean_reports += 1;
+            }
+            if db.snapshot()? == pre {
+                row.snapshot_matches += 1;
+            }
+        }
+        rows.push(row);
     }
     Ok(rows)
 }
@@ -1993,12 +2263,14 @@ mod tests {
     fn parallel_query_json_is_well_formed() {
         let b8 = parallel_query(150, 1).unwrap();
         let b10 = build_cache_speedup(150, 1).unwrap();
+        let b15 = predicate_pushdown(150, 1).unwrap();
         let path = std::env::temp_dir().join("relmerge_bench_query_test.json");
-        write_parallel_query_json(&path, &b8, &b10).unwrap();
+        write_parallel_query_json(&path, &b8, &b10, &b15).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert!(text.starts_with("{\"experiment\":\"B8+B10\",\"b8\":["));
+        assert!(text.starts_with("{\"experiment\":\"B8+B10+B15\",\"b8\":["));
         assert!(text.contains("],\"b10\":["));
+        assert!(text.contains("],\"b15\":["));
         assert!(text.trim_end().ends_with("]}"));
         for key in ["\"rows_per_sec\":", "\"baseline_ns\":"] {
             assert_eq!(text.matches(key).count(), b8.len(), "{key}");
@@ -2006,11 +2278,34 @@ mod tests {
         for key in ["\"cache_hits\":", "\"warm_ns\":"] {
             assert_eq!(text.matches(key).count(), b10.len(), "{key}");
         }
+        for key in ["\"scan_reduction\":", "\"pushed_conjuncts\":"] {
+            assert_eq!(text.matches(key).count(), b15.len(), "{key}");
+        }
         assert_eq!(
             text.matches("\"speedup\":").count(),
-            b8.len() + b10.len(),
+            b8.len() + b10.len() + b15.len(),
             "every row carries a speedup"
         );
+    }
+
+    #[test]
+    fn predicate_pushdown_shape() {
+        // `predicate_pushdown` itself asserts byte-identity, the >= 10x
+        // chain scan reduction, and the scan-to-lookup upgrade; the
+        // checks here cover the recorded rows.
+        let rows = predicate_pushdown(200, 2).unwrap();
+        assert_eq!(rows.len(), 2);
+        let chain = &rows[0];
+        assert!(chain.scan_reduction >= 10.0, "{chain:?}");
+        assert!(chain.pushed_conjuncts >= 1, "{chain:?}");
+        assert!(chain.pruned_rows > 0, "{chain:?}");
+        let root = &rows[1];
+        assert_eq!(root.on_scanned, 0, "{root:?}");
+        assert!(root.off_scanned >= 200, "{root:?}");
+        assert!(root.rows_out >= 1, "{root:?}");
+        for r in &rows {
+            assert!(r.off_ns > 0.0 && r.on_ns > 0.0 && r.speedup > 0.0, "{r:?}");
+        }
     }
 
     #[test]
@@ -2064,8 +2359,9 @@ mod tests {
     #[test]
     fn fault_torture_every_cell_recovers() {
         let rows = fault_torture(60, 8, 11).unwrap();
-        // 4 batch sites × 2 modes, plus 2 query sites × 2 modes.
-        assert_eq!(rows.len(), 12);
+        // 4 batch sites × 2 modes, plus 2 query sites × 2 modes, plus
+        // the contained pushdown site × 2 modes.
+        assert_eq!(rows.len(), 14);
         let total_cells: u64 = rows.iter().map(|r| r.cells).sum();
         assert!(total_cells > 8, "matrix is wider than one cell per pair");
         for r in &rows {

@@ -29,6 +29,11 @@ use std::sync::Arc;
 use relmerge_relational::{Error, Result, Tuple, Value};
 
 use crate::fault::panic_message;
+use crate::query::{CompiledPredicate, Predicate};
+
+/// One parallel build worker's output: per-partition partial maps plus
+/// the number of rows its pushed filter pruned.
+type ChunkBuild = (Vec<HashMap<Tuple, Vec<usize>>>, u64);
 
 /// The partition a key belongs to: a stable hash of the value slice,
 /// reduced mod the partition count. Build and probe sides must agree, so
@@ -58,6 +63,9 @@ pub(crate) struct OwnedBuild {
     keys: usize,
     /// Total slot references, for output-cardinality estimation.
     slots: usize,
+    /// Rows a pushed predicate excluded from the build (rows that were
+    /// live and key-total but failed the filter).
+    pruned: u64,
 }
 
 impl OwnedBuild {
@@ -95,10 +103,18 @@ impl OwnedBuild {
     pub(crate) fn slots(&self) -> usize {
         self.slots
     }
+
+    /// Rows a pushed predicate excluded from the build.
+    pub(crate) fn pruned(&self) -> u64 {
+        self.pruned
+    }
 }
 
 /// Scans `rows` once into an [`OwnedBuild`] over the attribute positions
 /// `pos`, fanning out over `workers` contiguous chunks when `workers > 1`.
+/// A pushed `filter` (compiled against the relation's header) keeps
+/// failing rows out of the build entirely, shrinking its byte footprint;
+/// the exclusions are counted in [`OwnedBuild::pruned`].
 /// `fault` runs once per chunk (the `engine.query.hash_build` site) —
 /// possibly on a worker thread — and any panic it raises, like any genuine
 /// build panic, is contained into a typed [`Error::ExecutionPanic`].
@@ -106,25 +122,34 @@ pub(crate) fn build_owned<F>(
     rows: &[Option<Tuple>],
     pos: &[usize],
     workers: usize,
+    filter: Option<&CompiledPredicate>,
     fault: F,
 ) -> Result<OwnedBuild>
 where
     F: Fn() -> Result<()> + Sync,
 {
     let workers = workers.max(1).min(rows.len().max(1));
+    let mut pruned: u64 = 0;
     let merged: Vec<HashMap<Tuple, Vec<usize>>> = if workers <= 1 {
-        let map = catch_unwind(AssertUnwindSafe(
-            || -> Result<HashMap<Tuple, Vec<usize>>> {
+        let (map, chunk_pruned) = catch_unwind(AssertUnwindSafe(
+            || -> Result<(HashMap<Tuple, Vec<usize>>, u64)> {
                 fault()?;
                 let mut map: HashMap<Tuple, Vec<usize>> = HashMap::new();
+                let mut pruned = 0u64;
                 for (slot, t) in rows.iter().enumerate() {
                     if let Some(t) = t {
                         if t.is_total_at(pos) {
+                            if let Some(f) = filter {
+                                if !f.matches(t.values()) {
+                                    pruned += 1;
+                                    continue;
+                                }
+                            }
                             map.entry(t.project(pos)).or_default().push(slot);
                         }
                     }
                 }
-                Ok(map)
+                Ok((map, pruned))
             },
         ))
         .unwrap_or_else(|payload| {
@@ -132,6 +157,7 @@ where
                 context: panic_message(payload),
             })
         })?;
+        pruned = chunk_pruned;
         vec![map]
     } else {
         // Pass 1: each worker scans one contiguous chunk of the slot array
@@ -146,22 +172,29 @@ where
                 .enumerate()
                 .map(|(ci, chunk)| {
                     let fault = &fault;
-                    scope.spawn(move || -> Result<Vec<HashMap<Tuple, Vec<usize>>>> {
+                    scope.spawn(move || -> Result<ChunkBuild> {
                         catch_unwind(AssertUnwindSafe(|| -> Result<_> {
                             fault()?;
                             let mut parts: Vec<HashMap<Tuple, Vec<usize>>> =
                                 (0..workers).map(|_| HashMap::new()).collect();
+                            let mut pruned = 0u64;
                             let base = ci * chunk_rows;
                             for (off, t) in chunk.iter().enumerate() {
                                 if let Some(t) = t {
                                     if t.is_total_at(pos) {
+                                        if let Some(f) = filter {
+                                            if !f.matches(t.values()) {
+                                                pruned += 1;
+                                                continue;
+                                            }
+                                        }
                                         let key = t.project(pos);
                                         let p = partition_of(key.values(), workers);
                                         parts[p].entry(key).or_default().push(base + off);
                                     }
                                 }
                             }
-                            Ok(parts)
+                            Ok((parts, pruned))
                         }))
                         .unwrap_or_else(|payload| {
                             Err(Error::ExecutionPanic {
@@ -173,7 +206,10 @@ where
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(Ok(parts)) => partials.push(parts),
+                    Ok(Ok((parts, chunk_pruned))) => {
+                        partials.push(parts);
+                        pruned += chunk_pruned;
+                    }
                     Ok(Err(e)) => {
                         if failure.is_none() {
                             failure = Some(e);
@@ -252,18 +288,24 @@ where
         workers,
         keys,
         slots,
+        pruned,
     })
 }
 
 /// The identity of one cached build: the relation, the probe attributes
-/// the build is keyed on, and the relation's modification version at build
-/// time. A mutation bumps the version, so stale entries can never be hit —
-/// they just age out of the LRU.
+/// the build is keyed on, the relation's modification version at build
+/// time, and the exact predicate pushed into the build (if any). A
+/// mutation bumps the version, so stale entries can never be hit — they
+/// just age out of the LRU. The filter is part of the key *by value*, not
+/// by its literal-free fingerprint: a build filtered on `Eq(a, 1)` must
+/// never be served to a probe filtered on `Eq(a, 2)` or to an unfiltered
+/// one.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub(crate) struct BuildKey {
     pub(crate) rel: String,
     pub(crate) attrs: Vec<String>,
     pub(crate) version: u64,
+    pub(crate) filter: Option<Predicate>,
 }
 
 #[derive(Clone)]
@@ -406,9 +448,9 @@ mod tests {
     fn parallel_build_is_slot_identical_to_serial() {
         let rows = rows(500);
         let pos = vec![1usize];
-        let serial = build_owned(&rows, &pos, 1, || Ok(())).unwrap();
+        let serial = build_owned(&rows, &pos, 1, None, || Ok(())).unwrap();
         for workers in [2, 3, 4, 7] {
-            let par = build_owned(&rows, &pos, workers, || Ok(())).unwrap();
+            let par = build_owned(&rows, &pos, workers, None, || Ok(())).unwrap();
             assert_eq!(par.workers(), workers);
             assert_eq!(par.keys(), serial.keys());
             assert_eq!(par.slots(), serial.slots());
@@ -432,7 +474,7 @@ mod tests {
         let rows = rows(100);
         let pos = vec![0usize];
         let calls = std::sync::atomic::AtomicU64::new(0);
-        let err = build_owned(&rows, &pos, 4, || {
+        let err = build_owned(&rows, &pos, 4, None, || {
             if calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 2 {
                 Err(Error::Injected {
                     site: "test".to_owned(),
@@ -445,7 +487,7 @@ mod tests {
         assert!(matches!(err, Error::Injected { .. }), "{err}");
         assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 4);
         // A panicking chunk is contained into a typed error.
-        let err = build_owned(&rows, &pos, 4, || -> Result<()> {
+        let err = build_owned(&rows, &pos, 4, None, || -> Result<()> {
             panic!("boom in a build worker")
         })
         .unwrap_err();
@@ -454,8 +496,10 @@ mod tests {
             "{err}"
         );
         // Serial builds contain panics too (no thread scaffolding).
-        let err =
-            build_owned(&rows, &pos, 1, || -> Result<()> { panic!("serial boom") }).unwrap_err();
+        let err = build_owned(&rows, &pos, 1, None, || -> Result<()> {
+            panic!("serial boom")
+        })
+        .unwrap_err();
         assert!(matches!(err, Error::ExecutionPanic { .. }), "{err}");
     }
 
@@ -463,12 +507,13 @@ mod tests {
     fn cache_is_lru_with_byte_cap() {
         let rows = rows(64);
         let pos = vec![0usize];
-        let build = || Arc::new(build_owned(&rows, &pos, 1, || Ok(())).unwrap());
+        let build = || Arc::new(build_owned(&rows, &pos, 1, None, || Ok(())).unwrap());
         let one = build().bytes();
         let key = |v: u64| BuildKey {
             rel: "R".to_owned(),
             attrs: vec!["R.K".to_owned()],
             version: v,
+            filter: None,
         };
         // Room for exactly two entries.
         let mut cache = BuildCache::new(2 * one);

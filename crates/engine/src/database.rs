@@ -228,6 +228,13 @@ pub(crate) struct DbMetrics {
     pub(crate) build_cache_evictions: Arc<Counter>,
     pub(crate) parallel_builds: Arc<Counter>,
     pub(crate) probe_saved_allocs: Arc<Counter>,
+    /// Predicate-pushdown counters: conjuncts placed below the residual
+    /// filter position, rows pruned by those placements (root prefilter,
+    /// probe filters, filtered hash builds), and queries where a failed
+    /// optimize/pushdown fell back to the legacy root-filter path.
+    pub(crate) pushed_conjuncts: Arc<Counter>,
+    pub(crate) pushdown_pruned_rows: Arc<Counter>,
+    pub(crate) pushdown_fallbacks: Arc<Counter>,
     /// Build-cache event counters under the `engine.build_cache.*`
     /// namespace: hits and misses on `get`, inserts, and the entries /
     /// bytes evicted by inserts and capacity changes.
@@ -279,6 +286,9 @@ impl DbMetrics {
             build_cache_evictions: registry.counter("engine.query.build_cache.evictions"),
             parallel_builds: registry.counter("engine.query.build.parallel"),
             probe_saved_allocs: registry.counter("engine.query.probe_key.saved_allocs"),
+            pushed_conjuncts: registry.counter("engine.query.pushed_conjuncts"),
+            pushdown_pruned_rows: registry.counter("engine.query.pushdown_pruned_rows"),
+            pushdown_fallbacks: registry.counter("engine.query.pushdown.fallbacks"),
             cache_hit: registry.counter("engine.build_cache.hit"),
             cache_miss: registry.counter("engine.build_cache.miss"),
             cache_insert: registry.counter("engine.build_cache.insert"),
@@ -322,6 +332,10 @@ impl DbMetrics {
             .set(self.build_cache_evictions.get());
         out.parallel_builds.set(self.parallel_builds.get());
         out.probe_saved_allocs.set(self.probe_saved_allocs.get());
+        out.pushed_conjuncts.set(self.pushed_conjuncts.get());
+        out.pushdown_pruned_rows
+            .set(self.pushdown_pruned_rows.get());
+        out.pushdown_fallbacks.set(self.pushdown_fallbacks.get());
         out.cache_hit.set(self.cache_hit.get());
         out.cache_miss.set(self.cache_miss.get());
         out.cache_insert.set(self.cache_insert.get());
@@ -492,6 +506,9 @@ pub struct Database {
     hash_join_threshold: usize,
     /// Rows per executor morsel (always ≥ 1).
     morsel_rows: usize,
+    /// Whether the predicate optimizer plans cross-operator pushdown for
+    /// query filters (`false` pins the legacy root-filter path).
+    predicate_pushdown: bool,
     /// Build-side live-row count at which a transient hash build fans out
     /// over the worker pool; `usize::MAX` pins builds to the serial path
     /// (mirroring the INL sentinel of `hash_join_threshold`).
@@ -526,6 +543,7 @@ impl Clone for Database {
             parallelism: self.parallelism,
             hash_join_threshold: self.hash_join_threshold,
             morsel_rows: self.morsel_rows,
+            predicate_pushdown: self.predicate_pushdown,
             build_parallel_threshold: self.build_parallel_threshold,
             build_cache: std::sync::Mutex::new(self.build_cache_lock().clone()),
             profiler: Arc::clone(&self.profiler),
@@ -670,6 +688,7 @@ pub struct EngineConfig {
     parallelism: usize,
     hash_join_threshold: usize,
     morsel_rows: usize,
+    predicate_pushdown: bool,
     build_parallel_threshold: usize,
     build_cache_capacity: u64,
     query_budget: QueryBudget,
@@ -686,6 +705,7 @@ impl Default for EngineConfig {
                 .unwrap_or(1),
             hash_join_threshold: DEFAULT_HASH_JOIN_THRESHOLD,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            predicate_pushdown: true,
             build_parallel_threshold: DEFAULT_BUILD_PARALLEL_THRESHOLD,
             build_cache_capacity: DEFAULT_BUILD_CACHE_BYTES,
             query_budget: QueryBudget::unlimited(),
@@ -724,6 +744,19 @@ impl EngineConfig {
     #[must_use]
     pub fn morsel_rows(mut self, rows: usize) -> Self {
         self.morsel_rows = rows.max(1);
+        self
+    }
+
+    /// Enables or disables optimizer-driven predicate pushdown (default
+    /// on). When off, a query's filter runs exactly where it is written:
+    /// compiled once against the joined header and evaluated at the
+    /// pipeline root (full-scan root conjunct prefiltering excepted, which
+    /// predates the optimizer). Results are byte-identical either way;
+    /// only the scan/probe/build work — and therefore `QueryStats` — can
+    /// shrink with pushdown on.
+    #[must_use]
+    pub fn predicate_pushdown(mut self, on: bool) -> Self {
+        self.predicate_pushdown = on;
         self
     }
 
@@ -766,6 +799,12 @@ impl EngineConfig {
     #[must_use]
     pub fn get_morsel_rows(&self) -> usize {
         self.morsel_rows
+    }
+
+    /// Whether optimizer-driven predicate pushdown is enabled.
+    #[must_use]
+    pub fn get_predicate_pushdown(&self) -> bool {
+        self.predicate_pushdown
     }
 
     /// The configured parallel-build switchover threshold.
@@ -819,6 +858,7 @@ impl Database {
             parallelism: config.parallelism.max(1),
             hash_join_threshold: config.hash_join_threshold,
             morsel_rows: config.morsel_rows.max(1),
+            predicate_pushdown: config.predicate_pushdown,
             build_parallel_threshold: config.build_parallel_threshold,
             build_cache: std::sync::Mutex::new(crate::build::BuildCache::new(
                 config.build_cache_capacity,
@@ -838,6 +878,7 @@ impl Database {
             parallelism: self.parallelism,
             hash_join_threshold: self.hash_join_threshold,
             morsel_rows: self.morsel_rows,
+            predicate_pushdown: self.predicate_pushdown,
             build_parallel_threshold: self.build_parallel_threshold,
             build_cache_capacity: self.build_cache_lock().capacity(),
             query_budget: self.budget,
@@ -846,13 +887,16 @@ impl Database {
 
     /// Applies every knob in `config` to the live database. Shrinking the
     /// build-cache capacity evicts least-recently-used entries down to the
-    /// new cap (and counts them in the eviction metrics); results and
-    /// `QueryStats` never depend on any of these knobs, only wall time
-    /// does.
+    /// new cap (and counts them in the eviction metrics); results never
+    /// depend on any of these knobs, and `QueryStats` depend only on the
+    /// join-strategy knobs and the pushdown switch (which can only shrink
+    /// the scan/probe/build counters), never on worker or morsel
+    /// configuration.
     pub fn configure(&mut self, config: EngineConfig) {
         self.parallelism = config.parallelism.max(1);
         self.hash_join_threshold = config.hash_join_threshold;
         self.morsel_rows = config.morsel_rows.max(1);
+        self.predicate_pushdown = config.predicate_pushdown;
         self.build_parallel_threshold = config.build_parallel_threshold;
         if config.build_cache_capacity != self.build_cache_lock().capacity() {
             let (evicted, evicted_bytes) = self
@@ -905,6 +949,13 @@ impl Database {
     #[deprecated(note = "use `configure(db.config().morsel_rows(..))` instead")]
     pub fn set_morsel_rows(&mut self, rows: usize) {
         self.configure(self.config().morsel_rows(rows));
+    }
+
+    /// Whether optimizer-driven predicate pushdown is enabled (default
+    /// on). See [`EngineConfig::predicate_pushdown`].
+    #[must_use]
+    pub fn predicate_pushdown(&self) -> bool {
+        self.predicate_pushdown
     }
 
     /// Build-side live-row count at which a transient hash build fans out

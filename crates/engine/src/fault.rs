@@ -53,6 +53,13 @@ pub mod site {
     /// Insertion of a finished transient build into the build-side cache
     /// (fires once per insert, before the cache is mutated).
     pub const BUILD_CACHE_INSERT: &str = "engine.query.build_cache_insert";
+    /// Predicate optimization + pushdown planning (fires once per filtered
+    /// query, before the root access path is chosen). A fire — error or
+    /// panic — is *contained*: the executor abandons pushdown for that
+    /// query and falls back to the legacy root-filter path, returning a
+    /// byte-identical result (counted by
+    /// `engine.query.pushdown.fallbacks`).
+    pub const PUSHDOWN: &str = "engine.query.pushdown";
     /// The catalog-rewrite phase of an online migration
     /// ([`Database::migrate`]): fires once, after the pre-migration
     /// snapshot is taken but before the live catalog is swapped.
@@ -66,7 +73,7 @@ pub mod site {
     /// The sites on the batched-DML path, in firing order.
     pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
     /// The sites on the query-execution path, in firing order.
-    pub const QUERY: &[&str] = &[HASH_BUILD, BUILD_CACHE_INSERT, MORSEL_WORKER];
+    pub const QUERY: &[&str] = &[PUSHDOWN, HASH_BUILD, BUILD_CACHE_INSERT, MORSEL_WORKER];
     /// The sites on the online-migration path, in firing order.
     pub const MIGRATION: &[&str] = &[MIGRATION_REWRITE, MIGRATION_APPLY];
     /// Every site.
@@ -75,6 +82,7 @@ pub mod site {
         INDEX_MAINTENANCE,
         GROUP_VALIDATE,
         COMMIT,
+        PUSHDOWN,
         MORSEL_WORKER,
         HASH_BUILD,
         BUILD_CACHE_INSERT,

@@ -17,7 +17,9 @@
 //! and deferred, group-validated constraint checking. The [`fault`] module
 //! makes failure itself testable: deterministic fault injection, query
 //! budgets, and the deep integrity checker behind
-//! [`Database::verify_integrity`].
+//! [`Database::verify_integrity`]. The [`predopt`] module is the boolean
+//! predicate optimizer whose canonical conjunct partition drives
+//! cross-operator pushdown in the executor.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +31,7 @@ pub mod database;
 pub mod fault;
 pub mod migrate;
 pub mod planner;
+pub mod predopt;
 pub mod query;
 pub mod txn;
 
@@ -43,9 +46,11 @@ pub use fault::{
 };
 pub use migrate::{AdvisedMigration, MigrationReport};
 pub use planner::{choose_join_strategy, fingerprint, plan, JoinStrategy, LogicalQuery};
+pub use predopt::{canonical_shape, conjoin, conjuncts, optimize, Optimized};
 #[allow(deprecated)]
 pub use query::{execute, execute_traced};
 pub use query::{
-    Access, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan, QueryStats, QueryTrace,
+    Access, CompiledPredicate, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan,
+    QueryStats, QueryTrace,
 };
 pub use txn::Transaction;

@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use relmerge_relational::{Error, RelationalSchema, Result, Tuple};
+use relmerge_relational::{Error, RelationalSchema, Result, Tuple, Value};
 
 use crate::database::Database;
 use crate::query::{Access, JoinStep, QueryPlan};
@@ -321,6 +321,35 @@ pub fn choose_build_parallelism(db: &Database, build_rows: usize) -> usize {
     workers
 }
 
+/// Decides whether a pushed root conjunct can upgrade a full-scan root
+/// access to an index point-lookup. Eligible when the conjunct is a
+/// positive `Eq` on a single attribute of `rel` comparing against a
+/// non-null literal, some index (unique or lookup) covers that attribute,
+/// and the relation is non-empty — the emptiness guard keeps the
+/// scan+probe total monotone: the lookup replaces a scan of `live` rows
+/// with one probe, a strict win only when there was something to scan.
+///
+/// Returns the `(attribute, key value)` pair the executor feeds to its
+/// point-lookup path, or `None` when the conjunct must stay a filter.
+pub(crate) fn choose_root_lookup(
+    db: &Database,
+    rel: &str,
+    conjunct: &crate::query::Predicate,
+) -> Option<(String, Value)> {
+    let crate::query::Predicate::Eq(attr, value) = conjunct else {
+        return None;
+    };
+    if value.is_null() {
+        return None;
+    }
+    let covered = db.index_covers(rel, std::slice::from_ref(attr)).ok()?;
+    let live = db.tables.get(rel).map(|t| t.live)?;
+    if !covered || live == 0 {
+        return None;
+    }
+    Some((attr.clone(), value.clone()))
+}
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -394,11 +423,15 @@ fn predicate_shape_hash(p: &crate::query::Predicate) -> u64 {
 /// fingerprint — the granularity the workload profiler
 /// (`relmerge_obs::Profiler`) aggregates at — while any change to the
 /// plan's structure or chosen strategies yields a new one. The hash is
-/// hand-rolled and versioned (`relmerge.query.v1`), so recorded profiles
-/// stay comparable across Rust releases.
+/// hand-rolled and versioned, so recorded profiles stay comparable across
+/// Rust releases; `relmerge.query.v2` canonicalizes the filter through
+/// the predicate optimizer ([`crate::predopt::canonical_shape`]) first,
+/// so *equivalent* predicate forms — double negations, De Morgan
+/// variants, redundant conjuncts — also share a fingerprint, not just
+/// permutations of one form.
 #[must_use]
 pub fn fingerprint(plan: &QueryPlan, strategies: &[JoinStrategy]) -> u64 {
-    let mut h = hash_str(FNV_OFFSET, "relmerge.query.v1");
+    let mut h = hash_str(FNV_OFFSET, "relmerge.query.v2");
     h = hash_str(h, &plan.root);
     match &plan.access {
         Access::FullScan => h = hash_str(h, "scan"),
@@ -428,10 +461,12 @@ pub fn fingerprint(plan: &QueryPlan, strategies: &[JoinStrategy]) -> u64 {
         );
     }
     if let Some(p) = &plan.filter {
-        h = fnv1a(
-            hash_str(h, "filter"),
-            &predicate_shape_hash(p).to_le_bytes(),
-        );
+        h = hash_str(h, "filter");
+        h = match crate::predopt::canonical_shape(p) {
+            crate::predopt::Optimized::Always(true) => hash_str(h, "always_true"),
+            crate::predopt::Optimized::Always(false) => hash_str(h, "always_false"),
+            crate::predopt::Optimized::Pred(q) => fnv1a(h, &predicate_shape_hash(&q).to_le_bytes()),
+        };
     }
     for a in &plan.project {
         h = hash_str(h, a);

@@ -55,7 +55,10 @@ use crate::planner::{choose_build_parallelism, choose_join_strategy, JoinStrateg
 /// point (the joined row, before projection). Three-valued logic is not
 /// modelled: `Eq` on a null operand is simply false (`IsNull` exists for
 /// null tests), matching the engine's identical-nulls regime.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Eq + Hash` are derived because the exact predicate pushed into a hash
+/// build is part of the build-cache key (see `crate::build`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Predicate {
     /// `attr = value` (false when the attribute is null, unless the value
     /// itself is the null literal).
@@ -107,26 +110,63 @@ impl Predicate {
         Predicate::Not(Box::new(self))
     }
 
+    /// Compiles `self` once against `header` for repeated row evaluation.
+    /// Convenience for [`CompiledPredicate::compile`].
+    pub fn compile(&self, header: &[Attribute]) -> Result<CompiledPredicate> {
+        CompiledPredicate::compile(self, header)
+    }
+
     /// Evaluates against a tuple under `header`.
+    #[deprecated(
+        note = "compiles the predicate afresh on every call; compile once with \
+                `Predicate::compile` and reuse `CompiledPredicate::matches` per row"
+    )]
     pub fn eval(&self, header: &[Attribute], t: &Tuple) -> Result<bool> {
-        Ok(CompiledPredicate::compile(self, header)?.matches(t.values()))
+        Ok(self.compile(header)?.matches(t.values()))
     }
 }
 
-/// A [`Predicate`] with attribute positions resolved against the joined
-/// header, so workers evaluate it on materialized value rows infallibly.
-#[derive(Debug)]
-enum CompiledPredicate {
+/// A [`Predicate`] with attribute positions resolved against a header,
+/// so workers evaluate it on materialized value rows infallibly. Compile
+/// once, evaluate per row — the per-tuple entry point
+/// ([`Predicate::eval`]) re-resolved every attribute on every tuple and
+/// is deprecated in its favor (`benches/pushdown.rs` measures the saved
+/// work).
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    node: CompiledNode,
+}
+
+/// The resolved tree behind a [`CompiledPredicate`].
+#[derive(Debug, Clone)]
+enum CompiledNode {
     Eq(usize, Value),
     IsNull(usize),
     NotNull(usize),
-    And(Box<CompiledPredicate>, Box<CompiledPredicate>),
-    Or(Box<CompiledPredicate>, Box<CompiledPredicate>),
-    Not(Box<CompiledPredicate>),
+    And(Box<CompiledNode>, Box<CompiledNode>),
+    Or(Box<CompiledNode>, Box<CompiledNode>),
+    Not(Box<CompiledNode>),
 }
 
 impl CompiledPredicate {
-    fn compile(p: &Predicate, header: &[Attribute]) -> Result<CompiledPredicate> {
+    /// Resolves every attribute of `p` against `header` (first match
+    /// wins), failing with [`Error::UnknownAttribute`] on any miss.
+    pub fn compile(p: &Predicate, header: &[Attribute]) -> Result<CompiledPredicate> {
+        Ok(CompiledPredicate {
+            node: CompiledNode::compile(p, header)?,
+        })
+    }
+
+    /// Whether `row` (laid out per the compile-time header) satisfies the
+    /// predicate.
+    #[must_use]
+    pub fn matches(&self, row: &[Value]) -> bool {
+        self.node.matches(row)
+    }
+}
+
+impl CompiledNode {
+    fn compile(p: &Predicate, header: &[Attribute]) -> Result<CompiledNode> {
         let pos = |attr: &str| -> Result<usize> {
             header
                 .iter()
@@ -137,29 +177,29 @@ impl CompiledPredicate {
                 })
         };
         Ok(match p {
-            Predicate::Eq(attr, value) => CompiledPredicate::Eq(pos(attr)?, value.clone()),
-            Predicate::IsNull(attr) => CompiledPredicate::IsNull(pos(attr)?),
-            Predicate::NotNull(attr) => CompiledPredicate::NotNull(pos(attr)?),
-            Predicate::And(a, b) => CompiledPredicate::And(
+            Predicate::Eq(attr, value) => CompiledNode::Eq(pos(attr)?, value.clone()),
+            Predicate::IsNull(attr) => CompiledNode::IsNull(pos(attr)?),
+            Predicate::NotNull(attr) => CompiledNode::NotNull(pos(attr)?),
+            Predicate::And(a, b) => CompiledNode::And(
                 Box::new(Self::compile(a, header)?),
                 Box::new(Self::compile(b, header)?),
             ),
-            Predicate::Or(a, b) => CompiledPredicate::Or(
+            Predicate::Or(a, b) => CompiledNode::Or(
                 Box::new(Self::compile(a, header)?),
                 Box::new(Self::compile(b, header)?),
             ),
-            Predicate::Not(a) => CompiledPredicate::Not(Box::new(Self::compile(a, header)?)),
+            Predicate::Not(a) => CompiledNode::Not(Box::new(Self::compile(a, header)?)),
         })
     }
 
     fn matches(&self, row: &[Value]) -> bool {
         match self {
-            CompiledPredicate::Eq(pos, value) => row[*pos] == *value,
-            CompiledPredicate::IsNull(pos) => row[*pos].is_null(),
-            CompiledPredicate::NotNull(pos) => !row[*pos].is_null(),
-            CompiledPredicate::And(a, b) => a.matches(row) && b.matches(row),
-            CompiledPredicate::Or(a, b) => a.matches(row) || b.matches(row),
-            CompiledPredicate::Not(a) => !a.matches(row),
+            CompiledNode::Eq(pos, value) => row[*pos] == *value,
+            CompiledNode::IsNull(pos) => row[*pos].is_null(),
+            CompiledNode::NotNull(pos) => !row[*pos].is_null(),
+            CompiledNode::And(a, b) => a.matches(row) && b.matches(row),
+            CompiledNode::Or(a, b) => a.matches(row) || b.matches(row),
+            CompiledNode::Not(a) => !a.matches(row),
         }
     }
 }
@@ -591,6 +631,19 @@ struct CompiledJoin<'a> {
     cache_hits: u64,
     cache_misses: u64,
     cache_evicted_bytes: u64,
+    /// A conjunct pushed to this step's *probe side*: applied to every
+    /// matched right row before it joins. `None` when the pushed conjunct
+    /// was instead folded into the build (`HashOwned` filters while
+    /// building) or when nothing was pushed here.
+    pushed: Option<CompiledPredicate>,
+    /// Post-pushdown selectivity evidence `(kept, live)` from one pass
+    /// over the right table, fed to [`estimate_join_output`] so pushdown
+    /// can flip the *next* step's strategy. `None` when nothing was
+    /// pushed to this step.
+    sel: Option<(usize, usize)>,
+    /// Rows the pushed conjunct removed while building the hash side
+    /// (charged per use, hit or cold, so the counter is cache-independent).
+    build_pruned: u64,
 }
 
 /// An intermediate row: one borrowed slot per plan source (root, then one
@@ -610,6 +663,8 @@ struct MorselOut {
     /// value slice (one per total-key probe; the B10 summary reports the
     /// sum).
     saved_allocs: u64,
+    /// Right rows removed by probe-side pushed conjuncts in this morsel.
+    pruned: u64,
 }
 
 impl MorselOut {
@@ -645,6 +700,7 @@ fn run_morsel<'a>(
     let mut key_vals: Vec<Value> = Vec::new();
     let mut matches: Vec<&'a Tuple> = Vec::new();
     let mut saved_allocs: u64 = 0;
+    let mut pruned: u64 = 0;
     for (ji, join) in joins.iter().enumerate() {
         let t0 = Instant::now();
         let mut op = OpStats {
@@ -713,6 +769,16 @@ fn run_morsel<'a>(
                     }
                 }
             }
+            // Apply the pushed conjunct at the probe site: a match that
+            // fails it behaves exactly as if the index had never returned
+            // it (an outer join null-pads instead). Soundness of placing a
+            // conjunct here — including below an outer join — is decided
+            // at plan time in `plan_pushdown`.
+            if let Some(cp) = &join.pushed {
+                let before = matches.len();
+                matches.retain(|t| cp.matches(t.values()));
+                pruned += (before - matches.len()) as u64;
+            }
             if matches.is_empty() {
                 if join.outer {
                     row.push(None);
@@ -775,7 +841,18 @@ fn run_morsel<'a>(
         per_join,
         filter: fop,
         saved_allocs,
+        pruned,
     }
+}
+
+/// The evolving layout of the flattened join output: the combined
+/// header, each attribute's (source slot, column) location, and the
+/// width of every source relation. Seeded from the root scan and
+/// extended by [`compile_join`] once per step.
+struct FlatLayout {
+    header: Vec<Attribute>,
+    locs: Vec<(usize, usize)>,
+    widths: Vec<usize>,
 }
 
 /// Compiles one join step: resolves the left attributes against the
@@ -784,24 +861,31 @@ fn run_morsel<'a>(
 /// reuses the stored build and charges its stored costs, so `QueryStats`
 /// are identical cold and warm; a miss builds (fanning out past
 /// [`Database::build_parallel_threshold`]) and inserts. Extends
-/// `flat_header`/`locs`/`widths` with the right relation's attributes.
+/// `layout` with the right relation's attributes.
+///
+/// `pushed` is the conjunction of filter conjuncts the pushdown planner
+/// assigned to this step's right relation. A transient hash build folds
+/// it into the build itself (fewer keys, fewer bytes, and a cache key
+/// that records the predicate so a filtered build is never served to an
+/// unfiltered probe); every other access path keeps it as a probe-side
+/// check in [`CompiledJoin::pushed`].
 fn compile_join<'a>(
     db: &'a Database,
     step: &JoinStep,
-    flat_header: &mut Vec<Attribute>,
-    locs: &mut Vec<(usize, usize)>,
-    widths: &mut Vec<usize>,
+    layout: &mut FlatLayout,
     left_estimate: usize,
+    pushed: Option<&Predicate>,
     budget: &BudgetTracker,
 ) -> Result<CompiledJoin<'a>> {
     let left_locs: Vec<(usize, usize)> = step
         .left_attrs
         .iter()
         .map(|n| {
-            flat_header
+            layout
+                .header
                 .iter()
                 .position(|a| a.name() == n.as_str())
-                .map(|p| locs[p])
+                .map(|p| layout.locs[p])
                 .ok_or_else(|| Error::UnknownAttribute {
                     attribute: n.clone(),
                     context: format!("join input of `{}`", step.rel),
@@ -814,6 +898,22 @@ fn compile_join<'a>(
         .ok_or_else(|| Error::UnknownScheme(step.rel.clone()))?;
     let pos = table.positions(&step.right_attrs)?;
     let strategy = choose_join_strategy(db, &step.rel, &step.right_attrs, left_estimate)?;
+    let cp = pushed
+        .map(|p| CompiledPredicate::compile(p, &table.header))
+        .transpose()?;
+    // One pass over the stored rows measures the pushed conjunct's
+    // selectivity, so the next step's strategy choice sees the shrunken
+    // stream. Pre-fan-out and data-dependent only — deterministic across
+    // morsel sizes and worker counts.
+    let sel = cp.as_ref().map(|c| {
+        let kept = table
+            .rows
+            .iter()
+            .flatten()
+            .filter(|t| c.matches(t.values()))
+            .count();
+        (kept, table.live)
+    });
     let t0 = Instant::now();
     let mut build = OpStats::default();
     let mut build_note: Option<String> = None;
@@ -858,6 +958,7 @@ fn compile_join<'a>(
                     rel: step.rel.clone(),
                     attrs: step.right_attrs.clone(),
                     version: table.version,
+                    filter: pushed.cloned(),
                 };
                 let cached = db.build_cache_lock().get(&key);
                 let owned = match cached {
@@ -873,9 +974,13 @@ fn compile_join<'a>(
                         db.metrics.cache_miss.inc();
                         cache_misses = 1;
                         let workers = choose_build_parallelism(db, table.live);
-                        let owned = Arc::new(build_owned(&table.rows, &pos, workers, || {
-                            db.fault_check(site::HASH_BUILD)
-                        })?);
+                        let owned = Arc::new(build_owned(
+                            &table.rows,
+                            &pos,
+                            workers,
+                            cp.as_ref(),
+                            || db.fault_check(site::HASH_BUILD),
+                        )?);
                         if owned.workers() > 1 {
                             db.metrics.parallel_builds.inc();
                             build_note = Some(format!("build: {} workers", owned.workers()));
@@ -938,12 +1043,22 @@ fn compile_join<'a>(
         label.push_str(&note);
         label.push(']');
     }
-    let source = widths.len();
-    for (i, a) in table.header.iter().enumerate() {
-        flat_header.push(a.clone());
-        locs.push((source, i));
+    if pushed.is_some() {
+        label.push_str(" [pushed]");
     }
-    widths.push(table.header.len());
+    let source = layout.widths.len();
+    for (i, a) in table.header.iter().enumerate() {
+        layout.header.push(a.clone());
+        layout.locs.push((source, i));
+    }
+    layout.widths.push(table.header.len());
+    // A transient hash build already filtered while building, so the
+    // probe side re-checks nothing; every other access path carries the
+    // compiled conjunct to the probe site.
+    let (pushed_probe, build_pruned) = match &access {
+        RightAccess::HashOwned { build, .. } => (None, build.pruned()),
+        _ => (cp, 0),
+    };
     Ok(CompiledJoin {
         access,
         left_locs,
@@ -954,6 +1069,9 @@ fn compile_join<'a>(
         cache_hits,
         cache_misses,
         cache_evicted_bytes,
+        pushed: pushed_probe,
+        sel,
+        build_pruned,
     })
 }
 
@@ -982,7 +1100,16 @@ fn estimate_join_output(join: &CompiledJoin<'_>, left: usize) -> usize {
         RightAccess::HashOwned { build, .. } => avg_bucket(build.keys(), build.slots()),
         RightAccess::ScanProbe { .. } => 1,
     };
-    let estimate = left.saturating_mul(fanout);
+    let mut estimate = left.saturating_mul(fanout);
+    // A pushed conjunct shrinks the matched stream by its measured
+    // selectivity, so downstream strategy choices see the post-pushdown
+    // cardinality — a selective pushed filter can flip the next step from
+    // a hash build to index nested loops.
+    if let Some((kept, live)) = join.sel {
+        if let Some(scaled) = estimate.saturating_mul(kept).checked_div(live) {
+            estimate = scaled;
+        }
+    }
     if join.outer {
         estimate.max(left)
     } else {
@@ -1063,6 +1190,139 @@ fn prefilter_root<'a>(
         .collect())
 }
 
+/// Where each conjunct of the query filter will run, decided once per
+/// query before any data is touched. Produced by [`plan_pushdown`] from
+/// the [`crate::predopt`] optimizer's canonical conjunct partition.
+struct PushdownPlan {
+    /// Conjunction of the root-only conjuncts, compiled against the root
+    /// header; evaluated by [`prefilter_root`] right after root access.
+    root: Option<CompiledPredicate>,
+    /// A root `Eq` conjunct upgraded to an index point-lookup: root
+    /// access becomes one counted probe instead of a full scan.
+    root_lookup: Option<(String, Value)>,
+    /// Per join step (parallel to `plan.joins`), the conjunction pushed
+    /// to that step's right relation.
+    per_join: Vec<Option<Predicate>>,
+    /// What must still run on the joined row: multi-relation conjuncts,
+    /// plus copies of conjuncts pushed below an outer join.
+    residual: Option<Predicate>,
+    /// The optimizer proved the filter constant: `Some(false)` empties
+    /// the result before the pipeline, `Some(true)` drops the filter.
+    verdict: Option<bool>,
+    /// How many conjuncts were placed somewhere cheaper than the
+    /// post-join filter (the `engine.query.pushed_conjuncts` increment).
+    pushed: u64,
+}
+
+/// Partitions the optimized filter's conjuncts across the plan's
+/// relations. Returns `None` on *any* internal inconsistency — an
+/// attribute that resolves to no relation, a compile failure — so the
+/// caller falls back to the legacy root-filter path and surfaces exactly
+/// the errors it always did. Placement rules:
+///
+/// - root-only conjunct → root prefilter (or an index point-lookup for
+///   one `Eq` on an indexed attribute under a full scan), dropped from
+///   the residual — root rows are never null-padded;
+/// - single-relation conjunct under an **inner** join → that step's
+///   build or probe side, dropped from the residual;
+/// - single-relation conjunct under an **outer** join → pushed only if
+///   null-rejecting (false on an all-null right row, so a pruned match
+///   and a never-matched row null-pad identically), and *kept* in the
+///   residual: a left row whose matches were all pruned resurfaces
+///   null-padded, and only the residual copy can reject that pad;
+/// - multi-relation conjunct → residual.
+fn plan_pushdown(
+    db: &Database,
+    plan: &QueryPlan,
+    filter: &Predicate,
+    root_header: &[Attribute],
+) -> Option<PushdownPlan> {
+    // headers[0] is the root; headers[k] is join step k-1's relation.
+    let mut headers: Vec<&[Attribute]> = Vec::with_capacity(plan.joins.len() + 1);
+    headers.push(root_header);
+    for step in &plan.joins {
+        headers.push(db.header(&step.rel).ok()?);
+    }
+    let source_of = |attr: &str| -> Option<usize> {
+        headers
+            .iter()
+            .position(|h| h.iter().any(|a| a.name() == attr))
+    };
+    // Every attribute of the *original* predicate must resolve, otherwise
+    // the legacy path must surface its unknown-attribute error.
+    for attr in crate::predopt::attrs(filter) {
+        source_of(&attr)?;
+    }
+    let mut out = PushdownPlan {
+        root: None,
+        root_lookup: None,
+        per_join: vec![None; plan.joins.len()],
+        residual: None,
+        verdict: None,
+        pushed: 0,
+    };
+    let canonical = match crate::predopt::optimize(filter) {
+        crate::predopt::Optimized::Always(b) => {
+            out.verdict = Some(b);
+            out.pushed = 1;
+            return Some(out);
+        }
+        crate::predopt::Optimized::Pred(q) => q,
+    };
+    let mut root_conjuncts: Vec<Predicate> = Vec::new();
+    let mut per_join: Vec<Vec<Predicate>> = vec![Vec::new(); plan.joins.len()];
+    let mut residual: Vec<Predicate> = Vec::new();
+    for c in crate::predopt::conjuncts(&canonical) {
+        let mut sources = std::collections::BTreeSet::new();
+        for a in crate::predopt::attrs(&c) {
+            sources.insert(source_of(&a)?);
+        }
+        let src = match (sources.len(), sources.iter().next()) {
+            (1, Some(&s)) => s,
+            _ => {
+                // Multi-relation (or, unreachably, attribute-free).
+                residual.push(c);
+                continue;
+            }
+        };
+        if src == 0 {
+            // Root-only. One `Eq` on an indexed root attribute upgrades a
+            // full scan to a point lookup; everything else prefilters.
+            if out.root_lookup.is_none() && matches!(plan.access, Access::FullScan) {
+                if let Some(hit) = crate::planner::choose_root_lookup(db, &plan.root, &c) {
+                    out.root_lookup = Some(hit);
+                    out.pushed += 1;
+                    continue;
+                }
+            }
+            root_conjuncts.push(c);
+            out.pushed += 1;
+        } else {
+            let step = &plan.joins[src - 1];
+            let cp = CompiledPredicate::compile(&c, headers[src]).ok()?;
+            let null_rejecting = !cp.matches(&vec![Value::Null; headers[src].len()]);
+            if step.outer && !null_rejecting {
+                residual.push(c);
+            } else {
+                if step.outer {
+                    residual.push(c.clone());
+                }
+                per_join[src - 1].push(c);
+                out.pushed += 1;
+            }
+        }
+    }
+    out.root = crate::predopt::conjoin(&root_conjuncts)
+        .map(|p| CompiledPredicate::compile(&p, root_header))
+        .transpose()
+        .ok()?;
+    for (slot, cs) in out.per_join.iter_mut().zip(&per_join) {
+        *slot = crate::predopt::conjoin(cs);
+    }
+    out.residual = crate::predopt::conjoin(&residual);
+    Some(out)
+}
+
 /// Thin classification wrapper over [`execute_core`]: a failed execution
 /// bumps the matching abort counter before the error propagates, so
 /// injected faults, contained panics, and budget trips are visible in the
@@ -1096,24 +1356,74 @@ fn execute_core(
     let mut stats = QueryStats::default();
     let budget = db.query_budget().start();
 
-    // Root access (serial, borrowed slots — nothing is cloned).
     let root_header = db.header(&plan.root)?;
+
+    // Pushdown planning runs before any data is touched, under the
+    // `engine.query.pushdown` fault site: an injected error or panic —
+    // like any internal planning failure — is contained here and drops
+    // the query onto the legacy root-filter path, byte-identical in
+    // results (the fallback counter records it).
+    let pushdown: Option<PushdownPlan> = match (&plan.filter, db.predicate_pushdown()) {
+        (Some(filter), true) => {
+            let attempt = catch_unwind(AssertUnwindSafe(|| -> Result<Option<PushdownPlan>> {
+                db.fault_check(site::PUSHDOWN)?;
+                Ok(plan_pushdown(db, plan, filter, root_header))
+            }));
+            match attempt {
+                Ok(Ok(Some(p))) => Some(p),
+                Ok(Ok(None)) | Ok(Err(_)) | Err(_) => {
+                    db.metrics.pushdown_fallbacks.inc();
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
+    let pushdown_active = pushdown.is_some();
+    let (pd_root, pd_lookup, pd_per_join, pd_residual, pd_verdict, pd_pushed) = match pushdown {
+        Some(p) => (
+            p.root,
+            p.root_lookup,
+            p.per_join,
+            p.residual,
+            p.verdict,
+            p.pushed,
+        ),
+        None => (None, None, vec![None; plan.joins.len()], None, None, 0),
+    };
+
+    // Root access (serial, borrowed slots — nothing is cloned). A pushed
+    // root `Eq` on an indexed attribute turns the full scan into one
+    // counted probe.
     let t_root = Instant::now();
     let mut root_rows: Vec<&Tuple> = Vec::new();
-    match &plan.access {
-        Access::FullScan => {
+    match (&plan.access, &pd_lookup) {
+        (Access::FullScan, Some((attr, value))) => {
+            db.probe_slots(
+                &plan.root,
+                std::slice::from_ref(attr),
+                &Tuple::new(vec![value.clone()]),
+                &mut stats,
+                &mut root_rows,
+            )?;
+        }
+        (Access::FullScan, None) => {
             let (_, scanned) = db.scan(&plan.root)?;
             stats.rows_scanned += scanned.len() as u64;
             root_rows = scanned;
         }
-        Access::Lookup { attrs, key } => {
+        (Access::Lookup { attrs, key }, _) => {
             db.probe_slots(&plan.root, attrs, key, &mut stats, &mut root_rows)?;
         }
     }
     let root_op = traced.then(|| {
-        let (kind, label) = match &plan.access {
-            Access::FullScan => (OpKind::Scan, format!("Scan {}", plan.root)),
-            Access::Lookup { attrs, .. } => (
+        let (kind, label) = match (&plan.access, &pd_lookup) {
+            (Access::FullScan, Some((attr, _))) => (
+                OpKind::Lookup,
+                format!("Lookup {} [{}] (pushed Eq)", plan.root, attr),
+            ),
+            (Access::FullScan, None) => (OpKind::Scan, format!("Scan {}", plan.root)),
+            (Access::Lookup { attrs, .. }, _) => (
                 OpKind::Lookup,
                 format!("Lookup {} [{}]", plan.root, attrs.join(",")),
             ),
@@ -1133,21 +1443,49 @@ fn execute_core(
         }
     });
 
-    // Filter pushdown: a predicate compiling against the root header alone
-    // commutes with the joins (joins never modify root columns, and the
-    // root is never null-padded), so it runs *before* the pipeline —
-    // morsel-parallel past one worker — shrinking every downstream
-    // operator. A predicate needing join attributes falls through to the
-    // post-join filter, and an unknown attribute still errors there.
-    let root_only_filter = match (&plan.access, &plan.filter) {
-        (Access::FullScan, Some(p)) => CompiledPredicate::compile(p, root_header).ok(),
-        _ => None,
-    };
+    // Root-side filtering. With pushdown active, the optimizer's conjunct
+    // partition decides what runs here; otherwise (knob off, injected
+    // fault, or planning fallback) the legacy heuristic applies: a
+    // predicate compiling against the root header alone runs before the
+    // pipeline, anything else falls through to the post-join filter —
+    // where an unknown attribute still errors, exactly as it always did.
+    let (root_cp, residual_pred): (Option<CompiledPredicate>, Option<Predicate>) =
+        if pushdown_active {
+            (pd_root, pd_residual)
+        } else {
+            let legacy = match (&plan.access, &plan.filter) {
+                (Access::FullScan, Some(p)) => CompiledPredicate::compile(p, root_header).ok(),
+                _ => None,
+            };
+            let residual = if legacy.is_some() {
+                None
+            } else {
+                plan.filter.clone()
+            };
+            (legacy, residual)
+        };
+    let mut pruned_rows: u64 = 0;
     let mut pushed_op: Option<OpStats> = None;
-    if let Some(cp) = &root_only_filter {
+    if pd_verdict == Some(false) {
+        // The optimizer proved the filter constant-false: nothing can
+        // survive, so the pipeline sees no rows at all.
+        let t0 = Instant::now();
+        let rows_in = root_rows.len() as u64;
+        pruned_rows += rows_in;
+        root_rows.clear();
+        pushed_op = Some(OpStats {
+            rows_in,
+            rows_out: 0,
+            wall_ns: obs::elapsed_ns(t0),
+            ..OpStats::default()
+        });
+    } else if let Some(cp) = &root_cp {
         let t0 = Instant::now();
         let rows_in = root_rows.len() as u64;
         root_rows = prefilter_root(db, root_rows, cp)?;
+        if pushdown_active {
+            pruned_rows += rows_in - root_rows.len() as u64;
+        }
         pushed_op = Some(OpStats {
             rows_in,
             rows_out: root_rows.len() as u64,
@@ -1165,34 +1503,33 @@ fn execute_core(
     // pre-fan-out state (root rows plus index fan-outs), and hash builds
     // happen here, before fan-out, so strategies and counters are
     // identical at every parallelism level.
-    let mut flat_header: Vec<Attribute> = root_header.to_vec();
-    let mut locs: Vec<(usize, usize)> = (0..root_header.len()).map(|i| (0, i)).collect();
-    let mut widths: Vec<usize> = vec![root_header.len()];
+    let mut layout = FlatLayout {
+        header: root_header.to_vec(),
+        locs: (0..root_header.len()).map(|i| (0, i)).collect(),
+        widths: vec![root_header.len()],
+    };
     let mut left_estimate = root_rows.len();
     let mut joins: Vec<CompiledJoin<'_>> = Vec::with_capacity(plan.joins.len());
-    for step in &plan.joins {
+    for (step, pushed) in plan.joins.iter().zip(&pd_per_join) {
         stats.joins += 1;
         let compiled = compile_join(
             db,
             step,
-            &mut flat_header,
-            &mut locs,
-            &mut widths,
+            &mut layout,
             left_estimate,
+            pushed.as_ref(),
             &budget,
         )?;
         left_estimate = estimate_join_output(&compiled, left_estimate);
         joins.push(compiled);
     }
-    // Residual filter: only when the predicate was not pushed to the scan.
-    let filter = if root_only_filter.is_some() {
-        None
-    } else {
-        plan.filter
-            .as_ref()
-            .map(|p| CompiledPredicate::compile(p, &flat_header))
-            .transpose()?
-    };
+    // Residual filter: what the pushdown partition left for the joined
+    // row (or, on the legacy path, the whole predicate when it was not
+    // pushed to the scan).
+    let filter = residual_pred
+        .as_ref()
+        .map(|p| CompiledPredicate::compile(p, &layout.header))
+        .transpose()?;
 
     // Partition into morsels and fan out; each worker claims the next
     // unprocessed morsel until none remain.
@@ -1213,7 +1550,7 @@ fn execute_core(
             budget.checkpoint()?;
             let out = catch_unwind(AssertUnwindSafe(|| -> Result<MorselOut> {
                 db.fault_check(site::MORSEL_WORKER)?;
-                Ok(run_morsel(m, &joins, filter.as_ref(), &widths))
+                Ok(run_morsel(m, &joins, filter.as_ref(), &layout.widths))
             }))
             .unwrap_or_else(|payload| {
                 Err(Error::ExecutionPanic {
@@ -1234,7 +1571,7 @@ fn execute_core(
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let (next, morsels, joins) = (&next, &morsels, &joins);
-                    let (filter, widths, budget) = (filter.as_ref(), &widths, &budget);
+                    let (filter, widths, budget) = (filter.as_ref(), &layout.widths, &budget);
                     scope.spawn(move || -> Result<Vec<(usize, MorselOut)>> {
                         let mut done: Vec<(usize, MorselOut)> = Vec::new();
                         loop {
@@ -1293,6 +1630,7 @@ fn execute_core(
     let mut saved_allocs: u64 = 0;
     for out in outs {
         saved_allocs += out.saved_allocs;
+        pruned_rows += out.pruned;
         for (agg, op) in per_join.iter_mut().zip(&out.per_join) {
             agg.rows_in += op.rows_in;
             agg.rows_out += op.rows_out;
@@ -1321,15 +1659,22 @@ fn execute_core(
         .max()
         .unwrap_or(0);
     db.metrics.probe_saved_allocs.add(saved_allocs);
+    if pushdown_active {
+        for j in &joins {
+            pruned_rows += j.build_pruned;
+        }
+        db.metrics.pushed_conjuncts.add(pd_pushed);
+        db.metrics.pushdown_pruned_rows.add(pruned_rows);
+    }
 
     // Projection (central, so set semantics dedup once).
     let t_proj = Instant::now();
     let rows_in_proj = rows.len() as u64;
     let result = if plan.project.is_empty() {
-        Relation::with_rows(flat_header, rows)?
+        Relation::with_rows(layout.header, rows)?
     } else {
         let wanted: Vec<&str> = plan.project.iter().map(String::as_str).collect();
-        let full = Relation::with_rows(flat_header, rows)?;
+        let full = Relation::with_rows(layout.header, rows)?;
         relmerge_relational::algebra::project(&full, &wanted)?
     };
     stats.rows_output = result.len() as u64;

@@ -1,0 +1,388 @@
+//! Whole-system property tests for the predicate optimizer and
+//! cross-operator pushdown: on random predicate trees (with null literals
+//! and null-padded rows) the optimized form must agree with the original
+//! row-by-row; executing with pushdown on must return byte-identical
+//! results to pushdown off at every worker count while never *increasing*
+//! the scan/probe counters (strategies pinned); the plan fingerprint must
+//! be stable across logically equivalent predicate forms; and an injected
+//! fault at `engine.query.pushdown` must fall back to the legacy
+//! root-filter path with identical results and stats.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use relmerge::engine::fault::site;
+use relmerge::engine::{
+    fingerprint, optimize, Database, DbmsProfile, FaultMode, FaultPlan, JoinStep, Optimized,
+    Predicate, QueryPlan,
+};
+use relmerge::relational::{
+    Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Tuple, Value,
+};
+use relmerge::workload::{consistent_state, star_schema, StarSpec, StateSpec};
+
+/// A random predicate tree over `attrs`: leaves mix equality against small
+/// integers, equality against the null literal, and null tests; inner
+/// nodes mix conjunction, disjunction, and negation.
+fn random_pred(rng: &mut StdRng, attrs: &[String], depth: usize) -> Predicate {
+    if depth == 0 || rng.gen_bool(0.35) {
+        let a = attrs[rng.gen_range(0..attrs.len())].clone();
+        match rng.gen_range(0..5) {
+            0 | 1 => Predicate::eq(a, Value::Int(rng.gen_range(-2i64..12))),
+            2 => Predicate::eq(a, Value::Null),
+            3 => Predicate::is_null(a),
+            _ => Predicate::not_null(a),
+        }
+    } else {
+        let l = random_pred(rng, attrs, depth - 1);
+        match rng.gen_range(0..4) {
+            0 => l.and(random_pred(rng, attrs, depth - 1)),
+            1 => l.or(random_pred(rng, attrs, depth - 1)),
+            2 => l.negate(),
+            _ => l.and(random_pred(rng, attrs, depth - 1)).negate(),
+        }
+    }
+}
+
+/// A random value row over `width` columns, with nulls.
+fn random_row(rng: &mut StdRng, width: usize) -> Vec<Value> {
+    (0..width)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(-2i64..12))
+            }
+        })
+        .collect()
+}
+
+/// ROOT and the attributes visible after joining every satellite.
+fn star_attrs(satellites: usize, non_key: usize) -> Vec<String> {
+    let mut v = vec!["ROOT.K".to_owned()];
+    for s in 0..satellites {
+        v.push(format!("S{s}.K"));
+        for j in 0..non_key {
+            v.push(format!("S{s}.V{j}"));
+        }
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `optimize` is semantics-preserving: over random trees and random
+    /// rows (nulls included), the optimized predicate agrees with the
+    /// original on every row — the classical-rewrite soundness the
+    /// pushdown partition relies on.
+    #[test]
+    fn optimize_preserves_row_semantics(seed in any::<u64>(), width in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let header: Vec<Attribute> = (0..width)
+            .map(|i| Attribute::new(format!("A{i}"), Domain::Int))
+            .collect();
+        let attrs: Vec<String> = header.iter().map(|a| a.name().to_owned()).collect();
+        for _ in 0..8 {
+            let p = random_pred(&mut rng, &attrs, 4);
+            let original = p.compile(&header).expect("known attrs");
+            let optimized: std::result::Result<_, bool> = match optimize(&p) {
+                Optimized::Always(b) => Err(b),
+                Optimized::Pred(q) => Ok(q.compile(&header).expect("optimize keeps attrs")),
+            };
+            for _ in 0..32 {
+                let row = random_row(&mut rng, width);
+                let want = original.matches(&row);
+                let got = match &optimized {
+                    Ok(cp) => cp.matches(&row),
+                    Err(b) => *b,
+                };
+                prop_assert_eq!(got, want, "optimize changed semantics of {:?} on {:?}", p, row);
+            }
+        }
+    }
+
+    /// Pushdown on and off return byte-identical results at workers
+    /// {1,2,4}; with the join strategy pinned (so placement, not strategy,
+    /// is the only difference) the scan and scan+probe counters never
+    /// increase with pushdown on; and per-setting stats are identical at
+    /// every worker count.
+    #[test]
+    fn pushdown_equivalent_and_counters_monotone(
+        satellites in 1usize..4,
+        rows in 1usize..24,
+        coverage in 0.0f64..=1.0,
+        force_hash in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let spec = StarSpec { satellites, non_key_attrs: 2, externals: 0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = star_schema(&spec);
+        let state = consistent_state(
+            &schema,
+            &StateSpec { root_rows: rows, coverage },
+            &mut rng,
+        ).expect("state");
+        let attrs = star_attrs(satellites, 2);
+        let threshold = if force_hash { 0 } else { usize::MAX };
+
+        for _ in 0..4 {
+            let mut plan = QueryPlan::scan("ROOT");
+            for s in 0..satellites {
+                let rel = format!("S{s}");
+                let key = format!("{rel}.K");
+                let step = if rng.gen_bool(0.5) {
+                    JoinStep::outer(&rel, &["ROOT.K"], &[key.as_str()])
+                } else {
+                    JoinStep::inner(&rel, &["ROOT.K"], &[key.as_str()])
+                };
+                plan = plan.join(step);
+            }
+            let plan = plan.filter(random_pred(&mut rng, &attrs, 3));
+
+            let run = |pushdown: bool, workers: usize| {
+                let mut db = Database::new(schema.clone(), DbmsProfile::ideal()).expect("db");
+                db.load_state(&state).expect("load");
+                db.configure(
+                    db.config()
+                        .hash_join_threshold(threshold)
+                        .predicate_pushdown(pushdown)
+                        .parallelism(workers),
+                );
+                db.execute(&plan).expect("execution")
+            };
+
+            let (off_rel, off_stats) = run(false, 1);
+            let (on_rel, on_stats) = run(true, 1);
+            prop_assert_eq!(&on_rel, &off_rel, "pushdown changed the result");
+            prop_assert!(
+                on_stats.rows_scanned <= off_stats.rows_scanned,
+                "pushdown increased scans: {} > {}",
+                on_stats.rows_scanned, off_stats.rows_scanned
+            );
+            prop_assert!(
+                on_stats.rows_scanned + on_stats.index_probes
+                    <= off_stats.rows_scanned + off_stats.index_probes,
+                "pushdown increased scan+probe work"
+            );
+            for workers in [2usize, 4] {
+                let (rel, stats) = run(true, workers);
+                prop_assert_eq!(&rel, &on_rel, "pushdown not byte-identical at {} workers", workers);
+                prop_assert_eq!(stats, on_stats, "stats vary with workers (pushdown on)");
+                let (rel, stats) = run(false, workers);
+                prop_assert_eq!(&rel, &off_rel, "legacy path not byte-identical at {} workers", workers);
+                prop_assert_eq!(stats, off_stats, "stats vary with workers (pushdown off)");
+            }
+        }
+    }
+
+    /// The plan fingerprint is invariant under logically equivalent
+    /// predicate forms — double negation and De Morgan rewrites — while
+    /// genuinely different shapes (negated predicate, changed connective)
+    /// keep distinct fingerprints.
+    #[test]
+    fn fingerprint_stable_across_equivalent_forms(
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let base = || {
+            Predicate::eq("ROOT.K", Value::Int(a))
+                .and(Predicate::not_null("S0.V0").or(Predicate::eq("S0.K", Value::Int(b))))
+        };
+        let fp = |pred: Predicate| {
+            let plan = QueryPlan::scan("ROOT")
+                .join(JoinStep::inner("S0", &["ROOT.K"], &["S0.K"]))
+                .filter(pred);
+            fingerprint(&plan, &[relmerge::engine::JoinStrategy::IndexNestedLoop])
+        };
+        let f = fp(base());
+        // Double negation.
+        prop_assert_eq!(f, fp(base().negate().negate()), "¬¬p changed the fingerprint");
+        // De Morgan over the inner disjunction:
+        // A ∧ (B ∨ C) ≡ A ∧ ¬(¬B ∧ ¬C).
+        let demorgan = Predicate::eq("ROOT.K", Value::Int(a)).and(
+            Predicate::not_null("S0.V0")
+                .negate()
+                .and(Predicate::eq("S0.K", Value::Int(b)).negate())
+                .negate(),
+        );
+        prop_assert_eq!(f, fp(demorgan), "De Morgan rewrite changed the fingerprint");
+        // Negative controls: the negation and a flipped connective are
+        // different predicates and must hash differently.
+        // ¬p must not collide with p.
+        prop_assert_ne!(f, fp(base().negate()));
+        let flipped = Predicate::eq("ROOT.K", Value::Int(a))
+            .or(Predicate::not_null("S0.V0").and(Predicate::eq("S0.K", Value::Int(b))));
+        // Flipping the connective must not collide either.
+        prop_assert_ne!(f, fp(flipped));
+    }
+
+    /// An injected error or panic at `engine.query.pushdown` is contained:
+    /// the query still succeeds, its result and stats are byte-identical
+    /// to a pushdown-off run, and the fallback counter records it.
+    #[test]
+    fn pushdown_fault_falls_back_byte_identical(
+        rows in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let spec = StarSpec { satellites: 2, non_key_attrs: 1, externals: 0 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let schema = star_schema(&spec);
+        let state = consistent_state(
+            &schema,
+            &StateSpec { root_rows: rows, coverage: 0.7 },
+            &mut rng,
+        ).expect("state");
+        let plan = QueryPlan::scan("ROOT")
+            .join(JoinStep::outer("S0", &["ROOT.K"], &["S0.K"]))
+            .join(JoinStep::inner("S1", &["ROOT.K"], &["S1.K"]))
+            .filter(random_pred(&mut rng, &star_attrs(2, 1), 3));
+
+        let mut reference = Database::new(schema.clone(), DbmsProfile::ideal()).expect("db");
+        reference.load_state(&state).expect("load");
+        reference.configure(reference.config().predicate_pushdown(false));
+        let (want, want_stats) = reference.execute(&plan).expect("reference execution");
+
+        for mode in [FaultMode::Error, FaultMode::Panic] {
+            let mut db = Database::new(schema.clone(), DbmsProfile::ideal()).expect("db");
+            db.load_state(&state).expect("load");
+            let armed = db.set_fault_plan(FaultPlan::new().fail_at(site::PUSHDOWN, 0, mode));
+            let (got, got_stats) = db.execute(&plan).expect("fault must be contained");
+            prop_assert_eq!(armed.fired(site::PUSHDOWN), 1, "site never armed ({:?})", mode);
+            prop_assert_eq!(&got, &want, "fallback result differs ({:?})", mode);
+            prop_assert_eq!(got_stats, want_stats, "fallback stats differ ({:?})", mode);
+            let snap = db.metrics_registry().snapshot();
+            prop_assert_eq!(snap.counters["engine.query.pushdown.fallbacks"], 1);
+            // The armed shot is spent: the next execution pushes again,
+            // still byte-identical.
+            let (again, _) = db.execute(&plan).expect("clean re-execution");
+            prop_assert_eq!(&again, &want);
+        }
+    }
+}
+
+/// A selective conjunct pushed into an early join shrinks the estimate the
+/// planner feeds the *next* step, flipping it from a hash join to index
+/// nested loops — visible in the trace labels and the probe counters.
+#[test]
+fn pushdown_selectivity_flips_hash_to_inl() {
+    let a = |n: &str| Attribute::new(n, Domain::Int);
+    let mut rs = RelationalSchema::new();
+    rs.add_scheme(RelationScheme::new("C0", vec![a("A.K")], &["A.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(RelationScheme::new("C1", vec![a("B.K"), a("B.V")], &["B.K"]).unwrap())
+        .unwrap();
+    rs.add_scheme(RelationScheme::new("C2", vec![a("D.K")], &["D.K"]).unwrap())
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("C0", &["A.K"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("C1", &["B.K", "B.V"]))
+        .unwrap();
+    rs.add_null_constraint(NullConstraint::nna("C2", &["D.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("C1", &["B.K"], "C0", &["A.K"]))
+        .unwrap();
+    rs.add_ind(InclusionDep::new("C2", &["D.K"], "C0", &["A.K"]))
+        .unwrap();
+    let mut db = Database::new(rs, DbmsProfile::ideal()).unwrap();
+    for k in 0..100i64 {
+        db.insert("C0", Tuple::new(vec![Value::Int(k)])).unwrap();
+        db.insert("C1", Tuple::new(vec![Value::Int(k), Value::Int(k % 10)]))
+            .unwrap();
+        db.insert("C2", Tuple::new(vec![Value::Int(k)])).unwrap();
+    }
+    // 100 root rows ≥ the default hash threshold, so without pushdown both
+    // joins hash; with the B.V conjunct pushed into the C1 step the
+    // estimate entering C2 drops to ~10, under the threshold.
+    let plan = QueryPlan::scan("C0")
+        .join(JoinStep::inner("C1", &["A.K"], &["B.K"]))
+        .join(JoinStep::inner("C2", &["B.K"], &["D.K"]))
+        .filter(Predicate::eq("B.V", Value::Int(3)));
+
+    db.configure(db.config().predicate_pushdown(false));
+    let (off_rel, _, off_trace) = db.execute_traced(&plan).unwrap();
+    db.configure(db.config().predicate_pushdown(true));
+    let (on_rel, on_stats, on_trace) = db.execute_traced(&plan).unwrap();
+
+    assert_eq!(on_rel, off_rel, "strategy flip changed the result");
+    let label_of = |trace: &relmerge::engine::QueryTrace, rel: &str| {
+        trace
+            .ops
+            .iter()
+            .find(|op| op.label.contains(rel))
+            .map(|op| op.label.clone())
+            .unwrap_or_default()
+    };
+    assert!(
+        label_of(&off_trace, "C2").starts_with("HashJoin"),
+        "expected a hash join without pushdown: {}",
+        label_of(&off_trace, "C2")
+    );
+    assert!(
+        label_of(&on_trace, "C2").starts_with("Join"),
+        "expected INL after pushdown shrank the estimate: {}",
+        label_of(&on_trace, "C2")
+    );
+    assert!(
+        label_of(&on_trace, "C1").contains("[pushed]"),
+        "C1 must carry the pushed conjunct: {}",
+        label_of(&on_trace, "C1")
+    );
+    assert!(on_stats.index_probes > 0, "INL probes must be counted");
+}
+
+/// A pushed root `Eq` on an indexed attribute upgrades the full scan to an
+/// index point-lookup, visible in the trace and in the scan counter.
+#[test]
+fn pushed_root_eq_upgrades_scan_to_lookup() {
+    let spec = StarSpec {
+        satellites: 1,
+        non_key_attrs: 1,
+        externals: 0,
+    };
+    let schema = star_schema(&spec);
+    let mut rng = StdRng::seed_from_u64(7);
+    let state = consistent_state(
+        &schema,
+        &StateSpec {
+            root_rows: 20,
+            coverage: 1.0,
+        },
+        &mut rng,
+    )
+    .expect("state");
+    let mut db = Database::new(schema, DbmsProfile::ideal()).unwrap();
+    db.load_state(&state).unwrap();
+    let key = {
+        let (all, _) = db.execute(&QueryPlan::scan("ROOT")).unwrap();
+        all.rows().first().expect("nonempty root").get(0).clone()
+    };
+    let plan = QueryPlan::scan("ROOT")
+        .join(JoinStep::outer("S0", &["ROOT.K"], &["S0.K"]))
+        .filter(Predicate::eq("ROOT.K", key).and(Predicate::not_null("S0.V0")));
+
+    db.configure(db.config().predicate_pushdown(false));
+    let (off_rel, off_stats) = db.execute(&plan).unwrap();
+    db.configure(db.config().predicate_pushdown(true));
+    let (on_rel, on_stats, trace) = db.execute_traced(&plan).unwrap();
+
+    assert_eq!(on_rel, off_rel);
+    assert!(
+        trace.ops[0].label.contains("(pushed Eq)"),
+        "root access must be the upgraded lookup: {}",
+        trace.ops[0].label
+    );
+    assert!(off_stats.rows_scanned >= 20, "legacy path scans the root");
+    assert_eq!(
+        on_stats.rows_scanned, 0,
+        "upgraded root access must not scan"
+    );
+    assert!(
+        on_stats.rows_scanned + on_stats.index_probes
+            <= off_stats.rows_scanned + off_stats.index_probes,
+        "upgrade must not increase total access work"
+    );
+    let snap = db.metrics_registry().snapshot();
+    assert!(snap.counters["engine.query.pushed_conjuncts"] >= 2);
+}
