@@ -1,0 +1,129 @@
+//! B11: write-ahead-log cost — per-batch commit latency with the log on
+//! versus the in-memory engine, and crash-recovery time against the
+//! number of records in the log.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_bench::experiments::university_merge;
+use relmerge_engine::{
+    Database, DbmsProfile, DurabilityConfig, EngineConfig, FsyncPolicy, Statement,
+};
+use relmerge_workload::{university_ops, write_batches, MixSpec};
+
+const COURSES: usize = 1_000;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("relmerge-walbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &std::path::Path) -> EngineConfig {
+    EngineConfig::default().durability(Some(
+        DurabilityConfig::new(dir)
+            .snapshot_every(0)
+            .fsync(FsyncPolicy::Never),
+    ))
+}
+
+/// The write stream both sides of the comparison commit.
+fn workload(n_batches: usize, batch_size: usize) -> Vec<Vec<Statement>> {
+    let mut rng = StdRng::seed_from_u64(0xB11);
+    let ops = university_ops(
+        &MixSpec::write_only(),
+        n_batches * batch_size,
+        COURSES,
+        20,
+        200,
+        &mut rng,
+    );
+    write_batches(&ops, false, batch_size)
+}
+
+/// Per-batch commit latency: the same write stream against a durable
+/// database (every commit framed, checksummed, and appended) and the
+/// plain in-memory engine.
+fn bench_append(c: &mut Criterion) {
+    let (u, _) = university_merge(COURSES, 42).expect("university");
+    let batches = workload(32, 16);
+    let mut group = c.benchmark_group("wal_append_32x16");
+    group.sample_size(10);
+    for durable in [false, true] {
+        let label = if durable { "durable" } else { "in-memory" };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &durable,
+            |b, &durable| {
+                b.iter(|| {
+                    let dir = fresh_dir("append");
+                    let mut db = if durable {
+                        Database::new_with_config(
+                            u.schema.clone(),
+                            DbmsProfile::ideal(),
+                            durable_config(&dir),
+                        )
+                        .expect("durable db")
+                    } else {
+                        Database::new(u.schema.clone(), DbmsProfile::ideal()).expect("db")
+                    };
+                    let seed: Vec<Statement> = u
+                        .state
+                        .iter()
+                        .flat_map(|(name, rel)| {
+                            rel.iter().map(move |t| Statement::insert(name, t.clone()))
+                        })
+                        .collect();
+                    db.apply_batch(&seed).expect("seed");
+                    for batch in &batches {
+                        let _ = db.apply_batch(batch);
+                    }
+                    drop(db);
+                    let _ = std::fs::remove_dir_all(&dir);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Crash-recovery time (newest snapshot + full WAL-suffix replay) as the
+/// log grows.
+fn bench_recover(c: &mut Criterion) {
+    let (u, _) = university_merge(COURSES, 42).expect("university");
+    let mut group = c.benchmark_group("wal_recover");
+    group.sample_size(10);
+    for &n_batches in &[8usize, 64] {
+        let dir = fresh_dir(&format!("recover-{n_batches}"));
+        let cfg = durable_config(&dir);
+        let mut db = Database::new_with_config(u.schema.clone(), DbmsProfile::ideal(), cfg.clone())
+            .expect("durable db");
+        let seed: Vec<Statement> = u
+            .state
+            .iter()
+            .flat_map(|(name, rel)| rel.iter().map(move |t| Statement::insert(name, t.clone())))
+            .collect();
+        db.apply_batch(&seed).expect("seed");
+        for batch in &workload(n_batches, 16) {
+            let _ = db.apply_batch(batch);
+        }
+        drop(db);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_batches),
+            &n_batches,
+            |b, _| {
+                b.iter(|| {
+                    let (db, report) = Database::recover(cfg.clone()).expect("recover");
+                    assert!(!report.torn_tail);
+                    drop(db);
+                });
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_recover);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! measured B1/B2/B4 tables recorded in `EXPERIMENTS.md`.
 //!
 //! Usage:
-//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|b10|b13|b14|b15|all]... [--trace] [--smoke]`
+//! `reproduce [fig1|fig2|fig3|fig4|fig5|fig6|fig8|fig8matrix|props|b1|b2|b4|b6|b7|b8|b9|b10|b11|b13|b14|b15|all]... [--trace] [--smoke]`
 //!
 //! Several experiments may be named in one invocation (`reproduce b8 b10`
 //! runs both and writes one combined `BENCH_query.json`); no names means
@@ -10,8 +10,8 @@
 //!
 //! `--trace` additionally prints the [`Database::execute_traced`] operator
 //! tree for one representative query per query-running experiment;
-//! `--smoke` shrinks the B8/B9/B10/B13/B14/B15 instances so CI can run
-//! them in seconds.
+//! `--smoke` shrinks the B8/B9/B10/B11/B13/B14/B15 instances so CI can
+//! run them in seconds.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -37,7 +37,7 @@ use relmerge_workload::{consistent_state, star_schema, StarSpec, StateSpec};
 /// Set by `--trace`: query experiments print one representative
 /// operator tree.
 static TRACE: AtomicBool = AtomicBool::new(false);
-/// Set by `--smoke`: B8/B9/B10/B13/B14/B15 run at a CI-sized scale.
+/// Set by `--smoke`: B8/B9/B10/B11/B13/B14/B15 run at a CI-sized scale.
 static SMOKE: AtomicBool = AtomicBool::new(false);
 
 /// B8 rows stashed for `BENCH_query.json` (see [`write_query_json`]).
@@ -138,6 +138,9 @@ fn main() {
     }
     if run("b10") {
         go("b10", b10);
+    }
+    if run("b11") {
+        go("b11", b11);
     }
     if run("b13") {
         go("b13", b13);
@@ -936,6 +939,118 @@ fn b10() {
         let _ = db.execute(&plan).expect("populate cache");
         trace_query(&db, "b10 composite join, warm (cached build)", &plan);
     }
+}
+
+/// B11: durability — WAL append overhead against an in-memory twin,
+/// literal log truncation at every acked boundary plus random mid-record
+/// offsets, the three durability fault sites in both modes, and recovery
+/// time against replayed log length. Emits `BENCH_wal.json`.
+fn b11() {
+    let smoke = SMOKE.load(Ordering::Relaxed);
+    let (courses, n_batches, batch_size) = if smoke { (200, 12, 8) } else { (1_000, 48, 16) };
+    heading("B11: durability (write-ahead log + snapshots + crash recovery)");
+    println!(
+        "scale: {courses} courses, {n_batches} batches of {batch_size} statements ({} mode)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    // The fault matrix has panic-mode cells; silence the default hook for
+    // the duration (the panics are caught and typed, but the hook would
+    // still spray one backtrace line per cell).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let s = experiments::wal_torture(courses, n_batches, batch_size, 11);
+    std::panic::set_hook(default_hook);
+    let s = s.expect("b11");
+    println!(
+        "append overhead: durable {:.1} µs/batch vs in-memory {:.1} µs/batch ({:+.1}%)",
+        s.durable_batch_us,
+        s.memory_batch_us,
+        s.append_overhead * 100.0
+    );
+    println!(
+        "crash truncation: {}/{} cut points recovered verify-clean and \
+         byte-identical to the last durably-acked prefix\n",
+        s.truncation_clean, s.truncation_cells
+    );
+    assert_eq!(
+        s.truncation_clean, s.truncation_cells,
+        "every crash point must recover: {s:?}"
+    );
+    let table_rows: Vec<Vec<String>> = s
+        .torture
+        .iter()
+        .map(|r| {
+            vec![
+                r.site.clone(),
+                r.mode.clone(),
+                r.cells.to_string(),
+                r.injections.to_string(),
+                r.typed_errors.to_string(),
+                r.clean_reports.to_string(),
+                r.snapshot_matches.to_string(),
+                r.no_fire.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "site",
+                "mode",
+                "cells",
+                "fired",
+                "typed/contained",
+                "clean integrity",
+                "state verified",
+                "no-fire",
+            ],
+            &table_rows,
+        )
+    );
+    let all_ok = s.torture.iter().all(|r| {
+        r.no_fire == 0
+            && r.injections == r.cells
+            && r.typed_errors == r.injections
+            && r.clean_reports == r.injections
+            && r.snapshot_matches == r.injections
+    });
+    assert!(all_ok, "every durability torture cell must recover: {s:?}");
+    let curve_rows: Vec<Vec<String>> = s
+        .recovery
+        .iter()
+        .map(|r| {
+            vec![
+                r.batches.to_string(),
+                r.records.to_string(),
+                format!("{:.1} KiB", r.wal_bytes as f64 / 1024.0),
+                format!("{:.2} ms", r.replay_ns as f64 / 1e6),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table::render(
+            &[
+                "batches in log",
+                "records replayed",
+                "WAL bytes",
+                "recovery time"
+            ],
+            &curve_rows,
+        )
+    );
+    println!(
+        "Reading: a committed batch is on disk before it is visible, so \
+         cutting the log at any byte — acked boundary or torn mid-record \
+         tail — recovers exactly the durably-acked prefix; a failed append \
+         aborts its batch on disk and in memory, a failed snapshot costs \
+         only replay time, and a fault during recovery leaves the \
+         directory clean for the retry."
+    );
+    let path = std::path::Path::new("BENCH_wal.json");
+    experiments::write_wal_json(path, &s).expect("write BENCH_wal.json");
+    println!("wrote {}", path.display());
 }
 
 /// B13: the online merge advisor end to end — skewed reads drive the

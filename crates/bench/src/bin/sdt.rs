@@ -17,6 +17,13 @@
 //!     [--profile <text|json|chrome>]  print the workload profile and
 //!                          hot-join ranking (chrome: a Chrome-trace JSON
 //!                          array of the run's spans for chrome://tracing)
+//!     [--data-dir <dir>]   durable engine mode: recover the database in
+//!                          <dir> if it holds a snapshot (printing a
+//!                          one-line recovery report), otherwise initialize
+//!                          <dir> and seed it with the demo's 1:1 schema
+//!                          and probe state through the write-ahead log
+//!     [--recover]          require recovery: fail instead of initializing
+//!                          when --data-dir holds no snapshot
 //! ```
 //!
 //! Example: `sdt --demo fig7 --dialect sybase40 --merge --migration`
@@ -37,7 +44,7 @@ use rand::SeedableRng;
 use relmerge_core::{Advisor, MergeReport};
 use relmerge_ddl::{advisor_config_for, backward_migration, forward_migration, generate, Dialect};
 use relmerge_eer::{figures, model::EerSchema, translate};
-use relmerge_engine::{Database, DbmsProfile, JoinStep, QueryPlan};
+use relmerge_engine::{Database, DbmsProfile, DurabilityConfig, EngineConfig, JoinStep, QueryPlan};
 use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, RelationalSchema, Tuple};
 use relmerge_workload::{consistent_state, random_eer, EerSpec, StateSpec};
@@ -66,6 +73,8 @@ struct Args {
     trace: bool,
     metrics: Option<MetricsFormat>,
     profile: Option<ProfileFormat>,
+    data_dir: Option<std::path::PathBuf>,
+    recover: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
         trace: false,
         metrics: None,
         profile: None,
+        data_dir: None,
+        recover: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -120,12 +131,19 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown profile format `{other}`")),
                 });
             }
+            "--data-dir" => {
+                args.data_dir = Some(std::path::PathBuf::from(
+                    it.next().ok_or("--data-dir needs a value")?,
+                ));
+            }
+            "--recover" => args.recover = true,
             "--help" | "-h" => {
                 println!(
                     "sdt [--demo <fig1|fig7|fig8i|fig8ii|fig8iii|fig8iv|random[:SEED]>] \
                      [--dialect <db2|sybase40|ingres63|sql92>] [--merge] [--migration] \
                      [--advise] [--migrate] [--report] [--trace] \
-                     [--metrics <text|json>] [--profile <text|json|chrome>]"
+                     [--metrics <text|json>] [--profile <text|json|chrome>] \
+                     [--data-dir <dir>] [--recover]"
                 );
                 std::process::exit(0);
             }
@@ -320,6 +338,86 @@ fn main() {
         Err(e) => {
             eprintln!("sdt: DDL generation failed: {e}");
             std::process::exit(1);
+        }
+    }
+
+    // Durable engine mode: recover an existing data directory (printing
+    // the one-line recovery report) or initialize a fresh one seeded with
+    // the demo's 1:1 schema and probe state, every write flowing through
+    // the write-ahead log so a later `--recover` run has bytes to replay.
+    if args.recover && args.data_dir.is_none() {
+        eprintln!("sdt: --recover requires --data-dir");
+        std::process::exit(2);
+    }
+    if let Some(dir) = &args.data_dir {
+        let durable = EngineConfig::default().durability(Some(DurabilityConfig::new(dir)));
+        if relmerge_engine::wal::is_initialized(dir) {
+            match Database::recover(durable) {
+                Ok((db, report)) => {
+                    println!("-- {report}");
+                    let check = db.verify_integrity();
+                    println!(
+                        "-- durable database at {}: {} relation(s), integrity {}",
+                        dir.display(),
+                        db.schema().schemes().len(),
+                        if check.is_clean() {
+                            "clean"
+                        } else {
+                            "VIOLATED"
+                        }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("sdt: recovery failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else if args.recover {
+            eprintln!(
+                "sdt: --recover: `{}` holds no snapshot to recover from",
+                dir.display()
+            );
+            std::process::exit(1);
+        } else {
+            match Database::new_with_config(base.clone(), profile_for(args.dialect), durable) {
+                Ok(mut db) => {
+                    let mut rng = StdRng::seed_from_u64(42);
+                    let spec = StateSpec {
+                        root_rows: 16,
+                        coverage: 0.5,
+                    };
+                    let mut logged = 0usize;
+                    if let Ok(state) = consistent_state(&base, &spec, &mut rng) {
+                        let mut pending: Vec<(String, Tuple)> = Vec::new();
+                        for (name, relation) in state.iter() {
+                            for t in relation.iter() {
+                                pending.push((name.to_owned(), t.clone()));
+                            }
+                        }
+                        // Intra-relation references can need a later pass.
+                        loop {
+                            let before = pending.len();
+                            pending.retain(|(rel, t)| {
+                                let inserted = matches!(db.insert(rel, t.clone()), Ok(true));
+                                logged += usize::from(inserted);
+                                !inserted
+                            });
+                            if pending.is_empty() || pending.len() == before {
+                                break;
+                            }
+                        }
+                    }
+                    println!(
+                        "-- durable database initialized at {}: {} tuple(s) logged",
+                        dir.display(),
+                        logged
+                    );
+                }
+                Err(e) => {
+                    eprintln!("sdt: could not initialize `{}`: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
         }
     }
 

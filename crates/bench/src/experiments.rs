@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use relmerge_core::{Merge, Merged};
 use relmerge_engine::{Database, DbmsProfile, DmlError, JoinStep, Predicate, QueryPlan, Statement};
 use relmerge_obs as obs;
-use relmerge_relational::{Error, Result, Tuple, Value};
+use relmerge_relational::{DatabaseState, Error, Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
 
 /// The university COURSE-chain merge used by B1/B2/B4: merge
@@ -2088,6 +2088,462 @@ pub fn write_merge_json(path: &std::path::Path, s: &OnlineMergeSummary) -> std::
     std::fs::write(path, out)
 }
 
+/// One point of the B11 recovery-time-vs-log-length curve: a literal
+/// prefix of the write-ahead log, recovered and timed.
+#[derive(Debug, Clone)]
+pub struct WalRecoveryRow {
+    /// Committed workload batches whose records the replayed prefix holds.
+    pub batches: usize,
+    /// Records the recovery replayed (the seed batch included).
+    pub records: u64,
+    /// Valid WAL bytes replayed.
+    pub wal_bytes: u64,
+    /// Wall time of the whole recovery (ns).
+    pub replay_ns: u64,
+}
+
+/// The B11 durability ledger: WAL append overhead, the literal
+/// log-truncation crash matrix, the durability fault matrix, and the
+/// recovery-time-vs-log-length curve.
+#[derive(Debug, Clone)]
+pub struct WalSummary {
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Workload batches committed through the log.
+    pub batches: usize,
+    /// Statements per batch.
+    pub batch_size: usize,
+    /// Mean per-batch commit latency with the WAL on (µs).
+    pub durable_batch_us: f64,
+    /// Mean per-batch commit latency of the in-memory twin (µs).
+    pub memory_batch_us: f64,
+    /// Relative append overhead: `durable / memory − 1`.
+    pub append_overhead: f64,
+    /// Crash points exercised by literally truncating the log.
+    pub truncation_cells: usize,
+    /// Crash points that recovered verify-clean and byte-identical to the
+    /// last durably-acked prefix.
+    pub truncation_clean: usize,
+    /// The durability fault matrix (same row shape as B9). For
+    /// `engine.wal.append` a cell passes `snapshot_matches` only if the
+    /// rollback holds in memory, at the log position, AND through a fresh
+    /// recovery; for the contained `engine.snapshot.write` site
+    /// `typed_errors` counts verified containment (batch committed,
+    /// generation unchanged), as with B9's pushdown site; for
+    /// `engine.recovery.replay` the row verifies fail-typed-then-retry.
+    pub torture: Vec<TortureRow>,
+    /// Recovery time against replayed log length.
+    pub recovery: Vec<WalRecoveryRow>,
+}
+
+/// B11: durability torture. Commits a write workload through the
+/// write-ahead log (timing the append overhead against an in-memory
+/// twin), then attacks the result three ways: literal truncation of the
+/// log at every durably-acked boundary plus random mid-record offsets
+/// (every cut must recover verify-clean, byte-identical to the last
+/// acked prefix); the three durability fault sites in error and panic
+/// mode ([`site::WAL_APPEND`] must abort the batch on disk and in
+/// memory, [`site::SNAPSHOT_WRITE`] must be contained, and
+/// [`site::RECOVERY_REPLAY`] must fail the recovery typed while leaving
+/// the directory retry-clean); and a recovery-time-vs-log-length sweep
+/// over literal log prefixes.
+///
+/// Callers that arm panic-mode cells should install a quiet panic hook
+/// around the call, as with [`fault_torture`].
+///
+/// [`site::WAL_APPEND`]: relmerge_engine::fault::site::WAL_APPEND
+/// [`site::SNAPSHOT_WRITE`]: relmerge_engine::fault::site::SNAPSHOT_WRITE
+/// [`site::RECOVERY_REPLAY`]: relmerge_engine::fault::site::RECOVERY_REPLAY
+pub fn wal_torture(
+    courses: usize,
+    n_batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Result<WalSummary> {
+    use relmerge_engine::fault::site;
+    use relmerge_engine::{DurabilityConfig, EngineConfig, FaultMode, FaultPlan, FsyncPolicy};
+    use relmerge_workload::{university_ops, write_batches, MixSpec};
+    use std::time::Instant;
+
+    let _span = obs::span("bench.b11.wal_torture")
+        .field("courses", courses)
+        .field("batches", n_batches);
+    let io = |context: &str, e: std::io::Error| Error::Durability {
+        detail: format!("{context}: {e}"),
+    };
+    let dir = std::env::temp_dir().join(format!("relmerge-b11-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = |snapshot_every: u64| {
+        EngineConfig::default().durability(Some(
+            DurabilityConfig::new(&dir)
+                .snapshot_every(snapshot_every)
+                // The measured overhead is serialization plus page-cache
+                // write; the crash torture cuts the *file*, which fsync
+                // cannot widen or narrow.
+                .fsync(FsyncPolicy::Never),
+        ))
+    };
+    let cfg = durable(0); // one generation: the whole history stays replayable
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+
+    // Seed through the logged DML path — `load_state` would bypass the
+    // log. One deferred-validation batch is order-free and costs a single
+    // record.
+    let mut db = Database::new_with_config(u.schema.clone(), DbmsProfile::ideal(), cfg.clone())?;
+    let mut memory = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    memory.load_state(&u.state)?;
+    let seed_batch: Vec<Statement> = u
+        .state
+        .iter()
+        .flat_map(|(name, rel)| rel.iter().map(move |t| Statement::insert(name, t.clone())))
+        .collect();
+    db.apply_batch(&seed_batch)?;
+
+    // Leg 1 — append overhead: the same workload against the durable
+    // database and its in-memory twin, recording every durably-acked
+    // `(offset, state)` prefix point for the crash legs.
+    let mut ops_rng = StdRng::seed_from_u64(seed ^ 0xB11);
+    let ops = university_ops(
+        &MixSpec::write_only(),
+        n_batches * batch_size,
+        courses,
+        20,
+        200,
+        &mut ops_rng,
+    );
+    let batches = write_batches(&ops, false, batch_size);
+    let (_, seed_off) = db.wal_position().expect("durable database");
+    let mut prefixes: Vec<(u64, DatabaseState, usize)> = vec![(seed_off, db.snapshot()?, 0)];
+    let mut durable_ns = 0u64;
+    let mut memory_ns = 0u64;
+    let mut committed = 0usize;
+    for batch in &batches {
+        let t0 = Instant::now();
+        let r = db.apply_batch(batch);
+        durable_ns += obs::elapsed_ns(t0);
+        let t0 = Instant::now();
+        let m = memory.apply_batch(batch);
+        memory_ns += obs::elapsed_ns(t0);
+        if r.is_ok() != m.is_ok() {
+            return Err(Error::Durability {
+                detail: "durable and in-memory twins diverged".to_owned(),
+            });
+        }
+        if r.is_ok() {
+            committed += 1;
+            let (_, off) = db.wal_position().expect("durable database");
+            prefixes.push((off, db.snapshot()?, committed));
+        }
+    }
+    let per_batch = batches.len().max(1) as f64;
+    let durable_batch_us = durable_ns as f64 / 1e3 / per_batch;
+    let memory_batch_us = memory_ns as f64 / 1e3 / per_batch;
+    let append_overhead = if memory_ns > 0 {
+        durable_ns as f64 / memory_ns as f64 - 1.0
+    } else {
+        0.0
+    };
+    let (generation, end) = db.wal_position().expect("durable database");
+    let expected_final = db.snapshot()?;
+    drop(db);
+
+    // Leg 2 — literal crash torture: cut the log at every durably-acked
+    // boundary and at random mid-record offsets; every cut must recover
+    // verify-clean and byte-identical to the last acked prefix.
+    let log = dir.join(format!("wal-{generation}.log"));
+    let pristine = std::fs::read(&log).map_err(|e| io("read log", e))?;
+    let base = prefixes[0].0;
+    let mut kills: Vec<u64> = prefixes.iter().map(|(off, _, _)| *off).collect();
+    for _ in 0..8 {
+        kills.push(rng.gen_range(base..=end));
+    }
+    let mut truncation_cells = 0usize;
+    let mut truncation_clean = 0usize;
+    for kill in kills {
+        std::fs::write(&log, &pristine[..kill as usize]).map_err(|e| io("cut log", e))?;
+        truncation_cells += 1;
+        let (rec, _) = Database::recover(cfg.clone())?;
+        let expected = prefixes
+            .iter()
+            .rev()
+            .find(|(off, _, _)| *off <= kill)
+            .map_or(&prefixes[0].1, |(_, s, _)| s);
+        if rec.verify_integrity().is_clean() && rec.snapshot()? == *expected {
+            truncation_clean += 1;
+        }
+        std::fs::write(&log, &pristine).map_err(|e| io("restore log", e))?;
+    }
+
+    // Leg 3 — recovery time against log length, over literal prefixes at
+    // evenly spaced committed-batch checkpoints.
+    let mut recovery = Vec::new();
+    let steps: Vec<usize> = if prefixes.len() <= 5 {
+        (0..prefixes.len()).collect()
+    } else {
+        (0..5).map(|i| i * (prefixes.len() - 1) / 4).collect()
+    };
+    for &i in &steps {
+        let (off, _, at) = &prefixes[i];
+        std::fs::write(&log, &pristine[..*off as usize]).map_err(|e| io("cut log", e))?;
+        let (_, report) = Database::recover(cfg.clone())?;
+        recovery.push(WalRecoveryRow {
+            batches: *at,
+            records: report.records_replayed(),
+            wal_bytes: report.wal_bytes_replayed,
+            replay_ns: report.replay_ns,
+        });
+    }
+    std::fs::write(&log, &pristine).map_err(|e| io("restore log", e))?;
+
+    // Leg 4 — the durability fault matrix. Recovery-replay first, while
+    // the pristine log still holds the full history: a fault during
+    // replay fails the whole recovery typed, the disk is left untouched,
+    // and the retry succeeds.
+    let mut torture: Vec<TortureRow> = Vec::new();
+    let (probe_db, probe_report) = Database::recover(cfg.clone())?;
+    drop(probe_db);
+    let replayable = probe_report.records_replayed();
+    let nths: Vec<u64> = if replayable <= 6 {
+        (0..replayable).collect()
+    } else {
+        (0..6).map(|i| i * (replayable - 1) / 5).collect()
+    };
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        let mut row = TortureRow {
+            site: site::RECOVERY_REPLAY.to_owned(),
+            mode: mode.label().to_owned(),
+            cells: 0,
+            injections: 0,
+            typed_errors: 0,
+            clean_reports: 0,
+            snapshot_matches: 0,
+            no_fire: 0,
+        };
+        for &nth in &nths {
+            row.cells += 1;
+            let plan =
+                std::sync::Arc::new(FaultPlan::new().fail_at(site::RECOVERY_REPLAY, nth, mode));
+            let outcome = Database::recover_with_faults(cfg.clone(), Some(plan.clone()));
+            if plan.fired(site::RECOVERY_REPLAY) == 0 {
+                row.no_fire += 1;
+                let _ = outcome?;
+                continue;
+            }
+            row.injections += 1;
+            if let Err(Error::Injected { .. } | Error::ExecutionPanic { .. }) = outcome {
+                row.typed_errors += 1;
+            }
+            let (rec, _) = Database::recover(cfg.clone())?;
+            if rec.verify_integrity().is_clean() {
+                row.clean_reports += 1;
+            }
+            if rec.snapshot()? == expected_final {
+                row.snapshot_matches += 1;
+            }
+        }
+        torture.push(row);
+    }
+
+    // A pool of pre-tested batches for the write-side legs: each cell
+    // needs a batch known to commit, so the armed fault is the only
+    // failure cause. An in-memory fork (`Database::clone`) is the tester.
+    let mut spare_rng = StdRng::seed_from_u64(seed ^ 0xA11D);
+    let spare_ops = university_ops(
+        &MixSpec::write_only(),
+        64 * batch_size.max(1),
+        courses,
+        20,
+        200,
+        &mut spare_rng,
+    );
+    let mut pool = write_batches(&spare_ops, false, batch_size);
+    let next_committing =
+        |db: &Database, pool: &mut Vec<Vec<Statement>>| -> Result<Vec<Statement>> {
+            while let Some(b) = pool.pop() {
+                let mut fork = db.clone();
+                if fork.apply_batch(&b).is_ok() {
+                    return Ok(b);
+                }
+            }
+            Err(Error::Durability {
+                detail: "ran out of committing batches".to_owned(),
+            })
+        };
+
+    // WAL-append leg: the failed append aborts the batch — in memory
+    // (rollback), at the log position, and on disk (a fresh recovery
+    // still sees the pre-batch state).
+    let (mut db, _) = Database::recover(cfg.clone())?;
+    let probe_batch = next_committing(&db, &mut pool)?;
+    let probe =
+        db.set_fault_plan(FaultPlan::new().fail_at(site::WAL_APPEND, u64::MAX, FaultMode::Error));
+    db.apply_batch(&probe_batch)?;
+    let hits = probe.hits(site::WAL_APPEND);
+    db.clear_fault_plan();
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        let mut row = TortureRow {
+            site: site::WAL_APPEND.to_owned(),
+            mode: mode.label().to_owned(),
+            cells: 0,
+            injections: 0,
+            typed_errors: 0,
+            clean_reports: 0,
+            snapshot_matches: 0,
+            no_fire: 0,
+        };
+        for nth in 0..hits {
+            row.cells += 1;
+            let batch = next_committing(&db, &mut pool)?;
+            let pre = db.snapshot()?;
+            let pre_pos = db.wal_position();
+            let plan = db.set_fault_plan(FaultPlan::new().fail_at(site::WAL_APPEND, nth, mode));
+            let outcome = db.apply_batch(&batch);
+            if plan.total_fired() == 0 {
+                row.no_fire += 1;
+                db.clear_fault_plan();
+                outcome?;
+                continue;
+            }
+            row.injections += 1;
+            if let Err(e) = outcome {
+                if matches!(
+                    e.root_cause(),
+                    DmlError::Schema(Error::Injected { .. })
+                        | DmlError::Schema(Error::ExecutionPanic { .. })
+                ) {
+                    row.typed_errors += 1;
+                }
+            }
+            db.clear_fault_plan();
+            if db.verify_integrity().is_clean() {
+                row.clean_reports += 1;
+            }
+            let (rec, _) = Database::recover(cfg.clone())?;
+            if db.snapshot()? == pre && db.wal_position() == pre_pos && rec.snapshot()? == pre {
+                row.snapshot_matches += 1;
+            }
+        }
+        torture.push(row);
+    }
+    drop(db);
+
+    // Snapshot leg: a failed snapshot is *contained* — the batch that
+    // triggered the cadence stays committed (it is already in the log),
+    // the generation does not advance, and recovery replays the gap.
+    let (mut db, _) = Database::recover(durable(1))?;
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        let mut row = TortureRow {
+            site: site::SNAPSHOT_WRITE.to_owned(),
+            mode: mode.label().to_owned(),
+            cells: 1,
+            injections: 0,
+            typed_errors: 0,
+            clean_reports: 0,
+            snapshot_matches: 0,
+            no_fire: 0,
+        };
+        let batch = next_committing(&db, &mut pool)?;
+        let gen_before = db.wal_position().map(|(g, _)| g);
+        let plan = db.set_fault_plan(FaultPlan::new().fail_at(site::SNAPSHOT_WRITE, 0, mode));
+        let outcome = db.apply_batch(&batch);
+        if plan.fired(site::SNAPSHOT_WRITE) == 0 {
+            row.no_fire += 1;
+            db.clear_fault_plan();
+            outcome?;
+            torture.push(row);
+            continue;
+        }
+        row.injections += 1;
+        db.clear_fault_plan();
+        // Containment is this site's acceptance criterion (cf. B9's
+        // pushdown site): the batch committed and no snapshot landed.
+        if outcome.is_ok() && db.wal_position().map(|(g, _)| g) == gen_before {
+            row.typed_errors += 1;
+        }
+        if db.verify_integrity().is_clean() {
+            row.clean_reports += 1;
+        }
+        let (rec, _) = Database::recover(durable(0))?;
+        if rec.snapshot()? == db.snapshot()? {
+            row.snapshot_matches += 1;
+        }
+        torture.push(row);
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    Ok(WalSummary {
+        courses,
+        batches: committed,
+        batch_size,
+        durable_batch_us,
+        memory_batch_us,
+        append_overhead,
+        truncation_cells,
+        truncation_clean,
+        torture,
+        recovery,
+    })
+}
+
+/// Writes the B11 durability ledger as one JSON object (`BENCH_wal.json`).
+pub fn write_wal_json(path: &std::path::Path, s: &WalSummary) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"experiment\":\"B11\",\"courses\":{},\"batches\":{},\"batch_size\":{},\
+         \"durable_batch_us\":{:.3},\"memory_batch_us\":{:.3},\"append_overhead\":{:.4},\
+         \"truncation_cells\":{},\"truncation_clean\":{},\"recovery\":[",
+        s.courses,
+        s.batches,
+        s.batch_size,
+        s.durable_batch_us,
+        s.memory_batch_us,
+        s.append_overhead,
+        s.truncation_cells,
+        s.truncation_clean,
+    );
+    for (i, r) in s.recovery.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"batches\":{},\"records\":{},\"wal_bytes\":{},\"replay_ns\":{}}}",
+            r.batches, r.records, r.wal_bytes, r.replay_ns,
+        );
+    }
+    out.push_str("],\"torture\":[");
+    for (i, r) in s.torture.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"site\":\"{}\",\"mode\":\"{}\",\"cells\":{},\"injections\":{},\
+             \"typed_errors\":{},\"clean_reports\":{},\"snapshot_matches\":{},\
+             \"no_fire\":{}}}",
+            obs::json_escape(&r.site),
+            obs::json_escape(&r.mode),
+            r.cells,
+            r.injections,
+            r.typed_errors,
+            r.clean_reports,
+            r.snapshot_matches,
+            r.no_fire,
+        );
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2416,5 +2872,51 @@ mod tests {
         assert!(r.values.1 < r.values.0);
         assert!(r.nulls.1 < r.nulls.0);
         assert!(r.constraints.1 < r.constraints.0);
+    }
+
+    #[test]
+    fn wal_torture_matrix_is_green_at_smoke_scale() {
+        // Panic-mode cells deliberately panic inside the engine; keep the
+        // default hook from spraying backtraces.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let s = wal_torture(60, 6, 6, 7);
+        std::panic::set_hook(default_hook);
+        let s = s.unwrap();
+        assert!(s.batches > 0);
+        assert_eq!(s.truncation_clean, s.truncation_cells, "{s:?}");
+        // 3 sites × 2 modes, every cell fired and fully recovered.
+        assert_eq!(s.torture.len(), 6);
+        for r in &s.torture {
+            assert_eq!(r.no_fire, 0, "{r:?}");
+            assert_eq!(r.injections, r.cells, "{r:?}");
+            assert_eq!(r.typed_errors, r.injections, "{r:?}");
+            assert_eq!(r.clean_reports, r.injections, "{r:?}");
+            assert_eq!(r.snapshot_matches, r.injections, "{r:?}");
+        }
+        // The recovery curve covers the empty prefix through the full log.
+        assert!(s.recovery.len() >= 2);
+        assert_eq!(s.recovery[0].batches, 0);
+        assert_eq!(s.recovery.last().unwrap().batches, s.batches);
+        assert!(s.recovery.last().unwrap().records > s.recovery[0].records);
+    }
+
+    #[test]
+    fn wal_json_is_well_formed() {
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let s = wal_torture(60, 4, 4, 11);
+        std::panic::set_hook(default_hook);
+        let s = s.unwrap();
+        let path = std::env::temp_dir().join("relmerge_bench_wal_test.json");
+        write_wal_json(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"experiment\":\"B11\","));
+        assert!(text.trim_end().ends_with("}"));
+        assert_eq!(text.matches("\"site\":").count(), s.torture.len());
+        assert_eq!(text.matches("\"replay_ns\":").count(), s.recovery.len());
+        assert!(text.contains("\"append_overhead\":"));
+        assert!(text.contains("\"truncation_clean\":"));
     }
 }

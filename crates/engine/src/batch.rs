@@ -337,7 +337,33 @@ impl Database {
         };
         let mut span = obs::span(span_name);
         span.add_field("rel", stmt.rel());
-        let result = self.execute_statement(stmt, None);
+        // The statement runs with a local undo log so that on a durable
+        // database a failed write-ahead append (error or panic) can roll
+        // the mutation back — the WAL ordering guarantee has no statement
+        // granularity exemption. A Noop outcome leaves `undo` empty and
+        // appends nothing.
+        let mut undo: Vec<Undo> = Vec::new();
+        let result = self.execute_statement(stmt, Some(&mut undo));
+        let result = match result {
+            Ok(outcome) if !undo.is_empty() => {
+                let logged = catch_unwind(AssertUnwindSafe(|| {
+                    self.wal_append_batch(std::slice::from_ref(stmt))
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(Error::ExecutionPanic {
+                        context: panic_message(payload),
+                    })
+                });
+                match logged {
+                    Ok(()) => Ok(outcome),
+                    Err(e) => {
+                        rollback(self, undo)?;
+                        Err(DmlError::from(e))
+                    }
+                }
+            }
+            other => other,
+        };
         let ns = obs::elapsed_ns(start);
         match stmt {
             Statement::Insert { .. } => self.metrics.insert_ns.record(ns),
@@ -484,6 +510,12 @@ impl Database {
                 0
             };
             self.fault_check(site::COMMIT)?;
+            // Write-ahead: on a durable database the batch's log record
+            // must be on disk before the commit becomes visible. A failed
+            // append — IO error, injected error, or injected panic at
+            // `engine.wal.append` — takes the same rollback path a
+            // constraint violation does, so nothing un-logged survives.
+            self.wal_append_batch(stmts).map_err(DmlError::from)?;
             Ok(checks)
         }));
         let result = forward.unwrap_or_else(|payload| {

@@ -360,6 +360,18 @@ impl BuildCache {
         self.bytes = 0;
     }
 
+    /// The highest relation version any cached build of `rel` was taken
+    /// at, if any build is cached. Bulk loads bump the relation version
+    /// strictly past this so a pre-load build can never be mistaken for
+    /// fresh.
+    pub(crate) fn max_version(&self, rel: &str) -> Option<u64> {
+        self.entries
+            .keys()
+            .filter(|k| k.rel == rel)
+            .map(|k| k.version)
+            .max()
+    }
+
     /// Looks `key` up, marking the entry most-recently-used on a hit.
     pub(crate) fn get(&mut self, key: &BuildKey) -> Option<Arc<OwnedBuild>> {
         self.tick += 1;

@@ -528,6 +528,10 @@ pub struct Database {
     /// and morsel worker threads included — and so callers keep a handle to
     /// inspect hit/fire counts after the run.
     fault: Option<Arc<FaultPlan>>,
+    /// The write-ahead log, when this database is durable
+    /// (`EngineConfig::durability` set at construction or recovery).
+    /// `None` means purely in-memory — the pre-durability behavior.
+    wal: Option<crate::wal::Wal>,
 }
 
 impl Clone for Database {
@@ -549,6 +553,10 @@ impl Clone for Database {
             profiler: Arc::clone(&self.profiler),
             budget: self.budget,
             fault: self.fault.clone(),
+            // A clone is an in-memory fork: two writers appending to one
+            // log would interleave un-replayably, so the clone carries no
+            // WAL and its mutations are deliberately not durable.
+            wal: None,
         }
     }
 }
@@ -683,7 +691,7 @@ pub(crate) fn compile_catalog(
 /// ```ignore
 /// db.configure(db.config().parallelism(4));
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     parallelism: usize,
     hash_join_threshold: usize,
@@ -692,6 +700,12 @@ pub struct EngineConfig {
     build_parallel_threshold: usize,
     build_cache_capacity: u64,
     query_budget: QueryBudget,
+    /// Durability knobs (`None` = purely in-memory). Unlike the other
+    /// knobs this one only takes effect at construction
+    /// ([`Database::new_with_config`]) or recovery ([`Database::recover`]);
+    /// [`Database::configure`] ignores it — a log cannot be attached or
+    /// detached mid-flight.
+    durability: Option<crate::wal::DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -709,6 +723,7 @@ impl Default for EngineConfig {
             build_parallel_threshold: DEFAULT_BUILD_PARALLEL_THRESHOLD,
             build_cache_capacity: DEFAULT_BUILD_CACHE_BYTES,
             query_budget: QueryBudget::unlimited(),
+            durability: None,
         }
     }
 }
@@ -824,6 +839,23 @@ impl EngineConfig {
     pub fn get_query_budget(&self) -> QueryBudget {
         self.query_budget
     }
+
+    /// Sets (or clears) the durability knobs: data directory, snapshot
+    /// cadence, fsync policy. Only honored by
+    /// [`Database::new_with_config`] (fresh data dir) and
+    /// [`Database::recover`] (existing one); [`Database::configure`]
+    /// ignores it.
+    #[must_use]
+    pub fn durability(mut self, durability: Option<crate::wal::DurabilityConfig>) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// The configured durability knobs, if any.
+    #[must_use]
+    pub fn get_durability(&self) -> Option<&crate::wal::DurabilityConfig> {
+        self.durability.as_ref()
+    }
 }
 
 impl Database {
@@ -847,7 +879,7 @@ impl Database {
             outgoing,
             incoming,
         } = compile_catalog(&schema, &profile, "Database::new")?;
-        Ok(Database {
+        let mut db = Database {
             schema,
             profile,
             tables,
@@ -866,7 +898,15 @@ impl Database {
             profiler: Arc::new(obs::Profiler::new()),
             budget: config.query_budget,
             fault: None,
-        })
+            wal: None,
+        };
+        if let Some(durability) = config.durability {
+            // Fresh data dir only: an already-initialized one holds state
+            // this empty database would shadow — `Wal::initialize` rejects
+            // it and points the caller at `Database::recover`.
+            db.wal = Some(crate::wal::Wal::initialize(durability, &db)?);
+        }
+        Ok(db)
     }
 
     /// The current values of every tuning knob, as an [`EngineConfig`].
@@ -882,6 +922,7 @@ impl Database {
             build_parallel_threshold: self.build_parallel_threshold,
             build_cache_capacity: self.build_cache_lock().capacity(),
             query_budget: self.budget,
+            durability: self.wal.as_ref().map(|w| w.config().clone()),
         }
     }
 
@@ -1077,6 +1118,23 @@ impl Database {
     #[must_use]
     pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
         self.fault.as_ref()
+    }
+
+    /// The write-ahead log, when this database is durable.
+    pub(crate) fn wal(&self) -> Option<&crate::wal::Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Attaches (or detaches) the write-ahead log — recovery wires the
+    /// reopened log in through here after replay has been verified.
+    pub(crate) fn set_wal(&mut self, wal: Option<crate::wal::Wal>) {
+        self.wal = wal;
+    }
+
+    /// Whether this database is durable (carries a write-ahead log).
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// One branch when no plan is installed; otherwise counts this arrival
@@ -1429,7 +1487,14 @@ impl Database {
 
     /// Bulk-loads a database state without per-tuple rejection (the state
     /// is assumed consistent, e.g. produced by `Merged::apply`); constraint
-    /// counters are not affected. Fails if any tuple is malformed.
+    /// counters are not affected. Fails if any tuple is malformed, and —
+    /// because "assumed consistent" is an assumption worth auditing when
+    /// the state arrives from disk — runs [`Database::verify_integrity`]
+    /// over the result, failing with [`Error::StateMismatch`] if the
+    /// loaded state violates any constraint or index invariant. Every
+    /// touched relation's version is also bumped strictly past any cached
+    /// build of it, so seeded or recovered data can never alias a stale
+    /// build-cache entry.
     pub fn load_state(&mut self, state: &DatabaseState) -> Result<()> {
         for (name, relation) in state.iter() {
             let table = self
@@ -1442,6 +1507,18 @@ impl Database {
                 table.rows.push(Some(t.clone()));
                 table.live += 1;
             }
+        }
+        for name in state.names() {
+            let cached = self.build_cache_lock().max_version(name);
+            if let (Some(cached), Some(table)) = (cached, self.tables.get_mut(name)) {
+                table.version = table.version.max(cached + 1);
+            }
+        }
+        let report = self.verify_integrity();
+        if !report.is_clean() {
+            return Err(Error::StateMismatch {
+                detail: format!("loaded state failed integrity verification: {report}"),
+            });
         }
         Ok(())
     }

@@ -69,6 +69,24 @@ pub mod site {
     /// The data-apply phase of an online migration: fires once per
     /// statement chunk, before that chunk's `apply_batch` runs.
     pub const MIGRATION_APPLY: &str = "engine.migrate.apply";
+    /// A write-ahead-log append, on a durable database (fires once per
+    /// committed batch / migration record, *before* any bytes are
+    /// written). A fire fails the commit, which rolls back through the
+    /// ordinary undo path — nothing un-logged ever becomes visible.
+    pub const WAL_APPEND: &str = "engine.wal.append";
+    /// A periodic snapshot install (fires once per due snapshot, before
+    /// the snapshot file is written). A fire — error or panic — is
+    /// *contained*: the triggering batch stays committed and durable in
+    /// the log; only the log truncation is forgone (counted by
+    /// `engine.wal.snapshot_failures`).
+    pub const SNAPSHOT_WRITE: &str = "engine.snapshot.write";
+    /// Record replay inside [`Database::recover`] (fires once per valid
+    /// WAL record, before that record is applied). A fire aborts the
+    /// recovery attempt before anything on disk has been modified, so a
+    /// retry starts from the same bytes and succeeds.
+    ///
+    /// [`Database::recover`]: crate::Database::recover
+    pub const RECOVERY_REPLAY: &str = "engine.recovery.replay";
 
     /// The sites on the batched-DML path, in firing order.
     pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
@@ -76,6 +94,9 @@ pub mod site {
     pub const QUERY: &[&str] = &[PUSHDOWN, HASH_BUILD, BUILD_CACHE_INSERT, MORSEL_WORKER];
     /// The sites on the online-migration path, in firing order.
     pub const MIGRATION: &[&str] = &[MIGRATION_REWRITE, MIGRATION_APPLY];
+    /// The sites on the durability path (WAL append, snapshot install,
+    /// recovery replay), in firing order over a crash-recover cycle.
+    pub const DURABILITY: &[&str] = &[WAL_APPEND, SNAPSHOT_WRITE, RECOVERY_REPLAY];
     /// Every site.
     pub const ALL: &[&str] = &[
         STATEMENT_APPLY,
@@ -88,6 +109,9 @@ pub mod site {
         BUILD_CACHE_INSERT,
         MIGRATION_REWRITE,
         MIGRATION_APPLY,
+        WAL_APPEND,
+        SNAPSHOT_WRITE,
+        RECOVERY_REPLAY,
     ];
 }
 

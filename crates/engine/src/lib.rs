@@ -19,7 +19,10 @@
 //! budgets, and the deep integrity checker behind
 //! [`Database::verify_integrity`]. The [`predopt`] module is the boolean
 //! predicate optimizer whose canonical conjunct partition drives
-//! cross-operator pushdown in the executor.
+//! cross-operator pushdown in the executor. The [`wal`] module adds
+//! durability: a checksummed write-ahead log plus periodic snapshots
+//! (opt in via [`EngineConfig::durability`]), with crash recovery through
+//! [`Database::recover`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod planner;
 pub mod predopt;
 pub mod query;
 pub mod txn;
+pub mod wal;
 
 pub use batch::{BatchOutcome, Statement, StatementOutcome};
 pub use capability::{DbmsProfile, Mechanism};
@@ -54,3 +58,4 @@ pub use query::{
     QueryStats, QueryTrace,
 };
 pub use txn::Transaction;
+pub use wal::{DurabilityConfig, FsyncPolicy, RecoveryReport, DEFAULT_SNAPSHOT_EVERY};

@@ -195,6 +195,13 @@ impl Database {
             })
             .collect();
 
+        // A migration is one logical commit: suspend per-batch logging so
+        // the data-apply chunks below don't write individual records — the
+        // single migration record appended at the end of the forward path
+        // captures the whole swap (and is the only thing recovery replays).
+        if let Some(wal) = self.wal() {
+            wal.suspend(true);
+        }
         // Everything that mutates runs under `catch_unwind`: a panic at
         // any site (injected or genuine) takes the same rollback path an
         // error does and resurfaces typed.
@@ -237,6 +244,11 @@ impl Database {
                     chunks += 1;
                 }
             }
+            // Write-ahead: one catalog record — new schema, full
+            // post-migration state, version floors — makes the whole swap
+            // durable (the per-chunk appends above were suspended). A
+            // failed append fails the migration, which rolls back below.
+            self.wal_append_migration()?;
             Ok((rows, chunks))
         }));
         let result = forward.unwrap_or_else(|payload| {
@@ -244,6 +256,9 @@ impl Database {
                 context: panic_message(payload),
             })
         });
+        if let Some(wal) = self.wal() {
+            wal.suspend(false);
+        }
         match result {
             Ok((rows_migrated, chunks_applied)) => {
                 let dropped: Vec<String> = pre

@@ -11,6 +11,7 @@ use relmerge_relational::{Error, Tuple};
 
 use crate::batch::{rollback, Statement, StatementOutcome, Undo};
 use crate::database::{Database, DmlError};
+use crate::fault::panic_message;
 
 /// A transaction handle: issue statements through it; changes are recorded
 /// for rollback. Each verb is a thin front for the unified
@@ -18,11 +19,18 @@ use crate::database::{Database, DmlError};
 pub struct Transaction<'a> {
     db: &'a mut Database,
     undo: Vec<Undo>,
+    /// Statements that actually mutated something, in order — the
+    /// transaction's write-ahead-log record if the closure commits.
+    stmts: Vec<Statement>,
 }
 
 impl Transaction<'_> {
     fn run(&mut self, stmt: &Statement) -> Result<StatementOutcome, DmlError> {
-        self.db.execute_statement(stmt, Some(&mut self.undo))
+        let outcome = self.db.execute_statement(stmt, Some(&mut self.undo))?;
+        if !matches!(outcome, StatementOutcome::Noop) {
+            self.stmts.push(stmt.clone());
+        }
+        Ok(outcome)
     }
 
     /// Inserts a tuple (same contract as [`Database::insert`]).
@@ -72,10 +80,34 @@ impl Database {
         let mut tx = Transaction {
             db: self,
             undo: Vec::new(),
+            stmts: Vec::new(),
         };
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut tx)));
         match outcome {
-            Ok(Ok(value)) => Ok(value),
+            Ok(Ok(value)) => {
+                // Write-ahead: the whole bundle becomes one log record
+                // before the commit survives this call. A failed append —
+                // IO error, injected error, or injected panic at
+                // `engine.wal.append` — aborts the transaction through the
+                // same rollback path a constraint violation takes.
+                let stmts = std::mem::take(&mut tx.stmts);
+                if !stmts.is_empty() {
+                    let logged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        tx.db.wal_append_batch(&stmts)
+                    }))
+                    .unwrap_or_else(|payload| {
+                        Err(Error::ExecutionPanic {
+                            context: panic_message(payload),
+                        })
+                    });
+                    if let Err(e) = logged {
+                        let undo = std::mem::take(&mut tx.undo);
+                        rollback(tx.db, undo)?;
+                        return Err(DmlError::from(e));
+                    }
+                }
+                Ok(value)
+            }
             Ok(Err(e)) => {
                 let undo = std::mem::take(&mut tx.undo);
                 rollback(tx.db, undo)?;

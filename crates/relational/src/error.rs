@@ -98,6 +98,18 @@ pub enum Error {
         /// The captured panic message.
         context: String,
     },
+    /// The durability layer failed: a write-ahead-log append or snapshot
+    /// could not be made durable, a data directory is missing or already
+    /// initialized, or a persisted record failed to decode during
+    /// recovery.
+    ///
+    /// The durability layer lives in the engine crate; the variant lives
+    /// here so storage failures fold into the workspace-wide `Result`
+    /// (the same arrangement as `Injected` and `BudgetExceeded`).
+    Durability {
+        /// What failed, including the file or record involved.
+        detail: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -134,6 +146,7 @@ impl fmt::Display for Error {
             Error::Injected { site } => write!(f, "injected fault at site `{site}`"),
             Error::BudgetExceeded { detail } => write!(f, "query budget exceeded: {detail}"),
             Error::ExecutionPanic { context } => write!(f, "execution panicked: {context}"),
+            Error::Durability { detail } => write!(f, "durability failure: {detail}"),
         }
     }
 }

@@ -204,8 +204,11 @@ fn query_budgets_trip_with_typed_errors() {
 
 #[test]
 fn verify_integrity_detects_seeded_corruption() {
-    // `load_state` trusts its input, so a dangling foreign key and a
-    // null in a NOT-NULL column can be smuggled past the DML layer.
+    // A dangling foreign key and a null in a NOT-NULL column bypass the
+    // DML layer entirely. `load_state` audits its input with the deep
+    // checker and rejects the state typed; the database that refused the
+    // load must be discarded, but still exposes the violations through
+    // `verify_integrity` for diagnosis.
     let schema = parent_child_schema();
     let mut state = DatabaseState::empty_for(&schema).unwrap();
     state.insert("PARENT", Tuple::new([Value::Int(1)])).unwrap();
@@ -216,7 +219,11 @@ fn verify_integrity_detects_seeded_corruption() {
         .insert("CHILD", Tuple::new([Value::Int(6), Value::Null]))
         .unwrap();
     let mut db = Database::new(schema, DbmsProfile::ideal()).unwrap();
-    db.load_state(&state).unwrap();
+    let err = db.load_state(&state).unwrap_err();
+    assert!(
+        matches!(err, relmerge::relational::Error::StateMismatch { .. }),
+        "{err}"
+    );
 
     let report = db.verify_integrity();
     assert!(!report.is_clean());
