@@ -198,6 +198,27 @@ impl Undo {
     }
 }
 
+/// Rolls back after a write-ahead append failed on an otherwise valid
+/// commit, keeping the append failure as the root cause: if the rollback
+/// itself also fails, the returned error carries *both* faults — a
+/// durability fault must never be masked by the cleanup it triggered.
+pub(crate) fn rollback_after_failed_append(
+    db: &mut Database,
+    undo: Vec<Undo>,
+    append_err: Error,
+) -> DmlError {
+    match rollback(db, undo) {
+        Ok(()) => DmlError::from(append_err),
+        Err(rollback_err) => DmlError::Schema(Error::Durability {
+            detail: format!(
+                "write-ahead append failed ({append_err}); the rollback of the \
+                 un-logged commit then failed too ({rollback_err}) — in-memory \
+                 state no longer matches the log"
+            ),
+        }),
+    }
+}
+
 /// Reverses every recorded change, newest first.
 pub(crate) fn rollback(db: &mut Database, undo: Vec<Undo>) -> Result<(), DmlError> {
     for entry in undo.into_iter().rev() {
@@ -356,10 +377,7 @@ impl Database {
                 });
                 match logged {
                     Ok(()) => Ok(outcome),
-                    Err(e) => {
-                        rollback(self, undo)?;
-                        Err(DmlError::from(e))
-                    }
+                    Err(e) => Err(rollback_after_failed_append(self, undo, e)),
                 }
             }
             other => other,

@@ -1491,11 +1491,30 @@ impl Database {
     /// because "assumed consistent" is an assumption worth auditing when
     /// the state arrives from disk — runs [`Database::verify_integrity`]
     /// over the result, failing with [`Error::StateMismatch`] if the
-    /// loaded state violates any constraint or index invariant. Every
-    /// touched relation's version is also bumped strictly past any cached
-    /// build of it, so seeded or recovered data can never alias a stale
-    /// build-cache entry.
+    /// loaded state violates any constraint or index invariant. The audit
+    /// is O(state size); callers that load a trusted (or transiently
+    /// inconsistent) state and verify at a coarser boundary should use
+    /// [`Database::load_state_unverified`]. Every touched relation's
+    /// version is also bumped strictly past any cached build of it, so
+    /// seeded or recovered data can never alias a stale build-cache entry.
     pub fn load_state(&mut self, state: &DatabaseState) -> Result<()> {
+        self.load_state_unverified(state)?;
+        let report = self.verify_integrity();
+        if !report.is_clean() {
+            return Err(Error::StateMismatch {
+                detail: format!("loaded state failed integrity verification: {report}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`Database::load_state`] minus the closing integrity audit: just
+    /// the bulk load and the build-cache version bumps, O(rows loaded).
+    /// For callers that own a coarser verification boundary — crash
+    /// recovery replays every logged migration through this path and runs
+    /// [`Database::verify_integrity`] exactly once after the whole log
+    /// suffix, rather than once per replayed record.
+    pub fn load_state_unverified(&mut self, state: &DatabaseState) -> Result<()> {
         for (name, relation) in state.iter() {
             let table = self
                 .tables
@@ -1513,12 +1532,6 @@ impl Database {
             if let (Some(cached), Some(table)) = (cached, self.tables.get_mut(name)) {
                 table.version = table.version.max(cached + 1);
             }
-        }
-        let report = self.verify_integrity();
-        if !report.is_clean() {
-            return Err(Error::StateMismatch {
-                detail: format!("loaded state failed integrity verification: {report}"),
-            });
         }
         Ok(())
     }

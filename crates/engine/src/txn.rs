@@ -9,7 +9,7 @@
 
 use relmerge_relational::{Error, Tuple};
 
-use crate::batch::{rollback, Statement, StatementOutcome, Undo};
+use crate::batch::{rollback, rollback_after_failed_append, Statement, StatementOutcome, Undo};
 use crate::database::{Database, DmlError};
 use crate::fault::panic_message;
 
@@ -102,8 +102,7 @@ impl Database {
                     });
                     if let Err(e) = logged {
                         let undo = std::mem::take(&mut tx.undo);
-                        rollback(tx.db, undo)?;
-                        return Err(DmlError::from(e));
+                        return Err(rollback_after_failed_append(tx.db, undo, e));
                     }
                 }
                 Ok(value)

@@ -20,10 +20,13 @@
 //! Both files begin with an 8-byte magic (`RMSNAP01` / `RMWAL001`). A WAL
 //! record is `u32 LE payload length ++ u64 LE FNV-1a(payload) ++ payload`;
 //! the snapshot body uses the same framing once. Snapshot installation is
-//! write-to-`.tmp` → fsync → rename → fsync directory → create the new
-//! empty log → only then delete the previous generation, so a crash at any
-//! point leaves at least one complete generation on disk (`.tmp` files are
-//! ignored on recovery).
+//! create the new empty log → write-to-`.tmp` → fsync → rename → fsync
+//! directory → only then delete the previous generation. The log comes
+//! *first* because the rename is the commit point of generation `N+1`: it
+//! must never become durable without a log file ready to receive the
+//! appends that follow. A crash or failure at any point leaves at least
+//! one complete generation on disk (`.tmp` files and logs without a
+//! matching snapshot are ignored on recovery).
 //!
 //! ## Recovery
 //!
@@ -70,8 +73,27 @@ const REC_BATCH: u8 = 1;
 /// Payload tag of a committed online migration (catalog record).
 const REC_MIGRATION: u8 = 2;
 /// Largest payload recovery will believe; anything bigger is treated as a
-/// torn length field.
+/// torn length field. Enforced symmetrically at append/snapshot-write
+/// time with a typed error, so an oversized payload can never be acked
+/// durable only for recovery to discard it.
 const MAX_RECORD_BYTES: u32 = 1 << 30;
+
+/// Rejects a payload recovery would refuse to replay. The u32 length
+/// field wraps at 4 GiB and recovery treats anything over
+/// [`MAX_RECORD_BYTES`] as a torn tail — both must fail loudly at write
+/// time instead of silently losing the record (and everything after it)
+/// on the next recovery.
+fn check_payload_size(kind: &str, payload: &[u8]) -> Result<()> {
+    if payload.len() as u64 > u64::from(MAX_RECORD_BYTES) {
+        return Err(Error::Durability {
+            detail: format!(
+                "{kind} payload of {} bytes exceeds the {MAX_RECORD_BYTES}-byte record limit",
+                payload.len()
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Default batches between snapshots (see
 /// [`DurabilityConfig::snapshot_every`]).
@@ -919,6 +941,7 @@ impl Wal {
                 detail: "write-ahead log poisoned by an earlier failed append".to_owned(),
             });
         }
+        check_payload_size("record", payload)?;
         let mut frame = Vec::with_capacity(FRAME_HEADER as usize + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
@@ -977,14 +1000,28 @@ impl Wal {
     }
 
     /// Installs `payload` as the next snapshot generation and switches the
-    /// log over to a fresh, empty file. The previous generation is deleted
-    /// only after the new one is fully durable; a crash mid-install leaves
-    /// the old generation (plus at most a `.tmp` leftover) to recover from.
+    /// log over to a fresh, empty file. The new log is created *before*
+    /// the snapshot rename makes generation `N+1` authoritative: if either
+    /// step fails, generation `N` (snapshot + log) is still the newest
+    /// valid pair on disk and appends keep landing in `wal-N.log`, which
+    /// recovery will replay. The reverse order has a silent-loss mode —
+    /// snapshot-`(N+1)` durably installed, `create_log_file` failing, and
+    /// every commit acked into `wal-N.log` afterwards invisible to a
+    /// recovery that picks snapshot `N+1` and finds no matching log. The
+    /// previous generation is deleted only after the new one is fully
+    /// durable; a crash mid-install leaves the old generation (plus at
+    /// most a `.tmp` or unmatched-log leftover) to recover from.
     pub(crate) fn install_snapshot(&self, payload: &[u8]) -> Result<()> {
         let mut g = self.lock();
         let next = g.generation + 1;
-        write_snapshot_file(&self.cfg, next, payload)?;
         let file = create_log_file(&self.cfg, next)?;
+        if let Err(e) = write_snapshot_file(&self.cfg, next, payload) {
+            // Generation `next` never became authoritative — recovery keys
+            // off snapshots — so the orphan log is cleanup, best effort.
+            drop(file);
+            let _ = fs::remove_file(wal_path(&self.cfg.dir, next));
+            return Err(e);
+        }
         let old = g.generation;
         g.file = file;
         g.generation = next;
@@ -1002,6 +1039,7 @@ impl Wal {
 /// Writes `snapshot-<gen>.snap` atomically: `.tmp` → fsync → rename →
 /// fsync the directory.
 fn write_snapshot_file(cfg: &DurabilityConfig, generation: u64, payload: &[u8]) -> Result<()> {
+    check_payload_size("snapshot", payload)?;
     let final_path = snap_path(&cfg.dir, generation);
     let tmp_path = final_path.with_extension("snap.tmp");
     let mut body = Vec::with_capacity(SNAP_MAGIC.len() + FRAME_HEADER as usize + payload.len());
@@ -1249,7 +1287,9 @@ fn recover_inner(
 
     let mem_config = config.clone().durability(None);
     let mut db = Database::new_with_config(body.schema, body.profile, mem_config)?;
-    db.load_state(&body.state)?;
+    // Unverified: recovery runs `verify_integrity` exactly once, after
+    // the whole log suffix has replayed, instead of per load.
+    db.load_state_unverified(&body.state)?;
     for (name, floor) in &body.versions {
         db.raise_relation_version(name, *floor);
     }
@@ -1259,8 +1299,10 @@ fn recover_inner(
     let log_path = wal_path(&cfg.dir, generation);
     let bytes = match fs::read(&log_path) {
         Ok(b) => b,
-        // A crash between snapshot rename and log creation leaves no log
-        // at all — an empty suffix.
+        // The log is created before the snapshot rename, but its
+        // directory entry can still be lost to a crash before the dir
+        // fsync lands — no appends can have happened before the install
+        // returned, so a missing log is an empty suffix.
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
         Err(e) => return Err(io_err("cannot read write-ahead log", &log_path, &e)),
     };
@@ -1395,7 +1437,9 @@ fn replay_record(
             for (name, floor) in &versions {
                 db.raise_relation_version(name, *floor);
             }
-            db.load_state(&state)?;
+            // Unverified: auditing here would make replay O(records ×
+            // state size); `recover_inner` deep-checks once at the end.
+            db.load_state_unverified(&state)?;
             for (name, floor) in &versions {
                 db.raise_relation_version(name, *floor);
             }
@@ -1744,6 +1788,56 @@ mod tests {
             assert_eq!(report.batches_replayed, 2);
             let _ = fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn failed_log_creation_aborts_the_snapshot_install() {
+        let dir = tempdir("badlog");
+        let cfg = EngineConfig::default()
+            .parallelism(1)
+            .durability(Some(DurabilityConfig::new(&dir).snapshot_every(2)));
+        let mut db =
+            Database::new_with_config(schema(), DbmsProfile::ideal(), cfg.clone()).unwrap();
+        db.insert("P", tup(&[1])).unwrap();
+        // Block generation 1's log with a directory of the same name: the
+        // cadence install must now fail *before* snapshot-1 exists. With
+        // the reverse order, a durable snapshot-1 without wal-1.log would
+        // make recovery silently drop every commit acked after it.
+        fs::create_dir_all(wal_path(&dir, 1)).unwrap();
+        db.insert("P", tup(&[2])).unwrap(); // cadence fires; install fails, contained
+        db.insert("P", tup(&[3])).unwrap(); // still acked into wal-0
+        assert!(
+            !snap_path(&dir, 1).exists(),
+            "snapshot-1 must not be installed without its log"
+        );
+        let expect = db.snapshot().unwrap();
+        drop(db);
+        let _ = fs::remove_dir(wal_path(&dir, 1));
+        let (recovered, report) = Database::recover(cfg).unwrap();
+        assert_eq!(report.generation, 0);
+        assert_eq!(recovered.snapshot().unwrap(), expect);
+        assert!(recovered.verify_integrity().is_clean());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_at_write_time() {
+        let dir = tempdir("oversized");
+        let cfg = DurabilityConfig::new(&dir);
+        let db = Database::new(schema(), DbmsProfile::ideal()).unwrap();
+        let wal = Wal::initialize(cfg.clone(), &db).unwrap();
+        // Zero-filled, so the allocation is cheap; the guard fires before
+        // any checksum or frame is built.
+        let huge = vec![0u8; MAX_RECORD_BYTES as usize + 1];
+        let err = wal.append_payload(&huge).unwrap_err();
+        assert!(matches!(err, Error::Durability { .. }), "{err}");
+        // The rejection is clean — nothing was written, the log is not
+        // poisoned, and normal-sized appends still work.
+        assert!(wal.append_payload(b"ok").is_ok());
+        let err = write_snapshot_file(&cfg, 1, &huge).unwrap_err();
+        assert!(matches!(err, Error::Durability { .. }), "{err}");
+        assert!(!snap_path(&dir, 1).exists());
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

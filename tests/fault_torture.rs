@@ -247,6 +247,13 @@ fn verify_integrity_detects_seeded_corruption() {
     assert!(clean.relations_checked >= 2);
     assert!(clean.constraints_checked > 0);
     assert!(clean.index_entries_checked > 0);
+
+    // The unverified variant accepts the same corrupt state without the
+    // audit — the caller owns the verification boundary (crash recovery
+    // uses it and deep-checks once after the whole replay).
+    let mut unchecked = Database::new(parent_child_schema(), DbmsProfile::ideal()).unwrap();
+    unchecked.load_state_unverified(&state).unwrap();
+    assert!(!unchecked.verify_integrity().is_clean());
 }
 
 /// One random statement against the parent/child schema.
