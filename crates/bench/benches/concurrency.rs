@@ -1,0 +1,131 @@
+//! B12: session-layer cost — pinned-snapshot read latency against the
+//! plain-`Database` read path, writer-path commit latency, and the
+//! shared build cache serving a second session's identical join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use relmerge_bench::experiments::{composite_no_index_query, unmerged_point_query};
+use relmerge_engine::{Database, DbmsProfile, Statement, Store};
+use relmerge_relational::{Tuple, Value};
+use relmerge_workload::{generate_university, UniversitySpec};
+
+const COURSES: usize = 1_000;
+
+fn base_db() -> Database {
+    let mut rng = StdRng::seed_from_u64(42);
+    let u = generate_university(
+        &UniversitySpec {
+            courses: COURSES,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )
+    .expect("university");
+    let mut db = Database::new(u.schema, DbmsProfile::ideal()).expect("database");
+    db.load_state(&u.state).expect("load");
+    db
+}
+
+/// Point-read latency: plain `Database::execute` versus a session pin
+/// plus execute on the pinned snapshot — the session layer's whole read
+/// overhead is the pin.
+fn bench_point_read(c: &mut Criterion) {
+    let db = base_db();
+    let store = Store::new(db.fork());
+    let session = store.session();
+    let plan = unmerged_point_query(7);
+    let mut group = c.benchmark_group("session_point_read");
+    group.bench_with_input(BenchmarkId::from_parameter("database"), &(), |b, ()| {
+        b.iter(|| db.execute(&plan).expect("read"));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("session_pin"), &(), |b, ()| {
+        b.iter(|| {
+            session
+                .pin()
+                .expect("pin")
+                .execute(&plan)
+                .expect("pinned read")
+        });
+    });
+    group.finish();
+}
+
+/// Writer-path commit latency: an insert/delete pair straight on a
+/// `Database` versus through the store's serialized writer (lock, fault
+/// gate, commit-sequence publish).
+fn bench_writer_commit(c: &mut Criterion) {
+    let mut db = base_db();
+    let store = Store::new(db.fork());
+    let session = store.session();
+    let batch = |nr: i64| {
+        vec![
+            Statement::insert("COURSE", Tuple::new([Value::Int(nr)])),
+            Statement::delete("COURSE", Tuple::new([Value::Int(nr)])),
+        ]
+    };
+    let mut group = c.benchmark_group("writer_commit");
+    group.bench_with_input(BenchmarkId::from_parameter("database"), &(), |b, ()| {
+        b.iter(|| db.apply_batch(&batch(5_000_000)).expect("batch"));
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("store_writer"), &(), |b, ()| {
+        b.iter(|| session.apply_batch(&batch(6_000_000)).expect("batch"));
+    });
+    group.finish();
+}
+
+/// The shared cache across sessions: the composite join's transient
+/// build measured on a session that must build it (cache cleared via a
+/// fresh store each iteration would dominate, so cold is approximated by
+/// capacity 0) versus a session hitting the build another session
+/// inserted.
+fn bench_shared_cache(c: &mut Criterion) {
+    let db = base_db();
+    let plan = composite_no_index_query();
+    let mut group = c.benchmark_group("shared_cache_composite");
+    group.sample_size(20);
+
+    let cold_store = Store::new(db.fork());
+    cold_store.configure(cold_store.config().build_cache_capacity(0));
+    let cold = cold_store.session();
+    group.bench_with_input(BenchmarkId::from_parameter("cache_off"), &(), |b, ()| {
+        b.iter(|| {
+            cold.pin()
+                .expect("pin")
+                .execute(&plan)
+                .expect("composite read")
+        });
+    });
+
+    let warm_store = Store::new(db.fork());
+    let first = warm_store.session();
+    let _ = first
+        .pin()
+        .expect("pin")
+        .execute(&plan)
+        .expect("populate the shared cache");
+    let second = warm_store.session();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("cross_session_hit"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                second
+                    .pin()
+                    .expect("pin")
+                    .execute(&plan)
+                    .expect("composite read")
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_read,
+    bench_writer_commit,
+    bench_shared_cache
+);
+criterion_main!(benches);

@@ -5,7 +5,9 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 
 use relmerge_core::{Merge, Merged};
-use relmerge_engine::{Database, DbmsProfile, DmlError, JoinStep, Predicate, QueryPlan, Statement};
+use relmerge_engine::{
+    Database, DbmsProfile, DmlError, JoinStep, Predicate, QueryPlan, Statement, Store,
+};
 use relmerge_obs as obs;
 use relmerge_relational::{DatabaseState, Error, Result, Tuple, Value};
 use relmerge_workload::{generate_university, University, UniversitySpec};
@@ -1736,6 +1738,97 @@ pub fn fault_torture(courses: usize, batch_size: usize, seed: u64) -> Result<Vec
         }
         rows.push(row);
     }
+
+    // The multi-session leg: `engine.session.snapshot` must be contained
+    // to the failing pin attempt, and `engine.writer.commit` must fail
+    // the commit typed while the master — and every concurrently-pinned
+    // reader — stays byte-identical. Either way the store remains fully
+    // serviceable afterwards.
+    let sbuild = || -> Result<Store> {
+        let mut db = Database::new(m.schema().clone(), DbmsProfile::ideal())?;
+        db.load_state(&merged_state)?;
+        Ok(Store::new(db))
+    };
+    let st = sbuild()?;
+    let mut probe = FaultPlan::new();
+    for &s in site::SESSION {
+        probe = probe.fail_at(s, u64::MAX, FaultMode::Error);
+    }
+    let probe = st.set_fault_plan(probe);
+    let dry_session = st.session();
+    let _ = dry_session.pin()?;
+    dry_session.apply_batch(&batch)?;
+    let s_arrivals: Vec<(&'static str, u64)> =
+        site::SESSION.iter().map(|&s| (s, probe.hits(s))).collect();
+
+    for mode in [FaultMode::Error, FaultMode::Panic] {
+        for &(s, hits) in &s_arrivals {
+            let mut row = TortureRow {
+                site: s.to_owned(),
+                mode: mode.label().to_owned(),
+                cells: 0,
+                injections: 0,
+                typed_errors: 0,
+                clean_reports: 0,
+                snapshot_matches: 0,
+                no_fire: 0,
+            };
+            for nth in 0..hits {
+                row.cells += 1;
+                let store = sbuild()?;
+                let session = store.session();
+                let pre = store.snapshot()?;
+                // Pinned *before* the fault arms: the reader the failed
+                // commit must not poison.
+                let pinned = session.pin()?;
+                let plan = store.set_fault_plan(FaultPlan::new().fail_at(s, nth, mode));
+                let typed = match s {
+                    site::SESSION_SNAPSHOT => match session.pin() {
+                        Ok(_) => None,
+                        Err(e) => Some(matches!(
+                            e,
+                            Error::Injected { .. } | Error::ExecutionPanic { .. }
+                        )),
+                    },
+                    _ => match session.apply_batch(&batch) {
+                        Ok(_) => None,
+                        Err(e) => Some(matches!(
+                            e.root_cause(),
+                            DmlError::Schema(Error::Injected { .. })
+                                | DmlError::Schema(Error::ExecutionPanic { .. })
+                        )),
+                    },
+                };
+                if plan.total_fired() == 0 {
+                    row.no_fire += 1;
+                    assert!(typed.is_none(), "unfired arm must not abort ({s})");
+                    continue;
+                }
+                row.injections += 1;
+                if typed == Some(true) {
+                    row.typed_errors += 1;
+                }
+                store.clear_fault_plan();
+                if store.verify_integrity().is_clean() {
+                    row.clean_reports += 1;
+                }
+                if store.snapshot()? == pre {
+                    row.snapshot_matches += 1;
+                }
+                // The concurrently-pinned reader is unpoisoned: it still
+                // serves its frozen pre-fault view.
+                assert_eq!(
+                    pinned.snapshot()?,
+                    pre,
+                    "a failed {s} must not disturb pinned readers ({mode:?}, nth {nth})"
+                );
+                // And the store stays fully serviceable.
+                let _ = session.pin()?;
+                session.apply_batch(&batch)?;
+            }
+            rows.push(row);
+        }
+    }
     Ok(rows)
 }
 
@@ -2544,6 +2637,345 @@ pub fn write_wal_json(path: &std::path::Path, s: &WalSummary) -> std::io::Result
     std::fs::write(path, out)
 }
 
+/// One row of the B12 concurrency curve: N client threads of the mixed
+/// university workload over one shared [`Store`].
+#[derive(Debug, Clone)]
+pub struct ConcurrencyRow {
+    /// Client threads (one [`relmerge_engine::Session`] each).
+    pub threads: usize,
+    /// Operations executed across all threads (reads + writes).
+    pub ops: usize,
+    /// Read operations — each pins a snapshot and runs a query.
+    pub reads: usize,
+    /// Write operations — each commits a batch through the writer path.
+    pub writes: usize,
+    /// Wall time of the whole storm (ns).
+    pub total_ns: f64,
+    /// Aggregate operations per second across all threads.
+    pub ops_per_sec: f64,
+    /// Median read latency under concurrent writes (ns, pin + execute).
+    pub read_p50_ns: f64,
+    /// 95th-percentile read latency under concurrent writes (ns).
+    pub read_p95_ns: f64,
+    /// Shared-cache hits this run folded into the store registry.
+    pub cache_hits: u64,
+    /// Shared-cache misses this run folded into the store registry.
+    pub cache_misses: u64,
+    /// Pins retained across the storm and re-read byte-identical after it.
+    pub frozen_reads: usize,
+}
+
+/// The B12 ledger: the thread sweep plus its two side proofs — the
+/// single-`Database` baseline and the deterministic cross-session
+/// cache-reuse probe.
+#[derive(Debug, Clone)]
+pub struct ConcurrencySummary {
+    /// Courses in the instance.
+    pub courses: usize,
+    /// Logical operations per client thread.
+    pub ops_per_thread: usize,
+    /// ns/op of thread 0's stream on a plain [`Database`] (no store).
+    pub baseline_ns_per_op: f64,
+    /// Hits of the deterministic two-session same-join probe (> 0 proves
+    /// one session's build served another's query).
+    pub cross_session_hits: u64,
+    /// One row per swept thread count ([`worker_sweep`]).
+    pub rows: Vec<ConcurrencyRow>,
+}
+
+/// Thread `t`'s deterministic operation stream: the default read-mostly
+/// mix with its new course numbers shifted into a per-thread range, so
+/// concurrent writers never collide on a key and every write commits.
+fn b12_thread_ops(t: usize, n: usize, courses: usize) -> Vec<relmerge_workload::UniversityOp> {
+    use relmerge_workload::{university_ops, MixSpec, UniversityOp};
+    let mut rng = StdRng::seed_from_u64(0xB12 + t as u64);
+    let mut ops = university_ops(&MixSpec::default(), n, courses, 20, 200, &mut rng);
+    let offset = (t as i64 + 1) * 10_000_000;
+    for op in &mut ops {
+        if let UniversityOp::AddCourse { nr, .. } | UniversityOp::DropCourse { nr } = op {
+            if *nr >= 1_000_000 {
+                *nr += offset;
+            }
+        }
+    }
+    ops
+}
+
+/// The query a read op lowers to against the unmerged schema (`None`
+/// for write ops).
+fn b12_read_plan(op: &relmerge_workload::UniversityOp) -> Option<QueryPlan> {
+    use relmerge_workload::UniversityOp;
+    match op {
+        UniversityOp::CourseDetail { nr } => Some(unmerged_point_query(*nr)),
+        UniversityOp::ByFaculty { ssn } => Some(unmerged_by_faculty_query(*ssn)),
+        UniversityOp::AddCourse { .. } | UniversityOp::DropCourse { .. } => None,
+    }
+}
+
+/// `pct`-quantile of an ascending latency sample (0 when empty).
+fn percentile_ns(sorted: &[u64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * pct).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// B12: N client threads of the mixed university workload over one
+/// shared [`Store`] — snapshot readers, serialized writers, and the
+/// store-wide versioned build cache, swept over every [`worker_sweep`]
+/// thread count.
+///
+/// Each thread mints its own [`relmerge_engine::Session`]: read ops pin
+/// a snapshot and run the unmerged point or reverse-lookup query; write
+/// ops commit their statements through the serialized writer path; every
+/// 8th op additionally runs [`composite_no_index_query`] — its
+/// transient TEACH build flows through the shared versioned cache, so
+/// concurrent sessions at the same relation version reuse one build.
+///
+/// Three correctness proofs ride along with the timing:
+/// - **frozen pins** — each thread retains its first read pins across
+///   the whole storm and the harness re-executes them afterwards,
+///   asserting byte-identical rows (a reader never observes later
+///   commits);
+/// - **cross-session reuse** — a deterministic two-session probe on a
+///   fresh store asserts the second session's identical join hits the
+///   build the first inserted (`cross_session_hits > 0`);
+/// - **baseline sanity** — thread 0's stream is also run against a plain
+///   [`Database`], and the single-thread store row must land within a
+///   generous factor of it (the session layer adds one pin per read, not
+///   a new execution path). The factor is wide because shared single-core
+///   CI hosts drift; the printed table carries the honest numbers.
+pub fn concurrent_sessions(courses: usize, ops_per_thread: usize) -> Result<ConcurrencySummary> {
+    use relmerge_workload::unmerged_statements;
+
+    let _span = obs::span("bench.b12.concurrency").field("courses", courses);
+    let mut rng = StdRng::seed_from_u64(12);
+    let u = generate_university(
+        &UniversitySpec {
+            courses,
+            ..UniversitySpec::default()
+        },
+        &mut rng,
+    )?;
+    let mut base = Database::new(u.schema.clone(), DbmsProfile::ideal())?;
+    base.load_state(&u.state)?;
+    let cores = base.parallelism();
+
+    // Single-`Database` baseline: thread 0's exact stream, no store.
+    let baseline_ns_per_op = {
+        let mut solo = base.fork();
+        let ops = b12_thread_ops(0, ops_per_thread, courses);
+        let t0 = std::time::Instant::now();
+        for (i, op) in ops.iter().enumerate() {
+            match b12_read_plan(op) {
+                Some(plan) => {
+                    let _ = solo.execute(&plan)?;
+                }
+                None => {
+                    solo.apply_batch(&unmerged_statements(op))
+                        .expect("baseline write stream is collision-free");
+                }
+            }
+            if i % 8 == 0 {
+                let _ = solo.execute(&composite_no_index_query())?;
+            }
+        }
+        t0.elapsed().as_nanos() as f64 / ops.len() as f64
+    };
+
+    // Deterministic cross-session reuse proof: a fresh store, two
+    // sessions, the same composite join — the second session's execution
+    // must hit the build the first session's miss inserted.
+    let cross_session_hits = {
+        let store = Store::new(base.fork());
+        let first = store.session();
+        let second = store.session();
+        let plan = composite_no_index_query();
+        let (first_rows, _) = first.pin()?.execute(&plan)?;
+        let before = store.metrics_registry().snapshot();
+        let pin = second.pin()?;
+        let (second_rows, _) = pin.execute(&plan)?;
+        assert_eq!(
+            first_rows, second_rows,
+            "a shared-cache hit must not change the result"
+        );
+        drop(pin);
+        drop(second);
+        drop(first);
+        let diff = store.metrics_registry().snapshot().diff(&before);
+        let hits = diff
+            .counters
+            .get("engine.query.build_cache.hits")
+            .copied()
+            .unwrap_or(0);
+        assert!(
+            hits > 0,
+            "the second session's identical join must reuse the shared build"
+        );
+        hits
+    };
+
+    let mut rows = Vec::new();
+    for &threads in &worker_sweep(cores) {
+        let store = Store::new(base.fork());
+        let before = store.metrics_registry().snapshot();
+        let t0 = std::time::Instant::now();
+        let per_thread: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let store = store.clone();
+                    let ops = b12_thread_ops(t, ops_per_thread, courses);
+                    scope.spawn(move || {
+                        let session = store.session();
+                        let mut lat: Vec<u64> = Vec::new();
+                        let (mut reads, mut writes) = (0usize, 0usize);
+                        let mut frozen = Vec::new();
+                        for (i, op) in ops.iter().enumerate() {
+                            match b12_read_plan(op) {
+                                Some(plan) => {
+                                    let t0 = std::time::Instant::now();
+                                    let pin = session.pin().expect("pin");
+                                    let (rel, _) = pin.execute(&plan).expect("read");
+                                    lat.push(t0.elapsed().as_nanos() as u64);
+                                    reads += 1;
+                                    if frozen.len() < 2 {
+                                        frozen.push((pin, plan, rel));
+                                    }
+                                }
+                                None => {
+                                    session
+                                        .apply_batch(&unmerged_statements(op))
+                                        .expect("per-thread streams are collision-free");
+                                    writes += 1;
+                                }
+                            }
+                            if i % 8 == 0 {
+                                let t0 = std::time::Instant::now();
+                                let pin = session.pin().expect("pin");
+                                let _ = pin
+                                    .execute(&composite_no_index_query())
+                                    .expect("composite probe");
+                                lat.push(t0.elapsed().as_nanos() as u64);
+                                reads += 1;
+                            }
+                        }
+                        (lat, reads, writes, frozen)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("b12 client thread"))
+                .collect()
+        });
+        let total_ns = t0.elapsed().as_nanos() as f64;
+
+        // The retained pins saw the whole storm; their reads must replay
+        // byte-identical now that every writer has committed.
+        let mut lat: Vec<u64> = Vec::new();
+        let (mut reads, mut writes, mut frozen_reads) = (0usize, 0usize, 0usize);
+        for (l, r, w, frozen) in per_thread {
+            lat.extend(l);
+            reads += r;
+            writes += w;
+            for (pin, plan, rel) in frozen {
+                let (again, _) = pin.execute(&plan)?;
+                assert_eq!(
+                    again, rel,
+                    "a pinned snapshot must stay frozen under concurrent writes"
+                );
+                frozen_reads += 1;
+            }
+        }
+        // Pins (and their session metric shards) are dropped; the store
+        // registry now holds every counter this run charged.
+        let diff = store.metrics_registry().snapshot().diff(&before);
+        let pick = |name: &str| diff.counters.get(name).copied().unwrap_or(0);
+        let cache_hits = pick("engine.query.build_cache.hits");
+        let cache_misses = pick("engine.query.build_cache.misses");
+        if threads >= 2 {
+            assert!(
+                cache_hits > 0,
+                "concurrent sessions issuing the same join must share builds"
+            );
+        }
+        lat.sort_unstable();
+        let ops = reads + writes;
+        rows.push(ConcurrencyRow {
+            threads,
+            ops,
+            reads,
+            writes,
+            total_ns,
+            ops_per_sec: ops as f64 / (total_ns / 1e9),
+            read_p50_ns: percentile_ns(&lat, 0.50),
+            read_p95_ns: percentile_ns(&lat, 0.95),
+            cache_hits,
+            cache_misses,
+            frozen_reads,
+        });
+    }
+
+    let n1 = rows
+        .iter()
+        .find(|r| r.threads == 1)
+        .expect("worker_sweep always contains 1");
+    let n1_ns_per_op = n1.total_ns / n1.ops as f64;
+    assert!(
+        n1_ns_per_op < baseline_ns_per_op * 10.0,
+        "one session over a store must stay in the same regime as a plain \
+         Database: {n1_ns_per_op:.0} ns/op vs baseline {baseline_ns_per_op:.0} ns/op"
+    );
+
+    Ok(ConcurrencySummary {
+        courses,
+        ops_per_thread,
+        baseline_ns_per_op,
+        cross_session_hits,
+        rows,
+    })
+}
+
+/// Writes the B12 concurrency ledger as one JSON object
+/// (`BENCH_concurrency.json`).
+pub fn write_concurrency_json(
+    path: &std::path::Path,
+    s: &ConcurrencySummary,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"experiment\":\"B12\",\"courses\":{},\"ops_per_thread\":{},\
+         \"baseline_ns_per_op\":{:.1},\"cross_session_hits\":{},\"rows\":[",
+        s.courses, s.ops_per_thread, s.baseline_ns_per_op, s.cross_session_hits,
+    );
+    for (i, r) in s.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"threads\":{},\"ops\":{},\"reads\":{},\"writes\":{},\
+             \"total_ns\":{:.0},\"ops_per_sec\":{:.1},\"read_p50_ns\":{:.0},\
+             \"read_p95_ns\":{:.0},\"cache_hits\":{},\"cache_misses\":{},\
+             \"frozen_reads\":{}}}",
+            r.threads,
+            r.ops,
+            r.reads,
+            r.writes,
+            r.total_ns,
+            r.ops_per_sec,
+            r.read_p50_ns,
+            r.read_p95_ns,
+            r.cache_hits,
+            r.cache_misses,
+            r.frozen_reads,
+        );
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2616,6 +3048,34 @@ mod tests {
             assert!(r.batched_probes < r.eager_probes, "{r:?}");
             assert!(r.deferred_checks > 0, "group validation ran: {r:?}");
         }
+    }
+
+    #[test]
+    fn concurrent_sessions_shape() {
+        // `concurrent_sessions` itself asserts frozen pins replay
+        // byte-identical, cross-session cache reuse, and the N=1 regime
+        // bound; here we check the ledger's shape and the JSON artifact.
+        let s = concurrent_sessions(120, 48).unwrap();
+        assert!(s.cross_session_hits > 0);
+        assert!(s.baseline_ns_per_op > 0.0);
+        assert!(s.rows.iter().any(|r| r.threads == 1));
+        assert!(s.rows.iter().any(|r| r.threads >= 2));
+        for r in &s.rows {
+            assert_eq!(r.ops, r.reads + r.writes, "{r:?}");
+            assert!(r.reads > r.writes, "read-mostly mix: {r:?}");
+            assert!(r.frozen_reads > 0, "{r:?}");
+            assert!(r.ops_per_sec > 0.0, "{r:?}");
+            assert!(r.read_p95_ns >= r.read_p50_ns, "{r:?}");
+            if r.threads >= 2 {
+                assert!(r.cache_hits > 0, "{r:?}");
+            }
+        }
+        let path = std::env::temp_dir().join("relmerge_b12_shape_test.json");
+        write_concurrency_json(&path, &s).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.starts_with("{\"experiment\":\"B12\""), "{text}");
+        assert!(text.contains("\"rows\":["), "{text}");
     }
 
     #[test]
@@ -2816,8 +3276,9 @@ mod tests {
     fn fault_torture_every_cell_recovers() {
         let rows = fault_torture(60, 8, 11).unwrap();
         // 4 batch sites × 2 modes, plus 2 query sites × 2 modes, plus
-        // the contained pushdown site × 2 modes.
-        assert_eq!(rows.len(), 14);
+        // the contained pushdown site × 2 modes, plus 2 session sites
+        // × 2 modes.
+        assert_eq!(rows.len(), 18);
         let total_cells: u64 = rows.iter().map(|r| r.cells).sum();
         assert!(total_cells > 8, "matrix is wider than one cell per pair");
         for r in &rows {

@@ -256,10 +256,44 @@ pub(crate) struct DbMetrics {
     /// the batch path's intermediate-state accounting.
     pub(crate) undo_entries: Arc<Histogram>,
     pub(crate) undo_bytes: Arc<Histogram>,
+    /// Where this shard folds on drop: a session shard folds into its
+    /// store's registry; every other shard folds into the process-global
+    /// registry (`None`). Exactly-once because the fold runs in
+    /// [`Drop::drop`] of the `DbMetrics` itself, which fires when the
+    /// *last* `Arc<DbMetrics>` handle (database, session, or pinned
+    /// snapshot) goes away.
+    flush_into: Option<Arc<Registry>>,
+}
+
+impl Drop for DbMetrics {
+    /// Flushes this shard so its counts survive the weak shard reference:
+    /// into the owning store's registry for session shards (no lost or
+    /// double-counted constraint/latency counters when sessions come and
+    /// go), into the process-global registry otherwise. Note that a
+    /// [`Database::fork`] copies the shard *with* its accumulated values,
+    /// so both copies flush them — consistent with how
+    /// [`obs::snapshot_all`] already sums live forked shards.
+    fn drop(&mut self) {
+        match &self.flush_into {
+            Some(target) => obs::flush_shard_into(&self.registry, target),
+            None => obs::flush_shard(&self.registry),
+        }
+    }
 }
 
 impl DbMetrics {
     fn new() -> DbMetrics {
+        DbMetrics::with_flush_target(None)
+    }
+
+    /// A fresh shard that folds into `target` instead of the global
+    /// registry when dropped — the per-session shard constructor
+    /// (see [`crate::session::Session`]).
+    pub(crate) fn session_shard(target: Arc<Registry>) -> DbMetrics {
+        DbMetrics::with_flush_target(Some(target))
+    }
+
+    fn with_flush_target(flush_into: Option<Arc<Registry>>) -> DbMetrics {
         let registry = Arc::new(Registry::new());
         obs::register_shard(&registry);
         let per_class = |tier: &str| {
@@ -306,6 +340,7 @@ impl DbMetrics {
             undo_entries: registry.histogram("engine.batch.undo.entries"),
             undo_bytes: registry.histogram("engine.batch.undo.bytes"),
             registry,
+            flush_into,
         }
     }
 
@@ -492,13 +527,21 @@ pub(crate) struct CompiledInd {
 /// A constraint-enforcing in-memory database hosting one schema under one
 /// DBMS capability profile.
 pub struct Database {
-    schema: RelationalSchema,
+    /// The hosted logical schema. Behind an `Arc` so pinned snapshot
+    /// handles share it; it is only ever *replaced* (catalog swap), never
+    /// mutated in place.
+    schema: Arc<RelationalSchema>,
     profile: DbmsProfile,
-    pub(crate) tables: BTreeMap<String, Table>,
-    pub(crate) nulls: BTreeMap<String, Vec<CompiledNull>>,
-    pub(crate) outgoing: BTreeMap<String, Vec<CompiledInd>>,
-    pub(crate) incoming: BTreeMap<String, Vec<CompiledInd>>,
-    pub(crate) metrics: DbMetrics,
+    /// Stored relations, individually `Arc`-wrapped for copy-on-write
+    /// snapshot sharing: a pinned reader handle clones the map (pointer
+    /// clones), and the writer's mutation paths go through
+    /// [`Arc::make_mut`] — in place while unshared, a one-time table copy
+    /// after a snapshot pinned it.
+    pub(crate) tables: BTreeMap<String, Arc<Table>>,
+    pub(crate) nulls: Arc<BTreeMap<String, Vec<CompiledNull>>>,
+    pub(crate) outgoing: Arc<BTreeMap<String, Vec<CompiledInd>>>,
+    pub(crate) incoming: Arc<BTreeMap<String, Vec<CompiledInd>>>,
+    pub(crate) metrics: Arc<DbMetrics>,
     /// Worker threads the query executor may use (1 = serial execution).
     parallelism: usize,
     /// Left-input cardinality at which a join switches to the hash
@@ -515,8 +558,13 @@ pub struct Database {
     build_parallel_threshold: usize,
     /// The versioned build-side cache. Interior-mutable because queries
     /// run through `&self`; the lock is only ever held for map operations,
-    /// never across a build or a fault site.
-    build_cache: std::sync::Mutex<crate::build::BuildCache>,
+    /// never across a build or a fault site. Behind an `Arc` so a store's
+    /// sessions and pinned snapshots share ONE cache (and its byte cap):
+    /// the key carries the relation version, so a hit from any session —
+    /// or from an old pinned snapshot — is proof of freshness.
+    /// [`Database::fork`] deliberately does NOT share it (a fork's
+    /// versions diverge, so shared keys could collide).
+    build_cache: Arc<std::sync::Mutex<crate::build::BuildCache>>,
     /// The workload profiler every successful query execution folds into
     /// (shape fingerprint → aggregated cost). Shared by clones — the
     /// profile describes the workload, not one instance's storage.
@@ -534,42 +582,15 @@ pub struct Database {
     wal: Option<crate::wal::Wal>,
 }
 
+/// **Deprecated semantics** — `clone` is ambiguous for a database: do you
+/// want an independent in-memory copy, or a second handle on the same
+/// store? `Database::clone` means the former and simply delegates to
+/// [`Database::fork`]; prefer calling `fork()` so the intent is explicit.
+/// For the latter — many clients sharing one database — build a
+/// [`crate::session::Store`] and hand out [`crate::session::Session`]s.
 impl Clone for Database {
     fn clone(&self) -> Self {
-        Database {
-            schema: self.schema.clone(),
-            profile: self.profile.clone(),
-            tables: self.tables.clone(),
-            nulls: self.nulls.clone(),
-            outgoing: self.outgoing.clone(),
-            incoming: self.incoming.clone(),
-            metrics: self.metrics.fork(),
-            parallelism: self.parallelism,
-            hash_join_threshold: self.hash_join_threshold,
-            morsel_rows: self.morsel_rows,
-            predicate_pushdown: self.predicate_pushdown,
-            build_parallel_threshold: self.build_parallel_threshold,
-            build_cache: std::sync::Mutex::new(self.build_cache_lock().clone()),
-            profiler: Arc::clone(&self.profiler),
-            budget: self.budget,
-            fault: self.fault.clone(),
-            // A clone is an in-memory fork: two writers appending to one
-            // log would interleave un-replayably, so the clone carries no
-            // WAL and its mutations are deliberately not durable.
-            wal: None,
-        }
-    }
-}
-
-impl Drop for Database {
-    /// Flushes this instance's metric shard into the process-global
-    /// registry so its counts remain visible in [`obs::snapshot_all`]
-    /// after the weak shard reference dies. Note that a [`Clone`]d
-    /// database forks the shard *with* its accumulated values, so both
-    /// copies flush them — consistent with how `snapshot_all` already
-    /// sums live forked shards.
-    fn drop(&mut self) {
-        obs::flush_shard(&self.metrics.registry);
+        self.fork()
     }
 }
 
@@ -593,7 +614,7 @@ pub const DEFAULT_BUILD_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 /// keyed by relation. Built by [`compile_catalog`] for both
 /// [`Database::new`] and the online-migration catalog swap.
 pub(crate) struct Catalog {
-    pub(crate) tables: BTreeMap<String, Table>,
+    pub(crate) tables: BTreeMap<String, Arc<Table>>,
     pub(crate) nulls: BTreeMap<String, Vec<CompiledNull>>,
     pub(crate) outgoing: BTreeMap<String, Vec<CompiledInd>>,
     pub(crate) incoming: BTreeMap<String, Vec<CompiledInd>>,
@@ -637,6 +658,8 @@ pub(crate) fn compile_catalog(
             .expect("validated")
             .add_lookup(&ind.lhs_attrs)?;
     }
+    let tables: BTreeMap<String, Arc<Table>> =
+        tables.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
     let mut nulls: BTreeMap<String, Vec<CompiledNull>> = BTreeMap::new();
     for c in schema.null_constraints() {
         nulls
@@ -880,21 +903,21 @@ impl Database {
             incoming,
         } = compile_catalog(&schema, &profile, "Database::new")?;
         let mut db = Database {
-            schema,
+            schema: Arc::new(schema),
             profile,
             tables,
-            nulls,
-            outgoing,
-            incoming,
-            metrics: DbMetrics::new(),
+            nulls: Arc::new(nulls),
+            outgoing: Arc::new(outgoing),
+            incoming: Arc::new(incoming),
+            metrics: Arc::new(DbMetrics::new()),
             parallelism: config.parallelism.max(1),
             hash_join_threshold: config.hash_join_threshold,
             morsel_rows: config.morsel_rows.max(1),
             predicate_pushdown: config.predicate_pushdown,
             build_parallel_threshold: config.build_parallel_threshold,
-            build_cache: std::sync::Mutex::new(crate::build::BuildCache::new(
+            build_cache: Arc::new(std::sync::Mutex::new(crate::build::BuildCache::new(
                 config.build_cache_capacity,
-            )),
+            ))),
             profiler: Arc::new(obs::Profiler::new()),
             budget: config.query_budget,
             fault: None,
@@ -907,6 +930,75 @@ impl Database {
             db.wal = Some(crate::wal::Wal::initialize(durability, &db)?);
         }
         Ok(db)
+    }
+
+    /// An independent in-memory copy: same schema, same rows, a forked
+    /// metrics shard carrying the counter values, and its **own** build
+    /// cache (a fork's relation versions diverge from the original's, so
+    /// sharing the versioned cache could alias keys across the two
+    /// histories). Storage is shared copy-on-write — the fork is O(number
+    /// of relations) until one side mutates a table. The fork carries no
+    /// WAL: two writers appending to one log would interleave
+    /// un-replayably, so a fork's mutations are deliberately not durable.
+    ///
+    /// This is what `Database::clone` has always meant; `fork()` names it.
+    /// To *share* one database across clients instead, build a
+    /// [`crate::session::Store`].
+    #[must_use]
+    pub fn fork(&self) -> Database {
+        Database {
+            schema: Arc::clone(&self.schema),
+            profile: self.profile.clone(),
+            tables: self.tables.clone(),
+            nulls: Arc::clone(&self.nulls),
+            outgoing: Arc::clone(&self.outgoing),
+            incoming: Arc::clone(&self.incoming),
+            metrics: Arc::new(self.metrics.fork()),
+            parallelism: self.parallelism,
+            hash_join_threshold: self.hash_join_threshold,
+            morsel_rows: self.morsel_rows,
+            predicate_pushdown: self.predicate_pushdown,
+            build_parallel_threshold: self.build_parallel_threshold,
+            build_cache: Arc::new(std::sync::Mutex::new(self.build_cache_lock().clone())),
+            profiler: Arc::clone(&self.profiler),
+            budget: self.budget,
+            fault: self.fault.clone(),
+            wal: None,
+        }
+    }
+
+    /// A read-only snapshot handle over this database's *current* state:
+    /// shares every table `Arc` (so later writer mutations copy-on-write
+    /// and never disturb it), the build cache, the profiler, and the fault
+    /// plan, but charges its metrics to `metrics` — the per-session shard.
+    /// Carries no WAL. The handle is a plain [`Database`] value, so the
+    /// whole `&self` read surface (execute, snapshot, verify, versions)
+    /// works against it unchanged.
+    pub(crate) fn snapshot_handle(&self, metrics: Arc<DbMetrics>) -> Database {
+        Database {
+            schema: Arc::clone(&self.schema),
+            profile: self.profile.clone(),
+            tables: self.tables.clone(),
+            nulls: Arc::clone(&self.nulls),
+            outgoing: Arc::clone(&self.outgoing),
+            incoming: Arc::clone(&self.incoming),
+            metrics,
+            parallelism: self.parallelism,
+            hash_join_threshold: self.hash_join_threshold,
+            morsel_rows: self.morsel_rows,
+            predicate_pushdown: self.predicate_pushdown,
+            build_parallel_threshold: self.build_parallel_threshold,
+            build_cache: Arc::clone(&self.build_cache),
+            profiler: Arc::clone(&self.profiler),
+            budget: self.budget,
+            fault: self.fault.clone(),
+            wal: None,
+        }
+    }
+
+    /// The metrics shard handle, for snapshot-handle construction.
+    pub(crate) fn metrics_arc(&self) -> Arc<DbMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The current values of every tuning knob, as an [`EngineConfig`].
@@ -1164,14 +1256,27 @@ impl Database {
         schema: RelationalSchema,
         catalog: Catalog,
     ) -> (RelationalSchema, Catalog) {
-        let old_schema = std::mem::replace(&mut self.schema, schema);
+        // The live fields sit behind `Arc`s so pinned snapshot handles can
+        // share them; the migration caller works with owned values, so
+        // unwrap on the way out (cloning only if a snapshot still pins the
+        // old catalog — exactly the copy-on-write contract).
+        fn unshare<T: Clone>(a: Arc<T>) -> T {
+            Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())
+        }
+        let old_schema = std::mem::replace(&mut self.schema, Arc::new(schema));
         let old = Catalog {
             tables: std::mem::replace(&mut self.tables, catalog.tables),
-            nulls: std::mem::replace(&mut self.nulls, catalog.nulls),
-            outgoing: std::mem::replace(&mut self.outgoing, catalog.outgoing),
-            incoming: std::mem::replace(&mut self.incoming, catalog.incoming),
+            nulls: unshare(std::mem::replace(&mut self.nulls, Arc::new(catalog.nulls))),
+            outgoing: unshare(std::mem::replace(
+                &mut self.outgoing,
+                Arc::new(catalog.outgoing),
+            )),
+            incoming: unshare(std::mem::replace(
+                &mut self.incoming,
+                Arc::new(catalog.incoming),
+            )),
         };
-        (old_schema, old)
+        (unshare(old_schema), old)
     }
 
     /// Raises `rel`'s modification version to at least `floor`. The
@@ -1181,6 +1286,7 @@ impl Database {
     /// build-cache hit proof of freshness.
     pub(crate) fn raise_relation_version(&mut self, rel: &str, floor: u64) {
         if let Some(t) = self.tables.get_mut(rel) {
+            let t = Arc::make_mut(t);
             t.version = t.version.max(floor);
         }
     }
@@ -1360,7 +1466,7 @@ impl Database {
         // Commit. The fault site fires *before* any index mutation so an
         // injected failure leaves no partial maintenance behind.
         self.fault_check(site::INDEX_MAINTENANCE)?;
-        let table = self.tables.get_mut(rel).expect("checked");
+        let table = Arc::make_mut(self.tables.get_mut(rel).expect("checked"));
         let slot = table.rows.len();
         table.index_insert(&t, slot);
         table.rows.push(Some(t));
@@ -1412,7 +1518,7 @@ impl Database {
 
     /// Removes the row at `slot` with **no** constraint checking.
     pub(crate) fn remove_slot(&mut self, rel: &str, slot: usize, victim: &Tuple) {
-        let table = self.tables.get_mut(rel).expect("checked");
+        let table = Arc::make_mut(self.tables.get_mut(rel).expect("checked"));
         table.index_remove(victim, slot);
         table.rows[slot] = None;
         table.live -= 1;
@@ -1519,6 +1625,7 @@ impl Database {
             let table = self
                 .tables
                 .get_mut(name)
+                .map(Arc::make_mut)
                 .ok_or_else(|| Error::UnknownScheme(name.to_owned()))?;
             for t in relation.iter() {
                 let slot = table.rows.len();
@@ -1530,6 +1637,7 @@ impl Database {
         for name in state.names() {
             let cached = self.build_cache_lock().max_version(name);
             if let (Some(cached), Some(table)) = (cached, self.tables.get_mut(name)) {
+                let table = Arc::make_mut(table);
                 table.version = table.version.max(cached + 1);
             }
         }
@@ -1834,6 +1942,7 @@ impl Database {
         let table = self
             .tables
             .get_mut(rel)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
         let slot = table.rows.len();
         table.index_insert(&t, slot);
@@ -1848,6 +1957,7 @@ impl Database {
         let table = self
             .tables
             .get_mut(rel)
+            .map(Arc::make_mut)
             .ok_or_else(|| Error::UnknownScheme(rel.to_owned()))?;
         let slot = table
             .rows

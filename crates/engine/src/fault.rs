@@ -87,7 +87,26 @@ pub mod site {
     ///
     /// [`Database::recover`]: crate::Database::recover
     pub const RECOVERY_REPLAY: &str = "engine.recovery.replay";
+    /// Snapshot pin inside [`Session::pin`] (fires once per pin, before
+    /// the version vector is captured). A fire — error or panic — is
+    /// *contained* to that pin attempt: the session returns a typed error,
+    /// the store is untouched, and the next pin succeeds.
+    ///
+    /// [`Session::pin`]: crate::session::Session::pin
+    pub const SESSION_SNAPSHOT: &str = "engine.session.snapshot";
+    /// Entry of the serialized writer section (fires once per write
+    /// attempt routed through a [`Store`], while the writer lock is held
+    /// but before the mutation closure runs). A fire fails that commit
+    /// with a typed error; the master state is untouched, the commit
+    /// sequence does not advance, and concurrently-pinned readers are
+    /// unaffected.
+    ///
+    /// [`Store`]: crate::session::Store
+    pub const WRITER_COMMIT: &str = "engine.writer.commit";
 
+    /// The sites on the multi-session path (snapshot pin, serialized
+    /// writer commit), in firing order.
+    pub const SESSION: &[&str] = &[SESSION_SNAPSHOT, WRITER_COMMIT];
     /// The sites on the batched-DML path, in firing order.
     pub const BATCH: &[&str] = &[STATEMENT_APPLY, INDEX_MAINTENANCE, GROUP_VALIDATE, COMMIT];
     /// The sites on the query-execution path, in firing order.
@@ -112,6 +131,8 @@ pub mod site {
         WAL_APPEND,
         SNAPSHOT_WRITE,
         RECOVERY_REPLAY,
+        SESSION_SNAPSHOT,
+        WRITER_COMMIT,
     ];
 }
 

@@ -36,6 +36,7 @@ pub mod migrate;
 pub mod planner;
 pub mod predopt;
 pub mod query;
+pub mod session;
 pub mod txn;
 pub mod wal;
 
@@ -57,5 +58,6 @@ pub use query::{
     Access, CompiledPredicate, JoinStep, OpKind, OpStats, OpTrace, Predicate, QueryPlan,
     QueryStats, QueryTrace,
 };
+pub use session::{Session, Snapshot, Store};
 pub use txn::Transaction;
 pub use wal::{DurabilityConfig, FsyncPolicy, RecoveryReport, DEFAULT_SNAPSHOT_EVERY};

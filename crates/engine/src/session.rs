@@ -1,0 +1,646 @@
+//! Concurrent multi-session access to one database: snapshot readers,
+//! serialized writers, and a store-wide versioned build cache.
+//!
+//! [`Store`] owns the master [`Database`] (schema, catalog, relations,
+//! versions, WAL). Cheap per-client [`Session`] handles share it:
+//!
+//! * **Readers never block writers** (and vice versa). [`Session::pin`]
+//!   returns a [`Snapshot`] — a consistent, immutable view of the store
+//!   at a commit boundary. Pinning is O(number of relations): tables are
+//!   individually `Arc`-wrapped, so a snapshot shares the writer's
+//!   storage until the writer's next mutation copies the touched table
+//!   on write ([`std::sync::Arc::make_mut`]). A pinned snapshot is a
+//!   plain [`Database`] value behind a `Deref`, so the whole `&self`
+//!   read surface (execute, snapshot, verify, versions) works unchanged
+//!   — and every query against it is byte-identical to running it alone
+//!   against that frozen state.
+//! * **Writers are serialized.** Every mutation — [`Statement`] batches,
+//!   [`Session::transaction`], [`Session::migrate`] — funnels through
+//!   one writer mutex, bumps the store's commit sequence on success, and
+//!   appends to the WAL exactly as a single-owner [`Database`] would.
+//!   A failed commit rolls back without disturbing concurrently-pinned
+//!   readers (their tables are frozen by copy-on-write).
+//! * **One build cache, shared by everyone.** The build-side LRU keyed
+//!   `(relation, probe attrs, pushed-predicate fingerprint, version)`
+//!   lives behind an `Arc` in the master and is shared by every session
+//!   and every pinned snapshot, byte cap included. Relation versions are
+//!   strictly monotonic over the store's lifetime, so a key names
+//!   exactly one table state along the master history: a hit from *any*
+//!   session — or from an old pinned snapshot — is proof of freshness,
+//!   and version bumps invalidate for free.
+//!
+//! Observability: each session charges its reads to a private metrics
+//! shard; when the session drops, the shard folds into the store's
+//! registry exactly once (no lost or double-counted counters, however
+//! many sessions come and go).
+//!
+//! Fault injection: [`crate::fault::site::SESSION_SNAPSHOT`] fires at
+//! every pin (contained to that pin attempt) and
+//! [`crate::fault::site::WRITER_COMMIT`] at entry of the serialized
+//! writer section (fails that commit typed; the master state and the
+//! commit sequence are untouched, and pinned readers stay healthy).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use relmerge_core::Merged;
+use relmerge_obs::Registry;
+use relmerge_relational::{DatabaseState, Error, Relation, Result};
+
+use crate::batch::{BatchOutcome, Statement};
+use crate::database::{Database, DbMetrics, DmlError, EngineConfig};
+use crate::fault::{panic_message, site, FaultPlan, IntegrityReport};
+use crate::migrate::MigrationReport;
+use crate::query::{QueryPlan, QueryStats};
+use crate::txn::Transaction;
+
+/// The shared half of a multi-session engine: one master [`Database`]
+/// plus the published-snapshot machinery. `Store` is a cheap handle
+/// (`Arc` inside) — clone it freely, or mint [`Session`]s with
+/// [`Store::session`].
+#[derive(Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("commit_seq", &self.commit_seq())
+            .finish_non_exhaustive()
+    }
+}
+
+struct StoreInner {
+    /// The single mutable instance. Every write path locks it; the
+    /// snapshot refresh path locks it briefly to copy the table map at a
+    /// commit boundary. Lock order: `master` before `published`.
+    master: Mutex<Database>,
+    /// Bumped once per *successful* commit (batch, transaction,
+    /// migration, config change). Readers compare it against the
+    /// published snapshot's sequence to decide whether a refresh is due
+    /// — the lock-free fast path of [`Session::pin`].
+    commit_seq: AtomicU64,
+    /// The most recently published snapshot base and the commit sequence
+    /// it was taken at. Lazily refreshed: the first pin after a commit
+    /// pays the O(number of relations) copy; every other pin at that
+    /// sequence is two pointer reads under a short lock.
+    published: Mutex<Option<(u64, Arc<Database>)>>,
+    /// The store-wide metric registry (the master database's shard).
+    /// Session shards fold into it when they drop.
+    registry: Arc<Registry>,
+}
+
+impl Store {
+    /// Wraps `db` — WAL and all — as the master of a shared store.
+    #[must_use]
+    pub fn new(db: Database) -> Store {
+        let registry = Arc::clone(db.metrics_registry());
+        Store {
+            inner: Arc::new(StoreInner {
+                master: Mutex::new(db),
+                commit_seq: AtomicU64::new(0),
+                published: Mutex::new(None),
+                registry,
+            }),
+        }
+    }
+
+    /// Mints a new session: a cheap handle that pins snapshots for reads
+    /// and routes writes through the serialized writer path. Each
+    /// session charges its reads to a private metrics shard that folds
+    /// into the store registry when the session drops.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session {
+            store: self.clone(),
+            metrics: Arc::new(DbMetrics::session_shard(Arc::clone(&self.inner.registry))),
+        }
+    }
+
+    /// The number of successful commits so far (monotonic).
+    #[must_use]
+    pub fn commit_seq(&self) -> u64 {
+        self.inner.commit_seq.load(Ordering::Acquire)
+    }
+
+    /// The store-wide metric registry: the master's counters plus every
+    /// dropped session's folded shard.
+    #[must_use]
+    pub fn metrics_registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.inner.registry)
+    }
+
+    /// The current values of every tuning knob (see
+    /// [`Database::config`]).
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.lock_master().config()
+    }
+
+    /// Applies `config` to the master (see [`Database::configure`]).
+    /// Counts as a commit: sessions pin fresh snapshots afterwards, so a
+    /// knob change never applies retroactively to an already-pinned
+    /// snapshot.
+    pub fn configure(&self, config: EngineConfig) {
+        let mut master = self.lock_master();
+        master.configure(config);
+        self.publish_commit();
+    }
+
+    /// Installs a fault plan on the master (see
+    /// [`Database::set_fault_plan`]); snapshots pinned afterwards carry
+    /// it, so armed query sites fire on session reads too.
+    pub fn set_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlan> {
+        let mut master = self.lock_master();
+        let plan = master.set_fault_plan(plan);
+        self.publish_commit();
+        plan
+    }
+
+    /// Removes the fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        let mut master = self.lock_master();
+        master.clear_fault_plan();
+        self.publish_commit();
+    }
+
+    /// Materializes the master's current contents (a consistent commit
+    /// boundary) as a [`DatabaseState`].
+    pub fn snapshot(&self) -> Result<DatabaseState> {
+        self.lock_master().snapshot()
+    }
+
+    /// Runs the deep integrity checker against the master's current
+    /// state (see [`Database::verify_integrity`]).
+    #[must_use]
+    pub fn verify_integrity(&self) -> IntegrityReport {
+        self.lock_master().verify_integrity()
+    }
+
+    /// Tears the store down and returns the master database, provided
+    /// this is the last handle (no other `Store` clone and no live
+    /// `Session`). Otherwise returns `self` unchanged inside `Err`.
+    pub fn try_into_database(self) -> std::result::Result<Database, Store> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => Ok(inner
+                .master
+                .into_inner()
+                .unwrap_or_else(PoisonError::into_inner)),
+            Err(inner) => Err(Store { inner }),
+        }
+    }
+
+    fn lock_master(&self) -> MutexGuard<'_, Database> {
+        // A writer panic (e.g. an injected panic resumed by
+        // `Database::transaction` after its rollback completed) poisons
+        // the mutex with the database already restored — recover the
+        // guard rather than propagating the poison.
+        self.inner
+            .master
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_published(&self) -> MutexGuard<'_, Option<(u64, Arc<Database>)>> {
+        self.inner
+            .published
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Marks a successful commit: bumps the sequence so the next pin
+    /// refreshes its base. Must be called while holding the master lock
+    /// (callers do), so refreshing pins serialize behind the completed
+    /// commit.
+    fn publish_commit(&self) {
+        self.inner.commit_seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// The snapshot base for the current commit sequence, publishing a
+    /// fresh one if a commit landed since the last pin.
+    fn pinned_base(&self) -> Arc<Database> {
+        let seq = self.inner.commit_seq.load(Ordering::Acquire);
+        {
+            let published = self.lock_published();
+            if let Some((at, base)) = published.as_ref() {
+                if *at == seq {
+                    return Arc::clone(base);
+                }
+            }
+        }
+        // Refresh: copy the table map at a commit boundary. Lock order is
+        // master before published; the sequence is re-read under the
+        // master lock so the published pair is exact, not approximate.
+        let master = self.lock_master();
+        let seq = self.inner.commit_seq.load(Ordering::Acquire);
+        let base = Arc::new(master.snapshot_handle(master.metrics_arc()));
+        drop(master);
+        let mut published = self.lock_published();
+        // A concurrent refresher may have published a newer base while we
+        // were copying; never move `published` backwards.
+        let stale = published.as_ref().is_some_and(|(at, _)| *at > seq);
+        if !stale {
+            *published = Some((seq, Arc::clone(&base)));
+        }
+        base
+    }
+
+    /// The serialized writer section: locks the master, fires the
+    /// `engine.writer.commit` fault gate (contained — an injected panic
+    /// becomes a typed error without poisoning anything), runs `f`, and
+    /// bumps the commit sequence only if `f` succeeded. A failed `f` has
+    /// rolled itself back (every `Database` write path does), so the
+    /// sequence — and every pinned reader — is untouched.
+    fn with_writer<T, E: From<Error>>(
+        &self,
+        f: impl FnOnce(&mut Database) -> std::result::Result<T, E>,
+    ) -> std::result::Result<T, E> {
+        let mut master = self.lock_master();
+        let gate = catch_unwind(AssertUnwindSafe(|| master.fault_check(site::WRITER_COMMIT)))
+            .unwrap_or_else(|payload| {
+                Err(Error::ExecutionPanic {
+                    context: panic_message(payload),
+                })
+            });
+        if let Err(e) = gate {
+            return Err(E::from(e));
+        }
+        let out = f(&mut master);
+        if out.is_ok() {
+            self.publish_commit();
+        }
+        out
+    }
+}
+
+/// One client's handle on a [`Store`]: pin snapshots to read, call the
+/// write verbs to mutate through the serialized writer path. Cheap to
+/// create and drop; `Send`, so each client thread owns one.
+pub struct Session {
+    store: Store,
+    /// This session's private metrics shard. Pinned snapshots charge
+    /// their reads here; the shard folds into the store registry when
+    /// the last handle (session or outstanding snapshot) drops.
+    metrics: Arc<DbMetrics>,
+}
+
+impl Session {
+    /// Pins the store's current state and returns the frozen
+    /// [`Snapshot`]. Never blocks on writers beyond the brief base
+    /// refresh after a commit; the returned snapshot is immutable — the
+    /// same query against it returns byte-identical results no matter
+    /// what writers do afterwards.
+    ///
+    /// Fault site [`site::SESSION_SNAPSHOT`] fires here; a fire (error
+    /// or panic) is contained to this pin attempt.
+    pub fn pin(&self) -> Result<Snapshot> {
+        let base = self.store.pinned_base();
+        catch_unwind(AssertUnwindSafe(|| {
+            base.fault_check(site::SESSION_SNAPSHOT)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(Error::ExecutionPanic {
+                context: panic_message(payload),
+            })
+        })?;
+        Ok(Snapshot {
+            db: base.snapshot_handle(Arc::clone(&self.metrics)),
+        })
+    }
+
+    /// Pins a snapshot and executes `plan` against it — the one-shot
+    /// read verb. Equivalent to `self.pin()?.execute(plan)`.
+    pub fn execute(&self, plan: &QueryPlan) -> Result<(Relation, QueryStats)> {
+        self.pin()?.execute(plan)
+    }
+
+    /// Applies an all-or-nothing statement batch through the serialized
+    /// writer path (see [`Database::apply_batch`]).
+    pub fn apply_batch(&self, stmts: &[Statement]) -> std::result::Result<BatchOutcome, DmlError> {
+        self.store.with_writer(|db| db.apply_batch(stmts))
+    }
+
+    /// Inserts one tuple through the serialized writer path (see
+    /// [`Database::insert`]).
+    pub fn insert(
+        &self,
+        rel: &str,
+        t: relmerge_relational::Tuple,
+    ) -> std::result::Result<bool, DmlError> {
+        self.store.with_writer(|db| db.insert(rel, t))
+    }
+
+    /// Deletes by primary key through the serialized writer path (see
+    /// [`Database::delete_by_key`]).
+    pub fn delete_by_key(
+        &self,
+        rel: &str,
+        key: &relmerge_relational::Tuple,
+    ) -> std::result::Result<bool, DmlError> {
+        self.store.with_writer(|db| db.delete_by_key(rel, key))
+    }
+
+    /// Runs `f` as one atomic transaction through the serialized writer
+    /// path (see [`Database::transaction`]).
+    pub fn transaction<T>(
+        &self,
+        f: impl FnOnce(&mut Transaction<'_>) -> std::result::Result<T, DmlError>,
+    ) -> std::result::Result<T, DmlError> {
+        self.store.with_writer(|db| db.transaction(f))
+    }
+
+    /// Executes an online merge migration through the serialized writer
+    /// path (see [`Database::migrate`]). Readers pinned before the
+    /// migration keep their pre-migration view; pins after a successful
+    /// migration see the merged schema.
+    pub fn migrate(&self, plan: &Merged) -> Result<MigrationReport> {
+        self.store.with_writer(|db| db.migrate(plan))
+    }
+
+    /// The store this session belongs to.
+    #[must_use]
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+}
+
+/// A frozen, consistent view of a [`Store`] at one commit boundary,
+/// pinned by [`Session::pin`]. Dereferences to [`Database`], so the
+/// whole `&self` read API works against it; the writer's later commits
+/// never change what it sees (copy-on-write), and it never blocks them.
+pub struct Snapshot {
+    db: Database,
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("version_vector", &self.version_vector())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Snapshot {
+    /// The pinned version vector: every relation's modification version
+    /// at the commit boundary this snapshot froze. Two snapshots with
+    /// equal vectors see byte-identical data; the vector also names the
+    /// exact serial state a replay must reproduce for determinism
+    /// checks.
+    #[must_use]
+    pub fn version_vector(&self) -> Vec<(String, u64)> {
+        self.db.relation_versions()
+    }
+}
+
+impl std::ops::Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::DbmsProfile;
+    use crate::fault::FaultMode;
+    use relmerge_relational::{
+        Attribute, Domain, InclusionDep, NullConstraint, RelationScheme, RelationalSchema, Tuple,
+        Value,
+    };
+
+    fn schema() -> RelationalSchema {
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new("P", vec![Attribute::new("P.K", Domain::Int)], &["P.K"]).unwrap(),
+        )
+        .unwrap();
+        rs.add_scheme(
+            RelationScheme::new(
+                "C",
+                vec![
+                    Attribute::new("C.K", Domain::Int),
+                    Attribute::new("C.FK", Domain::Int),
+                ],
+                &["C.K"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("P", &["P.K"]))
+            .unwrap();
+        rs.add_null_constraint(NullConstraint::nna("C", &["C.K", "C.FK"]))
+            .unwrap();
+        rs.add_ind(InclusionDep::new("C", &["C.FK"], "P", &["P.K"]))
+            .unwrap();
+        rs
+    }
+
+    fn tup(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|v| Value::Int(*v)).collect::<Vec<_>>())
+    }
+
+    fn store() -> Store {
+        let db = Database::new(schema(), DbmsProfile::ideal()).unwrap();
+        Store::new(db)
+    }
+
+    #[test]
+    fn pinned_snapshot_is_frozen_while_writers_proceed() {
+        let st = store();
+        let writer = st.session();
+        let reader = st.session();
+        writer.insert("P", tup(&[1])).unwrap();
+        let snap = reader.pin().unwrap();
+        assert_eq!(snap.len("P"), 1);
+        let vv = snap.version_vector();
+
+        // The writer keeps committing; the pinned view does not move.
+        writer.insert("P", tup(&[2])).unwrap();
+        writer.insert("C", tup(&[10, 2])).unwrap();
+        assert_eq!(snap.len("P"), 1);
+        assert_eq!(snap.len("C"), 0);
+        assert_eq!(snap.version_vector(), vv);
+
+        // A fresh pin sees the new commits.
+        let snap2 = reader.pin().unwrap();
+        assert_eq!(snap2.len("P"), 2);
+        assert_eq!(snap2.len("C"), 1);
+        assert!(snap2.version_vector() > vv);
+    }
+
+    #[test]
+    fn pins_at_the_same_sequence_share_one_base() {
+        let st = store();
+        let s1 = st.session();
+        let s2 = st.session();
+        s1.insert("P", tup(&[1])).unwrap();
+        let seq = st.commit_seq();
+        let a = s1.pin().unwrap();
+        let b = s2.pin().unwrap();
+        assert_eq!(st.commit_seq(), seq, "pins are not commits");
+        assert_eq!(a.version_vector(), b.version_vector());
+        assert_eq!(a.snapshot().unwrap(), b.snapshot().unwrap());
+    }
+
+    #[test]
+    fn failed_writes_do_not_advance_the_commit_seq() {
+        let st = store();
+        let s = st.session();
+        s.insert("P", tup(&[1])).unwrap();
+        let seq = st.commit_seq();
+        let snap = s.pin().unwrap();
+        // Dangling FK: the batch fails and rolls back.
+        assert!(s.insert("C", tup(&[10, 99])).is_err());
+        assert_eq!(st.commit_seq(), seq);
+        assert_eq!(snap.len("C"), 0);
+        assert!(st.verify_integrity().is_clean());
+        // The store remains fully serviceable.
+        s.insert("P", tup(&[2])).unwrap();
+        assert_eq!(st.commit_seq(), seq + 1);
+    }
+
+    #[test]
+    fn writer_commit_fault_leaves_readers_and_master_untouched() {
+        let st = store();
+        let s = st.session();
+        s.insert("P", tup(&[1])).unwrap();
+        let pre = st.snapshot().unwrap();
+        let snap = s.pin().unwrap();
+        for mode in [FaultMode::Error, FaultMode::Panic] {
+            let plan = st.set_fault_plan(FaultPlan::new().fail_at(site::WRITER_COMMIT, 0, mode));
+            let err = s.insert("P", tup(&[2])).unwrap_err();
+            match mode {
+                FaultMode::Error => {
+                    assert!(
+                        matches!(err, DmlError::Schema(Error::Injected { .. })),
+                        "{err}"
+                    )
+                }
+                FaultMode::Panic => assert!(
+                    matches!(err, DmlError::Schema(Error::ExecutionPanic { .. })),
+                    "{err}"
+                ),
+            }
+            assert_eq!(plan.fired(site::WRITER_COMMIT), 1);
+            st.clear_fault_plan();
+            assert_eq!(st.snapshot().unwrap(), pre);
+            assert_eq!(snap.len("P"), 1, "pinned reader untouched");
+            assert!(st.verify_integrity().is_clean());
+        }
+        s.insert("P", tup(&[2])).unwrap();
+    }
+
+    #[test]
+    fn session_snapshot_fault_is_contained_to_the_pin() {
+        let st = store();
+        let s = st.session();
+        s.insert("P", tup(&[1])).unwrap();
+        for mode in [FaultMode::Error, FaultMode::Panic] {
+            let plan = st.set_fault_plan(FaultPlan::new().fail_at(site::SESSION_SNAPSHOT, 0, mode));
+            let err = s.pin().unwrap_err();
+            match mode {
+                FaultMode::Error => assert!(matches!(err, Error::Injected { .. }), "{err}"),
+                FaultMode::Panic => assert!(matches!(err, Error::ExecutionPanic { .. }), "{err}"),
+            }
+            assert_eq!(plan.fired(site::SESSION_SNAPSHOT), 1);
+            st.clear_fault_plan();
+            let snap = s.pin().unwrap();
+            assert_eq!(snap.len("P"), 1);
+        }
+    }
+
+    #[test]
+    fn session_drop_folds_metrics_into_the_store_registry() {
+        // P carries a non-indexed attribute so the hash join goes through
+        // the transient build-cache path (unique/lookup-indexed right
+        // sides bypass the cache).
+        let mut rs = RelationalSchema::new();
+        rs.add_scheme(
+            RelationScheme::new(
+                "P",
+                vec![
+                    Attribute::new("P.K", Domain::Int),
+                    Attribute::new("P.V", Domain::Int),
+                ],
+                &["P.K"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.add_scheme(
+            RelationScheme::new(
+                "C",
+                vec![
+                    Attribute::new("C.K", Domain::Int),
+                    Attribute::new("C.FK", Domain::Int),
+                ],
+                &["C.K"],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let st = Store::new(Database::new(rs, DbmsProfile::ideal()).unwrap());
+        st.configure(st.config().hash_join_threshold(0));
+        let s = st.session();
+        s.insert("P", tup(&[1, 1])).unwrap();
+        s.insert("C", tup(&[10, 1])).unwrap();
+        let snap = s.pin().unwrap();
+        // The transient hash build charges the cache-miss/insert counters
+        // to the session's private shard.
+        let plan =
+            QueryPlan::scan("C").join(crate::query::JoinStep::inner("P", &["C.FK"], &["P.V"]));
+        let (rows, stats) = snap.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.hash_builds, 1);
+        let before = st.metrics_registry().snapshot();
+        drop(snap);
+        drop(s);
+        let after = st.metrics_registry().snapshot().diff(&before);
+        assert!(
+            after
+                .counters
+                .get("engine.query.build_cache.misses")
+                .copied()
+                .unwrap_or(0)
+                > 0,
+            "session read counters must fold into the store registry on drop"
+        );
+    }
+
+    #[test]
+    fn transactions_and_migrations_serialize_through_the_store() {
+        let st = store();
+        let s = st.session();
+        s.transaction(|tx| {
+            tx.insert("P", tup(&[1]))?;
+            tx.insert("C", tup(&[10, 1]))?;
+            Ok(())
+        })
+        .unwrap();
+        let seq = st.commit_seq();
+        let snap = s.pin().unwrap();
+        assert_eq!(snap.len("C"), 1);
+        // A failing transaction rolls back and does not commit.
+        let r: std::result::Result<(), DmlError> = s.transaction(|tx| {
+            tx.insert("P", tup(&[2]))?;
+            Err(DmlError::ConstraintViolation("forced".to_owned()))
+        });
+        assert!(r.is_err());
+        assert_eq!(st.commit_seq(), seq);
+        assert_eq!(s.pin().unwrap().len("P"), 1);
+    }
+
+    #[test]
+    fn try_into_database_returns_the_master_when_unshared() {
+        let st = store();
+        let s = st.session();
+        s.insert("P", tup(&[7])).unwrap();
+        drop(s);
+        let db = st.try_into_database().expect("last handle");
+        assert_eq!(db.len("P"), 1);
+    }
+}

@@ -44,8 +44,9 @@ pub mod trace;
 
 pub use export::{chrome_trace, json_escape, to_json, to_text};
 pub use metrics::{
-    bucket_bounds, bucket_index, elapsed_ns, flush_shard, global, register_shard, snapshot_all,
-    Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+    bucket_bounds, bucket_index, elapsed_ns, flush_shard, flush_shard_into, global, register_shard,
+    snapshot_all, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Snapshot,
+    HISTOGRAM_BUCKETS,
 };
 pub use profile::{
     profile_to_json, profile_to_text, report, report_to_json, report_to_text, EdgeCost,

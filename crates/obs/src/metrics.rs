@@ -440,19 +440,27 @@ pub fn register_shard(shard: &Arc<Registry>) {
 /// reference. Flushing a *live* shard double-counts it in `snapshot_all`
 /// (once merged, once live) — only flush at end of life.
 pub fn flush_shard(shard: &Registry) {
+    flush_shard_into(shard, global());
+}
+
+/// [`flush_shard`] with an explicit destination: folds every metric of
+/// `shard` into `target` instead of the process-global registry. A store
+/// folding its sessions' metric shards into its own registry uses this so
+/// per-session counts survive session drop exactly once — in the store —
+/// rather than escaping to the global registry.
+pub fn flush_shard_into(shard: &Registry, target: &Registry) {
     let snap = shard.snapshot();
-    let g = global();
     for (name, v) in &snap.counters {
         if *v > 0 {
-            g.counter(name).add(*v);
+            target.counter(name).add(*v);
         }
     }
     for (name, v) in &snap.gauges {
-        g.gauge(name).set(*v);
+        target.gauge(name).set(*v);
     }
     for (name, h) in &snap.histograms {
         if h.count > 0 {
-            g.histogram(name).merge_snapshot(h);
+            target.histogram(name).merge_snapshot(h);
         }
     }
 }

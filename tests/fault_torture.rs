@@ -13,6 +13,7 @@ use rand::rngs::StdRng;
 use relmerge::engine::fault::site;
 use relmerge::engine::{
     Database, DbmsProfile, FaultMode, FaultPlan, IntegrityKind, QueryBudget, QueryPlan, Statement,
+    Store,
 };
 use relmerge::relational::{
     Attribute, DatabaseState, Domain, Error, InclusionDep, NullConstraint, RelationScheme,
@@ -126,6 +127,97 @@ fn every_site_arrival_and_mode_recovers() {
                 );
                 // The database stays fully usable after the abort.
                 db.apply_batch(&batch).unwrap();
+            }
+        }
+    }
+}
+
+#[test]
+fn session_sites_error_and_panic_at_every_arrival_recover() {
+    let batch = torture_batch();
+
+    // Dry run through a store to learn each session site's arrival count
+    // (one pin, one writer commit).
+    let st = Store::new(baseline_db());
+    let mut probe = FaultPlan::new();
+    for &s in site::SESSION {
+        probe = probe.fail_at(s, u64::MAX, FaultMode::Error);
+    }
+    let probe = st.set_fault_plan(probe);
+    let dry = st.session();
+    let _ = dry.pin().unwrap();
+    dry.apply_batch(&batch).unwrap();
+
+    for &s in site::SESSION {
+        let hits = probe.hits(s);
+        assert!(hits > 0, "site {s} never reached");
+        for nth in 0..hits {
+            for mode in [FaultMode::Error, FaultMode::Panic] {
+                let st = Store::new(baseline_db());
+                let session = st.session();
+                let pre = st.snapshot().unwrap();
+                // Pinned before the fault arms: the reader a failed
+                // writer commit must not poison.
+                let pinned = session.pin().unwrap();
+                let plan = st.set_fault_plan(FaultPlan::new().fail_at(s, nth, mode));
+                match s {
+                    site::SESSION_SNAPSHOT => {
+                        let err = session.pin().expect_err("armed pin must fail");
+                        match mode {
+                            FaultMode::Error => {
+                                assert!(matches!(err, Error::Injected { .. }), "{err}")
+                            }
+                            FaultMode::Panic => {
+                                assert!(matches!(err, Error::ExecutionPanic { .. }), "{err}")
+                            }
+                        }
+                    }
+                    _ => {
+                        let err = session
+                            .apply_batch(&batch)
+                            .expect_err("armed writer commit must fail");
+                        match mode {
+                            FaultMode::Error => assert!(
+                                matches!(
+                                    err.root_cause(),
+                                    relmerge::engine::DmlError::Schema(Error::Injected { .. })
+                                ),
+                                "{err}"
+                            ),
+                            FaultMode::Panic => assert!(
+                                matches!(
+                                    err.root_cause(),
+                                    relmerge::engine::DmlError::Schema(
+                                        Error::ExecutionPanic { .. }
+                                    )
+                                ),
+                                "{err}"
+                            ),
+                        }
+                    }
+                }
+                assert_eq!(plan.fired(s), 1, "{s}#{nth} ({})", mode.label());
+                st.clear_fault_plan();
+                assert!(st.verify_integrity().is_clean());
+                assert_eq!(
+                    st.snapshot().unwrap(),
+                    pre,
+                    "{s}#{nth} ({}): master must be untouched",
+                    mode.label()
+                );
+                // A failed writer commit (or pin) never poisons a
+                // concurrently-pinned reader: the frozen view still
+                // answers, byte-identical to the pre-fault state.
+                assert_eq!(
+                    pinned.snapshot().unwrap(),
+                    pre,
+                    "{s}#{nth} ({}): pinned reader poisoned",
+                    mode.label()
+                );
+                assert!(pinned.verify_integrity().is_clean());
+                // The store stays fully serviceable.
+                let _ = session.pin().unwrap();
+                session.apply_batch(&batch).unwrap();
             }
         }
     }
